@@ -1,0 +1,380 @@
+//! The end-to-end simulation driver: executes each simulated database
+//! operation for real (through the DSSP proxy against the in-memory home
+//! server) and reports its resource demands to the network simulator.
+
+use crate::defs::{AppDef, Op, ParamSpec, RequestType};
+use crate::gen::{IdSpaces, ParamGen};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scs_core::{characterize_app, AnalysisOptions, Exposures, IpmMatrix};
+use scs_dssp::{Dssp, DsspConfig, HomeServer};
+use scs_netsim::{HomeTrip, OpCost, Time, Workload};
+use scs_sqlkit::{Query, QueryTemplate, Update, UpdateTemplate};
+use scs_storage::Database;
+use std::sync::Arc;
+
+/// CPU/size cost model calibrated to the paper's testbed shape (§5.2):
+/// a fast (Xeon-class) DSSP node, a slow (P-III-class) home server running
+/// the database, and statement/result wire sizes derived from actual text
+/// and result sizes.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// DSSP CPU per operation (cache lookup + app logic).
+    pub dssp_cpu_per_op: Time,
+    /// DSSP CPU per cache entry scanned during an invalidation pass.
+    pub dssp_cpu_per_scan: Time,
+    /// Home CPU to execute one query (base).
+    pub home_cpu_query: Time,
+    /// Home CPU per returned result row.
+    pub home_cpu_per_row: Time,
+    /// Home CPU to apply one update.
+    pub home_cpu_update: Time,
+    /// Bytes of an update acknowledgement.
+    pub ack_bytes: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            dssp_cpu_per_op: 300,
+            dssp_cpu_per_scan: 1,
+            home_cpu_query: 8_000,
+            home_cpu_per_row: 40,
+            home_cpu_update: 10_000,
+            ack_bytes: 100,
+        }
+    }
+}
+
+/// A bound, ready-to-execute operation of an in-flight request.
+enum PreparedOp {
+    Query(Query),
+    Update(Update),
+}
+
+/// Drives one application instance through the DSSP for the simulator.
+pub struct DsspWorkload {
+    dssp: Dssp,
+    home: HomeServer,
+    queries: Vec<Arc<QueryTemplate>>,
+    query_params: Vec<Vec<ParamSpec>>,
+    updates: Vec<Arc<UpdateTemplate>>,
+    update_params: Vec<Vec<ParamSpec>>,
+    requests: Vec<RequestType>,
+    total_weight: u32,
+    gen: ParamGen,
+    rng: StdRng,
+    pending: Vec<Vec<PreparedOp>>,
+    costs: CostModel,
+}
+
+impl DsspWorkload {
+    /// Builds a workload over a freshly populated database.
+    ///
+    /// * `app` — the application definition;
+    /// * `db` / `ids` — populated master database and its id spaces;
+    /// * `exposures` — per-template exposure levels (strategy or
+    ///   methodology output);
+    /// * `zipf_exponent` — popularity skew for `ParamSpec::PopularId`.
+    pub fn new(
+        app: &AppDef,
+        db: Database,
+        ids: IdSpaces,
+        exposures: Exposures,
+        zipf_exponent: f64,
+        seed: u64,
+    ) -> DsspWorkload {
+        let matrix = analysis_matrix(app);
+        DsspWorkload::with_matrix(app, db, ids, exposures, matrix, zipf_exponent, seed)
+    }
+
+    /// As [`DsspWorkload::new`] with a precomputed IPM matrix (ablations
+    /// pass a constraint-free matrix here).
+    pub fn with_matrix(
+        app: &AppDef,
+        db: Database,
+        ids: IdSpaces,
+        exposures: Exposures,
+        matrix: IpmMatrix,
+        zipf_exponent: f64,
+        seed: u64,
+    ) -> DsspWorkload {
+        let config = DsspConfig {
+            app_id: app.name.into(),
+            exposures,
+            matrix,
+            cache_capacity: None,
+        };
+        DsspWorkload::with_config(app, db, ids, config, zipf_exponent, seed)
+    }
+
+    /// The fully general constructor: an explicit [`DsspConfig`] (custom
+    /// cache capacity, tenant id, ...).
+    pub fn with_config(
+        app: &AppDef,
+        db: Database,
+        ids: IdSpaces,
+        config: DsspConfig,
+        zipf_exponent: f64,
+        seed: u64,
+    ) -> DsspWorkload {
+        assert_eq!(config.exposures.queries.len(), app.queries.len(), "exposure shape");
+        assert_eq!(config.exposures.updates.len(), app.updates.len(), "exposure shape");
+        DsspWorkload {
+            dssp: Dssp::new(config),
+            home: HomeServer::new(db),
+            queries: app.query_templates(),
+            query_params: app.queries.iter().map(|q| q.params.clone()).collect(),
+            updates: app.update_templates(),
+            update_params: app.updates.iter().map(|u| u.params.clone()).collect(),
+            requests: app.requests.clone(),
+            total_weight: app.requests.iter().map(|r| r.weight).sum(),
+            gen: ParamGen::new(ids, zipf_exponent),
+            rng: StdRng::seed_from_u64(seed),
+            pending: Vec::new(),
+            costs: CostModel::default(),
+        }
+    }
+
+    fn sample_request(&mut self) -> usize {
+        let mut pick = self.rng.gen_range(0..self.total_weight);
+        for (i, r) in self.requests.iter().enumerate() {
+            if pick < r.weight {
+                return i;
+            }
+            pick -= r.weight;
+        }
+        unreachable!("weights sum to total_weight")
+    }
+
+    /// The DSSP proxy (inspection hook for reports and tests).
+    pub fn dssp(&self) -> &Dssp {
+        &self.dssp
+    }
+
+    /// The home server (inspection hook).
+    pub fn home(&self) -> &HomeServer {
+        &self.home
+    }
+}
+
+/// Characterizes an application's IPM matrix with default options.
+pub fn analysis_matrix(app: &AppDef) -> IpmMatrix {
+    characterize_app(
+        &app.update_templates(),
+        &app.query_templates(),
+        &app.catalog(),
+        AnalysisOptions::default(),
+    )
+}
+
+impl Workload for DsspWorkload {
+    fn begin_request(&mut self, client: usize) -> usize {
+        if self.pending.len() <= client {
+            self.pending.resize_with(client + 1, Vec::new);
+        }
+        let rix = self.sample_request();
+        let ops: Vec<PreparedOp> = self.requests[rix]
+            .ops
+            .clone()
+            .iter()
+            .map(|op| match op {
+                Op::Query(tid) => {
+                    let params = self.gen.bind_all(&self.query_params[*tid], &mut self.rng);
+                    PreparedOp::Query(
+                        Query::bind(*tid, self.queries[*tid].clone(), params)
+                            .expect("validated definitions"),
+                    )
+                }
+                Op::Update(tid) => {
+                    let params = self.gen.bind_all(&self.update_params[*tid], &mut self.rng);
+                    PreparedOp::Update(
+                        Update::bind(*tid, self.updates[*tid].clone(), params)
+                            .expect("validated definitions"),
+                    )
+                }
+            })
+            .collect();
+        let n = ops.len();
+        self.pending[client] = ops;
+        n
+    }
+
+    fn execute_op(&mut self, client: usize, op_index: usize) -> OpCost {
+        let c = &self.costs;
+        match &self.pending[client][op_index] {
+            PreparedOp::Query(q) => {
+                let statement_bytes = q.statement_text().len() as u64;
+                let resp = self
+                    .dssp
+                    .execute_query(q, &mut self.home)
+                    .expect("validated query templates");
+                let result_bytes = resp.result.approx_size_bytes() as u64;
+                let home_trip = (!resp.hit).then(|| HomeTrip {
+                    request_bytes: statement_bytes + 64,
+                    reply_bytes: result_bytes + 64,
+                    home_cpu: c.home_cpu_query + c.home_cpu_per_row * resp.result.len() as Time,
+                });
+                OpCost {
+                    dssp_cpu: c.dssp_cpu_per_op,
+                    home_trip,
+                    reply_bytes: result_bytes + 128,
+                }
+            }
+            PreparedOp::Update(u) => {
+                let statement_bytes = u.statement_text().len() as u64;
+                // Rejected updates (FK violation on a deleted row, ...)
+                // still cost a home round trip; they change nothing and
+                // trigger no invalidation.
+                let scanned = match self.dssp.execute_update(u, &mut self.home) {
+                    Ok(resp) => resp.scanned,
+                    Err(_) => 0,
+                };
+                OpCost {
+                    dssp_cpu: c.dssp_cpu_per_op + c.dssp_cpu_per_scan * scanned as Time,
+                    home_trip: Some(HomeTrip {
+                        request_bytes: statement_bytes + 64,
+                        reply_bytes: c.ack_bytes,
+                        home_cpu: c.home_cpu_update,
+                    }),
+                    reply_bytes: c.ack_bytes + 128,
+                }
+            }
+        }
+    }
+
+    fn hit_rate(&self) -> f64 {
+        self.dssp.stats().hit_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toystore;
+    use scs_core::ExposureLevel;
+    use scs_dssp::StrategyKind;
+    use scs_netsim::{run, SimConfig, SystemSpec, SEC};
+
+    fn toystore_workload(kind: StrategyKind, seed: u64) -> DsspWorkload {
+        let app = toystore::toystore();
+        let mut db = Database::new();
+        for s in &app.schemas {
+            db.create_table(s.clone()).unwrap();
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        toystore::populate(&mut db, 50, 30, &mut rng);
+        let mut ids = IdSpaces::default();
+        ids.declare("toys", 50);
+        ids.declare("customers", 30);
+        ids.declare("credit_card", 15);
+        let exposures = kind.exposures(app.updates.len(), app.queries.len());
+        DsspWorkload::new(&app, db, ids, exposures, 1.0, seed)
+    }
+
+    fn quick_cfg(users: usize) -> SimConfig {
+        SimConfig {
+            users,
+            duration: 90 * SEC,
+            warmup: 15 * SEC,
+            think_mean: 7 * SEC,
+            seed: 11,
+            spec: SystemSpec::default(),
+        }
+    }
+
+    #[test]
+    fn end_to_end_simulation_runs() {
+        let mut w = toystore_workload(StrategyKind::ViewInspection, 1);
+        let m = run(&quick_cfg(20), &mut w);
+        assert!(m.requests_completed > 20);
+        assert!(m.ops_executed > 0);
+        assert!(w.dssp().stats().queries > 0);
+    }
+
+    #[test]
+    fn view_inspection_gets_better_hit_rate_than_blind() {
+        let mut mvis = toystore_workload(StrategyKind::ViewInspection, 2);
+        let mut mbs = toystore_workload(StrategyKind::Blind, 2);
+        let cfg = quick_cfg(30);
+        let a = run(&cfg, &mut mvis);
+        let b = run(&cfg, &mut mbs);
+        assert!(
+            a.hit_rate > b.hit_rate,
+            "MVIS hit rate {} should beat MBS {}",
+            a.hit_rate,
+            b.hit_rate
+        );
+    }
+
+    #[test]
+    fn driver_is_deterministic_per_seed() {
+        use scs_netsim::Workload;
+        let mut a = toystore_workload(StrategyKind::ViewInspection, 9);
+        let mut b = toystore_workload(StrategyKind::ViewInspection, 9);
+        for _ in 0..50 {
+            let na = a.begin_request(0);
+            let nb = b.begin_request(0);
+            assert_eq!(na, nb);
+            for i in 0..na {
+                let ca = a.execute_op(0, i);
+                let cb = b.execute_op(0, i);
+                assert_eq!(ca.dssp_cpu, cb.dssp_cpu);
+                assert_eq!(ca.reply_bytes, cb.reply_bytes);
+                assert_eq!(ca.home_trip.is_some(), cb.home_trip.is_some());
+            }
+        }
+        assert_eq!(a.dssp().stats(), b.dssp().stats());
+    }
+
+    #[test]
+    fn request_mix_respects_weights() {
+        use scs_netsim::Workload;
+        let mut w = toystore_workload(StrategyKind::ViewInspection, 10);
+        // toystore: browse(8, 2 ops), demographics(3, 1 op),
+        // discontinue(1, 1 op), add-card(1, 1 op) — expected mean ops
+        // = (8*2 + 3 + 1 + 1) / 13 ≈ 1.62.
+        let n = 2_000;
+        let mut total_ops = 0usize;
+        for _ in 0..n {
+            let ops = w.begin_request(0);
+            total_ops += ops;
+            for i in 0..ops {
+                w.execute_op(0, i);
+            }
+        }
+        let mean = total_ops as f64 / n as f64;
+        assert!((1.45..1.8).contains(&mean), "mean ops/request = {mean}");
+    }
+
+    #[test]
+    fn rejected_updates_are_tolerated() {
+        use scs_netsim::Workload;
+        // Run enough toystore traffic that deletes + credit-card inserts
+        // produce FK violations / missing rows; the driver must absorb
+        // them as no-op home trips without panicking.
+        let mut w = toystore_workload(StrategyKind::StatementInspection, 11);
+        for _ in 0..500 {
+            let ops = w.begin_request(0);
+            for i in 0..ops {
+                let cost = w.execute_op(0, i);
+                assert!(cost.reply_bytes > 0);
+            }
+        }
+        assert!(w.dssp().stats().updates > 0);
+    }
+
+    #[test]
+    fn exposure_shape_mismatch_panics() {
+        let app = toystore::toystore();
+        let db = Database::new();
+        let bad = Exposures {
+            updates: vec![ExposureLevel::Stmt; 99],
+            queries: vec![ExposureLevel::View; 99],
+        };
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            DsspWorkload::new(&app, db, IdSpaces::default(), bad, 1.0, 0)
+        }));
+        assert!(r.is_err());
+    }
+}

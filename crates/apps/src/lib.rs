@@ -1,0 +1,26 @@
+//! # scs-apps — benchmark Web applications and the end-to-end driver
+//!
+//! The paper evaluates on three publicly available benchmark applications
+//! (§5.1): **auction** (RUBiS, modeled after ebay.com), **bboard**
+//! (RUBBoS, inspired by slashdot.org), and **bookstore** (TPC-W, an online
+//! book store with Zipf-distributed book popularity after Brynjolfsson et
+//! al.). This crate defines Rust equivalents — schemas, the full template
+//! sets, request mixes, data population, and parameter generators — plus
+//! the paper's running `toystore` examples (Tables 1 and 3) and the
+//! simulation driver that connects everything to `scs-netsim`.
+
+pub mod auction;
+pub mod bboard;
+pub mod bookstore;
+pub mod defs;
+pub mod driver;
+pub mod gen;
+pub mod runner;
+pub mod toystore;
+pub mod trace;
+
+pub use defs::{AppDef, Op, ParamSpec, RequestType, Sensitivity, TemplateDef};
+pub use driver::{analysis_matrix, CostModel, DsspWorkload};
+pub use gen::{IdSpaces, ParamGen, Zipf, BOOK_POPULARITY_EXPONENT};
+pub use runner::{measure_scalability, run_trial, BenchApp, Fidelity};
+pub use trace::{replay, ReplayReport, Trace, TraceOp};

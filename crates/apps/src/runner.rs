@@ -1,0 +1,190 @@
+//! Convenience builders: one call from (application, exposure assignment)
+//! to a populated end-to-end workload, plus the scalability measurement
+//! used by the Figure-3/Figure-8 experiments.
+
+use crate::defs::AppDef;
+use crate::driver::DsspWorkload;
+use crate::gen::{IdSpaces, BOOK_POPULARITY_EXPONENT};
+use crate::{auction, bboard, bookstore};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scs_core::{Exposures, IpmMatrix};
+use scs_netsim::{find_max_users, RunMetrics, ScalabilityResult, SearchOptions, SimConfig, Sla};
+use scs_storage::Database;
+
+/// The three benchmark applications of the paper's evaluation (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchApp {
+    Auction,
+    Bboard,
+    Bookstore,
+}
+
+impl BenchApp {
+    pub const ALL: [BenchApp; 3] = [BenchApp::Auction, BenchApp::Bboard, BenchApp::Bookstore];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchApp::Auction => "auction",
+            BenchApp::Bboard => "bboard",
+            BenchApp::Bookstore => "bookstore",
+        }
+    }
+
+    /// The application definition.
+    pub fn def(self) -> AppDef {
+        match self {
+            BenchApp::Auction => auction::auction(),
+            BenchApp::Bboard => bboard::bboard(),
+            BenchApp::Bookstore => bookstore::bookstore(),
+        }
+    }
+
+    /// Populates a fresh master database at the default scale.
+    pub fn build_database(self, seed: u64) -> (Database, IdSpaces) {
+        let app = self.def();
+        let mut db = Database::new();
+        for s in &app.schemas {
+            db.create_table(s.clone()).expect("static schemas");
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        match self {
+            BenchApp::Auction => {
+                let scale = auction::AuctionScale::default();
+                auction::populate(&mut db, scale, &mut rng);
+                (db, auction::id_spaces(scale))
+            }
+            BenchApp::Bboard => {
+                let scale = bboard::BboardScale::default();
+                bboard::populate(&mut db, scale, &mut rng);
+                (db, bboard::id_spaces(scale))
+            }
+            BenchApp::Bookstore => {
+                let scale = bookstore::BookstoreScale::default();
+                bookstore::populate(&mut db, scale, &mut rng);
+                (db, bookstore::id_spaces(scale))
+            }
+        }
+    }
+
+    /// Popularity skew for item-like parameters: the bookstore uses the
+    /// Brynjolfsson et al. exponent (§5.1); the others use a milder skew.
+    pub fn zipf_exponent(self) -> f64 {
+        match self {
+            BenchApp::Bookstore => BOOK_POPULARITY_EXPONENT,
+            BenchApp::Auction | BenchApp::Bboard => 1.3,
+        }
+    }
+
+    /// A fresh end-to-end workload under `exposures`.
+    pub fn workload(self, exposures: Exposures, seed: u64) -> DsspWorkload {
+        let app = self.def();
+        let (db, ids) = self.build_database(seed);
+        DsspWorkload::new(&app, db, ids, exposures, self.zipf_exponent(), seed)
+    }
+
+    /// As [`BenchApp::workload`] with an explicit IPM matrix (ablations).
+    pub fn workload_with_matrix(
+        self,
+        exposures: Exposures,
+        matrix: IpmMatrix,
+        seed: u64,
+    ) -> DsspWorkload {
+        let app = self.def();
+        let (db, ids) = self.build_database(seed);
+        DsspWorkload::with_matrix(&app, db, ids, exposures, matrix, self.zipf_exponent(), seed)
+    }
+}
+
+/// Experiment fidelity knobs: trial length and search resolution.
+#[derive(Debug, Clone, Copy)]
+pub struct Fidelity {
+    pub duration_secs: u64,
+    pub warmup_secs: u64,
+    pub max_users: usize,
+    pub resolution: usize,
+}
+
+impl Fidelity {
+    /// The paper's methodology: 10-minute runs.
+    pub fn full() -> Fidelity {
+        Fidelity {
+            duration_secs: 600,
+            warmup_secs: 60,
+            max_users: 8_192,
+            resolution: 16,
+        }
+    }
+
+    /// Faster runs for CI / quick reproduction; same qualitative shape.
+    pub fn quick() -> Fidelity {
+        Fidelity {
+            duration_secs: 180,
+            warmup_secs: 30,
+            max_users: 4_096,
+            resolution: 64,
+        }
+    }
+}
+
+/// Runs one trial of `app` under `exposures` with `users` concurrent
+/// users; returns the run metrics.
+pub fn run_trial(
+    app: BenchApp,
+    exposures: &Exposures,
+    users: usize,
+    fidelity: Fidelity,
+    seed: u64,
+) -> RunMetrics {
+    let mut cfg = SimConfig::paper(users, seed);
+    cfg.duration = fidelity.duration_secs * scs_netsim::SEC;
+    cfg.warmup = fidelity.warmup_secs * scs_netsim::SEC;
+    let mut workload = app.workload(exposures.clone(), seed);
+    scs_netsim::run(&cfg, &mut workload)
+}
+
+/// Measures scalability (the paper's metric: max users with the 90th
+/// percentile response time under 2 s) for `app` under `exposures`.
+pub fn measure_scalability(
+    app: BenchApp,
+    exposures: &Exposures,
+    fidelity: Fidelity,
+    seed: u64,
+) -> ScalabilityResult {
+    let sla = Sla::paper();
+    let opts = SearchOptions {
+        start: 8,
+        max: fidelity.max_users,
+        resolution: fidelity.resolution,
+    };
+    find_max_users(
+        |users| run_trial(app, exposures, users, fidelity, seed),
+        &sla,
+        opts,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn databases_build_for_all_apps() {
+        for app in BenchApp::ALL {
+            let (db, ids) = app.build_database(3);
+            let def = app.def();
+            def.validate().unwrap();
+            for schema in &def.schemas {
+                let n = db.table(&schema.name).unwrap().len();
+                assert!(n > 0, "{}: table {} empty", app.name(), schema.name);
+                assert_eq!(
+                    ids.initial(&schema.name),
+                    n as i64,
+                    "{}: id space for {} disagrees with populate",
+                    app.name(),
+                    schema.name
+                );
+            }
+        }
+    }
+}

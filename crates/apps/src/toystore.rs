@@ -1,0 +1,247 @@
+//! The paper's running examples: `simple-toystore` (Table 1) and the
+//! extended `toystore` (Table 3).
+
+use crate::defs::{query_def, update_def, AppDef, Op, ParamSpec, RequestType, Sensitivity};
+use rand::rngs::StdRng;
+use scs_core::Attr;
+use scs_sqlkit::Value;
+use scs_storage::{ColumnType, Database, TableSchema};
+
+fn toys_schema() -> TableSchema {
+    TableSchema::builder("toys")
+        .column("toy_id", ColumnType::Int)
+        .column("toy_name", ColumnType::Str)
+        .column("qty", ColumnType::Int)
+        .primary_key(&["toy_id"])
+        .index("toy_name")
+        .build()
+        .expect("static schema")
+}
+
+fn customers_schema() -> TableSchema {
+    TableSchema::builder("customers")
+        .column("cust_id", ColumnType::Int)
+        .column("cust_name", ColumnType::Str)
+        .primary_key(&["cust_id"])
+        .build()
+        .expect("static schema")
+}
+
+fn credit_card_schema() -> TableSchema {
+    TableSchema::builder("credit_card")
+        .column("cid", ColumnType::Int)
+        .column("number", ColumnType::Str)
+        .column("zip_code", ColumnType::Int)
+        .primary_key(&["cid"])
+        .foreign_key(&["cid"], "customers", &["cust_id"])
+        .index("zip_code")
+        .build()
+        .expect("static schema")
+}
+
+const TOY_NAMES: &[&str] = &[
+    "bear", "car", "kite", "robot", "puzzle", "blocks", "train", "doll",
+];
+
+/// `simple-toystore` of Table 1: three query templates, one update
+/// template, two relations.
+pub fn simple_toystore() -> AppDef {
+    AppDef {
+        name: "simple-toystore",
+        schemas: vec![toys_schema(), customers_schema()],
+        queries: vec![
+            query_def(
+                "Q1",
+                "SELECT toy_id FROM toys WHERE toy_name = ?",
+                vec![ParamSpec::Word(TOY_NAMES)],
+                Sensitivity::Low,
+            ),
+            query_def(
+                "Q2",
+                "SELECT qty FROM toys WHERE toy_id = ?",
+                vec![ParamSpec::ExistingId("toys")],
+                Sensitivity::Moderate,
+            ),
+            query_def(
+                "Q3",
+                "SELECT cust_name FROM customers WHERE cust_id = ?",
+                vec![ParamSpec::ExistingId("customers")],
+                Sensitivity::Moderate,
+            ),
+        ],
+        updates: vec![update_def(
+            "U1",
+            "DELETE FROM toys WHERE toy_id = ?",
+            vec![ParamSpec::ExistingId("toys")],
+            Sensitivity::Low,
+        )],
+        requests: vec![
+            RequestType {
+                name: "browse",
+                weight: 8,
+                ops: vec![Op::Query(0), Op::Query(1)],
+            },
+            RequestType {
+                name: "account",
+                weight: 3,
+                ops: vec![Op::Query(2)],
+            },
+            RequestType {
+                name: "discontinue",
+                weight: 1,
+                ops: vec![Op::Update(0)],
+            },
+        ],
+        sensitive_attrs: vec![],
+    }
+}
+
+/// The extended `toystore` of Table 3, used throughout §3–4 of the paper
+/// (adds the `credit_card` relation, the join query Q3, and the
+/// credit-card insertion U2).
+pub fn toystore() -> AppDef {
+    AppDef {
+        name: "toystore",
+        schemas: vec![toys_schema(), customers_schema(), credit_card_schema()],
+        queries: vec![
+            query_def(
+                "Q1",
+                "SELECT toy_id FROM toys WHERE toy_name = ?",
+                vec![ParamSpec::Word(TOY_NAMES)],
+                Sensitivity::Low,
+            ),
+            query_def(
+                "Q2",
+                "SELECT qty FROM toys WHERE toy_id = ?",
+                vec![ParamSpec::ExistingId("toys")],
+                Sensitivity::Moderate,
+            ),
+            query_def(
+                "Q3",
+                "SELECT customers.cust_name FROM customers, credit_card \
+                 WHERE customers.cust_id = credit_card.cid AND credit_card.zip_code = ?",
+                vec![ParamSpec::Int(10_000, 99_999)],
+                Sensitivity::Moderate,
+            ),
+        ],
+        updates: vec![
+            update_def(
+                "U1",
+                "DELETE FROM toys WHERE toy_id = ?",
+                vec![ParamSpec::ExistingId("toys")],
+                Sensitivity::Low,
+            ),
+            update_def(
+                "U2",
+                "INSERT INTO credit_card (cid, number, zip_code) VALUES (?, ?, ?)",
+                vec![
+                    ParamSpec::ExistingId("customers"),
+                    ParamSpec::Text(16),
+                    ParamSpec::Int(10_000, 99_999),
+                ],
+                Sensitivity::High,
+            ),
+        ],
+        requests: vec![
+            RequestType {
+                name: "browse",
+                weight: 8,
+                ops: vec![Op::Query(0), Op::Query(1)],
+            },
+            RequestType {
+                name: "demographics",
+                weight: 3,
+                ops: vec![Op::Query(2)],
+            },
+            RequestType {
+                name: "discontinue",
+                weight: 1,
+                ops: vec![Op::Update(0)],
+            },
+            RequestType {
+                name: "add-card",
+                weight: 1,
+                ops: vec![Op::Update(1)],
+            },
+        ],
+        sensitive_attrs: vec![
+            Attr::new("credit_card", "cid"),
+            Attr::new("credit_card", "number"),
+            Attr::new("credit_card", "zip_code"),
+        ],
+    }
+}
+
+/// Populates the (simple or extended) toystore with `toys` toys and
+/// `customers` customers; ids are `1..=n` as the workload generators
+/// expect. `credit_card` rows reference every other customer when that
+/// relation exists.
+pub fn populate(db: &mut Database, toys: i64, customers: i64, _rng: &mut StdRng) {
+    for id in 1..=toys {
+        db.insert_row(
+            "toys",
+            vec![
+                Value::Int(id),
+                Value::str(TOY_NAMES[(id as usize - 1) % TOY_NAMES.len()]),
+                Value::Int((id * 13) % 50),
+            ],
+        )
+        .expect("fresh ids never collide");
+    }
+    for id in 1..=customers {
+        db.insert_row(
+            "customers",
+            vec![Value::Int(id), Value::Str(format!("customer-{id}"))],
+        )
+        .expect("fresh ids never collide");
+    }
+    if db.table("credit_card").is_ok() {
+        for id in 1..=customers / 2 {
+            db.insert_row(
+                "credit_card",
+                vec![
+                    Value::Int(id * 2),
+                    Value::Str(format!("4111-{id:012}")),
+                    Value::Int(10_000 + (id * 37) % 90_000),
+                ],
+            )
+            .expect("fresh ids never collide");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn apps_validate() {
+        simple_toystore().validate().unwrap();
+        toystore().validate().unwrap();
+    }
+
+    #[test]
+    fn populate_fills_tables() {
+        let app = toystore();
+        let mut db = Database::new();
+        for s in &app.schemas {
+            db.create_table(s.clone()).unwrap();
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        populate(&mut db, 20, 10, &mut rng);
+        assert_eq!(db.table("toys").unwrap().len(), 20);
+        assert_eq!(db.table("customers").unwrap().len(), 10);
+        assert_eq!(db.table("credit_card").unwrap().len(), 5);
+    }
+
+    #[test]
+    fn template_counts_match_paper() {
+        let simple = simple_toystore();
+        assert_eq!(simple.queries.len(), 3);
+        assert_eq!(simple.updates.len(), 1);
+        let full = toystore();
+        assert_eq!(full.queries.len(), 3);
+        assert_eq!(full.updates.len(), 2);
+    }
+}

@@ -1,0 +1,306 @@
+//! Workload traces: record a concrete operation stream once, replay it
+//! byte-identically against different DSSP configurations.
+//!
+//! Scalability comparisons in the paper hold the workload *distribution*
+//! fixed; traces go one step further and hold the exact operation sequence
+//! fixed, which makes strategy/exposure A/B comparisons noise-free (same
+//! inserts, same deletes, same lookup keys).
+//!
+//! The on-disk format is a small line-oriented text codec (one op per
+//! line) so traces are diffable and greppable; no external serialization
+//! crates are needed.
+
+use crate::defs::{AppDef, Op};
+use crate::gen::{IdSpaces, ParamGen};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scs_core::Exposures;
+use scs_dssp::{Dssp, DsspConfig, DsspStats, HomeServer};
+use scs_sqlkit::{Query, Update, Value};
+use scs_storage::Database;
+use std::fmt;
+
+/// One recorded operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceOp {
+    Query { template_id: usize, params: Vec<Value> },
+    Update { template_id: usize, params: Vec<Value> },
+}
+
+/// A recorded operation stream for one application.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    pub ops: Vec<TraceOp>,
+}
+
+/// Errors decoding a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl Trace {
+    /// Generates a trace by sampling `requests` requests from the
+    /// application's mix — exactly the stream the simulation driver would
+    /// execute for one client with this seed.
+    pub fn generate(app: &AppDef, ids: IdSpaces, requests: usize, seed: u64) -> Trace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gen = ParamGen::new(ids, 1.0);
+        let total_weight: u32 = app.requests.iter().map(|r| r.weight).sum();
+        let mut ops = Vec::new();
+        for _ in 0..requests {
+            let mut pick = rng.gen_range(0..total_weight);
+            let request = app
+                .requests
+                .iter()
+                .find(|r| {
+                    if pick < r.weight {
+                        true
+                    } else {
+                        pick -= r.weight;
+                        false
+                    }
+                })
+                .expect("weights sum to total");
+            for op in &request.ops {
+                ops.push(match op {
+                    Op::Query(tid) => TraceOp::Query {
+                        template_id: *tid,
+                        params: gen.bind_all(&app.queries[*tid].params, &mut rng),
+                    },
+                    Op::Update(tid) => TraceOp::Update {
+                        template_id: *tid,
+                        params: gen.bind_all(&app.updates[*tid].params, &mut rng),
+                    },
+                });
+            }
+        }
+        Trace { ops }
+    }
+
+    /// Encodes to the line format: `Q|U <template_id> <value>*` with
+    /// values as `i:<int>`, `r:<bits>` (f64 bit pattern, exact), or
+    /// `s:<percent-escaped utf-8>`.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        for op in &self.ops {
+            let (tag, tid, params) = match op {
+                TraceOp::Query { template_id, params } => ('Q', template_id, params),
+                TraceOp::Update { template_id, params } => ('U', template_id, params),
+            };
+            out.push(tag);
+            out.push(' ');
+            out.push_str(&tid.to_string());
+            for v in params {
+                out.push(' ');
+                match v {
+                    Value::Int(i) => out.push_str(&format!("i:{i}")),
+                    Value::Real(r) => out.push_str(&format!("r:{}", r.get().to_bits())),
+                    Value::Str(s) => {
+                        out.push_str("s:");
+                        for b in s.bytes() {
+                            if b.is_ascii_alphanumeric() || b"-_.@".contains(&b) {
+                                out.push(b as char);
+                            } else {
+                                out.push_str(&format!("%{b:02x}"));
+                            }
+                        }
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Decodes the line format.
+    pub fn decode(text: &str) -> Result<Trace, TraceError> {
+        let mut ops = Vec::new();
+        for (n, line) in text.lines().enumerate() {
+            let err = |message: String| TraceError { line: n + 1, message };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut fields = line.split(' ');
+            let tag = fields.next().ok_or_else(|| err("missing tag".into()))?;
+            let tid: usize = fields
+                .next()
+                .ok_or_else(|| err("missing template id".into()))?
+                .parse()
+                .map_err(|e| err(format!("bad template id: {e}")))?;
+            let mut params = Vec::new();
+            for f in fields {
+                let (kind, payload) =
+                    f.split_once(':').ok_or_else(|| err(format!("bad value `{f}`")))?;
+                params.push(match kind {
+                    "i" => Value::Int(
+                        payload.parse().map_err(|e| err(format!("bad int: {e}")))?,
+                    ),
+                    "r" => {
+                        let bits: u64 =
+                            payload.parse().map_err(|e| err(format!("bad real: {e}")))?;
+                        Value::real(f64::from_bits(bits))
+                    }
+                    "s" => Value::Str(unescape(payload).map_err(err)?),
+                    other => return Err(err(format!("unknown value kind `{other}`"))),
+                });
+            }
+            ops.push(match tag {
+                "Q" => TraceOp::Query { template_id: tid, params },
+                "U" => TraceOp::Update { template_id: tid, params },
+                other => return Err(err(format!("unknown tag `{other}`"))),
+            });
+        }
+        Ok(Trace { ops })
+    }
+}
+
+fn unescape(s: &str) -> Result<String, String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            if i + 2 > bytes.len() {
+                return Err("truncated escape".into());
+            }
+            let hex = s
+                .get(i + 1..i + 3)
+                .ok_or_else(|| "truncated escape".to_string())?;
+            out.push(u8::from_str_radix(hex, 16).map_err(|e| format!("bad escape: {e}"))?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).map_err(|e| format!("invalid utf-8: {e}"))
+}
+
+/// The outcome of replaying a trace against one configuration.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    pub stats: DsspStats,
+    /// Updates the home server rejected (duplicate keys, FK violations).
+    pub rejected_updates: usize,
+}
+
+/// Replays a trace against a fresh DSSP + home server under `exposures`.
+/// Identical traces + identical databases ⇒ noise-free configuration
+/// comparisons.
+pub fn replay(
+    app: &AppDef,
+    db: Database,
+    exposures: Exposures,
+    trace: &Trace,
+) -> ReplayReport {
+    let matrix = crate::driver::analysis_matrix(app);
+    let mut dssp = Dssp::new(DsspConfig::new(app.name, exposures, matrix));
+    let mut home = HomeServer::new(db);
+    let queries = app.query_templates();
+    let updates = app.update_templates();
+    let mut rejected = 0;
+    for op in &trace.ops {
+        match op {
+            TraceOp::Query { template_id, params } => {
+                let q = Query::bind(*template_id, queries[*template_id].clone(), params.clone())
+                    .expect("trace matches app templates");
+                dssp.execute_query(&q, &mut home).expect("valid query");
+            }
+            TraceOp::Update { template_id, params } => {
+                let u = Update::bind(*template_id, updates[*template_id].clone(), params.clone())
+                    .expect("trace matches app templates");
+                if dssp.execute_update(&u, &mut home).is_err() {
+                    rejected += 1;
+                }
+            }
+        }
+    }
+    ReplayReport { stats: *dssp.stats(), rejected_updates: rejected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::BenchApp;
+    use scs_dssp::StrategyKind;
+
+    fn sample_trace() -> (AppDef, Trace) {
+        let app = BenchApp::Bookstore.def();
+        let (_, ids) = BenchApp::Bookstore.build_database(5);
+        let trace = Trace::generate(&app, ids, 30, 5);
+        (app, trace)
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let (_, trace) = sample_trace();
+        assert!(!trace.ops.is_empty());
+        let decoded = Trace::decode(&trace.encode()).unwrap();
+        assert_eq!(trace, decoded);
+    }
+
+    #[test]
+    fn roundtrip_preserves_tricky_values() {
+        let trace = Trace {
+            ops: vec![TraceOp::Query {
+                template_id: 3,
+                params: vec![
+                    Value::Int(-42),
+                    Value::real(0.1 + 0.2), // non-representable decimal
+                    Value::str("o'brien %20 spaces\nnewline"),
+                    Value::str("héllo"),
+                ],
+            }],
+        };
+        let decoded = Trace::decode(&trace.encode()).unwrap();
+        assert_eq!(trace, decoded);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Trace::decode("X 0 i:1").is_err());
+        assert!(Trace::decode("Q nope").is_err());
+        assert!(Trace::decode("Q 0 z:1").is_err());
+        assert!(Trace::decode("Q 0 i:notanint").is_err());
+        assert!(Trace::decode("").unwrap().ops.is_empty());
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let (app, trace) = sample_trace();
+        let exposures = StrategyKind::StatementInspection
+            .exposures(app.updates.len(), app.queries.len());
+        let a = replay(&app, BenchApp::Bookstore.build_database(5).0, exposures.clone(), &trace);
+        let b = replay(&app, BenchApp::Bookstore.build_database(5).0, exposures, &trace);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.rejected_updates, b.rejected_updates);
+    }
+
+    /// The same trace under more exposure never hits less — the trace
+    /// makes the Figure-8 comparison exact rather than statistical.
+    #[test]
+    fn replay_ab_comparison_is_ordered() {
+        let (app, trace) = sample_trace();
+        let mut hits = Vec::new();
+        for kind in StrategyKind::ALL {
+            let exposures = kind.exposures(app.updates.len(), app.queries.len());
+            let report =
+                replay(&app, BenchApp::Bookstore.build_database(5).0, exposures, &trace);
+            hits.push(report.stats.hits);
+        }
+        // ALL is MVIS, MSIS, MTIS, MBS (most → least informed).
+        for w in hits.windows(2) {
+            assert!(w[0] >= w[1], "hit counts must be antitone in encryption: {hits:?}");
+        }
+    }
+}

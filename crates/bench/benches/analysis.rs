@@ -1,0 +1,41 @@
+//! Microbenchmarks: cost of the static analysis itself — IPM
+//! characterization and the greedy exposure reduction. (The paper runs
+//! this offline once per application; these benches confirm it is cheap
+//! even for the full template sets.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scs_apps::BenchApp;
+use scs_core::{
+    characterize_app, compulsory_exposures, reduce_exposures, AnalysisOptions, SensitivityPolicy,
+};
+use std::hint::black_box;
+
+fn bench_characterize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("static_analysis");
+    for app in BenchApp::ALL {
+        let def = app.def();
+        let catalog = def.catalog();
+        let updates = def.update_templates();
+        let queries = def.query_templates();
+        group.bench_function(BenchmarkId::new("characterize_app", def.name), |b| {
+            b.iter(|| {
+                black_box(characterize_app(
+                    &updates,
+                    &queries,
+                    &catalog,
+                    AnalysisOptions::default(),
+                ))
+            })
+        });
+        let matrix = characterize_app(&updates, &queries, &catalog, AnalysisOptions::default());
+        let policy = SensitivityPolicy::new(def.sensitive_attrs.iter().cloned());
+        let initial = compulsory_exposures(&updates, &queries, &catalog, &policy);
+        group.bench_function(BenchmarkId::new("greedy_reduce", def.name), |b| {
+            b.iter(|| black_box(reduce_exposures(&matrix, &initial)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_characterize);
+criterion_main!(benches);

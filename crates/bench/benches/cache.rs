@@ -1,0 +1,83 @@
+//! Microbenchmarks: DSSP result-cache operations — store, hit lookup,
+//! miss lookup — at each exposure level (encryption key mechanics
+//! included).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scs_core::ExposureLevel;
+use scs_crypto::Encryptor;
+use scs_dssp::ResultCache;
+use scs_sqlkit::{parse_query, Query, Value};
+use scs_storage::QueryResult;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn query(tid: usize, param: i64) -> Query {
+    thread_local! {
+        static TPL: Arc<scs_sqlkit::QueryTemplate> =
+            Arc::new(parse_query("SELECT a, b FROM t WHERE k = ?").unwrap());
+    }
+    TPL.with(|t| Query::bind(tid, t.clone(), vec![Value::Int(param)]).unwrap())
+}
+
+fn result(rows: usize) -> QueryResult {
+    QueryResult::new(
+        vec!["t.a".into(), "t.b".into()],
+        (0..rows)
+            .map(|i| vec![Value::Int(i as i64), Value::Str(format!("payload-{i}"))])
+            .collect(),
+    )
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("result_cache");
+    for level in [
+        ExposureLevel::View,
+        ExposureLevel::Template,
+        ExposureLevel::Blind,
+    ] {
+        group.bench_function(BenchmarkId::new("store", level.as_str()), |b| {
+            let r = result(20);
+            b.iter_batched(
+                || ResultCache::new(Encryptor::for_app("bench")),
+                |mut cache| {
+                    for p in 0..100 {
+                        black_box(cache.store(&query(0, p), r.clone(), level));
+                    }
+                    cache
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    let mut warm = ResultCache::new(Encryptor::for_app("bench"));
+    for p in 0..1000 {
+        warm.store(&query(0, p), result(20), ExposureLevel::View);
+    }
+    group.bench_function("lookup_hit", |b| {
+        let mut p = 0i64;
+        b.iter(|| {
+            p = (p + 7) % 1000;
+            black_box(warm.lookup(&query(0, p)).is_some())
+        })
+    });
+    group.bench_function("lookup_miss", |b| {
+        b.iter(|| black_box(warm.lookup(&query(0, 5_000)).is_none()))
+    });
+    group.bench_function("invalidate_scan_1000", |b| {
+        b.iter_batched(
+            || {
+                let mut c = ResultCache::new(Encryptor::for_app("bench"));
+                for p in 0..1000 {
+                    c.store(&query(0, p), result(5), ExposureLevel::View);
+                }
+                c
+            },
+            |mut cache| black_box(cache.invalidate_where(|e| e.key().params[0] == Value::Int(7))),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

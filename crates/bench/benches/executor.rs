@@ -1,0 +1,105 @@
+//! Microbenchmarks: the home-server SPJ executor on the populated
+//! bookstore — point lookups, joins, top-k scans, and grouped aggregation
+//! (the per-query home CPU that the simulation's `home_cpu_query` models).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scs_apps::BenchApp;
+use scs_sqlkit::{parse_query, Query, Value};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_executor(c: &mut Criterion) {
+    let (db, _) = BenchApp::Bookstore.build_database(1);
+    let mut group = c.benchmark_group("executor");
+
+    let cases: &[(&str, &str, Vec<Value>)] = &[
+        (
+            "pk_lookup",
+            "SELECT i_title, i_cost FROM item WHERE i_id = ?",
+            vec![Value::Int(42)],
+        ),
+        (
+            "indexed_scan_order_by",
+            "SELECT i_id, i_title FROM item WHERE i_subject = ? ORDER BY i_title LIMIT 50",
+            vec![Value::str("history")],
+        ),
+        (
+            "equality_join",
+            "SELECT item.i_id, item.i_title FROM item, author \
+             WHERE item.i_a_id = author.a_id AND author.a_lname = ? LIMIT 50",
+            vec![Value::str("lee")],
+        ),
+        (
+            "range_topk",
+            "SELECT i_id, i_title, i_cost FROM item WHERE i_stock >= ? \
+             ORDER BY i_cost LIMIT 20",
+            vec![Value::Int(5)],
+        ),
+        (
+            "group_by_join",
+            "SELECT order_line.ol_i_id, SUM(order_line.ol_qty) FROM order_line, orders \
+             WHERE order_line.ol_o_id = orders.o_id AND orders.o_date >= ? \
+             GROUP BY order_line.ol_i_id",
+            vec![Value::Int(3)],
+        ),
+        (
+            "scalar_aggregate",
+            "SELECT COUNT(*) FROM orders WHERE o_c_id = ?",
+            vec![Value::Int(12)],
+        ),
+    ];
+
+    for (name, sql, params) in cases {
+        let q = Query::bind(0, Arc::new(parse_query(sql).unwrap()), params.clone()).unwrap();
+        group.bench_function(*name, |b| b.iter(|| black_box(db.execute(&q).unwrap())));
+    }
+    group.finish();
+    drop(db);
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_apply");
+    group.bench_function("modify_by_pk", |b| {
+        let (mut db, _) = BenchApp::Bookstore.build_database(2);
+        let u = scs_sqlkit::Update::bind(
+            0,
+            Arc::new(
+                scs_sqlkit::parse_update("UPDATE item SET i_stock = ? WHERE i_id = ?").unwrap(),
+            ),
+            vec![Value::Int(9), Value::Int(77)],
+        )
+        .unwrap();
+        b.iter(|| black_box(db.apply(&u).unwrap()))
+    });
+    group.bench_function("insert_with_fk_checks", |b| {
+        let (mut db, _) = BenchApp::Bookstore.build_database(3);
+        let tpl = Arc::new(
+            scs_sqlkit::parse_update(
+                "INSERT INTO order_line (ol_id, ol_o_id, ol_i_id, ol_qty, ol_discount) \
+                 VALUES (?, ?, ?, ?, ?)",
+            )
+            .unwrap(),
+        );
+        let mut next = 1_000_000i64;
+        b.iter(|| {
+            next += 1;
+            let u = scs_sqlkit::Update::bind(
+                0,
+                tpl.clone(),
+                vec![
+                    Value::Int(next),
+                    Value::Int(100),
+                    Value::Int(50),
+                    Value::Int(1),
+                    Value::Int(0),
+                ],
+            )
+            .unwrap();
+            black_box(db.apply(&u).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_executor, bench_updates);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Microbenchmarks: per-update invalidation cost of the four strategy
+//! classes over a warm cache (the DSSP-side CPU cost that the simulation's
+//! `dssp_cpu_per_scan` models).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scs_apps::{analysis_matrix, BenchApp, ParamGen};
+use scs_dssp::{Dssp, DsspConfig, HomeServer, StrategyKind};
+use scs_sqlkit::{Query, Update};
+use std::hint::black_box;
+
+/// Builds a DSSP with `entries` cached bookstore query results and a batch
+/// of pre-bound updates.
+fn warm_dssp(kind: StrategyKind, entries: usize, seed: u64) -> (Dssp, HomeServer, Vec<Update>) {
+    let app = BenchApp::Bookstore;
+    let def = app.def();
+    let (db, ids) = app.build_database(seed);
+    let mut home = HomeServer::new(db);
+    let matrix = analysis_matrix(&def);
+    let mut dssp = Dssp::new(DsspConfig {
+        app_id: "bench".into(),
+        exposures: kind.exposures(def.updates.len(), def.queries.len()),
+        matrix,
+        cache_capacity: None,
+    });
+    let mut rng = rand::SeedableRng::seed_from_u64(seed);
+    let mut gen = ParamGen::new(ids, app.zipf_exponent());
+    let mut stored = 0;
+    let mut guard = 0;
+    while stored < entries && guard < entries * 20 {
+        guard += 1;
+        let tid = guard % def.queries.len();
+        let params = gen.bind_all(&def.queries[tid].params, &mut rng);
+        let q = Query::bind(tid, def.queries[tid].template.clone(), params).unwrap();
+        let before = dssp.cache_len();
+        dssp.execute_query(&q, &mut home).unwrap();
+        if dssp.cache_len() > before {
+            stored += 1;
+        }
+    }
+    let updates: Vec<Update> = (0..64)
+        .map(|i| {
+            let tid = i % def.updates.len();
+            let params = gen.bind_all(&def.updates[tid].params, &mut rng);
+            Update::bind(tid, def.updates[tid].template.clone(), params).unwrap()
+        })
+        .collect();
+    (dssp, home, updates)
+}
+
+fn bench_invalidation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("invalidation_pass");
+    group.sample_size(20);
+    for kind in StrategyKind::ALL {
+        group.bench_function(
+            BenchmarkId::new("64_updates_500_entries", kind.name()),
+            |b| {
+                // Rebuild per batch: updates mutate cache and master data.
+                b.iter_batched(
+                    || warm_dssp(kind, 500, 42),
+                    |(mut dssp, mut home, updates)| {
+                        for u in &updates {
+                            let _ = black_box(dssp.execute_update(u, &mut home));
+                        }
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_invalidation);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Prints the full per-pair provenance of the static analysis for one
+//! application — the §4 reasoning behind every IPM entry, in the form an
+//! administrator would consult during Step 3 of the methodology.
+//!
+//! Run: `cargo run -p scs-bench --bin explain_app [auction|bboard|bookstore] [--all]`
+//! (default: bookstore; without `--all`, ignorable pairs are summarized.)
+
+use scs_apps::BenchApp;
+use scs_core::{explain_pair, AReason, AnalysisOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let app = match args.first().map(String::as_str) {
+        Some("auction") => BenchApp::Auction,
+        Some("bboard") => BenchApp::Bboard,
+        _ => BenchApp::Bookstore,
+    };
+    let show_all = args.iter().any(|a| a == "--all");
+
+    let def = app.def();
+    let catalog = def.catalog();
+    println!(
+        "Static-analysis provenance for `{}` ({} update × {} query templates)\n",
+        def.name,
+        def.updates.len(),
+        def.queries.len()
+    );
+
+    let mut ignorable = 0usize;
+    for (i, u) in def.updates.iter().enumerate() {
+        for (j, q) in def.queries.iter().enumerate() {
+            let e = explain_pair(&u.template, &q.template, &catalog, AnalysisOptions::default());
+            let is_zero = matches!(
+                e.a,
+                AReason::Ignorable | AReason::InsertionBlockedByConstraints
+            );
+            if is_zero && !show_all {
+                ignorable += 1;
+                continue;
+            }
+            println!("[{:>2},{:>2}] {} / {}", i, j, u.name, q.name);
+            println!("        {}", e.render());
+        }
+    }
+    if !show_all {
+        println!(
+            "\n({ignorable} ignorable pairs suppressed — rerun with --all to see them)"
+        );
+    }
+}

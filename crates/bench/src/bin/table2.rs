@@ -1,0 +1,92 @@
+//! Reproduces **Table 2** of the paper: which cached query results the
+//! DSSP must invalidate on seeing the update `U1(5)` = `DELETE FROM toys
+//! WHERE toy_id = 5`, as a function of the information it can access.
+//!
+//! Run: `cargo run -p scs-bench --bin table2`
+
+use scs_apps::toystore;
+use scs_bench::TextTable;
+
+use scs_dssp::{Dssp, DsspConfig, HomeServer, StrategyKind};
+use scs_sqlkit::{Query, Update, Value};
+use scs_storage::Database;
+
+fn main() {
+    let app = toystore::simple_toystore();
+    let matrix = scs_apps::analysis_matrix(&app);
+
+    // The cached instances we inspect, labeled as in the paper's
+    // discussion: all of Q1, two instances of Q2, one of Q3.
+    let instances: Vec<(&str, usize, Vec<Value>)> = vec![
+        ("Q1('bear')", 0, vec![Value::str("bear")]),
+        ("Q1('car')", 0, vec![Value::str("car")]),
+        ("Q2(5)", 1, vec![Value::Int(5)]),
+        ("Q2(7)", 1, vec![Value::Int(7)]),
+        ("Q3(1)", 2, vec![Value::Int(1)]),
+    ];
+
+    let mut table = TextTable::new(&["Accessible information", "Invalidated on U1(5)"]);
+
+    for kind in [
+        StrategyKind::Blind,
+        StrategyKind::TemplateInspection,
+        StrategyKind::StatementInspection,
+        StrategyKind::ViewInspection,
+    ] {
+        let invalidated = run_scenario(&app, &matrix, kind, &instances);
+        let label = match kind {
+            StrategyKind::Blind => "none (all encrypted)",
+            StrategyKind::TemplateInspection => "templates",
+            StrategyKind::StatementInspection => "templates + parameters",
+            StrategyKind::ViewInspection => "templates + parameters + results",
+        };
+        table.row(&[label.to_string(), invalidated.join(", ")]);
+    }
+
+    println!("Table 2 — invalidations for U1(5) = DELETE FROM toys WHERE toy_id = 5");
+    println!("(simple-toystore; cached: Q1 x2, Q2(5), Q2(7), Q3(1))\n");
+    print!("{}", table.render());
+    println!("\nPaper's rows: all / all Q1 + all Q2 / all Q1 + Q2 if toy_id=5 /");
+    println!("Q1 if toy_id=5 + Q2 if toy_id=5.");
+}
+
+fn run_scenario(
+    app: &scs_apps::AppDef,
+    matrix: &scs_core::IpmMatrix,
+    kind: StrategyKind,
+    instances: &[(&str, usize, Vec<Value>)],
+) -> Vec<String> {
+    let mut db = Database::new();
+    for s in &app.schemas {
+        db.create_table(s.clone()).expect("static schema");
+    }
+    let mut rng = rand::SeedableRng::seed_from_u64(1);
+    toystore::populate(&mut db, 20, 10, &mut rng);
+    let mut home = HomeServer::new(db);
+    let mut dssp = Dssp::new(DsspConfig {
+        app_id: "simple-toystore".into(),
+        exposures: kind.exposures(app.updates.len(), app.queries.len()),
+        matrix: matrix.clone(),
+        cache_capacity: None,
+    });
+
+    // Warm the cache with every instance.
+    for (_, tid, params) in instances {
+        let q =
+            Query::bind(*tid, app.queries[*tid].template.clone(), params.clone()).expect("arity");
+        dssp.execute_query(&q, &mut home).expect("valid query");
+    }
+    // Apply U1(5) and observe which entries survive.
+    let u = Update::bind(0, app.updates[0].template.clone(), vec![Value::Int(5)]).expect("arity");
+    dssp.execute_update(&u, &mut home).expect("valid update");
+
+    instances
+        .iter()
+        .filter(|(_, tid, params)| {
+            !dssp
+                .cache_entries()
+                .any(|e| e.key().template_id == *tid && &e.key().params == params)
+        })
+        .map(|(name, _, _)| name.to_string())
+        .collect()
+}

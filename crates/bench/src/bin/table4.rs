@@ -1,0 +1,51 @@
+//! Reproduces **Table 4** of the paper: the IPM characterization of the
+//! extended toystore application (Table 3).
+//!
+//! Run: `cargo run -p scs-bench --bin table4`
+
+use scs_apps::toystore;
+use scs_bench::TextTable;
+use scs_core::{AValue, IpmEntry};
+
+fn main() {
+    let app = toystore::toystore();
+    let matrix = scs_apps::analysis_matrix(&app);
+
+    let mut table = TextTable::new(&["", "Q1", "Q2", "Q3"]);
+    for (i, u) in app.updates.iter().enumerate() {
+        let cells: Vec<String> = (0..app.queries.len())
+            .map(|j| describe(matrix.entry(i, j), i + 1, j + 1))
+            .collect();
+        table.row(&[
+            format!("U{} ({})", i + 1, u.name),
+            cells[0].clone(),
+            cells[1].clone(),
+            cells[2].clone(),
+        ]);
+    }
+    println!("Table 4 — IPM characterization of the toystore application\n");
+    print!("{}", table.render());
+    println!("\nPaper: A11=1 B11=A11 C11<B11 | A12=1 B12<A12 C12=B12 | A13=0");
+    println!("       A21=0              | A22=0              | A23=1 B23<A23 C23=B23");
+}
+
+fn describe(e: IpmEntry, i: usize, j: usize) -> String {
+    if e.all_zero() {
+        return format!("A{i}{j}=0");
+    }
+    let a = match e.a {
+        AValue::Zero => unreachable!(),
+        AValue::One => format!("A{i}{j}=1"),
+    };
+    let b = if e.b_eq_a {
+        format!("B{i}{j}=A{i}{j}")
+    } else {
+        format!("B{i}{j}<A{i}{j}")
+    };
+    let c = if e.c_eq_b {
+        format!("C{i}{j}=B{i}{j}")
+    } else {
+        format!("C{i}{j}<B{i}{j}")
+    };
+    format!("{a} {b} {c}")
+}

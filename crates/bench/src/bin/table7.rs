@@ -1,0 +1,64 @@
+//! Reproduces **Table 7** of the paper: IPM characterization counts for
+//! the three benchmark applications — the number of update/query template
+//! pairs with `A = B = C = 0`, and the `A = 1` pairs split by whether
+//! `B = A` and `C = B` hold.
+//!
+//! Run: `cargo run -p scs-bench --bin table7`
+
+use scs_apps::BenchApp;
+use scs_bench::TextTable;
+
+fn main() {
+    let mut table = TextTable::new(&[
+        "Application",
+        "pairs",
+        "A=B=C=0",
+        "A=1,B<A,C=B",
+        "A=1,B<A,C<B",
+        "A=1,B=A,C=B",
+        "A=1,B=A,C<B",
+    ]);
+
+    for app in BenchApp::ALL {
+        let def = app.def();
+        let matrix = scs_apps::analysis_matrix(&def);
+        let t = matrix.tally();
+        table.row(&[
+            format!(
+                "{} ({}U x {}Q)",
+                def.name,
+                def.updates.len(),
+                def.queries.len()
+            ),
+            t.total().to_string(),
+            t.a_zero.to_string(),
+            t.b_lt_a_c_eq_b.to_string(),
+            t.b_lt_a_c_lt_b.to_string(),
+            t.b_eq_a_c_eq_b.to_string(),
+            t.b_eq_a_c_lt_b.to_string(),
+        ]);
+    }
+
+    println!("Table 7 — IPM characterization results for the three applications\n");
+    print!("{}", table.render());
+    println!();
+    println!("Paper's claim to verify: for each application the majority of pairs");
+    println!("have A = B = C = 0, and among the A = 1 pairs the equalities B = A");
+    println!("and/or C = B hold for the majority.");
+
+    for app in BenchApp::ALL {
+        let def = app.def();
+        let matrix = scs_apps::analysis_matrix(&def);
+        let t = matrix.tally();
+        let zero_frac = t.a_zero as f64 / t.total() as f64;
+        let a1 = t.total() - t.a_zero;
+        let eq = t.b_lt_a_c_eq_b + t.b_eq_a_c_eq_b + t.b_eq_a_c_lt_b;
+        println!(
+            "  {}: {:.0}% of pairs ignorable; {}/{} of A=1 pairs have B=A and/or C=B",
+            def.name,
+            zero_frac * 100.0,
+            eq,
+            a1
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! # scs-bench — experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (see
+//! `DESIGN.md`'s per-experiment index):
+//!
+//! | binary        | reproduces |
+//! |---------------|------------|
+//! | `table2`      | Table 2 — toystore invalidations by information level |
+//! | `table4`      | Table 4 — toystore IPM characterization |
+//! | `table7`      | Table 7 — IPM characterization counts, three apps |
+//! | `fig3`        | Figure 3 — bookstore security–scalability tradeoff |
+//! | `fig7`        | Figure 7 — exposure levels before/after static analysis |
+//! | `fig8`        | Figure 8 — scalability vs. invalidation strategy |
+//! | `ablation_ic` | extension — §4.5 integrity constraints on/off |
+//!
+//! Criterion microbenchmarks live under `benches/`.
+
+use scs_core::ExposureLevel;
+
+/// Renders a simple fixed-width text table.
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    pub fn new(header: &[&str]) -> TextTable {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&line(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Parses `--quick` / `--full` fidelity flags (quick is the default so the
+/// experiments finish in minutes; `--full` matches the paper's 10-minute
+/// trials).
+pub fn fidelity_from_args() -> scs_apps::Fidelity {
+    if std::env::args().any(|a| a == "--full") {
+        scs_apps::Fidelity::full()
+    } else {
+        scs_apps::Fidelity::quick()
+    }
+}
+
+/// An ASCII sparkline of exposure levels (Figure-7 style):
+/// `b` = blind, `t` = template, `s` = stmt, `v` = view.
+pub fn exposure_strip(levels: &[ExposureLevel]) -> String {
+    levels
+        .iter()
+        .map(|e| match e {
+            ExposureLevel::Blind => 'b',
+            ExposureLevel::Template => 't',
+            ExposureLevel::Stmt => 's',
+            ExposureLevel::View => 'v',
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["longer".into(), "22".into()]);
+        let s = t.render();
+        assert!(s.contains("name"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn table_checks_columns() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["only one".into()]);
+    }
+
+    #[test]
+    fn strip_renders_levels() {
+        use ExposureLevel::*;
+        assert_eq!(exposure_strip(&[Blind, Template, Stmt, View]), "btsv");
+    }
+}

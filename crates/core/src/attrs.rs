@@ -1,0 +1,286 @@
+//! Template attribute sets (Table 5 of the paper):
+//!
+//! * `S(U^T)` — attributes in any selection predicate of the update,
+//! * `M(U^T)` — attributes modified by the update,
+//! * `S(Q^T)` — attributes in selection predicates or order-by constructs,
+//! * `P(Q^T)` — attributes retained in the query result.
+//!
+//! Attributes are *base-table qualified* (aliases resolved), since
+//! ignorability and result-unhelpfulness compare attributes of relations,
+//! not of aliases.
+//!
+//! Extensions beyond the paper's core model, chosen to stay sound for the
+//! aggregation/`GROUP BY` templates of §5.1:
+//!
+//! * aggregate argument attributes count as **retained** (`P`): the result
+//!   is derived from them, so an update touching them can change the result
+//!   (making them invisible to `P` would wrongly classify such pairs as
+//!   ignorable), and the materialized aggregate genuinely aids
+//!   view-inspection (the paper's `MAX(qty)` example);
+//! * `GROUP BY` attributes count as selection attributes (`S`): they
+//!   determine result grouping exactly like an equality self-predicate.
+
+use crate::catalog::Catalog;
+use scs_sqlkit::{ColumnRef, Operand, Predicate, QueryTemplate, SelectItem, UpdateTemplate};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A base-table-qualified attribute.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Attr {
+    pub table: String,
+    pub column: String,
+}
+
+impl Attr {
+    pub fn new(table: impl Into<String>, column: impl Into<String>) -> Attr {
+        Attr {
+            table: table.into(),
+            column: column.into(),
+        }
+    }
+}
+
+impl fmt::Display for Attr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.table, self.column)
+    }
+}
+
+/// An ordered set of attributes.
+pub type AttrSet = BTreeSet<Attr>;
+
+/// Returns true when `a` and `b` share no attribute.
+pub fn disjoint(a: &AttrSet, b: &AttrSet) -> bool {
+    a.intersection(b).next().is_none()
+}
+
+/// Resolves a query column reference (alias-qualified) to a base attribute.
+fn resolve(q: &QueryTemplate, c: &ColumnRef) -> Attr {
+    let table = q
+        .table_of_alias(&c.qualifier)
+        .unwrap_or(c.qualifier.as_str())
+        .to_string();
+    Attr {
+        table,
+        column: c.column.clone(),
+    }
+}
+
+/// `S(Q^T)`: attributes used in selection predicates, order-by constructs,
+/// or (extension) `GROUP BY`.
+pub fn query_selection_attrs(q: &QueryTemplate) -> AttrSet {
+    let mut s = AttrSet::new();
+    for p in &q.predicates {
+        for op in [&p.lhs, &p.rhs] {
+            if let Operand::Column(c) = op {
+                s.insert(resolve(q, c));
+            }
+        }
+    }
+    for k in &q.order_by {
+        s.insert(resolve(q, &k.column));
+    }
+    for c in &q.group_by {
+        s.insert(resolve(q, c));
+    }
+    s
+}
+
+/// `P(Q^T)`: attributes retained in the result — plainly selected columns
+/// plus (extension) aggregate arguments.
+pub fn query_preserved_attrs(q: &QueryTemplate) -> AttrSet {
+    let mut p = AttrSet::new();
+    for item in &q.select {
+        match item {
+            SelectItem::Column(c) => {
+                p.insert(resolve(q, c));
+            }
+            SelectItem::Aggregate { arg: Some(c), .. } => {
+                p.insert(resolve(q, c));
+            }
+            SelectItem::Aggregate { arg: None, .. } => {}
+        }
+    }
+    p
+}
+
+/// `S(U^T)`: attributes used in the update's selection predicates (empty
+/// for insertions).
+pub fn update_selection_attrs(u: &UpdateTemplate) -> AttrSet {
+    let table = u.table();
+    let mut s = AttrSet::new();
+    for p in u.predicates() {
+        for op in predicate_columns(p) {
+            s.insert(Attr::new(table, op.column.clone()));
+        }
+    }
+    s
+}
+
+/// `M(U^T)`: attributes modified by the update. For insertions and
+/// deletions this is *all* attributes of the target relation (Table 5);
+/// for modifications, the SET columns.
+pub fn update_modified_attrs(u: &UpdateTemplate, catalog: &Catalog) -> AttrSet {
+    match u {
+        UpdateTemplate::Insert(_) | UpdateTemplate::Delete(_) => {
+            let table = u.table();
+            match catalog.table(table) {
+                Some(schema) => schema
+                    .columns
+                    .iter()
+                    .map(|c| Attr::new(table, c.name.clone()))
+                    .collect(),
+                // Unknown table: be conservative — claim nothing is known,
+                // callers treat missing schema as "modifies everything" via
+                // the assumption checker, so an empty set never reaches
+                // ignorability decisions.
+                None => AttrSet::new(),
+            }
+        }
+        UpdateTemplate::Modify(m) => m
+            .set
+            .iter()
+            .map(|(col, _)| Attr::new(m.table.clone(), col.clone()))
+            .collect(),
+    }
+}
+
+fn predicate_columns(p: &Predicate) -> impl Iterator<Item = &ColumnRef> {
+    [&p.lhs, &p.rhs].into_iter().filter_map(|o| o.as_column())
+}
+
+/// Convenience bundle of a query template's attribute sets.
+#[derive(Debug, Clone)]
+pub struct QueryAttrs {
+    pub selection: AttrSet,
+    pub preserved: AttrSet,
+}
+
+impl QueryAttrs {
+    pub fn of(q: &QueryTemplate) -> QueryAttrs {
+        QueryAttrs {
+            selection: query_selection_attrs(q),
+            preserved: query_preserved_attrs(q),
+        }
+    }
+}
+
+/// Convenience bundle of an update template's attribute sets.
+#[derive(Debug, Clone)]
+pub struct UpdateAttrs {
+    pub selection: AttrSet,
+    pub modified: AttrSet,
+}
+
+impl UpdateAttrs {
+    pub fn of(u: &UpdateTemplate, catalog: &Catalog) -> UpdateAttrs {
+        UpdateAttrs {
+            selection: update_selection_attrs(u),
+            modified: update_modified_attrs(u, catalog),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scs_sqlkit::{parse_query, parse_update};
+    use scs_storage::{ColumnType, TableSchema};
+
+    fn toystore_catalog() -> Catalog {
+        Catalog::new([
+            TableSchema::builder("toys")
+                .column("toy_id", ColumnType::Int)
+                .column("toy_name", ColumnType::Str)
+                .column("qty", ColumnType::Int)
+                .primary_key(&["toy_id"])
+                .build()
+                .unwrap(),
+            TableSchema::builder("customers")
+                .column("cust_id", ColumnType::Int)
+                .column("cust_name", ColumnType::Str)
+                .primary_key(&["cust_id"])
+                .build()
+                .unwrap(),
+        ])
+    }
+
+    fn attrs(pairs: &[(&str, &str)]) -> AttrSet {
+        pairs.iter().map(|(t, c)| Attr::new(*t, *c)).collect()
+    }
+
+    #[test]
+    fn toystore_q1_attrs() {
+        // Q1: SELECT toy_id FROM toys WHERE toy_name = ?  (paper §4.1)
+        let q = parse_query("SELECT toy_id FROM toys WHERE toy_name = ?").unwrap();
+        assert_eq!(query_selection_attrs(&q), attrs(&[("toys", "toy_name")]));
+        assert_eq!(query_preserved_attrs(&q), attrs(&[("toys", "toy_id")]));
+    }
+
+    #[test]
+    fn toystore_u1_attrs() {
+        // U1: DELETE FROM toys WHERE toy_id = ?  (paper §4.1)
+        let u = parse_update("DELETE FROM toys WHERE toy_id = ?").unwrap();
+        let c = toystore_catalog();
+        assert_eq!(update_selection_attrs(&u), attrs(&[("toys", "toy_id")]));
+        assert_eq!(
+            update_modified_attrs(&u, &c),
+            attrs(&[("toys", "toy_id"), ("toys", "toy_name"), ("toys", "qty")])
+        );
+    }
+
+    #[test]
+    fn insert_has_empty_selection_and_full_modified() {
+        let u = parse_update("INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)").unwrap();
+        let c = toystore_catalog();
+        assert!(update_selection_attrs(&u).is_empty());
+        assert_eq!(update_modified_attrs(&u, &c).len(), 3);
+    }
+
+    #[test]
+    fn modify_modified_is_set_columns() {
+        let u = parse_update("UPDATE toys SET qty = ? WHERE toy_id = ?").unwrap();
+        let c = toystore_catalog();
+        assert_eq!(update_modified_attrs(&u, &c), attrs(&[("toys", "qty")]));
+        assert_eq!(update_selection_attrs(&u), attrs(&[("toys", "toy_id")]));
+    }
+
+    #[test]
+    fn aliases_resolve_to_base_tables() {
+        let q =
+            parse_query("SELECT t1.toy_id FROM toys t1, toys t2 WHERE t1.qty > t2.qty").unwrap();
+        assert_eq!(query_selection_attrs(&q), attrs(&[("toys", "qty")]));
+        assert_eq!(query_preserved_attrs(&q), attrs(&[("toys", "toy_id")]));
+    }
+
+    #[test]
+    fn order_by_attrs_are_selection_attrs() {
+        let q = parse_query("SELECT toy_id FROM toys ORDER BY qty DESC LIMIT 1").unwrap();
+        assert!(query_selection_attrs(&q).contains(&Attr::new("toys", "qty")));
+    }
+
+    #[test]
+    fn aggregate_args_are_preserved() {
+        let q = parse_query("SELECT MAX(qty) FROM toys").unwrap();
+        assert_eq!(query_preserved_attrs(&q), attrs(&[("toys", "qty")]));
+        let q = parse_query("SELECT COUNT(*) FROM toys").unwrap();
+        assert!(query_preserved_attrs(&q).is_empty());
+    }
+
+    #[test]
+    fn group_by_attrs_are_selection_attrs() {
+        let q = parse_query("SELECT toy_name, COUNT(*) FROM toys GROUP BY toy_name").unwrap();
+        assert!(query_selection_attrs(&q).contains(&Attr::new("toys", "toy_name")));
+        assert!(query_preserved_attrs(&q).contains(&Attr::new("toys", "toy_name")));
+    }
+
+    #[test]
+    fn disjointness() {
+        let a = attrs(&[("t", "a"), ("t", "b")]);
+        let b = attrs(&[("t", "c")]);
+        let c = attrs(&[("t", "b")]);
+        assert!(disjoint(&a, &b));
+        assert!(!disjoint(&a, &c));
+    }
+}

@@ -1,0 +1,170 @@
+//! Query/update classification (Table 6 of the paper):
+//!
+//! * `Q^T ∈ E` — queries with only equality joins (or no joins),
+//! * `Q^T ∈ N` — queries with no top-k construct,
+//! * `U^T ∈ I / D / M` — insertions / deletions / modifications,
+//! * `⟨U^T, Q^T⟩ ∈ G` — the update is *ignorable* for the query:
+//!   `M(U^T) ∩ (P(Q^T) ∪ S(Q^T)) = ∅`,
+//! * `⟨U^T, Q^T⟩ ∈ H` — the query is *result-unhelpful* for the update:
+//!   `S(U^T) ∩ P(Q^T) = ∅`.
+
+use crate::attrs::{disjoint, QueryAttrs, UpdateAttrs};
+use scs_sqlkit::{CmpOp, QueryTemplate, UpdateTemplate};
+
+/// The three update classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateClass {
+    Insertion,
+    Deletion,
+    Modification,
+}
+
+/// Classifies an update template.
+pub fn update_class(u: &UpdateTemplate) -> UpdateClass {
+    match u {
+        UpdateTemplate::Insert(_) => UpdateClass::Insertion,
+        UpdateTemplate::Delete(_) => UpdateClass::Deletion,
+        UpdateTemplate::Modify(_) => UpdateClass::Modification,
+    }
+}
+
+/// `Q^T ∈ E`: every join predicate uses equality.
+pub fn has_only_equality_joins(q: &QueryTemplate) -> bool {
+    q.predicates
+        .iter()
+        .filter(|p| p.is_join())
+        .all(|p| p.op == CmpOp::Eq)
+}
+
+/// `Q^T ∈ N`: no top-k construct.
+pub fn has_no_top_k(q: &QueryTemplate) -> bool {
+    !q.has_top_k()
+}
+
+/// `⟨U^T, Q^T⟩ ∈ G` — *ignorable*: no attribute modified by the update is
+/// preserved by the query or used in its selection predicate, so no
+/// instance of the update can ever affect the result of any instance of
+/// the query (§4.1, following Quass et al.).
+pub fn is_ignorable(u: &UpdateAttrs, q: &QueryAttrs) -> bool {
+    disjoint(&u.modified, &q.preserved) && disjoint(&u.modified, &q.selection)
+}
+
+/// `⟨U^T, Q^T⟩ ∈ H` — *result-unhelpful*: none of the update's selection
+/// attributes are preserved by the query, so the cached result carries no
+/// information that could refine invalidation decisions (§4.1).
+pub fn is_result_unhelpful(u: &UpdateAttrs, q: &QueryAttrs) -> bool {
+    disjoint(&u.selection, &q.preserved)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use scs_sqlkit::{parse_query, parse_update};
+    use scs_storage::{ColumnType, TableSchema};
+
+    fn catalog() -> Catalog {
+        Catalog::new([
+            TableSchema::builder("toys")
+                .column("toy_id", ColumnType::Int)
+                .column("toy_name", ColumnType::Str)
+                .column("qty", ColumnType::Int)
+                .primary_key(&["toy_id"])
+                .build()
+                .unwrap(),
+            TableSchema::builder("customers")
+                .column("cust_id", ColumnType::Int)
+                .column("cust_name", ColumnType::Str)
+                .primary_key(&["cust_id"])
+                .build()
+                .unwrap(),
+            TableSchema::builder("credit_card")
+                .column("cid", ColumnType::Int)
+                .column("number", ColumnType::Str)
+                .column("zip_code", ColumnType::Int)
+                .primary_key(&["cid"])
+                .foreign_key(&["cid"], "customers", &["cust_id"])
+                .build()
+                .unwrap(),
+        ])
+    }
+
+    #[test]
+    fn equality_join_class() {
+        let eq = parse_query(
+            "SELECT a.cust_name FROM customers a, credit_card b WHERE a.cust_id = b.cid",
+        )
+        .unwrap();
+        assert!(has_only_equality_joins(&eq));
+        let theta =
+            parse_query("SELECT t1.toy_id FROM toys t1, toys t2 WHERE t1.qty > t2.qty").unwrap();
+        assert!(!has_only_equality_joins(&theta));
+        let nojoin = parse_query("SELECT toy_id FROM toys WHERE qty > 5").unwrap();
+        assert!(has_only_equality_joins(&nojoin));
+    }
+
+    #[test]
+    fn top_k_class() {
+        let plain = parse_query("SELECT toy_id FROM toys").unwrap();
+        assert!(has_no_top_k(&plain));
+        let topk = parse_query("SELECT toy_id FROM toys ORDER BY qty LIMIT 3").unwrap();
+        assert!(!has_no_top_k(&topk));
+    }
+
+    /// Paper §4.1: in the toystore application (Table 3), update template
+    /// U1 (DELETE toys) is ignorable w.r.t. query template Q3 (customers ⋈
+    /// credit_card).
+    #[test]
+    fn toystore_u1_ignorable_for_q3() {
+        let c = catalog();
+        let u1 = UpdateAttrs::of(
+            &parse_update("DELETE FROM toys WHERE toy_id = ?").unwrap(),
+            &c,
+        );
+        let q3 = QueryAttrs::of(
+            &parse_query(
+                "SELECT customers.cust_name FROM customers, credit_card \
+                 WHERE customers.cust_id = credit_card.cid AND credit_card.zip_code = ?",
+            )
+            .unwrap(),
+        );
+        assert!(is_ignorable(&u1, &q3));
+        let q1 =
+            QueryAttrs::of(&parse_query("SELECT toy_id FROM toys WHERE toy_name = ?").unwrap());
+        assert!(!is_ignorable(&u1, &q1));
+    }
+
+    /// Paper §4.1: query template Q3 is result-unhelpful for update
+    /// template U2 (INSERT INTO credit_card).
+    #[test]
+    fn toystore_q3_result_unhelpful_for_u2() {
+        let c = catalog();
+        let u2 = UpdateAttrs::of(
+            &parse_update("INSERT INTO credit_card (cid, number, zip_code) VALUES (?, ?, ?)")
+                .unwrap(),
+            &c,
+        );
+        let q3 = QueryAttrs::of(
+            &parse_query(
+                "SELECT customers.cust_name FROM customers, credit_card \
+                 WHERE customers.cust_id = credit_card.cid AND credit_card.zip_code = ?",
+            )
+            .unwrap(),
+        );
+        // Insertions have S(U) = {} so every query is result-unhelpful.
+        assert!(is_result_unhelpful(&u2, &q3));
+
+        // A deletion selecting on toy_id versus a query preserving toy_id:
+        // the result IS helpful.
+        let u1 = UpdateAttrs::of(
+            &parse_update("DELETE FROM toys WHERE toy_id = ?").unwrap(),
+            &c,
+        );
+        let q1 =
+            QueryAttrs::of(&parse_query("SELECT toy_id FROM toys WHERE toy_name = ?").unwrap());
+        assert!(!is_result_unhelpful(&u1, &q1));
+        // ... versus one preserving only qty: unhelpful.
+        let q2 = QueryAttrs::of(&parse_query("SELECT qty FROM toys WHERE toy_id = ?").unwrap());
+        assert!(is_result_unhelpful(&u1, &q2));
+    }
+}

@@ -1,0 +1,309 @@
+//! Provenance for the IPM characterization: *why* does each relationship
+//! hold? Step 3 of the methodology asks an administrator to weigh the
+//! residual security–scalability decisions; these explanations give the
+//! reasoning the paper develops in §4 in human-readable form.
+
+use crate::assumptions::{check_query, check_update, Violation};
+use crate::attrs::{QueryAttrs, UpdateAttrs};
+use crate::catalog::Catalog;
+use crate::classes::{is_ignorable, update_class, UpdateClass};
+use crate::ipm::{characterize_pair, AnalysisOptions, AValue, IpmEntry};
+use scs_sqlkit::{QueryTemplate, UpdateTemplate};
+
+/// The reason behind a pair's `A` value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AReason {
+    /// `M(U) ∩ (P(Q) ∪ S(Q)) = ∅` — Lemma 1.
+    Ignorable,
+    /// §4.5 integrity constraints block every alias of the inserted
+    /// relation (primary-key equality or foreign-key join).
+    InsertionBlockedByConstraints,
+    /// Assumption violations force the conservative entry.
+    AssumptionViolation(Vec<Violation>),
+    /// Some instance can affect some instance — `A = 1` (§4.2).
+    Affects,
+}
+
+/// The reason behind the `B = A` / `B < A` determination (§4.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BReason {
+    /// Follows from `A = 0` (gradient).
+    FollowsFromAZero,
+    /// The update statement's revealed values have nothing to compare
+    /// against among the query's (join-closed) restricted attributes.
+    NoComparableAttributes,
+    /// Parameters can be compared — statement inspection may help.
+    ParametersComparable,
+    /// Conservative (assumption violation).
+    Conservative,
+}
+
+/// The reason behind the `C = B` / `C < B` determination (§4.4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CReason {
+    /// Follows from `A = 0`.
+    FollowsFromAZero,
+    /// Insertion into an equality-join, no-top-k SPJ query: the paper's
+    /// main §4.4 theorem.
+    InsertionEqJoinNoTopK,
+    /// Deletion with a result-unhelpful query (`S(U) ∩ P(Q) = ∅`).
+    DeletionResultUnhelpful,
+    /// Modification with an ignorable-or-result-unhelpful pair.
+    ModificationUnhelpful,
+    /// The cached view genuinely can refine decisions (or the model gives
+    /// no guarantee — aggregates, theta joins, top-k).
+    ViewMayHelp,
+    /// Conservative (assumption violation).
+    Conservative,
+}
+
+/// A fully explained characterization of one template pair.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    pub entry: IpmEntry,
+    pub a: AReason,
+    pub b: BReason,
+    pub c: CReason,
+}
+
+impl Explanation {
+    /// One-paragraph human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        match &self.a {
+            AReason::Ignorable => out.push_str(
+                "A = 0: the update modifies no attribute the query preserves or selects on \
+                 (ignorable, Lemma 1).",
+            ),
+            AReason::InsertionBlockedByConstraints => out.push_str(
+                "A = 0: every occurrence of the inserted relation in the query is blocked \
+                 by a primary-key equality or a foreign-key join (§4.5).",
+            ),
+            AReason::AssumptionViolation(vs) => {
+                out.push_str("conservative: the §2.1.1 assumptions fail (");
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str("; ");
+                    }
+                    out.push_str(&v.to_string());
+                }
+                out.push_str(") — no encryption recommended for this pair.");
+                return out;
+            }
+            AReason::Affects => out.push_str(
+                "A = 1: some instance of the update can affect some instance of the query, \
+                 so template inspection must invalidate every instance (§4.2).",
+            ),
+        }
+        match &self.b {
+            BReason::FollowsFromAZero => {}
+            BReason::NoComparableAttributes => out.push_str(
+                " B = A: the statement's parameters cannot be compared against any \
+                 restricted attribute of the query (§4.3) — exposing them buys nothing.",
+            ),
+            BReason::ParametersComparable => out.push_str(
+                " B < A possible: parameters of both statements meet on a common \
+                 attribute, so statement inspection can skip non-matching instances.",
+            ),
+            BReason::Conservative => {}
+        }
+        match &self.c {
+            CReason::FollowsFromAZero | CReason::Conservative => {}
+            CReason::InsertionEqJoinNoTopK => out.push_str(
+                " C = B: for insertions into equality-join queries without top-k, the \
+                 cached result cannot refine the decision (§4.4).",
+            ),
+            CReason::DeletionResultUnhelpful => out.push_str(
+                " C = B: the result preserves none of the deletion's selection \
+                 attributes, so inspecting it cannot help (§4.4).",
+            ),
+            CReason::ModificationUnhelpful => out.push_str(
+                " C = B: the result carries nothing that locates the modified row (§4.4).",
+            ),
+            CReason::ViewMayHelp => out.push_str(
+                " C < B possible: the cached result can rule out invalidations \
+                 (extremum/top-k/row-membership reasoning) — result exposure has value.",
+            ),
+        }
+        out
+    }
+}
+
+/// Explains the characterization of a template pair. The `entry` field is
+/// byte-identical to [`characterize_pair`]'s output (tested).
+pub fn explain_pair(
+    u: &UpdateTemplate,
+    q: &QueryTemplate,
+    catalog: &Catalog,
+    opts: AnalysisOptions,
+) -> Explanation {
+    let entry = characterize_pair(u, q, catalog, opts);
+    let violations: Vec<Violation> = check_update(u)
+        .into_iter()
+        .chain(check_query(q))
+        .collect();
+    if !violations.is_empty() {
+        return Explanation {
+            entry,
+            a: AReason::AssumptionViolation(violations),
+            b: BReason::Conservative,
+            c: CReason::Conservative,
+        };
+    }
+
+    let ua = UpdateAttrs::of(u, catalog);
+    let qa = QueryAttrs::of(q);
+    if entry.all_zero() {
+        let a = if is_ignorable(&ua, &qa) {
+            AReason::Ignorable
+        } else {
+            AReason::InsertionBlockedByConstraints
+        };
+        return Explanation {
+            entry,
+            a,
+            b: BReason::FollowsFromAZero,
+            c: CReason::FollowsFromAZero,
+        };
+    }
+
+    debug_assert_eq!(entry.a, AValue::One);
+    let b = if entry.b_eq_a {
+        BReason::NoComparableAttributes
+    } else {
+        BReason::ParametersComparable
+    };
+    let c = if entry.c_eq_b {
+        match update_class(u) {
+            UpdateClass::Insertion => CReason::InsertionEqJoinNoTopK,
+            UpdateClass::Deletion => CReason::DeletionResultUnhelpful,
+            UpdateClass::Modification => CReason::ModificationUnhelpful,
+        }
+    } else {
+        CReason::ViewMayHelp
+    };
+    Explanation { entry, a: AReason::Affects, b, c }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::disjoint;
+    use crate::classes::{has_no_top_k, has_only_equality_joins, is_result_unhelpful};
+    use scs_sqlkit::{parse_query, parse_update};
+    use scs_storage::{ColumnType, TableSchema};
+
+    fn catalog() -> Catalog {
+        Catalog::new([TableSchema::builder("toys")
+            .column("toy_id", ColumnType::Int)
+            .column("toy_name", ColumnType::Str)
+            .column("qty", ColumnType::Int)
+            .primary_key(&["toy_id"])
+            .build()
+            .unwrap()])
+    }
+
+    fn explain(us: &str, qs: &str) -> Explanation {
+        explain_pair(
+            &parse_update(us).unwrap(),
+            &parse_query(qs).unwrap(),
+            &catalog(),
+            AnalysisOptions::default(),
+        )
+    }
+
+    #[test]
+    fn explains_ignorable() {
+        let e = explain(
+            "UPDATE toys SET toy_name = ? WHERE toy_id = ?",
+            "SELECT qty FROM toys WHERE qty > ?",
+        );
+        assert_eq!(e.a, AReason::Ignorable);
+        assert!(e.render().contains("Lemma 1"));
+    }
+
+    #[test]
+    fn explains_pk_blocked_insertion() {
+        let e = explain(
+            "INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)",
+            "SELECT qty FROM toys WHERE toy_id = ?",
+        );
+        assert_eq!(e.a, AReason::InsertionBlockedByConstraints);
+        assert!(e.render().contains("§4.5"));
+    }
+
+    #[test]
+    fn explains_deletion_c_eq_b() {
+        let e = explain(
+            "DELETE FROM toys WHERE toy_id = ?",
+            "SELECT qty FROM toys WHERE toy_id = ?",
+        );
+        assert_eq!(e.a, AReason::Affects);
+        assert_eq!(e.b, BReason::ParametersComparable);
+        assert_eq!(e.c, CReason::DeletionResultUnhelpful);
+    }
+
+    #[test]
+    fn explains_view_helps() {
+        let e = explain(
+            "UPDATE toys SET qty = ? WHERE toy_id = ?",
+            "SELECT toy_id FROM toys WHERE qty > ?",
+        );
+        assert_eq!(e.c, CReason::ViewMayHelp);
+        assert!(e.render().contains("C < B possible"));
+    }
+
+    #[test]
+    fn explains_violation() {
+        let e = explain(
+            "DELETE FROM toys WHERE toy_id = ?",
+            "SELECT toy_id FROM toys WHERE qty > 100",
+        );
+        assert!(matches!(e.a, AReason::AssumptionViolation(_)));
+        assert!(e.render().contains("no encryption recommended"));
+    }
+
+    /// The explanation's entry always equals the characterizer's.
+    #[test]
+    fn explanation_agrees_with_characterizer() {
+        let cat = catalog();
+        let us = [
+            "DELETE FROM toys WHERE toy_id = ?",
+            "INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)",
+            "UPDATE toys SET qty = ? WHERE toy_id = ?",
+        ];
+        let qs = [
+            "SELECT toy_id FROM toys WHERE toy_name = ?",
+            "SELECT qty FROM toys WHERE toy_id = ?",
+            "SELECT MAX(qty) FROM toys",
+            "SELECT toy_id FROM toys WHERE qty > ? ORDER BY qty DESC LIMIT 3",
+        ];
+        for u in us {
+            for q in qs {
+                let ut = parse_update(u).unwrap();
+                let qt = parse_query(q).unwrap();
+                let opts = AnalysisOptions::default();
+                let e = explain_pair(&ut, &qt, &cat, opts);
+                assert_eq!(e.entry, characterize_pair(&ut, &qt, &cat, opts), "{u} / {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn uses_classification_helpers() {
+        // Exercise the remaining §4.4 branches for coverage.
+        let q = parse_query(
+            "SELECT t1.toy_id FROM toys t1, toys t2 WHERE t1.qty = t2.qty",
+        )
+        .unwrap();
+        assert!(has_only_equality_joins(&q));
+        assert!(has_no_top_k(&q));
+        let u = parse_update("DELETE FROM toys WHERE qty < ?").unwrap();
+        let ua = UpdateAttrs::of(&u, &catalog());
+        let qa = QueryAttrs::of(&q);
+        assert!(!disjoint(&ua.selection, &qa.selection));
+        // The deletion selects on qty; the query preserves only toy_id, so
+        // its result is unhelpful for this update.
+        assert!(is_result_unhelpful(&ua, &qa));
+    }
+}

@@ -1,0 +1,225 @@
+//! Exposure levels (§2.3) and the Figure-6 invalidation-probability
+//! lattice.
+//!
+//! An administrator chooses an exposure level per template:
+//!
+//! ```text
+//! blind < template < stmt            (update templates)
+//! blind < template < stmt < view    (query templates)
+//! ```
+//!
+//! Everything not exposed is encrypted. The chosen pair of levels selects
+//! the invalidation-probability cell of Figure 6:
+//!
+//! | U \ Q     | blind | template | stmt | view |
+//! |-----------|-------|----------|------|------|
+//! | blind     |   1   |    1     |  1   |  1   |
+//! | template  |   1   |    A     |  A   |  A   |
+//! | stmt      |   1   |    A     |  B   |  C   |
+//!
+//! (Property 1: blind ⇒ 1. Property 2: a single `A` value whenever one
+//! side is template and the other ≥ template. Property 3: gradient.)
+
+use crate::ipm::{AValue, IpmEntry};
+use std::fmt;
+
+/// An exposure level on the paper's security gradient (Figure 5). Order:
+/// `Blind < Template < Stmt < View` — *more* exposure, *less* encryption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ExposureLevel {
+    Blind,
+    Template,
+    Stmt,
+    View,
+}
+
+impl ExposureLevel {
+    /// All levels valid for query templates.
+    pub const QUERY_LEVELS: [ExposureLevel; 4] = [
+        ExposureLevel::Blind,
+        ExposureLevel::Template,
+        ExposureLevel::Stmt,
+        ExposureLevel::View,
+    ];
+
+    /// All levels valid for update templates (no `view`).
+    pub const UPDATE_LEVELS: [ExposureLevel; 3] = [
+        ExposureLevel::Blind,
+        ExposureLevel::Template,
+        ExposureLevel::Stmt,
+    ];
+
+    /// The next-lower exposure level (one step left in Figure 5).
+    pub fn lower(self) -> Option<ExposureLevel> {
+        match self {
+            ExposureLevel::Blind => None,
+            ExposureLevel::Template => Some(ExposureLevel::Blind),
+            ExposureLevel::Stmt => Some(ExposureLevel::Template),
+            ExposureLevel::View => Some(ExposureLevel::Stmt),
+        }
+    }
+
+    /// Whether the level is valid for an update template.
+    pub fn valid_for_update(self) -> bool {
+        self != ExposureLevel::View
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ExposureLevel::Blind => "blind",
+            ExposureLevel::Template => "template",
+            ExposureLevel::Stmt => "stmt",
+            ExposureLevel::View => "view",
+        }
+    }
+
+    /// Numeric rank (0 = blind), used by Figure-7 style reports.
+    pub fn rank(self) -> usize {
+        match self {
+            ExposureLevel::Blind => 0,
+            ExposureLevel::Template => 1,
+            ExposureLevel::Stmt => 2,
+            ExposureLevel::View => 3,
+        }
+    }
+}
+
+impl fmt::Display for ExposureLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The symbolic invalidation probability of an IPM cell, canonicalized
+/// using a pair's proved equalities. Two cells with the same `ProbClass`
+/// provably have the same invalidation probability; distinct classes are
+/// *not* proved equal (they may or may not coincide dynamically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbClass {
+    /// Provably 0.
+    Zero,
+    /// Provably 1.
+    One,
+    /// The pair's `A` value (when not proved 0/1 — unreachable, since
+    /// `A ∈ {0,1}` always canonicalizes; kept for clarity of `B`/`C`).
+    A,
+    /// The pair's `B` value, not proved equal to `A`.
+    B,
+    /// The pair's `C` value, not proved equal to `B`.
+    C,
+}
+
+/// The raw Figure-6 cell for an exposure-level combination.
+fn raw_cell(e_u: ExposureLevel, e_q: ExposureLevel) -> ProbClass {
+    debug_assert!(e_u.valid_for_update(), "update exposure cannot be `view`");
+    use ExposureLevel::*;
+    match (e_u, e_q) {
+        (Blind, _) | (_, Blind) => ProbClass::One,
+        (Template, _) | (_, Template) => ProbClass::A,
+        (Stmt, Stmt) => ProbClass::B,
+        (Stmt, View) => ProbClass::C,
+        (View, _) => unreachable!("guarded by valid_for_update"),
+    }
+}
+
+/// The canonical probability class of the Figure-6 cell `(e_u, e_q)` for a
+/// pair with characterization `entry`: the raw cell reduced through the
+/// proved equalities (`A ∈ {0,1}`, `B = A`, `C = B`).
+pub fn cell_class(entry: IpmEntry, e_u: ExposureLevel, e_q: ExposureLevel) -> ProbClass {
+    let canon_a = || match entry.a {
+        AValue::Zero => ProbClass::Zero,
+        AValue::One => ProbClass::One,
+    };
+    let canon_b = || {
+        if entry.b_eq_a {
+            canon_a()
+        } else {
+            ProbClass::B
+        }
+    };
+    match raw_cell(e_u, e_q) {
+        ProbClass::One => ProbClass::One, // Property 1: blind is always 1.
+        ProbClass::A => canon_a(),
+        ProbClass::B => canon_b(),
+        ProbClass::C => {
+            if entry.c_eq_b {
+                canon_b()
+            } else {
+                ProbClass::C
+            }
+        }
+        ProbClass::Zero => unreachable!("raw cells are never Zero"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ExposureLevel::*;
+
+    #[test]
+    fn level_order_matches_security_gradient() {
+        assert!(Blind < Template && Template < Stmt && Stmt < View);
+        assert_eq!(View.lower(), Some(Stmt));
+        assert_eq!(Blind.lower(), None);
+        assert!(!View.valid_for_update());
+    }
+
+    #[test]
+    fn property1_blind_is_always_one() {
+        // Even for an ignorable pair (A = 0), a blind side forces 1.
+        let zero = IpmEntry::ZERO;
+        for e_q in ExposureLevel::QUERY_LEVELS {
+            assert_eq!(cell_class(zero, Blind, e_q), ProbClass::One);
+        }
+        assert_eq!(cell_class(zero, Stmt, Blind), ProbClass::One);
+    }
+
+    #[test]
+    fn ignorable_pair_is_zero_everywhere_else() {
+        let zero = IpmEntry::ZERO;
+        for e_u in [Template, Stmt] {
+            for e_q in [Template, Stmt, View] {
+                assert_eq!(cell_class(zero, e_u, e_q), ProbClass::Zero);
+            }
+        }
+    }
+
+    #[test]
+    fn property2_single_a_for_template_cross() {
+        let e = IpmEntry::CONSERVATIVE;
+        assert_eq!(cell_class(e, Template, Template), ProbClass::One); // A = 1
+        assert_eq!(cell_class(e, Template, View), ProbClass::One);
+        assert_eq!(cell_class(e, Stmt, Template), ProbClass::One);
+    }
+
+    #[test]
+    fn conservative_pair_distinguishes_b_and_c() {
+        let e = IpmEntry::CONSERVATIVE;
+        assert_eq!(cell_class(e, Stmt, Stmt), ProbClass::B);
+        assert_eq!(cell_class(e, Stmt, View), ProbClass::C);
+    }
+
+    #[test]
+    fn equalities_collapse_cells() {
+        let e = IpmEntry {
+            a: crate::ipm::AValue::One,
+            b_eq_a: true,
+            c_eq_b: false,
+        };
+        assert_eq!(cell_class(e, Stmt, Stmt), ProbClass::One, "B = A = 1");
+        assert_eq!(cell_class(e, Stmt, View), ProbClass::C);
+        let e = IpmEntry {
+            a: crate::ipm::AValue::One,
+            b_eq_a: false,
+            c_eq_b: true,
+        };
+        assert_eq!(cell_class(e, Stmt, View), ProbClass::B, "C = B");
+        let e = IpmEntry {
+            a: crate::ipm::AValue::One,
+            b_eq_a: true,
+            c_eq_b: true,
+        };
+        assert_eq!(cell_class(e, Stmt, View), ProbClass::One, "C = B = A = 1");
+    }
+}

@@ -1,0 +1,611 @@
+//! IPM characterization (§4): statically deciding, per update/query
+//! template pair, whether
+//!
+//! * `A = 0` (Lemma 1: ignorability, refined by the §4.5 integrity
+//!   constraints),
+//! * `B = A` (disjoint selection attributes, §4.3),
+//! * `C = B` (insertions with `E ∩ N` queries; deletions with
+//!   result-unhelpful queries; modifications with ignorable-or-unhelpful
+//!   pairs, §4.4).
+//!
+//! `A`, `B`, `C` are the invalidation probabilities of minimal template-,
+//! statement-, and view-inspection strategies for the pair (Figure 6); the
+//! blind cell is always 1 (Property 1) and `1 ≥ A ≥ B ≥ C ≥ 0`
+//! (Property 3), with `A ∈ {0, 1}` (§4.2).
+//!
+//! Templates violating the §2.1.1 assumptions get the fully conservative
+//! entry (`A = 1`, `B < A`, `C < B`), exactly as the paper prescribes:
+//! "no encryption is recommended for the given update/query template
+//! pair". Aggregation/`GROUP BY` queries (outside the proved model; the
+//! paper analyzed them manually) use documented conservative rules: sound
+//! ignorability and the `B = A` test still apply, but `C = B` is never
+//! claimed.
+
+use crate::assumptions::{check_query, check_update};
+use crate::attrs::{disjoint, QueryAttrs, UpdateAttrs};
+use crate::catalog::Catalog;
+use crate::classes::{is_ignorable, is_result_unhelpful, update_class, UpdateClass};
+use scs_sqlkit::{CmpOp, InsertTemplate, QueryTemplate, TableRef, UpdateTemplate};
+
+/// The value of `A` for a pair — always 0 or 1 (§4.2: the invalidation
+/// behaviour of a template-inspection strategy is instance-independent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AValue {
+    Zero,
+    One,
+}
+
+/// The statically derived IPM relationships for one `⟨U^T, Q^T⟩` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IpmEntry {
+    pub a: AValue,
+    /// `B = A` proved (when `false`, possibly `B < A`).
+    pub b_eq_a: bool,
+    /// `C = B` proved (when `false`, possibly `C < B`).
+    pub c_eq_b: bool,
+}
+
+impl IpmEntry {
+    /// The entry for an ignorable (or constraint-blocked) pair:
+    /// `A = B = C = 0` (Property 3 collapses the gradient).
+    pub const ZERO: IpmEntry = IpmEntry {
+        a: AValue::Zero,
+        b_eq_a: true,
+        c_eq_b: true,
+    };
+
+    /// The fully conservative entry: `A = 1` and no proved equalities.
+    pub const CONSERVATIVE: IpmEntry = IpmEntry {
+        a: AValue::One,
+        b_eq_a: false,
+        c_eq_b: false,
+    };
+
+    /// `A = B = C = 0` holds.
+    pub fn all_zero(&self) -> bool {
+        self.a == AValue::Zero
+    }
+}
+
+/// The full matrix for an application: `entries[u][q]`.
+#[derive(Debug, Clone)]
+pub struct IpmMatrix {
+    pub entries: Vec<Vec<IpmEntry>>,
+}
+
+impl IpmMatrix {
+    pub fn entry(&self, update: usize, query: usize) -> IpmEntry {
+        self.entries[update][query]
+    }
+
+    pub fn update_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn query_count(&self) -> usize {
+        self.entries.first().map_or(0, Vec::len)
+    }
+
+    /// Tallies used for the paper's Table 7: `(A=0, A=1 split by B/C)`.
+    pub fn tally(&self) -> IpmTally {
+        let mut t = IpmTally::default();
+        for row in &self.entries {
+            for e in row {
+                if e.all_zero() {
+                    t.a_zero += 1;
+                } else {
+                    match (e.b_eq_a, e.c_eq_b) {
+                        (false, true) => t.b_lt_a_c_eq_b += 1,
+                        (false, false) => t.b_lt_a_c_lt_b += 1,
+                        (true, true) => t.b_eq_a_c_eq_b += 1,
+                        (true, false) => t.b_eq_a_c_lt_b += 1,
+                    }
+                }
+            }
+        }
+        t
+    }
+}
+
+/// Pair counts by IPM relationship (the columns of Table 7).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IpmTally {
+    /// `A = B = C = 0`.
+    pub a_zero: usize,
+    /// `A = 1`, `B < A`, `C = B`.
+    pub b_lt_a_c_eq_b: usize,
+    /// `A = 1`, `B < A`, `C < B`.
+    pub b_lt_a_c_lt_b: usize,
+    /// `A = 1`, `B = A`, `C = B`.
+    pub b_eq_a_c_eq_b: usize,
+    /// `A = 1`, `B = A`, `C < B`.
+    pub b_eq_a_c_lt_b: usize,
+}
+
+impl IpmTally {
+    pub fn total(&self) -> usize {
+        self.a_zero
+            + self.b_lt_a_c_eq_b
+            + self.b_lt_a_c_lt_b
+            + self.b_eq_a_c_eq_b
+            + self.b_eq_a_c_lt_b
+    }
+}
+
+/// Options controlling the characterization.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalysisOptions {
+    /// Use the §4.5 primary-/foreign-key refinements (the ablation bench
+    /// turns this off to quantify their contribution).
+    pub use_integrity_constraints: bool,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        AnalysisOptions {
+            use_integrity_constraints: true,
+        }
+    }
+}
+
+/// Characterizes one update/query template pair.
+pub fn characterize_pair(
+    u: &UpdateTemplate,
+    q: &QueryTemplate,
+    catalog: &Catalog,
+    opts: AnalysisOptions,
+) -> IpmEntry {
+    // §2.1.1: assumption violations on either template force the
+    // conservative entry for the pair.
+    if !check_update(u).is_empty() || !check_query(q).is_empty() {
+        return IpmEntry::CONSERVATIVE;
+    }
+
+    let ua = UpdateAttrs::of(u, catalog);
+    let qa = QueryAttrs::of(q);
+
+    // §4.2 / Lemma 1 (+ §4.5): does A = 0?
+    let mut a_zero = is_ignorable(&ua, &qa);
+    if !a_zero && opts.use_integrity_constraints {
+        if let UpdateTemplate::Insert(ins) = u {
+            a_zero = insertion_blocked(ins, q, catalog);
+        }
+    }
+    if a_zero {
+        return IpmEntry::ZERO;
+    }
+
+    // §4.3: B = A = 1 when the update statement's parameters have nothing
+    // to be compared against in the query statement. The paper states the
+    // test as S(U) ∩ S(Q) = ∅; Table 4 however derives B23 < A23 for the
+    // credit-card *insertion* (S(U2) = ∅), because an insertion's VALUES
+    // parameters can be compared against the query's parameterized
+    // restrictions (the zip_code). We therefore test the attributes whose
+    // values the statement reveals — inserted columns for insertions,
+    // predicate attributes for deletions, both predicate and SET attributes
+    // for modifications — against the equality-join closure of the query's
+    // restricted attributes. This matches every Table 4 entry.
+    let revealed = statement_comparable_attrs(u, catalog);
+    let restricted = restricted_attr_closure(q);
+    let b_eq_a = disjoint(&revealed, &restricted);
+
+    // §4.4: C = B by update class. Aggregate / GROUP BY queries fall
+    // outside the proved model: never claim C = B for them.
+    let is_aggregate = q.has_aggregates() || !q.group_by.is_empty();
+    let c_eq_b = if is_aggregate {
+        false
+    } else {
+        match update_class(u) {
+            UpdateClass::Insertion => {
+                crate::classes::has_only_equality_joins(q) && crate::classes::has_no_top_k(q)
+            }
+            UpdateClass::Deletion => is_result_unhelpful(&ua, &qa),
+            // G ∪ H; G would have produced A = 0 above, so H decides.
+            UpdateClass::Modification => is_result_unhelpful(&ua, &qa),
+        }
+    };
+
+    IpmEntry {
+        a: AValue::One,
+        b_eq_a,
+        c_eq_b,
+    }
+}
+
+/// Characterizes every pair of an application.
+pub fn characterize_app(
+    updates: &[impl AsRef<UpdateTemplate>],
+    queries: &[impl AsRef<QueryTemplate>],
+    catalog: &Catalog,
+    opts: AnalysisOptions,
+) -> IpmMatrix {
+    let entries = updates
+        .iter()
+        .map(|u| {
+            queries
+                .iter()
+                .map(|q| characterize_pair(u.as_ref(), q.as_ref(), catalog, opts))
+                .collect()
+        })
+        .collect();
+    IpmMatrix { entries }
+}
+
+/// The attributes whose concrete values an update *statement* reveals to a
+/// statement-inspection strategy: inserted columns for insertions,
+/// selection-predicate attributes for deletions, and both for
+/// modifications (predicate + SET columns).
+fn statement_comparable_attrs(u: &UpdateTemplate, catalog: &Catalog) -> crate::attrs::AttrSet {
+    use crate::attrs::{update_modified_attrs, update_selection_attrs, Attr};
+    match u {
+        UpdateTemplate::Insert(_) => update_modified_attrs(u, catalog),
+        UpdateTemplate::Delete(_) => update_selection_attrs(u),
+        UpdateTemplate::Modify(m) => {
+            let mut s = update_selection_attrs(u);
+            for (col, _) in &m.set {
+                s.insert(Attr::new(m.table.clone(), col.clone()));
+            }
+            s
+        }
+    }
+}
+
+/// Attributes of `q` against which a known value could be compared: the
+/// attributes of column-vs-scalar restrictions, closed under equality
+/// joins (a value on `a.x` is comparable whenever `a.x = b.y` and `b.y` is
+/// restricted).
+fn restricted_attr_closure(q: &QueryTemplate) -> crate::attrs::AttrSet {
+    use crate::attrs::Attr;
+    let base_of = |qual: &str| q.table_of_alias(qual).unwrap_or(qual).to_string();
+    let mut set: crate::attrs::AttrSet = q
+        .predicates
+        .iter()
+        .filter_map(|p| p.as_restriction())
+        .map(|(c, _, _)| Attr {
+            table: base_of(&c.qualifier),
+            column: c.column.clone(),
+        })
+        .collect();
+    // Close under equality joins until fixpoint.
+    loop {
+        let mut grew = false;
+        for p in &q.predicates {
+            if let Some((l, CmpOp::Eq, r)) = p.as_join() {
+                let la = Attr {
+                    table: base_of(&l.qualifier),
+                    column: l.column.clone(),
+                };
+                let ra = Attr {
+                    table: base_of(&r.qualifier),
+                    column: r.column.clone(),
+                };
+                if set.contains(&la) && !set.contains(&ra) {
+                    set.insert(ra);
+                    grew = true;
+                } else if set.contains(&ra) && !set.contains(&la) {
+                    set.insert(la);
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            return set;
+        }
+    }
+}
+
+/// §4.5: an insertion cannot affect any instance of `q` when, for *every*
+/// alias of the inserted relation in the query, the fresh row is provably
+/// excluded by an integrity constraint:
+///
+/// * **primary key**: the alias carries equality restrictions covering the
+///   relation's full primary key — the fresh row's key is new, and a cached
+///   instance's key matched an existing row (§2.1.1 assumes no cached
+///   result subject to insertion-invalidation is empty; the DSSP enforces
+///   this by not caching empty results);
+/// * **foreign key**: the alias equality-joins its full primary key to
+///   foreign-key columns of a child relation — existing child rows
+///   reference pre-existing parents, so none joins the fresh row.
+fn insertion_blocked(ins: &InsertTemplate, q: &QueryTemplate, catalog: &Catalog) -> bool {
+    let aliases: Vec<&TableRef> = q.from.iter().filter(|t| t.table == ins.table).collect();
+    if aliases.is_empty() {
+        // The relation does not occur in the query; ignorability would have
+        // caught this unless column names overlap — not blocked by
+        // constraints either way.
+        return false;
+    }
+    aliases.iter().all(|a| alias_blocked(a, ins, q, catalog))
+}
+
+fn alias_blocked(
+    alias: &TableRef,
+    ins: &InsertTemplate,
+    q: &QueryTemplate,
+    catalog: &Catalog,
+) -> bool {
+    let Some(schema) = catalog.table(&ins.table) else {
+        return false;
+    };
+    if schema.primary_key.is_empty() {
+        return false;
+    }
+
+    // Primary-key rule: every PK column equality-restricted on this alias.
+    let pk_restricted = schema.primary_key.iter().all(|k| {
+        q.predicates.iter().any(|p| {
+            p.as_restriction().is_some_and(|(c, op, _)| {
+                op == CmpOp::Eq && c.qualifier == alias.alias && &c.column == k
+            })
+        })
+    });
+    if pk_restricted {
+        return true;
+    }
+
+    // Foreign-key rule: every PK column equality-joined to a declared
+    // child foreign key.
+    schema.primary_key.iter().all(|k| {
+        q.predicates.iter().any(|p| {
+            let Some((l, op, r)) = p.as_join() else {
+                return false;
+            };
+            if op != CmpOp::Eq {
+                return false;
+            }
+            // Orient so `mine` is this alias's PK column.
+            let (mine, other) = if l.qualifier == alias.alias && &l.column == k {
+                (l, r)
+            } else if r.qualifier == alias.alias && &r.column == k {
+                (r, l)
+            } else {
+                return false;
+            };
+            debug_assert_eq!(&mine.column, k);
+            let other_table = q
+                .table_of_alias(&other.qualifier)
+                .unwrap_or(&other.qualifier);
+            catalog.has_foreign_key(other_table, &other.column, &ins.table, k)
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scs_sqlkit::{parse_query, parse_update};
+    use scs_storage::{ColumnType, TableSchema};
+    use std::sync::Arc;
+
+    fn catalog() -> Catalog {
+        Catalog::new([
+            TableSchema::builder("toys")
+                .column("toy_id", ColumnType::Int)
+                .column("toy_name", ColumnType::Str)
+                .column("qty", ColumnType::Int)
+                .primary_key(&["toy_id"])
+                .build()
+                .unwrap(),
+            TableSchema::builder("customers")
+                .column("cust_id", ColumnType::Int)
+                .column("cust_name", ColumnType::Str)
+                .primary_key(&["cust_id"])
+                .build()
+                .unwrap(),
+            TableSchema::builder("credit_card")
+                .column("cid", ColumnType::Int)
+                .column("number", ColumnType::Str)
+                .column("zip_code", ColumnType::Int)
+                .primary_key(&["cid"])
+                .foreign_key(&["cid"], "customers", &["cust_id"])
+                .build()
+                .unwrap(),
+        ])
+    }
+
+    fn q(sql: &str) -> Arc<QueryTemplate> {
+        Arc::new(parse_query(sql).unwrap())
+    }
+
+    fn u(sql: &str) -> Arc<UpdateTemplate> {
+        Arc::new(parse_update(sql).unwrap())
+    }
+
+    fn pair(us: &str, qs: &str) -> IpmEntry {
+        characterize_pair(&u(us), &q(qs), &catalog(), AnalysisOptions::default())
+    }
+
+    /// Reproduces Table 4 of the paper: the IPM characterization of the
+    /// extended toystore application (Table 3).
+    #[test]
+    fn table4_toystore_characterization() {
+        let q1 = "SELECT toy_id FROM toys WHERE toy_name = ?";
+        let q2 = "SELECT qty FROM toys WHERE toy_id = ?";
+        let q3 = "SELECT customers.cust_name FROM customers, credit_card \
+                  WHERE customers.cust_id = credit_card.cid AND credit_card.zip_code = ?";
+        let u1 = "DELETE FROM toys WHERE toy_id = ?";
+        let u2 = "INSERT INTO credit_card (cid, number, zip_code) VALUES (?, ?, ?)";
+
+        // Row U1: A11 = 1, B11 = A11, C11 < B11.
+        let e = pair(u1, q1);
+        assert_eq!(
+            e,
+            IpmEntry {
+                a: AValue::One,
+                b_eq_a: true,
+                c_eq_b: false
+            }
+        );
+        // U1/Q2: A12 = 1, B12 < A12, C12 = B12.
+        let e = pair(u1, q2);
+        assert_eq!(
+            e,
+            IpmEntry {
+                a: AValue::One,
+                b_eq_a: false,
+                c_eq_b: true
+            }
+        );
+        // U1/Q3: A13 = 0.
+        assert!(pair(u1, q3).all_zero());
+        // U2/Q1, U2/Q2: A = 0 (different relation).
+        assert!(pair(u2, q1).all_zero());
+        assert!(pair(u2, q2).all_zero());
+        // U2/Q3: A23 = 1, B23 < A23, C23 = B23 (insertion, Q3 ∈ E ∩ N).
+        let e = pair(u2, q3);
+        assert_eq!(
+            e,
+            IpmEntry {
+                a: AValue::One,
+                b_eq_a: false,
+                c_eq_b: true
+            }
+        );
+    }
+
+    /// §4.5 example 1: with toy_id the primary key of toys, no insertion
+    /// into toys affects any cached instance of Q2 (equality on the PK).
+    #[test]
+    fn pk_constraint_blocks_insertion() {
+        let e = pair(
+            "INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)",
+            "SELECT qty FROM toys WHERE toy_id = ?",
+        );
+        assert!(e.all_zero());
+        // Without integrity constraints the same pair is A = 1.
+        let e = characterize_pair(
+            &u("INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)"),
+            &q("SELECT qty FROM toys WHERE toy_id = ?"),
+            &catalog(),
+            AnalysisOptions {
+                use_integrity_constraints: false,
+            },
+        );
+        assert_eq!(e.a, AValue::One);
+    }
+
+    /// §4.5 example 2: no insertion into customers affects Q3 — the new
+    /// cust_id cannot join any existing credit_card row (FK).
+    #[test]
+    fn fk_constraint_blocks_insertion() {
+        let e = pair(
+            "INSERT INTO customers (cust_id, cust_name) VALUES (?, ?)",
+            "SELECT customers.cust_name FROM customers, credit_card \
+             WHERE customers.cust_id = credit_card.cid AND credit_card.zip_code = ?",
+        );
+        assert!(e.all_zero());
+    }
+
+    /// A selection on a non-key attribute does not trigger the PK rule.
+    #[test]
+    fn non_key_equality_does_not_block_insertion() {
+        let e = pair(
+            "INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)",
+            "SELECT toy_id FROM toys WHERE toy_name = ?",
+        );
+        assert_eq!(e.a, AValue::One);
+        // Insertion + SPJ equality-join query without top-k: C = B (§4.4).
+        assert!(e.c_eq_b);
+    }
+
+    /// §4.4 counterexamples: theta join or top-k makes C < B for insertions.
+    #[test]
+    fn insertion_theta_join_or_topk_gives_c_lt_b() {
+        let theta = pair(
+            "INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)",
+            "SELECT t1.toy_id, t1.qty, t2.toy_id, t2.qty FROM toys t1, toys t2 \
+             WHERE t1.toy_name = ? AND t2.toy_name = ? AND t1.qty > t2.qty",
+        );
+        assert_eq!(theta.a, AValue::One);
+        assert!(!theta.c_eq_b);
+
+        let topk = pair(
+            "INSERT INTO toys (toy_id, toy_name, qty) VALUES (?, ?, ?)",
+            "SELECT toy_id FROM toys WHERE qty > ? ORDER BY qty DESC LIMIT 1",
+        );
+        assert_eq!(topk.a, AValue::One);
+        assert!(!topk.c_eq_b);
+    }
+
+    /// §4.4 modification counterexample: UPDATE qty WHERE toy_id paired
+    /// with a query selecting on qty and preserving toy_id → C may be < B.
+    #[test]
+    fn modification_counterexample_c_lt_b() {
+        let e = pair(
+            "UPDATE toys SET qty = ? WHERE toy_id = ?",
+            "SELECT toy_id FROM toys WHERE qty > ?",
+        );
+        assert_eq!(e.a, AValue::One);
+        assert!(
+            !e.c_eq_b,
+            "result preserves toy_id = S(U), so the view helps"
+        );
+    }
+
+    /// Modification with result-unhelpful query: C = B.
+    #[test]
+    fn modification_result_unhelpful_c_eq_b() {
+        let e = pair(
+            "UPDATE toys SET qty = ? WHERE toy_id = ?",
+            "SELECT toy_name FROM toys WHERE qty > ?",
+        );
+        assert_eq!(e.a, AValue::One);
+        assert!(e.c_eq_b);
+    }
+
+    /// Assumption violations force the conservative entry.
+    #[test]
+    fn violations_are_conservative() {
+        // Embedded constant in the query predicate.
+        let e = pair(
+            "DELETE FROM toys WHERE toy_id = ?",
+            "SELECT toy_id FROM toys WHERE qty > 100",
+        );
+        assert_eq!(e, IpmEntry::CONSERVATIVE);
+        // Even a would-be-ignorable pair turns conservative.
+        let e = pair(
+            "DELETE FROM toys WHERE toy_id = 5",
+            "SELECT cust_name FROM customers WHERE cust_id = ?",
+        );
+        assert_eq!(e, IpmEntry::CONSERVATIVE);
+    }
+
+    /// Aggregate queries never get a C = B claim, but keep sound A and B
+    /// reasoning.
+    #[test]
+    fn aggregates_conservative_on_c() {
+        // MAX(qty) vs modification of qty: not ignorable (agg arg counts
+        // as preserved), C = B not claimed.
+        let e = pair(
+            "UPDATE toys SET qty = ? WHERE toy_id = ?",
+            "SELECT MAX(qty) FROM toys",
+        );
+        assert_eq!(e.a, AValue::One);
+        assert!(!e.c_eq_b);
+        // MAX(qty) vs modification of toy_name: ignorable.
+        let e = pair(
+            "UPDATE toys SET toy_name = ? WHERE toy_id = ?",
+            "SELECT MAX(qty) FROM toys",
+        );
+        assert!(e.all_zero());
+    }
+
+    #[test]
+    fn tally_counts_by_category() {
+        let updates = [
+            u("DELETE FROM toys WHERE toy_id = ?"),
+            u("INSERT INTO credit_card (cid, number, zip_code) VALUES (?, ?, ?)"),
+        ];
+        let queries = [
+            q("SELECT toy_id FROM toys WHERE toy_name = ?"),
+            q("SELECT qty FROM toys WHERE toy_id = ?"),
+            q("SELECT customers.cust_name FROM customers, credit_card \
+               WHERE customers.cust_id = credit_card.cid AND credit_card.zip_code = ?"),
+        ];
+        let m = characterize_app(&updates, &queries, &catalog(), AnalysisOptions::default());
+        let t = m.tally();
+        assert_eq!(t.total(), 6);
+        assert_eq!(t.a_zero, 3);
+        assert_eq!(t.b_eq_a_c_lt_b, 1); // U1/Q1
+        assert_eq!(t.b_lt_a_c_eq_b, 2); // U1/Q2, U2/Q3
+    }
+}

@@ -1,0 +1,45 @@
+//! # scs-core — static analysis for the security–scalability tradeoff
+//!
+//! The primary contribution of *Simultaneous Scalability and Security for
+//! Data-Intensive Web Applications* (SIGMOD 2006): given a Web
+//! application's fixed sets of query and update templates, statically
+//! identify the data that can be **encrypted without impacting
+//! scalability**.
+//!
+//! Pipeline:
+//!
+//! 1. [`attrs`] — the attribute sets of Table 5 (`S(U)`, `M(U)`, `S(Q)`,
+//!    `P(Q)`), alias-resolved to base tables;
+//! 2. [`classes`] — query/update classes of Table 6 (`E`, `N`, `I/D/M`)
+//!    and the pair properties *ignorable* (`G`) and *result-unhelpful*
+//!    (`H`);
+//! 3. [`assumptions`] — the §2.1.1 model assumptions with static checks;
+//! 4. [`ipm`] — the Invalidation Probability Matrix characterization
+//!    (§4.2–4.5): per pair, does `A = 0`? `B = A`? `C = B`? — refined by
+//!    primary-/foreign-key integrity constraints;
+//! 5. [`exposure`] — exposure levels and the Figure-6 cell lattice;
+//! 6. [`methodology`] — the three-step scalability-conscious security
+//!    design methodology (§3): compulsory encryption, greedy maximal
+//!    exposure reduction, and the residual tradeoff options.
+
+pub mod assumptions;
+pub mod attrs;
+pub mod catalog;
+pub mod classes;
+pub mod explain;
+pub mod exposure;
+pub mod ipm;
+pub mod methodology;
+
+pub use attrs::{Attr, AttrSet, QueryAttrs, UpdateAttrs};
+pub use catalog::Catalog;
+pub use classes::{is_ignorable, is_result_unhelpful, update_class, UpdateClass};
+pub use explain::{explain_pair, AReason, BReason, CReason, Explanation};
+pub use exposure::{cell_class, ExposureLevel, ProbClass};
+pub use ipm::{
+    characterize_app, characterize_pair, AValue, AnalysisOptions, IpmEntry, IpmMatrix, IpmTally,
+};
+pub use methodology::{
+    compulsory_exposures, reduce_exposures, residual_options, Exposures, ResidualOption,
+    SensitivityPolicy,
+};

@@ -1,0 +1,153 @@
+//! Property tests for the greedy exposure-reduction algorithm (§3.1) over
+//! *arbitrary* IPM matrices and initial exposure assignments:
+//!
+//! 1. **invariance** — the reduction never changes any pair's canonical
+//!    invalidation-probability class (the defining guarantee of Step 2b);
+//! 2. **maximality** — at the fixpoint, every further single-step
+//!    reduction changes some pair's class;
+//! 3. **monotonicity** — exposures never increase;
+//! 4. **idempotence** — re-running is a no-op.
+
+use proptest::prelude::*;
+use scs_core::{
+    cell_class, reduce_exposures, AValue, ExposureLevel, Exposures, IpmEntry, IpmMatrix,
+};
+
+fn entry_strategy() -> impl Strategy<Value = IpmEntry> {
+    (any::<bool>(), any::<bool>(), any::<bool>()).prop_map(|(zero, b_eq, c_eq)| {
+        if zero {
+            IpmEntry::ZERO
+        } else {
+            IpmEntry { a: AValue::One, b_eq_a: b_eq, c_eq_b: c_eq }
+        }
+    })
+}
+
+fn matrix_strategy(nu: usize, nq: usize) -> impl Strategy<Value = IpmMatrix> {
+    proptest::collection::vec(proptest::collection::vec(entry_strategy(), nq), nu)
+        .prop_map(|entries| IpmMatrix { entries })
+}
+
+fn update_level() -> impl Strategy<Value = ExposureLevel> {
+    prop_oneof![
+        Just(ExposureLevel::Blind),
+        Just(ExposureLevel::Template),
+        Just(ExposureLevel::Stmt),
+    ]
+}
+
+fn query_level() -> impl Strategy<Value = ExposureLevel> {
+    prop_oneof![
+        Just(ExposureLevel::Blind),
+        Just(ExposureLevel::Template),
+        Just(ExposureLevel::Stmt),
+        Just(ExposureLevel::View),
+    ]
+}
+
+fn case() -> impl Strategy<Value = (IpmMatrix, Exposures)> {
+    (1usize..6, 1usize..6).prop_flat_map(|(nu, nq)| {
+        (
+            matrix_strategy(nu, nq),
+            proptest::collection::vec(update_level(), nu),
+            proptest::collection::vec(query_level(), nq),
+        )
+            .prop_map(|(m, updates, queries)| (m, Exposures { updates, queries }))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn reduction_preserves_every_cell_class((matrix, init) in case()) {
+        let out = reduce_exposures(&matrix, &init);
+        for i in 0..matrix.update_count() {
+            for j in 0..matrix.query_count() {
+                let e = matrix.entry(i, j);
+                prop_assert_eq!(
+                    cell_class(e, init.updates[i], init.queries[j]),
+                    cell_class(e, out.updates[i], out.queries[j]),
+                    "pair ({},{}) changed class", i, j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_is_maximal((matrix, init) in case()) {
+        let out = reduce_exposures(&matrix, &init);
+        // Any further single-step lowering must change some pair's class.
+        for i in 0..matrix.update_count() {
+            if let Some(lower) = out.updates[i].lower() {
+                let safe = (0..matrix.query_count()).all(|j| {
+                    let e = matrix.entry(i, j);
+                    cell_class(e, lower, out.queries[j])
+                        == cell_class(e, out.updates[i], out.queries[j])
+                });
+                prop_assert!(!safe, "update {} could still be lowered", i);
+            }
+        }
+        for j in 0..matrix.query_count() {
+            if let Some(lower) = out.queries[j].lower() {
+                let safe = (0..matrix.update_count()).all(|i| {
+                    let e = matrix.entry(i, j);
+                    cell_class(e, out.updates[i], lower)
+                        == cell_class(e, out.updates[i], out.queries[j])
+                });
+                prop_assert!(!safe, "query {} could still be lowered", j);
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_is_monotone_and_idempotent((matrix, init) in case()) {
+        let out = reduce_exposures(&matrix, &init);
+        for (a, b) in out.updates.iter().zip(&init.updates) {
+            prop_assert!(a <= b);
+        }
+        for (a, b) in out.queries.iter().zip(&init.queries) {
+            prop_assert!(a <= b);
+        }
+        prop_assert_eq!(reduce_exposures(&matrix, &out), out);
+    }
+
+    /// Property 3's gradient in symbolic form: lowering either side's
+    /// exposure never *decreases* the invalidation probability — the
+    /// canonical class rank (One=3 ≥ B=2 ≥ C=1 ≥ Zero=0) is antitone in
+    /// exposure.
+    #[test]
+    fn cell_class_gradient(entry in entry_strategy(), eu in update_level(), eq in query_level()) {
+        fn rank(c: scs_core::ProbClass) -> u8 {
+            match c {
+                scs_core::ProbClass::One | scs_core::ProbClass::A => 3,
+                scs_core::ProbClass::B => 2,
+                scs_core::ProbClass::C => 1,
+                scs_core::ProbClass::Zero => 0,
+            }
+        }
+        let here = rank(cell_class(entry, eu, eq));
+        if let Some(lower) = eu.lower() {
+            prop_assert!(rank(cell_class(entry, lower, eq)) >= here);
+        }
+        if let Some(lower) = eq.lower() {
+            prop_assert!(rank(cell_class(entry, eu, lower)) >= here);
+        }
+    }
+
+    /// Fully ignorable matrices allow everything to drop to the floor:
+    /// updates reach blind only if a blind side never *raises* a class —
+    /// Property 1 makes blind always One, so templates stop at `template`
+    /// unless the initial level was already blind.
+    #[test]
+    fn ignorable_matrix_reduces_to_template(nu in 1usize..5, nq in 1usize..5) {
+        let matrix = IpmMatrix {
+            entries: vec![vec![IpmEntry::ZERO; nq]; nu],
+        };
+        let init = Exposures::maximum(nu, nq);
+        let out = reduce_exposures(&matrix, &init);
+        for e in out.updates.iter().chain(&out.queries) {
+            prop_assert_eq!(*e, ExposureLevel::Template, "floor above blind (Property 1)");
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Empirical soundness of the static IPM characterization: whenever the
+//! analysis claims `A = 0` for a template pair — by ignorability (Lemma 1)
+//! or by the §4.5 primary-/foreign-key refinements — no instance of the
+//! update may ever change the result of any cached (non-empty) instance
+//! of the query, on any reachable database state.
+
+use proptest::prelude::*;
+use scs_core::{characterize_pair, AnalysisOptions, Catalog};
+use scs_sqlkit::{parse_query, parse_update, Query, Update, Value};
+use scs_storage::{ColumnType, Database, TableSchema};
+use std::sync::Arc;
+
+fn schemas() -> Vec<TableSchema> {
+    vec![
+        TableSchema::builder("parent")
+            .column("p_id", ColumnType::Int)
+            .column("p_tag", ColumnType::Int)
+            .primary_key(&["p_id"])
+            .build()
+            .unwrap(),
+        TableSchema::builder("child")
+            .column("c_id", ColumnType::Int)
+            .column("c_pid", ColumnType::Int)
+            .column("c_val", ColumnType::Int)
+            .primary_key(&["c_id"])
+            .foreign_key(&["c_pid"], "parent", &["p_id"])
+            .build()
+            .unwrap(),
+    ]
+}
+
+const QUERIES: &[&str] = &[
+    // Equality on the child PK (the §4.5 PK rule target for child inserts).
+    "SELECT c_val FROM child WHERE c_id = ?",
+    // PK-FK equality join (the §4.5 FK rule target for parent inserts).
+    "SELECT parent.p_tag, child.c_val FROM parent, child \
+     WHERE parent.p_id = child.c_pid AND child.c_val = ?",
+    // Plain restriction (not blocked by constraints).
+    "SELECT c_id FROM child WHERE c_val > ?",
+    // Parent-only query.
+    "SELECT p_tag FROM parent WHERE p_id = ?",
+];
+
+const UPDATES: &[&str] = &[
+    "INSERT INTO parent (p_id, p_tag) VALUES (?, ?)",
+    "INSERT INTO child (c_id, c_pid, c_val) VALUES (?, ?, ?)",
+    "DELETE FROM child WHERE c_id = ?",
+    "UPDATE child SET c_val = ? WHERE c_id = ?",
+    "UPDATE parent SET p_tag = ? WHERE p_id = ?",
+];
+
+fn seed_db(parents: &[i64], children: &[(i64, i64, i64)]) -> Database {
+    let mut db = Database::new();
+    for s in schemas() {
+        db.create_table(s).unwrap();
+    }
+    for (i, p) in parents.iter().enumerate() {
+        // Unique pk per position; tag from the generated value.
+        let _ = db.insert_row("parent", vec![Value::Int(i as i64 + 1), Value::Int(*p)]);
+    }
+    for (i, (pid, val, _)) in children.iter().enumerate() {
+        let parent_count = parents.len().max(1) as i64;
+        let _ = db.insert_row(
+            "child",
+            vec![
+                Value::Int(i as i64 + 1),
+                Value::Int((pid.rem_euclid(parent_count)) + 1),
+                Value::Int(*val),
+            ],
+        );
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn a_zero_claims_are_sound(
+        parents in proptest::collection::vec(0..5i64, 1..5),
+        children in proptest::collection::vec((0..5i64, -5..5i64, 0..1i64), 0..8),
+        u_params_raw in proptest::collection::vec(0..10i64, 3),
+        q_param in -5..10i64,
+    ) {
+        let catalog = Catalog::new(schemas());
+        // Exercise EVERY template pair the analysis declares A = 0 on this
+        // database state and parameter draw.
+        for (u_idx, u_sql) in UPDATES.iter().enumerate() {
+            for (q_idx, q_sql) in QUERIES.iter().enumerate() {
+                let u_tpl = Arc::new(parse_update(u_sql).unwrap());
+                let q_tpl = Arc::new(parse_query(q_sql).unwrap());
+                let entry =
+                    characterize_pair(&u_tpl, &q_tpl, &catalog, AnalysisOptions::default());
+                if !entry.all_zero() {
+                    continue;
+                }
+                // Fresh ids for inserts so they succeed (constraint
+                // reasoning assumes the update took effect).
+                let mut u_params: Vec<Value> = u_params_raw
+                    .iter()
+                    .take(u_tpl.param_count())
+                    .map(|v| Value::Int(*v))
+                    .collect();
+                match u_idx {
+                    0 => u_params[0] = Value::Int(1_000), // fresh parent pk
+                    1 => {
+                        u_params[0] = Value::Int(1_000); // fresh child pk
+                        u_params[1] = Value::Int(1);     // existing parent
+                    }
+                    _ => {}
+                }
+                let u = Update::bind(u_idx, u_tpl, u_params).unwrap();
+                let q = Query::bind(q_idx, q_tpl, vec![Value::Int(q_param)]).unwrap();
+
+                let mut db = seed_db(&parents, &children);
+                let before = db.execute(&q).unwrap();
+                if before.is_empty() {
+                    continue; // only non-empty results are cached
+                }
+                if db.apply(&u).is_ok() {
+                    let after = db.execute(&q).unwrap();
+                    prop_assert!(
+                        before.multiset_eq(&after),
+                        "A=0 claim violated: {} then {} changed the result\n{:?} -> {:?}",
+                        u.statement_text(),
+                        q.statement_text(),
+                        before,
+                        after
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! A deterministic, invertible byte-string cipher (toy Feistel network).
+//!
+//! NOT SECURE — simulation only (see crate docs).
+
+/// A 128-bit key for the toy cipher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Key(pub [u8; 16]);
+
+impl Key {
+    /// Derives a key from an application identifier (each application gets
+    /// its own key, so applications cannot read each other's data through
+    /// the DSSP — the paper's second security requirement).
+    pub fn derive(app_id: &str) -> Key {
+        let mut k = [0u8; 16];
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in app_id.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        for (i, byte) in k.iter_mut().enumerate() {
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xff51_afd7_ed55_8ccd).wrapping_add(i as u64);
+            *byte = (h >> ((i % 8) * 8)) as u8;
+        }
+        Key(k)
+    }
+}
+
+/// Deterministic cipher: same key + same plaintext ⇒ same ciphertext.
+#[derive(Debug, Clone)]
+pub struct DeterministicCipher {
+    round_keys: [u64; ROUNDS],
+}
+
+const ROUNDS: usize = 4;
+
+impl DeterministicCipher {
+    pub fn new(key: Key) -> DeterministicCipher {
+        let mut round_keys = [0u64; ROUNDS];
+        let mut state = u64::from_le_bytes(key.0[..8].try_into().expect("8 bytes"))
+            ^ u64::from_le_bytes(key.0[8..].try_into().expect("8 bytes")).rotate_left(17);
+        for rk in &mut round_keys {
+            state ^= state >> 30;
+            state = state.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            state ^= state >> 27;
+            state = state.wrapping_mul(0x94d0_49bb_1331_11eb);
+            state ^= state >> 31;
+            *rk = state;
+        }
+        DeterministicCipher { round_keys }
+    }
+
+    /// Encrypts a byte string; output length equals input length plus an
+    /// 8-byte whitening block (so even empty inputs produce distinct
+    /// per-key ciphertexts).
+    pub fn encrypt(&self, plaintext: &[u8]) -> Vec<u8> {
+        let mut data = Vec::with_capacity(plaintext.len() + 8);
+        data.extend_from_slice(&(plaintext.len() as u64).to_le_bytes());
+        data.extend_from_slice(plaintext);
+        for (round, rk) in self.round_keys.iter().enumerate() {
+            feistel_round(&mut data, *rk, round as u64);
+        }
+        data
+    }
+
+    /// Decrypts; returns `None` if the ciphertext is malformed.
+    pub fn decrypt(&self, ciphertext: &[u8]) -> Option<Vec<u8>> {
+        if ciphertext.len() < 8 {
+            return None;
+        }
+        let mut data = ciphertext.to_vec();
+        for (round, rk) in self.round_keys.iter().enumerate().rev() {
+            feistel_round(&mut data, *rk, round as u64);
+        }
+        let len = u64::from_le_bytes(data[..8].try_into().expect("8 bytes")) as usize;
+        if len != data.len() - 8 {
+            return None;
+        }
+        Some(data[8..].to_vec())
+    }
+}
+
+/// One unbalanced Feistel round over the whole buffer: a keystream derived
+/// from (round key, half A) is XORed into half B; the A/B roles alternate
+/// per round. Since half A is untouched by the round, each round is its own
+/// inverse, so decryption just replays the rounds in reverse order.
+fn feistel_round(data: &mut [u8], rk: u64, round: u64) {
+    let mid = data.len() / 2;
+    let (a_range, b_range) = if round.is_multiple_of(2) {
+        (0..mid, mid..data.len())
+    } else {
+        (mid..data.len(), 0..mid)
+    };
+    // Keystream seed = rk mixed with a digest of half A.
+    let mut seed = rk ^ round.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for &b in &data[a_range] {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x100_0000_01b3);
+    }
+    for (i, idx) in b_range.enumerate() {
+        let mut s = seed.wrapping_add(i as u64);
+        s ^= s >> 33;
+        s = s.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        s ^= s >> 29;
+        data[idx] ^= s as u8;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cipher() -> DeterministicCipher {
+        DeterministicCipher::new(Key::derive("bookstore"))
+    }
+
+    #[test]
+    fn roundtrip() {
+        let c = cipher();
+        for msg in [&b""[..], b"a", b"SELECT * FROM t", &[0u8; 1000]] {
+            let ct = c.encrypt(msg);
+            assert_eq!(c.decrypt(&ct).as_deref(), Some(msg));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = cipher();
+        assert_eq!(c.encrypt(b"hello"), c.encrypt(b"hello"));
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        let a = DeterministicCipher::new(Key::derive("app-a"));
+        let b = DeterministicCipher::new(Key::derive("app-b"));
+        assert_ne!(a.encrypt(b"hello"), b.encrypt(b"hello"));
+        assert_ne!(
+            a.decrypt(&b.encrypt(b"hello")).as_deref(),
+            Some(&b"hello"[..])
+        );
+    }
+
+    #[test]
+    fn ciphertext_differs_from_plaintext() {
+        let c = cipher();
+        let ct = c.encrypt(b"hello world, this is a test");
+        assert_ne!(&ct[8..], b"hello world, this is a test");
+    }
+
+    #[test]
+    fn distinct_plaintexts_distinct_ciphertexts() {
+        let c = cipher();
+        assert_ne!(c.encrypt(b"a"), c.encrypt(b"b"));
+        assert_ne!(c.encrypt(b"ab"), c.encrypt(b"ba"));
+    }
+
+    #[test]
+    fn malformed_ciphertext_rejected() {
+        let c = cipher();
+        assert!(c.decrypt(b"short").is_none());
+        let mut ct = c.encrypt(b"hello");
+        ct[0] ^= 0xff; // corrupt the length header
+        assert!(c.decrypt(&ct).is_none());
+    }
+}

@@ -1,0 +1,80 @@
+//! Encryption envelopes: typed wrappers used by the DSSP cache.
+
+use crate::cipher::{DeterministicCipher, Key};
+
+/// An opaque encrypted payload. `Eq + Hash` so ciphertexts can serve as
+/// cache-lookup keys (deterministic encryption, footnote 3 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Ciphertext(pub Vec<u8>);
+
+impl Ciphertext {
+    /// Payload size in bytes (drives the network-transfer cost model).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// Deterministic string encryption for one application's DSSP traffic.
+#[derive(Debug, Clone)]
+pub struct Encryptor {
+    cipher: DeterministicCipher,
+}
+
+impl Encryptor {
+    /// Creates the encryptor for an application id (per-application keys
+    /// isolate tenants from one another — the paper's security requirement
+    /// (2) in footnote 1).
+    pub fn for_app(app_id: &str) -> Encryptor {
+        Encryptor {
+            cipher: DeterministicCipher::new(Key::derive(app_id)),
+        }
+    }
+
+    /// Encrypts a UTF-8 string deterministically.
+    pub fn encrypt_str(&self, s: &str) -> Ciphertext {
+        Ciphertext(self.cipher.encrypt(s.as_bytes()))
+    }
+
+    /// Decrypts a [`Ciphertext`] back to a string; `None` if the payload is
+    /// malformed or not valid UTF-8 (e.g. produced under another key).
+    pub fn decrypt_str(&self, ct: &Ciphertext) -> Option<String> {
+        String::from_utf8(self.cipher.decrypt(&ct.0)?).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_roundtrip() {
+        let e = Encryptor::for_app("auction");
+        let ct = e.encrypt_str("SELECT x FROM t WHERE a = 5");
+        assert_eq!(
+            e.decrypt_str(&ct).as_deref(),
+            Some("SELECT x FROM t WHERE a = 5")
+        );
+    }
+
+    #[test]
+    fn usable_as_map_key() {
+        use std::collections::HashMap;
+        let e = Encryptor::for_app("auction");
+        let mut m: HashMap<Ciphertext, u32> = HashMap::new();
+        m.insert(e.encrypt_str("k1"), 1);
+        assert_eq!(m.get(&e.encrypt_str("k1")), Some(&1));
+        assert_eq!(m.get(&e.encrypt_str("k2")), None);
+    }
+
+    #[test]
+    fn tenant_isolation() {
+        let a = Encryptor::for_app("app-a");
+        let b = Encryptor::for_app("app-b");
+        let ct = a.encrypt_str("secret");
+        assert_ne!(b.decrypt_str(&ct).as_deref(), Some("secret"));
+    }
+}

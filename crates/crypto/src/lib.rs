@@ -1,0 +1,20 @@
+//! # scs-crypto — deterministic encryption *simulation*
+//!
+//! The DSSP stores encrypted statements and query results; deterministic
+//! encryption is required for correct caching mechanics (footnote 3 of the
+//! paper): lookup keys are the encrypted statement (blind exposure) or
+//! template id + encrypted parameters (template exposure).
+//!
+//! **This crate is a simulation.** It implements a small unbalanced Feistel
+//! construction over byte strings that is deterministic and invertible, so
+//! the cache mechanics and payload-size effects are faithful — but it is
+//! **not cryptographically secure** and must never be used to protect real
+//! data. The paper likewise excludes encryption compute cost from its
+//! scalability measurements (§5.4 footnote 6), so strength is irrelevant to
+//! the reproduction.
+
+pub mod cipher;
+pub mod envelope;
+
+pub use cipher::{DeterministicCipher, Key};
+pub use envelope::{Ciphertext, Encryptor};

@@ -1,0 +1,376 @@
+//! The DSSP's cache of (possibly encrypted) query results.
+//!
+//! Deterministic encryption makes caching work at every exposure level
+//! (footnote 3 of the paper). The lookup key depends on the query
+//! template's exposure level:
+//!
+//! * `view` / `stmt` — the plaintext statement text;
+//! * `template` — the template id plus the encrypted parameters;
+//! * `blind` — the encrypted statement text.
+//!
+//! Every key form identifies the same logical entity (template id + bound
+//! parameters), so the cache indexes entries by a canonical internal key
+//! and additionally records the *wire form* for size accounting.
+//!
+//! What an invalidation strategy may *see* of an entry is gated by the
+//! exposure level through [`CacheEntry::visible_statement`] and
+//! [`CacheEntry::visible_result`] — encrypted fields are simply absent
+//! from the strategy's view.
+//!
+//! The cache never stores **empty results**: §2.1.1 assumes no query
+//! subject to insertion/deletion invalidation returns an empty result, and
+//! the §4.5 primary-key refinement leans on it. Declining to cache empty
+//! results enforces the assumption structurally.
+
+use scs_core::ExposureLevel;
+use scs_crypto::Encryptor;
+use scs_sqlkit::{Query, TemplateId, Value};
+use scs_storage::QueryResult;
+use std::collections::HashMap;
+
+/// Canonical identity of a cached query instance.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    pub template_id: TemplateId,
+    pub params: Vec<Value>,
+}
+
+/// A cached query result with exposure-gated visibility.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    key: CacheKey,
+    level: ExposureLevel,
+    query: Query,
+    result: QueryResult,
+    /// Approximate stored size in bytes (header + payload, with the
+    /// encryption envelope overhead when the result is encrypted).
+    pub stored_bytes: usize,
+    /// Logical timestamp of the last lookup or store (LRU bookkeeping).
+    last_used: u64,
+}
+
+impl CacheEntry {
+    /// The exposure level the entry was cached under.
+    pub fn level(&self) -> ExposureLevel {
+        self.level
+    }
+
+    /// The template id — visible at `template` exposure and above.
+    pub fn visible_template_id(&self) -> Option<TemplateId> {
+        (self.level >= ExposureLevel::Template).then_some(self.key.template_id)
+    }
+
+    /// The full query statement — visible at `stmt` exposure and above.
+    pub fn visible_statement(&self) -> Option<&Query> {
+        (self.level >= ExposureLevel::Stmt).then_some(&self.query)
+    }
+
+    /// The materialized result — visible only at `view` exposure.
+    pub fn visible_result(&self) -> Option<&QueryResult> {
+        (self.level == ExposureLevel::View).then_some(&self.result)
+    }
+
+    /// Serves the stored result to the client (who holds the decryption
+    /// key); not part of any invalidation strategy's view.
+    pub fn serve(&self) -> &QueryResult {
+        &self.result
+    }
+
+    pub fn key(&self) -> &CacheKey {
+        &self.key
+    }
+}
+
+/// The result cache, optionally bounded with LRU eviction.
+pub struct ResultCache {
+    entries: HashMap<CacheKey, CacheEntry>,
+    encryptor: Encryptor,
+    /// Maximum number of entries (`None` = unbounded).
+    capacity: Option<usize>,
+    /// Logical clock for LRU bookkeeping.
+    clock: u64,
+    /// Entries dropped by capacity eviction (not by invalidation).
+    evictions: u64,
+}
+
+impl ResultCache {
+    pub fn new(encryptor: Encryptor) -> ResultCache {
+        ResultCache {
+            entries: HashMap::new(),
+            encryptor,
+            capacity: None,
+            clock: 0,
+            evictions: 0,
+        }
+    }
+
+    /// A cache bounded to `capacity` entries; the least-recently-used
+    /// entry is evicted when a store would exceed it.
+    pub fn with_capacity(encryptor: Encryptor, capacity: usize) -> ResultCache {
+        let mut c = ResultCache::new(encryptor);
+        c.capacity = Some(capacity.max(1));
+        c
+    }
+
+    /// Entries evicted due to the capacity bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a query, refreshing its LRU position. The key form the
+    /// client sends depends on the exposure level, but all forms resolve
+    /// to the canonical key.
+    pub fn lookup(&mut self, q: &Query) -> Option<&CacheEntry> {
+        self.clock += 1;
+        let clock = self.clock;
+        let key = CacheKey {
+            template_id: q.template_id,
+            params: q.params.clone(),
+        };
+        self.entries.get_mut(&key).map(|e| {
+            e.last_used = clock;
+            &*e
+        })
+    }
+
+    /// Read-only lookup (no LRU refresh), for tests and diagnostics.
+    pub fn peek(&self, q: &Query) -> Option<&CacheEntry> {
+        self.entries.get(&CacheKey {
+            template_id: q.template_id,
+            params: q.params.clone(),
+        })
+    }
+
+    /// Stores a result under the query's exposure level. Empty results are
+    /// not cached (see module docs); returns whether the entry was stored.
+    pub fn store(&mut self, q: &Query, result: QueryResult, level: ExposureLevel) -> bool {
+        if result.is_empty() {
+            return false;
+        }
+        let key = CacheKey {
+            template_id: q.template_id,
+            params: q.params.clone(),
+        };
+        let stored_bytes = self.stored_size(q, &result, level);
+        self.clock += 1;
+        self.entries.insert(
+            key.clone(),
+            CacheEntry {
+                key,
+                level,
+                query: q.clone(),
+                result,
+                stored_bytes,
+                last_used: self.clock,
+            },
+        );
+        if let Some(cap) = self.capacity {
+            while self.entries.len() > cap {
+                let victim = self
+                    .entries
+                    .values()
+                    .min_by_key(|e| e.last_used)
+                    .map(|e| e.key.clone())
+                    .expect("nonempty while over capacity");
+                self.entries.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+        true
+    }
+
+    /// Removes every entry the predicate marks for invalidation; returns
+    /// `(entries_scanned, entries_invalidated)`.
+    pub fn invalidate_where(
+        &mut self,
+        mut must_invalidate: impl FnMut(&CacheEntry) -> bool,
+    ) -> (usize, usize) {
+        let scanned = self.entries.len();
+        let before = self.entries.len();
+        self.entries.retain(|_, e| !must_invalidate(e));
+        (scanned, before - self.entries.len())
+    }
+
+    /// Drops everything (a blind strategy's response to any update).
+    pub fn clear(&mut self) -> usize {
+        let n = self.entries.len();
+        self.entries.clear();
+        n
+    }
+
+    /// Iterates over entries (used by statistics and tests).
+    pub fn iter(&self) -> impl Iterator<Item = &CacheEntry> {
+        self.entries.values()
+    }
+
+    /// Approximate stored size: encrypted payloads carry the envelope
+    /// overhead of the deterministic cipher.
+    fn stored_size(&self, q: &Query, result: &QueryResult, level: ExposureLevel) -> usize {
+        let key_bytes = match level {
+            ExposureLevel::View | ExposureLevel::Stmt => q.statement_text().len(),
+            ExposureLevel::Template => {
+                8 + self.encryptor.encrypt_str(&format!("{:?}", q.params)).len()
+            }
+            ExposureLevel::Blind => self.encryptor.encrypt_str(&q.statement_text()).len(),
+        };
+        let payload = result.approx_size_bytes();
+        let payload_bytes = if level == ExposureLevel::View {
+            payload
+        } else {
+            payload + 8 // envelope overhead of the toy cipher
+        };
+        key_bytes + payload_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scs_sqlkit::parse_query;
+    use std::sync::Arc;
+
+    fn query(tid: usize, param: i64) -> Query {
+        let t = Arc::new(parse_query("SELECT a FROM t WHERE b = ?").unwrap());
+        Query::bind(tid, t, vec![Value::Int(param)]).unwrap()
+    }
+
+    fn result(n: usize) -> QueryResult {
+        QueryResult::new(
+            vec!["t.a".into()],
+            (0..n).map(|i| vec![Value::Int(i as i64)]).collect(),
+        )
+    }
+
+    fn cache() -> ResultCache {
+        ResultCache::new(Encryptor::for_app("test"))
+    }
+
+    #[test]
+    fn store_and_lookup() {
+        let mut c = cache();
+        let q = query(0, 5);
+        assert!(c.store(&q, result(2), ExposureLevel::View));
+        assert_eq!(c.lookup(&q).unwrap().serve().len(), 2);
+        assert!(c.lookup(&query(0, 6)).is_none());
+        assert!(c.lookup(&query(1, 5)).is_none());
+    }
+
+    #[test]
+    fn empty_results_not_cached() {
+        let mut c = cache();
+        let q = query(0, 5);
+        assert!(!c.store(&q, result(0), ExposureLevel::View));
+        assert!(c.lookup(&q).is_none());
+    }
+
+    #[test]
+    fn visibility_gates_by_level() {
+        let mut c = cache();
+        for (level, tid) in [
+            (ExposureLevel::View, 0),
+            (ExposureLevel::Stmt, 1),
+            (ExposureLevel::Template, 2),
+            (ExposureLevel::Blind, 3),
+        ] {
+            c.store(&query(tid, 1), result(1), level);
+        }
+        let by_tid = |tid: usize| c.peek(&query(tid, 1)).unwrap();
+        assert!(by_tid(0).visible_result().is_some());
+        assert!(by_tid(0).visible_statement().is_some());
+        assert!(by_tid(1).visible_result().is_none());
+        assert!(by_tid(1).visible_statement().is_some());
+        assert!(by_tid(2).visible_statement().is_none());
+        assert_eq!(by_tid(2).visible_template_id(), Some(2));
+        assert!(by_tid(3).visible_template_id().is_none());
+        // Serving always works — the client decrypts.
+        assert_eq!(by_tid(3).serve().len(), 1);
+    }
+
+    #[test]
+    fn invalidate_where_removes_matches() {
+        let mut c = cache();
+        for p in 0..10 {
+            c.store(&query(0, p), result(1), ExposureLevel::View);
+        }
+        let (scanned, dropped) =
+            c.invalidate_where(|e| matches!(e.key().params[0], Value::Int(p) if p % 2 == 0));
+        assert_eq!(scanned, 10);
+        assert_eq!(dropped, 5);
+        assert_eq!(c.len(), 5);
+        assert!(c.lookup(&query(0, 1)).is_some());
+        assert!(c.lookup(&query(0, 2)).is_none());
+    }
+
+    #[test]
+    fn clear_empties_cache() {
+        let mut c = cache();
+        c.store(&query(0, 1), result(1), ExposureLevel::Blind);
+        c.store(&query(0, 2), result(1), ExposureLevel::Blind);
+        assert_eq!(c.clear(), 2);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn restore_overwrites() {
+        let mut c = cache();
+        let q = query(0, 1);
+        c.store(&q, result(1), ExposureLevel::View);
+        c.store(&q, result(3), ExposureLevel::View);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.lookup(&q).unwrap().serve().len(), 3);
+    }
+
+    #[test]
+    fn capacity_evicts_lru() {
+        let mut c = ResultCache::with_capacity(Encryptor::for_app("test"), 3);
+        for p in 0..3 {
+            c.store(&query(0, p), result(1), ExposureLevel::View);
+        }
+        // Touch 0 and 1; storing a 4th entry must evict 2 (the LRU).
+        c.lookup(&query(0, 0));
+        c.lookup(&query(0, 1));
+        c.store(&query(0, 3), result(1), ExposureLevel::View);
+        assert_eq!(c.len(), 3);
+        assert!(c.peek(&query(0, 0)).is_some());
+        assert!(c.peek(&query(0, 1)).is_some());
+        assert!(c.peek(&query(0, 2)).is_none(), "LRU victim");
+        assert!(c.peek(&query(0, 3)).is_some());
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let mut c = cache();
+        for p in 0..1000 {
+            c.store(&query(0, p), result(1), ExposureLevel::View);
+        }
+        assert_eq!(c.len(), 1000);
+        assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn capacity_of_zero_clamps_to_one() {
+        let mut c = ResultCache::with_capacity(Encryptor::for_app("test"), 0);
+        c.store(&query(0, 1), result(1), ExposureLevel::View);
+        c.store(&query(0, 2), result(1), ExposureLevel::View);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn encrypted_entries_are_larger() {
+        let mut c = cache();
+        c.store(&query(0, 1), result(5), ExposureLevel::View);
+        c.store(&query(1, 1), result(5), ExposureLevel::Blind);
+        let view = c.lookup(&query(0, 1)).unwrap().stored_bytes;
+        let blind = c.lookup(&query(1, 1)).unwrap().stored_bytes;
+        assert!(blind > view, "encryption envelope adds overhead");
+    }
+}

@@ -1,0 +1,54 @@
+//! The application home server: master copies of all data (Figure 1).
+
+use scs_sqlkit::{Query, Update};
+use scs_storage::{Database, QueryResult, StorageError, UpdateEffect};
+
+/// Wraps the master database with simple accounting — the home server's
+/// load (queries served on cache misses + updates) is what limits
+/// scalability in the evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct HomeServer {
+    db: Database,
+    queries_served: u64,
+    updates_applied: u64,
+}
+
+impl HomeServer {
+    pub fn new(db: Database) -> HomeServer {
+        HomeServer {
+            db,
+            queries_served: 0,
+            updates_applied: 0,
+        }
+    }
+
+    /// Executes a query against the master copy (a DSSP cache miss).
+    pub fn execute_query(&mut self, q: &Query) -> Result<QueryResult, StorageError> {
+        self.queries_served += 1;
+        self.db.execute(q)
+    }
+
+    /// Applies an update to the master copy.
+    pub fn apply_update(&mut self, u: &Update) -> Result<UpdateEffect, StorageError> {
+        self.updates_applied += 1;
+        self.db.apply(u)
+    }
+
+    /// Read access for tests and ground-truth checks (not part of the DSSP
+    /// pathway).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    pub fn queries_served(&self) -> u64 {
+        self.queries_served
+    }
+
+    pub fn updates_applied(&self) -> u64 {
+        self.updates_applied
+    }
+}

@@ -1,0 +1,38 @@
+//! # scs-dssp — the Database Scalability Service Provider prototype
+//!
+//! Implements the shaded cloud of the paper's Figure 1: a third-party node
+//! that caches (possibly encrypted) query results on behalf of Web
+//! applications, answers queries from the cache, forwards misses and all
+//! updates to the application home server, and invalidates cached results
+//! to maintain consistency (Figure 2's pathways).
+//!
+//! * [`cache`] — the result cache with exposure-gated visibility and
+//!   deterministic-encryption key mechanics (footnote 3);
+//! * [`statement`] — the minimal statement-inspection decision (MSIS);
+//! * [`view`] — the minimal view-inspection decision (MVIS) with the §4.4
+//!   refinement rules;
+//! * [`strategy`] — the Figure-6 dispatch across exposure levels, and the
+//!   four pure strategy classes (MBS/MTIS/MSIS/MVIS);
+//! * [`proxy`] — the DSSP node itself; [`home`] — the home server.
+//!
+//! Invalidation correctness (the §2.2 definition — a changed view is
+//! always invalidated) is verified end-to-end by property tests in
+//! `tests/correctness.rs` against ground-truth re-execution.
+
+pub mod cache;
+pub mod home;
+pub mod proxy;
+pub mod statement;
+pub mod stats;
+pub mod strategy;
+pub mod tenant;
+pub mod view;
+
+pub use cache::{CacheEntry, CacheKey, ResultCache};
+pub use home::HomeServer;
+pub use proxy::{Dssp, DsspConfig, QueryResponse, UpdateResponse};
+pub use statement::statement_may_affect;
+pub use stats::DsspStats;
+pub use strategy::{must_invalidate, StrategyKind, UpdateView};
+pub use tenant::{DsspNode, NodeError, TenantId};
+pub use view::view_may_affect;

@@ -1,0 +1,290 @@
+//! The DSSP proxy node: answers queries from the cache, forwards misses to
+//! the home server, routes updates through, and invalidates affected
+//! cached results (Figure 2's pathways).
+
+use crate::cache::ResultCache;
+use crate::home::HomeServer;
+use crate::stats::DsspStats;
+use crate::strategy::{must_invalidate, UpdateView};
+use scs_core::{Exposures, IpmMatrix};
+use scs_crypto::Encryptor;
+use scs_sqlkit::{Query, Update};
+use scs_storage::{QueryResult, StorageError, UpdateEffect};
+
+/// Configuration for one application's slice of the DSSP.
+#[derive(Clone)]
+pub struct DsspConfig {
+    /// Application identifier (keys the tenant's encryption).
+    pub app_id: String,
+    /// Per-template exposure levels (from the §3 methodology, or a uniform
+    /// assignment for the pure strategies of §2.2).
+    pub exposures: Exposures,
+    /// The statically derived IPM characterization for the application.
+    pub matrix: IpmMatrix,
+    /// Optional cache capacity in entries (LRU eviction); `None` =
+    /// unbounded, as in the paper's prototype.
+    pub cache_capacity: Option<usize>,
+}
+
+impl DsspConfig {
+    /// An unbounded-cache configuration (the paper's setting).
+    pub fn new(app_id: impl Into<String>, exposures: Exposures, matrix: IpmMatrix) -> DsspConfig {
+        DsspConfig {
+            app_id: app_id.into(),
+            exposures,
+            matrix,
+            cache_capacity: None,
+        }
+    }
+}
+
+/// The outcome of a query through the DSSP.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    pub result: QueryResult,
+    /// Whether the cache answered (no home-server round trip).
+    pub hit: bool,
+}
+
+/// The outcome of an update through the DSSP.
+#[derive(Debug, Clone)]
+pub struct UpdateResponse {
+    pub effect: UpdateEffect,
+    /// Cache entries examined by the invalidation pass.
+    pub scanned: usize,
+    /// Cache entries invalidated.
+    pub invalidated: usize,
+}
+
+/// One application's DSSP proxy state.
+pub struct Dssp {
+    exposures: Exposures,
+    matrix: IpmMatrix,
+    cache: ResultCache,
+    stats: DsspStats,
+}
+
+impl Dssp {
+    pub fn new(config: DsspConfig) -> Dssp {
+        let encryptor = Encryptor::for_app(&config.app_id);
+        let cache = match config.cache_capacity {
+            Some(cap) => ResultCache::with_capacity(encryptor, cap),
+            None => ResultCache::new(encryptor),
+        };
+        Dssp {
+            cache,
+            exposures: config.exposures,
+            matrix: config.matrix,
+            stats: DsspStats::default(),
+        }
+    }
+
+    /// Cache entries evicted by the capacity bound (0 when unbounded).
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache.evictions()
+    }
+
+    /// Handles a client query: serve from cache, or forward to the home
+    /// server and cache the (non-empty) result.
+    pub fn execute_query(
+        &mut self,
+        q: &Query,
+        home: &mut HomeServer,
+    ) -> Result<QueryResponse, StorageError> {
+        self.stats.queries += 1;
+        if let Some(entry) = self.cache.lookup(q) {
+            self.stats.hits += 1;
+            return Ok(QueryResponse {
+                result: entry.serve().clone(),
+                hit: true,
+            });
+        }
+        self.stats.misses += 1;
+        let result = home.execute_query(q)?;
+        let level = self.exposures.queries[q.template_id];
+        self.cache.store(q, result.clone(), level);
+        Ok(QueryResponse { result, hit: false })
+    }
+
+    /// Handles an update: apply at the home server (master copy), then
+    /// invalidate affected cached results. The DSSP never sees more of the
+    /// update than its exposure level allows.
+    pub fn execute_update(
+        &mut self,
+        u: &Update,
+        home: &mut HomeServer,
+    ) -> Result<UpdateResponse, StorageError> {
+        self.stats.updates += 1;
+        let effect = home.apply_update(u)?;
+        let view = UpdateView::new(u, self.exposures.updates[u.template_id]);
+        let matrix = &self.matrix;
+        let (scanned, invalidated) = self
+            .cache
+            .invalidate_where(|entry| must_invalidate(matrix, &view, entry));
+        self.stats.entries_scanned += scanned as u64;
+        self.stats.invalidations += invalidated as u64;
+        Ok(UpdateResponse {
+            effect,
+            scanned,
+            invalidated,
+        })
+    }
+
+    pub fn stats(&self) -> &DsspStats {
+        &self.stats
+    }
+
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Iterates over cached entries — used by correctness tests to verify
+    /// freshness against re-execution, never by the serving path.
+    pub fn cache_entries(&self) -> impl Iterator<Item = &crate::cache::CacheEntry> {
+        self.cache.iter()
+    }
+
+    pub fn exposures(&self) -> &Exposures {
+        &self.exposures
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::StrategyKind;
+    use scs_core::{characterize_app, AnalysisOptions, Catalog};
+    use scs_sqlkit::{parse_query, parse_update, QueryTemplate, UpdateTemplate, Value};
+    use scs_storage::{ColumnType, Database, TableSchema};
+    use std::sync::Arc;
+
+    struct Fixture {
+        dssp: Dssp,
+        home: HomeServer,
+        queries: Vec<Arc<QueryTemplate>>,
+        updates: Vec<Arc<UpdateTemplate>>,
+    }
+
+    fn fixture(kind: StrategyKind) -> Fixture {
+        let schema = TableSchema::builder("toys")
+            .column("toy_id", ColumnType::Int)
+            .column("toy_name", ColumnType::Str)
+            .column("qty", ColumnType::Int)
+            .primary_key(&["toy_id"])
+            .index("toy_name")
+            .build()
+            .unwrap();
+        let mut db = Database::new();
+        db.create_table(schema.clone()).unwrap();
+        for (id, name, qty) in [(1, "bear", 10), (2, "car", 5), (3, "kite", 7)] {
+            db.insert_row(
+                "toys",
+                vec![Value::Int(id), Value::str(name), Value::Int(qty)],
+            )
+            .unwrap();
+        }
+        let queries = vec![
+            Arc::new(parse_query("SELECT toy_id FROM toys WHERE toy_name = ?").unwrap()),
+            Arc::new(parse_query("SELECT qty FROM toys WHERE toy_id = ?").unwrap()),
+        ];
+        let updates = vec![Arc::new(
+            parse_update("DELETE FROM toys WHERE toy_id = ?").unwrap(),
+        )];
+        let catalog = Catalog::new([schema]);
+        let matrix = characterize_app(&updates, &queries, &catalog, AnalysisOptions::default());
+        let dssp = Dssp::new(DsspConfig {
+            app_id: "toystore".into(),
+            exposures: kind.exposures(updates.len(), queries.len()),
+            matrix,
+            cache_capacity: None,
+        });
+        Fixture {
+            dssp,
+            home: HomeServer::new(db),
+            queries,
+            updates,
+        }
+    }
+
+    impl Fixture {
+        fn query(&mut self, tid: usize, params: Vec<Value>) -> QueryResponse {
+            let q = Query::bind(tid, self.queries[tid].clone(), params).unwrap();
+            self.dssp.execute_query(&q, &mut self.home).unwrap()
+        }
+
+        fn update(&mut self, tid: usize, params: Vec<Value>) -> UpdateResponse {
+            let u = Update::bind(tid, self.updates[tid].clone(), params).unwrap();
+            self.dssp.execute_update(&u, &mut self.home).unwrap()
+        }
+    }
+
+    #[test]
+    fn cache_hit_after_miss() {
+        let mut f = fixture(StrategyKind::ViewInspection);
+        let r1 = f.query(0, vec![Value::str("bear")]);
+        assert!(!r1.hit);
+        let r2 = f.query(0, vec![Value::str("bear")]);
+        assert!(r2.hit);
+        assert_eq!(r1.result, r2.result);
+        assert_eq!(f.home.queries_served(), 1);
+    }
+
+    #[test]
+    fn blind_strategy_clears_everything() {
+        let mut f = fixture(StrategyKind::Blind);
+        f.query(0, vec![Value::str("bear")]);
+        f.query(1, vec![Value::Int(2)]);
+        assert_eq!(f.dssp.cache_len(), 2);
+        let resp = f.update(0, vec![Value::Int(3)]);
+        assert_eq!(resp.invalidated, 2, "blind: every entry invalidated");
+        assert_eq!(f.dssp.cache_len(), 0);
+    }
+
+    #[test]
+    fn statement_strategy_spares_unrelated_instances() {
+        let mut f = fixture(StrategyKind::StatementInspection);
+        f.query(1, vec![Value::Int(1)]);
+        f.query(1, vec![Value::Int(2)]);
+        let resp = f.update(0, vec![Value::Int(2)]); // delete toy 2
+        assert_eq!(resp.invalidated, 1, "only the toy_id = 2 instance dies");
+        // toy 1 entry still served from cache.
+        assert!(f.query(1, vec![Value::Int(1)]).hit);
+        assert!(!f.query(1, vec![Value::Int(2)]).hit);
+    }
+
+    #[test]
+    fn template_strategy_invalidates_all_instances_of_affected_templates() {
+        let mut f = fixture(StrategyKind::TemplateInspection);
+        f.query(1, vec![Value::Int(1)]);
+        f.query(1, vec![Value::Int(2)]);
+        let resp = f.update(0, vec![Value::Int(3)]);
+        assert_eq!(
+            resp.invalidated, 2,
+            "template level cannot compare parameters"
+        );
+    }
+
+    #[test]
+    fn updated_data_is_re_fetched_fresh() {
+        let mut f = fixture(StrategyKind::ViewInspection);
+        let before = f.query(1, vec![Value::Int(2)]);
+        assert_eq!(before.result.rows, vec![vec![Value::Int(5)]]);
+        f.update(0, vec![Value::Int(2)]);
+        let after = f.query(1, vec![Value::Int(2)]);
+        assert!(!after.hit);
+        assert!(after.result.is_empty(), "toy 2 deleted at the master");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut f = fixture(StrategyKind::ViewInspection);
+        f.query(0, vec![Value::str("bear")]);
+        f.query(0, vec![Value::str("bear")]);
+        f.update(0, vec![Value::Int(9)]);
+        let s = f.dssp.stats();
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.updates, 1);
+    }
+}

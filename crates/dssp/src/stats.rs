@@ -1,0 +1,63 @@
+//! DSSP runtime statistics.
+
+/// Counters accumulated by a [`crate::Dssp`] proxy. The hit rate and
+/// invalidation volume are the mechanism behind the paper's Figure 8:
+/// lower exposure ⇒ more invalidations ⇒ lower hit rate ⇒ more home-server
+/// load ⇒ lower scalability.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DsspStats {
+    pub queries: u64,
+    pub hits: u64,
+    pub misses: u64,
+    pub updates: u64,
+    /// Total cache entries invalidated across all updates.
+    pub invalidations: u64,
+    /// Total cache entries examined by invalidation passes.
+    pub entries_scanned: u64,
+}
+
+impl DsspStats {
+    /// Cache hit rate in `[0, 1]` (0 when no queries ran).
+    pub fn hit_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.queries as f64
+        }
+    }
+
+    /// Mean entries invalidated per update (0 when no updates ran).
+    pub fn invalidations_per_update(&self) -> f64 {
+        if self.updates == 0 {
+            0.0
+        } else {
+            self.invalidations as f64 / self.updates as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let s = DsspStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.invalidations_per_update(), 0.0);
+    }
+
+    #[test]
+    fn rates_compute() {
+        let s = DsspStats {
+            queries: 10,
+            hits: 7,
+            misses: 3,
+            updates: 4,
+            invalidations: 6,
+            entries_scanned: 40,
+        };
+        assert!((s.hit_rate() - 0.7).abs() < 1e-12);
+        assert!((s.invalidations_per_update() - 1.5).abs() < 1e-12);
+    }
+}

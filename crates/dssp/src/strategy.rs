@@ -1,0 +1,162 @@
+//! Invalidation strategy dispatch (§2.2–2.3).
+//!
+//! The DSSP's information about an update and about each cached entry is
+//! bounded by the respective templates' exposure levels; the effective
+//! decision procedure for a pair is the Figure-6 cell:
+//!
+//! * either side `blind` → invalidate (Property 1);
+//! * either side `template` → minimal template inspection: invalidate all
+//!   instances unless the static analysis proved `A = 0`;
+//! * both `stmt` → minimal statement inspection;
+//! * update `stmt` + query `view` → minimal view inspection.
+//!
+//! The four *pure* strategies of §2.2 (MBS, MTIS, MSIS, MVIS) are the
+//! special cases where every template sits at the same level.
+
+use crate::cache::CacheEntry;
+use crate::statement::statement_may_affect;
+use crate::view::view_may_affect;
+use scs_core::{ExposureLevel, IpmMatrix};
+use scs_sqlkit::{TemplateId, Update};
+
+/// What the DSSP can see of an in-flight update, gated by `E(U^T)`.
+#[derive(Debug, Clone, Copy)]
+pub struct UpdateView<'a> {
+    level: ExposureLevel,
+    template_id: TemplateId,
+    update: &'a Update,
+}
+
+impl<'a> UpdateView<'a> {
+    /// Wraps an update at exposure `level` (must be valid for updates).
+    pub fn new(update: &'a Update, level: ExposureLevel) -> UpdateView<'a> {
+        assert!(level.valid_for_update(), "update exposure cannot be `view`");
+        UpdateView {
+            level,
+            template_id: update.template_id,
+            update,
+        }
+    }
+
+    pub fn level(&self) -> ExposureLevel {
+        self.level
+    }
+
+    /// The template id — visible at `template` exposure and above.
+    pub fn visible_template_id(&self) -> Option<TemplateId> {
+        (self.level >= ExposureLevel::Template).then_some(self.template_id)
+    }
+
+    /// The full statement — visible at `stmt` exposure.
+    pub fn visible_statement(&self) -> Option<&'a Update> {
+        (self.level >= ExposureLevel::Stmt).then_some(self.update)
+    }
+}
+
+/// The minimal correct decision available at the information level of the
+/// pair `(update view, cache entry)`: `true` = invalidate.
+pub fn must_invalidate(matrix: &IpmMatrix, uv: &UpdateView<'_>, entry: &CacheEntry) -> bool {
+    // Property 1: a blind side leaves no information — invalidate.
+    let (Some(uid), Some(qid)) = (uv.visible_template_id(), entry.visible_template_id()) else {
+        return true;
+    };
+    // Template-level: the statically derived A decides; A = 0 is sound at
+    // every higher level too (Property 3 collapses the gradient).
+    if matrix.entry(uid, qid).all_zero() {
+        return false;
+    }
+    let (Some(u), Some(q)) = (uv.visible_statement(), entry.visible_statement()) else {
+        // One side stops at template exposure: invalidate all instances
+        // (A = 1 for this pair).
+        return true;
+    };
+    match entry.visible_result() {
+        Some(result) => view_may_affect(u, q, result),
+        None => statement_may_affect(u, q),
+    }
+}
+
+/// The four pure strategy classes of §2.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// MBS — minimal blind strategy: everything encrypted.
+    Blind,
+    /// MTIS — minimal template-inspection strategy.
+    TemplateInspection,
+    /// MSIS — minimal statement-inspection strategy.
+    StatementInspection,
+    /// MVIS — minimal view-inspection strategy: nothing encrypted.
+    ViewInspection,
+}
+
+impl StrategyKind {
+    /// The uniform exposure level implementing this strategy class for
+    /// update templates.
+    pub fn update_level(self) -> ExposureLevel {
+        match self {
+            StrategyKind::Blind => ExposureLevel::Blind,
+            StrategyKind::TemplateInspection => ExposureLevel::Template,
+            StrategyKind::StatementInspection | StrategyKind::ViewInspection => ExposureLevel::Stmt,
+        }
+    }
+
+    /// The uniform exposure level implementing this strategy class for
+    /// query templates.
+    pub fn query_level(self) -> ExposureLevel {
+        match self {
+            StrategyKind::Blind => ExposureLevel::Blind,
+            StrategyKind::TemplateInspection => ExposureLevel::Template,
+            StrategyKind::StatementInspection => ExposureLevel::Stmt,
+            StrategyKind::ViewInspection => ExposureLevel::View,
+        }
+    }
+
+    /// Uniform exposures for an application with the given template counts.
+    pub fn exposures(self, update_count: usize, query_count: usize) -> scs_core::Exposures {
+        scs_core::Exposures {
+            updates: vec![self.update_level(); update_count],
+            queries: vec![self.query_level(); query_count],
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::Blind => "MBS",
+            StrategyKind::TemplateInspection => "MTIS",
+            StrategyKind::StatementInspection => "MSIS",
+            StrategyKind::ViewInspection => "MVIS",
+        }
+    }
+
+    /// All four, most-exposed first (the x-axis of the paper's Figure 8 is
+    /// MVIS, MSIS, MTIS, MBS).
+    pub const ALL: [StrategyKind; 4] = [
+        StrategyKind::ViewInspection,
+        StrategyKind::StatementInspection,
+        StrategyKind::TemplateInspection,
+        StrategyKind::Blind,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ExposureLevel::*;
+
+    #[test]
+    fn strategy_levels() {
+        assert_eq!(StrategyKind::Blind.query_level(), Blind);
+        assert_eq!(StrategyKind::TemplateInspection.update_level(), Template);
+        assert_eq!(StrategyKind::StatementInspection.query_level(), Stmt);
+        assert_eq!(StrategyKind::ViewInspection.query_level(), View);
+        assert_eq!(StrategyKind::ViewInspection.update_level(), Stmt);
+    }
+
+    #[test]
+    #[should_panic(expected = "update exposure")]
+    fn update_view_rejects_view_level() {
+        let t = std::sync::Arc::new(scs_sqlkit::parse_update("DELETE FROM t WHERE a = ?").unwrap());
+        let u = Update::bind(0, t, vec![scs_sqlkit::Value::Int(1)]).unwrap();
+        let _ = UpdateView::new(&u, View);
+    }
+}

@@ -1,0 +1,246 @@
+//! Multi-tenant DSSP node.
+//!
+//! "To be cost-effective, DSSPs will need to cache data from home servers
+//! of many applications" (§1, Figure 1) — which is exactly why security
+//! matters: tenants must not read each other's data, and the DSSP
+//! administrator must not read any tenant's sensitive data (footnote 1).
+//!
+//! [`DsspNode`] hosts one [`Dssp`] proxy per registered application, each
+//! with its own encryption key (derived per `app_id`), exposure
+//! assignment, IPM matrix, and home-server connection. Tenant isolation
+//! is structural: queries and updates are routed by tenant id, and a
+//! tenant's ciphertexts are indecipherable under any other tenant's key
+//! (tested in `scs-crypto`).
+
+use crate::home::HomeServer;
+use crate::proxy::{Dssp, DsspConfig, QueryResponse, UpdateResponse};
+use crate::stats::DsspStats;
+use scs_sqlkit::{Query, Update};
+use scs_storage::StorageError;
+use std::collections::HashMap;
+
+/// Identifies a registered application on the node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u32);
+
+/// Errors at the node routing layer.
+#[derive(Debug)]
+pub enum NodeError {
+    UnknownTenant(TenantId),
+    DuplicateTenant(String),
+    Storage(StorageError),
+}
+
+impl std::fmt::Display for NodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeError::UnknownTenant(t) => write!(f, "unknown tenant {}", t.0),
+            NodeError::DuplicateTenant(app) => write!(f, "app `{app}` already registered"),
+            NodeError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NodeError {}
+
+impl From<StorageError> for NodeError {
+    fn from(e: StorageError) -> Self {
+        NodeError::Storage(e)
+    }
+}
+
+struct Tenant {
+    app_id: String,
+    dssp: Dssp,
+    home: HomeServer,
+}
+
+/// A DSSP node multiplexing many applications.
+#[derive(Default)]
+pub struct DsspNode {
+    tenants: Vec<Tenant>,
+    by_app: HashMap<String, TenantId>,
+}
+
+impl DsspNode {
+    pub fn new() -> DsspNode {
+        DsspNode::default()
+    }
+
+    /// Registers an application: its DSSP configuration plus its home
+    /// server connection. Returns the tenant handle used for routing.
+    pub fn register(
+        &mut self,
+        config: DsspConfig,
+        home: HomeServer,
+    ) -> Result<TenantId, NodeError> {
+        if self.by_app.contains_key(&config.app_id) {
+            return Err(NodeError::DuplicateTenant(config.app_id));
+        }
+        let id = TenantId(self.tenants.len() as u32);
+        self.by_app.insert(config.app_id.clone(), id);
+        self.tenants.push(Tenant {
+            app_id: config.app_id.clone(),
+            dssp: Dssp::new(config),
+            home,
+        });
+        Ok(id)
+    }
+
+    /// Number of registered applications.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Looks up a tenant id by application name.
+    pub fn tenant_of(&self, app_id: &str) -> Option<TenantId> {
+        self.by_app.get(app_id).copied()
+    }
+
+    fn tenant_mut(&mut self, t: TenantId) -> Result<&mut Tenant, NodeError> {
+        self.tenants
+            .get_mut(t.0 as usize)
+            .ok_or(NodeError::UnknownTenant(t))
+    }
+
+    /// Routes a query to its tenant's proxy.
+    pub fn execute_query(
+        &mut self,
+        t: TenantId,
+        q: &Query,
+    ) -> Result<QueryResponse, NodeError> {
+        let tenant = self.tenant_mut(t)?;
+        Ok(tenant.dssp.execute_query(q, &mut tenant.home)?)
+    }
+
+    /// Routes an update to its tenant's proxy. Only the tenant's own
+    /// cached entries are scanned — one tenant's updates never disturb
+    /// another's cache.
+    pub fn execute_update(
+        &mut self,
+        t: TenantId,
+        u: &Update,
+    ) -> Result<UpdateResponse, NodeError> {
+        let tenant = self.tenant_mut(t)?;
+        Ok(tenant.dssp.execute_update(u, &mut tenant.home)?)
+    }
+
+    /// Per-tenant statistics, by application name.
+    pub fn stats(&self) -> Vec<(&str, DsspStats)> {
+        self.tenants
+            .iter()
+            .map(|t| (t.app_id.as_str(), *t.dssp.stats()))
+            .collect()
+    }
+
+    /// Total cached entries across tenants (node capacity planning).
+    pub fn total_cache_entries(&self) -> usize {
+        self.tenants.iter().map(|t| t.dssp.cache_len()).sum()
+    }
+
+    /// Read access to one tenant's proxy (diagnostics/tests).
+    pub fn dssp(&self, t: TenantId) -> Option<&Dssp> {
+        self.tenants.get(t.0 as usize).map(|x| &x.dssp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::StrategyKind;
+    use scs_core::{characterize_app, AnalysisOptions, Catalog};
+    use scs_sqlkit::{parse_query, parse_update, Value};
+    use scs_storage::{ColumnType, Database, TableSchema};
+    use std::sync::Arc;
+
+    fn make_tenant(app_id: &str, seed_val: i64) -> (DsspConfig, HomeServer, Arc<scs_sqlkit::QueryTemplate>, Arc<scs_sqlkit::UpdateTemplate>) {
+        let schema = TableSchema::builder("t")
+            .column("id", ColumnType::Int)
+            .column("v", ColumnType::Int)
+            .primary_key(&["id"])
+            .build()
+            .unwrap();
+        let mut db = Database::new();
+        db.create_table(schema.clone()).unwrap();
+        for id in 1..=5 {
+            db.insert_row("t", vec![Value::Int(id), Value::Int(seed_val * id)]).unwrap();
+        }
+        let q = Arc::new(parse_query("SELECT v FROM t WHERE id = ?").unwrap());
+        let u = Arc::new(parse_update("UPDATE t SET v = ? WHERE id = ?").unwrap());
+        let matrix = characterize_app(
+            std::slice::from_ref(&u),
+            std::slice::from_ref(&q),
+            &Catalog::new([schema]),
+            AnalysisOptions::default(),
+        );
+        let config = DsspConfig::new(
+            app_id,
+            StrategyKind::StatementInspection.exposures(1, 1),
+            matrix,
+        );
+        (config, HomeServer::new(db), q, u)
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let mut node = DsspNode::new();
+        let (ca, ha, qa, _) = make_tenant("app-a", 10);
+        let (cb, hb, qb, ub) = make_tenant("app-b", 100);
+        let ta = node.register(ca, ha).unwrap();
+        let tb = node.register(cb, hb).unwrap();
+        assert_eq!(node.tenant_count(), 2);
+        assert_eq!(node.tenant_of("app-a"), Some(ta));
+
+        // Same logical query, different tenants, different data.
+        let q_a = Query::bind(0, qa, vec![Value::Int(3)]).unwrap();
+        let q_b = Query::bind(0, qb, vec![Value::Int(3)]).unwrap();
+        let ra = node.execute_query(ta, &q_a).unwrap();
+        let rb = node.execute_query(tb, &q_b).unwrap();
+        assert_eq!(ra.result.rows, vec![vec![Value::Int(30)]]);
+        assert_eq!(rb.result.rows, vec![vec![Value::Int(300)]]);
+
+        // Warm both caches; an update by tenant B must not touch tenant
+        // A's entries.
+        assert!(node.execute_query(ta, &q_a).unwrap().hit);
+        assert!(node.execute_query(tb, &q_b).unwrap().hit);
+        let u_b = Update::bind(0, ub, vec![Value::Int(1), Value::Int(3)]).unwrap();
+        let resp = node.execute_update(tb, &u_b).unwrap();
+        assert_eq!(resp.invalidated, 1, "B's own entry dies");
+        assert!(node.execute_query(ta, &q_a).unwrap().hit, "A's entry survives");
+        assert!(!node.execute_query(tb, &q_b).unwrap().hit);
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let mut node = DsspNode::new();
+        let (ca, ha, _, _) = make_tenant("app-a", 1);
+        let (cb, hb, _, _) = make_tenant("app-a", 2);
+        node.register(ca, ha).unwrap();
+        assert!(matches!(node.register(cb, hb), Err(NodeError::DuplicateTenant(_))));
+    }
+
+    #[test]
+    fn unknown_tenant_rejected() {
+        let mut node = DsspNode::new();
+        let (_, _, q, _) = make_tenant("x", 1);
+        let query = Query::bind(0, q, vec![Value::Int(1)]).unwrap();
+        assert!(matches!(
+            node.execute_query(TenantId(9), &query),
+            Err(NodeError::UnknownTenant(_))
+        ));
+    }
+
+    #[test]
+    fn node_stats_aggregate() {
+        let mut node = DsspNode::new();
+        let (ca, ha, qa, _) = make_tenant("app-a", 1);
+        let ta = node.register(ca, ha).unwrap();
+        let q = Query::bind(0, qa, vec![Value::Int(1)]).unwrap();
+        node.execute_query(ta, &q).unwrap();
+        node.execute_query(ta, &q).unwrap();
+        let stats = node.stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].1.queries, 2);
+        assert_eq!(node.total_cache_entries(), 1);
+    }
+}

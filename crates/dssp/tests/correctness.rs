@@ -1,0 +1,306 @@
+//! End-to-end invalidation-correctness property tests.
+//!
+//! The paper's Correctness definition (§2.2): a view invalidation strategy
+//! is correct iff whenever a view changes in response to an update, all
+//! corresponding cached instances are invalidated. Equivalently: after any
+//! update, every entry still in the cache equals the re-executed query.
+//!
+//! These tests drive random workloads over a two-table schema through the
+//! DSSP under all four pure strategies plus random mixed exposure
+//! assignments, checking:
+//!
+//! 1. **freshness** — no cached entry ever goes stale;
+//! 2. **containment** (Figure 4) — the surviving cache of a
+//!    less-informed strategy is a subset of a more-informed one's;
+//! 3. **gradient** (Property 3) — measured invalidation counts are
+//!    monotone: MBS ≥ MTIS ≥ MSIS ≥ MVIS.
+
+use proptest::prelude::*;
+use scs_core::{characterize_app, AnalysisOptions, Catalog, ExposureLevel, Exposures};
+use scs_dssp::{Dssp, DsspConfig, HomeServer, StrategyKind};
+use scs_sqlkit::{parse_query, parse_update, Query, QueryTemplate, Update, UpdateTemplate, Value};
+use scs_storage::{ColumnType, Database, TableSchema};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+const QUERY_SQL: &[&str] = &[
+    "SELECT val FROM alpha WHERE id = ?",
+    "SELECT id FROM alpha WHERE name = ?",
+    "SELECT id FROM alpha WHERE val > ?",
+    "SELECT alpha.name, beta.score FROM alpha, beta \
+     WHERE alpha.id = beta.aid AND beta.score >= ?",
+    "SELECT MAX(val) FROM alpha",
+    "SELECT id, val FROM alpha ORDER BY val DESC, id LIMIT 2",
+    "SELECT COUNT(*) FROM beta WHERE aid = ?",
+    "SELECT name, COUNT(*) FROM alpha GROUP BY name ORDER BY name",
+];
+
+const UPDATE_SQL: &[&str] = &[
+    "INSERT INTO alpha (id, name, val) VALUES (?, ?, ?)",
+    "DELETE FROM alpha WHERE id = ?",
+    "UPDATE alpha SET val = ? WHERE id = ?",
+    "INSERT INTO beta (id, aid, score) VALUES (?, ?, ?)",
+    "DELETE FROM beta WHERE score < ?",
+    "UPDATE alpha SET name = ? WHERE id = ?",
+];
+
+fn schemas() -> Vec<TableSchema> {
+    vec![
+        TableSchema::builder("alpha")
+            .column("id", ColumnType::Int)
+            .column("name", ColumnType::Str)
+            .column("val", ColumnType::Int)
+            .primary_key(&["id"])
+            .index("name")
+            .build()
+            .unwrap(),
+        TableSchema::builder("beta")
+            .column("id", ColumnType::Int)
+            .column("aid", ColumnType::Int)
+            .column("score", ColumnType::Int)
+            .primary_key(&["id"])
+            .foreign_key(&["aid"], "alpha", &["id"])
+            .build()
+            .unwrap(),
+    ]
+}
+
+fn seed_database() -> Database {
+    let mut db = Database::new();
+    for s in schemas() {
+        db.create_table(s).unwrap();
+    }
+    let names = ["ada", "bob", "cyd"];
+    for id in 0..6i64 {
+        db.insert_row(
+            "alpha",
+            vec![
+                Value::Int(id),
+                Value::str(names[id as usize % names.len()]),
+                Value::Int((id * 7) % 20),
+            ],
+        )
+        .unwrap();
+    }
+    for id in 0..6i64 {
+        db.insert_row(
+            "beta",
+            vec![
+                Value::Int(id),
+                Value::Int(id % 6),
+                Value::Int((id * 3) % 15),
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+fn templates() -> (Vec<Arc<UpdateTemplate>>, Vec<Arc<QueryTemplate>>) {
+    (
+        UPDATE_SQL
+            .iter()
+            .map(|s| Arc::new(parse_update(s).unwrap()))
+            .collect(),
+        QUERY_SQL
+            .iter()
+            .map(|s| Arc::new(parse_query(s).unwrap()))
+            .collect(),
+    )
+}
+
+/// One workload operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Query { tid: usize, params: Vec<Value> },
+    Update { tid: usize, params: Vec<Value> },
+}
+
+fn value_pool() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (0..12i64).prop_map(Value::Int),
+        prop_oneof![Just("ada"), Just("bob"), Just("cyd"), Just("dee")].prop_map(Value::str),
+    ]
+}
+
+fn int_param() -> impl Strategy<Value = Value> {
+    (0..20i64).prop_map(Value::Int)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let (updates, queries) = templates();
+    let q_counts: Vec<usize> = queries.iter().map(|t| t.param_count).collect();
+    let u_counts: Vec<usize> = updates.iter().map(|t| t.param_count()).collect();
+    prop_oneof![
+        3 => (0..QUERY_SQL.len()).prop_flat_map(move |tid| {
+            let n = q_counts[tid];
+            // Template 1 (name lookup) takes a string; everything else ints.
+            let params = if tid == 1 {
+                proptest::collection::vec(value_pool(), n).boxed()
+            } else {
+                proptest::collection::vec(int_param(), n).boxed()
+            };
+            params.prop_map(move |params| Op::Query { tid, params })
+        }),
+        2 => (0..UPDATE_SQL.len()).prop_flat_map(move |tid| {
+            let n = u_counts[tid];
+            proptest::collection::vec(int_param(), n).prop_map(move |mut params| {
+                // Insert-name / set-name parameters must be strings.
+                if tid == 0 {
+                    params[1] = Value::str("dee");
+                }
+                if tid == 5 {
+                    params[0] = Value::str("eve");
+                }
+                Op::Update { tid, params }
+            })
+        }),
+    ]
+}
+
+struct Harness {
+    dssp: Dssp,
+    home: HomeServer,
+    updates: Vec<Arc<UpdateTemplate>>,
+    queries: Vec<Arc<QueryTemplate>>,
+}
+
+impl Harness {
+    fn new(exposures: Exposures) -> Harness {
+        let (updates, queries) = templates();
+        let catalog = Catalog::new(schemas());
+        let matrix = characterize_app(&updates, &queries, &catalog, AnalysisOptions::default());
+        Harness {
+            dssp: Dssp::new(DsspConfig {
+                app_id: "prop".into(),
+                exposures,
+                matrix,
+                cache_capacity: None,
+            }),
+            home: HomeServer::new(seed_database()),
+            updates,
+            queries,
+        }
+    }
+
+    fn apply(&mut self, op: &Op) {
+        match op {
+            Op::Query { tid, params } => {
+                let q = Query::bind(*tid, self.queries[*tid].clone(), params.clone()).unwrap();
+                // Type errors cannot occur (params matched to schema).
+                self.dssp.execute_query(&q, &mut self.home).unwrap();
+            }
+            Op::Update { tid, params } => {
+                let u = Update::bind(*tid, self.updates[*tid].clone(), params.clone()).unwrap();
+                // Duplicate keys / FK violations are rejected by the home
+                // server before any cache action — skip those ops.
+                let _ = self.dssp.execute_update(&u, &mut self.home);
+            }
+        }
+    }
+
+    /// Asserts every cached entry matches ground-truth re-execution.
+    fn assert_fresh(&self) {
+        for entry in self.dssp.cache_entries() {
+            let key = entry.key();
+            let q = Query::bind(
+                key.template_id,
+                self.queries[key.template_id].clone(),
+                key.params.clone(),
+            )
+            .unwrap();
+            let truth = self.home.database().execute(&q).unwrap();
+            assert!(
+                entry.serve().multiset_eq(&truth),
+                "STALE cache entry for template {} params {:?}:\n cached {:?}\n truth {:?}",
+                key.template_id,
+                key.params,
+                entry.serve(),
+                truth
+            );
+        }
+    }
+
+    fn cache_keys(&self) -> BTreeSet<(usize, String)> {
+        self.dssp
+            .cache_entries()
+            .map(|e| (e.key().template_id, format!("{:?}", e.key().params)))
+            .collect()
+    }
+}
+
+fn exposure_level(i: u8, for_update: bool) -> ExposureLevel {
+    match i % if for_update { 3 } else { 4 } {
+        0 => ExposureLevel::Blind,
+        1 => ExposureLevel::Template,
+        2 => ExposureLevel::Stmt,
+        _ => ExposureLevel::View,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Freshness under each pure strategy.
+    #[test]
+    fn pure_strategies_never_serve_stale(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        for kind in StrategyKind::ALL {
+            let mut h = Harness::new(kind.exposures(UPDATE_SQL.len(), QUERY_SQL.len()));
+            for op in &ops {
+                h.apply(op);
+                if matches!(op, Op::Update { .. }) {
+                    h.assert_fresh();
+                }
+            }
+            h.assert_fresh();
+        }
+    }
+
+    /// Freshness under arbitrary mixed exposure assignments.
+    #[test]
+    fn mixed_exposures_never_serve_stale(
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+        u_levels in proptest::collection::vec(0u8..3, UPDATE_SQL.len()),
+        q_levels in proptest::collection::vec(0u8..4, QUERY_SQL.len()),
+    ) {
+        let exposures = Exposures {
+            updates: u_levels.iter().map(|i| exposure_level(*i, true)).collect(),
+            queries: q_levels.iter().map(|i| exposure_level(*i, false)).collect(),
+        };
+        let mut h = Harness::new(exposures);
+        for op in &ops {
+            h.apply(op);
+            h.assert_fresh();
+        }
+    }
+
+    /// Figure 4 containment + Property 3 gradient: more information ⇒ the
+    /// surviving cache is a superset, and fewer invalidations occur.
+    #[test]
+    fn strategy_containment_and_gradient(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let mut harnesses: Vec<Harness> = StrategyKind::ALL
+            .iter()
+            .map(|k| Harness::new(k.exposures(UPDATE_SQL.len(), QUERY_SQL.len())))
+            .collect();
+        for op in &ops {
+            for h in &mut harnesses {
+                h.apply(op);
+            }
+        }
+        // ALL is ordered MVIS, MSIS, MTIS, MBS (most → least informed).
+        for w in harnesses.windows(2) {
+            let more = w[0].cache_keys();
+            let less = w[1].cache_keys();
+            prop_assert!(
+                less.is_subset(&more),
+                "less-informed strategy kept an entry the more-informed one dropped"
+            );
+            prop_assert!(
+                w[0].dssp.stats().invalidations <= w[1].dssp.stats().invalidations,
+                "gradient violated: {} < {}",
+                w[1].dssp.stats().invalidations,
+                w[0].dssp.stats().invalidations
+            );
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the statement-inspection machinery: the conjunction
+//! satisfiability test is compared against brute-force evaluation over a
+//! small integer domain. Soundness means the fast test never reports
+//! "unsatisfiable" when a witness exists (it may be conservative the other
+//! way — integer gaps are allowed to pass).
+
+use proptest::prelude::*;
+use scs_dssp::statement::{constraints_satisfiable, Constraint};
+use scs_sqlkit::{CmpOp, Value};
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Eq),
+    ]
+}
+
+fn constraint() -> impl Strategy<Value = Constraint> {
+    (
+        prop_oneof![Just("a"), Just("b"), Just("c")],
+        cmp_op(),
+        -3i64..6,
+    )
+        .prop_map(|(col, op, v)| Constraint {
+            column: col.to_string(),
+            op,
+            value: Value::Int(v),
+        })
+}
+
+/// Brute force: does any assignment over a slightly padded domain satisfy
+/// every constraint? (Domain [-5, 8] strictly contains all constraint
+/// constants ±2, so any real-valued witness implies an integer or
+/// half-integer one within range — we check half-integers too, since the
+/// value domain is dense in the model.)
+fn brute_force_satisfiable(cs: &[Constraint]) -> bool {
+    let cols: Vec<&str> = {
+        let mut v: Vec<&str> = cs.iter().map(|c| c.column.as_str()).collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+    // Candidate values: half-integer grid covering the constants.
+    let grid: Vec<Value> = (-12..=18).map(|x| Value::real(x as f64 / 2.0)).collect();
+    // Columns are independent: a satisfying assignment exists iff each
+    // column's own constraints admit some grid value.
+    cols.iter().all(|col| {
+        grid.iter().any(|v| {
+            cs.iter()
+                .filter(|c| c.column == *col)
+                .all(|c| c.op.eval(v, &c.value))
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Soundness: a brute-force witness implies the fast test agrees.
+    #[test]
+    fn satisfiable_is_sound(cs in proptest::collection::vec(constraint(), 0..8)) {
+        if brute_force_satisfiable(&cs) {
+            prop_assert!(
+                constraints_satisfiable(&cs),
+                "fast test wrongly rejected a satisfiable conjunction: {:?}",
+                cs
+            );
+        }
+    }
+
+    /// Over a *dense* domain the fast test is exact except for empty
+    /// grids that slip between half-integers — which cannot happen, since
+    /// bounds are integers. So disagreement in the other direction means
+    /// the brute force found no witness while the fast test claims one;
+    /// only integer-gap situations (e.g. x > 3 ∧ x < 4) may do that, and
+    /// the half-integer grid covers those. Hence: exactness on this domain.
+    #[test]
+    fn satisfiable_is_exact_on_dense_domain(cs in proptest::collection::vec(constraint(), 0..8)) {
+        prop_assert_eq!(
+            constraints_satisfiable(&cs),
+            brute_force_satisfiable(&cs),
+            "disagreement on {:?}", cs
+        );
+    }
+
+    /// Monotonicity: adding a constraint never turns UNSAT into SAT.
+    #[test]
+    fn adding_constraints_only_restricts(
+        cs in proptest::collection::vec(constraint(), 1..8),
+        extra in constraint(),
+    ) {
+        let mut more = cs.clone();
+        more.push(extra);
+        if !constraints_satisfiable(&cs) {
+            prop_assert!(!constraints_satisfiable(&more));
+        }
+    }
+
+    /// Permutation invariance.
+    #[test]
+    fn order_does_not_matter(cs in proptest::collection::vec(constraint(), 0..8)) {
+        let mut rev = cs.clone();
+        rev.reverse();
+        prop_assert_eq!(constraints_satisfiable(&cs), constraints_satisfiable(&rev));
+    }
+}

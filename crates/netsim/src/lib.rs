@@ -1,0 +1,31 @@
+//! # scs-netsim — discrete-event scalability simulator
+//!
+//! Reproduces the experimental methodology of §5.2 of the paper: emulated
+//! clients with exponential think time (mean 7 s) drive an HTTP-like
+//! request workload through a DSSP node connected to the application home
+//! server over a high-latency, low-bandwidth link (100 ms / 2 Mbps), with
+//! clients near the DSSP (5 ms / 20 Mbps). *Scalability* is the maximum
+//! user count keeping the 90th-percentile response time under 2 seconds.
+//!
+//! The simulator is generic over the logical system (the [`sim::Workload`]
+//! trait): the DSSP crate's proxy executes operations for real, and this
+//! crate turns the observed costs (hit/miss, result sizes, invalidation
+//! work) into queueing delays.
+//!
+//! Modeling note: an operation's full pipeline (DSSP CPU → home link →
+//! home CPU → back) is reserved when the op reaches the DSSP, so stations
+//! serve jobs in *reservation* order rather than strict arrival order.
+//! Throughput, utilization, and saturation behaviour — the quantities the
+//! evaluation depends on — are unaffected.
+
+pub mod metrics;
+pub mod resource;
+pub mod scalability;
+pub mod sim;
+pub mod units;
+
+pub use metrics::{RunMetrics, Sla};
+pub use resource::{DuplexLink, Pipe, ServiceCenter};
+pub use scalability::{find_max_users, ScalabilityResult, SearchOptions};
+pub use sim::{run, HomeTrip, OpCost, SimConfig, SystemSpec, Workload};
+pub use units::{as_secs, Time, MS, SEC};

@@ -1,0 +1,148 @@
+//! Run metrics: response-time percentiles and resource utilizations.
+
+use crate::units::{as_secs, Time};
+
+/// Measurements from one simulation run (the measurement window only —
+/// warmup excluded).
+#[derive(Debug, Clone, Default)]
+pub struct RunMetrics {
+    /// Response time of each completed request, finish-time order.
+    pub response_times: Vec<Time>,
+    /// Operations executed (queries + updates), including warmup.
+    pub ops_executed: u64,
+    /// Requests completed in the measurement window.
+    pub requests_completed: usize,
+    /// Simulated users.
+    pub users: usize,
+    /// Measurement-window length.
+    pub window: Time,
+    /// DSSP CPU utilization over the window.
+    pub dssp_utilization: f64,
+    /// Home-server CPU utilization over the window.
+    pub home_utilization: f64,
+    /// Home-link (downstream, results) utilization over the window.
+    pub home_link_utilization: f64,
+    /// Cache hit rate observed by the workload (filled in by the driver;
+    /// 0 when unknown).
+    pub hit_rate: f64,
+}
+
+impl RunMetrics {
+    /// The `q`-quantile response time (nearest-rank); `None` when no
+    /// requests completed.
+    pub fn percentile(&self, q: f64) -> Option<Time> {
+        if self.response_times.is_empty() {
+            return None;
+        }
+        let mut sorted = self.response_times.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Some(sorted[rank - 1])
+    }
+
+    /// Mean response time in seconds.
+    pub fn mean_response_secs(&self) -> f64 {
+        if self.response_times.is_empty() {
+            return f64::INFINITY;
+        }
+        let total: u128 = self.response_times.iter().map(|t| *t as u128).sum();
+        as_secs((total / self.response_times.len() as u128) as Time)
+    }
+
+    /// Request throughput over the window (requests/second).
+    pub fn throughput(&self) -> f64 {
+        if self.window == 0 {
+            return 0.0;
+        }
+        self.requests_completed as f64 / as_secs(self.window)
+    }
+}
+
+/// The paper's scalability criterion (§5.2): response time below the limit
+/// for the given fraction of requests, with a completion floor so that a
+/// totally collapsed system (few requests finish at all) also fails.
+#[derive(Debug, Clone, Copy)]
+pub struct Sla {
+    /// Response-time quantile that must meet the limit (paper: 0.90).
+    pub quantile: f64,
+    /// The response-time limit (paper: 2 seconds).
+    pub limit: Time,
+    /// Minimum completed requests per user in the window (guards against
+    /// vacuously passing when almost nothing completes).
+    pub min_requests_per_user: f64,
+}
+
+impl Sla {
+    /// The paper's setting: 90% of requests under 2 seconds.
+    pub fn paper() -> Sla {
+        Sla {
+            quantile: 0.90,
+            limit: 2 * crate::units::SEC,
+            min_requests_per_user: 1.0,
+        }
+    }
+
+    /// Whether a run satisfies the SLA.
+    pub fn met_by(&self, m: &RunMetrics) -> bool {
+        let floor = (self.min_requests_per_user * m.users as f64).ceil() as usize;
+        if m.requests_completed < floor.max(1) {
+            return false;
+        }
+        match m.percentile(self.quantile) {
+            Some(p) => p <= self.limit,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::SEC;
+
+    fn metrics(times: Vec<Time>, users: usize) -> RunMetrics {
+        RunMetrics {
+            requests_completed: times.len(),
+            response_times: times,
+            users,
+            window: 60 * SEC,
+            ..RunMetrics::default()
+        }
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let m = metrics((1..=10).map(|i| i * SEC).collect(), 1);
+        assert_eq!(m.percentile(0.9), Some(9 * SEC));
+        assert_eq!(m.percentile(0.5), Some(5 * SEC));
+        assert_eq!(m.percentile(1.0), Some(10 * SEC));
+        assert_eq!(metrics(vec![], 1).percentile(0.9), None);
+    }
+
+    #[test]
+    fn sla_pass_and_fail() {
+        let sla = Sla::paper();
+        let good = metrics(vec![SEC; 100], 10);
+        assert!(sla.met_by(&good));
+        let slow = metrics(vec![3 * SEC; 100], 10);
+        assert!(!sla.met_by(&slow));
+        // 9 fast + 1 slow of 10: the 90th percentile is the 9th value.
+        let mut mixed = vec![SEC; 9];
+        mixed.push(10 * SEC);
+        assert!(sla.met_by(&metrics(mixed, 5)));
+    }
+
+    #[test]
+    fn sla_completion_floor() {
+        let sla = Sla::paper();
+        // 100 users but only 3 requests finished: collapsed.
+        let collapsed = metrics(vec![SEC; 3], 100);
+        assert!(!sla.met_by(&collapsed));
+    }
+
+    #[test]
+    fn throughput() {
+        let m = metrics(vec![SEC; 120], 10);
+        assert!((m.throughput() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,159 @@
+//! Queueing primitives: FIFO service centers and store-and-forward links.
+
+use crate::units::{transfer_time, Time};
+
+/// A FIFO service center with `c` identical servers (virtual-time
+/// semantics: jobs are offered in nondecreasing arrival order by the event
+/// loop, each starts on the earliest-free server).
+#[derive(Debug, Clone)]
+pub struct ServiceCenter {
+    servers: Vec<Time>,
+    busy_total: Time,
+    jobs: u64,
+}
+
+impl ServiceCenter {
+    /// Creates a center with `servers ≥ 1` servers.
+    pub fn new(servers: usize) -> ServiceCenter {
+        assert!(servers >= 1, "a service center needs at least one server");
+        ServiceCenter {
+            servers: vec![0; servers],
+            busy_total: 0,
+            jobs: 0,
+        }
+    }
+
+    /// Offers a job arriving at `t` with service demand `demand`; returns
+    /// its completion time.
+    pub fn serve(&mut self, t: Time, demand: Time) -> Time {
+        let (idx, &free_at) = self
+            .servers
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, f)| **f)
+            .expect("at least one server");
+        let start = t.max(free_at);
+        let done = start + demand;
+        self.servers[idx] = done;
+        self.busy_total += demand;
+        self.jobs += 1;
+        done
+    }
+
+    /// Total busy time accumulated across servers.
+    pub fn busy_total(&self) -> Time {
+        self.busy_total
+    }
+
+    /// Utilization over a horizon (can exceed 1 per-center when `c > 1`;
+    /// divided by server count).
+    pub fn utilization(&self, horizon: Time) -> f64 {
+        if horizon == 0 {
+            return 0.0;
+        }
+        self.busy_total as f64 / (horizon as f64 * self.servers.len() as f64)
+    }
+
+    pub fn jobs_served(&self) -> u64 {
+        self.jobs
+    }
+}
+
+/// A simplex network pipe: propagation latency plus a shared serialization
+/// queue at the given bandwidth. `bits_per_sec = 0` models an unconstrained
+/// (latency-only) pipe.
+#[derive(Debug, Clone)]
+pub struct Pipe {
+    latency: Time,
+    bits_per_sec: u64,
+    queue: ServiceCenter,
+}
+
+impl Pipe {
+    pub fn new(latency: Time, bits_per_sec: u64) -> Pipe {
+        Pipe {
+            latency,
+            bits_per_sec,
+            queue: ServiceCenter::new(1),
+        }
+    }
+
+    /// Sends `bytes` entering the pipe at `t`; returns delivery time.
+    pub fn send(&mut self, t: Time, bytes: u64) -> Time {
+        let serialized = self.queue.serve(t, transfer_time(bytes, self.bits_per_sec));
+        serialized + self.latency
+    }
+
+    pub fn utilization(&self, horizon: Time) -> f64 {
+        self.queue.utilization(horizon)
+    }
+}
+
+/// A full-duplex link: independent pipes in each direction.
+#[derive(Debug, Clone)]
+pub struct DuplexLink {
+    pub up: Pipe,
+    pub down: Pipe,
+}
+
+impl DuplexLink {
+    pub fn new(latency: Time, bits_per_sec: u64) -> DuplexLink {
+        DuplexLink {
+            up: Pipe::new(latency, bits_per_sec),
+            down: Pipe::new(latency, bits_per_sec),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{MS, SEC};
+
+    #[test]
+    fn single_server_fifo_queues() {
+        let mut c = ServiceCenter::new(1);
+        assert_eq!(c.serve(0, 10), 10);
+        assert_eq!(c.serve(0, 10), 20, "second job waits");
+        assert_eq!(c.serve(100, 10), 110, "idle gap");
+        assert_eq!(c.busy_total(), 30);
+        assert_eq!(c.jobs_served(), 3);
+    }
+
+    #[test]
+    fn multi_server_parallelism() {
+        let mut c = ServiceCenter::new(2);
+        assert_eq!(c.serve(0, 10), 10);
+        assert_eq!(c.serve(0, 10), 10, "second server takes it");
+        assert_eq!(c.serve(0, 10), 20, "third job waits for a server");
+    }
+
+    #[test]
+    fn utilization_accounts_servers() {
+        let mut c = ServiceCenter::new(2);
+        c.serve(0, SEC);
+        assert!((c.utilization(SEC) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipe_adds_latency_and_serialization() {
+        // 2 Mbps, 100 ms latency: 2500 bytes = 10 ms serialization.
+        let mut p = Pipe::new(100 * MS, 2_000_000);
+        assert_eq!(p.send(0, 2_500), 110 * MS);
+        // Next packet queues behind the first's serialization (not its
+        // propagation).
+        assert_eq!(p.send(0, 2_500), 120 * MS);
+    }
+
+    #[test]
+    fn latency_only_pipe() {
+        let mut p = Pipe::new(5 * MS, 0);
+        assert_eq!(p.send(7, 1_000_000), 7 + 5 * MS);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_rejected() {
+        ServiceCenter::new(0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Scalability search: the maximum number of concurrent users a
+//! configuration supports under the SLA (§5.2: 90% of requests under 2 s).
+//!
+//! Doubling phase to bracket the knee, then binary search inside the
+//! bracket. Each trial is an independent simulation run built by the
+//! caller-supplied closure (fresh system, cold cache — as in the paper).
+
+use crate::metrics::{RunMetrics, Sla};
+
+/// Result of a scalability search.
+#[derive(Debug, Clone)]
+pub struct ScalabilityResult {
+    /// Maximum user count that met the SLA (0 if even the minimum failed).
+    pub max_users: usize,
+    /// Every trial performed: `(users, metrics)` in execution order.
+    pub trials: Vec<(usize, RunMetrics)>,
+}
+
+/// Options for the search.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchOptions {
+    /// First trial size (doubling starts here).
+    pub start: usize,
+    /// Upper bound on users to try.
+    pub max: usize,
+    /// Stop when the bracket is this tight (relative to its midpoint).
+    pub resolution: usize,
+}
+
+impl Default for SearchOptions {
+    fn default() -> SearchOptions {
+        SearchOptions {
+            start: 4,
+            max: 16_384,
+            resolution: 8,
+        }
+    }
+}
+
+/// Finds the largest user count meeting `sla`. `trial(users)` must run a
+/// fresh simulation at that load.
+pub fn find_max_users(
+    mut trial: impl FnMut(usize) -> RunMetrics,
+    sla: &Sla,
+    opts: SearchOptions,
+) -> ScalabilityResult {
+    let mut trials = Vec::new();
+    let mut run = |users: usize, trials: &mut Vec<(usize, RunMetrics)>| -> bool {
+        let m = trial(users);
+        let ok = sla.met_by(&m);
+        trials.push((users, m));
+        ok
+    };
+
+    // Doubling phase.
+    let mut lo = 0usize; // largest known-good
+    let mut hi = None::<usize>; // smallest known-bad
+    let mut users = opts.start.max(1);
+    loop {
+        if run(users, &mut trials) {
+            lo = users;
+            if users >= opts.max {
+                break;
+            }
+            users = (users * 2).min(opts.max);
+        } else {
+            hi = Some(users);
+            break;
+        }
+    }
+
+    // Binary search phase.
+    if let Some(mut bad) = hi {
+        while bad - lo > opts.resolution.max(1) {
+            let mid = lo + (bad - lo) / 2;
+            if run(mid, &mut trials) {
+                lo = mid;
+            } else {
+                bad = mid;
+            }
+        }
+    }
+
+    ScalabilityResult {
+        max_users: lo,
+        trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::SEC;
+
+    /// Fake system: SLA holds iff users ≤ knee.
+    fn fake_trial(knee: usize) -> impl FnMut(usize) -> RunMetrics {
+        move |users| {
+            let rt = if users <= knee { SEC } else { 10 * SEC };
+            RunMetrics {
+                response_times: vec![rt; 100.max(users * 2)],
+                requests_completed: 100.max(users * 2),
+                users,
+                window: 60 * SEC,
+                ..RunMetrics::default()
+            }
+        }
+    }
+
+    #[test]
+    fn finds_knee_within_resolution() {
+        let opts = SearchOptions {
+            start: 4,
+            max: 10_000,
+            resolution: 4,
+        };
+        let r = find_max_users(fake_trial(700), &Sla::paper(), opts);
+        assert!(r.max_users <= 700, "never overestimates");
+        assert!(
+            r.max_users >= 700 - 4,
+            "within resolution, got {}",
+            r.max_users
+        );
+    }
+
+    #[test]
+    fn zero_when_everything_fails() {
+        let r = find_max_users(fake_trial(0), &Sla::paper(), SearchOptions::default());
+        assert_eq!(r.max_users, 0);
+    }
+
+    #[test]
+    fn caps_at_max() {
+        let opts = SearchOptions {
+            start: 4,
+            max: 64,
+            resolution: 4,
+        };
+        let r = find_max_users(fake_trial(usize::MAX), &Sla::paper(), opts);
+        assert_eq!(r.max_users, 64);
+    }
+
+    #[test]
+    fn trials_are_recorded() {
+        let opts = SearchOptions {
+            start: 4,
+            max: 128,
+            resolution: 2,
+        };
+        let r = find_max_users(fake_trial(50), &Sla::paper(), opts);
+        assert!(r.trials.len() >= 4);
+        assert!(r.trials.iter().any(|(u, _)| *u > 50));
+        assert!(r.trials.iter().any(|(u, _)| *u <= 50));
+    }
+}

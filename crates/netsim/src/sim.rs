@@ -1,0 +1,381 @@
+//! The discrete-event simulation of the deployment in §5.2 of the paper:
+//!
+//! ```text
+//! clients ── 5 ms / 20 Mbps each ──> DSSP node ── 100 ms / 2 Mbps ──> home
+//! ```
+//!
+//! Emulated clients issue an HTTP-like request, wait for its response
+//! (each request is a *sequence* of database operations, issued serially),
+//! then think for an exponentially distributed time (mean 7 s). The DSSP
+//! node and the home server are FIFO service centers; the DSSP↔home link
+//! is a shared duplex pipe; client links are private.
+//!
+//! The *logical* behaviour of each operation (cache hit? result size?
+//! invalidation work?) is delegated to a [`Workload`] implementation,
+//! which executes the operation against the real DSSP + storage engine
+//! and reports its resource demands as an [`OpCost`]. Operations execute
+//! logically in event order, which matches their simulated serialization
+//! order at the DSSP.
+
+use crate::metrics::RunMetrics;
+use crate::resource::{DuplexLink, ServiceCenter};
+use crate::units::Time;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The resource demands of one database operation.
+#[derive(Debug, Clone, Default)]
+pub struct OpCost {
+    /// CPU time at the DSSP node (cache lookup, app logic, invalidation).
+    pub dssp_cpu: Time,
+    /// A home-server round trip (cache miss or update); `None` for hits.
+    pub home_trip: Option<HomeTrip>,
+    /// Bytes of the reply sent back to the client.
+    pub reply_bytes: u64,
+}
+
+/// One DSSP → home → DSSP round trip.
+#[derive(Debug, Clone, Default)]
+pub struct HomeTrip {
+    /// Bytes sent to the home server (query/update statement).
+    pub request_bytes: u64,
+    /// Bytes returned (query result / ack).
+    pub reply_bytes: u64,
+    /// CPU time at the home server.
+    pub home_cpu: Time,
+}
+
+/// The logical system under test, driven by the simulator.
+pub trait Workload {
+    /// Starts a new request for `client`; returns its operation count
+    /// (must be ≥ 1).
+    fn begin_request(&mut self, client: usize) -> usize;
+
+    /// Executes operation `op_index` (0-based) of `client`'s current
+    /// request — side effects happen now — and reports its cost.
+    fn execute_op(&mut self, client: usize, op_index: usize) -> OpCost;
+
+    /// Observed cache hit rate so far (for reporting), if available.
+    fn hit_rate(&self) -> f64 {
+        0.0
+    }
+}
+
+/// Network and node parameters (defaults = the paper's §5.2 testbed).
+#[derive(Debug, Clone)]
+pub struct SystemSpec {
+    /// Client↔DSSP link: one-way latency and bandwidth (bits/s).
+    pub client_latency: Time,
+    pub client_bandwidth: u64,
+    /// DSSP↔home link.
+    pub home_latency: Time,
+    pub home_bandwidth: u64,
+    /// Number of CPU servers at the DSSP node / home server.
+    pub dssp_servers: usize,
+    pub home_servers: usize,
+    /// Bytes of a client→DSSP op request (HTTP-ish overhead).
+    pub op_request_bytes: u64,
+}
+
+impl Default for SystemSpec {
+    fn default() -> SystemSpec {
+        SystemSpec {
+            client_latency: 5 * crate::units::MS,
+            client_bandwidth: 20_000_000,
+            home_latency: 100 * crate::units::MS,
+            home_bandwidth: 2_000_000,
+            dssp_servers: 1,
+            home_servers: 1,
+            op_request_bytes: 300,
+        }
+    }
+}
+
+/// Parameters of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    pub users: usize,
+    /// Total simulated time.
+    pub duration: Time,
+    /// Prefix excluded from metrics (cold cache, ramp-up).
+    pub warmup: Time,
+    /// Mean exponential think time (paper: 7 s).
+    pub think_mean: Time,
+    pub seed: u64,
+    pub spec: SystemSpec,
+}
+
+impl SimConfig {
+    /// The paper's methodology with a configurable user count: 10 simulated
+    /// minutes, cold cache, 7 s mean think time.
+    pub fn paper(users: usize, seed: u64) -> SimConfig {
+        SimConfig {
+            users,
+            duration: 600 * crate::units::SEC,
+            warmup: 60 * crate::units::SEC,
+            think_mean: 7 * crate::units::SEC,
+            seed,
+            spec: SystemSpec::default(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    /// Client sends the next op of its current request.
+    Issue,
+    /// The op arrives at the DSSP node.
+    DsspArrive,
+    /// The op's reply reaches the client.
+    Reply,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    at: Time,
+    seq: u64,
+    client: usize,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct ClientState {
+    link: DuplexLink,
+    request_start: Time,
+    ops_total: usize,
+    ops_done: usize,
+}
+
+/// Runs one simulation and collects metrics.
+pub fn run(cfg: &SimConfig, workload: &mut dyn Workload) -> RunMetrics {
+    assert!(cfg.users >= 1, "need at least one user");
+    assert!(cfg.warmup < cfg.duration, "warmup must precede the window");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut dssp_cpu = ServiceCenter::new(cfg.spec.dssp_servers);
+    let mut home_cpu = ServiceCenter::new(cfg.spec.home_servers);
+    let mut home_link = DuplexLink::new(cfg.spec.home_latency, cfg.spec.home_bandwidth);
+    let mut clients: Vec<ClientState> = (0..cfg.users)
+        .map(|_| ClientState {
+            link: DuplexLink::new(cfg.spec.client_latency, cfg.spec.client_bandwidth),
+            request_start: 0,
+            ops_total: 0,
+            ops_done: 0,
+        })
+        .collect();
+
+    let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+    let mut seq: u64 = 0;
+    let push = |heap: &mut BinaryHeap<Reverse<Event>>, seq: &mut u64, at, client, kind| {
+        *seq += 1;
+        heap.push(Reverse(Event {
+            at,
+            seq: *seq,
+            client,
+            kind,
+        }));
+    };
+
+    // Stagger initial arrivals uniformly over one think period.
+    for c in 0..cfg.users {
+        let offset = rng.gen_range(0..=cfg.think_mean);
+        push(&mut heap, &mut seq, offset, c, EventKind::Issue);
+    }
+
+    let mut metrics = RunMetrics {
+        users: cfg.users,
+        window: cfg.duration - cfg.warmup,
+        ..RunMetrics::default()
+    };
+    // Track pending per-op costs between DsspArrive and Reply scheduling.
+    while let Some(Reverse(ev)) = heap.pop() {
+        if ev.at >= cfg.duration {
+            break;
+        }
+        let c = ev.client;
+        match ev.kind {
+            EventKind::Issue => {
+                if clients[c].ops_done == 0 {
+                    clients[c].ops_total = workload.begin_request(c).max(1);
+                    clients[c].request_start = ev.at;
+                }
+                let arrive = clients[c].link.up.send(ev.at, cfg.spec.op_request_bytes);
+                push(&mut heap, &mut seq, arrive, c, EventKind::DsspArrive);
+            }
+            EventKind::DsspArrive => {
+                let cost = workload.execute_op(c, clients[c].ops_done);
+                metrics.ops_executed += 1;
+                let dssp_done = dssp_cpu.serve(ev.at, cost.dssp_cpu);
+                let ready = match &cost.home_trip {
+                    Some(trip) => {
+                        let at_home = home_link.up.send(dssp_done, trip.request_bytes);
+                        let served = home_cpu.serve(at_home, trip.home_cpu);
+                        home_link.down.send(served, trip.reply_bytes)
+                    }
+                    None => dssp_done,
+                };
+                let replied = clients[c].link.down.send(ready, cost.reply_bytes);
+                push(&mut heap, &mut seq, replied, c, EventKind::Reply);
+            }
+            EventKind::Reply => {
+                clients[c].ops_done += 1;
+                if clients[c].ops_done < clients[c].ops_total {
+                    push(&mut heap, &mut seq, ev.at, c, EventKind::Issue);
+                } else {
+                    if clients[c].request_start >= cfg.warmup {
+                        metrics.requests_completed += 1;
+                        metrics
+                            .response_times
+                            .push(ev.at - clients[c].request_start);
+                    }
+                    clients[c].ops_done = 0;
+                    let think = exponential(&mut rng, cfg.think_mean);
+                    push(&mut heap, &mut seq, ev.at + think, c, EventKind::Issue);
+                }
+            }
+        }
+    }
+
+    let horizon = cfg.duration;
+    metrics.dssp_utilization = dssp_cpu.utilization(horizon);
+    metrics.home_utilization = home_cpu.utilization(horizon);
+    metrics.home_link_utilization = home_link.down.utilization(horizon);
+    metrics.hit_rate = workload.hit_rate();
+    metrics
+}
+
+/// Samples an exponential duration with the given mean.
+fn exponential(rng: &mut StdRng, mean: Time) -> Time {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let t = -(mean as f64) * u.ln();
+    t.min(1e15) as Time
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{MS, SEC};
+
+    /// A trivial workload: every request is one op served at the DSSP.
+    struct HitOnly;
+    impl Workload for HitOnly {
+        fn begin_request(&mut self, _c: usize) -> usize {
+            1
+        }
+        fn execute_op(&mut self, _c: usize, _i: usize) -> OpCost {
+            OpCost {
+                dssp_cpu: MS,
+                home_trip: None,
+                reply_bytes: 1_000,
+            }
+        }
+    }
+
+    /// Every op needs the home server.
+    struct MissOnly;
+    impl Workload for MissOnly {
+        fn begin_request(&mut self, _c: usize) -> usize {
+            1
+        }
+        fn execute_op(&mut self, _c: usize, _i: usize) -> OpCost {
+            OpCost {
+                dssp_cpu: MS,
+                home_trip: Some(HomeTrip {
+                    request_bytes: 300,
+                    reply_bytes: 2_000,
+                    home_cpu: 5 * MS,
+                }),
+                reply_bytes: 2_000,
+            }
+        }
+    }
+
+    fn quick_cfg(users: usize) -> SimConfig {
+        SimConfig {
+            users,
+            duration: 120 * SEC,
+            warmup: 20 * SEC,
+            think_mean: 7 * SEC,
+            seed: 42,
+            spec: SystemSpec::default(),
+        }
+    }
+
+    #[test]
+    fn hits_are_fast() {
+        let m = run(&quick_cfg(10), &mut HitOnly);
+        assert!(m.requests_completed > 50, "10 users × ~14 requests each");
+        // ~2 × 5 ms link latency + 1 ms CPU + serialization.
+        let p90 = m.percentile(0.9).unwrap();
+        assert!(p90 < 50 * MS, "hit path should be ~11 ms, got {p90}");
+    }
+
+    #[test]
+    fn misses_add_home_round_trip() {
+        let m = run(&quick_cfg(10), &mut MissOnly);
+        let p50 = m.percentile(0.5).unwrap();
+        assert!(
+            (200 * MS..600 * MS).contains(&p50),
+            "miss path dominated by 2 × 100 ms home link, got {p50}"
+        );
+    }
+
+    #[test]
+    fn saturation_raises_response_times() {
+        // Home CPU capacity: 200 ops/s. 100 users ≈ 14 ops/s (fine);
+        // 3000 users ≈ 430 ops/s (overload).
+        let light = run(&quick_cfg(100), &mut MissOnly);
+        let heavy = run(&quick_cfg(3000), &mut MissOnly);
+        assert!(light.percentile(0.9).unwrap() < 2 * SEC);
+        let sla = crate::metrics::Sla::paper();
+        assert!(sla.met_by(&light));
+        assert!(!sla.met_by(&heavy), "overloaded system must miss the SLA");
+        // With 2 KB replies over 2 Mbps, the home link (8 ms/reply)
+        // saturates before the home CPU (5 ms/query) — either way the
+        // home side must be pinned.
+        assert!(
+            heavy.home_utilization.max(heavy.home_link_utilization) > 0.95,
+            "home cpu {:.2} / link {:.2}",
+            heavy.home_utilization,
+            heavy.home_link_utilization
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = run(&quick_cfg(20), &mut MissOnly);
+        let b = run(&quick_cfg(20), &mut MissOnly);
+        assert_eq!(a.response_times, b.response_times);
+        assert_eq!(a.requests_completed, b.requests_completed);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = quick_cfg(20);
+        let a = run(&cfg, &mut MissOnly);
+        cfg.seed = 43;
+        let b = run(&cfg, &mut MissOnly);
+        assert_ne!(a.response_times, b.response_times);
+    }
+
+    #[test]
+    fn warmup_excluded() {
+        let mut cfg = quick_cfg(5);
+        cfg.warmup = 110 * SEC;
+        let m = run(&cfg, &mut HitOnly);
+        let full = run(&quick_cfg(5), &mut HitOnly);
+        assert!(m.requests_completed < full.requests_completed);
+    }
+}

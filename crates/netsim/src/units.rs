@@ -1,0 +1,52 @@
+//! Simulation time and unit helpers.
+//!
+//! Time is integer **microseconds** — fine-grained enough for sub-ms CPU
+//! costs, coarse enough to keep arithmetic exact and runs reproducible.
+
+/// Simulated time / duration in microseconds.
+pub type Time = u64;
+
+/// One millisecond in simulation units.
+pub const MS: Time = 1_000;
+
+/// One second in simulation units.
+pub const SEC: Time = 1_000_000;
+
+/// Converts a duration to fractional seconds (for reporting).
+pub fn as_secs(t: Time) -> f64 {
+    t as f64 / SEC as f64
+}
+
+/// Serialization delay of `bytes` over a `bits_per_sec` pipe.
+pub fn transfer_time(bytes: u64, bits_per_sec: u64) -> Time {
+    if bits_per_sec == 0 {
+        return 0;
+    }
+    // bytes * 8 bits / (bits/s) seconds → microseconds, rounding up.
+    (bytes * 8 * SEC).div_ceil(bits_per_sec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_math() {
+        // 2 Mbit/s link, 2500 bytes = 20_000 bits → 10 ms.
+        assert_eq!(transfer_time(2_500, 2_000_000), 10 * MS);
+        // 20 Mbit/s link, 2500 bytes → 1 ms.
+        assert_eq!(transfer_time(2_500, 20_000_000), MS);
+        // Zero-bandwidth pipe is treated as infinitely fast (latency-only).
+        assert_eq!(transfer_time(1000, 0), 0);
+    }
+
+    #[test]
+    fn rounding_is_up() {
+        assert_eq!(transfer_time(1, 8_000_000), 1);
+        assert_eq!(
+            transfer_time(1, 80_000_000),
+            1,
+            "sub-microsecond rounds up to 1"
+        );
+    }
+}

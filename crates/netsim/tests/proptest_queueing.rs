@@ -1,0 +1,167 @@
+//! Property tests for the queueing primitives and the simulator.
+
+use proptest::prelude::*;
+use scs_netsim::{
+    run, DuplexLink, OpCost, Pipe, ServiceCenter, SimConfig, Sla, SystemSpec, Time, Workload,
+    MS, SEC,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Completion times are nondecreasing for nondecreasing arrivals
+    /// (FIFO), and never precede arrival + demand.
+    #[test]
+    fn service_center_fifo(demands in proptest::collection::vec((0u64..100, 0u64..50), 1..50)) {
+        let mut center = ServiceCenter::new(1);
+        let mut t = 0;
+        let mut last_done = 0;
+        for (gap, demand) in demands {
+            t += gap;
+            let done = center.serve(t, demand);
+            prop_assert!(done >= t + demand);
+            prop_assert!(done >= last_done, "FIFO order violated");
+            last_done = done;
+        }
+    }
+
+    /// Total busy time equals the sum of demands regardless of arrival
+    /// pattern.
+    #[test]
+    fn busy_time_conserved(demands in proptest::collection::vec((0u64..100, 0u64..50), 0..50)) {
+        let mut center = ServiceCenter::new(2);
+        let mut t = 0;
+        let mut total = 0;
+        for (gap, demand) in &demands {
+            t += gap;
+            center.serve(t, *demand);
+            total += demand;
+        }
+        prop_assert_eq!(center.busy_total(), total);
+        prop_assert_eq!(center.jobs_served(), demands.len() as u64);
+    }
+
+    /// More servers never make any job finish later.
+    #[test]
+    fn more_servers_never_slower(demands in proptest::collection::vec((0u64..20, 1u64..50), 1..40)) {
+        let mut one = ServiceCenter::new(1);
+        let mut four = ServiceCenter::new(4);
+        let mut t = 0;
+        for (gap, demand) in demands {
+            t += gap;
+            let d1 = one.serve(t, demand);
+            let d4 = four.serve(t, demand);
+            prop_assert!(d4 <= d1);
+        }
+    }
+
+    /// A pipe delivers in order and no earlier than latency + serialization.
+    #[test]
+    fn pipe_ordering(sends in proptest::collection::vec((0u64..1000, 1u64..10_000), 1..30)) {
+        let mut pipe = Pipe::new(5 * MS, 2_000_000);
+        let mut t = 0;
+        let mut last = 0;
+        for (gap, bytes) in sends {
+            t += gap;
+            let arrive = pipe.send(t, bytes);
+            prop_assert!(arrive >= t + 5 * MS);
+            prop_assert!(arrive >= last, "reordered delivery");
+            last = arrive;
+        }
+    }
+
+    /// End-to-end: simulated response times are bounded below by the
+    /// physical minimum (two client-link latencies per op).
+    #[test]
+    fn responses_respect_physics(users in 1usize..20, ops in 1usize..4, seed in 0u64..50) {
+        struct Fixed {
+            ops: usize,
+        }
+        impl Workload for Fixed {
+            fn begin_request(&mut self, _c: usize) -> usize {
+                self.ops
+            }
+            fn execute_op(&mut self, _c: usize, _i: usize) -> OpCost {
+                OpCost { dssp_cpu: MS, home_trip: None, reply_bytes: 500 }
+            }
+        }
+        let cfg = SimConfig {
+            users,
+            duration: 60 * SEC,
+            warmup: 5 * SEC,
+            think_mean: 7 * SEC,
+            seed,
+            spec: SystemSpec::default(),
+        };
+        let m = run(&cfg, &mut Fixed { ops });
+        let floor: Time = (ops as u64) * (2 * 5 * MS + MS);
+        for rt in &m.response_times {
+            prop_assert!(*rt >= floor, "response {rt} below physical floor {floor}");
+        }
+    }
+
+    /// Adding users never reduces the number of completed requests.
+    #[test]
+    fn throughput_monotone_when_unloaded(seed in 0u64..20) {
+        struct Light;
+        impl Workload for Light {
+            fn begin_request(&mut self, _c: usize) -> usize {
+                1
+            }
+            fn execute_op(&mut self, _c: usize, _i: usize) -> OpCost {
+                OpCost { dssp_cpu: 100, home_trip: None, reply_bytes: 200 }
+            }
+        }
+        let run_users = |users: usize| {
+            let cfg = SimConfig {
+                users,
+                duration: 60 * SEC,
+                warmup: 5 * SEC,
+                think_mean: 7 * SEC,
+                seed,
+                spec: SystemSpec::default(),
+            };
+            run(&cfg, &mut Light).requests_completed
+        };
+        let small = run_users(5);
+        let big = run_users(20);
+        prop_assert!(big > small);
+    }
+
+    /// The SLA judgement is monotone in the limit.
+    #[test]
+    fn sla_monotone_in_limit(times in proptest::collection::vec(1u64..5_000_000, 1..100)) {
+        let m = scs_netsim::RunMetrics {
+            requests_completed: times.len(),
+            response_times: times,
+            users: 1,
+            window: 60 * SEC,
+            ..Default::default()
+        };
+        let strict = Sla { quantile: 0.9, limit: SEC, min_requests_per_user: 0.0 };
+        let lax = Sla { quantile: 0.9, limit: 10 * SEC, min_requests_per_user: 0.0 };
+        if strict.met_by(&m) {
+            prop_assert!(lax.met_by(&m));
+        }
+    }
+
+    /// Duplex links are independent per direction: loading `up` does not
+    /// delay `down` (compare against an unloaded control link).
+    #[test]
+    fn duplex_directions_independent(bytes in 1u64..100_000) {
+        let mut loaded = DuplexLink::new(10 * MS, 1_000_000);
+        let mut control = DuplexLink::new(10 * MS, 1_000_000);
+        let up1 = loaded.up.send(0, bytes);
+        let down1 = loaded.down.send(0, bytes);
+        prop_assert_eq!(up1, down1, "fresh pipes behave identically");
+        control.down.send(0, bytes);
+        for _ in 0..10 {
+            loaded.up.send(0, 100_000);
+        }
+        prop_assert_eq!(
+            loaded.down.send(0, bytes),
+            control.down.send(0, bytes),
+            "down delivery must not feel up-direction load"
+        );
+    }
+}

@@ -1,0 +1,389 @@
+//! Abstract syntax for the paper's query/update template language (§2.1).
+//!
+//! Queries are select-project-join (SPJ) expressions with conjunctive
+//! selection predicates over the five comparison operators, optionally
+//! augmented with `ORDER BY`, top-k (`LIMIT`), and — as in the benchmark
+//! applications of §5.1 — aggregation and `GROUP BY`. Updates are
+//! insertions, deletions, and modifications. Templates carry positional `?`
+//! parameters that are bound at execution time.
+
+use crate::value::Value;
+use std::fmt;
+
+/// A scalar position in a template: either a literal constant or a `?`
+/// parameter (identified by its zero-based position among the template's
+/// parameters).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Scalar {
+    Literal(Value),
+    Param(usize),
+}
+
+impl Scalar {
+    /// The literal value, if this scalar is not a parameter.
+    pub fn as_literal(&self) -> Option<&Value> {
+        match self {
+            Scalar::Literal(v) => Some(v),
+            Scalar::Param(_) => None,
+        }
+    }
+}
+
+/// A fully qualified column reference. `qualifier` names a table or alias
+/// from the enclosing statement's scope (the parser resolves unqualified
+/// references when the scope has a single table).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColumnRef {
+    pub qualifier: String,
+    pub column: String,
+}
+
+impl ColumnRef {
+    pub fn new(qualifier: impl Into<String>, column: impl Into<String>) -> ColumnRef {
+        ColumnRef {
+            qualifier: qualifier.into(),
+            column: column.into(),
+        }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.qualifier, self.column)
+    }
+}
+
+/// The five comparison operators of the model (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+}
+
+impl CmpOp {
+    /// The operator with operands swapped (`a < b` ⇔ `b > a`).
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            CmpOp::Eq => CmpOp::Eq,
+        }
+    }
+
+    /// Evaluates the comparison on two values.
+    pub fn eval(self, lhs: &Value, rhs: &Value) -> bool {
+        let ord = lhs.cmp(rhs);
+        match self {
+            CmpOp::Lt => ord.is_lt(),
+            CmpOp::Le => ord.is_le(),
+            CmpOp::Gt => ord.is_gt(),
+            CmpOp::Ge => ord.is_ge(),
+            CmpOp::Eq => ord.is_eq(),
+        }
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "=",
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One side of a comparison predicate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Operand {
+    Column(ColumnRef),
+    Scalar(Scalar),
+}
+
+impl Operand {
+    pub fn as_column(&self) -> Option<&ColumnRef> {
+        match self {
+            Operand::Column(c) => Some(c),
+            Operand::Scalar(_) => None,
+        }
+    }
+
+    pub fn as_scalar(&self) -> Option<&Scalar> {
+        match self {
+            Operand::Scalar(s) => Some(s),
+            Operand::Column(_) => None,
+        }
+    }
+}
+
+/// An arithmetic comparison predicate, one conjunct of a selection condition.
+///
+/// Per §2.1.1 each predicate either compares attribute values across two
+/// relations (a join condition) or compares an attribute with a
+/// constant/parameter (a selection condition). The analysis layer checks
+/// that assumption; the AST itself permits the general form.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Predicate {
+    pub lhs: Operand,
+    pub op: CmpOp,
+    pub rhs: Operand,
+}
+
+impl Predicate {
+    /// True if both operands are columns (a join condition).
+    pub fn is_join(&self) -> bool {
+        matches!(
+            (&self.lhs, &self.rhs),
+            (Operand::Column(_), Operand::Column(_))
+        )
+    }
+
+    /// If this is a `column op scalar` (or `scalar op column`) conjunct,
+    /// returns it normalized as `(column, op, scalar)` with the column on
+    /// the left.
+    pub fn as_restriction(&self) -> Option<(&ColumnRef, CmpOp, &Scalar)> {
+        match (&self.lhs, &self.rhs) {
+            (Operand::Column(c), Operand::Scalar(s)) => Some((c, self.op, s)),
+            (Operand::Scalar(s), Operand::Column(c)) => Some((c, self.op.flipped(), s)),
+            _ => None,
+        }
+    }
+
+    /// If this is a join condition, returns the two column refs.
+    pub fn as_join(&self) -> Option<(&ColumnRef, CmpOp, &ColumnRef)> {
+        match (&self.lhs, &self.rhs) {
+            (Operand::Column(a), Operand::Column(b)) => Some((a, self.op, b)),
+            _ => None,
+        }
+    }
+}
+
+/// A table in a `FROM` clause with its binding name (the alias, or the table
+/// name itself when no alias was given).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TableRef {
+    pub table: String,
+    pub alias: String,
+}
+
+impl TableRef {
+    pub fn new(table: impl Into<String>) -> TableRef {
+        let table = table.into();
+        TableRef {
+            alias: table.clone(),
+            table,
+        }
+    }
+
+    pub fn aliased(table: impl Into<String>, alias: impl Into<String>) -> TableRef {
+        TableRef {
+            table: table.into(),
+            alias: alias.into(),
+        }
+    }
+}
+
+/// Aggregation functions appearing in the benchmark applications (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    Min,
+    Max,
+    Count,
+    Sum,
+    Avg,
+}
+
+impl AggFunc {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+        }
+    }
+}
+
+/// An item of a `SELECT` list: a plain column or an aggregate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SelectItem {
+    Column(ColumnRef),
+    /// Aggregate over a column; `arg == None` encodes `COUNT(*)`.
+    Aggregate {
+        func: AggFunc,
+        arg: Option<ColumnRef>,
+    },
+}
+
+/// One `ORDER BY` key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OrderKey {
+    pub column: ColumnRef,
+    pub desc: bool,
+}
+
+/// A query template: an SPJ query with conjunctive predicates, optional
+/// `GROUP BY`, `ORDER BY`, and top-k (`LIMIT`), with `?` parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QueryTemplate {
+    pub select: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub predicates: Vec<Predicate>,
+    pub group_by: Vec<ColumnRef>,
+    pub order_by: Vec<OrderKey>,
+    pub limit: Option<u64>,
+    /// Number of `?` parameters.
+    pub param_count: usize,
+}
+
+impl QueryTemplate {
+    /// True if the query contains any aggregate select item.
+    pub fn has_aggregates(&self) -> bool {
+        self.select
+            .iter()
+            .any(|s| matches!(s, SelectItem::Aggregate { .. }))
+    }
+
+    /// True if the query has a top-k construct.
+    pub fn has_top_k(&self) -> bool {
+        self.limit.is_some()
+    }
+
+    /// The base table bound to an alias, if any.
+    pub fn table_of_alias(&self, alias: &str) -> Option<&str> {
+        self.from
+            .iter()
+            .find(|t| t.alias == alias)
+            .map(|t| t.table.as_str())
+    }
+}
+
+/// An insertion template: fully specifies a row of values (§2.1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct InsertTemplate {
+    pub table: String,
+    pub columns: Vec<String>,
+    pub values: Vec<Scalar>,
+    pub param_count: usize,
+}
+
+/// A deletion template: an arithmetic predicate over one relation's columns.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DeleteTemplate {
+    pub table: String,
+    pub predicates: Vec<Predicate>,
+    pub param_count: usize,
+}
+
+/// A modification template: sets non-key attributes of the row matching an
+/// equality predicate over the relation's primary key (§2.1; the storage
+/// layer enforces the primary-key-equality shape at execution).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ModifyTemplate {
+    pub table: String,
+    pub set: Vec<(String, Scalar)>,
+    pub predicates: Vec<Predicate>,
+    pub param_count: usize,
+}
+
+/// An update template: insertion, deletion, or modification.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum UpdateTemplate {
+    Insert(InsertTemplate),
+    Delete(DeleteTemplate),
+    Modify(ModifyTemplate),
+}
+
+impl UpdateTemplate {
+    /// The relation this update targets.
+    pub fn table(&self) -> &str {
+        match self {
+            UpdateTemplate::Insert(i) => &i.table,
+            UpdateTemplate::Delete(d) => &d.table,
+            UpdateTemplate::Modify(m) => &m.table,
+        }
+    }
+
+    /// Number of `?` parameters.
+    pub fn param_count(&self) -> usize {
+        match self {
+            UpdateTemplate::Insert(i) => i.param_count,
+            UpdateTemplate::Delete(d) => d.param_count,
+            UpdateTemplate::Modify(m) => m.param_count,
+        }
+    }
+
+    /// The update's selection predicates (empty for insertions).
+    pub fn predicates(&self) -> &[Predicate] {
+        match self {
+            UpdateTemplate::Insert(_) => &[],
+            UpdateTemplate::Delete(d) => &d.predicates,
+            UpdateTemplate::Modify(m) => &m.predicates,
+        }
+    }
+}
+
+/// Either kind of template (used where code is generic over both).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Template {
+    Query(QueryTemplate),
+    Update(UpdateTemplate),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_op_flip_is_involutive() {
+        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq] {
+            assert_eq!(op.flipped().flipped(), op);
+        }
+    }
+
+    #[test]
+    fn cmp_op_flip_agrees_with_eval() {
+        let a = Value::Int(3);
+        let b = Value::Int(7);
+        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq] {
+            assert_eq!(op.eval(&a, &b), op.flipped().eval(&b, &a));
+        }
+    }
+
+    #[test]
+    fn restriction_normalizes_scalar_on_left() {
+        let p = Predicate {
+            lhs: Operand::Scalar(Scalar::Literal(Value::Int(5))),
+            op: CmpOp::Lt,
+            rhs: Operand::Column(ColumnRef::new("toys", "qty")),
+        };
+        let (col, op, s) = p.as_restriction().unwrap();
+        assert_eq!(col.column, "qty");
+        assert_eq!(op, CmpOp::Gt);
+        assert_eq!(s.as_literal(), Some(&Value::Int(5)));
+    }
+
+    #[test]
+    fn join_detection() {
+        let p = Predicate {
+            lhs: Operand::Column(ColumnRef::new("a", "x")),
+            op: CmpOp::Eq,
+            rhs: Operand::Column(ColumnRef::new("b", "y")),
+        };
+        assert!(p.is_join());
+        assert!(p.as_restriction().is_none());
+        assert!(p.as_join().is_some());
+    }
+}

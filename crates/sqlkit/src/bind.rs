@@ -1,0 +1,189 @@
+//! Statements: templates with parameters bound at execution time.
+//!
+//! Formally (§2.1): a query `Q = Q^T(Q^P)` and an update `U = U^T(U^P)`.
+//! Statements carry the template by `Arc` — workloads instantiate the same
+//! small set of templates millions of times.
+
+use crate::ast::{QueryTemplate, Scalar, UpdateTemplate};
+use crate::error::BindError;
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifies a template within an application's fixed template sets
+/// (index into the query- or update-template list).
+pub type TemplateId = usize;
+
+/// A query statement `Q = Q^T(Q^P)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Query {
+    /// Index of the template in the application's query-template set.
+    pub template_id: TemplateId,
+    pub template: Arc<QueryTemplate>,
+    pub params: Vec<Value>,
+}
+
+impl Query {
+    /// Binds `params` to `template`, checking arity.
+    pub fn bind(
+        template_id: TemplateId,
+        template: Arc<QueryTemplate>,
+        params: Vec<Value>,
+    ) -> Result<Query, BindError> {
+        if params.len() != template.param_count {
+            return Err(BindError::ParamCount {
+                expected: template.param_count,
+                got: params.len(),
+            });
+        }
+        Ok(Query {
+            template_id,
+            template,
+            params,
+        })
+    }
+
+    /// Resolves a scalar position to a concrete value.
+    pub fn resolve<'a>(&'a self, s: &'a Scalar) -> &'a Value {
+        match s {
+            Scalar::Literal(v) => v,
+            Scalar::Param(i) => &self.params[*i],
+        }
+    }
+
+    /// Canonical statement text (template text with parameters substituted),
+    /// used as the statement-level cache key.
+    pub fn statement_text(&self) -> String {
+        substitute(&self.template.to_string(), &self.params)
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.statement_text())
+    }
+}
+
+/// An update statement `U = U^T(U^P)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Update {
+    /// Index of the template in the application's update-template set.
+    pub template_id: TemplateId,
+    pub template: Arc<UpdateTemplate>,
+    pub params: Vec<Value>,
+}
+
+impl Update {
+    /// Binds `params` to `template`, checking arity.
+    pub fn bind(
+        template_id: TemplateId,
+        template: Arc<UpdateTemplate>,
+        params: Vec<Value>,
+    ) -> Result<Update, BindError> {
+        if params.len() != template.param_count() {
+            return Err(BindError::ParamCount {
+                expected: template.param_count(),
+                got: params.len(),
+            });
+        }
+        Ok(Update {
+            template_id,
+            template,
+            params,
+        })
+    }
+
+    /// Resolves a scalar position to a concrete value.
+    pub fn resolve<'a>(&'a self, s: &'a Scalar) -> &'a Value {
+        match s {
+            Scalar::Literal(v) => v,
+            Scalar::Param(i) => &self.params[*i],
+        }
+    }
+
+    /// Canonical statement text with parameters substituted.
+    pub fn statement_text(&self) -> String {
+        substitute(&self.template.to_string(), &self.params)
+    }
+}
+
+impl fmt::Display for Update {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.statement_text())
+    }
+}
+
+/// Replaces `?N` placeholders in canonical template text with the bound
+/// values' literal forms.
+fn substitute(template_text: &str, params: &[Value]) -> String {
+    let mut out = String::with_capacity(template_text.len() + params.len() * 8);
+    let mut chars = template_text.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c != '?' {
+            out.push(c);
+            continue;
+        }
+        let mut idx = String::new();
+        while chars.peek().is_some_and(|d| d.is_ascii_digit()) {
+            idx.push(chars.next().unwrap());
+        }
+        let i: usize = idx.parse().expect("canonical text always indexes params");
+        use std::fmt::Write;
+        write!(out, "{}", params[i]).unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_query, parse_update};
+
+    #[test]
+    fn bind_checks_arity() {
+        let t = Arc::new(parse_query("SELECT a FROM t WHERE a = ? AND b = ?").unwrap());
+        assert!(Query::bind(0, t.clone(), vec![Value::Int(1)]).is_err());
+        assert!(Query::bind(0, t, vec![Value::Int(1), Value::Int(2)]).is_ok());
+    }
+
+    #[test]
+    fn statement_text_substitutes_params() {
+        let t = Arc::new(parse_query("SELECT toy_id FROM toys WHERE toy_name = ?").unwrap());
+        let q = Query::bind(3, t, vec![Value::str("robot")]).unwrap();
+        assert_eq!(
+            q.statement_text(),
+            "SELECT toys.toy_id FROM toys WHERE toys.toy_name = 'robot'"
+        );
+    }
+
+    #[test]
+    fn update_statement_text() {
+        let t = Arc::new(parse_update("DELETE FROM toys WHERE toy_id = ?").unwrap());
+        let u = Update::bind(0, t, vec![Value::Int(5)]).unwrap();
+        assert_eq!(u.statement_text(), "DELETE FROM toys WHERE toys.toy_id = 5");
+    }
+
+    #[test]
+    fn same_params_same_text_different_params_differ() {
+        let t = Arc::new(parse_query("SELECT a FROM t WHERE a = ?").unwrap());
+        let q1 = Query::bind(0, t.clone(), vec![Value::Int(1)]).unwrap();
+        let q2 = Query::bind(0, t.clone(), vec![Value::Int(1)]).unwrap();
+        let q3 = Query::bind(0, t, vec![Value::Int(2)]).unwrap();
+        assert_eq!(q1.statement_text(), q2.statement_text());
+        assert_ne!(q1.statement_text(), q3.statement_text());
+    }
+
+    #[test]
+    fn resolve_literal_and_param() {
+        let t = Arc::new(parse_update("UPDATE toys SET qty = 10 WHERE toy_id = ?").unwrap());
+        let u = Update::bind(0, t.clone(), vec![Value::Int(5)]).unwrap();
+        match &*u.template {
+            UpdateTemplate::Modify(m) => {
+                assert_eq!(u.resolve(&m.set[0].1), &Value::Int(10));
+                let (_, _, s) = m.predicates[0].as_restriction().unwrap();
+                assert_eq!(u.resolve(s), &Value::Int(5));
+            }
+            _ => unreachable!(),
+        }
+    }
+}

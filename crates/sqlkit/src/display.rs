@@ -1,0 +1,220 @@
+//! Canonical SQL rendering for templates.
+//!
+//! The rendering is deterministic, so it doubles as a canonical text form:
+//! two templates render identically iff they are structurally equal (up to
+//! the original spelling of keywords, which the renderer normalizes). The
+//! DSSP uses rendered statements as cache-lookup keys (footnote 3 of the
+//! paper).
+
+use crate::ast::*;
+use std::fmt;
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scalar::Literal(v) => write!(f, "{v}"),
+            Scalar::Param(i) => write!(f, "?{i}"),
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Column(c) => write!(f, "{c}"),
+            Operand::Scalar(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.lhs, self.op, self.rhs)
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Column(c) => write!(f, "{c}"),
+            SelectItem::Aggregate { func, arg: Some(c) } => write!(f, "{}({c})", func.as_str()),
+            SelectItem::Aggregate { func, arg: None } => write!(f, "{}(*)", func.as_str()),
+        }
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.alias == self.table {
+            write!(f, "{}", self.table)
+        } else {
+            write!(f, "{} AS {}", self.table, self.alias)
+        }
+    }
+}
+
+impl fmt::Display for QueryTemplate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        write_list(f, &self.select)?;
+        write!(f, " FROM ")?;
+        write_list(f, &self.from)?;
+        if !self.predicates.is_empty() {
+            write!(f, " WHERE ")?;
+            write_joined(f, &self.predicates, " AND ")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            write_list(f, &self.group_by)?;
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, k) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", k.column)?;
+                if k.desc {
+                    write!(f, " DESC")?;
+                }
+            }
+        }
+        if let Some(k) = self.limit {
+            write!(f, " LIMIT {k}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for UpdateTemplate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateTemplate::Insert(i) => {
+                write!(f, "INSERT INTO {} (", i.table)?;
+                write_joined_str(f, &i.columns, ", ")?;
+                write!(f, ") VALUES (")?;
+                write_list(f, &i.values)?;
+                write!(f, ")")
+            }
+            UpdateTemplate::Delete(d) => {
+                write!(f, "DELETE FROM {}", d.table)?;
+                if !d.predicates.is_empty() {
+                    write!(f, " WHERE ")?;
+                    write_joined(f, &d.predicates, " AND ")?;
+                }
+                Ok(())
+            }
+            UpdateTemplate::Modify(m) => {
+                write!(f, "UPDATE {} SET ", m.table)?;
+                for (i, (col, s)) in m.set.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{col} = {s}")?;
+                }
+                write!(f, " WHERE ")?;
+                write_joined(f, &m.predicates, " AND ")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Template {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Template::Query(q) => write!(f, "{q}"),
+            Template::Update(u) => write!(f, "{u}"),
+        }
+    }
+}
+
+fn write_list<T: fmt::Display>(f: &mut fmt::Formatter<'_>, items: &[T]) -> fmt::Result {
+    write_joined(f, items, ", ")
+}
+
+fn write_joined<T: fmt::Display>(
+    f: &mut fmt::Formatter<'_>,
+    items: &[T],
+    sep: &str,
+) -> fmt::Result {
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            f.write_str(sep)?;
+        }
+        write!(f, "{item}")?;
+    }
+    Ok(())
+}
+
+fn write_joined_str(f: &mut fmt::Formatter<'_>, items: &[String], sep: &str) -> fmt::Result {
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            f.write_str(sep)?;
+        }
+        f.write_str(item)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::{parse_query, parse_update};
+
+    /// Rendering then re-parsing yields the same template (round-trip).
+    fn roundtrip_query(sql: &str) {
+        let q1 = parse_query(sql).unwrap();
+        let rendered = q1.to_string();
+        // `?N` placeholders aren't re-parseable as-is; strip the indices.
+        let stripped = strip_param_indices(&rendered);
+        let q2 = parse_query(&stripped).unwrap();
+        assert_eq!(q1, q2, "round-trip failed for {sql}\nrendered: {rendered}");
+    }
+
+    fn strip_param_indices(s: &str) -> String {
+        let mut out = String::new();
+        let mut chars = s.chars().peekable();
+        while let Some(c) = chars.next() {
+            out.push(c);
+            if c == '?' {
+                while chars.peek().is_some_and(|d| d.is_ascii_digit()) {
+                    chars.next();
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn query_roundtrips() {
+        for sql in [
+            "SELECT toy_id FROM toys WHERE toy_name = ?",
+            "SELECT a.x, b.y FROM alpha AS a, beta b WHERE a.k = b.k AND a.x > 3",
+            "SELECT item_id FROM items WHERE qty >= ? ORDER BY price DESC LIMIT 5",
+            "SELECT MAX(qty) FROM toys",
+            "SELECT category, COUNT(*) FROM items GROUP BY category ORDER BY category",
+        ] {
+            roundtrip_query(sql);
+        }
+    }
+
+    #[test]
+    fn update_roundtrips() {
+        for sql in [
+            "INSERT INTO t (a, b) VALUES (?, 'x')",
+            "DELETE FROM toys WHERE toy_id = ?",
+            "UPDATE toys SET qty = ?, toy_name = 'y' WHERE toy_id = ?",
+        ] {
+            let u1 = parse_update(sql).unwrap();
+            let stripped = strip_param_indices(&u1.to_string());
+            let u2 = parse_update(&stripped).unwrap();
+            assert_eq!(u1, u2);
+        }
+    }
+
+    #[test]
+    fn rendering_is_canonical() {
+        let a = parse_query("select   toy_id   from toys where toy_name=?").unwrap();
+        let b = parse_query("SELECT toy_id FROM toys WHERE toy_name = ?").unwrap();
+        assert_eq!(a.to_string(), b.to_string());
+    }
+}

@@ -1,0 +1,46 @@
+//! Errors produced while lexing, parsing, or binding templates.
+
+use std::fmt;
+
+/// A syntax or binding error with the byte offset where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl ParseError {
+    pub fn new(offset: usize, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Errors binding parameters to a template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BindError {
+    /// The number of supplied parameters does not match the template.
+    ParamCount { expected: usize, got: usize },
+}
+
+impl fmt::Display for BindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BindError::ParamCount { expected, got } => {
+                write!(f, "template expects {expected} parameters, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BindError {}

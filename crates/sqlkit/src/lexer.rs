@@ -1,0 +1,344 @@
+//! Hand-written lexer for the template language.
+
+use crate::error::ParseError;
+
+/// A lexical token with its source byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub offset: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are recognized case-insensitively by
+    /// the parser; the original spelling is preserved here).
+    Ident(String),
+    Int(i64),
+    Real(f64),
+    Str(String),
+    Question,
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Star,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Int(v) => format!("integer `{v}`"),
+            TokenKind::Real(v) => format!("number `{v}`"),
+            TokenKind::Str(s) => format!("string '{s}'"),
+            TokenKind::Question => "`?`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Dot => "`.`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::Lt => "`<`".into(),
+            TokenKind::Le => "`<=`".into(),
+            TokenKind::Gt => "`>`".into(),
+            TokenKind::Ge => "`>=`".into(),
+            TokenKind::Eq => "`=`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// Tokenizes `input`, producing a vector ending in `Eof`.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'?' => {
+                tokens.push(Token {
+                    kind: TokenKind::Question,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b'.' => {
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b'(' => {
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    offset: i,
+                });
+                i += 1;
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        offset: i,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        offset: i,
+                    });
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        offset: i,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        offset: i,
+                    });
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                let (s, next) = lex_string(input, i)?;
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: i,
+                });
+                i = next;
+            }
+            b'-' | b'0'..=b'9' => {
+                let (kind, next) = lex_number(input, i)?;
+                tokens.push(Token { kind, offset: i });
+                i = next;
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(input[start..i].to_string()),
+                    offset: start,
+                });
+            }
+            _ => {
+                return Err(ParseError::new(
+                    i,
+                    format!(
+                        "unexpected character `{}`",
+                        input[i..].chars().next().unwrap()
+                    ),
+                ))
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: bytes.len(),
+    });
+    Ok(tokens)
+}
+
+/// Lexes a `'...'` string literal with `''` escaping; returns the unescaped
+/// contents and the index just past the closing quote.
+fn lex_string(input: &str, start: usize) -> Result<(String, usize), ParseError> {
+    let bytes = input.as_bytes();
+    let mut s = String::new();
+    let mut i = start + 1;
+    loop {
+        if i >= bytes.len() {
+            return Err(ParseError::new(start, "unterminated string literal"));
+        }
+        if bytes[i] == b'\'' {
+            if bytes.get(i + 1) == Some(&b'\'') {
+                s.push('\'');
+                i += 2;
+            } else {
+                return Ok((s, i + 1));
+            }
+        } else {
+            // Advance by whole chars to keep UTF-8 intact.
+            let ch = input[i..].chars().next().unwrap();
+            s.push(ch);
+            i += ch.len_utf8();
+        }
+    }
+}
+
+/// Lexes an integer or real literal (optional leading `-`).
+fn lex_number(input: &str, start: usize) -> Result<(TokenKind, usize), ParseError> {
+    let bytes = input.as_bytes();
+    let mut i = start;
+    if bytes[i] == b'-' {
+        i += 1;
+        if i >= bytes.len() || !bytes[i].is_ascii_digit() {
+            return Err(ParseError::new(start, "expected digits after `-`"));
+        }
+    }
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    let mut is_real = false;
+    if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+        is_real = true;
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    let text = &input[start..i];
+    if is_real {
+        let v: f64 = text
+            .parse()
+            .map_err(|_| ParseError::new(start, format!("invalid number `{text}`")))?;
+        Ok((TokenKind::Real(v), i))
+    } else {
+        let v: i64 = text
+            .parse()
+            .map_err(|_| ParseError::new(start, format!("integer out of range `{text}`")))?;
+        Ok((TokenKind::Int(v), i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_simple_query() {
+        let ks = kinds("SELECT toy_id FROM toys WHERE toy_name = ?");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("SELECT".into()),
+                TokenKind::Ident("toy_id".into()),
+                TokenKind::Ident("FROM".into()),
+                TokenKind::Ident("toys".into()),
+                TokenKind::Ident("WHERE".into()),
+                TokenKind::Ident("toy_name".into()),
+                TokenKind::Eq,
+                TokenKind::Question,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            kinds("< <= > >= ="),
+            vec![
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Eq,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            kinds("42 -7 3.5 -0.25"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Int(-7),
+                TokenKind::Real(3.5),
+                TokenKind::Real(-0.25),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(
+            kinds("'abc' 'o''brien' ''"),
+            vec![
+                TokenKind::Str("abc".into()),
+                TokenKind::Str("o'brien".into()),
+                TokenKind::Str("".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'abc").is_err());
+    }
+
+    #[test]
+    fn bad_character_errors() {
+        let err = tokenize("SELECT #").unwrap_err();
+        assert_eq!(err.offset, 7);
+    }
+
+    #[test]
+    fn dangling_minus_errors() {
+        assert!(tokenize("- x").is_err());
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(
+            kinds("'héllo'"),
+            vec![TokenKind::Str("héllo".into()), TokenKind::Eof]
+        );
+    }
+}

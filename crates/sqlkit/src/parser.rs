@@ -1,0 +1,748 @@
+//! Recursive-descent parser for query and update templates.
+//!
+//! The grammar covers exactly the model of §2.1 plus the aggregation and
+//! `GROUP BY` constructs observed in the benchmark applications (§5.1):
+//!
+//! ```text
+//! query  := SELECT item (, item)* FROM tref (, tref)* [WHERE conj]
+//!           [GROUP BY col (, col)*] [ORDER BY key (, key)*] [LIMIT n]
+//! item   := AGG ( col | * ) | col
+//! tref   := ident [[AS] ident]
+//! conj   := pred (AND pred)*
+//! pred   := operand (< | <= | > | >= | =) operand
+//! insert := INSERT INTO ident ( ident (, ident)* ) VALUES ( sc (, sc)* )
+//! delete := DELETE FROM ident [WHERE conj]
+//! modify := UPDATE ident SET ident = sc (, ident = sc)* WHERE conj
+//! ```
+//!
+//! Column references are resolved against the statement's `FROM` scope:
+//! qualified references must name a table or alias in scope; unqualified
+//! references are permitted only when the scope has a single table.
+
+use crate::ast::*;
+use crate::error::ParseError;
+use crate::lexer::{tokenize, Token, TokenKind};
+use crate::value::Value;
+
+/// Parses a query template from SQL text.
+pub fn parse_query(sql: &str) -> Result<QueryTemplate, ParseError> {
+    let mut p = Parser::new(sql)?;
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+/// Parses an update template (INSERT / DELETE / UPDATE) from SQL text.
+pub fn parse_update(sql: &str) -> Result<UpdateTemplate, ParseError> {
+    let mut p = Parser::new(sql)?;
+    let u = p.update()?;
+    p.expect_eof()?;
+    Ok(u)
+}
+
+/// Parses either kind of statement, trying queries first.
+pub fn parse_template(sql: &str) -> Result<Template, ParseError> {
+    let mut p = Parser::new(sql)?;
+    if p.peek_keyword("SELECT") {
+        let q = p.query()?;
+        p.expect_eof()?;
+        Ok(Template::Query(q))
+    } else {
+        let u = p.update()?;
+        p.expect_eof()?;
+        Ok(Template::Update(u))
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    params: usize,
+}
+
+impl Parser {
+    fn new(sql: &str) -> Result<Parser, ParseError> {
+        Ok(Parser {
+            tokens: tokenize(sql)?,
+            pos: 0,
+            params: 0,
+        })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.peek().offset, msg)
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!(
+                "expected `{kw}`, found {}",
+                self.peek().kind.describe()
+            )))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<(), ParseError> {
+        if self.eat(&kind) {
+            Ok(())
+        } else {
+            Err(self.error(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().kind.describe()
+            )))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        match &self.peek().kind {
+            TokenKind::Eof => Ok(()),
+            other => Err(self.error(format!("unexpected trailing {}", other.describe()))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                if is_reserved(s) {
+                    return Err(self.error(format!("`{s}` is a reserved word")));
+                }
+                let s = s.clone();
+                self.advance();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    fn next_param(&mut self) -> Scalar {
+        let p = Scalar::Param(self.params);
+        self.params += 1;
+        p
+    }
+
+    // ----- queries ---------------------------------------------------------
+
+    fn query(&mut self) -> Result<QueryTemplate, ParseError> {
+        self.expect_keyword("SELECT")?;
+        let mut select = vec![self.select_item()?];
+        while self.eat(&TokenKind::Comma) {
+            select.push(self.select_item()?);
+        }
+        self.expect_keyword("FROM")?;
+        let mut from = vec![self.table_ref()?];
+        while self.eat(&TokenKind::Comma) {
+            from.push(self.table_ref()?);
+        }
+        // Reject duplicate binding names early; resolution relies on them.
+        for (i, a) in from.iter().enumerate() {
+            if from[..i].iter().any(|b| b.alias == a.alias) {
+                return Err(self.error(format!("duplicate table binding `{}`", a.alias)));
+            }
+        }
+        let predicates = if self.eat_keyword("WHERE") {
+            self.conjunction()?
+        } else {
+            Vec::new()
+        };
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            group_by.push(self.column_ref()?);
+            while self.eat(&TokenKind::Comma) {
+                group_by.push(self.column_ref()?);
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let column = self.column_ref()?;
+                let desc = if self.eat_keyword("DESC") {
+                    true
+                } else {
+                    self.eat_keyword("ASC");
+                    false
+                };
+                order_by.push(OrderKey { column, desc });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_keyword("LIMIT") {
+            match self.advance().kind {
+                TokenKind::Int(n) if n >= 0 => Some(n as u64),
+                _ => return Err(self.error("expected non-negative integer after LIMIT")),
+            }
+        } else {
+            None
+        };
+        let mut q = QueryTemplate {
+            select,
+            from,
+            predicates,
+            group_by,
+            order_by,
+            limit,
+            param_count: self.params,
+        };
+        resolve_query(&mut q).map_err(|m| self.error(m))?;
+        Ok(q)
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, ParseError> {
+        for (kw, func) in [
+            ("MIN", AggFunc::Min),
+            ("MAX", AggFunc::Max),
+            ("COUNT", AggFunc::Count),
+            ("SUM", AggFunc::Sum),
+            ("AVG", AggFunc::Avg),
+        ] {
+            if self.peek_keyword(kw) {
+                // Only treat as aggregate if followed by `(` (MIN etc. are
+                // not reserved words).
+                if matches!(
+                    self.tokens.get(self.pos + 1).map(|t| &t.kind),
+                    Some(TokenKind::LParen)
+                ) {
+                    self.advance();
+                    self.expect(TokenKind::LParen)?;
+                    let arg = if self.eat(&TokenKind::Star) {
+                        if func != AggFunc::Count {
+                            return Err(self.error("`*` is only valid in COUNT(*)"));
+                        }
+                        None
+                    } else {
+                        Some(self.column_ref()?)
+                    };
+                    self.expect(TokenKind::RParen)?;
+                    return Ok(SelectItem::Aggregate { func, arg });
+                }
+            }
+        }
+        Ok(SelectItem::Column(self.column_ref()?))
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, ParseError> {
+        let table = self.ident()?;
+        if self.eat_keyword("AS") {
+            let alias = self.ident()?;
+            return Ok(TableRef::aliased(table, alias));
+        }
+        // Bare alias (`toys t1`) — an identifier that is not a clause keyword.
+        if let TokenKind::Ident(s) = &self.peek().kind {
+            if !is_clause_keyword(s) {
+                let alias = s.clone();
+                self.advance();
+                return Ok(TableRef::aliased(table, alias));
+            }
+        }
+        Ok(TableRef::new(table))
+    }
+
+    fn conjunction(&mut self) -> Result<Vec<Predicate>, ParseError> {
+        let mut preds = vec![self.predicate()?];
+        while self.eat_keyword("AND") {
+            preds.push(self.predicate()?);
+        }
+        Ok(preds)
+    }
+
+    fn predicate(&mut self) -> Result<Predicate, ParseError> {
+        let lhs = self.operand()?;
+        let op = match self.advance().kind {
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            TokenKind::Eq => CmpOp::Eq,
+            other => {
+                return Err(self.error(format!(
+                    "expected comparison operator, found {}",
+                    other.describe()
+                )))
+            }
+        };
+        let rhs = self.operand()?;
+        if lhs.as_scalar().is_some() && rhs.as_scalar().is_some() {
+            return Err(self.error("predicate must reference at least one column"));
+        }
+        Ok(Predicate { lhs, op, rhs })
+    }
+
+    fn operand(&mut self) -> Result<Operand, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Question => {
+                self.advance();
+                Ok(Operand::Scalar(self.next_param()))
+            }
+            TokenKind::Int(v) => {
+                let v = *v;
+                self.advance();
+                Ok(Operand::Scalar(Scalar::Literal(Value::Int(v))))
+            }
+            TokenKind::Real(v) => {
+                let v = *v;
+                self.advance();
+                Ok(Operand::Scalar(Scalar::Literal(Value::real(v))))
+            }
+            TokenKind::Str(s) => {
+                let s = s.clone();
+                self.advance();
+                Ok(Operand::Scalar(Scalar::Literal(Value::Str(s))))
+            }
+            TokenKind::Ident(_) => Ok(Operand::Column(self.column_ref()?)),
+            other => Err(self.error(format!("expected operand, found {}", other.describe()))),
+        }
+    }
+
+    /// Parses `ident` or `ident.ident`. Unqualified references get an empty
+    /// qualifier which resolution fills in (single-table scopes only).
+    fn column_ref(&mut self) -> Result<ColumnRef, ParseError> {
+        let first = self.ident()?;
+        if self.eat(&TokenKind::Dot) {
+            let column = self.ident()?;
+            Ok(ColumnRef {
+                qualifier: first,
+                column,
+            })
+        } else {
+            Ok(ColumnRef {
+                qualifier: String::new(),
+                column: first,
+            })
+        }
+    }
+
+    // ----- updates ---------------------------------------------------------
+
+    fn update(&mut self) -> Result<UpdateTemplate, ParseError> {
+        if self.eat_keyword("INSERT") {
+            self.expect_keyword("INTO")?;
+            let table = self.ident()?;
+            self.expect(TokenKind::LParen)?;
+            let mut columns = vec![self.ident()?];
+            while self.eat(&TokenKind::Comma) {
+                columns.push(self.ident()?);
+            }
+            self.expect(TokenKind::RParen)?;
+            self.expect_keyword("VALUES")?;
+            self.expect(TokenKind::LParen)?;
+            let mut values = vec![self.scalar()?];
+            while self.eat(&TokenKind::Comma) {
+                values.push(self.scalar()?);
+            }
+            self.expect(TokenKind::RParen)?;
+            if columns.len() != values.len() {
+                return Err(self.error(format!(
+                    "INSERT lists {} columns but {} values",
+                    columns.len(),
+                    values.len()
+                )));
+            }
+            return Ok(UpdateTemplate::Insert(InsertTemplate {
+                table,
+                columns,
+                values,
+                param_count: self.params,
+            }));
+        }
+        if self.eat_keyword("DELETE") {
+            self.expect_keyword("FROM")?;
+            let table = self.ident()?;
+            let mut predicates = if self.eat_keyword("WHERE") {
+                self.conjunction()?
+            } else {
+                Vec::new()
+            };
+            resolve_single_table(&mut predicates, &table).map_err(|m| self.error(m))?;
+            return Ok(UpdateTemplate::Delete(DeleteTemplate {
+                table,
+                predicates,
+                param_count: self.params,
+            }));
+        }
+        if self.eat_keyword("UPDATE") {
+            let table = self.ident()?;
+            self.expect_keyword("SET")?;
+            let mut set = Vec::new();
+            loop {
+                let col = self.ident()?;
+                self.expect(TokenKind::Eq)?;
+                set.push((col, self.scalar()?));
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect_keyword("WHERE")?;
+            let mut predicates = self.conjunction()?;
+            resolve_single_table(&mut predicates, &table).map_err(|m| self.error(m))?;
+            return Ok(UpdateTemplate::Modify(ModifyTemplate {
+                table,
+                set,
+                predicates,
+                param_count: self.params,
+            }));
+        }
+        Err(self.error("expected INSERT, DELETE, or UPDATE"))
+    }
+
+    fn scalar(&mut self) -> Result<Scalar, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Question => {
+                self.advance();
+                Ok(self.next_param())
+            }
+            TokenKind::Int(v) => {
+                let v = *v;
+                self.advance();
+                Ok(Scalar::Literal(Value::Int(v)))
+            }
+            TokenKind::Real(v) => {
+                let v = *v;
+                self.advance();
+                Ok(Scalar::Literal(Value::real(v)))
+            }
+            TokenKind::Str(s) => {
+                let s = s.clone();
+                self.advance();
+                Ok(Scalar::Literal(Value::Str(s)))
+            }
+            other => Err(self.error(format!("expected value or `?`, found {}", other.describe()))),
+        }
+    }
+}
+
+/// Clause keywords that terminate a bare table alias.
+fn is_clause_keyword(s: &str) -> bool {
+    const KW: &[&str] = &["WHERE", "GROUP", "ORDER", "LIMIT", "AND", "ON"];
+    KW.iter().any(|k| s.eq_ignore_ascii_case(k))
+}
+
+/// Words that cannot be used as identifiers.
+fn is_reserved(s: &str) -> bool {
+    const KW: &[&str] = &[
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "LIMIT", "AND", "AS", "INSERT", "INTO",
+        "VALUES", "DELETE", "UPDATE", "SET", "ASC", "DESC",
+    ];
+    KW.iter().any(|k| s.eq_ignore_ascii_case(k))
+}
+
+/// Resolves every column reference in the query against its `FROM` scope.
+fn resolve_query(q: &mut QueryTemplate) -> Result<(), String> {
+    let aliases: Vec<String> = q.from.iter().map(|t| t.alias.clone()).collect();
+    let single = if aliases.len() == 1 {
+        Some(aliases[0].clone())
+    } else {
+        None
+    };
+    let resolve = |c: &mut ColumnRef| -> Result<(), String> {
+        if c.qualifier.is_empty() {
+            match &single {
+                Some(a) => {
+                    c.qualifier = a.clone();
+                    Ok(())
+                }
+                None => Err(format!(
+                    "column `{}` must be qualified in a multi-table query",
+                    c.column
+                )),
+            }
+        } else if aliases.iter().any(|a| a == &c.qualifier) {
+            Ok(())
+        } else {
+            Err(format!("unknown table or alias `{}`", c.qualifier))
+        }
+    };
+    for item in &mut q.select {
+        match item {
+            SelectItem::Column(c) => resolve(c)?,
+            SelectItem::Aggregate { arg: Some(c), .. } => resolve(c)?,
+            SelectItem::Aggregate { arg: None, .. } => {}
+        }
+    }
+    for p in &mut q.predicates {
+        if let Operand::Column(c) = &mut p.lhs {
+            resolve(c)?;
+        }
+        if let Operand::Column(c) = &mut p.rhs {
+            resolve(c)?;
+        }
+    }
+    for c in &mut q.group_by {
+        resolve(c)?;
+    }
+    for k in &mut q.order_by {
+        resolve(&mut k.column)?;
+    }
+    Ok(())
+}
+
+/// Resolves predicates of a single-table update: unqualified columns bind to
+/// the update's table; qualified ones must name it.
+fn resolve_single_table(preds: &mut [Predicate], table: &str) -> Result<(), String> {
+    for p in preds.iter_mut() {
+        for op in [&mut p.lhs, &mut p.rhs] {
+            if let Operand::Column(c) = op {
+                if c.qualifier.is_empty() {
+                    c.qualifier = table.to_string();
+                } else if c.qualifier != table {
+                    return Err(format!(
+                        "update on `{table}` cannot reference table `{}`",
+                        c.qualifier
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_toystore_q1() {
+        let q = parse_query("SELECT toy_id FROM toys WHERE toy_name = ?").unwrap();
+        assert_eq!(q.from, vec![TableRef::new("toys")]);
+        assert_eq!(q.param_count, 1);
+        assert_eq!(
+            q.select,
+            vec![SelectItem::Column(ColumnRef::new("toys", "toy_id"))]
+        );
+        let (col, op, s) = q.predicates[0].as_restriction().unwrap();
+        assert_eq!(col, &ColumnRef::new("toys", "toy_name"));
+        assert_eq!(op, CmpOp::Eq);
+        assert_eq!(s, &Scalar::Param(0));
+    }
+
+    #[test]
+    fn parses_join_query() {
+        let q = parse_query(
+            "SELECT customers.cust_name FROM customers, credit_card \
+             WHERE customers.cust_id = credit_card.cid AND credit_card.zip_code = ?",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 2);
+        assert!(q.predicates[0].is_join());
+        assert!(!q.predicates[1].is_join());
+        assert_eq!(q.param_count, 1);
+    }
+
+    #[test]
+    fn parses_aliases() {
+        let q = parse_query(
+            "SELECT t1.toy_id FROM toys AS t1, toys t2 \
+             WHERE t1.toy_name = 'toyA' AND t1.qty > t2.qty",
+        )
+        .unwrap();
+        assert_eq!(q.from[0], TableRef::aliased("toys", "t1"));
+        assert_eq!(q.from[1], TableRef::aliased("toys", "t2"));
+    }
+
+    #[test]
+    fn parses_order_by_limit() {
+        let q = parse_query(
+            "SELECT item_id FROM items WHERE qty > 0 ORDER BY price DESC, item_id LIMIT 10",
+        )
+        .unwrap();
+        assert_eq!(q.limit, Some(10));
+        assert_eq!(q.order_by.len(), 2);
+        assert!(q.order_by[0].desc);
+        assert!(!q.order_by[1].desc);
+        assert_eq!(q.order_by[0].column, ColumnRef::new("items", "price"));
+    }
+
+    #[test]
+    fn parses_aggregates() {
+        let q = parse_query("SELECT MAX(qty) FROM toys").unwrap();
+        assert_eq!(
+            q.select,
+            vec![SelectItem::Aggregate {
+                func: AggFunc::Max,
+                arg: Some(ColumnRef::new("toys", "qty"))
+            }]
+        );
+        let q = parse_query("SELECT COUNT(*) FROM toys WHERE qty >= 1").unwrap();
+        assert_eq!(
+            q.select,
+            vec![SelectItem::Aggregate {
+                func: AggFunc::Count,
+                arg: None
+            }]
+        );
+    }
+
+    #[test]
+    fn parses_group_by() {
+        let q = parse_query("SELECT category, COUNT(*) FROM items GROUP BY category").unwrap();
+        assert_eq!(q.group_by, vec![ColumnRef::new("items", "category")]);
+    }
+
+    #[test]
+    fn count_column_not_star() {
+        let q = parse_query("SELECT COUNT(bid_id) FROM bids WHERE item_id = ?").unwrap();
+        assert!(q.has_aggregates());
+    }
+
+    #[test]
+    fn min_as_plain_identifier() {
+        // `min` not followed by `(` is an ordinary column name.
+        let q = parse_query("SELECT min FROM stats").unwrap();
+        assert_eq!(
+            q.select,
+            vec![SelectItem::Column(ColumnRef::new("stats", "min"))]
+        );
+    }
+
+    #[test]
+    fn rejects_unqualified_in_join() {
+        let err = parse_query("SELECT toy_id FROM toys, customers").unwrap_err();
+        assert!(err.message.contains("qualified"));
+    }
+
+    #[test]
+    fn rejects_unknown_qualifier() {
+        assert!(parse_query("SELECT x.toy_id FROM toys").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_alias() {
+        assert!(parse_query("SELECT t.a FROM toys t, customers t").is_err());
+    }
+
+    #[test]
+    fn rejects_scalar_only_predicate() {
+        assert!(parse_query("SELECT toy_id FROM toys WHERE 1 = 1").is_err());
+    }
+
+    #[test]
+    fn rejects_star_in_sum() {
+        assert!(parse_query("SELECT SUM(*) FROM toys").is_err());
+    }
+
+    #[test]
+    fn parses_insert() {
+        let u = parse_update("INSERT INTO credit_card (cid, number, zip_code) VALUES (?, ?, ?)")
+            .unwrap();
+        match u {
+            UpdateTemplate::Insert(i) => {
+                assert_eq!(i.table, "credit_card");
+                assert_eq!(i.columns, vec!["cid", "number", "zip_code"]);
+                assert_eq!(i.param_count, 3);
+            }
+            _ => panic!("expected insert"),
+        }
+    }
+
+    #[test]
+    fn insert_arity_mismatch_rejected() {
+        assert!(parse_update("INSERT INTO t (a, b) VALUES (?)").is_err());
+    }
+
+    #[test]
+    fn parses_delete() {
+        let u = parse_update("DELETE FROM toys WHERE toy_id = ?").unwrap();
+        match u {
+            UpdateTemplate::Delete(d) => {
+                assert_eq!(d.table, "toys");
+                let (c, op, _) = d.predicates[0].as_restriction().unwrap();
+                assert_eq!(c, &ColumnRef::new("toys", "toy_id"));
+                assert_eq!(op, CmpOp::Eq);
+            }
+            _ => panic!("expected delete"),
+        }
+    }
+
+    #[test]
+    fn parses_modify() {
+        let u = parse_update("UPDATE toys SET qty = ?, toy_name = 'x' WHERE toy_id = ?").unwrap();
+        match u {
+            UpdateTemplate::Modify(m) => {
+                assert_eq!(m.set.len(), 2);
+                assert_eq!(m.param_count, 2);
+                assert_eq!(m.set[0], ("qty".to_string(), Scalar::Param(0)));
+            }
+            _ => panic!("expected modify"),
+        }
+    }
+
+    #[test]
+    fn modify_requires_where() {
+        assert!(parse_update("UPDATE toys SET qty = 1").is_err());
+    }
+
+    #[test]
+    fn update_rejects_foreign_table_refs() {
+        assert!(parse_update("DELETE FROM toys WHERE customers.id = 1").is_err());
+    }
+
+    #[test]
+    fn parse_template_dispatches() {
+        assert!(matches!(
+            parse_template("SELECT a FROM t").unwrap(),
+            Template::Query(_)
+        ));
+        assert!(matches!(
+            parse_template("DELETE FROM t WHERE a = 1").unwrap(),
+            Template::Update(_)
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_query("SELECT a FROM t extra garbage").is_err());
+    }
+
+    #[test]
+    fn params_numbered_in_order() {
+        let q = parse_query("SELECT a FROM t WHERE a = ? AND b > ? AND c < ?").unwrap();
+        let ps: Vec<_> = q
+            .predicates
+            .iter()
+            .map(|p| p.as_restriction().unwrap().2.clone())
+            .collect();
+        assert_eq!(
+            ps,
+            vec![Scalar::Param(0), Scalar::Param(1), Scalar::Param(2)]
+        );
+    }
+}

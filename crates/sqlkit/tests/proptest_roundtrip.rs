@@ -1,0 +1,152 @@
+//! Property tests: randomly generated templates survive a
+//! render-then-reparse round trip, and statement text is injective in the
+//! parameters (the cache-key property deterministic encryption relies on).
+
+use proptest::prelude::*;
+use scs_sqlkit::{
+    parse_query, parse_update, CmpOp, ColumnRef, Operand, OrderKey, Predicate, Query,
+    QueryTemplate, Scalar, SelectItem, TableRef, Value,
+};
+use std::sync::Arc;
+
+const TABLES: &[&str] = &["alpha", "beta", "gamma"];
+const COLS: &[&str] = &["c1", "c2", "c3", "c4"];
+
+fn ident(pool: &'static [&'static str]) -> impl Strategy<Value = String> {
+    (0..pool.len()).prop_map(move |i| pool[i].to_string())
+}
+
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-100i64..100).prop_map(Value::Int),
+        (-100i64..100).prop_map(|v| Value::real(v as f64 / 4.0)),
+        "[a-z]{0,6}".prop_map(Value::Str),
+        Just(Value::str("o'brien")), // exercise quote escaping
+    ]
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Eq)
+    ]
+}
+
+/// A random single-table query template over `alpha`.
+fn query_template() -> impl Strategy<Value = QueryTemplate> {
+    let select = proptest::collection::vec(ident(COLS), 1..4);
+    let preds = proptest::collection::vec(
+        (
+            ident(COLS),
+            cmp_op(),
+            prop_oneof![
+                value().prop_map(Scalar::Literal),
+                Just(Scalar::Param(0)), // placeholder, renumbered below
+            ],
+        ),
+        0..4,
+    );
+    let order = proptest::collection::vec((ident(COLS), any::<bool>()), 0..2);
+    let limit = proptest::option::of(0u64..50);
+    (select, preds, order, limit).prop_map(|(select, preds, order, limit)| {
+        let mut param_count = 0;
+        let predicates = preds
+            .into_iter()
+            .map(|(col, op, scalar)| {
+                let scalar = match scalar {
+                    Scalar::Param(_) => {
+                        let p = Scalar::Param(param_count);
+                        param_count += 1;
+                        p
+                    }
+                    lit => lit,
+                };
+                Predicate {
+                    lhs: Operand::Column(ColumnRef::new("alpha", col)),
+                    op,
+                    rhs: Operand::Scalar(scalar),
+                }
+            })
+            .collect();
+        QueryTemplate {
+            select: select
+                .into_iter()
+                .map(|c| SelectItem::Column(ColumnRef::new("alpha", c)))
+                .collect(),
+            from: vec![TableRef::new("alpha")],
+            predicates,
+            group_by: vec![],
+            order_by: order
+                .into_iter()
+                .map(|(c, desc)| OrderKey {
+                    column: ColumnRef::new("alpha", c),
+                    desc,
+                })
+                .collect(),
+            limit,
+            param_count,
+        }
+    })
+}
+
+/// Strips the `N` of `?N` placeholders so canonical text re-parses.
+fn strip_param_indices(s: &str) -> String {
+    let mut out = String::new();
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        out.push(c);
+        if c == '?' {
+            while chars.peek().is_some_and(|d| d.is_ascii_digit()) {
+                chars.next();
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn query_roundtrip(t in query_template()) {
+        let rendered = t.to_string();
+        let reparsed = parse_query(&strip_param_indices(&rendered))
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{rendered}"));
+        prop_assert_eq!(t, reparsed);
+    }
+
+    /// Binding different parameter vectors yields different statement
+    /// texts (injectivity — cache keys must not collide).
+    #[test]
+    fn statement_text_injective(a in -50i64..50, b in -50i64..50) {
+        let t = Arc::new(parse_query("SELECT c1 FROM alpha WHERE c2 = ?").unwrap());
+        let qa = Query::bind(0, t.clone(), vec![Value::Int(a)]).unwrap();
+        let qb = Query::bind(0, t, vec![Value::Int(b)]).unwrap();
+        prop_assert_eq!(a == b, qa.statement_text() == qb.statement_text());
+    }
+
+    /// Update templates round trip as well.
+    #[test]
+    fn update_roundtrip(v in value(), col in ident(COLS), table in ident(TABLES)) {
+        let sql = format!("UPDATE {table} SET {col} = {v} WHERE c1 = ?");
+        let t = parse_update(&sql).unwrap();
+        let reparsed = parse_update(&strip_param_indices(&t.to_string())).unwrap();
+        prop_assert_eq!(t, reparsed);
+    }
+
+    /// The lexer never panics on arbitrary input.
+    #[test]
+    fn lexer_total(s in "\\PC*") {
+        let _ = scs_sqlkit::lexer::tokenize(&s);
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parser_total(s in "\\PC*") {
+        let _ = parse_query(&s);
+        let _ = parse_update(&s);
+    }
+}

@@ -1,0 +1,26 @@
+//! # scs-storage — in-memory relational engine
+//!
+//! The *home server* substrate of the DSSP architecture (Figure 1 of the
+//! paper): master copies of application data, an executor for the §2.1
+//! query model, and update application with the integrity constraints the
+//! static analysis exploits (§4.5):
+//!
+//! * **primary keys** — enforced on every insert;
+//! * **foreign keys** — referential integrity enforced on insert.
+//!
+//! The executor implements multiset semantics (projection keeps
+//! duplicates), conjunctive SPJ evaluation with hash joins on equality join
+//! predicates, `ORDER BY`, top-k, and aggregation/`GROUP BY`.
+
+pub mod database;
+pub mod error;
+pub mod executor;
+pub mod result;
+pub mod schema;
+pub mod table;
+
+pub use database::{Database, UpdateEffect};
+pub use error::StorageError;
+pub use result::QueryResult;
+pub use schema::{Column, ColumnType, ForeignKey, TableSchema};
+pub use table::{Row, RowId, Table};

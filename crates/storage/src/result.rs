@@ -1,0 +1,108 @@
+//! Query results: multiset relations with optional ordering.
+
+use scs_sqlkit::Value;
+use std::collections::HashMap;
+
+/// The materialized result of a query — what the DSSP caches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryResult {
+    /// Display names of the projected columns.
+    pub columns: Vec<String>,
+    /// Result tuples, in executor output order (meaningful when the query
+    /// has `ORDER BY`).
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl QueryResult {
+    pub fn new(columns: Vec<String>, rows: Vec<Vec<Value>>) -> QueryResult {
+        QueryResult { columns, rows }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Multiset equality on tuples, ignoring order. This is the semantic
+    /// comparison for invalidation correctness: order among order-by ties is
+    /// unspecified, so two multiset-equal results answer the query equally.
+    pub fn multiset_eq(&self, other: &QueryResult) -> bool {
+        if self.columns != other.columns || self.rows.len() != other.rows.len() {
+            return false;
+        }
+        let mut counts: HashMap<&[Value], i64> = HashMap::with_capacity(self.rows.len());
+        for row in &self.rows {
+            *counts.entry(row.as_slice()).or_insert(0) += 1;
+        }
+        for row in &other.rows {
+            match counts.get_mut(row.as_slice()) {
+                Some(c) => *c -= 1,
+                None => return false,
+            }
+        }
+        counts.values().all(|c| *c == 0)
+    }
+
+    /// Approximate wire size in bytes (for the network simulator's transfer
+    /// cost model).
+    pub fn approx_size_bytes(&self) -> usize {
+        let header: usize = self.columns.iter().map(|c| c.len() + 4).sum();
+        let body: usize = self
+            .rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .map(|v| match v {
+                        Value::Int(_) => 8,
+                        Value::Real(_) => 8,
+                        Value::Str(s) => s.len() + 4,
+                    })
+                    .sum::<usize>()
+            })
+            .sum();
+        header + body + 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(vals: &[i64]) -> Vec<Value> {
+        vals.iter().map(|v| Value::Int(*v)).collect()
+    }
+
+    #[test]
+    fn multiset_eq_ignores_order() {
+        let a = QueryResult::new(vec!["x".into()], vec![r(&[1]), r(&[2]), r(&[1])]);
+        let b = QueryResult::new(vec!["x".into()], vec![r(&[2]), r(&[1]), r(&[1])]);
+        assert!(a.multiset_eq(&b));
+    }
+
+    #[test]
+    fn multiset_eq_counts_duplicates() {
+        let a = QueryResult::new(vec!["x".into()], vec![r(&[1]), r(&[1])]);
+        let b = QueryResult::new(vec!["x".into()], vec![r(&[1]), r(&[2])]);
+        assert!(!a.multiset_eq(&b));
+    }
+
+    #[test]
+    fn multiset_eq_checks_columns_and_len() {
+        let a = QueryResult::new(vec!["x".into()], vec![r(&[1])]);
+        let b = QueryResult::new(vec!["y".into()], vec![r(&[1])]);
+        assert!(!a.multiset_eq(&b));
+        let c = QueryResult::new(vec!["x".into()], vec![r(&[1]), r(&[1])]);
+        assert!(!a.multiset_eq(&c));
+    }
+
+    #[test]
+    fn size_estimate_is_monotone_in_rows() {
+        let a = QueryResult::new(vec!["x".into()], vec![r(&[1])]);
+        let b = QueryResult::new(vec!["x".into()], vec![r(&[1]), r(&[2])]);
+        assert!(b.approx_size_bytes() > a.approx_size_bytes());
+    }
+}

@@ -1,0 +1,166 @@
+//! Property tests for the SPJ executor: algebraic laws that must hold for
+//! arbitrary data.
+
+use proptest::prelude::*;
+use scs_sqlkit::{parse_query, Query, Value};
+use scs_storage::{ColumnType, Database, QueryResult, TableSchema};
+use std::sync::Arc;
+
+/// Builds two copies of the same random table — one with an equality index
+/// on `k`, one without — so index and scan paths can be compared.
+fn dbs_from_rows(rows: &[(i64, i64, i64)]) -> (Database, Database) {
+    let indexed = TableSchema::builder("t")
+        .column("id", ColumnType::Int)
+        .column("k", ColumnType::Int)
+        .column("v", ColumnType::Int)
+        .primary_key(&["id"])
+        .index("k")
+        .build()
+        .unwrap();
+    let plain = TableSchema::builder("t")
+        .column("id", ColumnType::Int)
+        .column("k", ColumnType::Int)
+        .column("v", ColumnType::Int)
+        .primary_key(&["id"])
+        .build()
+        .unwrap();
+    let mut a = Database::new();
+    a.create_table(indexed).unwrap();
+    let mut b = Database::new();
+    b.create_table(plain).unwrap();
+    for (i, (id, k, v)) in rows.iter().enumerate() {
+        // Force unique ids to satisfy the PK.
+        let row = vec![
+            Value::Int(*id * 100 + i as i64),
+            Value::Int(*k),
+            Value::Int(*v),
+        ];
+        a.insert_row("t", row.clone()).unwrap();
+        b.insert_row("t", row).unwrap();
+    }
+    (a, b)
+}
+
+fn run(db: &Database, sql: &str, params: Vec<Value>) -> QueryResult {
+    let q = Query::bind(0, Arc::new(parse_query(sql).unwrap()), params).unwrap();
+    db.execute(&q).unwrap()
+}
+
+fn rows_strategy() -> impl Strategy<Value = Vec<(i64, i64, i64)>> {
+    proptest::collection::vec((0..20i64, 0..6i64, -10..10i64), 0..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Index path ≡ scan path for equality restrictions.
+    #[test]
+    fn index_equals_scan(rows in rows_strategy(), key in 0..6i64) {
+        let (a, b) = dbs_from_rows(&rows);
+        let sql = "SELECT id, v FROM t WHERE k = ?";
+        let ra = run(&a, sql, vec![Value::Int(key)]);
+        let rb = run(&b, sql, vec![Value::Int(key)]);
+        prop_assert!(ra.multiset_eq(&rb));
+    }
+
+    /// Top-k is a prefix of the fully ordered result.
+    #[test]
+    fn topk_is_prefix(rows in rows_strategy(), k in 0u64..10) {
+        let (a, _) = dbs_from_rows(&rows);
+        let full = run(&a, "SELECT id, v FROM t ORDER BY v DESC, id", vec![]);
+        let topk = run(
+            &a,
+            &format!("SELECT id, v FROM t ORDER BY v DESC, id LIMIT {k}"),
+            vec![],
+        );
+        let want = &full.rows[..full.rows.len().min(k as usize)];
+        prop_assert_eq!(&topk.rows[..], want);
+    }
+
+    /// ORDER BY sorts by the key (ties broken deterministically by the
+    /// secondary key) — verify sortedness.
+    #[test]
+    fn order_by_is_sorted(rows in rows_strategy()) {
+        let (a, _) = dbs_from_rows(&rows);
+        let r = run(&a, "SELECT v FROM t ORDER BY v", vec![]);
+        for w in r.rows.windows(2) {
+            prop_assert!(w[0][0] <= w[1][0]);
+        }
+    }
+
+    /// Selection is a filter: every returned row satisfies the predicate,
+    /// and the count matches a manual filter of the raw rows.
+    #[test]
+    fn selection_is_exact(rows in rows_strategy(), lo in -10i64..10) {
+        let (a, _) = dbs_from_rows(&rows);
+        let r = run(&a, "SELECT v FROM t WHERE v >= ?", vec![Value::Int(lo)]);
+        prop_assert!(r.rows.iter().all(|row| row[0] >= Value::Int(lo)));
+        let expected = rows.iter().filter(|(_, _, v)| *v >= lo).count();
+        prop_assert_eq!(r.len(), expected);
+    }
+
+    /// COUNT(*) equals the multiset size of the unaggregated query.
+    #[test]
+    fn count_matches_rows(rows in rows_strategy(), key in 0..6i64) {
+        let (a, _) = dbs_from_rows(&rows);
+        let plain = run(&a, "SELECT id FROM t WHERE k = ?", vec![Value::Int(key)]);
+        let count = run(&a, "SELECT COUNT(*) FROM t WHERE k = ?", vec![Value::Int(key)]);
+        prop_assert_eq!(count.rows[0][0].clone(), Value::Int(plain.len() as i64));
+    }
+
+    /// MAX/MIN agree with manual extrema (empty input ⇒ empty result).
+    #[test]
+    fn minmax_agree(rows in rows_strategy()) {
+        let (a, _) = dbs_from_rows(&rows);
+        let mx = run(&a, "SELECT MAX(v) FROM t", vec![]);
+        let mn = run(&a, "SELECT MIN(v) FROM t", vec![]);
+        if rows.is_empty() {
+            prop_assert!(mx.is_empty() && mn.is_empty());
+        } else {
+            let want_max = rows.iter().map(|(_, _, v)| *v).max().unwrap();
+            let want_min = rows.iter().map(|(_, _, v)| *v).min().unwrap();
+            prop_assert_eq!(mx.rows[0][0].clone(), Value::Int(want_max));
+            prop_assert_eq!(mn.rows[0][0].clone(), Value::Int(want_min));
+        }
+    }
+
+    /// GROUP BY partitions: group counts sum to the table size and each
+    /// key appears once.
+    #[test]
+    fn group_by_partitions(rows in rows_strategy()) {
+        let (a, _) = dbs_from_rows(&rows);
+        let r = run(&a, "SELECT k, COUNT(*) FROM t GROUP BY k", vec![]);
+        let total: i64 = r
+            .rows
+            .iter()
+            .map(|row| match &row[1] {
+                Value::Int(n) => *n,
+                other => panic!("count must be Int, got {other:?}"),
+            })
+            .sum();
+        prop_assert_eq!(total as usize, rows.len());
+        let mut keys: Vec<&Value> = r.rows.iter().map(|row| &row[0]).collect();
+        let before = keys.len();
+        keys.sort();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), before, "duplicate group keys");
+    }
+
+    /// Self-join theta consistency: `t1.v > t2.v` pair count equals the
+    /// manual count over the raw rows.
+    #[test]
+    fn theta_self_join_count(rows in proptest::collection::vec((0..20i64, 0..6i64, -10..10i64), 0..15)) {
+        let (a, _) = dbs_from_rows(&rows);
+        let r = run(
+            &a,
+            "SELECT t1.id, t2.id FROM t t1, t t2 WHERE t1.v > t2.v",
+            vec![],
+        );
+        let manual = rows
+            .iter()
+            .flat_map(|x| rows.iter().map(move |y| (x, y)))
+            .filter(|((_, _, v1), (_, _, v2))| v1 > v2)
+            .count();
+        prop_assert_eq!(r.len(), manual);
+    }
+}

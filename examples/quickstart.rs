@@ -1,0 +1,104 @@
+//! Quickstart: stand up a DSSP in front of a home server, watch the cache
+//! and the invalidation pathway work, and see the exposure levels in
+//! action — all with the paper's toystore application (Table 3).
+//!
+//! Run: `cargo run --example quickstart`
+
+use dssp_scale::apps::toystore;
+use dssp_scale::core::{compulsory_exposures, reduce_exposures, ExposureLevel, SensitivityPolicy};
+use dssp_scale::dssp::{Dssp, DsspConfig, HomeServer};
+use dssp_scale::sqlkit::{Query, Update, Value};
+use dssp_scale::storage::Database;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. The application: fixed sets of query/update templates (§2.1).
+    let app = toystore::toystore();
+    println!("application `{}`:", app.name);
+    for (i, q) in app.queries.iter().enumerate() {
+        println!("  Q{}: {}", i + 1, q.template);
+    }
+    for (i, u) in app.updates.iter().enumerate() {
+        println!("  U{}: {}", i + 1, u.template);
+    }
+
+    // 2. The home server holds the master data.
+    let mut db = Database::new();
+    for s in &app.schemas {
+        db.create_table(s.clone()).expect("static schema");
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    toystore::populate(&mut db, 50, 30, &mut rng);
+    let mut home = HomeServer::new(db);
+
+    // 3. Static analysis (the paper's contribution): characterize the IPM
+    //    and derive maximal exposure reductions (§3–4).
+    let matrix = dssp_scale::apps::analysis_matrix(&app);
+    let policy = SensitivityPolicy::new(app.sensitive_attrs.iter().cloned());
+    let step1 = compulsory_exposures(
+        &app.update_templates(),
+        &app.query_templates(),
+        &app.catalog(),
+        &policy,
+    );
+    let exposures = reduce_exposures(&matrix, &step1);
+    println!("\nexposure levels after the scalability-conscious methodology:");
+    for (i, e) in exposures.queries.iter().enumerate() {
+        println!("  Q{}: {e}", i + 1);
+    }
+    for (i, e) in exposures.updates.iter().enumerate() {
+        println!("  U{}: {e}", i + 1);
+    }
+    assert_eq!(
+        exposures.queries[1],
+        ExposureLevel::Stmt,
+        "Q2 result encrypted for free"
+    );
+
+    // 4. The DSSP: caches query results, forwards misses and updates.
+    let mut dssp = Dssp::new(DsspConfig {
+        app_id: app.name.to_string(),
+        exposures,
+        matrix,
+        cache_capacity: None,
+    });
+
+    let q2 = |toy: i64| {
+        Query::bind(1, app.queries[1].template.clone(), vec![Value::Int(toy)]).expect("arity")
+    };
+
+    let r = dssp.execute_query(&q2(5), &mut home).expect("query ok");
+    println!(
+        "\nQ2(5) first ask : hit={} result={:?}",
+        r.hit, r.result.rows
+    );
+    let r = dssp.execute_query(&q2(5), &mut home).expect("query ok");
+    println!("Q2(5) second ask: hit={} (served by the DSSP)", r.hit);
+
+    // 5. An update flows through: the DSSP invalidates just what it must.
+    let u1 = Update::bind(0, app.updates[0].template.clone(), vec![Value::Int(7)]).expect("arity");
+    let resp = dssp.execute_update(&u1, &mut home).expect("update ok");
+    println!(
+        "\nU1(7) delete toy 7: scanned {} cached entries, invalidated {}",
+        resp.scanned, resp.invalidated
+    );
+    let r = dssp.execute_query(&q2(5), &mut home).expect("query ok");
+    println!(
+        "Q2(5) after U1(7): hit={} (statement inspection spared it)",
+        r.hit
+    );
+
+    let u1 = Update::bind(0, app.updates[0].template.clone(), vec![Value::Int(5)]).expect("arity");
+    dssp.execute_update(&u1, &mut home).expect("update ok");
+    let r = dssp.execute_query(&q2(5), &mut home).expect("query ok");
+    println!(
+        "Q2(5) after U1(5): hit={} result={:?}",
+        r.hit, r.result.rows
+    );
+
+    let stats = dssp.stats();
+    println!(
+        "\nstats: {} queries ({} hits), {} updates, {} invalidations",
+        stats.queries, stats.hits, stats.updates, stats.invalidations
+    );
+}

