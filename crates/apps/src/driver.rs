@@ -118,8 +118,16 @@ impl DsspWorkload {
         zipf_exponent: f64,
         seed: u64,
     ) -> DsspWorkload {
-        assert_eq!(config.exposures.queries.len(), app.queries.len(), "exposure shape");
-        assert_eq!(config.exposures.updates.len(), app.updates.len(), "exposure shape");
+        assert_eq!(
+            config.exposures.queries.len(),
+            app.queries.len(),
+            "exposure shape"
+        );
+        assert_eq!(
+            config.exposures.updates.len(),
+            app.updates.len(),
+            "exposure shape"
+        );
         DsspWorkload {
             dssp: Dssp::new(config),
             home: HomeServer::new(db),
@@ -150,6 +158,11 @@ impl DsspWorkload {
     /// The DSSP proxy (inspection hook for reports and tests).
     pub fn dssp(&self) -> &Dssp {
         &self.dssp
+    }
+
+    /// Mutable proxy access (attach trace sinks, flush telemetry).
+    pub fn dssp_mut(&mut self) -> &mut Dssp {
+        &mut self.dssp
     }
 
     /// The home server (inspection hook).
@@ -245,6 +258,11 @@ impl Workload for DsspWorkload {
 
     fn hit_rate(&self) -> f64 {
         self.dssp.stats().hit_rate()
+    }
+
+    fn observe_time(&mut self, now: Time) {
+        // Trace events emitted during execute_op carry simulated time.
+        self.dssp.set_sim_time_micros(now);
     }
 }
 

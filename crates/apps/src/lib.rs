@@ -15,6 +15,7 @@ pub mod bookstore;
 pub mod defs;
 pub mod driver;
 pub mod gen;
+pub mod report;
 pub mod runner;
 pub mod toystore;
 pub mod trace;

@@ -1,0 +1,337 @@
+//! Machine-readable telemetry reports for the experiment binaries.
+//!
+//! The `fig3`/`fig8` binaries (and anything else driving a
+//! [`DsspWorkload`](crate::driver::DsspWorkload)) assemble one JSON
+//! *entry* per (application, configuration) probe run, combining:
+//!
+//! * the proxy-side registry: per-template hit/miss/invalidation counts
+//!   and the invalidation-scan-size histogram;
+//! * the empirical invalidation-attribution matrix next to the static
+//!   IPM's A=0 predictions (plus any divergence — pairs the analysis
+//!   proved conflict-free that nonetheless invalidated at runtime);
+//! * the simulator's latency breakdown: response-time quantiles and
+//!   per-service-center wait/service histograms.
+//!
+//! The schema is documented in `EXPERIMENTS.md`; everything renders via
+//! the hermetic `scs-telemetry` JSON type, so reports stay dependency
+//! free and round-trip through [`Json::parse`].
+
+use scs_dssp::Dssp;
+use scs_netsim::{CenterTelemetry, RunMetrics};
+use scs_telemetry::{HistogramSnapshot, Json};
+use std::path::PathBuf;
+
+/// Bumped whenever the report layout changes incompatibly.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Environment variable overriding the output path of
+/// [`write_telemetry`].
+pub const TELEMETRY_OUT_ENV: &str = "SCS_TELEMETRY_OUT";
+
+/// Summary of a latency histogram: count/mean/extremes plus nearest-rank
+/// quantiles as `[lo, hi]` bucket bounds (the true sample lies within).
+pub fn histogram_json(h: &HistogramSnapshot) -> Json {
+    let bounds = |q: f64| -> Json {
+        h.quantile_bounds(q)
+            .map(|(lo, hi)| Json::from(vec![lo, hi]))
+            .into()
+    };
+    Json::obj([
+        ("count", h.count.into()),
+        ("mean_us", h.mean().into()),
+        ("min_us", h.min.into()),
+        ("max_us", h.max.into()),
+        ("p50_us", bounds(0.5)),
+        ("p90_us", bounds(0.9)),
+        ("p99_us", bounds(0.99)),
+    ])
+}
+
+fn center_json(c: &CenterTelemetry) -> Json {
+    Json::obj([
+        ("wait", histogram_json(&c.wait)),
+        ("service", histogram_json(&c.service)),
+    ])
+}
+
+/// The simulator's view of one run: load, utilizations, and the
+/// queueing-delay vs service-time breakdown per shared center.
+pub fn run_metrics_json(m: &RunMetrics) -> Json {
+    Json::obj([
+        ("users", m.users.into()),
+        ("requests_completed", m.requests_completed.into()),
+        ("ops_executed", m.ops_executed.into()),
+        ("throughput_rps", m.throughput().into()),
+        ("hit_rate", m.hit_rate.into()),
+        ("dssp_utilization", m.dssp_utilization.into()),
+        ("home_utilization", m.home_utilization.into()),
+        ("home_link_utilization", m.home_link_utilization.into()),
+        ("response", histogram_json(&m.response_hist)),
+        ("dssp_cpu", center_json(&m.dssp_cpu_telemetry)),
+        ("home_cpu", center_json(&m.home_cpu_telemetry)),
+        ("home_link", center_json(&m.home_link_telemetry)),
+    ])
+}
+
+/// The proxy's view: aggregate stats, per-template counters, and the
+/// empirical-vs-predicted invalidation attribution.
+pub fn dssp_telemetry_json(dssp: &Dssp) -> Json {
+    let snap = dssp.registry().snapshot();
+    let stats = dssp.stats();
+    let attr = dssp.attribution();
+    let ipm = dssp.ipm();
+    let counter = |name: String| -> Json { (*snap.counters.get(&name).unwrap_or(&0)).into() };
+
+    let query_templates: Vec<Json> = (0..attr.query_count())
+        .map(|q| {
+            Json::obj([
+                ("id", q.into()),
+                ("hits", counter(format!("query_template.{q}.hits"))),
+                ("misses", counter(format!("query_template.{q}.misses"))),
+                (
+                    "invalidated",
+                    counter(format!("query_template.{q}.invalidated")),
+                ),
+                ("evicted", counter(format!("query_template.{q}.evicted"))),
+            ])
+        })
+        .collect();
+    let update_templates: Vec<Json> = (0..attr.update_count())
+        .map(|u| {
+            Json::obj([
+                ("id", u.into()),
+                ("applied", counter(format!("update_template.{u}.applied"))),
+                (
+                    "invalidations",
+                    counter(format!("update_template.{u}.invalidations")),
+                ),
+            ])
+        })
+        .collect();
+
+    let predicted_a_zero: Vec<Json> = (0..attr.update_count())
+        .map(|u| {
+            Json::from(
+                (0..attr.query_count())
+                    .map(|q| ipm.entry(u, q).all_zero())
+                    .collect::<Vec<bool>>(),
+            )
+        })
+        .collect();
+    let divergence: Vec<Json> = attr
+        .divergence(|u, q| ipm.entry(u, q).all_zero())
+        .into_iter()
+        .map(|(u, q, n)| {
+            Json::obj([
+                ("update", u.into()),
+                ("query", q.into()),
+                ("count", n.into()),
+            ])
+        })
+        .collect();
+    let updates_applied: Vec<u64> = (0..attr.update_count())
+        .map(|u| attr.updates_applied(u))
+        .collect();
+
+    let scan_hist = snap
+        .histograms
+        .get("dssp.invalidation_scan_size")
+        .cloned()
+        .unwrap_or_default();
+
+    Json::obj([
+        (
+            "stats",
+            Json::obj([
+                ("queries", stats.queries.into()),
+                ("hits", stats.hits.into()),
+                ("misses", stats.misses.into()),
+                ("updates", stats.updates.into()),
+                ("invalidations", stats.invalidations.into()),
+                ("entries_scanned", stats.entries_scanned.into()),
+                ("evictions", stats.evictions.into()),
+                ("hit_rate", stats.hit_rate().into()),
+                (
+                    "invalidations_per_update",
+                    stats.invalidations_per_update().into(),
+                ),
+            ]),
+        ),
+        ("query_templates", Json::from(query_templates)),
+        ("update_templates", Json::from(update_templates)),
+        (
+            "attribution",
+            Json::obj([
+                ("updates_applied", updates_applied.into()),
+                (
+                    "counts",
+                    Json::from(
+                        attr.dense_counts()
+                            .into_iter()
+                            .map(Json::from)
+                            .collect::<Vec<Json>>(),
+                    ),
+                ),
+                ("predicted_a_zero", Json::from(predicted_a_zero)),
+                ("divergence", Json::from(divergence)),
+            ]),
+        ),
+        ("invalidation_scan_size", histogram_json(&scan_hist)),
+    ])
+}
+
+/// One report entry: an (application, configuration) probe run.
+pub fn telemetry_entry(
+    app: &str,
+    config: &str,
+    scalability_users: Option<usize>,
+    dssp: &Dssp,
+    metrics: &RunMetrics,
+) -> Json {
+    Json::obj([
+        ("app", app.into()),
+        ("config", config.into()),
+        ("scalability_users", scalability_users.into()),
+        ("sim", run_metrics_json(metrics)),
+        ("dssp", dssp_telemetry_json(dssp)),
+    ])
+}
+
+/// Wraps entries into the versioned top-level document.
+pub fn telemetry_report(entries: Vec<Json>) -> Json {
+    Json::obj([
+        ("schema_version", SCHEMA_VERSION.into()),
+        ("entries", Json::from(entries)),
+    ])
+}
+
+/// Writes a report to `default_path` (or `$SCS_TELEMETRY_OUT` when set),
+/// pretty-printed; returns the path written.
+pub fn write_telemetry(report: &Json, default_path: &str) -> std::io::Result<PathBuf> {
+    let path = PathBuf::from(
+        std::env::var(TELEMETRY_OUT_ENV).unwrap_or_else(|_| default_path.to_string()),
+    );
+    let mut text = report.render_pretty();
+    text.push('\n');
+    std::fs::write(&path, text)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::DsspWorkload;
+    use crate::gen::IdSpaces;
+    use crate::toystore;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use scs_dssp::StrategyKind;
+    use scs_netsim::Workload;
+    use scs_storage::Database;
+
+    fn toystore_workload(kind: StrategyKind, seed: u64) -> DsspWorkload {
+        let app = toystore::toystore();
+        let mut db = Database::new();
+        for s in &app.schemas {
+            db.create_table(s.clone()).unwrap();
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        toystore::populate(&mut db, 50, 30, &mut rng);
+        let mut ids = IdSpaces::default();
+        ids.declare("toys", 50);
+        ids.declare("customers", 30);
+        ids.declare("credit_card", 15);
+        let exposures = kind.exposures(app.updates.len(), app.queries.len());
+        DsspWorkload::new(&app, db, ids, exposures, 1.0, seed)
+    }
+
+    fn drive(w: &mut DsspWorkload, requests: usize) {
+        for _ in 0..requests {
+            let n = w.begin_request(0);
+            for i in 0..n {
+                w.execute_op(0, i);
+            }
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_parse() {
+        let mut w = toystore_workload(StrategyKind::ViewInspection, 7);
+        drive(&mut w, 200);
+        let metrics = RunMetrics::default();
+        let entry = telemetry_entry("toystore", "MVIS", Some(128), w.dssp(), &metrics);
+        let report = telemetry_report(vec![entry]);
+        let parsed = Json::parse(&report.render_pretty()).unwrap();
+        assert_eq!(parsed.get("schema_version").unwrap().as_u64(), Some(1));
+        let entry = parsed.get("entries").unwrap().index(0).unwrap();
+        assert_eq!(entry.get("app").unwrap().as_str(), Some("toystore"));
+        assert_eq!(entry.get("scalability_users").unwrap().as_u64(), Some(128));
+        let stats = entry.get("dssp").unwrap().get("stats").unwrap();
+        let queries = stats.get("queries").unwrap().as_u64().unwrap();
+        assert_eq!(queries, w.dssp().stats().queries);
+        assert!(queries > 0);
+    }
+
+    #[test]
+    fn per_template_counts_sum_to_totals() {
+        let mut w = toystore_workload(StrategyKind::StatementInspection, 8);
+        drive(&mut w, 300);
+        let doc = dssp_telemetry_json(w.dssp());
+        let stats = w.dssp().stats();
+        let sum_field = |list: &str, field: &str| -> u64 {
+            doc.get(list)
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .iter()
+                .map(|t| t.get(field).unwrap().as_u64().unwrap())
+                .sum()
+        };
+        assert_eq!(sum_field("query_templates", "hits"), stats.hits);
+        assert_eq!(sum_field("query_templates", "misses"), stats.misses);
+        assert_eq!(sum_field("update_templates", "applied"), stats.updates);
+        assert_eq!(
+            sum_field("update_templates", "invalidations"),
+            stats.invalidations
+        );
+    }
+
+    #[test]
+    fn empirical_attribution_matches_ipm_on_toystore() {
+        // Under any template-informed strategy (MTIS and up), pairs the
+        // static analysis characterizes as A=0 must never invalidate at
+        // runtime — the report's divergence list stays empty.
+        for kind in [
+            StrategyKind::TemplateInspection,
+            StrategyKind::StatementInspection,
+            StrategyKind::ViewInspection,
+        ] {
+            let mut w = toystore_workload(kind, 9);
+            drive(&mut w, 500);
+            assert!(w.dssp().stats().invalidations > 0, "{kind:?}: no traffic");
+            let doc = dssp_telemetry_json(w.dssp());
+            let attribution = doc.get("attribution").unwrap();
+            let divergence = attribution.get("divergence").unwrap().as_arr().unwrap();
+            assert!(
+                divergence.is_empty(),
+                "{kind:?}: A=0 pairs invalidated at runtime: {divergence:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_json_reports_quantile_bounds() {
+        let h = scs_telemetry::LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let doc = histogram_json(&h.snapshot());
+        assert_eq!(doc.get("count").unwrap().as_u64(), Some(1000));
+        let p90 = doc.get("p90_us").unwrap().as_arr().unwrap();
+        let (lo, hi) = (p90[0].as_u64().unwrap(), p90[1].as_u64().unwrap());
+        assert!(lo <= 900 && 900 <= hi, "p90 bounds [{lo}, {hi}]");
+        // Empty histograms render null quantiles but still parse.
+        let empty = histogram_json(&HistogramSnapshot::default());
+        assert!(empty.get("p50_us").unwrap().as_arr().is_none());
+    }
+}

@@ -23,8 +23,14 @@ use std::fmt;
 /// One recorded operation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceOp {
-    Query { template_id: usize, params: Vec<Value> },
-    Update { template_id: usize, params: Vec<Value> },
+    Query {
+        template_id: usize,
+        params: Vec<Value>,
+    },
+    Update {
+        template_id: usize,
+        params: Vec<Value>,
+    },
 }
 
 /// A recorded operation stream for one application.
@@ -94,8 +100,14 @@ impl Trace {
         let mut out = String::new();
         for op in &self.ops {
             let (tag, tid, params) = match op {
-                TraceOp::Query { template_id, params } => ('Q', template_id, params),
-                TraceOp::Update { template_id, params } => ('U', template_id, params),
+                TraceOp::Query {
+                    template_id,
+                    params,
+                } => ('Q', template_id, params),
+                TraceOp::Update {
+                    template_id,
+                    params,
+                } => ('U', template_id, params),
             };
             out.push(tag);
             out.push(' ');
@@ -126,7 +138,10 @@ impl Trace {
     pub fn decode(text: &str) -> Result<Trace, TraceError> {
         let mut ops = Vec::new();
         for (n, line) in text.lines().enumerate() {
-            let err = |message: String| TraceError { line: n + 1, message };
+            let err = |message: String| TraceError {
+                line: n + 1,
+                message,
+            };
             if line.trim().is_empty() {
                 continue;
             }
@@ -139,12 +154,11 @@ impl Trace {
                 .map_err(|e| err(format!("bad template id: {e}")))?;
             let mut params = Vec::new();
             for f in fields {
-                let (kind, payload) =
-                    f.split_once(':').ok_or_else(|| err(format!("bad value `{f}`")))?;
+                let (kind, payload) = f
+                    .split_once(':')
+                    .ok_or_else(|| err(format!("bad value `{f}`")))?;
                 params.push(match kind {
-                    "i" => Value::Int(
-                        payload.parse().map_err(|e| err(format!("bad int: {e}")))?,
-                    ),
+                    "i" => Value::Int(payload.parse().map_err(|e| err(format!("bad int: {e}")))?),
                     "r" => {
                         let bits: u64 =
                             payload.parse().map_err(|e| err(format!("bad real: {e}")))?;
@@ -155,8 +169,14 @@ impl Trace {
                 });
             }
             ops.push(match tag {
-                "Q" => TraceOp::Query { template_id: tid, params },
-                "U" => TraceOp::Update { template_id: tid, params },
+                "Q" => TraceOp::Query {
+                    template_id: tid,
+                    params,
+                },
+                "U" => TraceOp::Update {
+                    template_id: tid,
+                    params,
+                },
                 other => return Err(err(format!("unknown tag `{other}`"))),
             });
         }
@@ -197,12 +217,7 @@ pub struct ReplayReport {
 /// Replays a trace against a fresh DSSP + home server under `exposures`.
 /// Identical traces + identical databases ⇒ noise-free configuration
 /// comparisons.
-pub fn replay(
-    app: &AppDef,
-    db: Database,
-    exposures: Exposures,
-    trace: &Trace,
-) -> ReplayReport {
+pub fn replay(app: &AppDef, db: Database, exposures: Exposures, trace: &Trace) -> ReplayReport {
     let matrix = crate::driver::analysis_matrix(app);
     let mut dssp = Dssp::new(DsspConfig::new(app.name, exposures, matrix));
     let mut home = HomeServer::new(db);
@@ -211,12 +226,18 @@ pub fn replay(
     let mut rejected = 0;
     for op in &trace.ops {
         match op {
-            TraceOp::Query { template_id, params } => {
+            TraceOp::Query {
+                template_id,
+                params,
+            } => {
                 let q = Query::bind(*template_id, queries[*template_id].clone(), params.clone())
                     .expect("trace matches app templates");
                 dssp.execute_query(&q, &mut home).expect("valid query");
             }
-            TraceOp::Update { template_id, params } => {
+            TraceOp::Update {
+                template_id,
+                params,
+            } => {
                 let u = Update::bind(*template_id, updates[*template_id].clone(), params.clone())
                     .expect("trace matches app templates");
                 if dssp.execute_update(&u, &mut home).is_err() {
@@ -225,7 +246,10 @@ pub fn replay(
             }
         }
     }
-    ReplayReport { stats: *dssp.stats(), rejected_updates: rejected }
+    ReplayReport {
+        stats: dssp.stats(),
+        rejected_updates: rejected,
+    }
 }
 
 #[cfg(test)]
@@ -278,10 +302,20 @@ mod tests {
     #[test]
     fn replay_is_deterministic() {
         let (app, trace) = sample_trace();
-        let exposures = StrategyKind::StatementInspection
-            .exposures(app.updates.len(), app.queries.len());
-        let a = replay(&app, BenchApp::Bookstore.build_database(5).0, exposures.clone(), &trace);
-        let b = replay(&app, BenchApp::Bookstore.build_database(5).0, exposures, &trace);
+        let exposures =
+            StrategyKind::StatementInspection.exposures(app.updates.len(), app.queries.len());
+        let a = replay(
+            &app,
+            BenchApp::Bookstore.build_database(5).0,
+            exposures.clone(),
+            &trace,
+        );
+        let b = replay(
+            &app,
+            BenchApp::Bookstore.build_database(5).0,
+            exposures,
+            &trace,
+        );
         assert_eq!(a.stats, b.stats);
         assert_eq!(a.rejected_updates, b.rejected_updates);
     }
@@ -294,13 +328,20 @@ mod tests {
         let mut hits = Vec::new();
         for kind in StrategyKind::ALL {
             let exposures = kind.exposures(app.updates.len(), app.queries.len());
-            let report =
-                replay(&app, BenchApp::Bookstore.build_database(5).0, exposures, &trace);
+            let report = replay(
+                &app,
+                BenchApp::Bookstore.build_database(5).0,
+                exposures,
+                &trace,
+            );
             hits.push(report.stats.hits);
         }
         // ALL is MVIS, MSIS, MTIS, MBS (most → least informed).
         for w in hits.windows(2) {
-            assert!(w[0] >= w[1], "hit counts must be antitone in encryption: {hits:?}");
+            assert!(
+                w[0] >= w[1],
+                "hit counts must be antitone in encryption: {hits:?}"
+            );
         }
     }
 }

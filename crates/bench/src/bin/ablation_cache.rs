@@ -25,7 +25,14 @@ fn main() {
         "p90 response (s)",
     ]);
 
-    for capacity in [Some(25usize), Some(50), Some(100), Some(250), Some(1000), None] {
+    for capacity in [
+        Some(25usize),
+        Some(50),
+        Some(100),
+        Some(250),
+        Some(1000),
+        None,
+    ] {
         let (hit, evictions, p90) = run_with_capacity(app, users, capacity);
         table.row(&[
             capacity.map_or("unbounded".into(), |c| c.to_string()),
@@ -41,11 +48,7 @@ fn main() {
 
 /// A capacity-bounded variant of the standard workload driver: same app,
 /// same cost model, different cache construction.
-fn run_with_capacity(
-    app: BenchApp,
-    users: usize,
-    capacity: Option<usize>,
-) -> (f64, u64, f64) {
+fn run_with_capacity(app: BenchApp, users: usize, capacity: Option<usize>) -> (f64, u64, f64) {
     let def = app.def();
     let exposures = StrategyKind::ViewInspection.exposures(def.updates.len(), def.queries.len());
     let matrix = analysis_matrix(&def);
@@ -74,4 +77,3 @@ fn run_with_capacity(
         m.percentile(0.9).map(as_secs).unwrap_or(f64::INFINITY),
     )
 }
-

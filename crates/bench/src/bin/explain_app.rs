@@ -29,7 +29,12 @@ fn main() {
     let mut ignorable = 0usize;
     for (i, u) in def.updates.iter().enumerate() {
         for (j, q) in def.queries.iter().enumerate() {
-            let e = explain_pair(&u.template, &q.template, &catalog, AnalysisOptions::default());
+            let e = explain_pair(
+                &u.template,
+                &q.template,
+                &catalog,
+                AnalysisOptions::default(),
+            );
             let is_zero = matches!(
                 e.a,
                 AReason::Ignorable | AReason::InsertionBlockedByConstraints
@@ -43,8 +48,6 @@ fn main() {
         }
     }
     if !show_all {
-        println!(
-            "\n({ignorable} ignorable pairs suppressed — rerun with --all to see them)"
-        );
+        println!("\n({ignorable} ignorable pairs suppressed — rerun with --all to see them)");
     }
 }

@@ -11,14 +11,36 @@
 //!   encrypts 21+ result sets at the no-encryption scalability level;
 //! * **full encryption** — everything encrypted (MBS; x = 28).
 //!
+//! Every configuration's probe-run telemetry (per-template counts,
+//! attribution, latency histograms) is exported to `fig3_telemetry.json`
+//! (`SCS_TELEMETRY_OUT` overrides; schema in `EXPERIMENTS.md`).
+//!
 //! Run: `cargo run -p scs-bench --release --bin fig3 [--full]`
 
-use scs_apps::{measure_scalability, BenchApp};
+use scs_apps::{measure_scalability, report, BenchApp, Fidelity};
 use scs_bench::{fidelity_from_args, TextTable};
 use scs_core::{
     compulsory_exposures, reduce_exposures, ExposureLevel, Exposures, SensitivityPolicy,
 };
 use scs_dssp::StrategyKind;
+use scs_netsim::SimConfig;
+use scs_telemetry::Json;
+
+/// One probe trial at the measured knee; returns the telemetry entry.
+fn probe(
+    app: BenchApp,
+    label: &str,
+    exposures: &Exposures,
+    max_users: usize,
+    fidelity: Fidelity,
+) -> Json {
+    let mut cfg = SimConfig::paper(max_users.max(8), 24);
+    cfg.duration = fidelity.duration_secs * scs_netsim::SEC;
+    cfg.warmup = fidelity.warmup_secs * scs_netsim::SEC;
+    let mut workload = app.workload(exposures.clone(), 24);
+    let m = scs_netsim::run(&cfg, &mut workload);
+    report::telemetry_entry(app.name(), label, Some(max_users), workload.dssp(), &m)
+}
 
 fn main() {
     let fidelity = fidelity_from_args();
@@ -31,6 +53,7 @@ fn main() {
     println!("(x = number of query templates with encrypted results)\n");
 
     let mut table = TextTable::new(&["Configuration", "x (encrypted results)", "Scalability"]);
+    let mut entries = Vec::new();
 
     // No encryption: MVIS everywhere.
     let mvis = StrategyKind::ViewInspection.exposures(def.updates.len(), def.queries.len());
@@ -40,6 +63,13 @@ fn main() {
         "0".into(),
         base.max_users.to_string(),
     ]);
+    entries.push(probe(
+        app,
+        "no encryption (MVIS)",
+        &mvis,
+        base.max_users,
+        fidelity,
+    ));
     eprintln!("  [no-encryption] {} users", base.max_users);
 
     // Naive sweep: encrypt the first k query results (exposure stmt) and
@@ -59,6 +89,13 @@ fn main() {
             k.to_string(),
             r.max_users.to_string(),
         ]);
+        entries.push(probe(
+            app,
+            &format!("naive encryption of {k} templates"),
+            &exp,
+            r.max_users,
+            fidelity,
+        ));
         eprintln!("  [naive k={k}] {} users", r.max_users);
     }
 
@@ -75,6 +112,13 @@ fn main() {
         x_free.to_string(),
         r.max_users.to_string(),
     ]);
+    entries.push(probe(
+        app,
+        "analysis only (no mandate)",
+        &free,
+        r.max_users,
+        fidelity,
+    ));
     eprintln!("  [analysis-only] {} users", r.max_users);
 
     // Our approach: Step 1 (CA law) + Step 2 (greedy reduction).
@@ -93,6 +137,7 @@ fn main() {
         x_ours.to_string(),
         r.max_users.to_string(),
     ]);
+    entries.push(probe(app, "our approach", &ours, r.max_users, fidelity));
     eprintln!("  [our-approach] {} users", r.max_users);
 
     // Full encryption: MBS everywhere.
@@ -103,6 +148,13 @@ fn main() {
         def.queries.len().to_string(),
         full.max_users.to_string(),
     ]);
+    entries.push(probe(
+        app,
+        "full encryption (MBS)",
+        &mbs,
+        full.max_users,
+        fidelity,
+    ));
     eprintln!("  [full-encryption] {} users", full.max_users);
 
     println!("{}", table.render());
@@ -113,4 +165,9 @@ fn main() {
     println!("can be encrypted without impacting scalability (paper: 21 of 28).");
     println!("Expected shape: 'our approach' matches 'no encryption' scalability;");
     println!("naive encryption degrades toward the 'full encryption' floor.");
+
+    match report::write_telemetry(&report::telemetry_report(entries), "fig3_telemetry.json") {
+        Ok(path) => println!("\nTelemetry written to {}", path.display()),
+        Err(e) => eprintln!("\nFailed to write telemetry: {e}"),
+    }
 }

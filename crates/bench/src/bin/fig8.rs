@@ -4,15 +4,19 @@
 //! strategies MVIS, MSIS, MTIS, MBS.
 //!
 //! Also prints the mechanism behind the figure: cache hit rate and
-//! invalidations per update at the measured knee.
+//! invalidations per update at the measured knee, and exports the full
+//! telemetry (per-template counts, attribution matrix, latency
+//! histograms) for every probe run to `telemetry.json` — override the
+//! path with `SCS_TELEMETRY_OUT`. Schema: `EXPERIMENTS.md`.
 //!
 //! Run: `cargo run -p scs-bench --release --bin fig8 [--full]`
 //! (`--full` uses the paper's 10-minute trials; the default quick mode
 //! uses 3-minute trials — same shape, minutes instead of hours.)
 
-use scs_apps::{measure_scalability, run_trial, BenchApp};
+use scs_apps::{measure_scalability, report, BenchApp, Fidelity};
 use scs_bench::{fidelity_from_args, TextTable};
 use scs_dssp::StrategyKind;
+use scs_netsim::SimConfig;
 
 fn main() {
     let fidelity = fidelity_from_args();
@@ -26,22 +30,33 @@ fn main() {
         "Hit rate",
         "Inv/update",
     ]);
+    let mut entries = Vec::new();
 
     for app in BenchApp::ALL {
         let def = app.def();
         for kind in StrategyKind::ALL {
             let exposures = kind.exposures(def.updates.len(), def.queries.len());
             let result = measure_scalability(app, &exposures, fidelity, 17);
-            // Re-run one trial at the knee for the mechanism columns.
+            // One probe trial at the knee: the reused workload supplies the
+            // mechanism columns and the telemetry entry.
             let probe_users = result.max_users.max(8);
-            let probe = probe_trial(app, &exposures, probe_users, fidelity);
+            let mut workload = app.workload(exposures.clone(), 18);
+            let m = scs_netsim::run(&probe_cfg(probe_users, fidelity), &mut workload);
+            let stats = workload.dssp().stats();
             table.row(&[
                 def.name.to_string(),
                 kind.name().to_string(),
                 result.max_users.to_string(),
-                format!("{:.2}", probe.0),
-                format!("{:.1}", probe.1),
+                format!("{:.2}", m.hit_rate),
+                format!("{:.1}", stats.invalidations_per_update()),
             ]);
+            entries.push(report::telemetry_entry(
+                def.name,
+                kind.name(),
+                Some(result.max_users),
+                workload.dssp(),
+                &m,
+            ));
             eprintln!(
                 "  [{} / {}] scalability = {} users ({} trials)",
                 def.name,
@@ -55,28 +70,16 @@ fn main() {
     println!("{}", table.render());
     println!("Paper's shape: MVIS >= MSIS >= MTIS >> MBS for every application;");
     println!("bboard (~10 queries/request) collapses under MTIS and MBS.");
+
+    match report::write_telemetry(&report::telemetry_report(entries), "telemetry.json") {
+        Ok(path) => println!("\nTelemetry written to {}", path.display()),
+        Err(e) => eprintln!("\nFailed to write telemetry: {e}"),
+    }
 }
 
-/// Runs one trial and returns `(hit_rate, invalidations_per_update)`.
-fn probe_trial(
-    app: BenchApp,
-    exposures: &scs_core::Exposures,
-    users: usize,
-    fidelity: scs_apps::Fidelity,
-) -> (f64, f64) {
-    let m = run_trial(app, exposures, users, fidelity, 18);
-    // `hit_rate` is surfaced through the metrics; invalidations via a
-    // fresh workload's stats would need plumbing — approximate via a
-    // second, shorter direct run.
-    (m.hit_rate, invalidations_per_update(app, exposures, users))
-}
-
-fn invalidations_per_update(app: BenchApp, exposures: &scs_core::Exposures, users: usize) -> f64 {
-    use scs_netsim::{SimConfig, SEC};
-    let mut workload = app.workload(exposures.clone(), 19);
-    let mut cfg = SimConfig::paper(users.min(64), 19);
-    cfg.duration = 60 * SEC;
-    cfg.warmup = 10 * SEC;
-    scs_netsim::run(&cfg, &mut workload);
-    workload.dssp().stats().invalidations_per_update()
+fn probe_cfg(users: usize, fidelity: Fidelity) -> SimConfig {
+    let mut cfg = SimConfig::paper(users, 18);
+    cfg.duration = fidelity.duration_secs * scs_netsim::SEC;
+    cfg.warmup = fidelity.warmup_secs * scs_netsim::SEC;
+    cfg
 }

@@ -7,7 +7,7 @@ use crate::assumptions::{check_query, check_update, Violation};
 use crate::attrs::{QueryAttrs, UpdateAttrs};
 use crate::catalog::Catalog;
 use crate::classes::{is_ignorable, update_class, UpdateClass};
-use crate::ipm::{characterize_pair, AnalysisOptions, AValue, IpmEntry};
+use crate::ipm::{characterize_pair, AValue, AnalysisOptions, IpmEntry};
 use scs_sqlkit::{QueryTemplate, UpdateTemplate};
 
 /// The reason behind a pair's `A` value.
@@ -138,10 +138,7 @@ pub fn explain_pair(
     opts: AnalysisOptions,
 ) -> Explanation {
     let entry = characterize_pair(u, q, catalog, opts);
-    let violations: Vec<Violation> = check_update(u)
-        .into_iter()
-        .chain(check_query(q))
-        .collect();
+    let violations: Vec<Violation> = check_update(u).into_iter().chain(check_query(q)).collect();
     if !violations.is_empty() {
         return Explanation {
             entry,
@@ -182,7 +179,12 @@ pub fn explain_pair(
     } else {
         CReason::ViewMayHelp
     };
-    Explanation { entry, a: AReason::Affects, b, c }
+    Explanation {
+        entry,
+        a: AReason::Affects,
+        b,
+        c,
+    }
 }
 
 #[cfg(test)]
@@ -284,7 +286,11 @@ mod tests {
                 let qt = parse_query(q).unwrap();
                 let opts = AnalysisOptions::default();
                 let e = explain_pair(&ut, &qt, &cat, opts);
-                assert_eq!(e.entry, characterize_pair(&ut, &qt, &cat, opts), "{u} / {q}");
+                assert_eq!(
+                    e.entry,
+                    characterize_pair(&ut, &qt, &cat, opts),
+                    "{u} / {q}"
+                );
             }
         }
     }
@@ -292,10 +298,8 @@ mod tests {
     #[test]
     fn uses_classification_helpers() {
         // Exercise the remaining §4.4 branches for coverage.
-        let q = parse_query(
-            "SELECT t1.toy_id FROM toys t1, toys t2 WHERE t1.qty = t2.qty",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT t1.toy_id FROM toys t1, toys t2 WHERE t1.qty = t2.qty").unwrap();
         assert!(has_only_equality_joins(&q));
         assert!(has_no_top_k(&q));
         let u = parse_update("DELETE FROM toys WHERE qty < ?").unwrap();

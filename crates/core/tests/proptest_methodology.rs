@@ -18,7 +18,11 @@ fn entry_strategy() -> impl Strategy<Value = IpmEntry> {
         if zero {
             IpmEntry::ZERO
         } else {
-            IpmEntry { a: AValue::One, b_eq_a: b_eq, c_eq_b: c_eq }
+            IpmEntry {
+                a: AValue::One,
+                b_eq_a: b_eq,
+                c_eq_b: c_eq,
+            }
         }
     })
 }

@@ -81,6 +81,14 @@ impl CacheEntry {
     }
 }
 
+/// What [`ResultCache::store_with_evictions`] did: whether the entry went
+/// in, and which entries the capacity bound pushed out to make room.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreOutcome {
+    pub stored: bool,
+    pub evicted: Vec<CacheKey>,
+}
+
 /// The result cache, optionally bounded with LRU eviction.
 pub struct ResultCache {
     entries: HashMap<CacheKey, CacheEntry>,
@@ -152,8 +160,23 @@ impl ResultCache {
     /// Stores a result under the query's exposure level. Empty results are
     /// not cached (see module docs); returns whether the entry was stored.
     pub fn store(&mut self, q: &Query, result: QueryResult, level: ExposureLevel) -> bool {
+        self.store_with_evictions(q, result, level).stored
+    }
+
+    /// [`ResultCache::store`], additionally reporting which entries the
+    /// capacity bound evicted — the proxy's telemetry attributes each
+    /// victim to its query template.
+    pub fn store_with_evictions(
+        &mut self,
+        q: &Query,
+        result: QueryResult,
+        level: ExposureLevel,
+    ) -> StoreOutcome {
         if result.is_empty() {
-            return false;
+            return StoreOutcome {
+                stored: false,
+                evicted: Vec::new(),
+            };
         }
         let key = CacheKey {
             template_id: q.template_id,
@@ -172,6 +195,7 @@ impl ResultCache {
                 last_used: self.clock,
             },
         );
+        let mut evicted = Vec::new();
         if let Some(cap) = self.capacity {
             while self.entries.len() > cap {
                 let victim = self
@@ -182,9 +206,13 @@ impl ResultCache {
                     .expect("nonempty while over capacity");
                 self.entries.remove(&victim);
                 self.evictions += 1;
+                evicted.push(victim);
             }
         }
-        true
+        StoreOutcome {
+            stored: true,
+            evicted,
+        }
     }
 
     /// Removes every entry the predicate marks for invalidation; returns
@@ -344,6 +372,23 @@ mod tests {
         assert!(c.peek(&query(0, 2)).is_none(), "LRU victim");
         assert!(c.peek(&query(0, 3)).is_some());
         assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn store_outcome_reports_victims() {
+        let mut c = ResultCache::with_capacity(Encryptor::for_app("test"), 2);
+        assert!(c
+            .store_with_evictions(&query(0, 1), result(1), ExposureLevel::View)
+            .evicted
+            .is_empty());
+        c.store(&query(0, 2), result(1), ExposureLevel::View);
+        let outcome = c.store_with_evictions(&query(0, 3), result(1), ExposureLevel::View);
+        assert!(outcome.stored);
+        assert_eq!(outcome.evicted.len(), 1);
+        assert_eq!(outcome.evicted[0].params, vec![Value::Int(1)]);
+        // Empty results: not stored, nothing evicted.
+        let noop = c.store_with_evictions(&query(0, 9), result(0), ExposureLevel::View);
+        assert!(!noop.stored && noop.evicted.is_empty());
     }
 
     #[test]

@@ -28,11 +28,11 @@ pub mod strategy;
 pub mod tenant;
 pub mod view;
 
-pub use cache::{CacheEntry, CacheKey, ResultCache};
+pub use cache::{CacheEntry, CacheKey, ResultCache, StoreOutcome};
 pub use home::HomeServer;
 pub use proxy::{Dssp, DsspConfig, QueryResponse, UpdateResponse};
 pub use statement::statement_may_affect;
 pub use stats::DsspStats;
-pub use strategy::{must_invalidate, StrategyKind, UpdateView};
+pub use strategy::{decide, must_invalidate, DecisionPath, StrategyKind, UpdateView};
 pub use tenant::{DsspNode, NodeError, TenantId};
 pub use view::view_may_affect;

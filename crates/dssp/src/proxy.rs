@@ -5,11 +5,14 @@
 use crate::cache::ResultCache;
 use crate::home::HomeServer;
 use crate::stats::DsspStats;
-use crate::strategy::{must_invalidate, UpdateView};
+use crate::strategy::{decide, DecisionPath, UpdateView};
 use scs_core::{Exposures, IpmMatrix};
 use scs_crypto::Encryptor;
 use scs_sqlkit::{Query, Update};
 use scs_storage::{QueryResult, StorageError, UpdateEffect};
+use scs_telemetry::{
+    AttributionMatrix, Counter, MetricsRegistry, TraceEventKind, TraceSink, Tracer,
+};
 
 /// Configuration for one application's slice of the DSSP.
 #[derive(Clone)]
@@ -56,12 +59,68 @@ pub struct UpdateResponse {
     pub invalidated: usize,
 }
 
+/// Cached handles into the proxy's [`MetricsRegistry`] so the hot path
+/// never re-resolves metric names. The totals mirror [`DsspStats`];
+/// the per-template vectors are indexed by template id.
+struct ProxyMetrics {
+    queries: Counter,
+    hits: Counter,
+    misses: Counter,
+    updates: Counter,
+    invalidations: Counter,
+    entries_scanned: Counter,
+    evictions: Counter,
+    cache_entries: scs_telemetry::Gauge,
+    scan_size: std::sync::Arc<scs_telemetry::LogHistogram>,
+    query_hits: Vec<Counter>,
+    query_misses: Vec<Counter>,
+    query_invalidated: Vec<Counter>,
+    query_evicted: Vec<Counter>,
+    update_applied: Vec<Counter>,
+    update_invalidations: Vec<Counter>,
+}
+
+impl ProxyMetrics {
+    fn new(registry: &MetricsRegistry, update_count: usize, query_count: usize) -> ProxyMetrics {
+        let per_template = |prefix: &str, suffix: &str, n: usize| -> Vec<Counter> {
+            (0..n)
+                .map(|i| registry.counter(&format!("{prefix}.{i}.{suffix}")))
+                .collect()
+        };
+        ProxyMetrics {
+            queries: registry.counter("dssp.queries"),
+            hits: registry.counter("dssp.hits"),
+            misses: registry.counter("dssp.misses"),
+            updates: registry.counter("dssp.updates"),
+            invalidations: registry.counter("dssp.invalidations"),
+            entries_scanned: registry.counter("dssp.entries_scanned"),
+            evictions: registry.counter("dssp.evictions"),
+            cache_entries: registry.gauge("dssp.cache_entries"),
+            scan_size: registry.histogram("dssp.invalidation_scan_size"),
+            query_hits: per_template("query_template", "hits", query_count),
+            query_misses: per_template("query_template", "misses", query_count),
+            query_invalidated: per_template("query_template", "invalidated", query_count),
+            query_evicted: per_template("query_template", "evicted", query_count),
+            update_applied: per_template("update_template", "applied", update_count),
+            update_invalidations: per_template("update_template", "invalidations", update_count),
+        }
+    }
+}
+
 /// One application's DSSP proxy state.
 pub struct Dssp {
     exposures: Exposures,
     matrix: IpmMatrix,
     cache: ResultCache,
-    stats: DsspStats,
+    registry: MetricsRegistry,
+    metrics: ProxyMetrics,
+    tracer: Tracer,
+    attribution: AttributionMatrix,
+    /// Tenant label stamped on trace events (set by `DsspNode::register`).
+    tenant: u32,
+    /// Simulation clock in µs; trace events are stamped with it. Stays 0
+    /// outside a simulation.
+    now_micros: u64,
 }
 
 impl Dssp {
@@ -71,11 +130,20 @@ impl Dssp {
             Some(cap) => ResultCache::with_capacity(encryptor, cap),
             None => ResultCache::new(encryptor),
         };
+        let update_count = config.exposures.updates.len();
+        let query_count = config.exposures.queries.len();
+        let registry = MetricsRegistry::new();
+        let metrics = ProxyMetrics::new(&registry, update_count, query_count);
         Dssp {
             cache,
             exposures: config.exposures,
             matrix: config.matrix,
-            stats: DsspStats::default(),
+            registry,
+            metrics,
+            tracer: Tracer::new(),
+            attribution: AttributionMatrix::new(update_count, query_count),
+            tenant: 0,
+            now_micros: 0,
         }
     }
 
@@ -91,18 +159,48 @@ impl Dssp {
         q: &Query,
         home: &mut HomeServer,
     ) -> Result<QueryResponse, StorageError> {
-        self.stats.queries += 1;
+        let tid = q.template_id;
+        let level = self.exposures.queries[tid];
+        let exposure = level.rank() as u8;
+        self.metrics.queries.inc();
         if let Some(entry) = self.cache.lookup(q) {
-            self.stats.hits += 1;
-            return Ok(QueryResponse {
-                result: entry.serve().clone(),
-                hit: true,
-            });
+            let result = entry.serve().clone();
+            self.metrics.hits.inc();
+            self.metrics.query_hits[tid].inc();
+            self.tracer.emit(
+                self.now_micros,
+                self.tenant,
+                TraceEventKind::QueryHit {
+                    query_template: tid as u32,
+                    exposure,
+                },
+            );
+            return Ok(QueryResponse { result, hit: true });
         }
-        self.stats.misses += 1;
+        self.metrics.misses.inc();
+        self.metrics.query_misses[tid].inc();
+        self.tracer.emit(
+            self.now_micros,
+            self.tenant,
+            TraceEventKind::QueryMiss {
+                query_template: tid as u32,
+                exposure,
+            },
+        );
         let result = home.execute_query(q)?;
-        let level = self.exposures.queries[q.template_id];
-        self.cache.store(q, result.clone(), level);
+        let outcome = self.cache.store_with_evictions(q, result.clone(), level);
+        for victim in &outcome.evicted {
+            self.metrics.evictions.inc();
+            self.metrics.query_evicted[victim.template_id].inc();
+            self.tracer.emit(
+                self.now_micros,
+                self.tenant,
+                TraceEventKind::EntryEvicted {
+                    query_template: victim.template_id as u32,
+                },
+            );
+        }
+        self.metrics.cache_entries.set(self.cache.len() as i64);
         Ok(QueryResponse { result, hit: false })
     }
 
@@ -114,15 +212,53 @@ impl Dssp {
         u: &Update,
         home: &mut HomeServer,
     ) -> Result<UpdateResponse, StorageError> {
-        self.stats.updates += 1;
+        let uid = u.template_id;
+        let level = self.exposures.updates[uid];
+        self.metrics.updates.inc();
+        self.metrics.update_applied[uid].inc();
+        self.attribution.record_update(uid);
+        self.tracer.emit(
+            self.now_micros,
+            self.tenant,
+            TraceEventKind::UpdateApplied {
+                update_template: uid as u32,
+                exposure: level.rank() as u8,
+            },
+        );
         let effect = home.apply_update(u)?;
-        let view = UpdateView::new(u, self.exposures.updates[u.template_id]);
+        let view = UpdateView::new(u, level);
         let matrix = &self.matrix;
-        let (scanned, invalidated) = self
-            .cache
-            .invalidate_where(|entry| must_invalidate(matrix, &view, entry));
-        self.stats.entries_scanned += scanned as u64;
-        self.stats.invalidations += invalidated as u64;
+        // Collect per-victim attribution while the cache is borrowed; the
+        // entry's *canonical* template id is recorded (telemetry sits
+        // inside the DSSP's trust boundary and may account for entries the
+        // strategy itself cannot inspect).
+        let mut victims: Vec<(usize, DecisionPath, u8)> = Vec::new();
+        let (scanned, invalidated) = self.cache.invalidate_where(|entry| {
+            let (kill, path) = decide(matrix, &view, entry);
+            if kill {
+                victims.push((entry.key().template_id, path, entry.level().rank() as u8));
+            }
+            kill
+        });
+        for (qid, path, entry_exposure) in victims {
+            self.metrics.invalidations.inc();
+            self.metrics.query_invalidated[qid].inc();
+            self.metrics.update_invalidations[uid].inc();
+            self.attribution.record_invalidation(uid, qid);
+            self.tracer.emit(
+                self.now_micros,
+                self.tenant,
+                TraceEventKind::EntryInvalidated {
+                    update_template: uid as u32,
+                    query_template: qid as u32,
+                    exposure: entry_exposure,
+                    decision: path.code(),
+                },
+            );
+        }
+        self.metrics.entries_scanned.add(scanned as u64);
+        self.metrics.scan_size.record(scanned as u64);
+        self.metrics.cache_entries.set(self.cache.len() as i64);
         Ok(UpdateResponse {
             effect,
             scanned,
@@ -130,8 +266,56 @@ impl Dssp {
         })
     }
 
-    pub fn stats(&self) -> &DsspStats {
-        &self.stats
+    /// Snapshot of the headline counters, derived from the registry (the
+    /// registry is the single source of truth; the old direct-field
+    /// accounting is gone).
+    pub fn stats(&self) -> DsspStats {
+        DsspStats {
+            queries: self.metrics.queries.get(),
+            hits: self.metrics.hits.get(),
+            misses: self.metrics.misses.get(),
+            updates: self.metrics.updates.get(),
+            invalidations: self.metrics.invalidations.get(),
+            entries_scanned: self.metrics.entries_scanned.get(),
+            evictions: self.metrics.evictions.get(),
+        }
+    }
+
+    /// The proxy's metrics registry (per-template counters, scan-size
+    /// histogram); merge into a node-level registry for roll-ups.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Empirical (update-template × query-template) invalidation counts.
+    pub fn attribution(&self) -> &AttributionMatrix {
+        &self.attribution
+    }
+
+    /// The static IPM characterization the proxy decides with.
+    pub fn ipm(&self) -> &IpmMatrix {
+        &self.matrix
+    }
+
+    /// Attaches a trace sink; events flow to every attached sink.
+    pub fn add_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.tracer.add_sink(sink);
+    }
+
+    /// Flushes buffered trace sinks (e.g. JSONL writers).
+    pub fn flush_telemetry(&mut self) {
+        self.tracer.flush();
+    }
+
+    /// Labels this proxy's trace events with a tenant id.
+    pub fn set_tenant_label(&mut self, tenant: u32) {
+        self.tenant = tenant;
+    }
+
+    /// Advances the clock trace events are stamped with (µs). Driven by
+    /// the simulator; wall-clock-free tests may leave it at 0.
+    pub fn set_sim_time_micros(&mut self, micros: u64) {
+        self.now_micros = micros;
     }
 
     pub fn cache_len(&self) -> usize {
@@ -286,5 +470,103 @@ mod tests {
         assert_eq!(s.hits, 1);
         assert_eq!(s.misses, 1);
         assert_eq!(s.updates, 1);
+    }
+
+    #[test]
+    fn registry_tracks_per_template_counts() {
+        let mut f = fixture(StrategyKind::StatementInspection);
+        f.query(0, vec![Value::str("bear")]);
+        f.query(0, vec![Value::str("bear")]);
+        f.query(1, vec![Value::Int(2)]);
+        // Deleting toy 2 kills the q1(toy_id=2) entry; statement
+        // inspection must also kill the q0(toy_name) entry, since a
+        // DELETE by toy_id could remove a matching bear row.
+        let resp = f.update(0, vec![Value::Int(2)]);
+        let reg = f.dssp.registry();
+        assert_eq!(reg.counter_value("query_template.0.hits"), 1);
+        assert_eq!(reg.counter_value("query_template.0.misses"), 1);
+        assert_eq!(reg.counter_value("query_template.1.misses"), 1);
+        assert_eq!(reg.counter_value("update_template.0.applied"), 1);
+        assert_eq!(reg.counter_value("query_template.1.invalidated"), 1);
+        assert_eq!(
+            reg.counter_value("update_template.0.invalidations"),
+            resp.invalidated as u64
+        );
+        // Headline counters agree with the derived stats snapshot.
+        assert_eq!(reg.counter_value("dssp.queries"), f.dssp.stats().queries);
+        // The scan-size histogram saw exactly one invalidation pass.
+        let snap = reg.snapshot();
+        assert_eq!(snap.histograms["dssp.invalidation_scan_size"].count, 1);
+        assert_eq!(snap.gauges["dssp.cache_entries"], f.dssp.cache_len() as i64);
+    }
+
+    #[test]
+    fn attribution_matrix_records_runtime_invalidations() {
+        let mut f = fixture(StrategyKind::TemplateInspection);
+        f.query(0, vec![Value::str("bear")]);
+        f.query(1, vec![Value::Int(1)]);
+        f.update(0, vec![Value::Int(3)]);
+        let attr = f.dssp.attribution();
+        assert_eq!(attr.updates_applied(0), 1);
+        // MTIS invalidates every instance of both affected templates.
+        assert_eq!(attr.count(0, 0) + attr.count(0, 1), 2);
+        // Runtime behaviour stays inside the analysis envelope: nothing
+        // invalidated on a pair the IPM proved A = 0 for.
+        let ipm = f.dssp.ipm();
+        assert!(attr
+            .divergence(|u, q| ipm.entry(u, q).all_zero())
+            .is_empty());
+    }
+
+    #[test]
+    fn trace_events_flow_to_sinks() {
+        use scs_telemetry::{TraceEvent, TraceEventKind, TraceSink};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        struct Shared(Rc<RefCell<Vec<TraceEvent>>>);
+        impl TraceSink for Shared {
+            fn record(&mut self, event: &TraceEvent) {
+                self.0.borrow_mut().push(*event);
+            }
+        }
+
+        let events = Rc::new(RefCell::new(Vec::new()));
+        let mut f = fixture(StrategyKind::ViewInspection);
+        f.dssp.add_trace_sink(Box::new(Shared(Rc::clone(&events))));
+        f.dssp.set_tenant_label(7);
+        f.dssp.set_sim_time_micros(42);
+        f.query(1, vec![Value::Int(2)]);
+        f.query(1, vec![Value::Int(2)]);
+        f.update(0, vec![Value::Int(2)]);
+        f.dssp.flush_telemetry();
+
+        let events = events.borrow();
+        let kinds: Vec<&'static str> = events.iter().map(|e| e.kind.name()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "query_miss",
+                "query_hit",
+                "update_applied",
+                "entry_invalidated"
+            ]
+        );
+        assert!(events.iter().all(|e| e.tenant == 7 && e.at_micros == 42));
+        // Sequence numbers are strictly increasing.
+        assert!(events.windows(2).all(|w| w[1].seq == w[0].seq + 1));
+        match events[3].kind {
+            TraceEventKind::EntryInvalidated {
+                update_template,
+                query_template,
+                decision,
+                ..
+            } => {
+                assert_eq!(update_template, 0);
+                assert_eq!(query_template, 1);
+                assert_eq!(decision, crate::strategy::DecisionPath::View.code());
+            }
+            other => panic!("expected invalidation event, got {other:?}"),
+        }
     }
 }

@@ -14,9 +14,23 @@ pub struct DsspStats {
     pub invalidations: u64,
     /// Total cache entries examined by invalidation passes.
     pub entries_scanned: u64,
+    /// Cache entries dropped by capacity pressure (not by invalidation).
+    pub evictions: u64,
 }
 
 impl DsspStats {
+    /// Folds another proxy's counters into this one — the tenant
+    /// roll-up operation. Associative and commutative.
+    pub fn merge(&mut self, other: &DsspStats) {
+        self.queries += other.queries;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.updates += other.updates;
+        self.invalidations += other.invalidations;
+        self.entries_scanned += other.entries_scanned;
+        self.evictions += other.evictions;
+    }
+
     /// Cache hit rate in `[0, 1]` (0 when no queries ran).
     pub fn hit_rate(&self) -> f64 {
         if self.queries == 0 {
@@ -56,8 +70,35 @@ mod tests {
             updates: 4,
             invalidations: 6,
             entries_scanned: 40,
+            evictions: 2,
         };
         assert!((s.hit_rate() - 0.7).abs() < 1e-12);
         assert!((s.invalidations_per_update() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_fieldwise_and_is_associative() {
+        let mk = |n: u64| DsspStats {
+            queries: 10 * n,
+            hits: 7 * n,
+            misses: 3 * n,
+            updates: 4 * n,
+            invalidations: 6 * n,
+            entries_scanned: 40 * n,
+            evictions: n,
+        };
+        let (a, b, c) = (mk(1), mk(2), mk(5));
+
+        let mut ab_c = a;
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+
+        let mut bc = b;
+        bc.merge(&c);
+        let mut a_bc = a;
+        a_bc.merge(&bc);
+
+        assert_eq!(ab_c, a_bc);
+        assert_eq!(ab_c, mk(8));
     }
 }

@@ -53,27 +53,70 @@ impl<'a> UpdateView<'a> {
     }
 }
 
+/// Which information tier settled an invalidation decision — recorded in
+/// trace events so observed invalidations are attributable to the level
+/// of inspection that caused them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecisionPath {
+    /// A blind side forced invalidation (Property 1) — no inspection ran.
+    BlindSide,
+    /// The statically derived template-level `A` value decided.
+    Template,
+    /// Statement inspection compared the two statements.
+    Statement,
+    /// View inspection consulted the materialized result.
+    View,
+}
+
+impl DecisionPath {
+    /// Stable numeric code used by `scs-telemetry` trace events.
+    pub fn code(self) -> u8 {
+        match self {
+            DecisionPath::BlindSide => 0,
+            DecisionPath::Template => 1,
+            DecisionPath::Statement => 2,
+            DecisionPath::View => 3,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            DecisionPath::BlindSide => "blind_side",
+            DecisionPath::Template => "template",
+            DecisionPath::Statement => "statement",
+            DecisionPath::View => "view",
+        }
+    }
+}
+
 /// The minimal correct decision available at the information level of the
-/// pair `(update view, cache entry)`: `true` = invalidate.
-pub fn must_invalidate(matrix: &IpmMatrix, uv: &UpdateView<'_>, entry: &CacheEntry) -> bool {
+/// pair `(update view, cache entry)`, plus which tier produced it:
+/// `true` = invalidate.
+pub fn decide(matrix: &IpmMatrix, uv: &UpdateView<'_>, entry: &CacheEntry) -> (bool, DecisionPath) {
     // Property 1: a blind side leaves no information — invalidate.
     let (Some(uid), Some(qid)) = (uv.visible_template_id(), entry.visible_template_id()) else {
-        return true;
+        return (true, DecisionPath::BlindSide);
     };
     // Template-level: the statically derived A decides; A = 0 is sound at
     // every higher level too (Property 3 collapses the gradient).
     if matrix.entry(uid, qid).all_zero() {
-        return false;
+        return (false, DecisionPath::Template);
     }
     let (Some(u), Some(q)) = (uv.visible_statement(), entry.visible_statement()) else {
         // One side stops at template exposure: invalidate all instances
         // (A = 1 for this pair).
-        return true;
+        return (true, DecisionPath::Template);
     };
     match entry.visible_result() {
-        Some(result) => view_may_affect(u, q, result),
-        None => statement_may_affect(u, q),
+        Some(result) => (view_may_affect(u, q, result), DecisionPath::View),
+        None => (statement_may_affect(u, q), DecisionPath::Statement),
     }
+}
+
+/// [`decide`] without the attribution — kept for callers that only need
+/// the verdict.
+pub fn must_invalidate(matrix: &IpmMatrix, uv: &UpdateView<'_>, entry: &CacheEntry) -> bool {
+    decide(matrix, uv, entry).0
 }
 
 /// The four pure strategy classes of §2.2.

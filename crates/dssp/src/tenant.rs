@@ -78,12 +78,11 @@ impl DsspNode {
             return Err(NodeError::DuplicateTenant(config.app_id));
         }
         let id = TenantId(self.tenants.len() as u32);
-        self.by_app.insert(config.app_id.clone(), id);
-        self.tenants.push(Tenant {
-            app_id: config.app_id.clone(),
-            dssp: Dssp::new(config),
-            home,
-        });
+        let app_id = config.app_id.clone();
+        self.by_app.insert(app_id.clone(), id);
+        let mut dssp = Dssp::new(config);
+        dssp.set_tenant_label(id.0);
+        self.tenants.push(Tenant { app_id, dssp, home });
         Ok(id)
     }
 
@@ -104,11 +103,7 @@ impl DsspNode {
     }
 
     /// Routes a query to its tenant's proxy.
-    pub fn execute_query(
-        &mut self,
-        t: TenantId,
-        q: &Query,
-    ) -> Result<QueryResponse, NodeError> {
+    pub fn execute_query(&mut self, t: TenantId, q: &Query) -> Result<QueryResponse, NodeError> {
         let tenant = self.tenant_mut(t)?;
         Ok(tenant.dssp.execute_query(q, &mut tenant.home)?)
     }
@@ -116,11 +111,7 @@ impl DsspNode {
     /// Routes an update to its tenant's proxy. Only the tenant's own
     /// cached entries are scanned — one tenant's updates never disturb
     /// another's cache.
-    pub fn execute_update(
-        &mut self,
-        t: TenantId,
-        u: &Update,
-    ) -> Result<UpdateResponse, NodeError> {
+    pub fn execute_update(&mut self, t: TenantId, u: &Update) -> Result<UpdateResponse, NodeError> {
         let tenant = self.tenant_mut(t)?;
         Ok(tenant.dssp.execute_update(u, &mut tenant.home)?)
     }
@@ -129,8 +120,27 @@ impl DsspNode {
     pub fn stats(&self) -> Vec<(&str, DsspStats)> {
         self.tenants
             .iter()
-            .map(|t| (t.app_id.as_str(), *t.dssp.stats()))
+            .map(|t| (t.app_id.as_str(), t.dssp.stats()))
             .collect()
+    }
+
+    /// Node-wide counter roll-up across tenants ([`DsspStats::merge`]).
+    pub fn rollup_stats(&self) -> DsspStats {
+        let mut total = DsspStats::default();
+        for t in &self.tenants {
+            total.merge(&t.dssp.stats());
+        }
+        total
+    }
+
+    /// Node-wide metrics roll-up: every tenant's registry merged into one
+    /// snapshot (counters/gauges add, histograms merge bucket-wise).
+    pub fn rollup_metrics(&self) -> scs_telemetry::MetricsSnapshot {
+        let mut total = scs_telemetry::MetricsSnapshot::default();
+        for t in &self.tenants {
+            total.merge(&t.dssp.registry().snapshot());
+        }
+        total
     }
 
     /// Total cached entries across tenants (node capacity planning).
@@ -153,7 +163,15 @@ mod tests {
     use scs_storage::{ColumnType, Database, TableSchema};
     use std::sync::Arc;
 
-    fn make_tenant(app_id: &str, seed_val: i64) -> (DsspConfig, HomeServer, Arc<scs_sqlkit::QueryTemplate>, Arc<scs_sqlkit::UpdateTemplate>) {
+    fn make_tenant(
+        app_id: &str,
+        seed_val: i64,
+    ) -> (
+        DsspConfig,
+        HomeServer,
+        Arc<scs_sqlkit::QueryTemplate>,
+        Arc<scs_sqlkit::UpdateTemplate>,
+    ) {
         let schema = TableSchema::builder("t")
             .column("id", ColumnType::Int)
             .column("v", ColumnType::Int)
@@ -163,7 +181,8 @@ mod tests {
         let mut db = Database::new();
         db.create_table(schema.clone()).unwrap();
         for id in 1..=5 {
-            db.insert_row("t", vec![Value::Int(id), Value::Int(seed_val * id)]).unwrap();
+            db.insert_row("t", vec![Value::Int(id), Value::Int(seed_val * id)])
+                .unwrap();
         }
         let q = Arc::new(parse_query("SELECT v FROM t WHERE id = ?").unwrap());
         let u = Arc::new(parse_update("UPDATE t SET v = ? WHERE id = ?").unwrap());
@@ -206,7 +225,10 @@ mod tests {
         let u_b = Update::bind(0, ub, vec![Value::Int(1), Value::Int(3)]).unwrap();
         let resp = node.execute_update(tb, &u_b).unwrap();
         assert_eq!(resp.invalidated, 1, "B's own entry dies");
-        assert!(node.execute_query(ta, &q_a).unwrap().hit, "A's entry survives");
+        assert!(
+            node.execute_query(ta, &q_a).unwrap().hit,
+            "A's entry survives"
+        );
         assert!(!node.execute_query(tb, &q_b).unwrap().hit);
     }
 
@@ -216,7 +238,10 @@ mod tests {
         let (ca, ha, _, _) = make_tenant("app-a", 1);
         let (cb, hb, _, _) = make_tenant("app-a", 2);
         node.register(ca, ha).unwrap();
-        assert!(matches!(node.register(cb, hb), Err(NodeError::DuplicateTenant(_))));
+        assert!(matches!(
+            node.register(cb, hb),
+            Err(NodeError::DuplicateTenant(_))
+        ));
     }
 
     #[test]
@@ -228,6 +253,39 @@ mod tests {
             node.execute_query(TenantId(9), &query),
             Err(NodeError::UnknownTenant(_))
         ));
+    }
+
+    #[test]
+    fn tenant_registries_are_isolated_and_roll_up() {
+        let mut node = DsspNode::new();
+        let (ca, ha, qa, _) = make_tenant("app-a", 1);
+        let (cb, hb, qb, _) = make_tenant("app-b", 2);
+        let ta = node.register(ca, ha).unwrap();
+        let tb = node.register(cb, hb).unwrap();
+
+        let q_a = Query::bind(0, qa, vec![Value::Int(1)]).unwrap();
+        let q_b = Query::bind(0, qb, vec![Value::Int(1)]).unwrap();
+        for _ in 0..3 {
+            node.execute_query(ta, &q_a).unwrap();
+        }
+        node.execute_query(tb, &q_b).unwrap();
+
+        // Isolation: each tenant's registry saw only its own traffic.
+        let reg_a = node.dssp(ta).unwrap().registry();
+        let reg_b = node.dssp(tb).unwrap().registry();
+        assert_eq!(reg_a.counter_value("dssp.queries"), 3);
+        assert_eq!(reg_b.counter_value("dssp.queries"), 1);
+        assert_eq!(reg_a.counter_value("dssp.hits"), 2);
+        assert_eq!(reg_b.counter_value("dssp.hits"), 0);
+
+        // Roll-up: node totals are the tenant sums.
+        let rolled = node.rollup_metrics();
+        assert_eq!(rolled.counters["dssp.queries"], 4);
+        assert_eq!(rolled.counters["dssp.hits"], 2);
+        let totals = node.rollup_stats();
+        assert_eq!(totals.queries, 4);
+        assert_eq!(totals.hits, 2);
+        assert_eq!(totals.misses, 2);
     }
 
     #[test]

@@ -24,8 +24,8 @@ pub mod scalability;
 pub mod sim;
 pub mod units;
 
-pub use metrics::{RunMetrics, Sla};
-pub use resource::{DuplexLink, Pipe, ServiceCenter};
+pub use metrics::{CenterTelemetry, RunMetrics, Sla};
+pub use resource::{DuplexLink, Pipe, Served, ServiceCenter};
 pub use scalability::{find_max_users, ScalabilityResult, SearchOptions};
 pub use sim::{run, HomeTrip, OpCost, SimConfig, SystemSpec, Workload};
 pub use units::{as_secs, Time, MS, SEC};

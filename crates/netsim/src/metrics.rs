@@ -1,6 +1,19 @@
-//! Run metrics: response-time percentiles and resource utilizations.
+//! Run metrics: response-time percentiles, resource utilizations, and
+//! the queueing-delay vs service-time breakdown per service center.
 
 use crate::units::{as_secs, Time};
+use scs_telemetry::HistogramSnapshot;
+
+/// Queueing-delay and service-time distributions at one service center
+/// (times in µs). The wait histogram is the congestion signal: at a
+/// saturated center it grows without bound while service times stay flat.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CenterTelemetry {
+    /// Time jobs spent queued before service started.
+    pub wait: HistogramSnapshot,
+    /// Time jobs spent in service.
+    pub service: HistogramSnapshot,
+}
 
 /// Measurements from one simulation run (the measurement window only —
 /// warmup excluded).
@@ -25,6 +38,15 @@ pub struct RunMetrics {
     /// Cache hit rate observed by the workload (filled in by the driver;
     /// 0 when unknown).
     pub hit_rate: f64,
+    /// Wait/service breakdown at the DSSP CPU (whole run incl. warmup).
+    pub dssp_cpu_telemetry: CenterTelemetry,
+    /// Wait/service breakdown at the home-server CPU.
+    pub home_cpu_telemetry: CenterTelemetry,
+    /// Wait/service breakdown at the home link (downstream, results).
+    pub home_link_telemetry: CenterTelemetry,
+    /// Request response times as a mergeable histogram (µs; measurement
+    /// window only, same population as `response_times`).
+    pub response_hist: HistogramSnapshot,
 }
 
 impl RunMetrics {

@@ -2,6 +2,15 @@
 
 use crate::units::{transfer_time, Time};
 
+/// Timing of one job through a [`ServiceCenter`]: for a job arriving at
+/// `t`, `start - t` is its queueing delay and `done - start` its service
+/// time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Served {
+    pub start: Time,
+    pub done: Time,
+}
+
 /// A FIFO service center with `c` identical servers (virtual-time
 /// semantics: jobs are offered in nondecreasing arrival order by the event
 /// loop, each starts on the earliest-free server).
@@ -26,6 +35,13 @@ impl ServiceCenter {
     /// Offers a job arriving at `t` with service demand `demand`; returns
     /// its completion time.
     pub fn serve(&mut self, t: Time, demand: Time) -> Time {
+        self.serve_traced(t, demand).done
+    }
+
+    /// [`ServiceCenter::serve`], also reporting when service *started* —
+    /// the gap between arrival and start is the queueing delay, which
+    /// telemetry tracks separately from the service time.
+    pub fn serve_traced(&mut self, t: Time, demand: Time) -> Served {
         let (idx, &free_at) = self
             .servers
             .iter()
@@ -37,7 +53,7 @@ impl ServiceCenter {
         self.servers[idx] = done;
         self.busy_total += demand;
         self.jobs += 1;
-        done
+        Served { start, done }
     }
 
     /// Total busy time accumulated across servers.
@@ -80,8 +96,16 @@ impl Pipe {
 
     /// Sends `bytes` entering the pipe at `t`; returns delivery time.
     pub fn send(&mut self, t: Time, bytes: u64) -> Time {
-        let serialized = self.queue.serve(t, transfer_time(bytes, self.bits_per_sec));
-        serialized + self.latency
+        self.send_traced(t, bytes).0
+    }
+
+    /// [`Pipe::send`], also reporting the queueing delay the packet spent
+    /// waiting behind earlier serializations.
+    pub fn send_traced(&mut self, t: Time, bytes: u64) -> (Time, Time) {
+        let served = self
+            .queue
+            .serve_traced(t, transfer_time(bytes, self.bits_per_sec));
+        (served.done + self.latency, served.start - t)
     }
 
     pub fn utilization(&self, horizon: Time) -> f64 {
@@ -133,6 +157,27 @@ mod tests {
         let mut c = ServiceCenter::new(2);
         c.serve(0, SEC);
         assert!((c.utilization(SEC) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serve_traced_separates_wait_from_service() {
+        let mut c = ServiceCenter::new(1);
+        let first = c.serve_traced(0, 10);
+        assert_eq!((first.start, first.done), (0, 10));
+        // Second job arrives at 4, waits 6, serves 10.
+        let second = c.serve_traced(4, 10);
+        assert_eq!(second.start - 4, 6, "queueing delay");
+        assert_eq!(second.done - second.start, 10, "service time");
+    }
+
+    #[test]
+    fn send_traced_reports_queue_wait() {
+        // 2 Mbps: 2500 bytes = 10 ms serialization.
+        let mut p = Pipe::new(100 * MS, 2_000_000);
+        let (done1, wait1) = p.send_traced(0, 2_500);
+        assert_eq!((done1, wait1), (110 * MS, 0));
+        let (done2, wait2) = p.send_traced(0, 2_500);
+        assert_eq!((done2, wait2), (120 * MS, 10 * MS));
     }
 
     #[test]

@@ -17,11 +17,12 @@
 //! logically in event order, which matches their simulated serialization
 //! order at the DSSP.
 
-use crate::metrics::RunMetrics;
-use crate::resource::{DuplexLink, ServiceCenter};
+use crate::metrics::{CenterTelemetry, RunMetrics};
+use crate::resource::{DuplexLink, Served, ServiceCenter};
 use crate::units::Time;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use scs_telemetry::LogHistogram;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -61,6 +62,11 @@ pub trait Workload {
     fn hit_rate(&self) -> f64 {
         0.0
     }
+
+    /// Informs the workload of the current simulated time (µs) just
+    /// before each [`Workload::execute_op`] — workloads that carry
+    /// telemetry stamp their trace events with it. Default: ignored.
+    fn observe_time(&mut self, _now: Time) {}
 }
 
 /// Network and node parameters (defaults = the paper's §5.2 testbed).
@@ -199,6 +205,7 @@ pub fn run(cfg: &SimConfig, workload: &mut dyn Workload) -> RunMetrics {
         window: cfg.duration - cfg.warmup,
         ..RunMetrics::default()
     };
+    let mut hist = SimHistograms::default();
     // Track pending per-op costs between DsspArrive and Reply scheduling.
     while let Some(Reverse(ev)) = heap.pop() {
         if ev.at >= cfg.duration {
@@ -215,16 +222,25 @@ pub fn run(cfg: &SimConfig, workload: &mut dyn Workload) -> RunMetrics {
                 push(&mut heap, &mut seq, arrive, c, EventKind::DsspArrive);
             }
             EventKind::DsspArrive => {
+                workload.observe_time(ev.at);
                 let cost = workload.execute_op(c, clients[c].ops_done);
                 metrics.ops_executed += 1;
-                let dssp_done = dssp_cpu.serve(ev.at, cost.dssp_cpu);
+                let dssp_served = dssp_cpu.serve_traced(ev.at, cost.dssp_cpu);
+                hist.dssp.record(ev.at, dssp_served);
                 let ready = match &cost.home_trip {
                     Some(trip) => {
-                        let at_home = home_link.up.send(dssp_done, trip.request_bytes);
-                        let served = home_cpu.serve(at_home, trip.home_cpu);
-                        home_link.down.send(served, trip.reply_bytes)
+                        let at_home = home_link.up.send(dssp_served.done, trip.request_bytes);
+                        let home_served = home_cpu.serve_traced(at_home, trip.home_cpu);
+                        hist.home.record(at_home, home_served);
+                        let (delivered, link_wait) = home_link
+                            .down
+                            .send_traced(home_served.done, trip.reply_bytes);
+                        hist.link_wait.record(link_wait);
+                        hist.link_service
+                            .record(delivered - home_served.done - link_wait);
+                        delivered
                     }
-                    None => dssp_done,
+                    None => dssp_served.done,
                 };
                 let replied = clients[c].link.down.send(ready, cost.reply_bytes);
                 push(&mut heap, &mut seq, replied, c, EventKind::Reply);
@@ -236,9 +252,9 @@ pub fn run(cfg: &SimConfig, workload: &mut dyn Workload) -> RunMetrics {
                 } else {
                     if clients[c].request_start >= cfg.warmup {
                         metrics.requests_completed += 1;
-                        metrics
-                            .response_times
-                            .push(ev.at - clients[c].request_start);
+                        let rt = ev.at - clients[c].request_start;
+                        metrics.response_times.push(rt);
+                        hist.response.record(rt);
                     }
                     clients[c].ops_done = 0;
                     let think = exponential(&mut rng, cfg.think_mean);
@@ -253,7 +269,54 @@ pub fn run(cfg: &SimConfig, workload: &mut dyn Workload) -> RunMetrics {
     metrics.home_utilization = home_cpu.utilization(horizon);
     metrics.home_link_utilization = home_link.down.utilization(horizon);
     metrics.hit_rate = workload.hit_rate();
+    hist.export(&mut metrics);
     metrics
+}
+
+/// Wait/service histograms collected while the event loop runs, exported
+/// into [`RunMetrics`] snapshots at the end. Only the three *shared*
+/// centers are instrumented — per-client links are uncontended by
+/// construction and would cost a histogram per simulated user.
+#[derive(Default)]
+struct SimHistograms {
+    dssp: CenterHistograms,
+    home: CenterHistograms,
+    link_wait: LogHistogram,
+    /// Time on the wire: serialization plus propagation.
+    link_service: LogHistogram,
+    response: LogHistogram,
+}
+
+#[derive(Default)]
+struct CenterHistograms {
+    wait: LogHistogram,
+    service: LogHistogram,
+}
+
+impl CenterHistograms {
+    fn record(&mut self, arrived: Time, served: Served) {
+        self.wait.record(served.start - arrived);
+        self.service.record(served.done - served.start);
+    }
+
+    fn snapshot(&self) -> CenterTelemetry {
+        CenterTelemetry {
+            wait: self.wait.snapshot(),
+            service: self.service.snapshot(),
+        }
+    }
+}
+
+impl SimHistograms {
+    fn export(&self, metrics: &mut RunMetrics) {
+        metrics.dssp_cpu_telemetry = self.dssp.snapshot();
+        metrics.home_cpu_telemetry = self.home.snapshot();
+        metrics.home_link_telemetry = CenterTelemetry {
+            wait: self.link_wait.snapshot(),
+            service: self.link_service.snapshot(),
+        };
+        metrics.response_hist = self.response.snapshot();
+    }
 }
 
 /// Samples an exponential duration with the given mean.
@@ -368,6 +431,75 @@ mod tests {
         cfg.seed = 43;
         let b = run(&cfg, &mut MissOnly);
         assert_ne!(a.response_times, b.response_times);
+    }
+
+    #[test]
+    fn telemetry_histograms_cover_the_run() {
+        let m = run(&quick_cfg(10), &mut MissOnly);
+        // Every completed request in the window appears in the response
+        // histogram, with quantiles agreeing with the sorted vector up to
+        // bucket resolution.
+        assert_eq!(m.response_hist.count as usize, m.response_times.len());
+        let p90 = m.percentile(0.9).unwrap();
+        let (lo, hi) = m.response_hist.quantile_bounds(0.9).unwrap();
+        assert!(lo <= p90 && p90 <= hi, "p90 {p90} outside [{lo}, {hi}]");
+        // Every op passed through the DSSP CPU and (MissOnly) home CPU.
+        assert_eq!(m.dssp_cpu_telemetry.service.count, m.ops_executed);
+        assert_eq!(m.home_cpu_telemetry.service.count, m.ops_executed);
+        assert_eq!(m.home_link_telemetry.service.count, m.ops_executed);
+        // Exact 5 ms home-CPU service demand.
+        assert_eq!(m.home_cpu_telemetry.service.max, Some(5 * MS));
+    }
+
+    #[test]
+    fn saturation_shows_up_as_queueing_not_service() {
+        let light = run(&quick_cfg(100), &mut MissOnly);
+        let heavy = run(&quick_cfg(3000), &mut MissOnly);
+        // Service-time distributions are load-independent…
+        assert_eq!(
+            light.home_link_telemetry.service.max,
+            heavy.home_link_telemetry.service.max
+        );
+        // …while waits at the bottleneck explode under overload.
+        let wait_p50 = |m: &RunMetrics| {
+            m.home_link_telemetry
+                .wait
+                .quantile_bounds(0.5)
+                .map(|(lo, _)| lo)
+                .unwrap_or(0)
+        };
+        assert!(
+            wait_p50(&heavy) > 100 * wait_p50(&light).max(1),
+            "heavy wait {} vs light wait {}",
+            wait_p50(&heavy),
+            wait_p50(&light)
+        );
+    }
+
+    #[test]
+    fn observe_time_sees_nondecreasing_arrivals() {
+        struct Stamped {
+            inner: MissOnly,
+            stamps: Vec<Time>,
+        }
+        impl Workload for Stamped {
+            fn begin_request(&mut self, c: usize) -> usize {
+                self.inner.begin_request(c)
+            }
+            fn execute_op(&mut self, c: usize, i: usize) -> OpCost {
+                self.inner.execute_op(c, i)
+            }
+            fn observe_time(&mut self, now: Time) {
+                self.stamps.push(now);
+            }
+        }
+        let mut w = Stamped {
+            inner: MissOnly,
+            stamps: Vec::new(),
+        };
+        let m = run(&quick_cfg(5), &mut w);
+        assert_eq!(w.stamps.len() as u64, m.ops_executed);
+        assert!(w.stamps.windows(2).all(|p| p[0] <= p[1]));
     }
 
     #[test]

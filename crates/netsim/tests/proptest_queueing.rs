@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use scs_netsim::{
-    run, DuplexLink, OpCost, Pipe, ServiceCenter, SimConfig, Sla, SystemSpec, Time, Workload,
-    MS, SEC,
+    run, DuplexLink, OpCost, Pipe, ServiceCenter, SimConfig, Sla, SystemSpec, Time, Workload, MS,
+    SEC,
 };
 
 proptest! {

@@ -1,0 +1,653 @@
+//! Workspace-local stand-in for the
+//! [`proptest`](https://crates.io/crates/proptest) crate.
+//!
+//! Implements the API surface this repository's property tests use — the
+//! [`proptest!`] macro, [`Strategy`] with `prop_map` / `prop_flat_map` /
+//! `boxed`, range and tuple and regex-literal strategies,
+//! [`collection::vec`], [`option::of`], [`prop_oneof!`], [`Just`], and the
+//! `prop_assert*` macros — on top of the workspace `rand` shim.
+//!
+//! Differences from upstream, deliberately accepted for hermetic builds:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs
+//!   `Debug`-printed; there is no minimization pass.
+//! * **Deterministic seeding.** Each test derives its RNG seed from its
+//!   fully qualified name, so failures reproduce across runs without a
+//!   regression file (`.proptest-regressions` files are ignored).
+//! * **Regex strategies** support the subset used here: literal chars,
+//!   `[a-z0-9_]`-style classes, `.`, `\PC` (printable), and the
+//!   quantifiers `*`, `+`, `?`, `{n}`, `{m,n}`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Per-test configuration (only the case count is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Builds the deterministic RNG for one property test, seeded from the
+/// test's fully qualified name (stable across runs and platforms).
+pub fn test_rng(test_name: &str) -> StdRng {
+    // FNV-1a.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// A generator of values of `Self::Value`.
+///
+/// Object-safe core (`generate`) plus `Sized`-only combinators.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// `prop_flat_map` adapter.
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+    fn generate(&self, rng: &mut StdRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+/// Types with a canonical `any::<T>()` strategy.
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Uniform sampler over a type's full domain, for [`Arbitrary`] impls.
+pub struct AnyOf<T>(std::marker::PhantomData<T>);
+
+macro_rules! arbitrary_via_standard {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyOf<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen()
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyOf<$t>;
+            fn arbitrary() -> AnyOf<$t> {
+                AnyOf(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+arbitrary_via_standard!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Weighted union of boxed strategies — the engine behind [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        let total = options.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! weights must not all be zero");
+        Union { options, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let mut pick = rng.gen_range(0..self.total);
+        for (w, s) in &self.options {
+            if pick < *w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count specification for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Inclusive upper bound.
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            let (lo, hi) = r.into_inner();
+            assert!(lo <= hi, "empty size range");
+            SizeRange { lo, hi }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a sampled length.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// A vector whose length is drawn from `size` and whose elements come
+    /// from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod option {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.gen_range(0u32..4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+
+    /// `None` a quarter of the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-literal string strategies.
+// ---------------------------------------------------------------------------
+
+/// One matchable unit of the supported regex subset.
+enum RegexAtom {
+    /// Explicit candidate characters.
+    Class(Vec<char>),
+    /// Printable, non-control characters (`\PC`, `.`).
+    Printable,
+    Literal(char),
+}
+
+struct RegexPart {
+    atom: RegexAtom,
+    min: u32,
+    max: u32,
+}
+
+/// Parses the supported regex subset; panics (with the pattern) on
+/// anything beyond it, so unsupported tests fail loudly rather than
+/// silently generating wrong data.
+fn parse_regex(pattern: &str) -> Vec<RegexPart> {
+    let mut parts = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut candidates = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next() {
+                        Some(']') => break,
+                        Some('-') if prev.is_some() && chars.peek().is_some_and(|c| *c != ']') => {
+                            let lo = prev.take().unwrap();
+                            let hi = chars.next().unwrap();
+                            for code in (lo as u32)..=(hi as u32) {
+                                candidates.extend(char::from_u32(code));
+                            }
+                        }
+                        Some(ch) => {
+                            if let Some(p) = prev.replace(ch) {
+                                candidates.push(p);
+                            }
+                        }
+                        None => panic!("unterminated class in regex {pattern:?}"),
+                    }
+                }
+                candidates.extend(prev);
+                RegexAtom::Class(candidates)
+            }
+            '\\' => match chars.next() {
+                Some('P') => match chars.next() {
+                    Some('C') => RegexAtom::Printable,
+                    other => panic!("unsupported escape \\P{other:?} in regex {pattern:?}"),
+                },
+                Some(esc @ ('\\' | '.' | '[' | ']' | '{' | '}' | '*' | '+' | '?')) => {
+                    RegexAtom::Literal(esc)
+                }
+                other => panic!("unsupported escape \\{other:?} in regex {pattern:?}"),
+            },
+            '.' => RegexAtom::Printable,
+            '*' | '+' | '?' | '{' => panic!("dangling quantifier in regex {pattern:?}"),
+            lit => RegexAtom::Literal(lit),
+        };
+        let (min, max) = match chars.peek() {
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for ch in chars.by_ref() {
+                    if ch == '}' {
+                        break;
+                    }
+                    spec.push(ch);
+                }
+                match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("regex repetition bound"),
+                        n.trim().parse().expect("regex repetition bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("regex repetition bound");
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        parts.push(RegexPart { atom, min, max });
+    }
+    parts
+}
+
+const PRINTABLE: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 _-.,:;'\"!?()<>=+*/%&#@[]{}|^~`$\\";
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for part in parse_regex(self) {
+            let reps = rng.gen_range(part.min..=part.max);
+            for _ in 0..reps {
+                match &part.atom {
+                    RegexAtom::Class(cs) => {
+                        assert!(!cs.is_empty(), "empty class in regex {self:?}");
+                        out.push(cs[rng.gen_range(0..cs.len())]);
+                    }
+                    RegexAtom::Printable => {
+                        out.push(PRINTABLE[rng.gen_range(0..PRINTABLE.len())] as char)
+                    }
+                    RegexAtom::Literal(c) => out.push(*c),
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros.
+// ---------------------------------------------------------------------------
+
+/// The property-test harness macro. Supports the upstream surface used in
+/// this repository:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(128))]
+///
+///     /// Doc comments and attributes pass through.
+///     #[test]
+///     fn my_property(x in 0..10i64, v in proptest::collection::vec(0u8..4, 1..9)) {
+///         prop_assert!(x >= 0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__cfg.cases {
+                    let _ = __case;
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Weighted (or unweighted) choice among strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $item:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($item))),+
+        ])
+    };
+    ($($item:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($item))),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+);
+    };
+}
+
+/// Skips the current case when the assumption does not hold. Only valid
+/// directly inside a `proptest!` body (it `continue`s the case loop).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_rng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = test_rng("ranges");
+        let s = (0..5i64, 10u64..=12, "[a-c]{2}");
+        for _ in 0..200 {
+            let (a, b, c) = Strategy::generate(&s, &mut rng);
+            assert!((0..5).contains(&a));
+            assert!((10..=12).contains(&b));
+            assert_eq!(c.len(), 2);
+            assert!(c.chars().all(|ch| ('a'..='c').contains(&ch)));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_sizes() {
+        let mut rng = test_rng("vec");
+        let variable = crate::collection::vec(0u8..4, 1..9);
+        let fixed = crate::collection::vec(0u8..4, 3usize);
+        for _ in 0..200 {
+            let v = Strategy::generate(&variable, &mut rng);
+            assert!((1..9).contains(&v.len()));
+            assert_eq!(Strategy::generate(&fixed, &mut rng).len(), 3);
+        }
+    }
+
+    #[test]
+    fn oneof_respects_options() {
+        let mut rng = test_rng("oneof");
+        let s = prop_oneof![Just(1u8), Just(2u8), 3 => Just(9u8)];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..300 {
+            seen.insert(Strategy::generate(&s, &mut rng));
+        }
+        assert_eq!(seen, [1u8, 2, 9].into_iter().collect());
+    }
+
+    #[test]
+    fn flat_map_threads_dependent_values() {
+        let mut rng = test_rng("flat_map");
+        let s = (1usize..5).prop_flat_map(|n| crate::collection::vec(0u8..9, n));
+        for _ in 0..100 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!((1..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn regex_pc_star_is_printable() {
+        let mut rng = test_rng("pc");
+        for _ in 0..100 {
+            let s = Strategy::generate(&"\\PC*", &mut rng);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: patterns, multiple args, assertions.
+        #[test]
+        fn macro_roundtrip(x in 0..100i64, (a, b) in (0u8..4, 0u8..4)) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 100);
+            prop_assert_eq!((a < 4), (b < 4), "both in range: {} {}", a, b);
+            prop_assert_ne!(x, 13);
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! Log-scale histogram with bounded relative error, mergeable across
+//! threads and tenants.
+//!
+//! Values 0–63 get exact unit buckets; above that, each power-of-two
+//! octave is split into 32 sub-buckets, so any recorded value lands in a
+//! bucket whose width is at most 1/32 (~3.1%) of its magnitude. Quantile
+//! queries therefore return a `(lo, hi)` bound pair rather than a point
+//! estimate; callers that want a single number use the upper bound
+//! (conservative for latency SLOs).
+//!
+//! All state is atomic: recording is a handful of relaxed ops, safe from
+//! any thread through a shared `Arc<LogHistogram>` handle.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-buckets per octave = 2^SUB_BITS.
+const SUB_BITS: u32 = 5;
+const SUBBUCKETS: usize = 1 << SUB_BITS;
+/// Exact unit buckets for values below 2^(SUB_BITS + 1).
+const LINEAR_LIMIT: u64 = (SUBBUCKETS as u64) * 2;
+/// First octave handled logarithmically: exponent SUB_BITS + 1.
+const FIRST_OCTAVE: u32 = SUB_BITS + 1;
+const OCTAVES: usize = (64 - FIRST_OCTAVE) as usize;
+const BUCKETS: usize = LINEAR_LIMIT as usize + OCTAVES * SUBBUCKETS;
+
+/// Index of the bucket containing `v`.
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_LIMIT {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros(); // >= FIRST_OCTAVE
+    let sub = ((v >> (exp - SUB_BITS)) & (SUBBUCKETS as u64 - 1)) as usize;
+    LINEAR_LIMIT as usize + (exp - FIRST_OCTAVE) as usize * SUBBUCKETS + sub
+}
+
+/// Smallest and largest value mapping to bucket `i`.
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    if (i as u64) < LINEAR_LIMIT {
+        return (i as u64, i as u64);
+    }
+    let rel = i - LINEAR_LIMIT as usize;
+    let exp = FIRST_OCTAVE + (rel / SUBBUCKETS) as u32;
+    let sub = (rel % SUBBUCKETS) as u64;
+    let width = 1u64 << (exp - SUB_BITS);
+    let lo = (1u64 << exp) + sub * width;
+    (lo, lo + (width - 1))
+}
+
+/// Concurrent log-scale histogram of `u64` samples (typically latencies
+/// in microseconds). See the module docs for the bucketing scheme.
+pub struct LogHistogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    pub fn new() -> LogHistogram {
+        // Collect then convert: a by-value `[AtomicU64; BUCKETS]` literal
+        // would transit the stack; this builds directly on the heap.
+        let buckets: Box<[AtomicU64]> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        LogHistogram {
+            buckets: buckets.try_into().expect("bucket count is fixed"),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Lock-free; callable from any thread.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    pub fn min(&self) -> Option<u64> {
+        match self.min.load(Ordering::Relaxed) {
+            u64::MAX => None,
+            v => Some(v),
+        }
+    }
+
+    pub fn max(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.max.load(Ordering::Relaxed))
+        }
+    }
+
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Adds every sample of `other` into `self`.
+    pub fn merge(&self, other: &LogHistogram) {
+        for (dst, src) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = src.load(Ordering::Relaxed);
+            if n != 0 {
+                dst.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// `(lo, hi)` bounds of the bucket holding the `q`-quantile sample
+    /// (nearest-rank), or `None` on an empty histogram. The true sample
+    /// value satisfies `lo <= v <= hi`.
+    pub fn quantile_bounds(&self, q: f64) -> Option<(u64, u64)> {
+        self.snapshot().quantile_bounds(q)
+    }
+
+    /// An owned, mergeable copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<(u32, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| match b.load(Ordering::Relaxed) {
+                0 => None,
+                n => Some((i as u32, n)),
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min(),
+            max: self.max(),
+            buckets,
+        }
+    }
+}
+
+/// Owned point-in-time copy of a [`LogHistogram`]: sparse non-zero
+/// buckets plus the summary atomics. Serializable, mergeable, and able
+/// to answer the same quantile queries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub min: Option<u64>,
+    pub max: Option<u64>,
+    /// `(bucket index, count)`, ascending by index, zero counts omitted.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// See [`LogHistogram::quantile_bounds`].
+    pub fn quantile_bounds(&self, q: f64) -> Option<(u64, u64)> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Nearest-rank: the k-th smallest sample, 1-based.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(idx, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                let (lo, hi) = bucket_bounds(idx as usize);
+                // Tighten with the tracked extremes.
+                let lo = self.min.map_or(lo, |m| lo.max(m.min(hi)));
+                let hi = self.max.map_or(hi, |m| hi.min(m.max(lo)));
+                return Some((lo, hi));
+            }
+        }
+        None
+    }
+
+    /// Upper bound of the quantile bucket — the conservative single
+    /// number for latency reporting.
+    pub fn quantile_upper(&self, q: f64) -> Option<u64> {
+        self.quantile_bounds(q).map(|(_, hi)| hi)
+    }
+
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        let mut merged: Vec<(u32, u64)> = Vec::with_capacity(self.buckets.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.buckets.len() || j < other.buckets.len() {
+            match (self.buckets.get(i), other.buckets.get(j)) {
+                (Some(&(ai, an)), Some(&(bi, bn))) if ai == bi => {
+                    merged.push((ai, an + bn));
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&(ai, an)), Some(&(bi, _))) if ai < bi => {
+                    merged.push((ai, an));
+                    i += 1;
+                }
+                (Some(_), Some(&(bi, bn))) => {
+                    merged.push((bi, bn));
+                    j += 1;
+                }
+                (Some(&(ai, an)), None) => {
+                    merged.push((ai, an));
+                    i += 1;
+                }
+                (None, Some(&(bi, bn))) => {
+                    merged.push((bi, bn));
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        self.buckets = merged;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = LogHistogram::new();
+        for v in 0..LINEAR_LIMIT {
+            h.record(v);
+        }
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            let (lo, hi) = h.quantile_bounds(q).unwrap();
+            assert_eq!(lo, hi, "unit buckets give exact quantiles");
+        }
+        assert_eq!(h.quantile_bounds(0.5).unwrap().0, LINEAR_LIMIT / 2 - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_invert_bucket_index() {
+        let probes = [
+            0,
+            1,
+            63,
+            64,
+            65,
+            100,
+            1_000,
+            4_095,
+            4_096,
+            123_456_789,
+            u64::MAX / 2,
+            u64::MAX,
+        ];
+        for v in probes {
+            let i = bucket_index(v);
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= v && v <= hi, "v={v} i={i} lo={lo} hi={hi}");
+            // Relative bucket width bound: width <= lo / 32 for log buckets.
+            if v >= LINEAR_LIMIT {
+                assert!(hi - lo < lo / SUBBUCKETS as u64 + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_across_boundaries() {
+        let mut prev = bucket_index(0);
+        for v in 1..10_000u64 {
+            let i = bucket_index(v);
+            assert!(i >= prev);
+            prev = i;
+        }
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        let both = LogHistogram::new();
+        for v in [3u64, 900, 17, 1 << 40, 0, 65] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [7u64, 900, 1 << 20] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.snapshot(), both.snapshot());
+    }
+
+    #[test]
+    fn snapshot_merge_matches_live_merge() {
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        for v in 0..500u64 {
+            a.record(v * 97);
+            b.record(v * 31 + 5);
+        }
+        let mut sa = a.snapshot();
+        sa.merge(&b.snapshot());
+        a.merge(&b);
+        assert_eq!(sa, a.snapshot());
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = LogHistogram::new();
+        assert_eq!(h.quantile_bounds(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # scs-telemetry
+//!
+//! Observability substrate for the DSSP pipeline. Three pieces, all
+//! dependency-free so every layer of the workspace can use them:
+//!
+//! * [`MetricsRegistry`] — named [`Counter`]s, [`Gauge`]s, and log-scale
+//!   [`LogHistogram`]s behind cheap `Arc` handles. Registration takes a
+//!   short-lived mutex; the hot recording path is a single relaxed atomic
+//!   op. Registries snapshot and merge, which is how per-tenant metrics
+//!   roll up into node-level totals.
+//! * [`Tracer`] / [`TraceEvent`] — a structured event stream
+//!   (query hit/miss, update applied, entry invalidated/evicted; each
+//!   carrying tenant, template ids, exposure level, and the strategy's
+//!   decision path) fanned out to pluggable [`TraceSink`]s: a bounded
+//!   in-memory ring buffer, a JSONL writer, or nothing.
+//! * [`AttributionMatrix`] — the *empirical* counterpart of the static
+//!   invalidation-probability matrix (IPM) from `scs-core`: per
+//!   (update-template × query-template) counts of runtime invalidations,
+//!   diffable against the analysis' A=0 predictions to catch
+//!   analysis/runtime divergence.
+//!
+//! The [`json`] module carries a minimal JSON value type (render + parse)
+//! used by the JSONL sink and the experiment binaries' `telemetry.json`
+//! export; it exists so the telemetry path stays hermetic.
+
+pub mod attribution;
+pub mod hist;
+pub mod json;
+pub mod registry;
+pub mod trace;
+
+pub use attribution::AttributionMatrix;
+pub use hist::{HistogramSnapshot, LogHistogram};
+pub use json::Json;
+pub use registry::{Counter, Gauge, MetricsRegistry, MetricsSnapshot};
+pub use trace::{
+    JsonlSink, NullSink, RingBufferSink, TraceEvent, TraceEventKind, TraceSink, Tracer,
+};

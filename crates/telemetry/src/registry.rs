@@ -1,0 +1,251 @@
+//! Named-metric registry: counters, gauges, and histograms looked up by
+//! name once, then recorded through cheap clonable handles.
+//!
+//! The registry mutex is held only during registration/snapshot; the
+//! recording path on a handle is a single relaxed atomic op, so handles
+//! can live on the hottest paths (per-request in the proxy). Per-tenant
+//! registries roll up into node-level totals via [`MetricsRegistry::merge`]
+//! or by merging [`MetricsSnapshot`]s; merge is associative and
+//! commutative, which the tenant tests rely on.
+
+use crate::hist::{HistogramSnapshot, LogHistogram};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Monotone event counter handle.
+#[derive(Clone, Default, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous-level handle (cache occupancy, queue depth, ...).
+#[derive(Clone, Default, Debug)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Arc<LogHistogram>),
+}
+
+/// Registry of named metrics. Cheap to clone handles out of; see the
+/// module docs for the locking story.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Returns (registering on first use) the counter named `name`.
+    ///
+    /// Panics if `name` is already registered as a different metric kind —
+    /// a programming error worth failing loudly on.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::default()))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name:?} already registered with another kind"),
+        }
+    }
+
+    /// Returns (registering on first use) the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::default()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name:?} already registered with another kind"),
+        }
+    }
+
+    /// Returns (registering on first use) the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<LogHistogram> {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(LogHistogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} already registered with another kind"),
+        }
+    }
+
+    /// Convenience: current value of a counter, 0 if never registered.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        match self.metrics.lock().unwrap().get(name) {
+            Some(Metric::Counter(c)) => c.get(),
+            _ => 0,
+        }
+    }
+
+    /// Folds every metric of `other` into `self` (counters/gauges add,
+    /// histograms merge bucket-wise). Metrics unknown to `self` are
+    /// registered. `other` is left untouched.
+    pub fn merge(&self, other: &MetricsRegistry) {
+        let theirs = other.metrics.lock().unwrap();
+        for (name, metric) in theirs.iter() {
+            match metric {
+                Metric::Counter(c) => self.counter(name).add(c.get()),
+                Metric::Gauge(g) => self.gauge(name).add(g.get()),
+                Metric::Histogram(h) => self.histogram(name).merge(h),
+            }
+        }
+    }
+
+    /// Owned point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let m = self.metrics.lock().unwrap();
+        let mut snap = MetricsSnapshot::default();
+        for (name, metric) in m.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    snap.counters.insert(name.clone(), c.get());
+                }
+                Metric::Gauge(g) => {
+                    snap.gauges.insert(name.clone(), g.get());
+                }
+                Metric::Histogram(h) => {
+                    snap.histograms.insert(name.clone(), h.snapshot());
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// Owned copy of a registry's state; mergeable the same way.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            *self.gauges.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_state_with_registry() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("queries");
+        let c2 = reg.counter("queries");
+        c.inc();
+        c2.add(2);
+        assert_eq!(reg.counter_value("queries"), 3);
+
+        let g = reg.gauge("cache_len");
+        g.set(10);
+        reg.gauge("cache_len").add(-3);
+        assert_eq!(reg.snapshot().gauges["cache_len"], 7);
+
+        let h = reg.histogram("latency");
+        h.record(42);
+        assert_eq!(reg.snapshot().histograms["latency"].count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "another kind")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn registry_merge_adds_and_registers() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        a.counter("hits").add(5);
+        b.counter("hits").add(7);
+        b.counter("only_b").add(1);
+        b.histogram("lat").record(100);
+        a.merge(&b);
+        assert_eq!(a.counter_value("hits"), 12);
+        assert_eq!(a.counter_value("only_b"), 1);
+        assert_eq!(a.snapshot().histograms["lat"].count, 1);
+        // `b` untouched.
+        assert_eq!(b.counter_value("hits"), 7);
+    }
+
+    #[test]
+    fn snapshot_merge_is_associative_and_commutative() {
+        let make = |seed: u64| {
+            let r = MetricsRegistry::new();
+            r.counter("c").add(seed);
+            r.gauge("g").add(seed as i64 - 2);
+            let h = r.histogram("h");
+            for i in 0..seed * 3 {
+                h.record(i * seed);
+            }
+            r.snapshot()
+        };
+        let (x, y, z) = (make(2), make(5), make(9));
+
+        let mut xy_z = x.clone();
+        xy_z.merge(&y);
+        xy_z.merge(&z);
+
+        let mut yz = y.clone();
+        yz.merge(&z);
+        let mut x_yz = x.clone();
+        x_yz.merge(&yz);
+        assert_eq!(xy_z, x_yz, "merge is associative");
+
+        let mut yx = y.clone();
+        yx.merge(&x);
+        let mut xy = x.clone();
+        xy.merge(&y);
+        assert_eq!(xy, yx, "merge is commutative");
+    }
+}

@@ -1,0 +1,361 @@
+//! Structured event tracing: every cache-relevant action in the DSSP
+//! pipeline becomes a [`TraceEvent`] fanned out to pluggable sinks.
+//!
+//! Events carry numeric codes rather than domain enums so this crate
+//! stays dependency-free: `exposure` is the rank of the exposure level
+//! (0 = Blind, 1 = Template, 2 = Stmt, 3 = View; see
+//! `scs_core::ExposureLevel::rank`) and `decision` is the strategy's
+//! decision path (see `scs_dssp::DecisionPath`).
+
+use crate::json::Json;
+use std::io::{self, Write};
+
+/// What happened. Template ids index the application's query/update
+/// template tables (same indices the IPM uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// A query was served from the proxy cache.
+    QueryHit { query_template: u32, exposure: u8 },
+    /// A query missed and was forwarded to the home server.
+    QueryMiss { query_template: u32, exposure: u8 },
+    /// An update was forwarded to the home server and applied.
+    UpdateApplied { update_template: u32, exposure: u8 },
+    /// An update invalidated one cached entry; `decision` records which
+    /// inspection tier made the call.
+    EntryInvalidated {
+        update_template: u32,
+        query_template: u32,
+        exposure: u8,
+        decision: u8,
+    },
+    /// A cached entry was evicted by capacity pressure.
+    EntryEvicted { query_template: u32 },
+}
+
+impl TraceEventKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEventKind::QueryHit { .. } => "query_hit",
+            TraceEventKind::QueryMiss { .. } => "query_miss",
+            TraceEventKind::UpdateApplied { .. } => "update_applied",
+            TraceEventKind::EntryInvalidated { .. } => "entry_invalidated",
+            TraceEventKind::EntryEvicted { .. } => "entry_evicted",
+        }
+    }
+}
+
+/// One pipeline event: monotone sequence number, simulation clock (µs;
+/// wall-clock micros when no simulation is driving), owning tenant, and
+/// the event payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    pub seq: u64,
+    pub at_micros: u64,
+    pub tenant: u32,
+    pub kind: TraceEventKind,
+}
+
+impl TraceEvent {
+    /// The JSONL representation (one object per line; schema documented
+    /// in DESIGN.md §Observability).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("seq".to_string(), Json::from(self.seq)),
+            ("at_us".to_string(), Json::from(self.at_micros)),
+            ("tenant".to_string(), Json::from(self.tenant as u64)),
+            ("event".to_string(), Json::from(self.kind.name())),
+        ];
+        let mut push = |k: &str, v: u64| fields.push((k.to_string(), Json::from(v)));
+        match self.kind {
+            TraceEventKind::QueryHit {
+                query_template,
+                exposure,
+            }
+            | TraceEventKind::QueryMiss {
+                query_template,
+                exposure,
+            } => {
+                push("query_template", query_template as u64);
+                push("exposure", exposure as u64);
+            }
+            TraceEventKind::UpdateApplied {
+                update_template,
+                exposure,
+            } => {
+                push("update_template", update_template as u64);
+                push("exposure", exposure as u64);
+            }
+            TraceEventKind::EntryInvalidated {
+                update_template,
+                query_template,
+                exposure,
+                decision,
+            } => {
+                push("update_template", update_template as u64);
+                push("query_template", query_template as u64);
+                push("exposure", exposure as u64);
+                push("decision", decision as u64);
+            }
+            TraceEventKind::EntryEvicted { query_template } => {
+                push("query_template", query_template as u64);
+            }
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// A destination for trace events.
+pub trait TraceSink {
+    fn record(&mut self, event: &TraceEvent);
+
+    fn flush(&mut self) {}
+}
+
+/// Fan-out point: stamps events with a sequence number and delivers them
+/// to every attached sink. With no sinks attached, [`Tracer::emit`] is a
+/// branch and an increment.
+#[derive(Default)]
+pub struct Tracer {
+    sinks: Vec<Box<dyn TraceSink>>,
+    next_seq: u64,
+}
+
+impl Tracer {
+    pub fn new() -> Tracer {
+        Tracer::default()
+    }
+
+    pub fn add_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sinks.push(sink);
+    }
+
+    pub fn is_active(&self) -> bool {
+        !self.sinks.is_empty()
+    }
+
+    pub fn emit(&mut self, at_micros: u64, tenant: u32, kind: TraceEventKind) {
+        let event = TraceEvent {
+            seq: self.next_seq,
+            at_micros,
+            tenant,
+            kind,
+        };
+        self.next_seq += 1;
+        for sink in &mut self.sinks {
+            sink.record(&event);
+        }
+    }
+
+    pub fn events_emitted(&self) -> u64 {
+        self.next_seq
+    }
+
+    pub fn flush(&mut self) {
+        for sink in &mut self.sinks {
+            sink.flush();
+        }
+    }
+}
+
+/// Bounded in-memory sink keeping the most recent `capacity` events.
+pub struct RingBufferSink {
+    buf: Vec<TraceEvent>,
+    capacity: usize,
+    /// Index the next event will be written at once the buffer is full.
+    next: usize,
+    total: u64,
+}
+
+impl RingBufferSink {
+    pub fn new(capacity: usize) -> RingBufferSink {
+        assert!(capacity > 0, "ring buffer needs capacity >= 1");
+        RingBufferSink {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            next: 0,
+            total: 0,
+        }
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        if self.buf.len() == self.capacity {
+            out.extend_from_slice(&self.buf[self.next..]);
+            out.extend_from_slice(&self.buf[..self.next]);
+        } else {
+            out.extend_from_slice(&self.buf);
+        }
+        out
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Lifetime count, including overwritten events.
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+}
+
+impl TraceSink for RingBufferSink {
+    fn record(&mut self, event: &TraceEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(*event);
+        } else {
+            self.buf[self.next] = *event;
+            self.next = (self.next + 1) % self.capacity;
+        }
+        self.total += 1;
+    }
+}
+
+/// Writes one JSON object per line to any `io::Write` (file, stderr,
+/// `Vec<u8>` in tests). Write errors are counted, not propagated — a
+/// broken trace file must never take down the proxy.
+pub struct JsonlSink<W: Write> {
+    out: io::BufWriter<W>,
+    write_errors: u64,
+}
+
+impl<W: Write> JsonlSink<W> {
+    pub fn new(out: W) -> JsonlSink<W> {
+        JsonlSink {
+            out: io::BufWriter::new(out),
+            write_errors: 0,
+        }
+    }
+
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.out
+            .into_inner()
+            .unwrap_or_else(|e| panic!("jsonl sink flush failed: {}", e.error()))
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn record(&mut self, event: &TraceEvent) {
+        let line = event.to_json().render();
+        if writeln!(self.out, "{line}").is_err() {
+            self.write_errors += 1;
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.out.flush().is_err() {
+            self.write_errors += 1;
+        }
+    }
+}
+
+/// Discards everything (keeps call sites unconditional when tracing is
+/// configured off but a sink slot must be filled).
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _event: &TraceEvent) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(i: u32) -> TraceEventKind {
+        TraceEventKind::QueryHit {
+            query_template: i,
+            exposure: 1,
+        }
+    }
+
+    #[test]
+    fn ring_buffer_keeps_most_recent_in_order() {
+        let mut ring = RingBufferSink::new(4);
+        let mut tracer = Tracer::new();
+        for i in 0..10u32 {
+            tracer.emit(i as u64 * 100, 0, ev(i));
+        }
+        // Drive the ring directly (Tracer owns boxed sinks; here we want
+        // to inspect the ring afterwards).
+        for i in 0..10u32 {
+            ring.record(&TraceEvent {
+                seq: i as u64,
+                at_micros: i as u64 * 100,
+                tenant: 0,
+                kind: ev(i),
+            });
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.total_recorded(), 10);
+        let seqs: Vec<u64> = ring.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn ring_buffer_below_capacity_is_untruncated() {
+        let mut ring = RingBufferSink::new(8);
+        for i in 0..3u32 {
+            ring.record(&TraceEvent {
+                seq: i as u64,
+                at_micros: 0,
+                tenant: 0,
+                kind: ev(i),
+            });
+        }
+        assert_eq!(ring.events().len(), 3);
+        assert_eq!(ring.events()[0].seq, 0);
+    }
+
+    #[test]
+    fn jsonl_sink_emits_parseable_lines() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(&TraceEvent {
+            seq: 7,
+            at_micros: 1234,
+            tenant: 2,
+            kind: TraceEventKind::EntryInvalidated {
+                update_template: 3,
+                query_template: 5,
+                exposure: 2,
+                decision: 1,
+            },
+        });
+        let bytes = sink.into_inner();
+        let line = String::from_utf8(bytes).unwrap();
+        let parsed = crate::json::Json::parse(line.trim()).unwrap();
+        assert_eq!(
+            parsed.get("event").unwrap().as_str(),
+            Some("entry_invalidated")
+        );
+        assert_eq!(parsed.get("update_template").unwrap().as_u64(), Some(3));
+        assert_eq!(parsed.get("seq").unwrap().as_u64(), Some(7));
+    }
+
+    #[test]
+    fn tracer_stamps_sequence_numbers() {
+        struct Capture(Vec<u64>);
+        impl TraceSink for Capture {
+            fn record(&mut self, event: &TraceEvent) {
+                self.0.push(event.seq);
+            }
+        }
+        let mut tracer = Tracer::new();
+        assert!(!tracer.is_active());
+        tracer.add_sink(Box::new(NullSink));
+        tracer.add_sink(Box::new(Capture(Vec::new())));
+        assert!(tracer.is_active());
+        for i in 0..5 {
+            tracer.emit(i, 0, ev(0));
+        }
+        assert_eq!(tracer.events_emitted(), 5);
+    }
+}

@@ -83,8 +83,7 @@ fn main() {
         for i in 0..20 {
             let tid = i % 5; // a few hot bookstore templates
             let params = gen.bind_all(&book.queries[tid].params, &mut pass_rng);
-            let q =
-                Query::bind(tid, book.queries[tid].template.clone(), params).expect("arity");
+            let q = Query::bind(tid, book.queries[tid].template.clone(), params).expect("arity");
             node.execute_query(book_tenant, &q).expect("query ok");
         }
     }
@@ -98,7 +97,10 @@ fn main() {
             stats.hit_rate()
         );
     }
-    println!("\ntotal cached entries on the node: {}", node.total_cache_entries());
+    println!(
+        "\ntotal cached entries on the node: {}",
+        node.total_cache_entries()
+    );
     println!(
         "tenant lookup by name: toystore -> {:?}, bookstore -> {:?}",
         node.tenant_of("toystore"),
