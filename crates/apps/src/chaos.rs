@@ -1,0 +1,558 @@
+//! Deterministic chaos harness: drives the toystore application through
+//! the DSSP's fault-tolerant pathways under a seeded fault schedule and
+//! checks every served result against a ground-truth oracle.
+//!
+//! The oracle keeps a snapshot of the master database after every applied
+//! update. A result served at time `t` under lease `L` must equal the
+//! query evaluated against *some* master state that was current during
+//! `[t - L, t]` — the paper's freshness guarantee, relaxed by exactly the
+//! lease window. A result matching no such state is **stale beyond the
+//! lease**, the failure the epoch/lease machinery exists to rule out.
+//!
+//! With all faults disabled the harness reduces to the classic synchronous
+//! pipeline: [`run_classic`] executes the same script through
+//! `execute_query` / `execute_update`, and the chaos tests assert the two
+//! produce identical response sequences.
+
+use crate::driver::analysis_matrix;
+use crate::gen::{IdSpaces, ParamGen};
+use crate::toystore;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scs_dssp::{
+    Dssp, DsspConfig, FtOutcome, FtUpdateOutcome, HomeLink, HomeServer, InvalidationMsg,
+    RecoveryMode, RetryPolicy, StrategyKind,
+};
+use scs_netsim::{ChannelStats, FaultSpec, FaultyChannel, OutageSchedule, Time, MS, SEC};
+use scs_sqlkit::{Query, QueryTemplate, Update, UpdateTemplate, Value};
+use scs_storage::{Database, QueryResult};
+use std::sync::Arc;
+
+/// Mean up/down durations for the proxy ↔ home link.
+#[derive(Debug, Clone, Copy)]
+pub struct OutageSpec {
+    pub mean_up_micros: Time,
+    pub mean_down_micros: Time,
+}
+
+/// One chaos scenario: a seed, an op budget, and the fault surfaces.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Seeds the op script, the channel faults, the outage schedule, and
+    /// the crash schedule (domain-separated internally).
+    pub seed: u64,
+    /// Operations to run.
+    pub ops: usize,
+    /// Simulated time between consecutive operations (µs).
+    pub op_spacing_micros: Time,
+    /// Staleness lease on cache entries; `None` = never expire.
+    pub lease_micros: Option<u64>,
+    pub recovery: RecoveryMode,
+    pub strategy: StrategyKind,
+    /// Faults on the home → proxy invalidation stream.
+    pub channel_faults: FaultSpec,
+    /// Outage windows on the proxy ↔ home link (`None` = always up).
+    pub outage: Option<OutageSpec>,
+    /// Mean interval between proxy crash/restarts (`None` = never).
+    pub crash_mean_interval_micros: Option<Time>,
+    pub retry: RetryPolicy,
+}
+
+impl ChaosConfig {
+    /// All fault surfaces disabled: the run must be byte-identical to
+    /// [`run_classic`] on the same seed.
+    pub fn faultless(seed: u64, ops: usize) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            ops,
+            op_spacing_micros: MS,
+            lease_micros: None,
+            recovery: RecoveryMode::FlushAffected,
+            strategy: StrategyKind::ViewInspection,
+            channel_faults: FaultSpec::none(),
+            outage: None,
+            crash_mean_interval_micros: None,
+            retry: RetryPolicy::no_retries(),
+        }
+    }
+
+    /// Every fault surface enabled at once: lossy delayed duplicating
+    /// invalidation stream, link outages, periodic crashes, and a lease
+    /// bounding what any of it can cost.
+    pub fn chaotic(seed: u64, ops: usize) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            ops,
+            op_spacing_micros: MS,
+            lease_micros: Some(250 * MS),
+            recovery: RecoveryMode::FlushAffected,
+            strategy: StrategyKind::ViewInspection,
+            channel_faults: FaultSpec {
+                drop_probability: 0.10,
+                duplicate_probability: 0.10,
+                delay_probability: 0.30,
+                max_delay_micros: 40 * MS,
+                base_latency_micros: MS,
+            },
+            outage: Some(OutageSpec {
+                mean_up_micros: 2 * SEC,
+                mean_down_micros: 100 * MS,
+            }),
+            crash_mean_interval_micros: Some(400 * MS),
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base_backoff_micros: 5 * MS,
+                max_backoff_micros: 40 * MS,
+                timeout_micros: 100 * MS,
+            },
+        }
+    }
+}
+
+/// One scripted operation (pre-bound so every run replays identically).
+#[derive(Debug, Clone)]
+enum ScriptOp {
+    Query { tid: usize, params: Vec<Value> },
+    Update { tid: usize, params: Vec<Value> },
+}
+
+/// What one operation produced — the unit of baseline comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpOutcome {
+    Query {
+        hit: bool,
+        degraded: bool,
+        result: QueryResult,
+    },
+    QueryUnavailable,
+    UpdateApplied,
+    UpdateUnavailable,
+    /// The master rejected the statement (FK violation, duplicate key);
+    /// nothing changed.
+    UpdateRejected,
+}
+
+/// The proxy's fault/recovery counters, read back from its registry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    pub epoch_gaps: u64,
+    pub recovery_flushes: u64,
+    pub recovery_flushed_entries: u64,
+    pub duplicate_invalidations: u64,
+    pub lease_expirations: u64,
+    pub home_retries: u64,
+    pub home_unavailable: u64,
+    pub degraded_serves: u64,
+    pub restarts: u64,
+}
+
+impl FaultCounters {
+    pub fn from_dssp(dssp: &Dssp) -> FaultCounters {
+        let reg = dssp.registry();
+        FaultCounters {
+            epoch_gaps: reg.counter_value("dssp.epoch_gaps"),
+            recovery_flushes: reg.counter_value("dssp.recovery_flushes"),
+            recovery_flushed_entries: reg.counter_value("dssp.recovery_flushed_entries"),
+            duplicate_invalidations: reg.counter_value("dssp.duplicate_invalidations"),
+            lease_expirations: reg.counter_value("dssp.lease_expirations"),
+            home_retries: reg.counter_value("dssp.home_retries"),
+            home_unavailable: reg.counter_value("dssp.home_unavailable"),
+            degraded_serves: reg.counter_value("dssp.degraded_serves"),
+            restarts: reg.counter_value("dssp.restarts"),
+        }
+    }
+
+    /// Sum of every counter — zero exactly when the run saw no fault
+    /// handling at all.
+    pub fn total(&self) -> u64 {
+        self.epoch_gaps
+            + self.recovery_flushes
+            + self.recovery_flushed_entries
+            + self.duplicate_invalidations
+            + self.lease_expirations
+            + self.home_retries
+            + self.home_unavailable
+            + self.degraded_serves
+            + self.restarts
+    }
+}
+
+/// What a chaos run observed.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Per-op outcomes, in script order (the baseline-equivalence unit).
+    pub outcomes: Vec<OpOutcome>,
+    /// Served results matching **no** master state current within the
+    /// lease window — must be zero; anything else is a consistency bug.
+    pub stale_beyond_lease: u64,
+    /// Worst observed age of any served result (µs): time since the
+    /// matched master state was superseded. Bounded by the lease.
+    pub max_observed_staleness_micros: u64,
+    pub queries_served: u64,
+    pub hits: u64,
+    pub degraded_serves: u64,
+    pub queries_unavailable: u64,
+    pub updates_applied: u64,
+    pub updates_unavailable: u64,
+    pub updates_rejected: u64,
+    pub channel: ChannelStats,
+    pub counters: FaultCounters,
+}
+
+/// The bound application: templates, home server, proxy, and oracle.
+struct Scenario {
+    dssp: Dssp,
+    home: HomeServer,
+    queries: Vec<Arc<QueryTemplate>>,
+    updates: Vec<Arc<UpdateTemplate>>,
+    script: Vec<ScriptOp>,
+    /// `(since_micros, state)`: the master as of each applied update.
+    oracle: Vec<(Time, Database)>,
+}
+
+fn build_scenario(cfg: &ChaosConfig) -> Scenario {
+    let app = toystore::toystore();
+    let mut db = Database::new();
+    for s in &app.schemas {
+        db.create_table(s.clone()).expect("static schema");
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x706F_7075_6C61_7465); // "populate"
+    toystore::populate(&mut db, 50, 30, &mut rng);
+    let mut ids = IdSpaces::default();
+    ids.declare("toys", 50);
+    ids.declare("customers", 30);
+    ids.declare("credit_card", 15);
+
+    let matrix = analysis_matrix(&app);
+    let exposures = cfg.strategy.exposures(app.updates.len(), app.queries.len());
+    let dssp = Dssp::new(DsspConfig {
+        lease_micros: cfg.lease_micros,
+        recovery: cfg.recovery,
+        ..DsspConfig::new("chaos", exposures, matrix)
+    });
+    let home = HomeServer::new(db);
+
+    // Pre-bind the whole op script so the chaos and classic runs replay
+    // the identical statement sequence.
+    let mut gen = ParamGen::new(ids, 1.0);
+    let mut script_rng = StdRng::seed_from_u64(cfg.seed ^ 0x7363_7269_7074); // "script"
+    let mut script = Vec::with_capacity(cfg.ops);
+    let total_weight: u32 = app.requests.iter().map(|r| r.weight).sum();
+    while script.len() < cfg.ops {
+        let mut pick = script_rng.gen_range(0..total_weight);
+        let request = app
+            .requests
+            .iter()
+            .find(|r| {
+                if pick < r.weight {
+                    true
+                } else {
+                    pick -= r.weight;
+                    false
+                }
+            })
+            .expect("weights sum to total");
+        for op in &request.ops {
+            match *op {
+                crate::defs::Op::Query(tid) => script.push(ScriptOp::Query {
+                    tid,
+                    params: gen.bind_all(&app.queries[tid].params, &mut script_rng),
+                }),
+                crate::defs::Op::Update(tid) => script.push(ScriptOp::Update {
+                    tid,
+                    params: gen.bind_all(&app.updates[tid].params, &mut script_rng),
+                }),
+            }
+        }
+    }
+    script.truncate(cfg.ops);
+
+    let oracle = vec![(0, home.database().clone())];
+    Scenario {
+        dssp,
+        home,
+        queries: app.query_templates(),
+        updates: app.update_templates(),
+        script,
+        oracle,
+    }
+}
+
+/// Checks a served result against the oracle; returns the observed
+/// staleness (µs), or `None` when the result matches no state current
+/// within `[now - lease, now]`.
+fn staleness_within_lease(
+    oracle: &[(Time, Database)],
+    q: &Query,
+    served: &QueryResult,
+    now: Time,
+    lease: Option<Time>,
+) -> Option<Time> {
+    let window_start = match lease {
+        Some(l) => now.saturating_sub(l),
+        None => 0,
+    };
+    // Walk states newest-first; state i is current over
+    // [since_i, since_{i+1}). Stop once a state's validity ends before
+    // the window opens.
+    let mut valid_until = now; // exclusive end of the newest state = "now"
+    for (i, (since, state)) in oracle.iter().enumerate().rev() {
+        let truth = state.execute(q).expect("oracle replays valid queries");
+        if served.multiset_eq(&truth) {
+            let staleness = if i == oracle.len() - 1 {
+                0
+            } else {
+                now.saturating_sub(valid_until)
+            };
+            return Some(staleness);
+        }
+        if *since <= window_start {
+            break; // older states were never current inside the window
+        }
+        valid_until = *since;
+    }
+    None
+}
+
+/// Runs the fault-tolerant pipeline under `cfg`'s fault schedule.
+pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
+    let mut sc = build_scenario(cfg);
+    let horizon = (cfg.ops as Time + 2) * cfg.op_spacing_micros;
+    let link = match cfg.outage {
+        Some(o) => HomeLink::with_outages(OutageSchedule::windows(
+            cfg.seed,
+            horizon,
+            o.mean_up_micros,
+            o.mean_down_micros,
+        )),
+        None => HomeLink::reliable(),
+    };
+    let crash_times: Vec<Time> = match cfg.crash_mean_interval_micros {
+        Some(mean) => OutageSchedule::crash_times(cfg.seed, horizon, mean),
+        None => Vec::new(),
+    };
+    let mut next_crash = 0usize;
+    let mut channel: FaultyChannel<InvalidationMsg> =
+        FaultyChannel::new(cfg.seed ^ 0x63_6861_6E6E_656C, cfg.channel_faults.clone()); // "channel"
+
+    let mut report = ChaosReport {
+        outcomes: Vec::with_capacity(sc.script.len()),
+        stale_beyond_lease: 0,
+        max_observed_staleness_micros: 0,
+        queries_served: 0,
+        hits: 0,
+        degraded_serves: 0,
+        queries_unavailable: 0,
+        updates_applied: 0,
+        updates_unavailable: 0,
+        updates_rejected: 0,
+        channel: ChannelStats::default(),
+        counters: FaultCounters::default(),
+    };
+
+    let script = std::mem::take(&mut sc.script);
+    for (i, op) in script.iter().enumerate() {
+        let now = (i as Time + 1) * cfg.op_spacing_micros;
+        sc.dssp.set_sim_time_micros(now);
+        while next_crash < crash_times.len() && crash_times[next_crash] <= now {
+            sc.dssp.restart(sc.home.epoch());
+            next_crash += 1;
+        }
+        for msg in channel.poll(now) {
+            sc.dssp.apply_invalidation(&msg);
+        }
+        match op {
+            ScriptOp::Query { tid, params } => {
+                let q = Query::bind(*tid, sc.queries[*tid].clone(), params.clone())
+                    .expect("validated definitions");
+                let resp = sc
+                    .dssp
+                    .execute_query_ft(&q, &mut sc.home, &link, &cfg.retry)
+                    .expect("toystore queries never error");
+                match resp.outcome {
+                    FtOutcome::Served {
+                        result,
+                        hit,
+                        degraded,
+                    } => {
+                        report.queries_served += 1;
+                        report.hits += hit as u64;
+                        report.degraded_serves += degraded as u64;
+                        match staleness_within_lease(&sc.oracle, &q, &result, now, cfg.lease_micros)
+                        {
+                            Some(staleness) => {
+                                report.max_observed_staleness_micros =
+                                    report.max_observed_staleness_micros.max(staleness);
+                            }
+                            None => report.stale_beyond_lease += 1,
+                        }
+                        report.outcomes.push(OpOutcome::Query {
+                            hit,
+                            degraded,
+                            result,
+                        });
+                    }
+                    FtOutcome::Unavailable => {
+                        report.queries_unavailable += 1;
+                        report.outcomes.push(OpOutcome::QueryUnavailable);
+                    }
+                }
+            }
+            ScriptOp::Update { tid, params } => {
+                let u = Update::bind(*tid, sc.updates[*tid].clone(), params.clone())
+                    .expect("validated definitions");
+                match sc
+                    .dssp
+                    .execute_update_ft(&u, &mut sc.home, &link, &cfg.retry)
+                {
+                    Ok(resp) => match resp.outcome {
+                        FtUpdateOutcome::Applied { msg, .. } => {
+                            report.updates_applied += 1;
+                            sc.oracle.push((now, sc.home.database().clone()));
+                            channel.send(now, msg);
+                            report.outcomes.push(OpOutcome::UpdateApplied);
+                        }
+                        FtUpdateOutcome::Unavailable => {
+                            report.updates_unavailable += 1;
+                            report.outcomes.push(OpOutcome::UpdateUnavailable);
+                        }
+                    },
+                    Err(_) => {
+                        report.updates_rejected += 1;
+                        report.outcomes.push(OpOutcome::UpdateRejected);
+                    }
+                }
+            }
+        }
+        // A zero-latency channel delivers within the same step, which is
+        // exactly the classic synchronous pipeline.
+        for msg in channel.poll(now) {
+            sc.dssp.apply_invalidation(&msg);
+        }
+    }
+    // The stream eventually drains; late messages arrive as duplicates or
+    // gaps and must be absorbed cleanly either way.
+    for msg in channel.drain() {
+        sc.dssp.apply_invalidation(&msg);
+    }
+
+    report.channel = channel.stats();
+    report.counters = FaultCounters::from_dssp(&sc.dssp);
+    report
+}
+
+/// Runs the identical script through the classic synchronous pipeline
+/// (perfect delivery): the no-fault baseline.
+pub fn run_classic(cfg: &ChaosConfig) -> ChaosReport {
+    let mut sc = build_scenario(cfg);
+    let mut report = ChaosReport {
+        outcomes: Vec::with_capacity(sc.script.len()),
+        stale_beyond_lease: 0,
+        max_observed_staleness_micros: 0,
+        queries_served: 0,
+        hits: 0,
+        degraded_serves: 0,
+        queries_unavailable: 0,
+        updates_applied: 0,
+        updates_unavailable: 0,
+        updates_rejected: 0,
+        channel: ChannelStats::default(),
+        counters: FaultCounters::default(),
+    };
+    let script = std::mem::take(&mut sc.script);
+    for (i, op) in script.iter().enumerate() {
+        let now = (i as Time + 1) * cfg.op_spacing_micros;
+        sc.dssp.set_sim_time_micros(now);
+        match op {
+            ScriptOp::Query { tid, params } => {
+                let q = Query::bind(*tid, sc.queries[*tid].clone(), params.clone())
+                    .expect("validated definitions");
+                let resp = sc
+                    .dssp
+                    .execute_query(&q, &mut sc.home)
+                    .expect("toystore queries never error");
+                report.queries_served += 1;
+                report.hits += resp.hit as u64;
+                match staleness_within_lease(&sc.oracle, &q, &resp.result, now, cfg.lease_micros) {
+                    Some(staleness) => {
+                        report.max_observed_staleness_micros =
+                            report.max_observed_staleness_micros.max(staleness);
+                    }
+                    None => report.stale_beyond_lease += 1,
+                }
+                report.outcomes.push(OpOutcome::Query {
+                    hit: resp.hit,
+                    degraded: false,
+                    result: resp.result,
+                });
+            }
+            ScriptOp::Update { tid, params } => {
+                let u = Update::bind(*tid, sc.updates[*tid].clone(), params.clone())
+                    .expect("validated definitions");
+                match sc.dssp.execute_update(&u, &mut sc.home) {
+                    Ok(_) => {
+                        report.updates_applied += 1;
+                        sc.oracle.push((now, sc.home.database().clone()));
+                        report.outcomes.push(OpOutcome::UpdateApplied);
+                    }
+                    Err(_) => {
+                        report.updates_rejected += 1;
+                        report.outcomes.push(OpOutcome::UpdateRejected);
+                    }
+                }
+            }
+        }
+    }
+    report.counters = FaultCounters::from_dssp(&sc.dssp);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faultless_chaos_equals_classic_pipeline() {
+        for seed in [1u64, 7, 21] {
+            let cfg = ChaosConfig::faultless(seed, 400);
+            let chaos = run_chaos(&cfg);
+            let classic = run_classic(&cfg);
+            assert_eq!(chaos.outcomes, classic.outcomes, "seed {seed}");
+            assert_eq!(chaos.counters.total(), 0, "no fault handling occurred");
+            assert_eq!(classic.counters.total(), 0);
+            assert_eq!(chaos.stale_beyond_lease, 0);
+            assert_eq!(chaos.max_observed_staleness_micros, 0);
+        }
+    }
+
+    #[test]
+    fn chaotic_run_exercises_faults_and_keeps_the_lease_bound() {
+        let cfg = ChaosConfig::chaotic(17, 1_500);
+        let report = run_chaos(&cfg);
+        assert_eq!(
+            report.stale_beyond_lease, 0,
+            "a served result was stale beyond the lease"
+        );
+        assert!(
+            report.max_observed_staleness_micros <= cfg.lease_micros.unwrap(),
+            "staleness {} exceeds lease {}",
+            report.max_observed_staleness_micros,
+            cfg.lease_micros.unwrap()
+        );
+        assert!(report.channel.dropped > 0, "schedule produced no drops");
+        assert!(report.counters.total() > 0, "no fault handling recorded");
+        assert!(report.counters.restarts > 0, "no crash/restart happened");
+    }
+
+    #[test]
+    fn chaos_runs_replay_per_seed() {
+        let cfg = ChaosConfig::chaotic(5, 600);
+        let a = run_chaos(&cfg);
+        let b = run_chaos(&cfg);
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.channel, b.channel);
+        let other = run_chaos(&ChaosConfig::chaotic(6, 600));
+        assert_ne!(a.outcomes, other.outcomes, "seed must matter");
+    }
+}

@@ -99,12 +99,7 @@ impl DsspWorkload {
         zipf_exponent: f64,
         seed: u64,
     ) -> DsspWorkload {
-        let config = DsspConfig {
-            app_id: app.name.into(),
-            exposures,
-            matrix,
-            cache_capacity: None,
-        };
+        let config = DsspConfig::new(app.name, exposures, matrix);
         DsspWorkload::with_config(app, db, ids, config, zipf_exponent, seed)
     }
 

@@ -12,6 +12,7 @@
 pub mod auction;
 pub mod bboard;
 pub mod bookstore;
+pub mod chaos;
 pub mod defs;
 pub mod driver;
 pub mod gen;
@@ -20,6 +21,9 @@ pub mod runner;
 pub mod toystore;
 pub mod trace;
 
+pub use chaos::{
+    run_chaos, run_classic, ChaosConfig, ChaosReport, FaultCounters, OpOutcome, OutageSpec,
+};
 pub use defs::{AppDef, Op, ParamSpec, RequestType, Sensitivity, TemplateDef};
 pub use driver::{analysis_matrix, CostModel, DsspWorkload};
 pub use gen::{IdSpaces, ParamGen, Zipf, BOOK_POPULARITY_EXPONENT};

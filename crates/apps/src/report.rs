@@ -16,6 +16,7 @@
 //! the hermetic `scs-telemetry` JSON type, so reports stay dependency
 //! free and round-trip through [`Json::parse`].
 
+use crate::chaos::{ChaosConfig, ChaosReport, FaultCounters};
 use scs_dssp::Dssp;
 use scs_netsim::{CenterTelemetry, RunMetrics};
 use scs_telemetry::{HistogramSnapshot, Json};
@@ -138,6 +139,7 @@ pub fn dssp_telemetry_json(dssp: &Dssp) -> Json {
         .get("dssp.invalidation_scan_size")
         .cloned()
         .unwrap_or_default();
+    let faults = FaultCounters::from_dssp(dssp);
 
     Json::obj([
         (
@@ -177,6 +179,65 @@ pub fn dssp_telemetry_json(dssp: &Dssp) -> Json {
             ]),
         ),
         ("invalidation_scan_size", histogram_json(&scan_hist)),
+        ("faults", fault_counters_json(&faults)),
+    ])
+}
+
+/// The fault/recovery counters as a report section. All-zero under
+/// perfect delivery; chaos runs (the `chaos` binary, `EXPERIMENTS.md`)
+/// must show nonzero handling here when injection is enabled.
+pub fn fault_counters_json(f: &FaultCounters) -> Json {
+    Json::obj([
+        ("epoch_gaps", f.epoch_gaps.into()),
+        ("recovery_flushes", f.recovery_flushes.into()),
+        (
+            "recovery_flushed_entries",
+            f.recovery_flushed_entries.into(),
+        ),
+        ("duplicate_invalidations", f.duplicate_invalidations.into()),
+        ("lease_expirations", f.lease_expirations.into()),
+        ("home_retries", f.home_retries.into()),
+        ("home_unavailable", f.home_unavailable.into()),
+        ("degraded_serves", f.degraded_serves.into()),
+        ("restarts", f.restarts.into()),
+        ("total", f.total().into()),
+    ])
+}
+
+/// One chaos-run entry: the fault schedule, the oracle's staleness
+/// verdict, serve/availability accounting, channel-level delivery stats,
+/// and the proxy's fault/recovery counters (see `EXPERIMENTS.md`).
+pub fn chaos_entry_json(label: &str, cfg: &ChaosConfig, report: &ChaosReport) -> Json {
+    Json::obj([
+        ("config", label.into()),
+        ("seed", cfg.seed.into()),
+        ("ops", (cfg.ops as u64).into()),
+        ("lease_micros", cfg.lease_micros.into()),
+        ("recovery", cfg.recovery.name().into()),
+        ("strategy", cfg.strategy.name().into()),
+        ("stale_beyond_lease", report.stale_beyond_lease.into()),
+        (
+            "max_observed_staleness_micros",
+            report.max_observed_staleness_micros.into(),
+        ),
+        ("queries_served", report.queries_served.into()),
+        ("hits", report.hits.into()),
+        ("degraded_serves", report.degraded_serves.into()),
+        ("queries_unavailable", report.queries_unavailable.into()),
+        ("updates_applied", report.updates_applied.into()),
+        ("updates_unavailable", report.updates_unavailable.into()),
+        ("updates_rejected", report.updates_rejected.into()),
+        (
+            "channel",
+            Json::obj([
+                ("sent", report.channel.sent.into()),
+                ("dropped", report.channel.dropped.into()),
+                ("duplicated", report.channel.duplicated.into()),
+                ("delayed", report.channel.delayed.into()),
+                ("delivered", report.channel.delivered.into()),
+            ]),
+        ),
+        ("faults", fault_counters_json(&report.counters)),
     ])
 }
 
@@ -317,6 +378,38 @@ mod tests {
                 "{kind:?}: A=0 pairs invalidated at runtime: {divergence:?}"
             );
         }
+    }
+
+    #[test]
+    fn fault_section_is_all_zero_under_perfect_delivery() {
+        let mut w = toystore_workload(StrategyKind::ViewInspection, 13);
+        drive(&mut w, 200);
+        let doc = dssp_telemetry_json(w.dssp());
+        let faults = doc.get("faults").unwrap();
+        for key in [
+            "epoch_gaps",
+            "recovery_flushes",
+            "duplicate_invalidations",
+            "lease_expirations",
+            "home_retries",
+            "home_unavailable",
+            "degraded_serves",
+            "restarts",
+            "total",
+        ] {
+            assert_eq!(faults.get(key).unwrap().as_u64(), Some(0), "{key}");
+        }
+    }
+
+    #[test]
+    fn fault_section_reflects_chaos_counters() {
+        let report = crate::chaos::run_chaos(&crate::chaos::ChaosConfig::chaotic(23, 800));
+        let doc = fault_counters_json(&report.counters);
+        assert_eq!(
+            doc.get("total").unwrap().as_u64(),
+            Some(report.counters.total())
+        );
+        assert!(report.counters.total() > 0, "chaos run recorded no faults");
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Ground-truth chaos property tests (the ISSUE's acceptance gate).
+//!
+//! Random fault schedules — message drop/delay/duplication, link outages,
+//! proxy crashes — run against the oracle in `scs_apps::chaos`:
+//!
+//! 1. no served result is ever stale beyond the lease window;
+//! 2. with every fault surface disabled, the fault-tolerant pipeline is
+//!    byte-identical to the classic synchronous pipeline;
+//! 3. fault/recovery telemetry is nonzero exactly when faults were
+//!    injected.
+//!
+//! Case count is environment-tunable: the CI chaos job sets
+//! `SCS_CHAOS_CASES` to run an elevated sweep on a fixed seed.
+
+use proptest::prelude::*;
+use scs_apps::{run_chaos, run_classic, ChaosConfig, OutageSpec};
+use scs_dssp::{RecoveryMode, RetryPolicy, StrategyKind};
+use scs_netsim::{FaultSpec, MS};
+
+fn chaos_cases() -> u32 {
+    std::env::var("SCS_CHAOS_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(chaos_cases()))]
+
+    /// Property 1: under an arbitrary fault schedule, nothing served is
+    /// stale beyond the lease.
+    #[test]
+    fn random_fault_schedules_never_exceed_the_lease(
+        seed in 0u64..1_000_000,
+        ops in 300usize..800,
+        drop_pct in 0u32..=30,
+        dup_pct in 0u32..=20,
+        delay_pct in 0u32..=50,
+        max_delay_ms in 1u64..80,
+        lease_ms in 50u64..400,
+        strategy_ix in 0usize..4,
+        recovery_ix in 0usize..2,
+        with_outage in 0u32..2,
+        with_crashes in 0u32..2,
+    ) {
+        let lease = lease_ms * MS;
+        let cfg = ChaosConfig {
+            seed,
+            ops,
+            op_spacing_micros: MS,
+            lease_micros: Some(lease),
+            recovery: if recovery_ix == 0 {
+                RecoveryMode::FlushAffected
+            } else {
+                RecoveryMode::FlushAll
+            },
+            strategy: StrategyKind::ALL[strategy_ix],
+            channel_faults: FaultSpec {
+                drop_probability: drop_pct as f64 / 100.0,
+                duplicate_probability: dup_pct as f64 / 100.0,
+                delay_probability: delay_pct as f64 / 100.0,
+                max_delay_micros: max_delay_ms * MS,
+                base_latency_micros: MS,
+            },
+            outage: (with_outage == 1).then_some(OutageSpec {
+                mean_up_micros: 1_500 * MS,
+                mean_down_micros: 80 * MS,
+            }),
+            crash_mean_interval_micros: (with_crashes == 1).then_some(500 * MS),
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base_backoff_micros: 5 * MS,
+                max_backoff_micros: 40 * MS,
+                timeout_micros: 100 * MS,
+            },
+        };
+        let report = run_chaos(&cfg);
+        prop_assert_eq!(
+            report.stale_beyond_lease, 0,
+            "stale-beyond-lease serve under faults (seed {})", seed
+        );
+        prop_assert!(
+            report.max_observed_staleness_micros <= lease,
+            "staleness {} exceeds lease {} (seed {})",
+            report.max_observed_staleness_micros, lease, seed
+        );
+        // Within-lease hits may serve during outages, but a miss with the
+        // home down must surface as unavailable, never as stale data —
+        // which the oracle check above already proves; here we check the
+        // accounting is consistent.
+        prop_assert_eq!(
+            report.queries_served + report.queries_unavailable
+                + report.updates_applied + report.updates_unavailable
+                + report.updates_rejected,
+            report.outcomes.len() as u64
+        );
+    }
+
+    /// Property 2: all fault surfaces off ⇒ byte-identical responses to
+    /// the classic pipeline, and zero fault telemetry.
+    #[test]
+    fn disabled_faults_reproduce_the_classic_pipeline(
+        seed in 0u64..1_000_000,
+        ops in 100usize..400,
+    ) {
+        let cfg = ChaosConfig::faultless(seed, ops);
+        let chaos = run_chaos(&cfg);
+        let classic = run_classic(&cfg);
+        prop_assert_eq!(&chaos.outcomes, &classic.outcomes);
+        prop_assert_eq!(chaos.counters.total(), 0);
+        prop_assert_eq!(classic.counters.total(), 0);
+        prop_assert_eq!(chaos.stale_beyond_lease, 0);
+        prop_assert_eq!(chaos.max_observed_staleness_micros, 0);
+    }
+
+    /// Property 3: when injection is on, the run records fault handling
+    /// (and whenever the channel actually misbehaved, the proxy's
+    /// counters show the response).
+    #[test]
+    fn injected_faults_show_up_in_telemetry(seed in 0u64..1_000_000) {
+        let report = run_chaos(&ChaosConfig::chaotic(seed, 600));
+        prop_assert!(
+            report.counters.total() > 0,
+            "chaotic schedule produced zero fault telemetry (seed {})", seed
+        );
+        if report.channel.dropped > 0 {
+            // A dropped notification is either detected (an epoch gap on a
+            // later message) or outlived by the lease; detection shows up
+            // as gaps unless the stream went quiet first.
+            prop_assert!(
+                report.counters.epoch_gaps > 0
+                    || report.counters.restarts > 0
+                    || report.counters.lease_expirations > 0,
+                "drops left no trace (seed {})", seed
+            );
+        }
+    }
+}

@@ -16,12 +16,11 @@ fn warm_dssp(kind: StrategyKind, entries: usize, seed: u64) -> (Dssp, HomeServer
     let (db, ids) = app.build_database(seed);
     let mut home = HomeServer::new(db);
     let matrix = analysis_matrix(&def);
-    let mut dssp = Dssp::new(DsspConfig {
-        app_id: "bench".into(),
-        exposures: kind.exposures(def.updates.len(), def.queries.len()),
+    let mut dssp = Dssp::new(DsspConfig::new(
+        "bench",
+        kind.exposures(def.updates.len(), def.queries.len()),
         matrix,
-        cache_capacity: None,
-    });
+    ));
     let mut rng = rand::SeedableRng::seed_from_u64(seed);
     let mut gen = ParamGen::new(ids, app.zipf_exponent());
     let mut stored = 0;

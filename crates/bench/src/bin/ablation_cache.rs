@@ -58,10 +58,8 @@ fn run_with_capacity(app: BenchApp, users: usize, capacity: Option<usize>) -> (f
         db,
         ids,
         DsspConfig {
-            app_id: def.name.into(),
-            exposures,
-            matrix,
             cache_capacity: capacity,
+            ..DsspConfig::new(def.name, exposures, matrix)
         },
         app.zipf_exponent(),
         47,

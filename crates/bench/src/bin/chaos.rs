@@ -1,0 +1,133 @@
+//! Chaos experiment: fault-tolerant invalidation delivery under a
+//! deterministic fault schedule (message drops / delays / duplicates on
+//! the invalidation stream, home-link outages, proxy crash/restarts),
+//! checked against a ground-truth staleness oracle.
+//!
+//! For each seed the binary runs the toystore workload twice — once with
+//! every fault surface disabled (must match the classic synchronous
+//! pipeline byte-for-byte) and once under the chaotic schedule — and
+//! prints the oracle verdict next to the proxy's fault/recovery counters.
+//! A `faults` section per run lands in `telemetry.json`
+//! (`$SCS_TELEMETRY_OUT` overrides the path; schema in `EXPERIMENTS.md`).
+//!
+//! Run: `cargo run -p scs-bench --bin chaos [--smoke] [--seed N]`
+//! `--smoke` is the CI mode: one seed, short script, hard assertions.
+
+use scs_apps::{report, run_chaos, run_classic, ChaosConfig, ChaosReport};
+use scs_bench::TextTable;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let seed_override = arg_value("--seed");
+    let seeds: Vec<u64> = match seed_override {
+        Some(s) => vec![s],
+        None if smoke => vec![42],
+        None => vec![1, 2, 3, 4, 5],
+    };
+    let (faultless_ops, chaotic_ops) = if smoke { (200, 400) } else { (1_000, 3_000) };
+
+    let mut table = TextTable::new(&[
+        "config",
+        "seed",
+        "stale>lease",
+        "max stale (ms)",
+        "served",
+        "degraded",
+        "unavail",
+        "drops",
+        "gaps",
+        "flushes",
+        "restarts",
+    ]);
+    let mut entries = Vec::new();
+    let mut failures = 0u32;
+
+    for &seed in &seeds {
+        let cfg = ChaosConfig::faultless(seed, faultless_ops);
+        let rep = run_chaos(&cfg);
+        let classic = run_classic(&cfg);
+        if rep.outcomes != classic.outcomes {
+            eprintln!("FAIL seed {seed}: faultless run diverged from the classic pipeline");
+            failures += 1;
+        }
+        if rep.counters.total() != 0 {
+            eprintln!(
+                "FAIL seed {seed}: fault counters nonzero ({}) with injection disabled",
+                rep.counters.total()
+            );
+            failures += 1;
+        }
+        failures += check_oracle("faultless", seed, &rep);
+        push(&mut table, &mut entries, "faultless", &cfg, &rep);
+
+        let cfg = ChaosConfig::chaotic(seed, chaotic_ops);
+        let rep = run_chaos(&cfg);
+        if rep.counters.total() == 0 {
+            eprintln!("FAIL seed {seed}: chaotic schedule left all fault counters at zero");
+            failures += 1;
+        }
+        failures += check_oracle("chaotic", seed, &rep);
+        push(&mut table, &mut entries, "chaotic", &cfg, &rep);
+    }
+
+    println!("Chaos — epoched invalidation delivery under injected faults");
+    println!(
+        "(toystore; faultless {faultless_ops} ops vs chaotic {chaotic_ops} ops per seed; \
+         oracle bound: no serve stale beyond its lease)\n"
+    );
+    print!("{}", table.render());
+
+    match report::write_telemetry(&report::telemetry_report(entries), "telemetry.json") {
+        Ok(path) => println!("\ntelemetry written to {}", path.display()),
+        Err(e) => eprintln!("\ntelemetry write failed: {e}"),
+    }
+
+    if failures > 0 {
+        eprintln!("\n{failures} chaos check(s) failed");
+        std::process::exit(1);
+    }
+    println!("all chaos checks passed");
+}
+
+fn check_oracle(label: &str, seed: u64, rep: &ChaosReport) -> u32 {
+    if rep.stale_beyond_lease > 0 {
+        eprintln!(
+            "FAIL seed {seed} ({label}): {} serve(s) stale beyond the lease",
+            rep.stale_beyond_lease
+        );
+        1
+    } else {
+        0
+    }
+}
+
+fn push(
+    table: &mut TextTable,
+    entries: &mut Vec<scs_telemetry::Json>,
+    label: &str,
+    cfg: &ChaosConfig,
+    rep: &ChaosReport,
+) {
+    table.row(&[
+        label.to_string(),
+        cfg.seed.to_string(),
+        rep.stale_beyond_lease.to_string(),
+        format!("{:.1}", rep.max_observed_staleness_micros as f64 / 1_000.0),
+        rep.queries_served.to_string(),
+        rep.degraded_serves.to_string(),
+        (rep.queries_unavailable + rep.updates_unavailable).to_string(),
+        rep.channel.dropped.to_string(),
+        rep.counters.epoch_gaps.to_string(),
+        rep.counters.recovery_flushes.to_string(),
+        rep.counters.restarts.to_string(),
+    ]);
+    entries.push(report::chaos_entry_json(label, cfg, rep));
+}
+
+fn arg_value(flag: &str) -> Option<u64> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}

@@ -63,12 +63,11 @@ fn run_scenario(
     let mut rng = rand::SeedableRng::seed_from_u64(1);
     toystore::populate(&mut db, 20, 10, &mut rng);
     let mut home = HomeServer::new(db);
-    let mut dssp = Dssp::new(DsspConfig {
-        app_id: "simple-toystore".into(),
-        exposures: kind.exposures(app.updates.len(), app.queries.len()),
-        matrix: matrix.clone(),
-        cache_capacity: None,
-    });
+    let mut dssp = Dssp::new(DsspConfig::new(
+        "simple-toystore",
+        kind.exposures(app.updates.len(), app.queries.len()),
+        matrix.clone(),
+    ));
 
     // Warm the cache with every instance.
     for (_, tid, params) in instances {

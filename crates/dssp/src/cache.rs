@@ -47,6 +47,9 @@ pub struct CacheEntry {
     pub stored_bytes: usize,
     /// Logical timestamp of the last lookup or store (LRU bookkeeping).
     last_used: u64,
+    /// Simulation time (µs) past which the entry may no longer be served
+    /// — the staleness lease. `u64::MAX` when the cache has no lease.
+    expires_at_micros: u64,
 }
 
 impl CacheEntry {
@@ -79,6 +82,23 @@ impl CacheEntry {
     pub fn key(&self) -> &CacheKey {
         &self.key
     }
+
+    /// When the entry's staleness lease runs out (µs; `u64::MAX` = no
+    /// lease).
+    pub fn expires_at_micros(&self) -> u64 {
+        self.expires_at_micros
+    }
+}
+
+/// What a lease-aware lookup found.
+#[derive(Debug)]
+pub enum Lookup<'a> {
+    /// A live, within-lease entry.
+    Hit(&'a CacheEntry),
+    /// An entry existed but its lease had run out; it has been dropped.
+    Expired,
+    /// No entry.
+    Miss,
 }
 
 /// What [`ResultCache::store_with_evictions`] did: whether the entry went
@@ -99,6 +119,14 @@ pub struct ResultCache {
     clock: u64,
     /// Entries dropped by capacity eviction (not by invalidation).
     evictions: u64,
+    /// Staleness lease applied to stored entries (`None` = entries never
+    /// expire, the paper's setting).
+    lease_micros: Option<u64>,
+    /// Current simulation time (µs), fed by the proxy; stays 0 outside a
+    /// simulation.
+    now_micros: u64,
+    /// Entries dropped because their lease ran out before a lookup.
+    lease_expirations: u64,
 }
 
 impl ResultCache {
@@ -109,6 +137,9 @@ impl ResultCache {
             capacity: None,
             clock: 0,
             evictions: 0,
+            lease_micros: None,
+            now_micros: 0,
+            lease_expirations: 0,
         }
     }
 
@@ -125,6 +156,24 @@ impl ResultCache {
         self.evictions
     }
 
+    /// Bounds staleness: stored entries expire `lease` µs after the
+    /// store. `None` restores the unbounded default. Only affects
+    /// entries stored afterwards.
+    pub fn set_lease_micros(&mut self, lease: Option<u64>) {
+        self.lease_micros = lease;
+    }
+
+    /// Advances the cache's notion of "now" (µs). Leases are judged
+    /// against this clock.
+    pub fn set_now_micros(&mut self, now: u64) {
+        self.now_micros = now;
+    }
+
+    /// Entries dropped at lookup because their lease had run out.
+    pub fn lease_expirations(&self) -> u64 {
+        self.lease_expirations
+    }
+
     pub fn len(&self) -> usize {
         self.entries.len()
     }
@@ -135,18 +184,37 @@ impl ResultCache {
 
     /// Looks up a query, refreshing its LRU position. The key form the
     /// client sends depends on the exposure level, but all forms resolve
-    /// to the canonical key.
-    pub fn lookup(&mut self, q: &Query) -> Option<&CacheEntry> {
+    /// to the canonical key. An entry whose lease has run out is dropped
+    /// and reported as [`Lookup::Expired`] — it must never be served,
+    /// however the home server is faring.
+    pub fn lookup_classified(&mut self, q: &Query) -> Lookup<'_> {
         self.clock += 1;
         let clock = self.clock;
         let key = CacheKey {
             template_id: q.template_id,
             params: q.params.clone(),
         };
-        self.entries.get_mut(&key).map(|e| {
-            e.last_used = clock;
-            &*e
-        })
+        let expired = match self.entries.get(&key) {
+            None => return Lookup::Miss,
+            Some(e) => e.expires_at_micros < self.now_micros,
+        };
+        if expired {
+            self.entries.remove(&key);
+            self.lease_expirations += 1;
+            return Lookup::Expired;
+        }
+        let e = self.entries.get_mut(&key).expect("present and live");
+        e.last_used = clock;
+        Lookup::Hit(&*e)
+    }
+
+    /// [`ResultCache::lookup_classified`] collapsed to an `Option` —
+    /// expired entries read as misses.
+    pub fn lookup(&mut self, q: &Query) -> Option<&CacheEntry> {
+        match self.lookup_classified(q) {
+            Lookup::Hit(e) => Some(e),
+            Lookup::Expired | Lookup::Miss => None,
+        }
     }
 
     /// Read-only lookup (no LRU refresh), for tests and diagnostics.
@@ -184,6 +252,10 @@ impl ResultCache {
         };
         let stored_bytes = self.stored_size(q, &result, level);
         self.clock += 1;
+        let expires_at_micros = match self.lease_micros {
+            Some(lease) => self.now_micros.saturating_add(lease),
+            None => u64::MAX,
+        };
         self.entries.insert(
             key.clone(),
             CacheEntry {
@@ -193,6 +265,7 @@ impl ResultCache {
                 result,
                 stored_bytes,
                 last_used: self.clock,
+                expires_at_micros,
             },
         );
         let mut evicted = Vec::new();
@@ -407,6 +480,49 @@ mod tests {
         c.store(&query(0, 1), result(1), ExposureLevel::View);
         c.store(&query(0, 2), result(1), ExposureLevel::View);
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lease_expiry_drops_entries_at_lookup() {
+        let mut c = cache();
+        c.set_lease_micros(Some(100));
+        c.set_now_micros(1_000);
+        let q = query(0, 1);
+        c.store(&q, result(2), ExposureLevel::View);
+        // Within the lease window: served.
+        c.set_now_micros(1_100);
+        assert!(matches!(c.lookup_classified(&q), Lookup::Hit(_)));
+        // Past the lease: dropped, classified as expired, then gone.
+        c.set_now_micros(1_101);
+        assert!(matches!(c.lookup_classified(&q), Lookup::Expired));
+        assert!(matches!(c.lookup_classified(&q), Lookup::Miss));
+        assert_eq!(c.lease_expirations(), 1);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn no_lease_means_no_expiry() {
+        let mut c = cache();
+        let q = query(0, 1);
+        c.store(&q, result(1), ExposureLevel::View);
+        c.set_now_micros(u64::MAX - 1);
+        assert!(c.lookup(&q).is_some());
+        assert_eq!(c.lease_expirations(), 0);
+    }
+
+    #[test]
+    fn restore_renews_the_lease() {
+        let mut c = cache();
+        c.set_lease_micros(Some(50));
+        let q = query(0, 1);
+        c.set_now_micros(0);
+        c.store(&q, result(1), ExposureLevel::View);
+        c.set_now_micros(40);
+        c.store(&q, result(3), ExposureLevel::View);
+        // The first store's lease (0..=50) has passed, the second's
+        // (40..=90) has not.
+        c.set_now_micros(85);
+        assert_eq!(c.lookup(&q).unwrap().serve().len(), 3);
     }
 
     #[test]

@@ -1,0 +1,256 @@
+//! Fault-tolerant invalidation delivery: epoched update notifications,
+//! recovery policies, and retry/backoff for home-server trips.
+//!
+//! The paper's consistency argument assumes every update notification
+//! reaches every cache instantly. This module drops that assumption and
+//! replaces it with three mechanisms:
+//!
+//! 1. **Epochs** — the home server stamps each applied update with a
+//!    monotone sequence number ([`InvalidationMsg::epoch`]); the proxy
+//!    applies message `e` only when `e == last + 1`. A skipped epoch is a
+//!    detected delivery failure (or an out-of-band master write) and
+//!    triggers a [`RecoveryMode`] flush. Duplicates and stale reorders
+//!    (`e <= last`) are dropped — a flush for the gap they belonged to
+//!    has already covered them.
+//! 2. **Leases** — every cache entry carries a TTL, so even an
+//!    *undetected* failure (a dropped message with no successor to
+//!    expose the gap) serves stale data for at most the lease window.
+//! 3. **Retries** — home-server trips back off exponentially under a
+//!    total timeout ([`RetryPolicy`]); while the link is down
+//!    ([`HomeLink`]), within-lease cache hits keep serving (graceful
+//!    degradation) and misses surface as explicit unavailability rather
+//!    than stale answers.
+
+use scs_sqlkit::Update;
+use scs_storage::{QueryResult, UpdateEffect};
+
+/// One epoch-stamped invalidation notification on the home → proxy
+/// stream. Carries the full update statement; what the proxy may *see*
+/// of it is still gated by the update template's exposure level when the
+/// message is applied.
+#[derive(Debug, Clone)]
+pub struct InvalidationMsg {
+    /// The home server's update epoch after applying this update.
+    pub epoch: u64,
+    pub update: Update,
+}
+
+/// What a proxy flushes when the invalidation stream skips an epoch.
+/// The missed updates are unknown, so the flush must cover anything
+/// *any* update template could have invalidated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// Flush only entries that some update template could affect per the
+    /// static IPM (`∃u: A(u,q) ≠ 0`), plus every entry whose template is
+    /// invisible at its exposure level. Strictly cheaper than a full
+    /// flush whenever the analysis proved some pairs conflict-free.
+    FlushAffected,
+    /// Drop the whole cache — the only safe answer when nothing is known
+    /// (and the conservative default for low-exposure deployments).
+    FlushAll,
+}
+
+impl RecoveryMode {
+    /// Stable numeric code used by trace events.
+    pub fn code(self) -> u8 {
+        match self {
+            RecoveryMode::FlushAffected => 0,
+            RecoveryMode::FlushAll => 1,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryMode::FlushAffected => "flush_affected",
+            RecoveryMode::FlushAll => "flush_all",
+        }
+    }
+}
+
+/// How a delivered [`InvalidationMsg`] was handled by the proxy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryOutcome {
+    /// In-order delivery: the update's invalidation pass ran.
+    Applied { scanned: usize, invalidated: usize },
+    /// The message's epoch was already covered (duplicate, or a reorder
+    /// whose gap already forced a flush); dropped.
+    Duplicate,
+    /// A gap was detected; the recovery flush removed `flushed` entries
+    /// (which covers this message's own invalidations too).
+    Recovered { flushed: usize },
+}
+
+/// The outcome of a fault-tolerant query
+/// ([`crate::Dssp::execute_query_ft`]).
+#[derive(Debug, Clone)]
+pub enum FtOutcome {
+    Served {
+        result: QueryResult,
+        /// Whether the cache answered (no home-server round trip).
+        hit: bool,
+        /// The hit was served while the home link was down — graceful
+        /// degradation inside the lease window.
+        degraded: bool,
+    },
+    /// Cache miss and the home server stayed unreachable through every
+    /// retry; no stale answer is substituted.
+    Unavailable,
+}
+
+/// A fault-tolerant query response: the outcome plus what the trip cost.
+#[derive(Debug, Clone)]
+pub struct FtQueryResponse {
+    pub outcome: FtOutcome,
+    /// Home-trip attempts made (0 for cache hits).
+    pub attempts: u32,
+    /// Total simulated backoff waited before success or surrender (µs).
+    pub backoff_micros: u64,
+}
+
+/// The outcome of a fault-tolerant update
+/// ([`crate::Dssp::execute_update_ft`]).
+#[derive(Debug, Clone)]
+pub enum FtUpdateOutcome {
+    /// Applied at the master; the epoch-stamped invalidation notification
+    /// is returned for the delivery channel (the proxy does **not**
+    /// invalidate its own cache until the message is delivered back via
+    /// [`crate::Dssp::apply_invalidation`]).
+    Applied {
+        effect: UpdateEffect,
+        msg: InvalidationMsg,
+    },
+    /// The home server stayed unreachable; the master is unchanged.
+    Unavailable,
+}
+
+/// A fault-tolerant update response: the outcome plus what the trip cost.
+#[derive(Debug, Clone)]
+pub struct FtUpdateResponse {
+    pub outcome: FtUpdateOutcome,
+    pub attempts: u32,
+    pub backoff_micros: u64,
+}
+
+/// Exponential-backoff retry schedule for home-server trips.
+///
+/// Attempt `k` (1-based) is preceded by a wait of
+/// `base_backoff_micros * 2^(k-2)` for `k >= 2`, capped at
+/// `max_backoff_micros`; the whole trip gives up once the accumulated
+/// wait would exceed `timeout_micros` or `max_attempts` is reached.
+/// Deterministic — no jitter — so simulated runs reproduce exactly.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    pub max_attempts: u32,
+    pub base_backoff_micros: u64,
+    pub max_backoff_micros: u64,
+    /// Total backoff budget across all attempts.
+    pub timeout_micros: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff_micros: 10_000,
+            max_backoff_micros: 500_000,
+            timeout_micros: 2_000_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A single attempt, no waiting — the classic fail-fast behaviour.
+    pub fn no_retries() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff_micros: 0,
+            max_backoff_micros: 0,
+            timeout_micros: 0,
+        }
+    }
+
+    /// The wait before attempt `attempt` (1-based; attempt 1 is
+    /// immediate).
+    pub fn backoff_before(&self, attempt: u32) -> u64 {
+        if attempt <= 1 {
+            return 0;
+        }
+        let exp = (attempt - 2).min(63);
+        self.base_backoff_micros
+            .saturating_mul(1u64 << exp)
+            .min(self.max_backoff_micros)
+    }
+}
+
+/// The (simulated) state of the proxy ↔ home network path: a set of
+/// outage windows `[start, end)` in microseconds. Produced by the
+/// fault-injection harness; [`HomeLink::reliable`] is the always-up
+/// default.
+#[derive(Debug, Clone, Default)]
+pub struct HomeLink {
+    outages: Vec<(u64, u64)>,
+}
+
+impl HomeLink {
+    /// A link that never fails (the paper's assumption).
+    pub fn reliable() -> HomeLink {
+        HomeLink::default()
+    }
+
+    /// A link down during each `[start, end)` window.
+    pub fn with_outages(outages: Vec<(u64, u64)>) -> HomeLink {
+        HomeLink { outages }
+    }
+
+    pub fn is_up(&self, now_micros: u64) -> bool {
+        !self
+            .outages
+            .iter()
+            .any(|&(s, e)| s <= now_micros && now_micros < e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 6,
+            base_backoff_micros: 100,
+            max_backoff_micros: 350,
+            timeout_micros: 10_000,
+        };
+        assert_eq!(p.backoff_before(1), 0);
+        assert_eq!(p.backoff_before(2), 100);
+        assert_eq!(p.backoff_before(3), 200);
+        assert_eq!(p.backoff_before(4), 350, "capped");
+        assert_eq!(p.backoff_before(5), 350);
+    }
+
+    #[test]
+    fn backoff_survives_huge_attempt_counts() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_before(200), p.max_backoff_micros);
+    }
+
+    #[test]
+    fn link_outage_windows_are_half_open() {
+        let link = HomeLink::with_outages(vec![(100, 200), (500, 600)]);
+        assert!(link.is_up(99));
+        assert!(!link.is_up(100));
+        assert!(!link.is_up(199));
+        assert!(link.is_up(200));
+        assert!(!link.is_up(550));
+        assert!(link.is_up(1_000));
+        assert!(HomeLink::reliable().is_up(0));
+    }
+
+    #[test]
+    fn recovery_mode_codes_are_stable() {
+        assert_eq!(RecoveryMode::FlushAffected.code(), 0);
+        assert_eq!(RecoveryMode::FlushAll.code(), 1);
+        assert_eq!(RecoveryMode::FlushAll.name(), "flush_all");
+    }
+}

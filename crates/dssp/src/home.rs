@@ -1,16 +1,30 @@
 //! The application home server: master copies of all data (Figure 1).
+//!
+//! Every successfully applied update bumps a **monotone update epoch**,
+//! and the epoch is stamped on the invalidation notification the home
+//! server hands back (see [`crate::delivery::InvalidationMsg`]). Proxies
+//! track the last epoch they applied; a skipped epoch is proof that an
+//! invalidation was lost (or that the master was written out of band) and
+//! triggers a recovery flush. This turns silent delivery failures —
+//! the one failure mode a transparent-invalidation system must rule
+//! out — into detected, recoverable events.
 
+use crate::delivery::InvalidationMsg;
 use scs_sqlkit::{Query, Update};
 use scs_storage::{Database, QueryResult, StorageError, UpdateEffect};
 
 /// Wraps the master database with simple accounting — the home server's
 /// load (queries served on cache misses + updates) is what limits
-/// scalability in the evaluation.
+/// scalability in the evaluation — plus the update-epoch counter that
+/// sequences the invalidation stream.
 #[derive(Debug, Clone, Default)]
 pub struct HomeServer {
     db: Database,
     queries_served: u64,
     updates_applied: u64,
+    /// Monotone sequence number of the last applied master write
+    /// (updates *and* out-of-band [`HomeServer::mutate_database`] calls).
+    epoch: u64,
 }
 
 impl HomeServer {
@@ -19,6 +33,7 @@ impl HomeServer {
             db,
             queries_served: 0,
             updates_applied: 0,
+            epoch: 0,
         }
     }
 
@@ -28,10 +43,31 @@ impl HomeServer {
         self.db.execute(q)
     }
 
-    /// Applies an update to the master copy.
-    pub fn apply_update(&mut self, u: &Update) -> Result<UpdateEffect, StorageError> {
+    /// Applies an update to the master copy; on success the update epoch
+    /// advances and the epoch-stamped invalidation notification for the
+    /// proxy-bound stream is returned alongside the effect. Failed
+    /// updates change nothing and do **not** consume an epoch.
+    pub fn apply_update(
+        &mut self,
+        u: &Update,
+    ) -> Result<(UpdateEffect, InvalidationMsg), StorageError> {
         self.updates_applied += 1;
-        self.db.apply(u)
+        let effect = self.db.apply(u)?;
+        self.epoch += 1;
+        Ok((
+            effect,
+            InvalidationMsg {
+                epoch: self.epoch,
+                update: u.clone(),
+            },
+        ))
+    }
+
+    /// The current update epoch: the sequence number of the most recent
+    /// master write. Piggybacked on query responses so proxies can
+    /// handshake after a restart.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Read access for tests and ground-truth checks (not part of the DSSP
@@ -40,8 +76,15 @@ impl HomeServer {
         &self.db
     }
 
-    pub fn database_mut(&mut self) -> &mut Database {
-        &mut self.db
+    /// Mutates the master copy outside the DSSP update pathway
+    /// (test fixtures, administrative repairs). The write consumes an
+    /// epoch **without** emitting an invalidation, so the next message a
+    /// proxy receives exposes a gap and forces a recovery flush — an
+    /// out-of-band write can desynchronize a cache only detectably,
+    /// never silently.
+    pub fn mutate_database<R>(&mut self, f: impl FnOnce(&mut Database) -> R) -> R {
+        self.epoch += 1;
+        f(&mut self.db)
     }
 
     pub fn queries_served(&self) -> u64 {

@@ -18,8 +18,18 @@
 //! Invalidation correctness (the §2.2 definition — a changed view is
 //! always invalidated) is verified end-to-end by property tests in
 //! `tests/correctness.rs` against ground-truth re-execution.
+//!
+//! The paper assumes every invalidation notification arrives, instantly
+//! and in order. [`delivery`] drops that assumption: the home server
+//! epoch-stamps the notification stream, proxies detect gaps and flush
+//! conservatively, per-entry leases bound the staleness any *undetected*
+//! failure can cause, and home-server trips retry with exponential
+//! backoff. `tests/delivery.rs` covers the delivery semantics directly;
+//! `scs-apps`' `tests/chaos.rs` drives random fault schedules against a
+//! ground-truth oracle to verify the staleness bound.
 
 pub mod cache;
+pub mod delivery;
 pub mod home;
 pub mod proxy;
 pub mod statement;
@@ -28,7 +38,11 @@ pub mod strategy;
 pub mod tenant;
 pub mod view;
 
-pub use cache::{CacheEntry, CacheKey, ResultCache, StoreOutcome};
+pub use cache::{CacheEntry, CacheKey, Lookup, ResultCache, StoreOutcome};
+pub use delivery::{
+    DeliveryOutcome, FtOutcome, FtQueryResponse, FtUpdateOutcome, FtUpdateResponse, HomeLink,
+    InvalidationMsg, RecoveryMode, RetryPolicy,
+};
 pub use home::HomeServer;
 pub use proxy::{Dssp, DsspConfig, QueryResponse, UpdateResponse};
 pub use statement::statement_may_affect;

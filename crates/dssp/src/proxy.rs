@@ -1,8 +1,23 @@
 //! The DSSP proxy node: answers queries from the cache, forwards misses to
 //! the home server, routes updates through, and invalidates affected
 //! cached results (Figure 2's pathways).
+//!
+//! Delivery of invalidations is *epoched* (see [`crate::delivery`]): the
+//! home server stamps each applied update with a monotone sequence
+//! number, and the proxy applies a notification only in order. A skipped
+//! epoch means a lost notification (or an out-of-band master write) and
+//! triggers a recovery flush; staleness from failures that produce no
+//! detectable gap is bounded by the per-entry lease. The classic
+//! [`Dssp::execute_query`] / [`Dssp::execute_update`] entry points keep
+//! the paper's perfect-delivery behaviour; the `_ft` variants expose the
+//! fault-tolerant pathway (retry with exponential backoff, outage-aware
+//! degradation, deferred invalidation delivery).
 
-use crate::cache::ResultCache;
+use crate::cache::{Lookup, ResultCache};
+use crate::delivery::{
+    DeliveryOutcome, FtOutcome, FtQueryResponse, FtUpdateOutcome, FtUpdateResponse, HomeLink,
+    InvalidationMsg, RecoveryMode, RetryPolicy,
+};
 use crate::home::HomeServer;
 use crate::stats::DsspStats;
 use crate::strategy::{decide, DecisionPath, UpdateView};
@@ -27,16 +42,24 @@ pub struct DsspConfig {
     /// Optional cache capacity in entries (LRU eviction); `None` =
     /// unbounded, as in the paper's prototype.
     pub cache_capacity: Option<usize>,
+    /// Staleness lease on cached entries (µs); `None` = entries never
+    /// expire (safe only under the paper's perfect-delivery assumption).
+    pub lease_micros: Option<u64>,
+    /// What to flush when the invalidation stream skips an epoch.
+    pub recovery: RecoveryMode,
 }
 
 impl DsspConfig {
-    /// An unbounded-cache configuration (the paper's setting).
+    /// An unbounded-cache configuration (the paper's setting): no entry
+    /// cap, no lease, affected-template recovery.
     pub fn new(app_id: impl Into<String>, exposures: Exposures, matrix: IpmMatrix) -> DsspConfig {
         DsspConfig {
             app_id: app_id.into(),
             exposures,
             matrix,
             cache_capacity: None,
+            lease_micros: None,
+            recovery: RecoveryMode::FlushAffected,
         }
     }
 }
@@ -78,6 +101,16 @@ struct ProxyMetrics {
     query_evicted: Vec<Counter>,
     update_applied: Vec<Counter>,
     update_invalidations: Vec<Counter>,
+    // Fault-tolerance counters (all zero under perfect delivery).
+    epoch_gaps: Counter,
+    recovery_flushes: Counter,
+    recovery_flushed_entries: Counter,
+    duplicate_invalidations: Counter,
+    lease_expirations: Counter,
+    home_retries: Counter,
+    home_unavailable: Counter,
+    degraded_serves: Counter,
+    restarts: Counter,
 }
 
 impl ProxyMetrics {
@@ -103,6 +136,15 @@ impl ProxyMetrics {
             query_evicted: per_template("query_template", "evicted", query_count),
             update_applied: per_template("update_template", "applied", update_count),
             update_invalidations: per_template("update_template", "invalidations", update_count),
+            epoch_gaps: registry.counter("dssp.epoch_gaps"),
+            recovery_flushes: registry.counter("dssp.recovery_flushes"),
+            recovery_flushed_entries: registry.counter("dssp.recovery_flushed_entries"),
+            duplicate_invalidations: registry.counter("dssp.duplicate_invalidations"),
+            lease_expirations: registry.counter("dssp.lease_expirations"),
+            home_retries: registry.counter("dssp.home_retries"),
+            home_unavailable: registry.counter("dssp.home_unavailable"),
+            degraded_serves: registry.counter("dssp.degraded_serves"),
+            restarts: registry.counter("dssp.restarts"),
         }
     }
 }
@@ -121,15 +163,20 @@ pub struct Dssp {
     /// Simulation clock in µs; trace events are stamped with it. Stays 0
     /// outside a simulation.
     now_micros: u64,
+    /// Last invalidation-stream epoch applied (or covered by a recovery
+    /// flush).
+    epoch: u64,
+    recovery: RecoveryMode,
 }
 
 impl Dssp {
     pub fn new(config: DsspConfig) -> Dssp {
         let encryptor = Encryptor::for_app(&config.app_id);
-        let cache = match config.cache_capacity {
+        let mut cache = match config.cache_capacity {
             Some(cap) => ResultCache::with_capacity(encryptor, cap),
             None => ResultCache::new(encryptor),
         };
+        cache.set_lease_micros(config.lease_micros);
         let update_count = config.exposures.updates.len();
         let query_count = config.exposures.queries.len();
         let registry = MetricsRegistry::new();
@@ -144,6 +191,8 @@ impl Dssp {
             attribution: AttributionMatrix::new(update_count, query_count),
             tenant: 0,
             now_micros: 0,
+            epoch: 0,
+            recovery: config.recovery,
         }
     }
 
@@ -154,28 +203,121 @@ impl Dssp {
 
     /// Handles a client query: serve from cache, or forward to the home
     /// server and cache the (non-empty) result.
+    ///
+    /// This is the paper's perfect-delivery entry point: a reliable link,
+    /// no retries. It is a thin wrapper over [`Dssp::execute_query_ft`].
     pub fn execute_query(
         &mut self,
         q: &Query,
         home: &mut HomeServer,
     ) -> Result<QueryResponse, StorageError> {
+        let resp =
+            self.execute_query_ft(q, home, &HomeLink::reliable(), &RetryPolicy::no_retries())?;
+        match resp.outcome {
+            FtOutcome::Served { result, hit, .. } => Ok(QueryResponse { result, hit }),
+            FtOutcome::Unavailable => unreachable!("reliable link never fails"),
+        }
+    }
+
+    /// Handles an update: apply at the home server (master copy), then
+    /// invalidate affected cached results. The DSSP never sees more of the
+    /// update than its exposure level allows.
+    ///
+    /// Perfect-delivery entry point: the epoch-stamped invalidation
+    /// notification is delivered back to this proxy immediately (wrapping
+    /// [`Dssp::execute_update_ft`] + [`Dssp::apply_invalidation`]). If the
+    /// master was written out of band since the last notification, the
+    /// delivery exposes the epoch gap here and the response reports the
+    /// recovery flush instead of a targeted invalidation pass.
+    pub fn execute_update(
+        &mut self,
+        u: &Update,
+        home: &mut HomeServer,
+    ) -> Result<UpdateResponse, StorageError> {
+        let resp =
+            self.execute_update_ft(u, home, &HomeLink::reliable(), &RetryPolicy::no_retries())?;
+        match resp.outcome {
+            FtUpdateOutcome::Applied { effect, msg } => {
+                let (scanned, invalidated) = match self.apply_invalidation(&msg) {
+                    DeliveryOutcome::Applied {
+                        scanned,
+                        invalidated,
+                    } => (scanned, invalidated),
+                    DeliveryOutcome::Recovered { flushed } => (flushed, flushed),
+                    DeliveryOutcome::Duplicate => (0, 0),
+                };
+                Ok(UpdateResponse {
+                    effect,
+                    scanned,
+                    invalidated,
+                })
+            }
+            FtUpdateOutcome::Unavailable => unreachable!("reliable link never fails"),
+        }
+    }
+
+    /// Fault-tolerant query path. Within-lease cache hits serve even while
+    /// the home link is down (graceful degradation — counted and traced);
+    /// misses retry the home trip under `policy`'s backoff schedule and
+    /// surface [`FtOutcome::Unavailable`] when the link stays down, never a
+    /// stale substitute. Entries whose lease ran out are dropped, counted,
+    /// and re-fetched like misses.
+    pub fn execute_query_ft(
+        &mut self,
+        q: &Query,
+        home: &mut HomeServer,
+        link: &HomeLink,
+        policy: &RetryPolicy,
+    ) -> Result<FtQueryResponse, StorageError> {
         let tid = q.template_id;
         let level = self.exposures.queries[tid];
         let exposure = level.rank() as u8;
         self.metrics.queries.inc();
-        if let Some(entry) = self.cache.lookup(q) {
-            let result = entry.serve().clone();
-            self.metrics.hits.inc();
-            self.metrics.query_hits[tid].inc();
-            self.tracer.emit(
-                self.now_micros,
-                self.tenant,
-                TraceEventKind::QueryHit {
-                    query_template: tid as u32,
-                    exposure,
-                },
-            );
-            return Ok(QueryResponse { result, hit: true });
+        match self.cache.lookup_classified(q) {
+            Lookup::Hit(entry) => {
+                let result = entry.serve().clone();
+                self.metrics.hits.inc();
+                self.metrics.query_hits[tid].inc();
+                self.tracer.emit(
+                    self.now_micros,
+                    self.tenant,
+                    TraceEventKind::QueryHit {
+                        query_template: tid as u32,
+                        exposure,
+                    },
+                );
+                let degraded = !link.is_up(self.now_micros);
+                if degraded {
+                    self.metrics.degraded_serves.inc();
+                    self.tracer.emit(
+                        self.now_micros,
+                        self.tenant,
+                        TraceEventKind::DegradedServe {
+                            query_template: tid as u32,
+                        },
+                    );
+                }
+                return Ok(FtQueryResponse {
+                    outcome: FtOutcome::Served {
+                        result,
+                        hit: true,
+                        degraded,
+                    },
+                    attempts: 0,
+                    backoff_micros: 0,
+                });
+            }
+            Lookup::Expired => {
+                self.metrics.lease_expirations.inc();
+                self.tracer.emit(
+                    self.now_micros,
+                    self.tenant,
+                    TraceEventKind::LeaseExpired {
+                        query_template: tid as u32,
+                    },
+                );
+            }
+            Lookup::Miss => {}
         }
         self.metrics.misses.inc();
         self.metrics.query_misses[tid].inc();
@@ -187,45 +329,191 @@ impl Dssp {
                 exposure,
             },
         );
-        let result = home.execute_query(q)?;
-        let outcome = self.cache.store_with_evictions(q, result.clone(), level);
-        for victim in &outcome.evicted {
-            self.metrics.evictions.inc();
-            self.metrics.query_evicted[victim.template_id].inc();
-            self.tracer.emit(
-                self.now_micros,
-                self.tenant,
-                TraceEventKind::EntryEvicted {
-                    query_template: victim.template_id as u32,
+        let mut attempts = 0u32;
+        let mut backoff = 0u64;
+        loop {
+            let next = attempts + 1;
+            let wait = policy.backoff_before(next);
+            if next > policy.max_attempts || backoff.saturating_add(wait) > policy.timeout_micros {
+                break;
+            }
+            attempts = next;
+            backoff += wait;
+            if attempts > 1 {
+                self.metrics.home_retries.inc();
+                self.tracer.emit(
+                    self.now_micros,
+                    self.tenant,
+                    TraceEventKind::HomeRetry {
+                        attempt: attempts.min(u8::MAX as u32) as u8,
+                    },
+                );
+            }
+            if !link.is_up(self.now_micros.saturating_add(backoff)) {
+                continue;
+            }
+            let result = home.execute_query(q)?;
+            // Epoch handshake on the piggybacked home epoch — but only
+            // while the cache is empty. With nothing cached, skipping
+            // ahead cannot leave a stale entry behind; with entries
+            // present, the gap must surface on the message stream so the
+            // recovery flush covers them.
+            if self.cache.is_empty() && home.epoch() > self.epoch {
+                self.epoch = home.epoch();
+            }
+            let outcome = self.cache.store_with_evictions(q, result.clone(), level);
+            for victim in &outcome.evicted {
+                self.metrics.evictions.inc();
+                self.metrics.query_evicted[victim.template_id].inc();
+                self.tracer.emit(
+                    self.now_micros,
+                    self.tenant,
+                    TraceEventKind::EntryEvicted {
+                        query_template: victim.template_id as u32,
+                    },
+                );
+            }
+            self.metrics.cache_entries.set(self.cache.len() as i64);
+            return Ok(FtQueryResponse {
+                outcome: FtOutcome::Served {
+                    result,
+                    hit: false,
+                    degraded: false,
                 },
-            );
+                attempts,
+                backoff_micros: backoff,
+            });
         }
-        self.metrics.cache_entries.set(self.cache.len() as i64);
-        Ok(QueryResponse { result, hit: false })
-    }
-
-    /// Handles an update: apply at the home server (master copy), then
-    /// invalidate affected cached results. The DSSP never sees more of the
-    /// update than its exposure level allows.
-    pub fn execute_update(
-        &mut self,
-        u: &Update,
-        home: &mut HomeServer,
-    ) -> Result<UpdateResponse, StorageError> {
-        let uid = u.template_id;
-        let level = self.exposures.updates[uid];
-        self.metrics.updates.inc();
-        self.metrics.update_applied[uid].inc();
-        self.attribution.record_update(uid);
+        self.metrics.home_unavailable.inc();
         self.tracer.emit(
             self.now_micros,
             self.tenant,
-            TraceEventKind::UpdateApplied {
-                update_template: uid as u32,
-                exposure: level.rank() as u8,
+            TraceEventKind::HomeUnreachable {
+                attempts: attempts.min(u8::MAX as u32) as u8,
             },
         );
-        let effect = home.apply_update(u)?;
+        Ok(FtQueryResponse {
+            outcome: FtOutcome::Unavailable,
+            attempts,
+            backoff_micros: backoff,
+        })
+    }
+
+    /// Fault-tolerant update path: apply at the master under `policy`'s
+    /// retry schedule. On success the epoch-stamped invalidation
+    /// notification is **returned, not applied** — the caller owns the
+    /// delivery channel (the simulator may drop, delay, duplicate, or
+    /// reorder it before [`Dssp::apply_invalidation`] sees it). While the
+    /// link stays down the master is untouched and the outcome is
+    /// [`FtUpdateOutcome::Unavailable`].
+    pub fn execute_update_ft(
+        &mut self,
+        u: &Update,
+        home: &mut HomeServer,
+        link: &HomeLink,
+        policy: &RetryPolicy,
+    ) -> Result<FtUpdateResponse, StorageError> {
+        let uid = u.template_id;
+        let level = self.exposures.updates[uid];
+        let mut attempts = 0u32;
+        let mut backoff = 0u64;
+        loop {
+            let next = attempts + 1;
+            let wait = policy.backoff_before(next);
+            if next > policy.max_attempts || backoff.saturating_add(wait) > policy.timeout_micros {
+                break;
+            }
+            attempts = next;
+            backoff += wait;
+            if attempts > 1 {
+                self.metrics.home_retries.inc();
+                self.tracer.emit(
+                    self.now_micros,
+                    self.tenant,
+                    TraceEventKind::HomeRetry {
+                        attempt: attempts.min(u8::MAX as u32) as u8,
+                    },
+                );
+            }
+            if !link.is_up(self.now_micros.saturating_add(backoff)) {
+                continue;
+            }
+            self.metrics.updates.inc();
+            self.metrics.update_applied[uid].inc();
+            self.attribution.record_update(uid);
+            self.tracer.emit(
+                self.now_micros,
+                self.tenant,
+                TraceEventKind::UpdateApplied {
+                    update_template: uid as u32,
+                    exposure: level.rank() as u8,
+                },
+            );
+            let (effect, msg) = home.apply_update(u)?;
+            return Ok(FtUpdateResponse {
+                outcome: FtUpdateOutcome::Applied { effect, msg },
+                attempts,
+                backoff_micros: backoff,
+            });
+        }
+        self.metrics.home_unavailable.inc();
+        self.tracer.emit(
+            self.now_micros,
+            self.tenant,
+            TraceEventKind::HomeUnreachable {
+                attempts: attempts.min(u8::MAX as u32) as u8,
+            },
+        );
+        Ok(FtUpdateResponse {
+            outcome: FtUpdateOutcome::Unavailable,
+            attempts,
+            backoff_micros: backoff,
+        })
+    }
+
+    /// Delivers one epoch-stamped invalidation notification.
+    ///
+    /// * `epoch == last + 1` — in order: the update's invalidation pass
+    ///   runs exactly as under perfect delivery.
+    /// * `epoch <= last` — a duplicate, or a reorder whose gap already
+    ///   forced a flush that covered it: dropped.
+    /// * `epoch > last + 1` — a gap: one or more notifications were lost
+    ///   (or the master was written out of band). The [`RecoveryMode`]
+    ///   flush runs; it covers this message's own invalidations too, so
+    ///   the message itself is not applied separately.
+    pub fn apply_invalidation(&mut self, msg: &InvalidationMsg) -> DeliveryOutcome {
+        let expected = self.epoch + 1;
+        if msg.epoch < expected {
+            self.metrics.duplicate_invalidations.inc();
+            return DeliveryOutcome::Duplicate;
+        }
+        if msg.epoch > expected {
+            self.metrics.epoch_gaps.inc();
+            self.tracer.emit(
+                self.now_micros,
+                self.tenant,
+                TraceEventKind::EpochGap {
+                    expected,
+                    got: msg.epoch,
+                },
+            );
+            let flushed = self.recovery_flush();
+            self.epoch = msg.epoch;
+            return DeliveryOutcome::Recovered { flushed };
+        }
+        self.epoch = msg.epoch;
+        let (scanned, invalidated) = self.run_invalidation_pass(&msg.update);
+        DeliveryOutcome::Applied {
+            scanned,
+            invalidated,
+        }
+    }
+
+    /// The update's invalidation pass (unchanged from the paper's
+    /// pathway): scan the cache, ask the strategy, account per victim.
+    fn run_invalidation_pass(&mut self, u: &Update) -> (usize, usize) {
+        let uid = u.template_id;
+        let level = self.exposures.updates[uid];
         let view = UpdateView::new(u, level);
         let matrix = &self.matrix;
         // Collect per-victim attribution while the cache is borrowed; the
@@ -259,11 +547,63 @@ impl Dssp {
         self.metrics.entries_scanned.add(scanned as u64);
         self.metrics.scan_size.record(scanned as u64);
         self.metrics.cache_entries.set(self.cache.len() as i64);
-        Ok(UpdateResponse {
-            effect,
-            scanned,
-            invalidated,
-        })
+        (scanned, invalidated)
+    }
+
+    /// Flushes what an unknown missed update could have invalidated.
+    /// `FlushAffected` keeps only entries whose query template the static
+    /// IPM proved conflict-free against *every* update template — exposure
+    /// does not matter here, because the IPM speaks about ground truth over
+    /// templates, not about what the proxy may inspect at runtime.
+    fn recovery_flush(&mut self) -> usize {
+        let flushed = match self.recovery {
+            RecoveryMode::FlushAll => self.cache.clear(),
+            RecoveryMode::FlushAffected => {
+                let matrix = &self.matrix;
+                let update_count = matrix.update_count();
+                self.cache
+                    .invalidate_where(|entry| {
+                        let qid = entry.key().template_id;
+                        (0..update_count).any(|uid| !matrix.entry(uid, qid).all_zero())
+                    })
+                    .1
+            }
+        };
+        self.metrics.recovery_flushes.inc();
+        self.metrics.recovery_flushed_entries.add(flushed as u64);
+        self.tracer.emit(
+            self.now_micros,
+            self.tenant,
+            TraceEventKind::RecoveryFlush {
+                flushed: flushed as u64,
+                mode: self.recovery.code(),
+            },
+        );
+        self.metrics.cache_entries.set(self.cache.len() as i64);
+        flushed
+    }
+
+    /// Simulates a crash + restart of this proxy: the cache is lost and
+    /// the epoch tracker re-handshakes from the home server's current
+    /// epoch (piggybacked on the reconnect). Starting empty makes the
+    /// skip-ahead safe — there is nothing cached for a missed update to
+    /// have left stale — and any in-flight notifications from before the
+    /// crash then arrive as droppable duplicates.
+    pub fn restart(&mut self, home_epoch: u64) {
+        self.cache.clear();
+        self.epoch = home_epoch;
+        self.metrics.restarts.inc();
+        self.tracer.emit(
+            self.now_micros,
+            self.tenant,
+            TraceEventKind::NodeRestart { epoch: home_epoch },
+        );
+        self.metrics.cache_entries.set(0);
+    }
+
+    /// Last invalidation-stream epoch this proxy has applied or covered.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Snapshot of the headline counters, derived from the registry (the
@@ -312,10 +652,12 @@ impl Dssp {
         self.tenant = tenant;
     }
 
-    /// Advances the clock trace events are stamped with (µs). Driven by
-    /// the simulator; wall-clock-free tests may leave it at 0.
+    /// Advances the clock trace events are stamped with and leases are
+    /// judged against (µs). Driven by the simulator; wall-clock-free tests
+    /// may leave it at 0.
     pub fn set_sim_time_micros(&mut self, micros: u64) {
         self.now_micros = micros;
+        self.cache.set_now_micros(micros);
     }
 
     pub fn cache_len(&self) -> usize {
@@ -381,6 +723,8 @@ mod tests {
             exposures: kind.exposures(updates.len(), queries.len()),
             matrix,
             cache_capacity: None,
+            lease_micros: None,
+            recovery: RecoveryMode::FlushAffected,
         });
         Fixture {
             dssp,

@@ -41,7 +41,14 @@ impl std::fmt::Display for NodeError {
     }
 }
 
-impl std::error::Error for NodeError {}
+impl std::error::Error for NodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NodeError::Storage(e) => Some(e),
+            NodeError::UnknownTenant(_) | NodeError::DuplicateTenant(_) => None,
+        }
+    }
+}
 
 impl From<StorageError> for NodeError {
     fn from(e: StorageError) -> Self {
@@ -286,6 +293,18 @@ mod tests {
         assert_eq!(totals.queries, 4);
         assert_eq!(totals.hits, 2);
         assert_eq!(totals.misses, 2);
+    }
+
+    #[test]
+    fn node_error_chains_to_storage_source() {
+        use std::error::Error;
+        let storage = StorageError::UnknownTable("toys".into());
+        let err = NodeError::from(storage.clone());
+        assert_eq!(err.to_string(), format!("storage error: {storage}"));
+        let source = err.source().expect("storage errors carry a source");
+        assert_eq!(source.to_string(), storage.to_string());
+        assert!(NodeError::UnknownTenant(TenantId(3)).source().is_none());
+        assert!(NodeError::DuplicateTenant("a".into()).source().is_none());
     }
 
     #[test]

@@ -171,12 +171,7 @@ impl Harness {
         let catalog = Catalog::new(schemas());
         let matrix = characterize_app(&updates, &queries, &catalog, AnalysisOptions::default());
         Harness {
-            dssp: Dssp::new(DsspConfig {
-                app_id: "prop".into(),
-                exposures,
-                matrix,
-                cache_capacity: None,
-            }),
+            dssp: Dssp::new(DsspConfig::new("prop", exposures, matrix)),
             home: HomeServer::new(seed_database()),
             updates,
             queries,

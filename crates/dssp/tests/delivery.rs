@@ -1,0 +1,361 @@
+//! Integration tests for fault-tolerant invalidation delivery: epoch
+//! ordering (duplicates, gaps, recovery flushes), out-of-band master
+//! writes, crash/restart resynchronization, lease expiry, graceful
+//! degradation during home-link outages — and the eviction → re-fill →
+//! invalidation ordering hazard (a re-filled entry must never resurrect a
+//! pre-update result).
+
+use scs_core::{characterize_app, AnalysisOptions, Catalog};
+use scs_dssp::{
+    DeliveryOutcome, Dssp, DsspConfig, FtOutcome, FtUpdateOutcome, HomeLink, HomeServer,
+    InvalidationMsg, RetryPolicy, StrategyKind,
+};
+use scs_sqlkit::{parse_query, parse_update, Query, QueryTemplate, Update, UpdateTemplate, Value};
+use scs_storage::{ColumnType, Database, TableSchema};
+use std::sync::Arc;
+
+const QUERY_SQL: &[&str] = &[
+    "SELECT qty FROM toys WHERE id = ?",
+    "SELECT id FROM toys WHERE qty > ?",
+];
+
+const UPDATE_SQL: &[&str] = &[
+    "UPDATE toys SET qty = ? WHERE id = ?",
+    "DELETE FROM toys WHERE id = ?",
+];
+
+struct Rig {
+    dssp: Dssp,
+    home: HomeServer,
+    queries: Vec<Arc<QueryTemplate>>,
+    updates: Vec<Arc<UpdateTemplate>>,
+}
+
+fn rig_with(config: impl FnOnce(DsspConfig) -> DsspConfig) -> Rig {
+    let schema = TableSchema::builder("toys")
+        .column("id", ColumnType::Int)
+        .column("qty", ColumnType::Int)
+        .primary_key(&["id"])
+        .build()
+        .unwrap();
+    let mut db = Database::new();
+    db.create_table(schema.clone()).unwrap();
+    for id in 0..4i64 {
+        db.insert_row("toys", vec![Value::Int(id), Value::Int(10 + id)])
+            .unwrap();
+    }
+    let queries: Vec<Arc<QueryTemplate>> = QUERY_SQL
+        .iter()
+        .map(|s| Arc::new(parse_query(s).unwrap()))
+        .collect();
+    let updates: Vec<Arc<UpdateTemplate>> = UPDATE_SQL
+        .iter()
+        .map(|s| Arc::new(parse_update(s).unwrap()))
+        .collect();
+    let catalog = Catalog::new(vec![schema]);
+    let matrix = characterize_app(&updates, &queries, &catalog, AnalysisOptions::default());
+    let exposures = StrategyKind::ViewInspection.exposures(updates.len(), queries.len());
+    let dssp = Dssp::new(config(DsspConfig::new("delivery", exposures, matrix)));
+    Rig {
+        dssp,
+        home: HomeServer::new(db),
+        queries,
+        updates,
+    }
+}
+
+fn rig() -> Rig {
+    rig_with(|c| c)
+}
+
+impl Rig {
+    fn query(&mut self, tid: usize, params: Vec<Value>) -> Query {
+        Query::bind(tid, self.queries[tid].clone(), params).unwrap()
+    }
+
+    fn update(&mut self, tid: usize, params: Vec<Value>) -> Update {
+        Update::bind(tid, self.updates[tid].clone(), params).unwrap()
+    }
+
+    /// Applies an update at the home server via the ft path WITHOUT
+    /// delivering the invalidation message — returns it for manual
+    /// (out-of-order, duplicated, ...) delivery.
+    fn update_undelivered(&mut self, tid: usize, params: Vec<Value>) -> InvalidationMsg {
+        let u = self.update(tid, params);
+        let resp = self
+            .dssp
+            .execute_update_ft(
+                &u,
+                &mut self.home,
+                &HomeLink::reliable(),
+                &RetryPolicy::no_retries(),
+            )
+            .unwrap();
+        match resp.outcome {
+            FtUpdateOutcome::Applied { msg, .. } => msg,
+            FtUpdateOutcome::Unavailable => unreachable!("reliable link"),
+        }
+    }
+
+    fn counter(&self, name: &str) -> u64 {
+        self.dssp.registry().counter_value(name)
+    }
+}
+
+/// Satellite: eviction → re-fill → invalidation ordering. An entry evicted
+/// before an update and re-fetched afterwards must reflect the post-update
+/// master state — the late invalidation pass (which no longer finds the
+/// original entry) must not leave a pre-update result servable.
+#[test]
+fn eviction_then_refill_never_resurrects_pre_update_results() {
+    let mut r = rig_with(|c| DsspConfig {
+        cache_capacity: Some(1),
+        ..c
+    });
+    let qa = r.query(0, vec![Value::Int(1)]);
+    let qb = r.query(0, vec![Value::Int(2)]);
+
+    // Fill with A, then evict it by filling with B (capacity 1).
+    let first = r.dssp.execute_query(&qa, &mut r.home).unwrap();
+    assert!(!first.hit);
+    r.dssp.execute_query(&qb, &mut r.home).unwrap();
+    assert_eq!(
+        r.dssp.cache_len(),
+        1,
+        "capacity-1 cache must have evicted A"
+    );
+
+    // Update A's row while A is absent from the cache: the invalidation
+    // pass scans only the surviving entry (B).
+    let u = r.update(0, vec![Value::Int(99), Value::Int(1)]);
+    let resp = r.dssp.execute_update(&u, &mut r.home).unwrap();
+    assert!(resp.scanned <= 1);
+
+    // Re-fill A: must be a miss and must carry the post-update value.
+    let refill = r.dssp.execute_query(&qa, &mut r.home).unwrap();
+    assert!(!refill.hit, "evicted entry must not reappear as a hit");
+    let truth = r.home.database().execute(&qa).unwrap();
+    assert!(refill.result.multiset_eq(&truth));
+    assert!(
+        format!("{:?}", refill.result).contains("99"),
+        "re-filled entry must hold the post-update qty, got {:?}",
+        refill.result
+    );
+
+    // And the now-cached entry serves the same fresh result.
+    let again = r.dssp.execute_query(&qa, &mut r.home).unwrap();
+    assert!(again.hit);
+    assert!(again.result.multiset_eq(&truth));
+}
+
+/// Satellite: out-of-band writes through `HomeServer::mutate_database`
+/// bump the master epoch without emitting a notification, so the next
+/// delivered message exposes a gap and forces a recovery flush.
+#[test]
+fn out_of_band_master_write_forces_recovery_flush() {
+    let mut r = rig();
+    let qa = r.query(0, vec![Value::Int(1)]);
+    r.dssp.execute_query(&qa, &mut r.home).unwrap();
+    assert_eq!(r.dssp.cache_len(), 1);
+
+    // Out-of-band master write: silently stales the cached entry.
+    r.home.mutate_database(|db| {
+        let u = Update::bind(
+            0,
+            Arc::new(parse_update(UPDATE_SQL[0]).unwrap()),
+            vec![Value::Int(77), Value::Int(1)],
+        )
+        .unwrap();
+        db.apply(&u).unwrap();
+    });
+    assert_eq!(r.home.epoch(), 1);
+    assert_eq!(r.dssp.epoch(), 0, "no notification was delivered");
+
+    // The next routed update's notification skips an epoch: recovery.
+    let u = r.update(1, vec![Value::Int(3)]);
+    let resp = r.dssp.execute_update(&u, &mut r.home).unwrap();
+    assert_eq!(
+        resp.scanned, resp.invalidated,
+        "recovery reports flushed entries, not a targeted scan"
+    );
+    assert_eq!(r.dssp.epoch(), 2);
+    assert_eq!(r.counter("dssp.epoch_gaps"), 1);
+    assert_eq!(r.counter("dssp.recovery_flushes"), 1);
+
+    // The stale entry is gone; the re-fetch sees the out-of-band value.
+    let refetch = r.dssp.execute_query(&qa, &mut r.home).unwrap();
+    assert!(!refetch.hit);
+    assert!(format!("{:?}", refetch.result).contains("77"));
+}
+
+#[test]
+fn duplicates_and_gaps_follow_epoch_semantics() {
+    let mut r = rig();
+    let qa = r.query(0, vec![Value::Int(0)]);
+    r.dssp.execute_query(&qa, &mut r.home).unwrap();
+
+    let m1 = r.update_undelivered(0, vec![Value::Int(20), Value::Int(0)]);
+    assert!(matches!(
+        r.dssp.apply_invalidation(&m1),
+        DeliveryOutcome::Applied { .. }
+    ));
+    // Redelivery of the same epoch is dropped.
+    assert!(matches!(
+        r.dssp.apply_invalidation(&m1),
+        DeliveryOutcome::Duplicate
+    ));
+
+    let m2 = r.update_undelivered(0, vec![Value::Int(21), Value::Int(0)]);
+    let m3 = r.update_undelivered(0, vec![Value::Int(22), Value::Int(0)]);
+    // Reorder: epoch 3 before epoch 2 — the gap forces a flush that
+    // covers both, and the late epoch-2 message is then a duplicate.
+    assert!(matches!(
+        r.dssp.apply_invalidation(&m3),
+        DeliveryOutcome::Recovered { .. }
+    ));
+    assert!(matches!(
+        r.dssp.apply_invalidation(&m2),
+        DeliveryOutcome::Duplicate
+    ));
+    assert_eq!(r.dssp.epoch(), 3);
+    assert_eq!(r.counter("dssp.duplicate_invalidations"), 2);
+    assert_eq!(r.counter("dssp.epoch_gaps"), 1);
+
+    // Whatever survived recovery still matches ground truth.
+    for e in r.dssp.cache_entries() {
+        let q = Query::bind(
+            e.key().template_id,
+            r.queries[e.key().template_id].clone(),
+            e.key().params.clone(),
+        )
+        .unwrap();
+        assert!(e
+            .serve()
+            .multiset_eq(&r.home.database().execute(&q).unwrap()));
+    }
+}
+
+#[test]
+fn restart_resynchronizes_with_the_home_epoch() {
+    let mut r = rig();
+    let qa = r.query(0, vec![Value::Int(1)]);
+    r.dssp.execute_query(&qa, &mut r.home).unwrap();
+    let in_flight = r.update_undelivered(0, vec![Value::Int(50), Value::Int(1)]);
+
+    // Crash/restart: cold cache, epoch handshake with the home server.
+    r.dssp.restart(r.home.epoch());
+    assert_eq!(r.dssp.cache_len(), 0);
+    assert_eq!(r.dssp.epoch(), r.home.epoch());
+    assert_eq!(r.counter("dssp.restarts"), 1);
+
+    // A message that was in flight across the crash arrives as a
+    // duplicate — the handshake already covers it.
+    assert!(matches!(
+        r.dssp.apply_invalidation(&in_flight),
+        DeliveryOutcome::Duplicate
+    ));
+
+    // First post-restart query misses and serves fresh data.
+    let resp = r.dssp.execute_query(&qa, &mut r.home).unwrap();
+    assert!(!resp.hit);
+    assert!(format!("{:?}", resp.result).contains("50"));
+}
+
+#[test]
+fn degraded_hits_serve_during_outages_but_misses_surface_unavailable() {
+    let mut r = rig_with(|c| DsspConfig {
+        lease_micros: Some(10_000_000),
+        ..c
+    });
+    r.dssp.set_sim_time_micros(1_000);
+    let qa = r.query(0, vec![Value::Int(1)]);
+    let qb = r.query(0, vec![Value::Int(2)]);
+    r.dssp.execute_query(&qa, &mut r.home).unwrap();
+
+    // Home link down for the rest of the test.
+    let down = HomeLink::with_outages(vec![(0, u64::MAX)]);
+    let policy = RetryPolicy {
+        max_attempts: 3,
+        base_backoff_micros: 100,
+        max_backoff_micros: 1_000,
+        timeout_micros: 10_000,
+    };
+
+    // Within-lease hit: served, flagged degraded.
+    let hit = r
+        .dssp
+        .execute_query_ft(&qa, &mut r.home, &down, &policy)
+        .unwrap();
+    match hit.outcome {
+        FtOutcome::Served { hit, degraded, .. } => {
+            assert!(hit);
+            assert!(degraded, "serve during an outage must be flagged");
+        }
+        FtOutcome::Unavailable => panic!("within-lease hit must serve"),
+    }
+
+    // Miss: retries, then unavailable — never a stale substitute.
+    let miss = r
+        .dssp
+        .execute_query_ft(&qb, &mut r.home, &down, &policy)
+        .unwrap();
+    assert!(matches!(miss.outcome, FtOutcome::Unavailable));
+    assert!(
+        miss.attempts >= 2,
+        "outage path must retry before giving up"
+    );
+    assert!(r.counter("dssp.degraded_serves") >= 1);
+    assert!(r.counter("dssp.home_retries") >= 1);
+    assert!(r.counter("dssp.home_unavailable") >= 1);
+}
+
+#[test]
+fn retries_succeed_once_a_short_outage_lifts() {
+    let mut r = rig();
+    r.dssp.set_sim_time_micros(0);
+    // Link is down for the first 5 ms; backoff walks past the outage.
+    let flaky = HomeLink::with_outages(vec![(0, 5_000)]);
+    let policy = RetryPolicy {
+        max_attempts: 5,
+        base_backoff_micros: 2_000,
+        max_backoff_micros: 8_000,
+        timeout_micros: 50_000,
+    };
+    let qa = r.query(0, vec![Value::Int(1)]);
+    let resp = r
+        .dssp
+        .execute_query_ft(&qa, &mut r.home, &flaky, &policy)
+        .unwrap();
+    match resp.outcome {
+        FtOutcome::Served { hit, degraded, .. } => {
+            assert!(!hit);
+            assert!(!degraded);
+        }
+        FtOutcome::Unavailable => panic!("outage lifts within the retry budget"),
+    }
+    assert!(resp.attempts > 1);
+    assert!(resp.backoff_micros >= 5_000);
+    assert!(r.counter("dssp.home_retries") >= 1);
+}
+
+#[test]
+fn expired_leases_refetch_instead_of_serving() {
+    let mut r = rig_with(|c| DsspConfig {
+        lease_micros: Some(1_000),
+        ..c
+    });
+    let qa = r.query(0, vec![Value::Int(1)]);
+    r.dssp.set_sim_time_micros(0);
+    r.dssp.execute_query(&qa, &mut r.home).unwrap();
+
+    // Stale the master silently; redeliver nothing. Within the lease the
+    // (now stale) entry may legally serve...
+    r.dssp.set_sim_time_micros(900);
+    assert!(r.dssp.execute_query(&qa, &mut r.home).unwrap().hit);
+
+    // ...but past the lease it must be dropped and re-fetched.
+    r.dssp.set_sim_time_micros(2_000);
+    let resp = r.dssp.execute_query(&qa, &mut r.home).unwrap();
+    assert!(!resp.hit, "expired entry must not serve");
+    assert!(r.counter("dssp.lease_expirations") >= 1);
+}

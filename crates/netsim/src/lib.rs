@@ -18,12 +18,14 @@
 //! Throughput, utilization, and saturation behaviour — the quantities the
 //! evaluation depends on — are unaffected.
 
+pub mod fault;
 pub mod metrics;
 pub mod resource;
 pub mod scalability;
 pub mod sim;
 pub mod units;
 
+pub use fault::{ChannelStats, FaultSpec, FaultyChannel, OutageSchedule};
 pub use metrics::{CenterTelemetry, RunMetrics, Sla};
 pub use resource::{DuplexLink, Pipe, Served, ServiceCenter};
 pub use scalability::{find_max_users, ScalabilityResult, SearchOptions};

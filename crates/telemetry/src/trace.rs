@@ -30,6 +30,25 @@ pub enum TraceEventKind {
     },
     /// A cached entry was evicted by capacity pressure.
     EntryEvicted { query_template: u32 },
+    /// The invalidation stream skipped at least one epoch — a delivery
+    /// failure (or an out-of-band master write) was detected.
+    EpochGap { expected: u64, got: u64 },
+    /// A detected gap triggered a recovery flush; `mode` is the
+    /// `RecoveryMode` code (0 = affected templates, 1 = full cache).
+    RecoveryFlush { flushed: u64, mode: u8 },
+    /// A cached entry's staleness lease ran out before any invalidation
+    /// reached it; the entry was dropped at lookup time.
+    LeaseExpired { query_template: u32 },
+    /// A home-server trip failed and is being retried after backoff.
+    HomeRetry { attempt: u8 },
+    /// All retries for a home-server trip were exhausted.
+    HomeUnreachable { attempts: u8 },
+    /// A cache hit was served while the home link was down (graceful
+    /// degradation: within-lease entries keep serving).
+    DegradedServe { query_template: u32 },
+    /// The proxy crashed and restarted: cache cleared, epoch tracker
+    /// re-synchronized to the home server's epoch.
+    NodeRestart { epoch: u64 },
 }
 
 impl TraceEventKind {
@@ -40,6 +59,13 @@ impl TraceEventKind {
             TraceEventKind::UpdateApplied { .. } => "update_applied",
             TraceEventKind::EntryInvalidated { .. } => "entry_invalidated",
             TraceEventKind::EntryEvicted { .. } => "entry_evicted",
+            TraceEventKind::EpochGap { .. } => "epoch_gap",
+            TraceEventKind::RecoveryFlush { .. } => "recovery_flush",
+            TraceEventKind::LeaseExpired { .. } => "lease_expired",
+            TraceEventKind::HomeRetry { .. } => "home_retry",
+            TraceEventKind::HomeUnreachable { .. } => "home_unreachable",
+            TraceEventKind::DegradedServe { .. } => "degraded_serve",
+            TraceEventKind::NodeRestart { .. } => "node_restart",
         }
     }
 }
@@ -96,8 +122,27 @@ impl TraceEvent {
                 push("exposure", exposure as u64);
                 push("decision", decision as u64);
             }
-            TraceEventKind::EntryEvicted { query_template } => {
+            TraceEventKind::EntryEvicted { query_template }
+            | TraceEventKind::LeaseExpired { query_template }
+            | TraceEventKind::DegradedServe { query_template } => {
                 push("query_template", query_template as u64);
+            }
+            TraceEventKind::EpochGap { expected, got } => {
+                push("expected", expected);
+                push("got", got);
+            }
+            TraceEventKind::RecoveryFlush { flushed, mode } => {
+                push("flushed", flushed);
+                push("mode", mode as u64);
+            }
+            TraceEventKind::HomeRetry { attempt } => {
+                push("attempt", attempt as u64);
+            }
+            TraceEventKind::HomeUnreachable { attempts } => {
+                push("attempts", attempts as u64);
+            }
+            TraceEventKind::NodeRestart { epoch } => {
+                push("epoch", epoch);
             }
         }
         Json::Obj(fields)
@@ -338,6 +383,39 @@ mod tests {
         );
         assert_eq!(parsed.get("update_template").unwrap().as_u64(), Some(3));
         assert_eq!(parsed.get("seq").unwrap().as_u64(), Some(7));
+    }
+
+    #[test]
+    fn fault_events_render_their_fields() {
+        let render = |kind: TraceEventKind| {
+            TraceEvent {
+                seq: 0,
+                at_micros: 0,
+                tenant: 0,
+                kind,
+            }
+            .to_json()
+        };
+        let gap = render(TraceEventKind::EpochGap {
+            expected: 4,
+            got: 7,
+        });
+        assert_eq!(gap.get("event").unwrap().as_str(), Some("epoch_gap"));
+        assert_eq!(gap.get("expected").unwrap().as_u64(), Some(4));
+        assert_eq!(gap.get("got").unwrap().as_u64(), Some(7));
+        let flush = render(TraceEventKind::RecoveryFlush {
+            flushed: 12,
+            mode: 1,
+        });
+        assert_eq!(flush.get("flushed").unwrap().as_u64(), Some(12));
+        assert_eq!(flush.get("mode").unwrap().as_u64(), Some(1));
+        let lease = render(TraceEventKind::LeaseExpired { query_template: 3 });
+        assert_eq!(lease.get("query_template").unwrap().as_u64(), Some(3));
+        let retry = render(TraceEventKind::HomeRetry { attempt: 2 });
+        assert_eq!(retry.get("attempt").unwrap().as_u64(), Some(2));
+        let restart = render(TraceEventKind::NodeRestart { epoch: 9 });
+        assert_eq!(restart.get("event").unwrap().as_str(), Some("node_restart"));
+        assert_eq!(restart.get("epoch").unwrap().as_u64(), Some(9));
     }
 
     #[test]

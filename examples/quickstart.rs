@@ -56,12 +56,7 @@ fn main() {
     );
 
     // 4. The DSSP: caches query results, forwards misses and updates.
-    let mut dssp = Dssp::new(DsspConfig {
-        app_id: app.name.to_string(),
-        exposures,
-        matrix,
-        cache_capacity: None,
-    });
+    let mut dssp = Dssp::new(DsspConfig::new(app.name, exposures, matrix));
 
     let q2 = |toy: i64| {
         Query::bind(1, app.queries[1].template.clone(), vec![Value::Int(toy)]).expect("arity")

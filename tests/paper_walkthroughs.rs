@@ -34,12 +34,11 @@ fn table2_scenarios() {
     ];
     for (kind, expected_survivors) in cases {
         let mut home = toystore_home(&app);
-        let mut dssp = Dssp::new(DsspConfig {
-            app_id: "t2".into(),
-            exposures: kind.exposures(app.updates.len(), app.queries.len()),
-            matrix: matrix.clone(),
-            cache_capacity: None,
-        });
+        let mut dssp = Dssp::new(DsspConfig::new(
+            "t2",
+            kind.exposures(app.updates.len(), app.queries.len()),
+            matrix.clone(),
+        ));
         for (tid, params) in [
             (0usize, vec![Value::str("bear")]),
             (1, vec![Value::Int(5)]),
