@@ -26,6 +26,7 @@ use scs_dssp::{
 use scs_netsim::{ChannelStats, FaultSpec, FaultyChannel, OutageSchedule, Time, MS, SEC};
 use scs_sqlkit::{Query, QueryTemplate, Update, UpdateTemplate, Value};
 use scs_storage::{Database, QueryResult};
+use scs_telemetry::TimeSeries;
 use std::sync::Arc;
 
 /// Mean up/down durations for the proxy ↔ home link.
@@ -53,9 +54,17 @@ pub struct ChaosConfig {
     pub channel_faults: FaultSpec,
     /// Outage windows on the proxy ↔ home link (`None` = always up).
     pub outage: Option<OutageSpec>,
+    /// Explicit `[start, end)` outage windows; when set, overrides the
+    /// randomized `outage` schedule. Lets a scenario place the dip
+    /// exactly where a test (or a figure) wants it.
+    pub scripted_outages: Option<Vec<(Time, Time)>>,
     /// Mean interval between proxy crash/restarts (`None` = never).
     pub crash_mean_interval_micros: Option<Time>,
     pub retry: RetryPolicy,
+    /// When set, [`run_chaos`] records per-op outcome counters into a
+    /// sim-time [`TimeSeries`] with this bucket width — the outage-dip /
+    /// recovery curves exported by the `chaos` binary.
+    pub timeseries_bucket_micros: Option<Time>,
 }
 
 impl ChaosConfig {
@@ -71,8 +80,10 @@ impl ChaosConfig {
             strategy: StrategyKind::ViewInspection,
             channel_faults: FaultSpec::none(),
             outage: None,
+            scripted_outages: None,
             crash_mean_interval_micros: None,
             retry: RetryPolicy::no_retries(),
+            timeseries_bucket_micros: None,
         }
     }
 
@@ -98,6 +109,7 @@ impl ChaosConfig {
                 mean_up_micros: 2 * SEC,
                 mean_down_micros: 100 * MS,
             }),
+            scripted_outages: None,
             crash_mean_interval_micros: Some(400 * MS),
             retry: RetryPolicy {
                 max_attempts: 3,
@@ -105,6 +117,29 @@ impl ChaosConfig {
                 max_backoff_micros: 40 * MS,
                 timeout_micros: 100 * MS,
             },
+            timeseries_bucket_micros: None,
+        }
+    }
+
+    /// The observability demo: a clean run except for two scripted link
+    /// outages, recorded into 100 ms time-series buckets. The exported
+    /// curves must show the throughput dip, the degraded-serve spike
+    /// while leased hits outlive the outage, and full recovery after the
+    /// link returns (the acceptance scenario in `EXPERIMENTS.md`).
+    pub fn outage_demo(seed: u64, ops: usize) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            ops,
+            op_spacing_micros: MS,
+            lease_micros: Some(200 * MS),
+            recovery: RecoveryMode::FlushAffected,
+            strategy: StrategyKind::ViewInspection,
+            channel_faults: FaultSpec::none(),
+            outage: None,
+            scripted_outages: Some(vec![(SEC, SEC + 500 * MS), (2 * SEC + 500 * MS, 3 * SEC)]),
+            crash_mean_interval_micros: None,
+            retry: RetryPolicy::no_retries(),
+            timeseries_bucket_micros: Some(100 * MS),
         }
     }
 }
@@ -197,6 +232,16 @@ pub struct ChaosReport {
     pub updates_rejected: u64,
     pub channel: ChannelStats,
     pub counters: FaultCounters,
+    /// Per-op outcome counters bucketed by sim time, present when
+    /// [`ChaosConfig::timeseries_bucket_micros`] was set. Counter names:
+    /// `query_served`, `query_hit`, `degraded_serve`,
+    /// `query_unavailable`, `update_applied`, `update_unavailable`,
+    /// `update_rejected`, `stale_beyond_lease`; plus a `staleness_us`
+    /// histogram of observed (within-lease) staleness.
+    pub timeseries: Option<TimeSeries>,
+    /// The `[start, end)` link outage windows the run actually used —
+    /// exported next to the curves so dips line up with their cause.
+    pub outage_windows: Vec<(Time, Time)>,
 }
 
 /// The bound application: templates, home server, proxy, and oracle.
@@ -314,19 +359,28 @@ fn staleness_within_lease(
     None
 }
 
+/// Records an outcome counter when the run carries a time series.
+fn tick(series: &mut Option<TimeSeries>, at: Time, name: &str) {
+    if let Some(ts) = series.as_mut() {
+        ts.incr(at, name);
+    }
+}
+
 /// Runs the fault-tolerant pipeline under `cfg`'s fault schedule.
 pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     let mut sc = build_scenario(cfg);
     let horizon = (cfg.ops as Time + 2) * cfg.op_spacing_micros;
-    let link = match cfg.outage {
-        Some(o) => HomeLink::with_outages(OutageSchedule::windows(
+    let link = match (&cfg.scripted_outages, cfg.outage) {
+        (Some(windows), _) => HomeLink::with_outages(windows.clone()),
+        (None, Some(o)) => HomeLink::with_outages(OutageSchedule::windows(
             cfg.seed,
             horizon,
             o.mean_up_micros,
             o.mean_down_micros,
         )),
-        None => HomeLink::reliable(),
+        (None, None) => HomeLink::reliable(),
     };
+    let mut series = cfg.timeseries_bucket_micros.map(TimeSeries::new);
     let crash_times: Vec<Time> = match cfg.crash_mean_interval_micros {
         Some(mean) => OutageSchedule::crash_times(cfg.seed, horizon, mean),
         None => Vec::new(),
@@ -348,6 +402,8 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         updates_rejected: 0,
         channel: ChannelStats::default(),
         counters: FaultCounters::default(),
+        timeseries: None,
+        outage_windows: link.outages().to_vec(),
     };
 
     let script = std::mem::take(&mut sc.script);
@@ -378,13 +434,26 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
                         report.queries_served += 1;
                         report.hits += hit as u64;
                         report.degraded_serves += degraded as u64;
+                        tick(&mut series, now, "query_served");
+                        if hit {
+                            tick(&mut series, now, "query_hit");
+                        }
+                        if degraded {
+                            tick(&mut series, now, "degraded_serve");
+                        }
                         match staleness_within_lease(&sc.oracle, &q, &result, now, cfg.lease_micros)
                         {
                             Some(staleness) => {
                                 report.max_observed_staleness_micros =
                                     report.max_observed_staleness_micros.max(staleness);
+                                if let Some(ts) = series.as_mut() {
+                                    ts.observe(now, "staleness_us", staleness);
+                                }
                             }
-                            None => report.stale_beyond_lease += 1,
+                            None => {
+                                report.stale_beyond_lease += 1;
+                                tick(&mut series, now, "stale_beyond_lease");
+                            }
                         }
                         report.outcomes.push(OpOutcome::Query {
                             hit,
@@ -394,6 +463,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
                     }
                     FtOutcome::Unavailable => {
                         report.queries_unavailable += 1;
+                        tick(&mut series, now, "query_unavailable");
                         report.outcomes.push(OpOutcome::QueryUnavailable);
                     }
                 }
@@ -408,17 +478,20 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
                     Ok(resp) => match resp.outcome {
                         FtUpdateOutcome::Applied { msg, .. } => {
                             report.updates_applied += 1;
+                            tick(&mut series, now, "update_applied");
                             sc.oracle.push((now, sc.home.database().clone()));
                             channel.send(now, msg);
                             report.outcomes.push(OpOutcome::UpdateApplied);
                         }
                         FtUpdateOutcome::Unavailable => {
                             report.updates_unavailable += 1;
+                            tick(&mut series, now, "update_unavailable");
                             report.outcomes.push(OpOutcome::UpdateUnavailable);
                         }
                     },
                     Err(_) => {
                         report.updates_rejected += 1;
+                        tick(&mut series, now, "update_rejected");
                         report.outcomes.push(OpOutcome::UpdateRejected);
                     }
                 }
@@ -438,6 +511,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
 
     report.channel = channel.stats();
     report.counters = FaultCounters::from_dssp(&sc.dssp);
+    report.timeseries = series;
     report
 }
 
@@ -458,6 +532,8 @@ pub fn run_classic(cfg: &ChaosConfig) -> ChaosReport {
         updates_rejected: 0,
         channel: ChannelStats::default(),
         counters: FaultCounters::default(),
+        timeseries: None,
+        outage_windows: Vec::new(),
     };
     let script = std::mem::take(&mut sc.script);
     for (i, op) in script.iter().enumerate() {
@@ -542,6 +618,65 @@ mod tests {
         assert!(report.channel.dropped > 0, "schedule produced no drops");
         assert!(report.counters.total() > 0, "no fault handling recorded");
         assert!(report.counters.restarts > 0, "no crash/restart happened");
+    }
+
+    #[test]
+    fn outage_demo_curves_show_dip_spike_and_recovery() {
+        let cfg = ChaosConfig::outage_demo(42, 4_000);
+        let report = run_chaos(&cfg);
+        assert_eq!(report.stale_beyond_lease, 0);
+        let ts = report.timeseries.as_ref().expect("demo records a series");
+        let windows = &report.outage_windows;
+        assert_eq!(windows, cfg.scripted_outages.as_ref().unwrap());
+
+        let width = cfg.timeseries_bucket_micros.unwrap();
+        let in_outage = |start: Time| {
+            let end = start + width;
+            windows.iter().any(|&(s, e)| start < e && s < end)
+        };
+        let served = ts.counter_curve("query_served");
+        let unavailable = ts.counter_curve("query_unavailable");
+        let degraded = ts.counter_curve("degraded_serve");
+        let starts: Vec<Time> = ts.windows().iter().map(|w| w.start_micros).collect();
+
+        // Unavailability and degraded serves happen only while the link
+        // is down; every bucket clear of the outage windows is clean.
+        for (i, &start) in starts.iter().enumerate() {
+            if !in_outage(start) {
+                assert_eq!(unavailable[i], 0, "unavailable outside outage at {start}");
+                assert_eq!(degraded[i], 0, "degraded serve outside outage at {start}");
+            }
+        }
+        assert!(
+            report.queries_unavailable > 0,
+            "outage produced no unavailability at all"
+        );
+        assert!(
+            report.degraded_serves > 0,
+            "no leased hit was served while the link was down"
+        );
+
+        // The throughput dip: a bucket fully inside the first outage
+        // serves strictly less than the bucket just before the outage,
+        // and the first bucket after the link returns recovers.
+        let (o_start, o_end) = windows[0];
+        let bucket_of = |t: Time| starts.iter().position(|&s| s == t).expect("dense buckets");
+        let pre = bucket_of(o_start - width);
+        let mid = bucket_of(o_start + width); // fully inside the 500 ms window
+        let post = bucket_of(o_end);
+        assert!(
+            served[mid] < served[pre],
+            "no dip: served {} mid-outage vs {} before",
+            served[mid],
+            served[pre]
+        );
+        assert_eq!(unavailable[post], 0, "unavailability outlived the outage");
+        assert!(
+            served[post] > served[mid],
+            "no recovery: served {} after vs {} during",
+            served[post],
+            served[mid]
+        );
     }
 
     #[test]

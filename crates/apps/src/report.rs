@@ -19,7 +19,7 @@
 use crate::chaos::{ChaosConfig, ChaosReport, FaultCounters};
 use scs_dssp::Dssp;
 use scs_netsim::{CenterTelemetry, RunMetrics};
-use scs_telemetry::{HistogramSnapshot, Json};
+use scs_telemetry::{evaluate_all, HistogramSnapshot, Json, SloSpec, TimeSeries, Tracer};
 use std::path::PathBuf;
 
 /// Bumped whenever the report layout changes incompatibly.
@@ -72,6 +72,28 @@ pub fn run_metrics_json(m: &RunMetrics) -> Json {
         ("home_cpu", center_json(&m.home_cpu_telemetry)),
         ("home_link", center_json(&m.home_link_telemetry)),
     ])
+}
+
+/// Health of the trace pipeline itself: whether any sink lost events
+/// (ring-buffer overwrites) or failed to write (JSONL I/O errors). A
+/// report whose curves were built from a lossy trace stream must say so.
+pub fn trace_health_json(tracer: &Tracer) -> Json {
+    Json::obj([
+        ("active", tracer.is_active().into()),
+        ("events_emitted", tracer.events_emitted().into()),
+        ("events_dropped", tracer.events_dropped().into()),
+        ("write_errors", tracer.write_errors().into()),
+    ])
+}
+
+/// SLO verdicts for one run as a JSON array (see `scs_telemetry::slo`).
+pub fn slo_results_json(specs: &[SloSpec], series: &TimeSeries) -> Json {
+    Json::from(
+        evaluate_all(specs, series)
+            .iter()
+            .map(|r| r.to_json())
+            .collect::<Vec<Json>>(),
+    )
 }
 
 /// The proxy's view: aggregate stats, per-template counters, and the
@@ -180,6 +202,8 @@ pub fn dssp_telemetry_json(dssp: &Dssp) -> Json {
         ),
         ("invalidation_scan_size", histogram_json(&scan_hist)),
         ("faults", fault_counters_json(&faults)),
+        ("trace", trace_health_json(dssp.tracer())),
+        ("spans", dssp.spans().summary_json()),
     ])
 }
 
@@ -208,6 +232,27 @@ pub fn fault_counters_json(f: &FaultCounters) -> Json {
 /// verdict, serve/availability accounting, channel-level delivery stats,
 /// and the proxy's fault/recovery counters (see `EXPERIMENTS.md`).
 pub fn chaos_entry_json(label: &str, cfg: &ChaosConfig, report: &ChaosReport) -> Json {
+    let outage_windows: Vec<Json> = report
+        .outage_windows
+        .iter()
+        .map(|&(s, e)| Json::from(vec![s, e]))
+        .collect();
+    // The chaos SLO: nothing served is ever stale beyond the lease — the
+    // single objective the whole fault-tolerance layer exists to meet.
+    let slo: Json = report
+        .timeseries
+        .as_ref()
+        .map(|ts| {
+            slo_results_json(
+                &[SloSpec::counter_at_most(
+                    "stale_beyond_lease_zero",
+                    "stale_beyond_lease",
+                    0,
+                )],
+                ts,
+            )
+        })
+        .into();
     Json::obj([
         ("config", label.into()),
         ("seed", cfg.seed.into()),
@@ -238,6 +283,12 @@ pub fn chaos_entry_json(label: &str, cfg: &ChaosConfig, report: &ChaosReport) ->
             ]),
         ),
         ("faults", fault_counters_json(&report.counters)),
+        ("outage_windows", Json::from(outage_windows)),
+        (
+            "timeseries",
+            report.timeseries.as_ref().map(TimeSeries::to_json).into(),
+        ),
+        ("slo", slo),
     ])
 }
 
@@ -255,6 +306,45 @@ pub fn telemetry_entry(
         ("scalability_users", scalability_users.into()),
         ("sim", run_metrics_json(metrics)),
         ("dssp", dssp_telemetry_json(dssp)),
+    ])
+}
+
+/// Like [`telemetry_entry`] but for observed runs: merges the proxy's
+/// trace-event time series into the simulator's windowed curves (the
+/// counter namespaces are disjoint; both series must use the same bucket
+/// width), evaluates `slos` against the merged series, and appends the
+/// result as `timeseries` / `slo` sections.
+pub fn telemetry_entry_observed(
+    app: &str,
+    config: &str,
+    scalability_users: Option<usize>,
+    dssp: &Dssp,
+    metrics: &RunMetrics,
+    proxy_series: Option<&TimeSeries>,
+    slos: &[SloSpec],
+) -> Json {
+    let merged = match (metrics.timeseries.as_ref(), proxy_series) {
+        (Some(sim), Some(proxy)) => {
+            let mut m = sim.clone();
+            m.merge(proxy);
+            Some(m)
+        }
+        (Some(sim), None) => Some(sim.clone()),
+        (None, Some(proxy)) => Some(proxy.clone()),
+        (None, None) => None,
+    };
+    let slo: Json = merged.as_ref().map(|ts| slo_results_json(slos, ts)).into();
+    Json::obj([
+        ("app", app.into()),
+        ("config", config.into()),
+        ("scalability_users", scalability_users.into()),
+        ("sim", run_metrics_json(metrics)),
+        ("dssp", dssp_telemetry_json(dssp)),
+        (
+            "timeseries",
+            merged.as_ref().map(TimeSeries::to_json).into(),
+        ),
+        ("slo", slo),
     ])
 }
 
@@ -410,6 +500,98 @@ mod tests {
             Some(report.counters.total())
         );
         assert!(report.counters.total() > 0, "chaos run recorded no faults");
+    }
+
+    #[test]
+    fn observed_entry_merges_curves_and_reports_slo_verdicts() {
+        let mut w = toystore_workload(StrategyKind::ViewInspection, 11);
+        let series = w.attach_observatory(scs_netsim::SEC);
+        drive(&mut w, 300);
+        assert!(w.dssp().stats().hits > 0, "fixture produced no hits");
+
+        // Derive a per-window `queries` denominator for the hit-rate SLO.
+        let mut proxy = series.lock().unwrap().clone();
+        let totals: Vec<(u64, u64)> = proxy
+            .windows()
+            .iter()
+            .map(|win| {
+                (
+                    win.start_micros,
+                    win.counter("query_hit") + win.counter("query_miss"),
+                )
+            })
+            .collect();
+        for (start, n) in totals {
+            proxy.add(start, "queries", n);
+        }
+
+        let mut metrics = RunMetrics::default();
+        let mut sim = TimeSeries::new(scs_netsim::SEC);
+        sim.incr(0, "requests");
+        metrics.timeseries = Some(sim);
+
+        let slos = [
+            SloSpec::ratio_at_least("hit_rate_floor", "query_hit", "queries", 0.01, 1, 10),
+            SloSpec::counter_at_most("no_misses_ever", "query_miss", 0), // must fail
+        ];
+        let entry = telemetry_entry_observed(
+            "toystore",
+            "MVIS",
+            None,
+            w.dssp(),
+            &metrics,
+            Some(&proxy),
+            &slos,
+        );
+        let parsed = Json::parse(&entry.render_pretty()).unwrap();
+
+        // The merged series carries sim and proxy counters side by side.
+        let w0 = parsed
+            .get("timeseries")
+            .unwrap()
+            .get("windows")
+            .unwrap()
+            .index(0)
+            .unwrap();
+        let counters = w0.get("counters").unwrap();
+        assert!(counters.get("requests").is_some(), "sim counter missing");
+        assert!(
+            counters.get("query_miss").is_some(),
+            "proxy counter missing"
+        );
+
+        let slo = parsed.get("slo").unwrap().as_arr().unwrap();
+        assert_eq!(slo.len(), 2);
+        assert_eq!(slo[0].get("passed").unwrap().as_bool(), Some(true));
+        assert_eq!(slo[1].get("passed").unwrap().as_bool(), Some(false));
+
+        // Trace health and span summary ride along under `dssp`.
+        let dssp = parsed.get("dssp").unwrap();
+        let emitted = dssp.get("trace").unwrap().get("events_emitted").unwrap();
+        assert!(emitted.as_u64().unwrap() > 0);
+        assert!(dssp.get("spans").unwrap().get("enabled").is_some());
+    }
+
+    #[test]
+    fn chaos_entry_exports_outage_curves_and_slo() {
+        let cfg = ChaosConfig::outage_demo(7, 1_500);
+        let report = crate::chaos::run_chaos(&cfg);
+        let doc = chaos_entry_json("outage_demo", &cfg, &report);
+        let parsed = Json::parse(&doc.render_pretty()).unwrap();
+        let windows = parsed.get("outage_windows").unwrap().as_arr().unwrap();
+        assert_eq!(windows.len(), report.outage_windows.len());
+        assert!(!windows.is_empty());
+        let ts = parsed.get("timeseries").unwrap();
+        assert_eq!(
+            ts.get("width_us").unwrap().as_u64(),
+            cfg.timeseries_bucket_micros
+        );
+        let slo = parsed.get("slo").unwrap().as_arr().unwrap();
+        assert_eq!(
+            slo[0].get("name").unwrap().as_str(),
+            Some("stale_beyond_lease_zero")
+        );
+        assert_eq!(slo[0].get("passed").unwrap().as_bool(), Some(true));
     }
 
     #[test]

@@ -66,6 +66,7 @@ proptest! {
                 mean_up_micros: 1_500 * MS,
                 mean_down_micros: 80 * MS,
             }),
+            scripted_outages: None,
             crash_mean_interval_micros: (with_crashes == 1).then_some(500 * MS),
             retry: RetryPolicy {
                 max_attempts: 3,
@@ -73,6 +74,7 @@ proptest! {
                 max_backoff_micros: 40 * MS,
                 timeout_micros: 100 * MS,
             },
+            timeseries_bucket_micros: None,
         };
         let report = run_chaos(&cfg);
         prop_assert_eq!(

@@ -70,6 +70,23 @@ fn main() {
         push(&mut table, &mut entries, "chaotic", &cfg, &rep);
     }
 
+    // The observability demo: a clean run except for two scripted link
+    // outages, recorded into 100 ms time-series buckets. Its entry
+    // carries `timeseries` / `outage_windows` / `slo` sections whose
+    // curves must show the throughput dip, the degraded-serve spike, and
+    // the recovery once the link returns (`EXPERIMENTS.md`).
+    let demo_cfg = ChaosConfig::outage_demo(42, 4_000);
+    let demo = run_chaos(&demo_cfg);
+    failures += check_oracle("outage_demo", demo_cfg.seed, &demo);
+    if demo.queries_unavailable == 0 || demo.degraded_serves == 0 {
+        eprintln!(
+            "FAIL outage demo: no visible dip (unavailable {}, degraded {})",
+            demo.queries_unavailable, demo.degraded_serves
+        );
+        failures += 1;
+    }
+    push(&mut table, &mut entries, "outage_demo", &demo_cfg, &demo);
+
     println!("Chaos — epoched invalidation delivery under injected faults");
     println!(
         "(toystore; faultless {faultless_ops} ops vs chaotic {chaotic_ops} ops per seed; \

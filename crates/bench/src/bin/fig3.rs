@@ -37,9 +37,20 @@ fn probe(
     let mut cfg = SimConfig::paper(max_users.max(8), 24);
     cfg.duration = fidelity.duration_secs * scs_netsim::SEC;
     cfg.warmup = fidelity.warmup_secs * scs_netsim::SEC;
+    let bucket = 10 * scs_netsim::SEC;
     let mut workload = app.workload(exposures.clone(), 24);
-    let m = scs_netsim::run(&cfg, &mut workload);
-    report::telemetry_entry(app.name(), label, Some(max_users), workload.dssp(), &m)
+    let series = workload.attach_observatory(bucket);
+    let m = scs_netsim::run_observed(&cfg, &mut workload, Some(bucket));
+    let proxy = series.lock().unwrap().clone();
+    report::telemetry_entry_observed(
+        app.name(),
+        label,
+        Some(max_users),
+        workload.dssp(),
+        &m,
+        Some(&proxy),
+        &[scs_netsim::Sla::paper().response_slo(3)],
+    )
 }
 
 fn main() {

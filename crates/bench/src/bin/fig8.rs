@@ -16,7 +16,11 @@
 use scs_apps::{measure_scalability, report, BenchApp, Fidelity};
 use scs_bench::{fidelity_from_args, TextTable};
 use scs_dssp::StrategyKind;
-use scs_netsim::SimConfig;
+use scs_netsim::{SimConfig, Sla};
+use scs_telemetry::SloSpec;
+
+/// Time-series bucket width for the probe runs (sim time).
+const BUCKET: scs_netsim::Time = 10 * scs_netsim::SEC;
 
 fn main() {
     let fidelity = fidelity_from_args();
@@ -41,7 +45,12 @@ fn main() {
             // mechanism columns and the telemetry entry.
             let probe_users = result.max_users.max(8);
             let mut workload = app.workload(exposures.clone(), 18);
-            let m = scs_netsim::run(&probe_cfg(probe_users, fidelity), &mut workload);
+            let series = workload.attach_observatory(BUCKET);
+            let m = scs_netsim::run_observed(
+                &probe_cfg(probe_users, fidelity),
+                &mut workload,
+                Some(BUCKET),
+            );
             let stats = workload.dssp().stats();
             table.row(&[
                 def.name.to_string(),
@@ -50,12 +59,15 @@ fn main() {
                 format!("{:.2}", m.hit_rate),
                 format!("{:.1}", stats.invalidations_per_update()),
             ]);
-            entries.push(report::telemetry_entry(
+            let proxy = series.lock().unwrap().clone();
+            entries.push(report::telemetry_entry_observed(
                 def.name,
                 kind.name(),
                 Some(result.max_users),
                 workload.dssp(),
                 &m,
+                Some(&proxy),
+                &probe_slos(),
             ));
             eprintln!(
                 "  [{} / {}] scalability = {} users ({} trials)",
@@ -82,4 +94,14 @@ fn probe_cfg(users: usize, fidelity: Fidelity) -> SimConfig {
     cfg.duration = fidelity.duration_secs * scs_netsim::SEC;
     cfg.warmup = fidelity.warmup_secs * scs_netsim::SEC;
     cfg
+}
+
+/// The probe-run objectives: the paper's SLA sharpened to any three
+/// consecutive buckets, plus an activity floor so a stalled run cannot
+/// pass vacuously.
+fn probe_slos() -> [SloSpec; 2] {
+    [
+        Sla::paper().response_slo(3),
+        SloSpec::rate_at_least("ops_floor", "ops", 1.0, 3),
+    ]
 }

@@ -1,0 +1,170 @@
+//! The scalability observatory: a small, fixed, deterministic set of
+//! probe runs whose windowed time-series curves, SLO verdicts, span
+//! summaries, and trace health land in one report — the committed
+//! performance baseline (`BENCH_baseline.json`) that the `regress`
+//! binary gates CI against.
+//!
+//! Probes:
+//! * the auction benchmark under MVIS and MBS at a fixed user count —
+//!   the two ends of the exposure spectrum, with causal span recording
+//!   enabled so the report carries per-phase critical-path breakdowns;
+//! * the chaos `outage_demo` — two scripted link outages whose curves
+//!   must show the throughput dip, the degraded-serve spike, and the
+//!   recovery once the link returns.
+//!
+//! Every simulated quantity in the report is deterministic per seed;
+//! only the span `elapsed` wall-clock nanoseconds vary between machines,
+//! and `regress` ignores those.
+//!
+//! Run: `cargo run -p scs-bench --release --bin observatory`
+//! Output: `observatory.json` (`SCS_TELEMETRY_OUT` overrides).
+//! Exits nonzero when any SLO fails — the same gate `regress` enforces
+//! on the diff against the baseline.
+
+use scs_apps::{report, run_chaos, BenchApp, ChaosConfig};
+use scs_dssp::StrategyKind;
+use scs_netsim::{SimConfig, Sla, Time, SEC};
+use scs_telemetry::{Json, SloSpec};
+
+/// Time-series bucket width (sim time) shared by the sim recorder and
+/// the proxy trace sink so the two series merge window-for-window.
+const BUCKET: Time = 10 * SEC;
+const USERS: usize = 48;
+const SEED: u64 = 18;
+const SPAN_CAPACITY: usize = 200_000;
+
+fn main() {
+    println!("Observatory — windowed probe runs for the perf-regression gate\n");
+    let mut entries = Vec::new();
+    let mut failed: Vec<String> = Vec::new();
+
+    for kind in [StrategyKind::ViewInspection, StrategyKind::Blind] {
+        let (entry, failures) = probe(BenchApp::Auction, kind);
+        failed.extend(failures);
+        entries.push(entry);
+    }
+
+    // The outage demo: dip, degraded spike, recovery — and the one SLO
+    // the fault-tolerance layer exists to meet (stale-beyond-lease == 0).
+    let demo_cfg = ChaosConfig::outage_demo(42, 4_000);
+    let demo = run_chaos(&demo_cfg);
+    if demo.queries_unavailable == 0 || demo.degraded_serves == 0 {
+        failed.push(format!(
+            "outage_demo: no visible dip (unavailable {}, degraded {})",
+            demo.queries_unavailable, demo.degraded_serves
+        ));
+    }
+    let demo_entry = report::chaos_entry_json("outage_demo", &demo_cfg, &demo);
+    collect_slo_failures("outage_demo", &demo_entry, &mut failed);
+    println!(
+        "  [outage_demo] served {} / unavailable {} / degraded {} / stale-beyond-lease {}",
+        demo.queries_served,
+        demo.queries_unavailable,
+        demo.degraded_serves,
+        demo.stale_beyond_lease
+    );
+    entries.push(demo_entry);
+
+    match report::write_telemetry(&report::telemetry_report(entries), "observatory.json") {
+        Ok(path) => println!("\nObservatory report written to {}", path.display()),
+        Err(e) => {
+            eprintln!("\nFailed to write observatory report: {e}");
+            std::process::exit(2);
+        }
+    }
+
+    if !failed.is_empty() {
+        eprintln!("\n{} SLO/dip check(s) failed:", failed.len());
+        for f in &failed {
+            eprintln!("  FAIL {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("all observatory SLOs passed");
+}
+
+/// One observed probe run: spans on, sim + proxy series merged, SLOs
+/// evaluated. Returns the report entry and any failed SLO names.
+fn probe(app: BenchApp, kind: StrategyKind) -> (Json, Vec<String>) {
+    let def = app.def();
+    let exposures = kind.exposures(def.updates.len(), def.queries.len());
+    let mut workload = app.workload(exposures, SEED);
+    workload.dssp_mut().enable_span_recording(SPAN_CAPACITY);
+    let series = workload.attach_observatory(BUCKET);
+
+    let mut cfg = SimConfig::paper(USERS, SEED);
+    cfg.duration = 120 * SEC;
+    cfg.warmup = 20 * SEC;
+    let m = scs_netsim::run_observed(&cfg, &mut workload, Some(BUCKET));
+
+    // Derive the per-window `queries` denominator for the hit-rate SLO.
+    let mut proxy = series.lock().unwrap().clone();
+    let totals: Vec<(Time, u64)> = proxy
+        .windows()
+        .iter()
+        .map(|w| {
+            (
+                w.start_micros,
+                w.counter("query_hit") + w.counter("query_miss"),
+            )
+        })
+        .collect();
+    for (start, n) in totals {
+        proxy.add(start, "queries", n);
+    }
+
+    let entry = report::telemetry_entry_observed(
+        def.name,
+        kind.name(),
+        None,
+        workload.dssp(),
+        &m,
+        Some(&proxy),
+        &probe_slos(kind),
+    );
+    let label = format!("{}/{}", def.name, kind.name());
+    let mut failures = Vec::new();
+    collect_slo_failures(&label, &entry, &mut failures);
+    println!(
+        "  [{label}] throughput {:.1} rps / hit rate {:.2} / {} windows",
+        m.throughput(),
+        m.hit_rate,
+        proxy.len()
+    );
+    (entry, failures)
+}
+
+/// The probe-run objectives. Every strategy must stay responsive and
+/// busy; only template-informed strategies carry the hit-rate floor
+/// (MBS legitimately runs nearly hitless).
+fn probe_slos(kind: StrategyKind) -> Vec<SloSpec> {
+    let mut slos = vec![
+        Sla::paper().response_slo(3),
+        SloSpec::rate_at_least("ops_floor", "ops", 1.0, 3),
+    ];
+    if kind != StrategyKind::Blind {
+        slos.push(SloSpec::ratio_at_least(
+            "hit_rate_floor",
+            "query_hit",
+            "queries",
+            0.10,
+            2,
+            50,
+        ));
+    }
+    slos
+}
+
+/// Appends `label: <slo name>` for every failed verdict in the entry.
+fn collect_slo_failures(label: &str, entry: &Json, failed: &mut Vec<String>) {
+    let Some(slos) = entry.get("slo").and_then(Json::as_arr) else {
+        return;
+    };
+    for r in slos {
+        if r.get("passed").and_then(Json::as_bool) == Some(false) {
+            let name = r.get("name").and_then(Json::as_str).unwrap_or("?");
+            let detail = r.get("detail").and_then(Json::as_str).unwrap_or("");
+            failed.push(format!("{label}: {name} ({detail})"));
+        }
+    }
+}

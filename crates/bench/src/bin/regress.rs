@@ -1,0 +1,257 @@
+//! Performance-regression gate: diffs two observatory/telemetry exports
+//! and exits nonzero when the candidate run regressed against the
+//! baseline.
+//!
+//! A **regression** is any of:
+//! * an entry present in the baseline disappearing from the candidate;
+//! * throughput dropping more than `--threshold-pct` (default 10%);
+//! * the p99 response-time upper bound rising more than the threshold;
+//! * any SLO flipping from passed to failed;
+//! * a chaos entry's `stale_beyond_lease` count increasing.
+//!
+//! Only deterministic simulated quantities are compared — span
+//! wall-clock nanoseconds and other machine-dependent fields are
+//! ignored — so the gate is reproducible across CI hosts.
+//!
+//! Run:
+//! `regress --baseline BENCH_baseline.json --candidate observatory.json`
+//! `regress --self-check --baseline BENCH_baseline.json` validates the
+//! gate itself: baseline-vs-baseline must be clean, and a synthetically
+//! degraded candidate must be caught.
+//!
+//! Exit codes: 0 = no regression, 1 = regression (or failed
+//! self-check), 2 = usage/IO error.
+
+use scs_telemetry::Json;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let baseline_path = match arg_value(&args, "--baseline") {
+        Some(p) => p,
+        None => {
+            eprintln!("usage: regress --baseline <file> [--candidate <file>] [--threshold-pct N] [--self-check]");
+            std::process::exit(2);
+        }
+    };
+    let threshold_pct: f64 = arg_value(&args, "--threshold-pct")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10.0);
+    let baseline = load(&baseline_path);
+
+    if args.iter().any(|a| a == "--self-check") {
+        std::process::exit(self_check(&baseline, threshold_pct));
+    }
+
+    let candidate_path = match arg_value(&args, "--candidate") {
+        Some(p) => p,
+        None => {
+            eprintln!("regress: --candidate is required (or pass --self-check)");
+            std::process::exit(2);
+        }
+    };
+    let candidate = load(&candidate_path);
+
+    let regressions = diff(&baseline, &candidate, threshold_pct);
+    if regressions.is_empty() {
+        println!(
+            "no regressions: {candidate_path} holds the line against {baseline_path} \
+             (threshold {threshold_pct}%)"
+        );
+        std::process::exit(0);
+    }
+    eprintln!(
+        "{} regression(s) against {baseline_path}:",
+        regressions.len()
+    );
+    for r in &regressions {
+        eprintln!("  REGRESSION {r}");
+    }
+    std::process::exit(1);
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("regress: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("regress: cannot parse {path}: {e:?}");
+        std::process::exit(2);
+    })
+}
+
+/// A stable identity for one report entry across runs.
+fn entry_key(entry: &Json) -> String {
+    let config = entry.get("config").and_then(Json::as_str).unwrap_or("?");
+    match entry.get("app").and_then(Json::as_str) {
+        Some(app) => format!("{app}|{config}"),
+        None => {
+            // Chaos entries have no `app`; seed disambiguates sweeps.
+            let seed = entry.get("seed").and_then(Json::as_u64).unwrap_or(0);
+            format!("chaos|{config}|{seed}")
+        }
+    }
+}
+
+fn entries(doc: &Json) -> Vec<(String, &Json)> {
+    doc.get("entries")
+        .and_then(Json::as_arr)
+        .map(|es| es.iter().map(|e| (entry_key(e), e)).collect())
+        .unwrap_or_default()
+}
+
+fn throughput(entry: &Json) -> Option<f64> {
+    entry
+        .get("sim")?
+        .get("throughput_rps")
+        .and_then(Json::as_f64)
+}
+
+/// The p99 response-time upper bucket bound (µs).
+fn p99_hi(entry: &Json) -> Option<f64> {
+    entry
+        .get("sim")?
+        .get("response")?
+        .get("p99_us")?
+        .index(1)
+        .and_then(Json::as_f64)
+}
+
+fn slo_verdicts(entry: &Json) -> Vec<(String, bool)> {
+    entry
+        .get("slo")
+        .and_then(Json::as_arr)
+        .map(|rs| {
+            rs.iter()
+                .filter_map(|r| {
+                    Some((
+                        r.get("name")?.as_str()?.to_string(),
+                        r.get("passed")?.as_bool()?,
+                    ))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn stale_beyond_lease(entry: &Json) -> Option<u64> {
+    entry.get("stale_beyond_lease").and_then(Json::as_u64)
+}
+
+/// Every way `cand` is worse than `base` beyond the threshold.
+fn diff(base: &Json, cand: &Json, threshold_pct: f64) -> Vec<String> {
+    let factor = threshold_pct / 100.0;
+    let cand_entries: std::collections::BTreeMap<String, &Json> =
+        entries(cand).into_iter().collect();
+    let mut out = Vec::new();
+
+    for (key, b) in entries(base) {
+        let Some(c) = cand_entries.get(&key) else {
+            out.push(format!("{key}: entry disappeared from the candidate"));
+            continue;
+        };
+        if let (Some(tb), Some(tc)) = (throughput(b), throughput(c)) {
+            if tb > 0.0 && tc < tb * (1.0 - factor) {
+                out.push(format!(
+                    "{key}: throughput {tc:.2} rps fell >{threshold_pct}% below baseline {tb:.2}"
+                ));
+            }
+        }
+        if let (Some(pb), Some(pc)) = (p99_hi(b), p99_hi(c)) {
+            if pb > 0.0 && pc > pb * (1.0 + factor) {
+                out.push(format!(
+                    "{key}: p99 bound {pc:.0}us rose >{threshold_pct}% above baseline {pb:.0}us"
+                ));
+            }
+        }
+        let cand_slos: std::collections::BTreeMap<String, bool> =
+            slo_verdicts(c).into_iter().collect();
+        for (name, passed) in slo_verdicts(b) {
+            if passed && cand_slos.get(&name) == Some(&false) {
+                out.push(format!("{key}: SLO {name} flipped from passed to failed"));
+            }
+        }
+        if let (Some(sb), Some(sc)) = (stale_beyond_lease(b), stale_beyond_lease(c)) {
+            if sc > sb {
+                out.push(format!(
+                    "{key}: stale-beyond-lease serves rose from {sb} to {sc}"
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Validates the gate itself against a known-good report: the identity
+/// diff must be clean and a synthetically degraded candidate must trip
+/// every detector. Returns the process exit code.
+fn self_check(baseline: &Json, threshold_pct: f64) -> i32 {
+    let clean = diff(baseline, baseline, threshold_pct);
+    if !clean.is_empty() {
+        eprintln!("self-check FAILED: baseline-vs-baseline reported regressions:");
+        for r in &clean {
+            eprintln!("  {r}");
+        }
+        return 1;
+    }
+
+    let degraded = degrade(baseline.clone());
+    let caught = diff(baseline, &degraded, threshold_pct);
+    let n_entries = entries(baseline).len();
+    // Every entry must trip at least its throughput or staleness detector.
+    if caught.len() < n_entries {
+        eprintln!(
+            "self-check FAILED: degraded candidate tripped only {} detector(s) across {} entries:",
+            caught.len(),
+            n_entries
+        );
+        for r in &caught {
+            eprintln!("  {r}");
+        }
+        return 1;
+    }
+    println!(
+        "self-check passed: identity diff clean, degraded candidate tripped {} detector(s)",
+        caught.len()
+    );
+    0
+}
+
+/// Halves throughput, fails every SLO, and bumps staleness counts — the
+/// synthetic regression the self-check must catch.
+fn degrade(mut doc: Json) -> Json {
+    if let Some(Json::Arr(entries)) = get_mut(&mut doc, "entries") {
+        for entry in entries {
+            if let Some(sim) = get_mut(entry, "sim") {
+                if let Some(Json::Num(t)) = get_mut(sim, "throughput_rps") {
+                    *t *= 0.5;
+                }
+            }
+            if let Some(Json::Arr(slos)) = get_mut(entry, "slo") {
+                for r in slos {
+                    if let Some(Json::Bool(p)) = get_mut(r, "passed") {
+                        *p = false;
+                    }
+                }
+            }
+            if let Some(Json::Num(s)) = get_mut(entry, "stale_beyond_lease") {
+                *s += 5.0;
+            }
+        }
+    }
+    doc
+}
+
+fn get_mut<'a>(j: &'a mut Json, key: &str) -> Option<&'a mut Json> {
+    match j {
+        Json::Obj(fields) => fields.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}

@@ -12,6 +12,9 @@
 //! | `fig7`        | Figure 7 — exposure levels before/after static analysis |
 //! | `fig8`        | Figure 8 — scalability vs. invalidation strategy |
 //! | `ablation_ic` | extension — §4.5 integrity constraints on/off |
+//! | `chaos`       | extension — fault injection vs. the staleness oracle |
+//! | `observatory` | extension — windowed probe runs; emits the perf baseline |
+//! | `regress`     | extension — diffs two observatory exports (CI perf gate) |
 //!
 //! Criterion microbenchmarks live under `benches/`.
 

@@ -208,6 +208,13 @@ impl HomeLink {
             .iter()
             .any(|&(s, e)| s <= now_micros && now_micros < e)
     }
+
+    /// The configured down windows as half-open `(start, end)` pairs —
+    /// exported next to time-series curves so an observed throughput dip
+    /// can be lined up against the outage that caused it.
+    pub fn outages(&self) -> &[(u64, u64)] {
+        &self.outages
+    }
 }
 
 #[cfg(test)]

@@ -25,6 +25,10 @@ pub struct HomeServer {
     /// Monotone sequence number of the last applied master write
     /// (updates *and* out-of-band [`HomeServer::mutate_database`] calls).
     epoch: u64,
+    /// Total wall-clock time spent executing queries and updates against
+    /// the master copy (ns) — the home side of the span pipeline's
+    /// `home_trip` phase.
+    service_nanos: u64,
 }
 
 impl HomeServer {
@@ -34,13 +38,19 @@ impl HomeServer {
             queries_served: 0,
             updates_applied: 0,
             epoch: 0,
+            service_nanos: 0,
         }
     }
 
     /// Executes a query against the master copy (a DSSP cache miss).
     pub fn execute_query(&mut self, q: &Query) -> Result<QueryResult, StorageError> {
         self.queries_served += 1;
-        self.db.execute(q)
+        let start = std::time::Instant::now();
+        let result = self.db.execute(q);
+        self.service_nanos = self
+            .service_nanos
+            .saturating_add(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        result
     }
 
     /// Applies an update to the master copy; on success the update epoch
@@ -52,7 +62,12 @@ impl HomeServer {
         u: &Update,
     ) -> Result<(UpdateEffect, InvalidationMsg), StorageError> {
         self.updates_applied += 1;
-        let effect = self.db.apply(u)?;
+        let start = std::time::Instant::now();
+        let effect = self.db.apply(u);
+        self.service_nanos = self
+            .service_nanos
+            .saturating_add(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        let effect = effect?;
         self.epoch += 1;
         Ok((
             effect,
@@ -93,5 +108,22 @@ impl HomeServer {
 
     pub fn updates_applied(&self) -> u64 {
         self.updates_applied
+    }
+
+    /// Total wall-clock time spent executing against the master copy
+    /// (ns).
+    pub fn service_nanos(&self) -> u64 {
+        self.service_nanos
+    }
+
+    /// Mean wall-clock service time per operation (ns); 0 when the home
+    /// server has served nothing.
+    pub fn mean_service_nanos(&self) -> f64 {
+        let ops = self.queries_served + self.updates_applied;
+        if ops == 0 {
+            0.0
+        } else {
+            self.service_nanos as f64 / ops as f64
+        }
     }
 }

@@ -26,7 +26,8 @@ use scs_crypto::Encryptor;
 use scs_sqlkit::{Query, Update};
 use scs_storage::{QueryResult, StorageError, UpdateEffect};
 use scs_telemetry::{
-    AttributionMatrix, Counter, MetricsRegistry, TraceEventKind, TraceSink, Tracer,
+    AttributionMatrix, Counter, MetricsRegistry, SpanId, SpanPhase, SpanRecorder, TraceEventKind,
+    TraceSink, Tracer,
 };
 
 /// Configuration for one application's slice of the DSSP.
@@ -157,6 +158,9 @@ pub struct Dssp {
     registry: MetricsRegistry,
     metrics: ProxyMetrics,
     tracer: Tracer,
+    /// Causal span trees (disabled by default; see
+    /// [`Dssp::enable_span_recording`]).
+    spans: SpanRecorder,
     attribution: AttributionMatrix,
     /// Tenant label stamped on trace events (set by `DsspNode::register`).
     tenant: u32,
@@ -188,6 +192,7 @@ impl Dssp {
             registry,
             metrics,
             tracer: Tracer::new(),
+            spans: SpanRecorder::disabled(),
             attribution: AttributionMatrix::new(update_count, query_count),
             tenant: 0,
             now_micros: 0,
@@ -273,9 +278,26 @@ impl Dssp {
         let level = self.exposures.queries[tid];
         let exposure = level.rank() as u8;
         self.metrics.queries.inc();
+        let root = self.spans.open(
+            self.now_micros,
+            SpanPhase::QueryRequest,
+            SpanId::NONE,
+            self.tenant,
+            Some(tid as u32),
+        );
+        let root_timer = self.spans.timer();
+        let lookup_timer = self.spans.timer();
         match self.cache.lookup_classified(q) {
             Lookup::Hit(entry) => {
                 let result = entry.serve().clone();
+                self.spans.record_closed(
+                    self.now_micros,
+                    SpanPhase::CacheLookup,
+                    root,
+                    self.tenant,
+                    Some(tid as u32),
+                    lookup_timer,
+                );
                 self.metrics.hits.inc();
                 self.metrics.query_hits[tid].inc();
                 self.tracer.emit(
@@ -297,6 +319,7 @@ impl Dssp {
                         },
                     );
                 }
+                self.spans.close(root, root_timer);
                 return Ok(FtQueryResponse {
                     outcome: FtOutcome::Served {
                         result,
@@ -319,6 +342,14 @@ impl Dssp {
             }
             Lookup::Miss => {}
         }
+        self.spans.record_closed(
+            self.now_micros,
+            SpanPhase::CacheLookup,
+            root,
+            self.tenant,
+            Some(tid as u32),
+            lookup_timer,
+        );
         self.metrics.misses.inc();
         self.metrics.query_misses[tid].inc();
         self.tracer.emit(
@@ -352,7 +383,16 @@ impl Dssp {
             if !link.is_up(self.now_micros.saturating_add(backoff)) {
                 continue;
             }
+            let trip_timer = self.spans.timer();
             let result = home.execute_query(q)?;
+            self.spans.record_closed(
+                self.now_micros,
+                SpanPhase::HomeTrip,
+                root,
+                self.tenant,
+                Some(tid as u32),
+                trip_timer,
+            );
             // Epoch handshake on the piggybacked home epoch — but only
             // while the cache is empty. With nothing cached, skipping
             // ahead cannot leave a stale entry behind; with entries
@@ -361,7 +401,16 @@ impl Dssp {
             if self.cache.is_empty() && home.epoch() > self.epoch {
                 self.epoch = home.epoch();
             }
+            let crypto_timer = self.spans.timer();
             let outcome = self.cache.store_with_evictions(q, result.clone(), level);
+            self.spans.record_closed(
+                self.now_micros,
+                SpanPhase::Crypto,
+                root,
+                self.tenant,
+                Some(tid as u32),
+                crypto_timer,
+            );
             for victim in &outcome.evicted {
                 self.metrics.evictions.inc();
                 self.metrics.query_evicted[victim.template_id].inc();
@@ -374,6 +423,7 @@ impl Dssp {
                 );
             }
             self.metrics.cache_entries.set(self.cache.len() as i64);
+            self.spans.close(root, root_timer);
             return Ok(FtQueryResponse {
                 outcome: FtOutcome::Served {
                     result,
@@ -392,6 +442,7 @@ impl Dssp {
                 attempts: attempts.min(u8::MAX as u32) as u8,
             },
         );
+        self.spans.close(root, root_timer);
         Ok(FtQueryResponse {
             outcome: FtOutcome::Unavailable,
             attempts,
@@ -415,6 +466,14 @@ impl Dssp {
     ) -> Result<FtUpdateResponse, StorageError> {
         let uid = u.template_id;
         let level = self.exposures.updates[uid];
+        let root = self.spans.open(
+            self.now_micros,
+            SpanPhase::UpdateRequest,
+            SpanId::NONE,
+            self.tenant,
+            Some(uid as u32),
+        );
+        let root_timer = self.spans.timer();
         let mut attempts = 0u32;
         let mut backoff = 0u64;
         loop {
@@ -449,7 +508,17 @@ impl Dssp {
                     exposure: level.rank() as u8,
                 },
             );
+            let trip_timer = self.spans.timer();
             let (effect, msg) = home.apply_update(u)?;
+            self.spans.record_closed(
+                self.now_micros,
+                SpanPhase::HomeTrip,
+                root,
+                self.tenant,
+                Some(uid as u32),
+                trip_timer,
+            );
+            self.spans.close(root, root_timer);
             return Ok(FtUpdateResponse {
                 outcome: FtUpdateOutcome::Applied { effect, msg },
                 attempts,
@@ -464,6 +533,7 @@ impl Dssp {
                 attempts: attempts.min(u8::MAX as u32) as u8,
             },
         );
+        self.spans.close(root, root_timer);
         Ok(FtUpdateResponse {
             outcome: FtUpdateOutcome::Unavailable,
             attempts,
@@ -487,6 +557,14 @@ impl Dssp {
             self.metrics.duplicate_invalidations.inc();
             return DeliveryOutcome::Duplicate;
         }
+        let root = self.spans.open(
+            self.now_micros,
+            SpanPhase::InvalidationFanout,
+            SpanId::NONE,
+            self.tenant,
+            Some(msg.update.template_id as u32),
+        );
+        let root_timer = self.spans.timer();
         if msg.epoch > expected {
             self.metrics.epoch_gaps.inc();
             self.tracer.emit(
@@ -497,12 +575,23 @@ impl Dssp {
                     got: msg.epoch,
                 },
             );
+            let recovery_timer = self.spans.timer();
             let flushed = self.recovery_flush();
+            self.spans.record_closed(
+                self.now_micros,
+                SpanPhase::Recovery,
+                root,
+                self.tenant,
+                None,
+                recovery_timer,
+            );
             self.epoch = msg.epoch;
+            self.spans.close(root, root_timer);
             return DeliveryOutcome::Recovered { flushed };
         }
         self.epoch = msg.epoch;
         let (scanned, invalidated) = self.run_invalidation_pass(&msg.update);
+        self.spans.close(root, root_timer);
         DeliveryOutcome::Applied {
             scanned,
             invalidated,
@@ -590,6 +679,7 @@ impl Dssp {
     /// have left stale — and any in-flight notifications from before the
     /// crash then arrive as droppable duplicates.
     pub fn restart(&mut self, home_epoch: u64) {
+        let timer = self.spans.timer();
         self.cache.clear();
         self.epoch = home_epoch;
         self.metrics.restarts.inc();
@@ -599,6 +689,14 @@ impl Dssp {
             TraceEventKind::NodeRestart { epoch: home_epoch },
         );
         self.metrics.cache_entries.set(0);
+        self.spans.record_closed(
+            self.now_micros,
+            SpanPhase::Recovery,
+            SpanId::NONE,
+            self.tenant,
+            None,
+            timer,
+        );
     }
 
     /// Last invalidation-stream epoch this proxy has applied or covered.
@@ -640,6 +738,29 @@ impl Dssp {
     /// Attaches a trace sink; events flow to every attached sink.
     pub fn add_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
         self.tracer.add_sink(sink);
+    }
+
+    /// The proxy's tracer — exposes sink health (swallowed write errors,
+    /// ring-buffer drops) for the telemetry export.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Turns on causal span recording, storing up to `capacity` spans
+    /// (later ones are counted as dropped). Each query/update/delivery
+    /// then records a root span with phase-tagged children
+    /// (cache_lookup, crypto, home_trip, recovery). A home-server error
+    /// surfaced through `?` leaves that request's root span open
+    /// (`elapsed_ns` 0) — the tree is still exported, just without a
+    /// root duration.
+    pub fn enable_span_recording(&mut self, capacity: usize) {
+        self.spans = SpanRecorder::enabled(capacity);
+    }
+
+    /// The recorded span trees (empty unless
+    /// [`Dssp::enable_span_recording`] was called).
+    pub fn spans(&self) -> &SpanRecorder {
+        &self.spans
     }
 
     /// Flushes buffered trace sinks (e.g. JSONL writers).
@@ -912,5 +1033,65 @@ mod tests {
             }
             other => panic!("expected invalidation event, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn span_trees_cover_the_request_pipeline() {
+        let mut f = fixture(StrategyKind::ViewInspection);
+        f.dssp.enable_span_recording(64);
+        f.dssp.set_tenant_label(3);
+        f.dssp.set_sim_time_micros(500);
+        assert!(!f.query(0, vec![Value::str("bear")]).hit); // miss
+        assert!(f.query(0, vec![Value::str("bear")]).hit); // hit
+        f.update(0, vec![Value::Int(2)]);
+        let rec = f.dssp.spans();
+        assert!(rec.is_enabled());
+        assert_eq!(rec.dropped(), 0);
+        let spans = rec.spans();
+        let count = |p: SpanPhase| spans.iter().filter(|s| s.phase == p).count();
+        assert_eq!(count(SpanPhase::QueryRequest), 2);
+        assert_eq!(count(SpanPhase::CacheLookup), 2);
+        // One home trip for the query miss, one for the update.
+        assert_eq!(count(SpanPhase::HomeTrip), 2);
+        assert_eq!(count(SpanPhase::Crypto), 1);
+        assert_eq!(count(SpanPhase::UpdateRequest), 1);
+        assert_eq!(count(SpanPhase::InvalidationFanout), 1);
+        // Every child hangs off a stored root; trees are one level deep.
+        for s in spans.iter().filter(|s| !s.parent.is_none()) {
+            let parent = spans.iter().find(|p| p.id == s.parent).unwrap();
+            assert!(parent.parent.is_none(), "children attach to roots");
+            assert!(parent.phase.is_root() || parent.phase == SpanPhase::Recovery);
+        }
+        assert!(spans.iter().all(|s| s.tenant == 3 && s.at_micros == 500));
+        // Roots were closed with a measured wall-clock duration.
+        assert!(spans
+            .iter()
+            .filter(|s| s.parent.is_none())
+            .all(|s| s.elapsed_nanos > 0));
+        // The summary attributes query time to child phases.
+        let rows = rec.critical_path();
+        let query_row = rows
+            .iter()
+            .find(|r| r.root == SpanPhase::QueryRequest && r.template == Some(0))
+            .unwrap();
+        assert_eq!(query_row.count, 2);
+        assert_eq!(query_row.phases["cache_lookup"].0, 2);
+        assert_eq!(query_row.phases["home_trip"].0, 1);
+        assert!(query_row.critical_phase().is_some());
+    }
+
+    #[test]
+    fn spans_disabled_by_default_and_bounded_when_on() {
+        let mut f = fixture(StrategyKind::ViewInspection);
+        f.query(0, vec![Value::str("bear")]);
+        assert_eq!(f.dssp.spans().recorded(), 0);
+        // Tiny capacity: overflow is counted, not stored, and the proxy
+        // keeps serving.
+        f.dssp.enable_span_recording(2);
+        for _ in 0..5 {
+            f.query(0, vec![Value::str("bear")]);
+        }
+        assert_eq!(f.dssp.spans().recorded(), 2);
+        assert!(f.dssp.spans().dropped() > 0);
     }
 }

@@ -2,7 +2,7 @@
 //! the queueing-delay vs service-time breakdown per service center.
 
 use crate::units::{as_secs, Time};
-use scs_telemetry::HistogramSnapshot;
+use scs_telemetry::{HistogramSnapshot, SloSpec, TimeSeries};
 
 /// Queueing-delay and service-time distributions at one service center
 /// (times in µs). The wait histogram is the congestion signal: at a
@@ -47,6 +47,11 @@ pub struct RunMetrics {
     /// Request response times as a mergeable histogram (µs; measurement
     /// window only, same population as `response_times`).
     pub response_hist: HistogramSnapshot,
+    /// Sim-time windowed curves (`requests` / `response_us` within the
+    /// measurement window, `ops` across the whole run), present when the
+    /// run was driven through [`crate::sim::run_observed`] with a bucket
+    /// width.
+    pub timeseries: Option<TimeSeries>,
 }
 
 impl RunMetrics {
@@ -102,6 +107,25 @@ impl Sla {
             limit: 2 * crate::units::SEC,
             min_requests_per_user: 1.0,
         }
+    }
+
+    /// The windowed (burn-rate-style) sharpening of this SLA: the same
+    /// quantile/limit pair, but required to hold over *any*
+    /// `window_count` consecutive time-series buckets of the
+    /// `response_us` histogram — a transient collapse that the whole-run
+    /// percentile would absorb fails this objective.
+    pub fn response_slo(&self, window_count: usize) -> SloSpec {
+        SloSpec::quantile_at_most(
+            &format!(
+                "p{:.0}_response_le_{}s_windowed",
+                self.quantile * 100.0,
+                self.limit / crate::units::SEC
+            ),
+            "response_us",
+            self.quantile,
+            self.limit,
+            window_count,
+        )
     }
 
     /// Whether a run satisfies the SLA.
@@ -166,5 +190,48 @@ mod tests {
     fn throughput() {
         let m = metrics(vec![SEC; 120], 10);
         assert!((m.throughput() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_run_rates_stay_finite() {
+        // A default-constructed run (zero window, zero completions) is
+        // what an all-outage chaos window produces: every rate must come
+        // back 0, not NaN or a divide-by-zero panic.
+        let empty = RunMetrics::default();
+        assert_eq!(empty.throughput(), 0.0);
+        assert_eq!(empty.percentile(0.99), None);
+        assert!(!Sla::paper().met_by(&empty));
+        // A window with no completions still has a defined throughput.
+        let idle = metrics(vec![], 10);
+        assert_eq!(idle.throughput(), 0.0);
+        // mean_response_secs is deliberately infinite on empty runs (the
+        // scalability search treats "nothing finished" as unusable), and
+        // the JSON layer renders non-finite as null.
+        assert!(empty.mean_response_secs().is_infinite());
+    }
+
+    #[test]
+    fn response_slo_mirrors_sla_on_windowed_data() {
+        use scs_telemetry::TimeSeries;
+        let sla = Sla::paper();
+        let slo = sla.response_slo(2);
+        let mut ts = TimeSeries::new(SEC);
+        for w in 0..4u64 {
+            for _ in 0..50 {
+                ts.observe(w * SEC, "response_us", SEC / 2);
+            }
+        }
+        assert!(slo.evaluate(&ts).passed);
+        // One collapsed window (p90 >> 2s there) fails the windowed
+        // objective even though the whole-run p90 (20 slow of 220
+        // samples, under the 10% budget) would still pass.
+        for _ in 0..20 {
+            ts.observe(2 * SEC, "response_us", 10 * SEC);
+        }
+        let r = slo.evaluate(&ts);
+        assert!(!r.passed, "{}", r.detail);
+        let merged = ts.merged_hist("response_us");
+        let (_, hi) = merged.quantile_bounds(sla.quantile).unwrap();
+        assert!(hi <= sla.limit, "whole-run p90 still under the limit");
     }
 }

@@ -177,6 +177,60 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// Records one sample directly into the snapshot (no atomics). The
+    /// time-series recorder keeps one snapshot per window, where the
+    /// full atomic histogram would be wasteful; a sample lands in the
+    /// same bucket [`LogHistogram::record`] would use, so windowed
+    /// snapshots merge into exactly the whole-run aggregate.
+    pub fn record(&mut self, v: u64) {
+        let idx = bucket_index(v) as u32;
+        match self.buckets.binary_search_by_key(&idx, |&(i, _)| i) {
+            Ok(pos) => self.buckets[pos].1 += 1,
+            Err(pos) => self.buckets.insert(pos, (idx, 1)),
+        }
+        self.count += 1;
+        // Wrapping to match `LogHistogram::record`'s `fetch_add` (sum is
+        // advisory; count/buckets carry the distribution).
+        self.sum = self.sum.wrapping_add(v);
+        self.min = Some(self.min.map_or(v, |m| m.min(v)));
+        self.max = Some(self.max.map_or(v, |m| m.max(v)));
+    }
+
+    /// Full-fidelity JSON (sparse buckets included), round-trippable
+    /// through [`HistogramSnapshot::from_json`] — unlike the summary
+    /// rendering the report layer uses, this loses nothing.
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        let buckets: Vec<Json> = self
+            .buckets
+            .iter()
+            .map(|&(i, n)| Json::from(vec![i as u64, n]))
+            .collect();
+        Json::obj([
+            ("count", self.count.into()),
+            ("sum", self.sum.into()),
+            ("min", self.min.into()),
+            ("max", self.max.into()),
+            ("buckets", Json::from(buckets)),
+        ])
+    }
+
+    /// Parses the [`HistogramSnapshot::to_json`] representation.
+    pub fn from_json(doc: &crate::json::Json) -> Option<HistogramSnapshot> {
+        let mut buckets = Vec::new();
+        for pair in doc.get("buckets")?.as_arr()? {
+            let pair = pair.as_arr()?;
+            buckets.push((pair.first()?.as_u64()? as u32, pair.get(1)?.as_u64()?));
+        }
+        Some(HistogramSnapshot {
+            count: doc.get("count")?.as_u64()?,
+            sum: doc.get("sum")?.as_u64()?,
+            min: doc.get("min").and_then(|v| v.as_u64()),
+            max: doc.get("max").and_then(|v| v.as_u64()),
+            buckets,
+        })
+    }
+
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
@@ -340,6 +394,33 @@ mod tests {
         sa.merge(&b.snapshot());
         a.merge(&b);
         assert_eq!(sa, a.snapshot());
+    }
+
+    #[test]
+    fn snapshot_record_matches_live_histogram() {
+        let live = LogHistogram::new();
+        let mut snap = HistogramSnapshot::default();
+        for v in [0u64, 5, 63, 64, 900, 1 << 33, 900, u64::MAX] {
+            live.record(v);
+            snap.record(v);
+        }
+        assert_eq!(snap, live.snapshot());
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let mut snap = HistogramSnapshot::default();
+        for v in [1u64, 2, 3, 1000, 1 << 40] {
+            snap.record(v);
+        }
+        let back = HistogramSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+        // Empty snapshots round-trip too (min/max stay None).
+        let empty = HistogramSnapshot::default();
+        assert_eq!(
+            HistogramSnapshot::from_json(&empty.to_json()).unwrap(),
+            empty
+        );
     }
 
     #[test]

@@ -19,6 +19,21 @@
 //!   diffable against the analysis' A=0 predictions to catch
 //!   analysis/runtime divergence.
 //!
+//! The scalability observatory adds the *temporal* axis the aggregates
+//! above lack:
+//!
+//! * [`span`] — per-request causal span trees: a root span per
+//!   query/update/invalidation with phase-tagged children (cache lookup,
+//!   crypto, home trip, fan-out, recovery), exportable as JSONL plus a
+//!   per-template critical-path summary.
+//! * [`timeseries`] — a sim-time windowed recorder (fixed-width buckets
+//!   over `at_micros` holding counter deltas and mergeable histogram
+//!   snapshots) so runs export throughput / hit-rate / latency *curves*
+//!   with visible outage dips instead of smeared totals.
+//! * [`slo`] — declarative objectives (quantile limits, counter caps,
+//!   ratio and rate floors) evaluated with burn-rate-style sliding-window
+//!   checks against a [`TimeSeries`].
+//!
 //! The [`json`] module carries a minimal JSON value type (render + parse)
 //! used by the JSONL sink and the experiment binaries' `telemetry.json`
 //! export; it exists so the telemetry path stays hermetic.
@@ -27,12 +42,18 @@ pub mod attribution;
 pub mod hist;
 pub mod json;
 pub mod registry;
+pub mod slo;
+pub mod span;
+pub mod timeseries;
 pub mod trace;
 
 pub use attribution::AttributionMatrix;
 pub use hist::{HistogramSnapshot, LogHistogram};
 pub use json::Json;
 pub use registry::{Counter, Gauge, MetricsRegistry, MetricsSnapshot};
+pub use slo::{evaluate_all, Objective, SloResult, SloSpec};
+pub use span::{CriticalPathRow, Span, SpanId, SpanPhase, SpanRecorder, SpanTimer};
+pub use timeseries::{ratio, SharedTimeSeries, TimeSeries, TimeSeriesSink, Window};
 pub use trace::{
     JsonlSink, NullSink, RingBufferSink, TraceEvent, TraceEventKind, TraceSink, Tracer,
 };

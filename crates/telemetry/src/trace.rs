@@ -154,6 +154,18 @@ pub trait TraceSink {
     fn record(&mut self, event: &TraceEvent);
 
     fn flush(&mut self) {}
+
+    /// I/O errors swallowed so far (sinks must never fail the pipeline,
+    /// but the loss has to be visible in exported telemetry).
+    fn write_errors(&self) -> u64 {
+        0
+    }
+
+    /// Events accepted but no longer retained (ring-buffer overwrites,
+    /// capacity drops).
+    fn events_dropped(&self) -> u64 {
+        0
+    }
 }
 
 /// Fan-out point: stamps events with a sequence number and delivers them
@@ -199,6 +211,25 @@ impl Tracer {
         for sink in &mut self.sinks {
             sink.flush();
         }
+    }
+
+    /// Swallowed I/O errors summed over every sink.
+    pub fn write_errors(&self) -> u64 {
+        self.sinks.iter().map(|s| s.write_errors()).sum()
+    }
+
+    /// Events accepted but no longer retained, summed over every sink.
+    pub fn events_dropped(&self) -> u64 {
+        self.sinks.iter().map(|s| s.events_dropped()).sum()
+    }
+}
+
+impl Drop for Tracer {
+    /// Flush on drop so a JSONL sink that was never explicitly flushed
+    /// still writes its buffered tail — a truncated trace file must not
+    /// silently pass tests.
+    fn drop(&mut self) {
+        self.flush();
     }
 }
 
@@ -258,6 +289,10 @@ impl TraceSink for RingBufferSink {
         }
         self.total += 1;
     }
+
+    fn events_dropped(&self) -> u64 {
+        self.total - self.buf.len() as u64
+    }
 }
 
 /// Writes one JSON object per line to any `io::Write` (file, stderr,
@@ -300,6 +335,10 @@ impl<W: Write> TraceSink for JsonlSink<W> {
         if self.out.flush().is_err() {
             self.write_errors += 1;
         }
+    }
+
+    fn write_errors(&self) -> u64 {
+        self.write_errors
     }
 }
 
@@ -435,5 +474,63 @@ mod tests {
             tracer.emit(i, 0, ev(0));
         }
         assert_eq!(tracer.events_emitted(), 5);
+    }
+
+    /// An `io::Write` that fails every call, to exercise the error
+    /// accounting path.
+    struct BrokenPipe;
+
+    impl Write for BrokenPipe {
+        fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+            Err(io::Error::other("broken"))
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Err(io::Error::other("broken"))
+        }
+    }
+
+    #[test]
+    fn tracer_surfaces_sink_health() {
+        let mut tracer = Tracer::new();
+        tracer.add_sink(Box::new(RingBufferSink::new(2)));
+        tracer.add_sink(Box::new(JsonlSink::new(BrokenPipe)));
+        for i in 0..5 {
+            tracer.emit(i, 0, ev(0));
+        }
+        // The BufWriter absorbs the writes until flushed; the failure
+        // must then show up as a counted error, not a panic.
+        tracer.flush();
+        assert!(tracer.write_errors() >= 1, "flush failure must be counted");
+        assert_eq!(tracer.events_dropped(), 3, "ring kept 2 of 5");
+    }
+
+    /// An `io::Write` handing bytes to a shared buffer so the test can
+    /// observe what was written after the tracer is gone.
+    struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn tracer_drop_flushes_jsonl_sinks() {
+        let bytes = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        {
+            let mut tracer = Tracer::new();
+            tracer.add_sink(Box::new(JsonlSink::new(SharedBuf(bytes.clone()))));
+            tracer.emit(1, 0, ev(3));
+            // No explicit flush: the buffered line must still land.
+        }
+        let written = String::from_utf8(bytes.lock().unwrap().clone()).unwrap();
+        let parsed = crate::json::Json::parse(written.trim()).unwrap();
+        assert_eq!(parsed.get("event").unwrap().as_str(), Some("query_hit"));
     }
 }
