@@ -65,6 +65,13 @@ pub struct ChaosConfig {
     /// sim-time [`TimeSeries`] with this bucket width — the outage-dip /
     /// recovery curves exported by the `chaos` binary.
     pub timeseries_bucket_micros: Option<Time>,
+    /// Scripted arrival-rate profile; `None` keeps the constant base
+    /// spacing. A multiplier above 1 compresses the inter-op gap, so a
+    /// step or ramp packs a load spike into its window.
+    pub load: Option<crate::overload::LoadProfile>,
+    /// Overload protection for the proxy (admission control, circuit
+    /// breaker, brownout); `None` leaves the classic pathways unguarded.
+    pub overload: Option<scs_dssp::OverloadConfig>,
 }
 
 impl ChaosConfig {
@@ -84,6 +91,8 @@ impl ChaosConfig {
             crash_mean_interval_micros: None,
             retry: RetryPolicy::no_retries(),
             timeseries_bucket_micros: None,
+            load: None,
+            overload: None,
         }
     }
 
@@ -116,8 +125,11 @@ impl ChaosConfig {
                 base_backoff_micros: 5 * MS,
                 max_backoff_micros: 40 * MS,
                 timeout_micros: 100 * MS,
+                jitter: false,
             },
             timeseries_bucket_micros: None,
+            load: None,
+            overload: None,
         }
     }
 
@@ -140,13 +152,15 @@ impl ChaosConfig {
             crash_mean_interval_micros: None,
             retry: RetryPolicy::no_retries(),
             timeseries_bucket_micros: Some(100 * MS),
+            load: None,
+            overload: None,
         }
     }
 }
 
 /// One scripted operation (pre-bound so every run replays identically).
 #[derive(Debug, Clone)]
-enum ScriptOp {
+pub(crate) enum ScriptOp {
     Query { tid: usize, params: Vec<Value> },
     Update { tid: usize, params: Vec<Value> },
 }
@@ -245,17 +259,17 @@ pub struct ChaosReport {
 }
 
 /// The bound application: templates, home server, proxy, and oracle.
-struct Scenario {
-    dssp: Dssp,
-    home: HomeServer,
-    queries: Vec<Arc<QueryTemplate>>,
-    updates: Vec<Arc<UpdateTemplate>>,
-    script: Vec<ScriptOp>,
+pub(crate) struct Scenario {
+    pub(crate) dssp: Dssp,
+    pub(crate) home: HomeServer,
+    pub(crate) queries: Vec<Arc<QueryTemplate>>,
+    pub(crate) updates: Vec<Arc<UpdateTemplate>>,
+    pub(crate) script: Vec<ScriptOp>,
     /// `(since_micros, state)`: the master as of each applied update.
-    oracle: Vec<(Time, Database)>,
+    pub(crate) oracle: Vec<(Time, Database)>,
 }
 
-fn build_scenario(cfg: &ChaosConfig) -> Scenario {
+pub(crate) fn build_scenario(cfg: &ChaosConfig) -> Scenario {
     let app = toystore::toystore();
     let mut db = Database::new();
     for s in &app.schemas {
@@ -273,6 +287,7 @@ fn build_scenario(cfg: &ChaosConfig) -> Scenario {
     let dssp = Dssp::new(DsspConfig {
         lease_micros: cfg.lease_micros,
         recovery: cfg.recovery,
+        overload: cfg.overload,
         ..DsspConfig::new("chaos", exposures, matrix)
     });
     let home = HomeServer::new(db);
@@ -326,7 +341,7 @@ fn build_scenario(cfg: &ChaosConfig) -> Scenario {
 /// Checks a served result against the oracle; returns the observed
 /// staleness (µs), or `None` when the result matches no state current
 /// within `[now - lease, now]`.
-fn staleness_within_lease(
+pub(crate) fn staleness_within_lease(
     oracle: &[(Time, Database)],
     q: &Query,
     served: &QueryResult,
@@ -360,10 +375,28 @@ fn staleness_within_lease(
 }
 
 /// Records an outcome counter when the run carries a time series.
-fn tick(series: &mut Option<TimeSeries>, at: Time, name: &str) {
+pub(crate) fn tick(series: &mut Option<TimeSeries>, at: Time, name: &str) {
     if let Some(ts) = series.as_mut() {
         ts.incr(at, name);
     }
+}
+
+/// Advances the arrival clock by one op: the base spacing divided by the
+/// load profile's multiplier at the previous instant (open-loop
+/// arrivals), floored at 1 µs so a spike can never stall the clock. With
+/// no profile the step is exactly `op_spacing_micros`, which keeps every
+/// pre-existing run bit-identical.
+pub(crate) fn next_arrival(cfg: &ChaosConfig, clock: Time) -> Time {
+    let mult = cfg
+        .load
+        .as_ref()
+        .map_or(1.0, |profile| profile.multiplier_at(clock));
+    let step = if mult == 1.0 {
+        cfg.op_spacing_micros
+    } else {
+        (cfg.op_spacing_micros as f64 / mult.max(1e-9)).round() as Time
+    };
+    clock + step.max(1)
 }
 
 /// Runs the fault-tolerant pipeline under `cfg`'s fault schedule.
@@ -407,8 +440,10 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     };
 
     let script = std::mem::take(&mut sc.script);
-    for (i, op) in script.iter().enumerate() {
-        let now = (i as Time + 1) * cfg.op_spacing_micros;
+    let mut clock: Time = 0;
+    for op in script.iter() {
+        clock = next_arrival(cfg, clock);
+        let now = clock;
         sc.dssp.set_sim_time_micros(now);
         while next_crash < crash_times.len() && crash_times[next_crash] <= now {
             sc.dssp.restart(sc.home.epoch());
@@ -536,8 +571,10 @@ pub fn run_classic(cfg: &ChaosConfig) -> ChaosReport {
         outage_windows: Vec::new(),
     };
     let script = std::mem::take(&mut sc.script);
-    for (i, op) in script.iter().enumerate() {
-        let now = (i as Time + 1) * cfg.op_spacing_micros;
+    let mut clock: Time = 0;
+    for op in script.iter() {
+        clock = next_arrival(cfg, clock);
+        let now = clock;
         sc.dssp.set_sim_time_micros(now);
         match op {
             ScriptOp::Query { tid, params } => {

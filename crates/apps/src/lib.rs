@@ -16,6 +16,7 @@ pub mod chaos;
 pub mod defs;
 pub mod driver;
 pub mod gen;
+pub mod overload;
 pub mod report;
 pub mod runner;
 pub mod toystore;
@@ -27,5 +28,9 @@ pub use chaos::{
 pub use defs::{AppDef, Op, ParamSpec, RequestType, Sensitivity, TemplateDef};
 pub use driver::{analysis_matrix, CostModel, DsspWorkload};
 pub use gen::{IdSpaces, ParamGen, Zipf, BOOK_POPULARITY_EXPONENT};
+pub use overload::{
+    goodput_curve, knee_index, run_overload, CurvePoint, LoadProfile, LoadSegment,
+    OverloadCounters, OverloadReport, OverloadRunConfig,
+};
 pub use runner::{measure_scalability, run_trial, BenchApp, Fidelity};
 pub use trace::{replay, ReplayReport, Trace, TraceOp};

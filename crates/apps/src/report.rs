@@ -292,6 +292,145 @@ pub fn chaos_entry_json(label: &str, cfg: &ChaosConfig, report: &ChaosReport) ->
     ])
 }
 
+/// The overload SLOs evaluated against a run's merged time series:
+/// staleness stays lease-bounded no matter how hard the system sheds,
+/// the worst 300 ms of the run still completes at least `min_goodput` of
+/// what was offered, and completion latency stays deadline-shaped.
+pub fn overload_slos(min_goodput: f64, p99_limit_micros: u64) -> Vec<SloSpec> {
+    // Three buckets per SLO group, so a single thin bucket at a spike
+    // edge can't fail the ratio on noise.
+    vec![
+        SloSpec::counter_at_most("stale_beyond_lease_zero", "stale_beyond_lease", 0),
+        SloSpec::ratio_at_least("goodput_floor", "timely", "offered", min_goodput, 3, 30),
+        SloSpec::quantile_at_most(
+            "response_p99_bounded",
+            "response_us",
+            0.99,
+            p99_limit_micros,
+            3,
+        ),
+    ]
+}
+
+/// The proxy's shed/breaker/brownout counters as a report section.
+pub fn overload_counters_json(c: &crate::overload::OverloadCounters) -> Json {
+    Json::obj([
+        ("shed_admission", c.shed_admission.into()),
+        ("shed_breaker_open", c.shed_breaker_open.into()),
+        ("shed_brownout", c.shed_brownout.into()),
+        ("shed_queue_full", c.shed_queue_full.into()),
+        ("shed_total", c.shed_total().into()),
+        ("breaker_opens", c.breaker_opens.into()),
+        ("breaker_half_opens", c.breaker_half_opens.into()),
+        ("breaker_closes", c.breaker_closes.into()),
+        ("brownout_entries", c.brownout_entries.into()),
+        ("brownout_exits", c.brownout_exits.into()),
+        ("brownout_serves", c.brownout_serves.into()),
+        ("home_retries", c.home_retries.into()),
+        ("home_unavailable", c.home_unavailable.into()),
+    ])
+}
+
+/// One overload-run entry: offered-vs-goodput accounting, the shed and
+/// breaker counters, the overload SLO verdicts, and (when recorded) the
+/// merged harness + proxy trace curves. Keyed `app`/`config` so the
+/// regression gate diffs it like any other probe entry.
+pub fn overload_entry_json(
+    label: &str,
+    cfg: &crate::overload::OverloadRunConfig,
+    report: &crate::overload::OverloadReport,
+) -> Json {
+    // With a scripted total home outage in the run, the worst windows are
+    // the outage itself, where goodput is legitimately bounded by the
+    // degraded-serve rate: the floor then asserts service *continuity*
+    // (brownout keeps serving within-lease hits), not shedding headroom.
+    let min_goodput = if cfg.scripted_outages.is_some() {
+        0.05
+    } else {
+        0.35
+    };
+    let slo: Json = report
+        .timeseries
+        .as_ref()
+        .map(|ts| {
+            slo_results_json(
+                &overload_slos(min_goodput, cfg.deadline_micros + cfg.deadline_micros / 2),
+                ts,
+            )
+        })
+        .into();
+    Json::obj([
+        ("app", "toystore".into()),
+        ("config", label.into()),
+        ("seed", cfg.seed.into()),
+        ("ops", (cfg.ops as u64).into()),
+        ("protected", cfg.protection.is_some().into()),
+        ("deadline_micros", cfg.deadline_micros.into()),
+        ("lease_micros", cfg.lease_micros.into()),
+        (
+            "overload",
+            Json::obj([
+                ("offered", report.offered.into()),
+                ("completed", report.completed.into()),
+                ("timely", report.timely.into()),
+                ("shed", report.shed.into()),
+                ("deadline_missed", report.deadline_missed.into()),
+                ("hits", report.hits.into()),
+                ("degraded_serves", report.degraded_serves.into()),
+                ("unavailable", report.unavailable.into()),
+                ("updates_applied", report.updates_applied.into()),
+                ("queue_rejections", report.queue_rejections.into()),
+                ("offered_rps", report.offered_rps().into()),
+                ("goodput_rps", report.goodput_rps().into()),
+                ("shed_ratio", report.shed_ratio().into()),
+                ("queue_wait_p99_micros", report.queue_wait_p99_micros.into()),
+                ("response_p99_micros", report.response_p99_micros.into()),
+                ("duration_micros", report.duration_micros.into()),
+                ("counters", overload_counters_json(&report.counters)),
+            ]),
+        ),
+        ("stale_beyond_lease", report.stale_beyond_lease.into()),
+        (
+            "max_observed_staleness_micros",
+            report.max_observed_staleness_micros.into(),
+        ),
+        (
+            "timeseries",
+            report.timeseries.as_ref().map(TimeSeries::to_json).into(),
+        ),
+        ("slo", slo),
+    ])
+}
+
+/// An offered-load vs goodput curve as a report section: one point per
+/// multiplier, with the knee index alongside so readers (and the
+/// regression gate's collapse detector) don't have to re-derive it.
+pub fn overload_curve_json(label: &str, points: &[crate::overload::CurvePoint]) -> Json {
+    let knee = crate::overload::knee_index(points);
+    let pts: Vec<Json> = points
+        .iter()
+        .map(|p| {
+            Json::obj([
+                ("multiplier", p.multiplier.into()),
+                ("offered_rps", p.offered_rps.into()),
+                ("goodput_rps", p.goodput_rps.into()),
+                ("shed_ratio", p.shed_ratio.into()),
+                ("p99_response_micros", p.p99_response_micros.into()),
+                ("stale_beyond_lease", p.stale_beyond_lease.into()),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("label", label.into()),
+        ("knee_index", (knee as u64).into()),
+        (
+            "knee_goodput_rps",
+            points.get(knee).map(|p| p.goodput_rps).into(),
+        ),
+        ("points", Json::from(pts)),
+    ])
+}
+
 /// One report entry: an (application, configuration) probe run.
 pub fn telemetry_entry(
     app: &str,

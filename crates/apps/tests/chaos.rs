@@ -73,8 +73,11 @@ proptest! {
                 base_backoff_micros: 5 * MS,
                 max_backoff_micros: 40 * MS,
                 timeout_micros: 100 * MS,
+                jitter: false,
             },
             timeseries_bucket_micros: None,
+            load: None,
+            overload: None,
         };
         let report = run_chaos(&cfg);
         prop_assert_eq!(

@@ -65,6 +65,20 @@ fn main() {
     );
     entries.push(demo_entry);
 
+    // The overload probe: 4x spike demo plus the goodput-vs-offered-load
+    // sweep. Its entries live in the same baseline so the regression
+    // gate's goodput and knee-collapse detectors have a reference.
+    let probe = scs_bench::overload_probe::run_probe(scs_bench::overload_probe::SEED);
+    println!(
+        "  [overload] spike goodput {:.0} rps (shed {}) / knee {:.0} rps / stale-beyond-lease {}",
+        probe.demo.goodput_rps(),
+        probe.demo.shed,
+        probe.protected_curve[scs_apps::knee_index(&probe.protected_curve)].goodput_rps,
+        probe.demo.stale_beyond_lease,
+    );
+    failed.extend(probe.failures.iter().cloned());
+    entries.extend(probe.entries);
+
     match report::write_telemetry(&report::telemetry_report(entries), "observatory.json") {
         Ok(path) => println!("\nObservatory report written to {}", path.display()),
         Err(e) => {

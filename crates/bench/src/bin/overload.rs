@@ -1,0 +1,133 @@
+//! Overload experiment: graceful degradation under a 4× load spike and
+//! a goodput-vs-offered-load sweep past the saturation knee.
+//!
+//! Runs the shared probe from [`scs_bench::overload_probe`]: the spike
+//! demo (protected and unprotected), the sweep curves, and every
+//! acceptance check — bounded p99 queueing delay, flat goodput while
+//! shedding, a complete breaker open → half-open → close cycle in the
+//! exported timeseries, and zero stale-beyond-lease serves. Entries land
+//! in `overload.json` (`$SCS_TELEMETRY_OUT` overrides the path; schema
+//! in `EXPERIMENTS.md`), which CI diffs against `BENCH_baseline.json`
+//! with `regress --subset`.
+//!
+//! Run: `cargo run -p scs-bench --bin overload [--smoke] [--seed N]`
+//! `--smoke` is the CI mode: it pins the canonical baseline seed
+//! (ignoring `--seed`) so the emitted entries are byte-comparable to
+//! `BENCH_baseline.json`. Any failed check exits nonzero in both modes.
+
+use scs_apps::{report, OverloadReport};
+use scs_bench::overload_probe::{self, KNEE_HOLD_FRACTION, SWEEP_MULTIPLIERS};
+use scs_bench::TextTable;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let seed = if smoke {
+        overload_probe::SEED
+    } else {
+        arg_value("--seed").unwrap_or(overload_probe::SEED)
+    };
+    let probe = overload_probe::run_probe(seed);
+
+    println!("Overload — admission control, circuit breaker, and brownout serving");
+    println!(
+        "(toystore; 4x spike over [1 s, 2 s); deadline {} ms; seed {seed})\n",
+        probe.demo_cfg.deadline_micros / 1_000
+    );
+
+    let mut table = TextTable::new(&[
+        "config",
+        "offered",
+        "goodput rps",
+        "shed",
+        "degraded",
+        "deadline miss",
+        "stale>lease",
+        "wait p99 (ms)",
+        "resp p99 (ms)",
+    ]);
+    demo_row(&mut table, "spike_demo", &probe.demo);
+    demo_row(
+        &mut table,
+        "spike_demo_unprotected",
+        &probe.demo_unprotected,
+    );
+    print!("{}", table.render());
+
+    let c = &probe.demo.counters;
+    println!(
+        "\nbreaker: {} open / {} half-open / {} close; brownout: {} entered, {} degraded serves",
+        c.breaker_opens,
+        c.breaker_half_opens,
+        c.breaker_closes,
+        c.brownout_entries,
+        c.brownout_serves
+    );
+    println!(
+        "shed by: admission {} / breaker {} / brownout {} / queue {}",
+        c.shed_admission, c.shed_breaker_open, c.shed_brownout, c.shed_queue_full
+    );
+
+    println!(
+        "\nGoodput curve (flat offered load at each multiplier; past-knee hold >= {:.0}%)\n",
+        KNEE_HOLD_FRACTION * 100.0
+    );
+    let mut curve = TextTable::new(&[
+        "multiplier",
+        "offered rps",
+        "protected rps",
+        "shed%",
+        "p99 (ms)",
+        "unprotected rps",
+        "p99 (ms)",
+    ]);
+    for (i, _) in SWEEP_MULTIPLIERS.iter().enumerate() {
+        let p = &probe.protected_curve[i];
+        let u = &probe.unprotected_curve[i];
+        curve.row(&[
+            format!("{:.1}x", p.multiplier),
+            format!("{:.0}", p.offered_rps),
+            format!("{:.0}", p.goodput_rps),
+            format!("{:.0}", p.shed_ratio * 100.0),
+            format!("{:.1}", p.p99_response_micros as f64 / 1_000.0),
+            format!("{:.0}", u.goodput_rps),
+            format!("{:.1}", u.p99_response_micros as f64 / 1_000.0),
+        ]);
+    }
+    print!("{}", curve.render());
+
+    match report::write_telemetry(&report::telemetry_report(probe.entries), "overload.json") {
+        Ok(path) => println!("\noverload report written to {}", path.display()),
+        Err(e) => eprintln!("\noverload report write failed: {e}"),
+    }
+
+    if !probe.failures.is_empty() {
+        for f in &probe.failures {
+            eprintln!("FAIL {f}");
+        }
+        eprintln!("\n{} overload check(s) failed", probe.failures.len());
+        std::process::exit(1);
+    }
+    println!("all overload checks passed");
+}
+
+fn demo_row(table: &mut TextTable, label: &str, r: &OverloadReport) {
+    table.row(&[
+        label.to_string(),
+        r.offered.to_string(),
+        format!("{:.0}", r.goodput_rps()),
+        r.shed.to_string(),
+        r.degraded_serves.to_string(),
+        r.deadline_missed.to_string(),
+        r.stale_beyond_lease.to_string(),
+        format!("{:.1}", r.queue_wait_p99_micros as f64 / 1_000.0),
+        format!("{:.1}", r.response_p99_micros as f64 / 1_000.0),
+    ]);
+}
+
+fn arg_value(flag: &str) -> Option<u64> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}

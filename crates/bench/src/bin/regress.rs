@@ -7,7 +7,12 @@
 //! * throughput dropping more than `--threshold-pct` (default 10%);
 //! * the p99 response-time upper bound rising more than the threshold;
 //! * any SLO flipping from passed to failed;
-//! * a chaos entry's `stale_beyond_lease` count increasing.
+//! * a chaos entry's `stale_beyond_lease` count increasing;
+//! * an overload entry's goodput dropping more than the threshold;
+//! * a goodput curve collapsing past its knee: any point after the
+//!   stored `knee_index` falling below the knee-hold fraction of the
+//!   knee's goodput (an absolute check on the candidate, so a collapse
+//!   is caught even when the baseline itself regressed).
 //!
 //! Only deterministic simulated quantities are compared — span
 //! wall-clock nanoseconds and other machine-dependent fields are
@@ -17,11 +22,16 @@
 //! `regress --baseline BENCH_baseline.json --candidate observatory.json`
 //! `regress --self-check --baseline BENCH_baseline.json` validates the
 //! gate itself: baseline-vs-baseline must be clean, and a synthetically
-//! degraded candidate must be caught.
+//! degraded candidate must be caught (including the knee-collapse
+//! detector whenever the baseline carries a goodput curve).
+//! `--subset` skips the disappearance detector, for diffing a candidate
+//! that deliberately re-runs only some baseline entries (CI's
+//! `overload.json` vs the full committed baseline).
 //!
 //! Exit codes: 0 = no regression, 1 = regression (or failed
 //! self-check), 2 = usage/IO error.
 
+use scs_bench::overload_probe::KNEE_HOLD_FRACTION;
 use scs_telemetry::Json;
 
 fn main() {
@@ -29,13 +39,14 @@ fn main() {
     let baseline_path = match arg_value(&args, "--baseline") {
         Some(p) => p,
         None => {
-            eprintln!("usage: regress --baseline <file> [--candidate <file>] [--threshold-pct N] [--self-check]");
+            eprintln!("usage: regress --baseline <file> [--candidate <file>] [--threshold-pct N] [--subset] [--self-check]");
             std::process::exit(2);
         }
     };
     let threshold_pct: f64 = arg_value(&args, "--threshold-pct")
         .and_then(|v| v.parse().ok())
         .unwrap_or(10.0);
+    let subset = args.iter().any(|a| a == "--subset");
     let baseline = load(&baseline_path);
 
     if args.iter().any(|a| a == "--self-check") {
@@ -51,7 +62,7 @@ fn main() {
     };
     let candidate = load(&candidate_path);
 
-    let regressions = diff(&baseline, &candidate, threshold_pct);
+    let regressions = diff_with(&baseline, &candidate, threshold_pct, subset);
     if regressions.is_empty() {
         println!(
             "no regressions: {candidate_path} holds the line against {baseline_path} \
@@ -138,8 +149,53 @@ fn stale_beyond_lease(entry: &Json) -> Option<u64> {
     entry.get("stale_beyond_lease").and_then(Json::as_u64)
 }
 
+/// An overload entry's goodput (timely completions per second).
+fn goodput_rps(entry: &Json) -> Option<f64> {
+    entry
+        .get("overload")?
+        .get("goodput_rps")
+        .and_then(Json::as_f64)
+}
+
+/// The absolute knee-collapse check on one candidate entry: every curve
+/// point past the stored `knee_index` must hold at least
+/// `KNEE_HOLD_FRACTION` of the knee's goodput.
+fn goodput_collapse(key: &str, entry: &Json) -> Vec<String> {
+    let mut out = Vec::new();
+    let Some(curve) = entry.get("goodput_curve") else {
+        return out;
+    };
+    let Some(points) = curve.get("points").and_then(Json::as_arr) else {
+        return out;
+    };
+    let knee = curve.get("knee_index").and_then(Json::as_u64).unwrap_or(0) as usize;
+    let Some(knee_goodput) = points
+        .get(knee)
+        .and_then(|p| p.get("goodput_rps"))
+        .and_then(Json::as_f64)
+    else {
+        return out;
+    };
+    for p in points.iter().skip(knee + 1) {
+        let g = p.get("goodput_rps").and_then(Json::as_f64).unwrap_or(0.0);
+        let mult = p.get("multiplier").and_then(Json::as_f64).unwrap_or(0.0);
+        if g < knee_goodput * KNEE_HOLD_FRACTION {
+            out.push(format!(
+                "{key}: goodput collapsed past the knee (x{mult}: {g:.0} rps is below \
+                 {:.0}% of the knee's {knee_goodput:.0})",
+                KNEE_HOLD_FRACTION * 100.0
+            ));
+        }
+    }
+    out
+}
+
 /// Every way `cand` is worse than `base` beyond the threshold.
 fn diff(base: &Json, cand: &Json, threshold_pct: f64) -> Vec<String> {
+    diff_with(base, cand, threshold_pct, false)
+}
+
+fn diff_with(base: &Json, cand: &Json, threshold_pct: f64, subset: bool) -> Vec<String> {
     let factor = threshold_pct / 100.0;
     let cand_entries: std::collections::BTreeMap<String, &Json> =
         entries(cand).into_iter().collect();
@@ -147,7 +203,9 @@ fn diff(base: &Json, cand: &Json, threshold_pct: f64) -> Vec<String> {
 
     for (key, b) in entries(base) {
         let Some(c) = cand_entries.get(&key) else {
-            out.push(format!("{key}: entry disappeared from the candidate"));
+            if !subset {
+                out.push(format!("{key}: entry disappeared from the candidate"));
+            }
             continue;
         };
         if let (Some(tb), Some(tc)) = (throughput(b), throughput(c)) {
@@ -178,6 +236,14 @@ fn diff(base: &Json, cand: &Json, threshold_pct: f64) -> Vec<String> {
                 ));
             }
         }
+        if let (Some(gb), Some(gc)) = (goodput_rps(b), goodput_rps(c)) {
+            if gb > 0.0 && gc < gb * (1.0 - factor) {
+                out.push(format!(
+                    "{key}: goodput {gc:.2} rps fell >{threshold_pct}% below baseline {gb:.2}"
+                ));
+            }
+        }
+        out.extend(goodput_collapse(&key, c));
     }
     out
 }
@@ -210,6 +276,17 @@ fn self_check(baseline: &Json, threshold_pct: f64) -> i32 {
         }
         return 1;
     }
+    // A baseline that carries a goodput curve must also prove the
+    // knee-collapse detector fires on the degraded shape.
+    let has_curve = entries(baseline)
+        .iter()
+        .any(|(_, e)| e.get("goodput_curve").is_some());
+    if has_curve && !caught.iter().any(|m| m.contains("collapsed past the knee")) {
+        eprintln!(
+            "self-check FAILED: degraded goodput curve did not trip the knee-collapse detector"
+        );
+        return 1;
+    }
     println!(
         "self-check passed: identity diff clean, degraded candidate tripped {} detector(s)",
         caught.len()
@@ -217,7 +294,8 @@ fn self_check(baseline: &Json, threshold_pct: f64) -> i32 {
     0
 }
 
-/// Halves throughput, fails every SLO, and bumps staleness counts — the
+/// Halves throughput and overload goodput, fails every SLO, bumps
+/// staleness counts, and collapses the goodput curve past its knee — the
 /// synthetic regression the self-check must catch.
 fn degrade(mut doc: Json) -> Json {
     if let Some(Json::Arr(entries)) = get_mut(&mut doc, "entries") {
@@ -236,6 +314,26 @@ fn degrade(mut doc: Json) -> Json {
             }
             if let Some(Json::Num(s)) = get_mut(entry, "stale_beyond_lease") {
                 *s += 5.0;
+            }
+            if let Some(overload) = get_mut(entry, "overload") {
+                if let Some(Json::Num(g)) = get_mut(overload, "goodput_rps") {
+                    *g *= 0.5;
+                }
+            }
+            // Reshape the curve the way real collapse exports look: the
+            // knee lands on the pre-collapse peak (argmax), and every
+            // later point craters.
+            if let Some(curve) = get_mut(entry, "goodput_curve") {
+                if let Some(Json::Num(k)) = get_mut(curve, "knee_index") {
+                    *k = 0.0;
+                }
+                if let Some(Json::Arr(points)) = get_mut(curve, "points") {
+                    for p in points.iter_mut().skip(1) {
+                        if let Some(Json::Num(g)) = get_mut(p, "goodput_rps") {
+                            *g *= 0.1;
+                        }
+                    }
+                }
             }
         }
     }

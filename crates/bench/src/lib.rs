@@ -15,8 +15,11 @@
 //! | `chaos`       | extension — fault injection vs. the staleness oracle |
 //! | `observatory` | extension — windowed probe runs; emits the perf baseline |
 //! | `regress`     | extension — diffs two observatory exports (CI perf gate) |
+//! | `overload`    | extension — spike demo + goodput-vs-offered-load curve |
 //!
 //! Criterion microbenchmarks live under `benches/`.
+
+pub mod overload_probe;
 
 use scs_core::ExposureLevel;
 

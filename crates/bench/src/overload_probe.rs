@@ -1,0 +1,236 @@
+//! The shared overload probe: a 4× scripted spike demo plus an
+//! offered-load sweep past the knee, with one set of acceptance checks.
+//!
+//! Both the `overload` binary (CI's `--smoke` gate) and the
+//! `observatory` baseline run execute exactly this probe, so the
+//! regression gate diffs like against like: the committed
+//! `BENCH_baseline.json` entries and the smoke run's `overload.json`
+//! entries come from the same deterministic configurations.
+
+use scs_apps::overload::LoadSegment;
+use scs_apps::{
+    goodput_curve, knee_index, report, run_overload, CurvePoint, OverloadReport, OverloadRunConfig,
+};
+use scs_netsim::Time;
+use scs_telemetry::Json;
+
+/// Arrival-rate multipliers swept for the goodput curve.
+pub const SWEEP_MULTIPLIERS: &[f64] = &[0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0];
+
+/// Past the knee, goodput must hold at least this fraction of the
+/// knee's goodput — the acceptance bar for graceful degradation.
+pub const KNEE_HOLD_FRACTION: f64 = 0.8;
+
+/// The canonical probe seed (shared with the committed baseline).
+pub const SEED: u64 = 42;
+
+/// Everything the probe ran and concluded.
+pub struct OverloadProbe {
+    pub demo_cfg: OverloadRunConfig,
+    pub demo: OverloadReport,
+    pub demo_unprotected_cfg: OverloadRunConfig,
+    pub demo_unprotected: OverloadReport,
+    pub protected_curve: Vec<CurvePoint>,
+    pub unprotected_curve: Vec<CurvePoint>,
+    /// Report entries (spike demo, unprotected contrast, goodput curve).
+    pub entries: Vec<Json>,
+    /// Violated acceptance checks; empty means the probe passed.
+    pub failures: Vec<String>,
+}
+
+/// Runs the spike demo (protected and unprotected) and the goodput
+/// sweep, evaluates every acceptance check, and assembles the report
+/// entries.
+pub fn run_probe(seed: u64) -> OverloadProbe {
+    let demo_cfg = OverloadRunConfig::spike_demo(seed);
+    let demo = run_overload(&demo_cfg);
+    // The unprotected contrast run skips the time series (and therefore
+    // the SLO section): its whole point is to violate the objectives.
+    let mut demo_unprotected_cfg = demo_cfg.clone().unprotected();
+    demo_unprotected_cfg.timeseries_bucket_micros = None;
+    let demo_unprotected = run_overload(&demo_unprotected_cfg);
+
+    let base = OverloadRunConfig::sweep_point(seed);
+    let protected_curve = goodput_curve(&base, SWEEP_MULTIPLIERS);
+    let unprotected_curve = goodput_curve(&base.clone().unprotected(), SWEEP_MULTIPLIERS);
+
+    let mut failures = Vec::new();
+    check_demo(&demo_cfg, &demo, &mut failures);
+    check_curves(&base, &protected_curve, &unprotected_curve, &mut failures);
+
+    let entries = vec![
+        report::overload_entry_json("spike_demo", &demo_cfg, &demo),
+        report::overload_entry_json(
+            "spike_demo_unprotected",
+            &demo_unprotected_cfg,
+            &demo_unprotected,
+        ),
+        Json::obj([
+            ("app", "toystore".into()),
+            ("config", "overload_curve".into()),
+            ("seed", seed.into()),
+            (
+                "goodput_curve",
+                report::overload_curve_json("protected", &protected_curve),
+            ),
+            (
+                "contrast_curve",
+                report::overload_curve_json("unprotected", &unprotected_curve),
+            ),
+        ]),
+    ];
+    for entry in &entries {
+        collect_slo_failures(entry, &mut failures);
+    }
+
+    OverloadProbe {
+        demo_cfg,
+        demo,
+        demo_unprotected_cfg,
+        demo_unprotected,
+        protected_curve,
+        unprotected_curve,
+        entries,
+        failures,
+    }
+}
+
+/// The spike window `[start, end)` from the demo's load profile.
+fn spike_window(cfg: &OverloadRunConfig) -> Option<(Time, Time)> {
+    cfg.load.segments.iter().find_map(|s| match *s {
+        LoadSegment::Step { start, end, .. } => Some((start, end)),
+        LoadSegment::Ramp { .. } => None,
+    })
+}
+
+fn check_demo(cfg: &OverloadRunConfig, r: &OverloadReport, failures: &mut Vec<String>) {
+    if r.stale_beyond_lease != 0 {
+        failures.push(format!(
+            "spike_demo: {} serve(s) stale beyond the lease under overload",
+            r.stale_beyond_lease
+        ));
+    }
+    if r.shed == 0 {
+        failures.push("spike_demo: a 4x spike shed nothing".to_string());
+    }
+    let c = &r.counters;
+    if c.breaker_opens == 0 || c.breaker_half_opens == 0 || c.breaker_closes == 0 {
+        failures.push(format!(
+            "spike_demo: breaker cycle incomplete (opens {}, half-opens {}, closes {})",
+            c.breaker_opens, c.breaker_half_opens, c.breaker_closes
+        ));
+    }
+    if let Some(p) = &cfg.protection {
+        if r.queue_wait_p99_micros > p.admission.deadline_micros {
+            failures.push(format!(
+                "spike_demo: p99 queue wait {} us exceeds the {} us admission deadline",
+                r.queue_wait_p99_micros, p.admission.deadline_micros
+            ));
+        }
+    }
+    // Admitted work must stay deadline-shaped: at most 1% of completions
+    // blew the deadline.
+    if r.deadline_missed * 100 > r.completed {
+        failures.push(format!(
+            "spike_demo: {} of {} completions missed the deadline",
+            r.deadline_missed, r.completed
+        ));
+    }
+    // Goodput stays flat while shedding: the spike window's timely rate
+    // must hold against the pre-spike rate.
+    if let (Some(ts), Some((start, end))) = (r.timeseries.as_ref(), spike_window(cfg)) {
+        let rate = |a: Time, b: Time| -> f64 {
+            let timely: u64 = ts
+                .windows()
+                .iter()
+                .filter(|w| w.start_micros >= a && w.start_micros < b)
+                .map(|w| w.counter("timely"))
+                .sum();
+            timely as f64 / ((b - a).max(1) as f64 / 1_000_000.0)
+        };
+        let before = rate(0, start);
+        let during = rate(start, end);
+        if during < before * KNEE_HOLD_FRACTION {
+            failures.push(format!(
+                "spike_demo: goodput sagged under the spike ({during:.0} rps vs {before:.0} before)"
+            ));
+        }
+        for name in ["breaker_open", "breaker_half_open", "breaker_close"] {
+            if ts.counter_total(name) == 0 {
+                failures.push(format!(
+                    "spike_demo: '{name}' transition missing from the exported timeseries"
+                ));
+            }
+        }
+    } else {
+        failures.push("spike_demo: no timeseries recorded".to_string());
+    }
+}
+
+fn check_curves(
+    base: &OverloadRunConfig,
+    protected: &[CurvePoint],
+    unprotected: &[CurvePoint],
+    failures: &mut Vec<String>,
+) {
+    for p in protected.iter().chain(unprotected) {
+        if p.stale_beyond_lease != 0 {
+            failures.push(format!(
+                "sweep x{}: {} stale-beyond-lease serve(s)",
+                p.multiplier, p.stale_beyond_lease
+            ));
+        }
+    }
+    let knee = knee_index(protected);
+    let knee_goodput = protected[knee].goodput_rps;
+    for p in &protected[knee + 1..] {
+        if p.goodput_rps < knee_goodput * KNEE_HOLD_FRACTION {
+            failures.push(format!(
+                "sweep x{}: protected goodput {:.0} rps collapsed below {:.0}% of the knee's {:.0}",
+                p.multiplier,
+                p.goodput_rps,
+                KNEE_HOLD_FRACTION * 100.0,
+                knee_goodput
+            ));
+        }
+    }
+    let (Some(pt), Some(ut)) = (protected.last(), unprotected.last()) else {
+        failures.push("sweep: empty curve".to_string());
+        return;
+    };
+    if pt.goodput_rps < ut.goodput_rps {
+        failures.push(format!(
+            "sweep x{}: protection lost to the unprotected baseline ({:.0} vs {:.0} rps)",
+            pt.multiplier, pt.goodput_rps, ut.goodput_rps
+        ));
+    }
+    // The contrast that motivates the whole layer: past the knee the
+    // unprotected p99 runs away while the protected one stays bounded.
+    if pt.p99_response_micros > 2 * base.deadline_micros {
+        failures.push(format!(
+            "sweep x{}: protected p99 {} us lost its deadline shape",
+            pt.multiplier, pt.p99_response_micros
+        ));
+    }
+    if ut.p99_response_micros < 4 * base.deadline_micros {
+        failures.push(format!(
+            "sweep x{}: unprotected p99 {} us never degraded — overload not reached",
+            ut.multiplier, ut.p99_response_micros
+        ));
+    }
+}
+
+/// Appends every failed SLO verdict in `entry` to `failures`.
+fn collect_slo_failures(entry: &Json, failures: &mut Vec<String>) {
+    let label = entry.get("config").and_then(Json::as_str).unwrap_or("?");
+    let Some(slos) = entry.get("slo").and_then(Json::as_arr) else {
+        return;
+    };
+    for r in slos {
+        if r.get("passed").and_then(Json::as_bool) == Some(false) {
+            let name = r.get("name").and_then(Json::as_str).unwrap_or("?");
+            let detail = r.get("detail").and_then(Json::as_str).unwrap_or("");
+            failures.push(format!("{label}: SLO {name} failed ({detail})"));
+        }
+    }
+}

@@ -217,6 +217,16 @@ impl ResultCache {
         }
     }
 
+    /// Whether a fresh (within-lease) entry for `q` is present: a
+    /// read-only probe with no LRU refresh and no expiry side effects.
+    /// The overload layer routes on this without touching the home tier
+    /// — an expired entry reads as not-fresh, exactly as
+    /// [`ResultCache::lookup_classified`] would refuse to serve it.
+    pub fn peek_fresh(&self, q: &Query) -> bool {
+        self.peek(q)
+            .is_some_and(|e| e.expires_at_micros >= self.now_micros)
+    }
+
     /// Read-only lookup (no LRU refresh), for tests and diagnostics.
     pub fn peek(&self, q: &Query) -> Option<&CacheEntry> {
         self.entries.get(&CacheKey {

@@ -137,7 +137,14 @@ pub struct FtUpdateResponse {
 /// `base_backoff_micros * 2^(k-2)` for `k >= 2`, capped at
 /// `max_backoff_micros`; the whole trip gives up once the accumulated
 /// wait would exceed `timeout_micros` or `max_attempts` is reached.
-/// Deterministic — no jitter — so simulated runs reproduce exactly.
+///
+/// With `jitter` off the schedule is the fixed doubling above — every
+/// retrier waits the identical amount, so proxies that failed together
+/// retry together (a retry storm into the still-down link). With
+/// `jitter` on, [`RetryPolicy::backoff_before_seeded`] draws the wait
+/// *full-jitter* style — uniform in `[0, backoff_before(k)]` — from a
+/// deterministic hash of `(seed, attempt)`, so replays with the same
+/// seed reproduce exactly while differently-seeded retriers decorrelate.
 #[derive(Debug, Clone)]
 pub struct RetryPolicy {
     pub max_attempts: u32,
@@ -145,6 +152,8 @@ pub struct RetryPolicy {
     pub max_backoff_micros: u64,
     /// Total backoff budget across all attempts.
     pub timeout_micros: u64,
+    /// Enables seeded full-jitter backoff (deterministic per seed).
+    pub jitter: bool,
 }
 
 impl Default for RetryPolicy {
@@ -154,6 +163,7 @@ impl Default for RetryPolicy {
             base_backoff_micros: 10_000,
             max_backoff_micros: 500_000,
             timeout_micros: 2_000_000,
+            jitter: false,
         }
     }
 }
@@ -166,11 +176,21 @@ impl RetryPolicy {
             base_backoff_micros: 0,
             max_backoff_micros: 0,
             timeout_micros: 0,
+            jitter: false,
+        }
+    }
+
+    /// The default schedule with full-jitter enabled.
+    pub fn jittered() -> RetryPolicy {
+        RetryPolicy {
+            jitter: true,
+            ..RetryPolicy::default()
         }
     }
 
     /// The wait before attempt `attempt` (1-based; attempt 1 is
-    /// immediate).
+    /// immediate). Without jitter this is the exact wait; with jitter it
+    /// is the upper bound of the draw.
     pub fn backoff_before(&self, attempt: u32) -> u64 {
         if attempt <= 1 {
             return 0;
@@ -180,6 +200,28 @@ impl RetryPolicy {
             .saturating_mul(1u64 << exp)
             .min(self.max_backoff_micros)
     }
+
+    /// The wait before attempt `attempt` for the retrier identified by
+    /// `seed` (e.g. a hash of proxy id and request sequence). Equals
+    /// [`RetryPolicy::backoff_before`] when `jitter` is off; otherwise a
+    /// deterministic uniform draw in `[0, backoff_before(attempt)]`.
+    pub fn backoff_before_seeded(&self, attempt: u32, seed: u64) -> u64 {
+        let cap = self.backoff_before(attempt);
+        if !self.jitter || cap == 0 {
+            return cap;
+        }
+        let h = splitmix64(seed ^ splitmix64(attempt as u64));
+        h % (cap + 1)
+    }
+}
+
+/// SplitMix64 finalizer — a tiny, dependency-free bijective mixer; good
+/// enough to decorrelate backoff draws and fully deterministic.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 /// The (simulated) state of the proxy ↔ home network path: a set of
@@ -228,6 +270,7 @@ mod tests {
             base_backoff_micros: 100,
             max_backoff_micros: 350,
             timeout_micros: 10_000,
+            jitter: false,
         };
         assert_eq!(p.backoff_before(1), 0);
         assert_eq!(p.backoff_before(2), 100);
@@ -252,6 +295,49 @@ mod tests {
         assert!(!link.is_up(550));
         assert!(link.is_up(1_000));
         assert!(HomeLink::reliable().is_up(0));
+    }
+
+    #[test]
+    fn seeded_backoff_is_deterministic_and_bounded() {
+        let p = RetryPolicy::jittered();
+        for attempt in 2..=6u32 {
+            let cap = p.backoff_before(attempt);
+            for seed in [0u64, 1, 42, u64::MAX] {
+                let w = p.backoff_before_seeded(attempt, seed);
+                assert!(w <= cap, "draw {w} exceeds cap {cap}");
+                assert_eq!(
+                    w,
+                    p.backoff_before_seeded(attempt, seed),
+                    "same (seed, attempt) must replay identically"
+                );
+            }
+        }
+        // Attempt 1 is always immediate, jitter or not.
+        assert_eq!(p.backoff_before_seeded(1, 7), 0);
+    }
+
+    #[test]
+    fn jitter_off_matches_deterministic_schedule() {
+        let p = RetryPolicy::default();
+        for attempt in 1..=8u32 {
+            assert_eq!(
+                p.backoff_before_seeded(attempt, 1234),
+                p.backoff_before(attempt)
+            );
+        }
+    }
+
+    #[test]
+    fn jittered_retriers_decorrelate() {
+        // The retry-storm regression: two retriers seeded differently
+        // must not share an identical full backoff schedule.
+        let p = RetryPolicy::jittered();
+        let schedule =
+            |seed: u64| -> Vec<u64> { (2..=6).map(|a| p.backoff_before_seeded(a, seed)).collect() };
+        let collisions = (0..64u64)
+            .filter(|s| schedule(2 * s) == schedule(2 * s + 1))
+            .count();
+        assert_eq!(collisions, 0, "seeded schedules collided");
     }
 
     #[test]

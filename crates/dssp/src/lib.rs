@@ -28,6 +28,14 @@
 //! `scs-apps`' `tests/chaos.rs` drives random fault schedules against a
 //! ground-truth oracle to verify the staleness bound.
 
+//!
+//! Past the scalability knee the right behaviour is to *bend, not
+//! break*: [`admission`] adds deadline-aware admission control, a
+//! per-home-link circuit breaker, and brownout serving (within-lease
+//! hits degrade, misses fast-reject with [`Overloaded`]) so goodput
+//! stays flat while overload is shed at arrival.
+
+pub mod admission;
 pub mod cache;
 pub mod delivery;
 pub mod home;
@@ -38,13 +46,21 @@ pub mod strategy;
 pub mod tenant;
 pub mod view;
 
+pub use admission::{
+    AdmissionConfig, AdmissionController, BreakerConfig, BreakerState, BreakerTransition,
+    BrownoutConfig, BrownoutController, CircuitBreaker, OverloadConfig, Overloaded, QueueState,
+    Rejected, ShedReason,
+};
 pub use cache::{CacheEntry, CacheKey, Lookup, ResultCache, StoreOutcome};
 pub use delivery::{
     DeliveryOutcome, FtOutcome, FtQueryResponse, FtUpdateOutcome, FtUpdateResponse, HomeLink,
     InvalidationMsg, RecoveryMode, RetryPolicy,
 };
 pub use home::HomeServer;
-pub use proxy::{Dssp, DsspConfig, QueryResponse, UpdateResponse};
+pub use proxy::{
+    Dssp, DsspConfig, OverloadOutcome, OverloadQueryResponse, OverloadUpdateOutcome,
+    OverloadUpdateResponse, QueryResponse, UpdateResponse,
+};
 pub use statement::statement_may_affect;
 pub use stats::DsspStats;
 pub use strategy::{decide, must_invalidate, DecisionPath, StrategyKind, UpdateView};

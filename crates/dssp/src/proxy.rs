@@ -13,10 +13,14 @@
 //! fault-tolerant pathway (retry with exponential backoff, outage-aware
 //! degradation, deferred invalidation delivery).
 
+use crate::admission::{
+    AdmissionController, BreakerState, BreakerTransition, BrownoutController, CircuitBreaker,
+    OverloadConfig, Overloaded, QueueState, ShedReason,
+};
 use crate::cache::{Lookup, ResultCache};
 use crate::delivery::{
-    DeliveryOutcome, FtOutcome, FtQueryResponse, FtUpdateOutcome, FtUpdateResponse, HomeLink,
-    InvalidationMsg, RecoveryMode, RetryPolicy,
+    splitmix64, DeliveryOutcome, FtOutcome, FtQueryResponse, FtUpdateOutcome, FtUpdateResponse,
+    HomeLink, InvalidationMsg, RecoveryMode, RetryPolicy,
 };
 use crate::home::HomeServer;
 use crate::stats::DsspStats;
@@ -48,6 +52,9 @@ pub struct DsspConfig {
     pub lease_micros: Option<u64>,
     /// What to flush when the invalidation stream skips an epoch.
     pub recovery: RecoveryMode,
+    /// Overload protection (admission control, circuit breaker,
+    /// brownout); `None` = accept everything, the paper's behaviour.
+    pub overload: Option<OverloadConfig>,
 }
 
 impl DsspConfig {
@@ -61,6 +68,7 @@ impl DsspConfig {
             cache_capacity: None,
             lease_micros: None,
             recovery: RecoveryMode::FlushAffected,
+            overload: None,
         }
     }
 }
@@ -81,6 +89,105 @@ pub struct UpdateResponse {
     pub scanned: usize,
     /// Cache entries invalidated.
     pub invalidated: usize,
+}
+
+/// The outcome of a query through the overload-guarded entry point
+/// ([`Dssp::execute_query_overload`]): the fault-tolerant outcomes plus
+/// explicit shedding.
+#[derive(Debug, Clone)]
+pub enum OverloadOutcome {
+    Served {
+        result: QueryResult,
+        /// Whether the cache answered (no home-server round trip).
+        hit: bool,
+        /// Served under degradation: either the home link was down
+        /// (PR 2 semantics) or brownout mode marked the hit degraded.
+        /// Always within-lease — never stale beyond it.
+        degraded: bool,
+    },
+    /// Admitted, but the home server stayed unreachable through every
+    /// retry.
+    Unavailable,
+    /// Turned away by overload protection before costing anything.
+    Shed(Overloaded),
+}
+
+/// A query response from the overload-guarded path.
+#[derive(Debug, Clone)]
+pub struct OverloadQueryResponse {
+    pub outcome: OverloadOutcome,
+    pub attempts: u32,
+    pub backoff_micros: u64,
+}
+
+impl OverloadQueryResponse {
+    fn from_ft(r: FtQueryResponse) -> OverloadQueryResponse {
+        let outcome = match r.outcome {
+            FtOutcome::Served {
+                result,
+                hit,
+                degraded,
+            } => OverloadOutcome::Served {
+                result,
+                hit,
+                degraded,
+            },
+            FtOutcome::Unavailable => OverloadOutcome::Unavailable,
+        };
+        OverloadQueryResponse {
+            outcome,
+            attempts: r.attempts,
+            backoff_micros: r.backoff_micros,
+        }
+    }
+}
+
+/// The outcome of an update through [`Dssp::execute_update_overload`].
+#[derive(Debug, Clone)]
+pub enum OverloadUpdateOutcome {
+    /// Applied at the master; the invalidation notification is returned
+    /// for the delivery channel, exactly as in the `_ft` path.
+    Applied {
+        effect: UpdateEffect,
+        msg: InvalidationMsg,
+    },
+    /// Admitted but the home server stayed unreachable; master unchanged.
+    Unavailable,
+    /// Turned away by overload protection; master unchanged.
+    Shed(Overloaded),
+}
+
+/// An update response from the overload-guarded path.
+#[derive(Debug, Clone)]
+pub struct OverloadUpdateResponse {
+    pub outcome: OverloadUpdateOutcome,
+    pub attempts: u32,
+    pub backoff_micros: u64,
+}
+
+impl OverloadUpdateResponse {
+    fn from_ft(r: FtUpdateResponse) -> OverloadUpdateResponse {
+        let outcome = match r.outcome {
+            FtUpdateOutcome::Applied { effect, msg } => {
+                OverloadUpdateOutcome::Applied { effect, msg }
+            }
+            FtUpdateOutcome::Unavailable => OverloadUpdateOutcome::Unavailable,
+        };
+        OverloadUpdateResponse {
+            outcome,
+            attempts: r.attempts,
+            backoff_micros: r.backoff_micros,
+        }
+    }
+}
+
+/// Live overload-protection state (present when
+/// [`DsspConfig::overload`] was set).
+struct OverloadState {
+    config: OverloadConfig,
+    breaker: CircuitBreaker,
+    brownout: BrownoutController,
+    brownout_active: bool,
 }
 
 /// Cached handles into the proxy's [`MetricsRegistry`] so the hot path
@@ -112,6 +219,17 @@ struct ProxyMetrics {
     home_unavailable: Counter,
     degraded_serves: Counter,
     restarts: Counter,
+    // Overload-protection counters (all zero when protection is off).
+    shed_admission: Counter,
+    shed_breaker_open: Counter,
+    shed_brownout: Counter,
+    shed_queue_full: Counter,
+    breaker_opens: Counter,
+    breaker_half_opens: Counter,
+    breaker_closes: Counter,
+    brownout_entries: Counter,
+    brownout_exits: Counter,
+    brownout_serves: Counter,
 }
 
 impl ProxyMetrics {
@@ -146,6 +264,16 @@ impl ProxyMetrics {
             home_unavailable: registry.counter("dssp.home_unavailable"),
             degraded_serves: registry.counter("dssp.degraded_serves"),
             restarts: registry.counter("dssp.restarts"),
+            shed_admission: registry.counter("dssp.shed_admission"),
+            shed_breaker_open: registry.counter("dssp.shed_breaker_open"),
+            shed_brownout: registry.counter("dssp.shed_brownout"),
+            shed_queue_full: registry.counter("dssp.shed_queue_full"),
+            breaker_opens: registry.counter("dssp.breaker_opens"),
+            breaker_half_opens: registry.counter("dssp.breaker_half_opens"),
+            breaker_closes: registry.counter("dssp.breaker_closes"),
+            brownout_entries: registry.counter("dssp.brownout_entries"),
+            brownout_exits: registry.counter("dssp.brownout_exits"),
+            brownout_serves: registry.counter("dssp.brownout_serves"),
         }
     }
 }
@@ -171,6 +299,14 @@ pub struct Dssp {
     /// flush).
     epoch: u64,
     recovery: RecoveryMode,
+    /// Overload protection; `None` = accept everything.
+    overload: Option<OverloadState>,
+    /// Monotone per-proxy request counter, mixed with `jitter_salt` to
+    /// seed full-jitter backoff draws.
+    request_seq: u64,
+    /// Per-proxy jitter salt derived from the app id, so identically
+    /// scripted proxies retry on decorrelated schedules.
+    jitter_salt: u64,
 }
 
 impl Dssp {
@@ -185,6 +321,16 @@ impl Dssp {
         let query_count = config.exposures.queries.len();
         let registry = MetricsRegistry::new();
         let metrics = ProxyMetrics::new(&registry, update_count, query_count);
+        let jitter_salt = config
+            .app_id
+            .bytes()
+            .fold(0x5c5_c5c5u64, |acc, b| splitmix64(acc ^ b as u64));
+        let overload = config.overload.map(|cfg| OverloadState {
+            config: cfg,
+            breaker: CircuitBreaker::new(cfg.breaker),
+            brownout: BrownoutController::new(cfg.brownout),
+            brownout_active: false,
+        });
         Dssp {
             cache,
             exposures: config.exposures,
@@ -198,6 +344,9 @@ impl Dssp {
             now_micros: 0,
             epoch: 0,
             recovery: config.recovery,
+            overload,
+            request_seq: 0,
+            jitter_salt,
         }
     }
 
@@ -362,9 +511,10 @@ impl Dssp {
         );
         let mut attempts = 0u32;
         let mut backoff = 0u64;
+        let jitter_seed = self.next_jitter_seed();
         loop {
             let next = attempts + 1;
-            let wait = policy.backoff_before(next);
+            let wait = policy.backoff_before_seeded(next, jitter_seed);
             if next > policy.max_attempts || backoff.saturating_add(wait) > policy.timeout_micros {
                 break;
             }
@@ -476,9 +626,10 @@ impl Dssp {
         let root_timer = self.spans.timer();
         let mut attempts = 0u32;
         let mut backoff = 0u64;
+        let jitter_seed = self.next_jitter_seed();
         loop {
             let next = attempts + 1;
-            let wait = policy.backoff_before(next);
+            let wait = policy.backoff_before_seeded(next, jitter_seed);
             if next > policy.max_attempts || backoff.saturating_add(wait) > policy.timeout_micros {
                 break;
             }
@@ -539,6 +690,311 @@ impl Dssp {
             attempts,
             backoff_micros: backoff,
         })
+    }
+
+    /// The overload-guarded query path: [`Dssp::execute_query_ft`]
+    /// wrapped in deadline-aware admission, the per-home-link circuit
+    /// breaker, and brownout serving.
+    ///
+    /// `queue` is the caller's snapshot of the home-side bottleneck
+    /// (queueing lives in the simulator's service centers, not in the
+    /// proxy). Decision order for a request offered at the current sim
+    /// time:
+    ///
+    /// 1. a fresh (within-lease) cache hit always serves — under
+    ///    brownout it serves *degraded* and is counted as a brownout
+    ///    serve; staleness stays lease-bounded either way;
+    /// 2. under brownout (breaker open, or the last window's *backstop*
+    ///    rejection ratio — bounded-queue refusals, not orderly
+    ///    admission sheds — at threshold) a miss fast-rejects with
+    ///    [`Overloaded`];
+    /// 3. a miss whose projected completion (`queue` wait + service
+    ///    estimate) already violates the deadline is shed at arrival;
+    /// 4. an open breaker refuses the home trip locally; a half-open
+    ///    breaker admits exactly one probe;
+    /// 5. otherwise the `_ft` path runs, and its outcome feeds the
+    ///    breaker (`Served` → success, `Unavailable` → failure).
+    ///
+    /// Without [`DsspConfig::overload`] this is a transparent wrapper
+    /// over the `_ft` path — nothing is ever shed.
+    pub fn execute_query_overload(
+        &mut self,
+        q: &Query,
+        home: &mut HomeServer,
+        link: &HomeLink,
+        policy: &RetryPolicy,
+        queue: &QueueState,
+    ) -> Result<OverloadQueryResponse, StorageError> {
+        if self.overload.is_none() {
+            let resp = self.execute_query_ft(q, home, link, policy)?;
+            return Ok(OverloadQueryResponse::from_ft(resp));
+        }
+        let now = self.now_micros;
+        let tid = q.template_id as u32;
+        self.poll_breaker(now);
+        let (breaker_open, brownout) = {
+            let ol = self.overload.as_mut().expect("checked above");
+            let open = ol.breaker.state() == BreakerState::Open;
+            (open, ol.brownout.active(now, open))
+        };
+        self.set_brownout_active(brownout);
+        let fresh_hit = self.cache.peek_fresh(q);
+        if fresh_hit {
+            // Hits never touch the home tier, so neither admission nor
+            // the breaker applies; under brownout the serve is degraded.
+            let resp = self.execute_query_ft(q, home, link, policy)?;
+            self.record_offered(now, false);
+            let mut out = OverloadQueryResponse::from_ft(resp);
+            if brownout {
+                if let OverloadOutcome::Served { degraded, .. } = &mut out.outcome {
+                    if !*degraded {
+                        self.metrics.degraded_serves.inc();
+                        self.tracer.emit(
+                            now,
+                            self.tenant,
+                            TraceEventKind::DegradedServe {
+                                query_template: tid,
+                            },
+                        );
+                    }
+                    *degraded = true;
+                    self.metrics.brownout_serves.inc();
+                }
+            }
+            return Ok(out);
+        }
+        if brownout {
+            // Brownout fast-rejects misses instead of queueing them. Its
+            // own rejects are deliberate, not distress, so they do not
+            // feed the trigger — counting them would latch brownout for
+            // as long as the overload lasts (shed → ratio hot → shed …),
+            // starving the cache of refills.
+            let why = if breaker_open {
+                Overloaded::BreakerOpen {
+                    retry_after_micros: self.breaker_retry_after(now),
+                }
+            } else {
+                Overloaded::Brownout
+            };
+            self.record_offered(now, false);
+            return Ok(self.shed_query(tid, why));
+        }
+        let admission = {
+            let ol = self.overload.as_ref().expect("checked above");
+            AdmissionController::new(ol.config.admission)
+        };
+        if let Err(r) = admission.admit(now, queue) {
+            // Admission shedding is the system operating correctly at
+            // overload — it does not feed the brownout trigger either.
+            self.record_offered(now, false);
+            return Ok(self.shed_query(tid, Overloaded::Admission(r)));
+        }
+        let acquired = {
+            let ol = self.overload.as_mut().expect("checked above");
+            ol.breaker.try_acquire(now)
+        };
+        if !acquired {
+            // Breaker state already forces brownout directly.
+            let why = Overloaded::BreakerOpen {
+                retry_after_micros: self.breaker_retry_after(now),
+            };
+            self.record_offered(now, false);
+            return Ok(self.shed_query(tid, why));
+        }
+        let resp = self.execute_query_ft(q, home, link, policy)?;
+        let transition = {
+            let ol = self.overload.as_mut().expect("checked above");
+            match resp.outcome {
+                FtOutcome::Served { .. } => ol.breaker.on_success(now),
+                FtOutcome::Unavailable => ol.breaker.on_failure(now),
+            }
+        };
+        if let Some(t) = transition {
+            self.note_transition(t);
+        }
+        self.record_offered(now, false);
+        Ok(OverloadQueryResponse::from_ft(resp))
+    }
+
+    /// The overload-guarded update path. Updates always need the home
+    /// tier, so deadline admission and the circuit breaker gate them;
+    /// brownout does **not** shed updates on its own (writes carry more
+    /// value than reads, and an admitted update feeds the breaker the
+    /// freshest link signal). A shed update leaves the master untouched.
+    pub fn execute_update_overload(
+        &mut self,
+        u: &Update,
+        home: &mut HomeServer,
+        link: &HomeLink,
+        policy: &RetryPolicy,
+        queue: &QueueState,
+    ) -> Result<OverloadUpdateResponse, StorageError> {
+        if self.overload.is_none() {
+            let resp = self.execute_update_ft(u, home, link, policy)?;
+            return Ok(OverloadUpdateResponse::from_ft(resp));
+        }
+        let now = self.now_micros;
+        let tid = u.template_id as u32;
+        self.poll_breaker(now);
+        let admission = {
+            let ol = self.overload.as_ref().expect("checked above");
+            AdmissionController::new(ol.config.admission)
+        };
+        if let Err(r) = admission.admit(now, queue) {
+            self.record_offered(now, false);
+            return Ok(self.shed_update(tid, Overloaded::Admission(r)));
+        }
+        let acquired = {
+            let ol = self.overload.as_mut().expect("checked above");
+            ol.breaker.try_acquire(now)
+        };
+        if !acquired {
+            let why = Overloaded::BreakerOpen {
+                retry_after_micros: self.breaker_retry_after(now),
+            };
+            self.record_offered(now, false);
+            return Ok(self.shed_update(tid, why));
+        }
+        let resp = self.execute_update_ft(u, home, link, policy)?;
+        let transition = {
+            let ol = self.overload.as_mut().expect("checked above");
+            match resp.outcome {
+                FtUpdateOutcome::Applied { .. } => ol.breaker.on_success(now),
+                FtUpdateOutcome::Unavailable => ol.breaker.on_failure(now),
+            }
+        };
+        if let Some(t) = transition {
+            self.note_transition(t);
+        }
+        self.record_offered(now, false);
+        Ok(OverloadUpdateResponse::from_ft(resp))
+    }
+
+    /// Accounts a request the *caller* shed at a bounded netsim queue
+    /// (`try_serve`/`try_send` rejection) so the proxy's shed counters
+    /// and brownout shed-ratio see it. Returns the error to surface.
+    pub fn record_queue_rejection(&mut self, query_template: u32) -> Overloaded {
+        let now = self.now_micros;
+        self.record_offered(now, true);
+        self.note_shed(query_template, ShedReason::QueueFull);
+        Overloaded::QueueFull
+    }
+
+    /// The circuit breaker's current state (`None` when overload
+    /// protection is off).
+    pub fn breaker_state(&self) -> Option<BreakerState> {
+        self.overload.as_ref().map(|ol| ol.breaker.state())
+    }
+
+    /// Whether brownout mode was active at the last guarded request.
+    pub fn brownout_active(&self) -> bool {
+        self.overload.as_ref().is_some_and(|ol| ol.brownout_active)
+    }
+
+    /// The configured overload protection, if any.
+    pub fn overload_config(&self) -> Option<&OverloadConfig> {
+        self.overload.as_ref().map(|ol| &ol.config)
+    }
+
+    fn next_jitter_seed(&mut self) -> u64 {
+        self.request_seq += 1;
+        splitmix64(self.jitter_salt ^ self.request_seq)
+    }
+
+    fn poll_breaker(&mut self, now: u64) {
+        let transition = self.overload.as_mut().and_then(|ol| ol.breaker.poll(now));
+        if let Some(t) = transition {
+            self.note_transition(t);
+        }
+    }
+
+    fn breaker_retry_after(&self, now: u64) -> u64 {
+        self.overload
+            .as_ref()
+            .map(|ol| ol.breaker.probe_due_micros().saturating_sub(now))
+            .unwrap_or(0)
+    }
+
+    /// Feeds the brownout trigger. `distress` is true only for backstop
+    /// rejections (a bounded queue refusing admitted work): orderly
+    /// admission sheds, breaker refusals (the breaker forces brownout by
+    /// state), and brownout's own fast-rejects stay out of the ratio so
+    /// sustained overload cannot latch brownout on its own output.
+    fn record_offered(&mut self, now: u64, distress: bool) {
+        if let Some(ol) = self.overload.as_mut() {
+            ol.brownout.record(now, distress);
+        }
+    }
+
+    fn set_brownout_active(&mut self, active: bool) {
+        let Some(ol) = self.overload.as_mut() else {
+            return;
+        };
+        if ol.brownout_active == active {
+            return;
+        }
+        ol.brownout_active = active;
+        if active {
+            self.metrics.brownout_entries.inc();
+        } else {
+            self.metrics.brownout_exits.inc();
+        }
+        self.tracer.emit(
+            self.now_micros,
+            self.tenant,
+            TraceEventKind::BrownoutMode { active },
+        );
+    }
+
+    fn note_transition(&mut self, t: BreakerTransition) {
+        match t.to {
+            BreakerState::Open => self.metrics.breaker_opens.inc(),
+            BreakerState::HalfOpen => self.metrics.breaker_half_opens.inc(),
+            BreakerState::Closed => self.metrics.breaker_closes.inc(),
+        }
+        self.tracer.emit(
+            t.at_micros,
+            self.tenant,
+            TraceEventKind::BreakerTransition {
+                from: t.from.code(),
+                to: t.to.code(),
+            },
+        );
+    }
+
+    fn note_shed(&mut self, template: u32, reason: ShedReason) {
+        match reason {
+            ShedReason::Admission => self.metrics.shed_admission.inc(),
+            ShedReason::BreakerOpen => self.metrics.shed_breaker_open.inc(),
+            ShedReason::Brownout => self.metrics.shed_brownout.inc(),
+            ShedReason::QueueFull => self.metrics.shed_queue_full.inc(),
+        }
+        self.tracer.emit(
+            self.now_micros,
+            self.tenant,
+            TraceEventKind::RequestShed {
+                query_template: template,
+                reason: reason.code(),
+            },
+        );
+    }
+
+    fn shed_query(&mut self, template: u32, why: Overloaded) -> OverloadQueryResponse {
+        self.note_shed(template, why.reason());
+        OverloadQueryResponse {
+            outcome: OverloadOutcome::Shed(why),
+            attempts: 0,
+            backoff_micros: 0,
+        }
+    }
+
+    fn shed_update(&mut self, template: u32, why: Overloaded) -> OverloadUpdateResponse {
+        self.note_shed(template, why.reason());
+        OverloadUpdateResponse {
+            outcome: OverloadUpdateOutcome::Shed(why),
+            attempts: 0,
+            backoff_micros: 0,
+        }
     }
 
     /// Delivers one epoch-stamped invalidation notification.
@@ -846,6 +1302,7 @@ mod tests {
             cache_capacity: None,
             lease_micros: None,
             recovery: RecoveryMode::FlushAffected,
+            overload: None,
         });
         Fixture {
             dssp,

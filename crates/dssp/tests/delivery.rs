@@ -279,6 +279,7 @@ fn degraded_hits_serve_during_outages_but_misses_surface_unavailable() {
         base_backoff_micros: 100,
         max_backoff_micros: 1_000,
         timeout_micros: 10_000,
+        jitter: false,
     };
 
     // Within-lease hit: served, flagged degraded.
@@ -320,6 +321,7 @@ fn retries_succeed_once_a_short_outage_lifts() {
         base_backoff_micros: 2_000,
         max_backoff_micros: 8_000,
         timeout_micros: 50_000,
+        jitter: false,
     };
     let qa = r.query(0, vec![Value::Int(1)]);
     let resp = r

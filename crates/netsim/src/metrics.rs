@@ -25,6 +25,15 @@ pub struct RunMetrics {
     pub ops_executed: u64,
     /// Requests completed in the measurement window.
     pub requests_completed: usize,
+    /// Requests *offered* in the measurement window — started (or
+    /// presented for admission), whether or not they were admitted or
+    /// finished. Under overload protection this exceeds
+    /// `requests_completed`; the gap is shed plus still-in-flight load.
+    pub requests_offered: usize,
+    /// Requests turned away by admission control / bounded queues in the
+    /// window (0 for unprotected runs — netsim itself never sheds; the
+    /// overload harness fills this in).
+    pub requests_shed: usize,
     /// Simulated users.
     pub users: usize,
     /// Measurement-window length.
@@ -82,6 +91,41 @@ impl RunMetrics {
             return 0.0;
         }
         self.requests_completed as f64 / as_secs(self.window)
+    }
+
+    /// Offered load over the window (requests/second) — what arrived,
+    /// not what finished. Falls back to the completion rate when the
+    /// driver did not record offers (legacy runs).
+    pub fn offered_rate(&self) -> f64 {
+        if self.window == 0 {
+            return 0.0;
+        }
+        self.requests_offered.max(self.requests_completed) as f64 / as_secs(self.window)
+    }
+
+    /// *Goodput*: completions that met `deadline`, per second. This is
+    /// the quantity overload protection must keep flat past the knee —
+    /// raw throughput can stay high while every response is uselessly
+    /// late.
+    pub fn goodput(&self, deadline: Time) -> f64 {
+        if self.window == 0 {
+            return 0.0;
+        }
+        let timely = self
+            .response_times
+            .iter()
+            .filter(|rt| **rt <= deadline)
+            .count();
+        timely as f64 / as_secs(self.window)
+    }
+
+    /// Fraction of offered requests shed (0 when nothing was offered).
+    pub fn shed_ratio(&self) -> f64 {
+        let offered = self.requests_offered.max(self.requests_completed);
+        if offered == 0 {
+            return 0.0;
+        }
+        self.requests_shed as f64 / offered as f64
     }
 }
 
@@ -190,6 +234,35 @@ mod tests {
     fn throughput() {
         let m = metrics(vec![SEC; 120], 10);
         assert!((m.throughput() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn goodput_counts_only_timely_completions() {
+        // 60 fast + 60 late completions over a 60 s window.
+        let mut times = vec![SEC; 60];
+        times.extend(vec![5 * SEC; 60]);
+        let mut m = metrics(times, 10);
+        m.requests_offered = 180;
+        m.requests_shed = 60;
+        assert!((m.throughput() - 2.0).abs() < 1e-9);
+        assert!(
+            (m.goodput(2 * SEC) - 1.0).abs() < 1e-9,
+            "late ones excluded"
+        );
+        assert!((m.offered_rate() - 3.0).abs() < 1e-9);
+        assert!((m.shed_ratio() - 60.0 / 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offered_rate_falls_back_to_completions() {
+        // Legacy runs never fill requests_offered; the offered rate must
+        // not read as zero there.
+        let m = metrics(vec![SEC; 120], 10);
+        assert_eq!(m.requests_offered, 0);
+        assert!((m.offered_rate() - m.throughput()).abs() < 1e-9);
+        assert_eq!(m.shed_ratio(), 0.0);
+        assert_eq!(RunMetrics::default().offered_rate(), 0.0);
+        assert_eq!(RunMetrics::default().goodput(SEC), 0.0);
     }
 
     #[test]

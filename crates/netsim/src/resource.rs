@@ -1,6 +1,75 @@
 //! Queueing primitives: FIFO service centers and store-and-forward links.
+//!
+//! Centers and pipes are unbounded by default (paper semantics: every
+//! offered job eventually serves, latency grows without limit past
+//! saturation). The overload-protection layer instead constructs them
+//! with a [`QueueCap`] and offers work through [`ServiceCenter::try_serve`]
+//! / [`Pipe::try_send`], which reject — returning [`Rejected`] — when the
+//! jobs-in-system count or the projected queueing wait exceeds the cap.
+//! Rejection leaves the center untouched, so shed load costs nothing.
 
 use crate::units::{transfer_time, Time};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Admission cap for a bounded [`ServiceCenter`] or [`Pipe`]. A job is
+/// rejected when *either* limit would be exceeded by accepting it; a
+/// limit of `None` means unbounded in that dimension.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueCap {
+    /// Maximum jobs in system (queued + in service) at the arrival time,
+    /// counting the candidate job itself.
+    pub max_in_system: Option<usize>,
+    /// Maximum projected queueing delay (µs) the candidate would incur
+    /// before starting service.
+    pub max_wait: Option<Time>,
+}
+
+impl QueueCap {
+    /// No limits — `try_serve` behaves exactly like `serve`.
+    pub fn unbounded() -> QueueCap {
+        QueueCap::default()
+    }
+
+    /// Cap on projected queueing delay only.
+    pub fn max_wait(wait: Time) -> QueueCap {
+        QueueCap {
+            max_in_system: None,
+            max_wait: Some(wait),
+        }
+    }
+
+    /// Cap on jobs in system only.
+    pub fn max_in_system(depth: usize) -> QueueCap {
+        QueueCap {
+            max_in_system: Some(depth),
+            max_wait: None,
+        }
+    }
+}
+
+/// A job turned away by a bounded center or pipe: the queue state that
+/// caused the rejection, for telemetry and error chaining.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rejected {
+    /// Jobs in system (queued + in service) at the arrival instant,
+    /// counting the rejected job itself.
+    pub in_system: usize,
+    /// Queueing delay (µs) the job would have incurred before service.
+    pub projected_wait: Time,
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rejected by bounded queue: {} in system, projected wait {}us",
+            self.in_system, self.projected_wait
+        )
+    }
+}
+
+impl std::error::Error for Rejected {}
 
 /// Timing of one job through a [`ServiceCenter`]: for a job arriving at
 /// `t`, `start - t` is its queueing delay and `done - start` its service
@@ -19,16 +88,29 @@ pub struct ServiceCenter {
     servers: Vec<Time>,
     busy_total: Time,
     jobs: u64,
+    cap: QueueCap,
+    rejections: u64,
+    /// Completion times of accepted jobs still in the system, pruned
+    /// lazily against the (nondecreasing) arrival clock.
+    pending: BinaryHeap<Reverse<Time>>,
 }
 
 impl ServiceCenter {
-    /// Creates a center with `servers ≥ 1` servers.
+    /// Creates an unbounded center with `servers ≥ 1` servers.
     pub fn new(servers: usize) -> ServiceCenter {
+        ServiceCenter::bounded(servers, QueueCap::unbounded())
+    }
+
+    /// Creates a center whose [`ServiceCenter::try_serve`] enforces `cap`.
+    pub fn bounded(servers: usize, cap: QueueCap) -> ServiceCenter {
         assert!(servers >= 1, "a service center needs at least one server");
         ServiceCenter {
             servers: vec![0; servers],
             busy_total: 0,
             jobs: 0,
+            cap,
+            rejections: 0,
+            pending: BinaryHeap::new(),
         }
     }
 
@@ -42,6 +124,7 @@ impl ServiceCenter {
     /// the gap between arrival and start is the queueing delay, which
     /// telemetry tracks separately from the service time.
     pub fn serve_traced(&mut self, t: Time, demand: Time) -> Served {
+        self.prune(t);
         let (idx, &free_at) = self
             .servers
             .iter()
@@ -53,7 +136,56 @@ impl ServiceCenter {
         self.servers[idx] = done;
         self.busy_total += demand;
         self.jobs += 1;
+        self.pending.push(Reverse(done));
         Served { start, done }
+    }
+
+    /// Bounded admission: serves the job if the center's [`QueueCap`]
+    /// allows it, otherwise rejects without mutating any queue state.
+    pub fn try_serve(&mut self, t: Time, demand: Time) -> Result<Time, Rejected> {
+        self.try_serve_traced(t, demand).map(|s| s.done)
+    }
+
+    /// [`ServiceCenter::try_serve`], reporting service start on success.
+    pub fn try_serve_traced(&mut self, t: Time, demand: Time) -> Result<Served, Rejected> {
+        self.prune(t);
+        let in_system = self.pending.len() + 1;
+        let projected_wait = self.projected_wait(t);
+        let too_deep = self.cap.max_in_system.is_some_and(|cap| in_system > cap);
+        let too_late = self.cap.max_wait.is_some_and(|cap| projected_wait > cap);
+        if too_deep || too_late {
+            self.rejections += 1;
+            return Err(Rejected {
+                in_system,
+                projected_wait,
+            });
+        }
+        Ok(self.serve_traced(t, demand))
+    }
+
+    /// The queueing delay a job arriving at `t` would incur before
+    /// starting service (0 when a server is idle).
+    pub fn projected_wait(&self, t: Time) -> Time {
+        let earliest_free = self.servers.iter().copied().min().unwrap_or(0);
+        earliest_free.saturating_sub(t)
+    }
+
+    /// Jobs in system (queued + in service) as of time `t`. Arrival
+    /// times must be offered nondecreasing, same as `serve`.
+    pub fn in_system(&mut self, t: Time) -> usize {
+        self.prune(t);
+        self.pending.len()
+    }
+
+    /// Jobs turned away by [`ServiceCenter::try_serve`].
+    pub fn rejections(&self) -> u64 {
+        self.rejections
+    }
+
+    fn prune(&mut self, t: Time) {
+        while self.pending.peek().is_some_and(|Reverse(done)| *done <= t) {
+            self.pending.pop();
+        }
     }
 
     /// Total busy time accumulated across servers.
@@ -61,8 +193,9 @@ impl ServiceCenter {
         self.busy_total
     }
 
-    /// Utilization over a horizon (can exceed 1 per-center when `c > 1`;
-    /// divided by server count).
+    /// Utilization over a horizon, divided by server count — busy time
+    /// per server per unit time, so it stays ≤ 1.0 for any `c ≥ 1` as
+    /// long as the horizon covers the accumulated work.
     pub fn utilization(&self, horizon: Time) -> f64 {
         if horizon == 0 {
             return 0.0;
@@ -87,10 +220,16 @@ pub struct Pipe {
 
 impl Pipe {
     pub fn new(latency: Time, bits_per_sec: u64) -> Pipe {
+        Pipe::bounded(latency, bits_per_sec, QueueCap::unbounded())
+    }
+
+    /// A pipe whose [`Pipe::try_send`] enforces `cap` on the
+    /// serialization queue.
+    pub fn bounded(latency: Time, bits_per_sec: u64, cap: QueueCap) -> Pipe {
         Pipe {
             latency,
             bits_per_sec,
-            queue: ServiceCenter::new(1),
+            queue: ServiceCenter::bounded(1, cap),
         }
     }
 
@@ -106,6 +245,26 @@ impl Pipe {
             .queue
             .serve_traced(t, transfer_time(bytes, self.bits_per_sec));
         (served.done + self.latency, served.start - t)
+    }
+
+    /// Bounded admission: delivers the packet if the serialization
+    /// queue's [`QueueCap`] allows it, otherwise rejects without
+    /// mutating the queue.
+    pub fn try_send(&mut self, t: Time, bytes: u64) -> Result<Time, Rejected> {
+        let served = self
+            .queue
+            .try_serve_traced(t, transfer_time(bytes, self.bits_per_sec))?;
+        Ok(served.done + self.latency)
+    }
+
+    /// The serialization-queue delay a packet entering at `t` would see.
+    pub fn projected_wait(&self, t: Time) -> Time {
+        self.queue.projected_wait(t)
+    }
+
+    /// Packets turned away by [`Pipe::try_send`].
+    pub fn rejections(&self) -> u64 {
+        self.queue.rejections()
     }
 
     pub fn utilization(&self, horizon: Time) -> f64 {
@@ -200,5 +359,97 @@ mod tests {
     #[should_panic(expected = "at least one server")]
     fn zero_servers_rejected() {
         ServiceCenter::new(0);
+    }
+
+    #[test]
+    fn utilization_stays_below_one_under_overload() {
+        // Satellite regression: the old doc comment claimed utilization
+        // "can exceed 1 per-center when c > 1" — it cannot, because busy
+        // time is divided by server count. Saturate a multi-server center
+        // far past capacity and pin the bound.
+        for servers in [1usize, 2, 3, 8] {
+            let mut c = ServiceCenter::new(servers);
+            let mut last_done = 0;
+            for i in 0..1_000u64 {
+                // Arrivals far faster than service: heavy overload.
+                last_done = last_done.max(c.serve(i, 100 * MS));
+            }
+            let u = c.utilization(last_done);
+            assert!(
+                u <= 1.0 + 1e-12,
+                "{servers}-server center reported utilization {u} > 1"
+            );
+            assert!(u > 0.9, "overloaded center should be near-saturated");
+        }
+    }
+
+    #[test]
+    fn try_serve_rejects_past_wait_cap() {
+        let mut c = ServiceCenter::bounded(1, QueueCap::max_wait(15));
+        assert_eq!(c.try_serve(0, 10), Ok(10));
+        // Second job would wait 10 ≤ 15: admitted, done at 20.
+        assert_eq!(c.try_serve(0, 10), Ok(20));
+        // Third would wait 20 > 15: rejected, state untouched.
+        let r = c.try_serve(0, 10).unwrap_err();
+        assert_eq!(r.projected_wait, 20);
+        assert_eq!(r.in_system, 3);
+        assert_eq!(c.rejections(), 1);
+        assert_eq!(c.jobs_served(), 2);
+        // Once the backlog drains the cap readmits.
+        assert_eq!(c.try_serve(21, 10), Ok(31));
+    }
+
+    #[test]
+    fn try_serve_rejects_past_depth_cap() {
+        let mut c = ServiceCenter::bounded(1, QueueCap::max_in_system(2));
+        assert!(c.try_serve(0, 10).is_ok());
+        assert!(c.try_serve(0, 10).is_ok());
+        assert!(c.try_serve(0, 10).is_err(), "third of cap-2 rejected");
+        assert_eq!(c.in_system(0), 2);
+        // At t=10 the first job has left the system: room again.
+        assert!(c.try_serve(10, 10).is_ok());
+        assert_eq!(c.rejections(), 1);
+    }
+
+    #[test]
+    fn rejection_leaves_queue_untouched() {
+        let mut c = ServiceCenter::bounded(1, QueueCap::max_wait(0));
+        assert!(c.try_serve(0, 10).is_ok());
+        let busy = c.busy_total();
+        assert!(c.try_serve(5, 10).is_err());
+        assert_eq!(c.busy_total(), busy, "rejected job burned no capacity");
+        // A later arrival sees the same completion it would have anyway.
+        assert_eq!(c.try_serve(10, 10), Ok(20));
+    }
+
+    #[test]
+    fn unbounded_try_serve_matches_serve() {
+        let mut a = ServiceCenter::new(2);
+        let mut b = ServiceCenter::new(2);
+        for i in 0..50u64 {
+            let t = i * 3;
+            assert_eq!(b.try_serve(t, 10), Ok(a.serve(t, 10)));
+        }
+        assert_eq!(b.rejections(), 0);
+    }
+
+    #[test]
+    fn bounded_pipe_sheds_packets() {
+        // 2 Mbps: 2500 bytes = 10 ms serialization; wait cap 10 ms.
+        let mut p = Pipe::bounded(100 * MS, 2_000_000, QueueCap::max_wait(10 * MS));
+        assert_eq!(p.try_send(0, 2_500), Ok(110 * MS));
+        assert_eq!(p.try_send(0, 2_500), Ok(120 * MS), "waits exactly the cap");
+        let r = p.try_send(0, 2_500).unwrap_err();
+        assert_eq!(r.projected_wait, 20 * MS);
+        assert_eq!(p.rejections(), 1);
+    }
+
+    #[test]
+    fn projected_wait_tracks_backlog() {
+        let mut c = ServiceCenter::new(1);
+        assert_eq!(c.projected_wait(0), 0);
+        c.serve(0, 40);
+        assert_eq!(c.projected_wait(10), 30);
+        assert_eq!(c.projected_wait(50), 0, "saturates at zero once drained");
     }
 }

@@ -237,6 +237,9 @@ pub fn run_observed(
                 if clients[c].ops_done == 0 {
                     clients[c].ops_total = workload.begin_request(c).max(1);
                     clients[c].request_start = ev.at;
+                    if ev.at >= cfg.warmup {
+                        metrics.requests_offered += 1;
+                    }
                 }
                 let arrive = clients[c].link.up.send(ev.at, cfg.spec.op_request_bytes);
                 push(&mut heap, &mut seq, arrive, c, EventKind::DsspArrive);

@@ -49,6 +49,18 @@ pub enum TraceEventKind {
     /// The proxy crashed and restarted: cache cleared, epoch tracker
     /// re-synchronized to the home server's epoch.
     NodeRestart { epoch: u64 },
+    /// Overload protection turned a request away. `reason` is the
+    /// `ShedReason` code (0 = deadline admission, 1 = breaker open,
+    /// 2 = brownout, 3 = bounded queue).
+    RequestShed { query_template: u32, reason: u8 },
+    /// The home-link circuit breaker changed state. `from`/`to` are
+    /// `BreakerState` codes (0 = Closed, 1 = Open, 2 = HalfOpen); the
+    /// event *name* carries the target state so each transition kind is
+    /// its own time-series counter.
+    BreakerTransition { from: u8, to: u8 },
+    /// Brownout mode engaged (`active = true`) or released. While
+    /// active, within-lease hits serve degraded and misses fast-reject.
+    BrownoutMode { active: bool },
 }
 
 impl TraceEventKind {
@@ -66,6 +78,14 @@ impl TraceEventKind {
             TraceEventKind::HomeUnreachable { .. } => "home_unreachable",
             TraceEventKind::DegradedServe { .. } => "degraded_serve",
             TraceEventKind::NodeRestart { .. } => "node_restart",
+            TraceEventKind::RequestShed { .. } => "request_shed",
+            // One name per target state: the TimeSeriesSink buckets by
+            // event name, so open/half-open/close each get a curve.
+            TraceEventKind::BreakerTransition { to: 1, .. } => "breaker_open",
+            TraceEventKind::BreakerTransition { to: 2, .. } => "breaker_half_open",
+            TraceEventKind::BreakerTransition { .. } => "breaker_close",
+            TraceEventKind::BrownoutMode { active: true } => "brownout_enter",
+            TraceEventKind::BrownoutMode { active: false } => "brownout_exit",
         }
     }
 }
@@ -143,6 +163,20 @@ impl TraceEvent {
             }
             TraceEventKind::NodeRestart { epoch } => {
                 push("epoch", epoch);
+            }
+            TraceEventKind::RequestShed {
+                query_template,
+                reason,
+            } => {
+                push("query_template", query_template as u64);
+                push("reason", reason as u64);
+            }
+            TraceEventKind::BreakerTransition { from, to } => {
+                push("from", from as u64);
+                push("to", to as u64);
+            }
+            TraceEventKind::BrownoutMode { active } => {
+                push("active", active as u64);
             }
         }
         Json::Obj(fields)
@@ -455,6 +489,43 @@ mod tests {
         let restart = render(TraceEventKind::NodeRestart { epoch: 9 });
         assert_eq!(restart.get("event").unwrap().as_str(), Some("node_restart"));
         assert_eq!(restart.get("epoch").unwrap().as_u64(), Some(9));
+    }
+
+    #[test]
+    fn overload_events_render_their_fields() {
+        let render = |kind: TraceEventKind| {
+            TraceEvent {
+                seq: 0,
+                at_micros: 0,
+                tenant: 0,
+                kind,
+            }
+            .to_json()
+        };
+        let shed = render(TraceEventKind::RequestShed {
+            query_template: 4,
+            reason: 2,
+        });
+        assert_eq!(shed.get("event").unwrap().as_str(), Some("request_shed"));
+        assert_eq!(shed.get("query_template").unwrap().as_u64(), Some(4));
+        assert_eq!(shed.get("reason").unwrap().as_u64(), Some(2));
+        // Transition names encode the target state so the time-series
+        // sink gives each kind its own counter curve.
+        let open = render(TraceEventKind::BreakerTransition { from: 0, to: 1 });
+        assert_eq!(open.get("event").unwrap().as_str(), Some("breaker_open"));
+        assert_eq!(open.get("from").unwrap().as_u64(), Some(0));
+        let half = render(TraceEventKind::BreakerTransition { from: 1, to: 2 });
+        assert_eq!(
+            half.get("event").unwrap().as_str(),
+            Some("breaker_half_open")
+        );
+        let close = render(TraceEventKind::BreakerTransition { from: 2, to: 0 });
+        assert_eq!(close.get("event").unwrap().as_str(), Some("breaker_close"));
+        let enter = render(TraceEventKind::BrownoutMode { active: true });
+        assert_eq!(enter.get("event").unwrap().as_str(), Some("brownout_enter"));
+        assert_eq!(enter.get("active").unwrap().as_u64(), Some(1));
+        let exit = render(TraceEventKind::BrownoutMode { active: false });
+        assert_eq!(exit.get("event").unwrap().as_str(), Some("brownout_exit"));
     }
 
     #[test]
