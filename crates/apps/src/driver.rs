@@ -7,7 +7,7 @@ use crate::gen::{IdSpaces, ParamGen};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use scs_core::{characterize_app, AnalysisOptions, Exposures, IpmMatrix};
-use scs_dssp::{Dssp, DsspConfig, HomeServer};
+use scs_dssp::{Dssp, DsspConfig, FleetConfig, HomeServer, ProxyFleet};
 use scs_netsim::{HomeTrip, OpCost, Time, Workload};
 use scs_sqlkit::{Query, QueryTemplate, Update, UpdateTemplate};
 use scs_storage::Database;
@@ -46,16 +46,37 @@ impl Default for CostModel {
     }
 }
 
+impl CostModel {
+    /// A testbed shape where the DSSP node's CPU is the binding resource
+    /// (application logic dominates: templating, session handling,
+    /// encryption) and updates apply cheaply at the home server. This is
+    /// the regime of the paper's multi-proxy figures: adding DSSP
+    /// proxies relieves the bottleneck for strategies that serve mostly
+    /// from cache, while a blind strategy keeps missing through to the
+    /// *shared* home server and barely scales at all. The per-op DSSP
+    /// cost must sit between the two strategies' effective per-op home
+    /// demands — above the informed strategies' (their miss traffic),
+    /// below the blind strategy's (nearly every op) — so the bottleneck
+    /// lands on opposite tiers at the two ends of the exposure spectrum.
+    pub fn dssp_bound() -> CostModel {
+        CostModel {
+            dssp_cpu_per_op: 7_500,
+            home_cpu_update: 2_000,
+            ..CostModel::default()
+        }
+    }
+}
+
 /// A bound, ready-to-execute operation of an in-flight request.
 enum PreparedOp {
     Query(Query),
     Update(Update),
 }
 
-/// Drives one application instance through the DSSP for the simulator.
-pub struct DsspWorkload {
-    dssp: Dssp,
-    home: HomeServer,
+/// The workload-generation half shared by the single-proxy and fleet
+/// drivers: samples weighted request types and binds their operations'
+/// parameters, keeping each client's in-flight request.
+struct OpSampler {
     queries: Vec<Arc<QueryTemplate>>,
     query_params: Vec<Vec<ParamSpec>>,
     updates: Vec<Arc<UpdateTemplate>>,
@@ -65,6 +86,71 @@ pub struct DsspWorkload {
     gen: ParamGen,
     rng: StdRng,
     pending: Vec<Vec<PreparedOp>>,
+}
+
+impl OpSampler {
+    fn new(app: &AppDef, ids: IdSpaces, zipf_exponent: f64, seed: u64) -> OpSampler {
+        OpSampler {
+            queries: app.query_templates(),
+            query_params: app.queries.iter().map(|q| q.params.clone()).collect(),
+            updates: app.update_templates(),
+            update_params: app.updates.iter().map(|u| u.params.clone()).collect(),
+            requests: app.requests.clone(),
+            total_weight: app.requests.iter().map(|r| r.weight).sum(),
+            gen: ParamGen::new(ids, zipf_exponent),
+            rng: StdRng::seed_from_u64(seed),
+            pending: Vec::new(),
+        }
+    }
+
+    fn sample_request(&mut self) -> usize {
+        let mut pick = self.rng.gen_range(0..self.total_weight);
+        for (i, r) in self.requests.iter().enumerate() {
+            if pick < r.weight {
+                return i;
+            }
+            pick -= r.weight;
+        }
+        unreachable!("weights sum to total_weight")
+    }
+
+    fn begin_request(&mut self, client: usize) -> usize {
+        if self.pending.len() <= client {
+            self.pending.resize_with(client + 1, Vec::new);
+        }
+        let rix = self.sample_request();
+        let ops: Vec<PreparedOp> = self.requests[rix]
+            .ops
+            .clone()
+            .iter()
+            .map(|op| match op {
+                Op::Query(tid) => {
+                    let params = self.gen.bind_all(&self.query_params[*tid], &mut self.rng);
+                    PreparedOp::Query(
+                        Query::bind(*tid, self.queries[*tid].clone(), params)
+                            .expect("validated definitions"),
+                    )
+                }
+                Op::Update(tid) => {
+                    let params = self.gen.bind_all(&self.update_params[*tid], &mut self.rng);
+                    PreparedOp::Update(
+                        Update::bind(*tid, self.updates[*tid].clone(), params)
+                            .expect("validated definitions"),
+                    )
+                }
+            })
+            .collect();
+        let n = ops.len();
+        self.pending[client] = ops;
+        n
+    }
+}
+
+/// Drives one application instance through the DSSP for the simulator.
+pub struct DsspWorkload {
+    dssp: Dssp,
+    home: HomeServer,
+    ops: OpSampler,
     costs: CostModel,
 }
 
@@ -126,28 +212,15 @@ impl DsspWorkload {
         DsspWorkload {
             dssp: Dssp::new(config),
             home: HomeServer::new(db),
-            queries: app.query_templates(),
-            query_params: app.queries.iter().map(|q| q.params.clone()).collect(),
-            updates: app.update_templates(),
-            update_params: app.updates.iter().map(|u| u.params.clone()).collect(),
-            requests: app.requests.clone(),
-            total_weight: app.requests.iter().map(|r| r.weight).sum(),
-            gen: ParamGen::new(ids, zipf_exponent),
-            rng: StdRng::seed_from_u64(seed),
-            pending: Vec::new(),
+            ops: OpSampler::new(app, ids, zipf_exponent, seed),
             costs: CostModel::default(),
         }
     }
 
-    fn sample_request(&mut self) -> usize {
-        let mut pick = self.rng.gen_range(0..self.total_weight);
-        for (i, r) in self.requests.iter().enumerate() {
-            if pick < r.weight {
-                return i;
-            }
-            pick -= r.weight;
-        }
-        unreachable!("weights sum to total_weight")
+    /// Replaces the cost model (builder style).
+    pub fn with_costs(mut self, costs: CostModel) -> DsspWorkload {
+        self.costs = costs;
+        self
     }
 
     /// The DSSP proxy (inspection hook for reports and tests).
@@ -190,39 +263,12 @@ pub fn analysis_matrix(app: &AppDef) -> IpmMatrix {
 
 impl Workload for DsspWorkload {
     fn begin_request(&mut self, client: usize) -> usize {
-        if self.pending.len() <= client {
-            self.pending.resize_with(client + 1, Vec::new);
-        }
-        let rix = self.sample_request();
-        let ops: Vec<PreparedOp> = self.requests[rix]
-            .ops
-            .clone()
-            .iter()
-            .map(|op| match op {
-                Op::Query(tid) => {
-                    let params = self.gen.bind_all(&self.query_params[*tid], &mut self.rng);
-                    PreparedOp::Query(
-                        Query::bind(*tid, self.queries[*tid].clone(), params)
-                            .expect("validated definitions"),
-                    )
-                }
-                Op::Update(tid) => {
-                    let params = self.gen.bind_all(&self.update_params[*tid], &mut self.rng);
-                    PreparedOp::Update(
-                        Update::bind(*tid, self.updates[*tid].clone(), params)
-                            .expect("validated definitions"),
-                    )
-                }
-            })
-            .collect();
-        let n = ops.len();
-        self.pending[client] = ops;
-        n
+        self.ops.begin_request(client)
     }
 
     fn execute_op(&mut self, client: usize, op_index: usize) -> OpCost {
         let c = &self.costs;
-        match &self.pending[client][op_index] {
+        match &self.ops.pending[client][op_index] {
             PreparedOp::Query(q) => {
                 let statement_bytes = q.statement_text().len() as u64;
                 let resp = self
@@ -239,6 +285,7 @@ impl Workload for DsspWorkload {
                     dssp_cpu: c.dssp_cpu_per_op,
                     home_trip,
                     reply_bytes: result_bytes + 128,
+                    ..OpCost::default()
                 }
             }
             PreparedOp::Update(u) => {
@@ -258,6 +305,7 @@ impl Workload for DsspWorkload {
                         home_cpu: c.home_cpu_update,
                     }),
                     reply_bytes: c.ack_bytes + 128,
+                    ..OpCost::default()
                 }
             }
         }
@@ -270,6 +318,150 @@ impl Workload for DsspWorkload {
     fn observe_time(&mut self, now: Time) {
         // Trace events emitted during execute_op carry simulated time.
         self.dssp.set_sim_time_micros(now);
+    }
+}
+
+/// Drives one application instance through a multi-proxy [`ProxyFleet`]
+/// for the simulator — the paper's scale-out deployment (§5, Fig. 8–10).
+///
+/// Each operation routes to one replica (per the fleet's
+/// [`scs_dssp::RoutingMode`]) and its [`OpCost::proxy`] tag steers the
+/// queueing cost onto that replica's service center
+/// ([`scs_netsim::SystemSpec::dssp_nodes`] must match the fleet size).
+/// Invalidation-scan work delivered at the serving replica just before an
+/// operation is charged to that operation's DSSP CPU. An update's fanout
+/// scans the *whole* fleet; that work is charged to the forwarding
+/// replica — a deliberate simplification that slightly overcharges one
+/// node on the (rare) updates.
+pub struct FleetWorkload {
+    fleet: ProxyFleet,
+    ops: OpSampler,
+    costs: CostModel,
+}
+
+impl FleetWorkload {
+    /// Builds a fleet workload over a freshly populated database (same
+    /// arguments as [`DsspWorkload::new`] plus the fleet shape).
+    pub fn new(
+        app: &AppDef,
+        db: Database,
+        ids: IdSpaces,
+        exposures: Exposures,
+        fleet: FleetConfig,
+        zipf_exponent: f64,
+        seed: u64,
+    ) -> FleetWorkload {
+        let matrix = analysis_matrix(app);
+        let config = DsspConfig::new(app.name, exposures, matrix);
+        FleetWorkload::with_config(app, db, ids, config, fleet, zipf_exponent, seed)
+    }
+
+    /// The fully general constructor: an explicit [`DsspConfig`] cloned
+    /// into every replica.
+    pub fn with_config(
+        app: &AppDef,
+        db: Database,
+        ids: IdSpaces,
+        config: DsspConfig,
+        fleet: FleetConfig,
+        zipf_exponent: f64,
+        seed: u64,
+    ) -> FleetWorkload {
+        assert_eq!(
+            config.exposures.queries.len(),
+            app.queries.len(),
+            "exposure shape"
+        );
+        assert_eq!(
+            config.exposures.updates.len(),
+            app.updates.len(),
+            "exposure shape"
+        );
+        FleetWorkload {
+            fleet: ProxyFleet::new(config, HomeServer::new(db), fleet),
+            ops: OpSampler::new(app, ids, zipf_exponent, seed),
+            costs: CostModel::default(),
+        }
+    }
+
+    /// Replaces the cost model (builder style) — the multi-proxy figures
+    /// use [`CostModel::dssp_bound`].
+    pub fn with_costs(mut self, costs: CostModel) -> FleetWorkload {
+        self.costs = costs;
+        self
+    }
+
+    /// The fleet (inspection hook for reports and tests).
+    pub fn fleet(&self) -> &ProxyFleet {
+        &self.fleet
+    }
+
+    /// Mutable fleet access (attach trace sinks, inject faults).
+    pub fn fleet_mut(&mut self) -> &mut ProxyFleet {
+        &mut self.fleet
+    }
+}
+
+impl Workload for FleetWorkload {
+    fn begin_request(&mut self, client: usize) -> usize {
+        self.ops.begin_request(client)
+    }
+
+    fn execute_op(&mut self, client: usize, op_index: usize) -> OpCost {
+        let c = &self.costs;
+        match &self.ops.pending[client][op_index] {
+            PreparedOp::Query(q) => {
+                let statement_bytes = q.statement_text().len() as u64;
+                let fr = self
+                    .fleet
+                    .execute_query(q)
+                    .expect("validated query templates");
+                let result_bytes = fr.resp.result.approx_size_bytes() as u64;
+                let home_trip = (!fr.resp.hit).then(|| HomeTrip {
+                    request_bytes: statement_bytes + 64,
+                    reply_bytes: result_bytes + 64,
+                    home_cpu: c.home_cpu_query + c.home_cpu_per_row * fr.resp.result.len() as Time,
+                });
+                OpCost {
+                    dssp_cpu: c.dssp_cpu_per_op
+                        + c.dssp_cpu_per_scan * fr.delivered.scanned as Time,
+                    home_trip,
+                    reply_bytes: result_bytes + 128,
+                    proxy: fr.proxy,
+                }
+            }
+            PreparedOp::Update(u) => {
+                let statement_bytes = u.statement_text().len() as u64;
+                // Rejected updates still cost a home round trip; they
+                // change nothing and trigger no invalidation. (Their
+                // serving replica is unknown on rejection — node 0
+                // absorbs the cost; rejections are rare.)
+                let (proxy, scanned) = match self.fleet.execute_update(u) {
+                    Ok(fr) => (fr.proxy, fr.resp.scanned),
+                    Err(_) => (0, 0),
+                };
+                OpCost {
+                    dssp_cpu: c.dssp_cpu_per_op + c.dssp_cpu_per_scan * scanned as Time,
+                    home_trip: Some(HomeTrip {
+                        request_bytes: statement_bytes + 64,
+                        reply_bytes: c.ack_bytes,
+                        home_cpu: c.home_cpu_update,
+                    }),
+                    reply_bytes: c.ack_bytes + 128,
+                    proxy,
+                }
+            }
+        }
+    }
+
+    fn hit_rate(&self) -> f64 {
+        self.fleet.rollup_stats().hit_rate()
+    }
+
+    fn observe_time(&mut self, now: Time) {
+        // Advances every replica's lease/trace clock, fires the interval
+        // flush, and delivers fanout batches that became due.
+        self.fleet.set_sim_time_micros(now);
     }
 }
 
@@ -409,6 +601,88 @@ mod tests {
         // Events land across the run, not all in the first window.
         let curve = series.counter_curve("query_miss");
         assert!(curve.iter().filter(|&&n| n > 0).count() > 1);
+    }
+
+    fn toystore_fleet(
+        kind: StrategyKind,
+        fleet: scs_dssp::FleetConfig,
+        seed: u64,
+    ) -> FleetWorkload {
+        let app = toystore::toystore();
+        let mut db = Database::new();
+        for s in &app.schemas {
+            db.create_table(s.clone()).unwrap();
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        toystore::populate(&mut db, 50, 30, &mut rng);
+        let mut ids = IdSpaces::default();
+        ids.declare("toys", 50);
+        ids.declare("customers", 30);
+        ids.declare("credit_card", 15);
+        let exposures = kind.exposures(app.updates.len(), app.queries.len());
+        FleetWorkload::new(&app, db, ids, exposures, fleet, 1.0, seed)
+    }
+
+    #[test]
+    fn fleet_simulation_runs_and_spreads_load() {
+        use scs_dssp::{FleetConfig, RoutingMode};
+        let n = 3;
+        let mut w = toystore_fleet(
+            StrategyKind::ViewInspection,
+            FleetConfig::reliable(n, RoutingMode::RoundRobin),
+            5,
+        );
+        let mut cfg = quick_cfg(20);
+        cfg.spec = SystemSpec::with_dssp_nodes(n);
+        let m = run(&cfg, &mut w);
+        assert!(m.requests_completed > 20);
+        assert_eq!(m.dssp_node_utilization.len(), n);
+        // Round-robin keeps every replica busy and roughly even.
+        assert!(m.dssp_node_utilization.iter().all(|&u| u > 0.0));
+        let (max, min) = m
+            .dssp_node_utilization
+            .iter()
+            .fold((0.0f64, 1.0f64), |(hi, lo), &u| (hi.max(u), lo.min(u)));
+        assert!(
+            max - min < 0.1,
+            "uneven spread: {:?}",
+            m.dssp_node_utilization
+        );
+        // Every replica served queries and heard every invalidation.
+        let stats = w.fleet().rollup_stats();
+        assert!(stats.queries > 0);
+        for p in 0..n {
+            assert_eq!(w.fleet().proxy(p).epoch(), w.fleet().home().epoch());
+        }
+    }
+
+    #[test]
+    fn fleet_of_one_matches_single_proxy_driver() {
+        use scs_dssp::{FleetConfig, RoutingMode};
+        use scs_netsim::Workload;
+        // Same seed ⇒ identical request streams; a 1-replica immediate
+        // fleet must produce the same cache behaviour and costs as the
+        // classic driver.
+        let mut classic = toystore_workload(StrategyKind::ViewInspection, 7);
+        let mut fleet = toystore_fleet(
+            StrategyKind::ViewInspection,
+            FleetConfig::reliable(1, RoutingMode::RoundRobin),
+            7,
+        );
+        for _ in 0..100 {
+            let na = classic.begin_request(0);
+            let nb = fleet.begin_request(0);
+            assert_eq!(na, nb);
+            for i in 0..na {
+                let ca = classic.execute_op(0, i);
+                let cb = fleet.execute_op(0, i);
+                assert_eq!(ca.dssp_cpu, cb.dssp_cpu);
+                assert_eq!(ca.reply_bytes, cb.reply_bytes);
+                assert_eq!(ca.home_trip.is_some(), cb.home_trip.is_some());
+                assert_eq!(cb.proxy, 0);
+            }
+        }
+        assert_eq!(classic.dssp().stats(), fleet.fleet().rollup_stats());
     }
 
     #[test]

@@ -26,11 +26,13 @@ pub use chaos::{
     run_chaos, run_classic, ChaosConfig, ChaosReport, FaultCounters, OpOutcome, OutageSpec,
 };
 pub use defs::{AppDef, Op, ParamSpec, RequestType, Sensitivity, TemplateDef};
-pub use driver::{analysis_matrix, CostModel, DsspWorkload};
+pub use driver::{analysis_matrix, CostModel, DsspWorkload, FleetWorkload};
 pub use gen::{IdSpaces, ParamGen, Zipf, BOOK_POPULARITY_EXPONENT};
 pub use overload::{
     goodput_curve, knee_index, run_overload, CurvePoint, LoadProfile, LoadSegment,
     OverloadCounters, OverloadReport, OverloadRunConfig,
 };
-pub use runner::{measure_scalability, run_trial, BenchApp, Fidelity};
+pub use runner::{
+    measure_fleet_scalability, measure_scalability, run_fleet_trial, run_trial, BenchApp, Fidelity,
+};
 pub use trace::{replay, ReplayReport, Trace, TraceOp};

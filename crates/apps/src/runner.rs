@@ -3,13 +3,17 @@
 //! used by the Figure-3/Figure-8 experiments.
 
 use crate::defs::AppDef;
-use crate::driver::DsspWorkload;
+use crate::driver::{CostModel, DsspWorkload, FleetWorkload};
 use crate::gen::{IdSpaces, BOOK_POPULARITY_EXPONENT};
 use crate::{auction, bboard, bookstore};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use scs_core::{Exposures, IpmMatrix};
-use scs_netsim::{find_max_users, RunMetrics, ScalabilityResult, SearchOptions, SimConfig, Sla};
+use scs_dssp::{FleetConfig, RoutingMode};
+use scs_netsim::{
+    find_max_users, sweep_proxy_counts, FleetPoint, RunMetrics, ScalabilityResult, SearchOptions,
+    SimConfig, Sla, SystemSpec,
+};
 use scs_storage::Database;
 
 /// The three benchmark applications of the paper's evaluation (§5.1).
@@ -42,6 +46,16 @@ impl BenchApp {
 
     /// Populates a fresh master database at the default scale.
     pub fn build_database(self, seed: u64) -> (Database, IdSpaces) {
+        self.build_database_scaled(seed, 1)
+    }
+
+    /// Populates a fresh master database with every scale knob divided by
+    /// `div` (min 8 rows per dimension). The fleet trials use this to get
+    /// a *hot* working set — the multi-proxy experiments measure how far
+    /// replicated caches stretch a popular site, so the interesting
+    /// regime is one where informed strategies serve mostly from cache.
+    pub fn build_database_scaled(self, seed: u64, div: i64) -> (Database, IdSpaces) {
+        let shrink = |n: i64| (n / div).max(8);
         let app = self.def();
         let mut db = Database::new();
         for s in &app.schemas {
@@ -50,17 +64,30 @@ impl BenchApp {
         let mut rng = StdRng::seed_from_u64(seed);
         match self {
             BenchApp::Auction => {
-                let scale = auction::AuctionScale::default();
+                let d = auction::AuctionScale::default();
+                let scale = auction::AuctionScale {
+                    users: shrink(d.users),
+                    items: shrink(d.items),
+                };
                 auction::populate(&mut db, scale, &mut rng);
                 (db, auction::id_spaces(scale))
             }
             BenchApp::Bboard => {
-                let scale = bboard::BboardScale::default();
+                let d = bboard::BboardScale::default();
+                let scale = bboard::BboardScale {
+                    users: shrink(d.users),
+                    stories: shrink(d.stories),
+                };
                 bboard::populate(&mut db, scale, &mut rng);
                 (db, bboard::id_spaces(scale))
             }
             BenchApp::Bookstore => {
-                let scale = bookstore::BookstoreScale::default();
+                let d = bookstore::BookstoreScale::default();
+                let scale = bookstore::BookstoreScale {
+                    items: shrink(d.items),
+                    customers: shrink(d.customers),
+                    authors: shrink(d.authors),
+                };
                 bookstore::populate(&mut db, scale, &mut rng);
                 (db, bookstore::id_spaces(scale))
             }
@@ -94,7 +121,30 @@ impl BenchApp {
         let (db, ids) = self.build_database(seed);
         DsspWorkload::with_matrix(&app, db, ids, exposures, matrix, self.zipf_exponent(), seed)
     }
+
+    /// A fresh multi-proxy fleet workload under `exposures`, in the
+    /// DSSP-bound cost regime of the paper's multi-proxy figures: a hot
+    /// working set ([`FLEET_SCALE_DIV`]) plus [`CostModel::dssp_bound`],
+    /// so informed strategies' binding resource is the proxy tier.
+    pub fn fleet_workload(
+        self,
+        exposures: Exposures,
+        fleet: FleetConfig,
+        seed: u64,
+    ) -> FleetWorkload {
+        let app = self.def();
+        let (db, ids) = self.build_database_scaled(seed, FLEET_SCALE_DIV);
+        FleetWorkload::new(&app, db, ids, exposures, fleet, self.zipf_exponent(), seed)
+            .with_costs(CostModel::dssp_bound())
+    }
 }
+
+/// Scale divisor for fleet-trial databases (see
+/// [`BenchApp::build_database_scaled`]): small enough that the view
+/// strategy's working set fits hot in every replica's cache, keeping
+/// its miss traffic — and hence its share of the *shared* home server —
+/// low enough that added replicas keep paying off.
+pub const FLEET_SCALE_DIV: i64 = 8;
 
 /// Experiment fidelity knobs: trial length and search resolution.
 #[derive(Debug, Clone, Copy)]
@@ -159,6 +209,54 @@ pub fn measure_scalability(
     };
     find_max_users(
         |users| run_trial(app, exposures, users, fidelity, seed),
+        &sla,
+        opts,
+    )
+}
+
+/// Runs one trial of a `proxies`-replica fleet of `app` under
+/// `exposures` with `users` concurrent users. The simulator's DSSP tier
+/// is sized to match the fleet, so each replica queues on its own CPU
+/// while the home server and its link stay shared — the mechanism that
+/// caps blind strategies no matter how many proxies are added.
+pub fn run_fleet_trial(
+    app: BenchApp,
+    exposures: &Exposures,
+    proxies: usize,
+    routing: RoutingMode,
+    users: usize,
+    fidelity: Fidelity,
+    seed: u64,
+) -> RunMetrics {
+    let mut cfg = SimConfig::paper(users, seed);
+    cfg.duration = fidelity.duration_secs * scs_netsim::SEC;
+    cfg.warmup = fidelity.warmup_secs * scs_netsim::SEC;
+    cfg.spec = SystemSpec::with_dssp_nodes(proxies);
+    let fleet = FleetConfig::reliable(proxies, routing);
+    let mut workload = app.fleet_workload(exposures.clone(), fleet, seed);
+    scs_netsim::run(&cfg, &mut workload)
+}
+
+/// Measures the paper-style "max users vs. proxies" curve (Fig. 8–10):
+/// an independent scalability search per proxy count, fresh fleet and
+/// cold caches at every trial.
+pub fn measure_fleet_scalability(
+    app: BenchApp,
+    exposures: &Exposures,
+    proxy_counts: &[usize],
+    routing: RoutingMode,
+    fidelity: Fidelity,
+    seed: u64,
+) -> Vec<FleetPoint> {
+    let sla = Sla::paper();
+    let opts = SearchOptions {
+        start: 8,
+        max: fidelity.max_users,
+        resolution: fidelity.resolution,
+    };
+    sweep_proxy_counts(
+        proxy_counts,
+        |proxies, users| run_fleet_trial(app, exposures, proxies, routing, users, fidelity, seed),
         &sla,
         opts,
     )

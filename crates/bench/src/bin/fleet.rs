@@ -1,0 +1,87 @@
+//! Reproduces the paper's multi-proxy scale-out result (§5, Fig. 8–10
+//! x-axis): **max concurrent users vs. number of DSSP proxy servers**,
+//! per invalidation strategy, on the auction benchmark.
+//!
+//! Each sweep point is an independent scalability search over a fresh
+//! [`scs_dssp::ProxyFleet`]: N replicas with private caches behind a
+//! round-robin balancer, the home server fanning every epoch-stamped
+//! invalidation out to all replicas, and the simulator's DSSP tier
+//! split into one service center per replica. The cost model is
+//! DSSP-bound ([`scs_apps::CostModel::dssp_bound`]), so informed
+//! strategies scale with added replicas while the blind strategy stays
+//! pinned by the shared home server.
+//!
+//! Run: `cargo run -p scs-bench --release --bin fleet [--smoke|--full]`
+//! * default: all four strategies at quick fidelity;
+//! * `--smoke`: MVIS + MBS only at smoke fidelity, asserting the
+//!   scale-out shape (MVIS strictly rising, MBS near-flat) — CI's gate;
+//! * `--full`: all four strategies at the paper's 10-minute fidelity.
+//!
+//! Output: `fleet.json` (`SCS_TELEMETRY_OUT` overrides) — the same
+//! entry schema the committed `BENCH_baseline.json` carries, so
+//! `regress --subset` can diff a smoke run against the full baseline.
+//! Exits nonzero when any acceptance check fails.
+
+use scs_apps::{report, Fidelity};
+use scs_bench::fleet_probe::{self, PROXY_COUNTS, SMOKE_STRATEGIES};
+use scs_bench::TextTable;
+use scs_dssp::StrategyKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let (strategies, fidelity): (&[StrategyKind], Fidelity) = if smoke {
+        (&SMOKE_STRATEGIES, fleet_probe::smoke_fidelity())
+    } else if args.iter().any(|a| a == "--full") {
+        (&StrategyKind::ALL, Fidelity::full())
+    } else {
+        (&StrategyKind::ALL, Fidelity::quick())
+    };
+
+    println!("Fleet — scalability vs. number of DSSP proxies (auction)");
+    println!(
+        "(proxy counts {:?}; {} mode)\n",
+        PROXY_COUNTS,
+        if smoke { "smoke" } else { "table" }
+    );
+
+    let probe = fleet_probe::run_probe(strategies, fidelity, fleet_probe::SEED);
+
+    let mut table = TextTable::new(&["Strategy", "Proxies", "Scalability (users)", "Trials"]);
+    for curve in &probe.curves {
+        for p in &curve.points {
+            table.row(&[
+                curve.strategy.name().to_string(),
+                p.proxies.to_string(),
+                p.result.max_users.to_string(),
+                p.result.trials.len().to_string(),
+            ]);
+        }
+        eprintln!(
+            "  [{}] knees across {:?} proxies: {:?}",
+            curve.strategy.name(),
+            PROXY_COUNTS,
+            curve.knees()
+        );
+    }
+    println!("{}", table.render());
+    println!("Paper's shape: informed strategies scale out with added proxies;");
+    println!("MBS stays pinned by the shared home server.");
+
+    match report::write_telemetry(&report::telemetry_report(probe.entries), "fleet.json") {
+        Ok(path) => println!("\nFleet report written to {}", path.display()),
+        Err(e) => {
+            eprintln!("\nFailed to write fleet report: {e}");
+            std::process::exit(2);
+        }
+    }
+
+    if !probe.failures.is_empty() {
+        eprintln!("\n{} acceptance check(s) failed:", probe.failures.len());
+        for f in &probe.failures {
+            eprintln!("  FAIL {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("all fleet acceptance checks passed");
+}

@@ -10,7 +10,12 @@
 //!   enabled so the report carries per-phase critical-path breakdowns;
 //! * the chaos `outage_demo` — two scripted link outages whose curves
 //!   must show the throughput dip, the degraded-serve spike, and the
-//!   recovery once the link returns.
+//!   recovery once the link returns;
+//! * the fleet probe — the "max users vs. proxies" scale-out curves for
+//!   MVIS and MBS (the reference for the fleet-curve regression
+//!   detector and CI's `fleet --smoke` run);
+//! * the overload probe — the 4x spike demo and the goodput-vs-offered-
+//!   load sweep (the reference for the goodput detectors).
 //!
 //! Every simulated quantity in the report is deterministic per seed;
 //! only the span `elapsed` wall-clock nanoseconds vary between machines,
@@ -64,6 +69,26 @@ fn main() {
         demo.stale_beyond_lease
     );
     entries.push(demo_entry);
+
+    // The fleet probe: the paper-style "max users vs. proxies" curves
+    // at the two ends of the exposure spectrum. Its entries live in the
+    // same baseline so the regression gate's fleet-curve detector has a
+    // reference for CI's `fleet --smoke` run.
+    let fleet = scs_bench::fleet_probe::run_probe(
+        &scs_bench::fleet_probe::SMOKE_STRATEGIES,
+        scs_bench::fleet_probe::smoke_fidelity(),
+        scs_bench::fleet_probe::SEED,
+    );
+    for curve in &fleet.curves {
+        println!(
+            "  [fleet/{}] max users across {:?} proxies: {:?}",
+            curve.strategy.name(),
+            scs_bench::fleet_probe::PROXY_COUNTS,
+            curve.knees()
+        );
+    }
+    failed.extend(fleet.failures.iter().cloned());
+    entries.extend(fleet.entries);
 
     // The overload probe: 4x spike demo plus the goodput-vs-offered-load
     // sweep. Its entries live in the same baseline so the regression

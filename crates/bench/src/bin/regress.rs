@@ -12,7 +12,10 @@
 //! * a goodput curve collapsing past its knee: any point after the
 //!   stored `knee_index` falling below the knee-hold fraction of the
 //!   knee's goodput (an absolute check on the candidate, so a collapse
-//!   is caught even when the baseline itself regressed).
+//!   is caught even when the baseline itself regressed);
+//! * a fleet entry's scale-out knee (max users at some proxy count)
+//!   falling more than the threshold below the baseline's, or a swept
+//!   proxy count disappearing from the curve.
 //!
 //! Only deterministic simulated quantities are compared — span
 //! wall-clock nanoseconds and other machine-dependent fields are
@@ -157,6 +160,42 @@ fn goodput_rps(entry: &Json) -> Option<f64> {
         .and_then(Json::as_f64)
 }
 
+/// A fleet entry's scale-out curve as (proxies, max_users) points.
+fn fleet_points(entry: &Json) -> Vec<(u64, u64)> {
+    entry
+        .get("fleet_curve")
+        .and_then(|c| c.get("points"))
+        .and_then(Json::as_arr)
+        .map(|ps| {
+            ps.iter()
+                .filter_map(|p| Some((p.get("proxies")?.as_u64()?, p.get("max_users")?.as_u64()?)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// The fleet scale-out detector: at every proxy count the baseline
+/// measured, the candidate's max-users knee must hold within the
+/// threshold — a knee sagging at any single fleet size is a scale-out
+/// regression even if the other sizes hold.
+fn fleet_curve_drops(key: &str, base: &Json, cand: &Json, factor: f64, out: &mut Vec<String>) {
+    let cand_points: std::collections::BTreeMap<u64, u64> =
+        fleet_points(cand).into_iter().collect();
+    for (proxies, base_users) in fleet_points(base) {
+        let Some(&cand_users) = cand_points.get(&proxies) else {
+            out.push(format!(
+                "{key}: the {proxies}-proxy point disappeared from the fleet curve"
+            ));
+            continue;
+        };
+        if base_users > 0 && (cand_users as f64) < base_users as f64 * (1.0 - factor) {
+            out.push(format!(
+                "{key}: max users at {proxies} proxies fell from {base_users} to {cand_users}"
+            ));
+        }
+    }
+}
+
 /// The absolute knee-collapse check on one candidate entry: every curve
 /// point past the stored `knee_index` must hold at least
 /// `KNEE_HOLD_FRACTION` of the knee's goodput.
@@ -243,6 +282,7 @@ fn diff_with(base: &Json, cand: &Json, threshold_pct: f64, subset: bool) -> Vec<
                 ));
             }
         }
+        fleet_curve_drops(&key, b, c, factor, &mut out);
         out.extend(goodput_collapse(&key, c));
     }
     out
@@ -287,6 +327,15 @@ fn self_check(baseline: &Json, threshold_pct: f64) -> i32 {
         );
         return 1;
     }
+    // Likewise a baseline carrying fleet curves must prove the fleet
+    // scale-out detector fires on the degraded knees.
+    let has_fleet = entries(baseline)
+        .iter()
+        .any(|(_, e)| e.get("fleet_curve").is_some());
+    if has_fleet && !caught.iter().any(|m| m.contains("max users at")) {
+        eprintln!("self-check FAILED: degraded fleet curve did not trip the scale-out detector");
+        return 1;
+    }
     println!(
         "self-check passed: identity diff clean, degraded candidate tripped {} detector(s)",
         caught.len()
@@ -294,9 +343,9 @@ fn self_check(baseline: &Json, threshold_pct: f64) -> i32 {
     0
 }
 
-/// Halves throughput and overload goodput, fails every SLO, bumps
-/// staleness counts, and collapses the goodput curve past its knee — the
-/// synthetic regression the self-check must catch.
+/// Halves throughput, overload goodput, and fleet knees, fails every
+/// SLO, bumps staleness counts, and collapses the goodput curve past its
+/// knee — the synthetic regression the self-check must catch.
 fn degrade(mut doc: Json) -> Json {
     if let Some(Json::Arr(entries)) = get_mut(&mut doc, "entries") {
         for entry in entries {
@@ -318,6 +367,17 @@ fn degrade(mut doc: Json) -> Json {
             if let Some(overload) = get_mut(entry, "overload") {
                 if let Some(Json::Num(g)) = get_mut(overload, "goodput_rps") {
                     *g *= 0.5;
+                }
+            }
+            // Halve every fleet knee — the shape a scale-out regression
+            // (say, a serialized fanout path) would produce.
+            if let Some(curve) = get_mut(entry, "fleet_curve") {
+                if let Some(Json::Arr(points)) = get_mut(curve, "points") {
+                    for p in points {
+                        if let Some(Json::Num(u)) = get_mut(p, "max_users") {
+                            *u = (*u * 0.5).floor();
+                        }
+                    }
                 }
             }
             // Reshape the curve the way real collapse exports look: the

@@ -1,0 +1,163 @@
+//! The shared multi-proxy fleet probe: the paper-style "max users vs.
+//! proxies" sweep (Fig. 8–10's x-axis) on the auction benchmark.
+//!
+//! Both the `fleet` binary (CI's `--smoke` gate) and the `observatory`
+//! baseline run execute exactly this probe, so the regression gate
+//! diffs like against like: the committed `BENCH_baseline.json` fleet
+//! entries and the smoke run's `fleet.json` entries come from the same
+//! deterministic configurations.
+//!
+//! The probe runs in the DSSP-bound cost regime
+//! ([`scs_apps::CostModel::dssp_bound`]): informed strategies serve
+//! mostly from cache, so their binding resource is the proxy CPU and
+//! adding replicas raises the knee; the blind strategy misses through
+//! to the *shared* home server, so its knee barely moves no matter how
+//! many proxies front it. The acceptance checks pin exactly that shape.
+
+use scs_apps::{measure_fleet_scalability, BenchApp, Fidelity};
+use scs_dssp::{RoutingMode, StrategyKind};
+use scs_netsim::FleetPoint;
+use scs_telemetry::Json;
+
+/// DSSP replica counts swept per strategy.
+pub const PROXY_COUNTS: &[usize] = &[1, 2, 4];
+
+/// The canonical probe seed (shared with the committed baseline).
+pub const SEED: u64 = 23;
+
+/// The probe routes by template hash: each template's working set lives
+/// on exactly one replica, so the fleet-wide hit rate holds steady as
+/// replicas are added (round-robin scatters each working set across
+/// every cache, and the extra misses erode exactly the scale-out the
+/// probe exists to measure).
+pub const ROUTING: RoutingMode = RoutingMode::HashByTemplate;
+
+/// The two ends of the exposure spectrum — what the smoke gate and the
+/// baseline sweep. (The full `fleet` run covers all four strategies.)
+pub const SMOKE_STRATEGIES: [StrategyKind; 2] = [StrategyKind::ViewInspection, StrategyKind::Blind];
+
+/// A blind curve is *near-flat* when its best knee stays within this
+/// factor of its worst — the home server, not the proxy tier, is the
+/// binding resource, so extra replicas must buy almost nothing.
+pub const NEAR_FLAT_FACTOR: f64 = 1.35;
+
+/// Trial fidelity for the smoke gate: short windows, coarse resolution,
+/// but a user cap high enough that the 4-replica MVIS knee is not
+/// clipped into a tie with the 2-replica one.
+pub fn smoke_fidelity() -> Fidelity {
+    Fidelity {
+        duration_secs: 60,
+        warmup_secs: 10,
+        max_users: 8_192,
+        resolution: 128,
+    }
+}
+
+/// One strategy's measured curve.
+pub struct FleetCurve {
+    pub strategy: StrategyKind,
+    pub points: Vec<FleetPoint>,
+}
+
+impl FleetCurve {
+    pub fn knees(&self) -> Vec<usize> {
+        self.points.iter().map(|p| p.result.max_users).collect()
+    }
+}
+
+/// Everything the probe ran and concluded.
+pub struct FleetProbe {
+    pub curves: Vec<FleetCurve>,
+    /// One report entry per strategy curve (for the regression gate).
+    pub entries: Vec<Json>,
+    /// Violated acceptance checks; empty means the probe passed.
+    pub failures: Vec<String>,
+}
+
+/// Sweeps `PROXY_COUNTS` for each strategy in `strategies`, evaluates
+/// the scale-out acceptance checks, and assembles the report entries.
+pub fn run_probe(strategies: &[StrategyKind], fidelity: Fidelity, seed: u64) -> FleetProbe {
+    let app = BenchApp::Auction;
+    let def = app.def();
+    let mut curves = Vec::new();
+    for &kind in strategies {
+        let exposures = kind.exposures(def.updates.len(), def.queries.len());
+        let points =
+            measure_fleet_scalability(app, &exposures, PROXY_COUNTS, ROUTING, fidelity, seed);
+        curves.push(FleetCurve {
+            strategy: kind,
+            points,
+        });
+    }
+
+    let mut failures = Vec::new();
+    for curve in &curves {
+        check_curve(curve, &mut failures);
+    }
+    let entries = curves.iter().map(|c| curve_entry(app, c, seed)).collect();
+    FleetProbe {
+        curves,
+        entries,
+        failures,
+    }
+}
+
+/// The scale-out acceptance checks: the view-inspection curve must rise
+/// strictly with every added replica, and the blind curve must stay
+/// near-flat (its bottleneck is the shared home server).
+fn check_curve(curve: &FleetCurve, failures: &mut Vec<String>) {
+    let knees = curve.knees();
+    let name = curve.strategy.name();
+    match curve.strategy {
+        StrategyKind::ViewInspection => {
+            if !knees.windows(2).all(|w| w[0] < w[1]) {
+                failures.push(format!(
+                    "{name}: max users must rise strictly with proxy count, got {knees:?}"
+                ));
+            }
+        }
+        StrategyKind::Blind => {
+            let worst = knees.iter().copied().min().unwrap_or(0).max(1);
+            let best = knees.iter().copied().max().unwrap_or(0);
+            if best as f64 > worst as f64 * NEAR_FLAT_FACTOR {
+                failures.push(format!(
+                    "{name}: expected a near-flat curve (home-server bound), got {knees:?} \
+                     (best/worst {:.2} > {NEAR_FLAT_FACTOR})",
+                    best as f64 / worst as f64
+                ));
+            }
+        }
+        // The mid-spectrum strategies land between the two ends; no
+        // shape assertion beyond not collapsing to zero.
+        _ => {
+            if knees.contains(&0) {
+                failures.push(format!(
+                    "{name}: a sweep point collapsed to zero: {knees:?}"
+                ));
+            }
+        }
+    }
+}
+
+/// The report entry the regression gate diffs: the strategy's
+/// proxies→max-users curve plus enough context to reproduce it.
+fn curve_entry(app: BenchApp, curve: &FleetCurve, seed: u64) -> Json {
+    let points: Vec<Json> = curve
+        .points
+        .iter()
+        .map(|p| {
+            Json::obj([
+                ("proxies", (p.proxies as u64).into()),
+                ("max_users", (p.result.max_users as u64).into()),
+                ("trials", (p.result.trials.len() as u64).into()),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("app", app.name().into()),
+        ("config", format!("fleet_{}", curve.strategy.name()).into()),
+        ("seed", seed.into()),
+        ("routing", ROUTING.name().into()),
+        ("fleet_curve", Json::obj([("points", Json::Arr(points))])),
+    ])
+}

@@ -16,9 +16,11 @@
 //! | `observatory` | extension — windowed probe runs; emits the perf baseline |
 //! | `regress`     | extension — diffs two observatory exports (CI perf gate) |
 //! | `overload`    | extension — spike demo + goodput-vs-offered-load curve |
+//! | `fleet`       | extension — max users vs. number of DSSP proxies |
 //!
 //! Criterion microbenchmarks live under `benches/`.
 
+pub mod fleet_probe;
 pub mod overload_probe;
 
 use scs_core::ExposureLevel;

@@ -21,12 +21,24 @@
 //! subject to insertion/deletion invalidation returns an empty result, and
 //! the §4.5 primary-key refinement leans on it. Declining to cache empty
 //! results enforces the assumption structurally.
+//!
+//! Two hot paths are index-backed rather than scan-backed:
+//!
+//! * **Eviction** pops the least-recently-used entry from a `BTreeMap`
+//!   keyed by the logical LRU clock (`last_used` values are unique, so
+//!   the map's first key is always the victim) — O(log n) per eviction
+//!   instead of an O(n) `min_by_key` sweep.
+//! * **Invalidation** can restrict itself to *candidate* entries via a
+//!   `template_id → keys` secondary index ([`ResultCache::invalidate_candidates`]).
+//!   Blind-level entries live in a separate always-candidate set, because
+//!   Property 1 makes every blind entry a victim of every update — no
+//!   index may ever hide one from an invalidation pass.
 
 use scs_core::ExposureLevel;
 use scs_crypto::Encryptor;
 use scs_sqlkit::{Query, TemplateId, Value};
 use scs_storage::QueryResult;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Canonical identity of a cached query instance.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -102,16 +114,33 @@ pub enum Lookup<'a> {
 }
 
 /// What [`ResultCache::store_with_evictions`] did: whether the entry went
-/// in, and which entries the capacity bound pushed out to make room.
+/// in, whether it displaced a live entry under the same key, and which
+/// entries the capacity bound pushed out to make room.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StoreOutcome {
     pub stored: bool,
+    /// A live entry already existed for the key; its bytes were
+    /// reconciled out of the accounting before the new entry went in.
+    /// Replacement is *not* an eviction.
+    pub replaced: bool,
     pub evicted: Vec<CacheKey>,
 }
 
 /// The result cache, optionally bounded with LRU eviction.
 pub struct ResultCache {
     entries: HashMap<CacheKey, CacheEntry>,
+    /// LRU order: `last_used → key`. The logical clock advances on every
+    /// store and lookup, so `last_used` values are unique and the map's
+    /// first entry is always the eviction victim.
+    lru: BTreeMap<u64, CacheKey>,
+    /// Secondary invalidation index: canonical template id → keys of
+    /// entries cached at `template` exposure or above. Blind entries are
+    /// deliberately excluded — they are candidates for *every* update
+    /// (Property 1) and live in `blind_keys` instead.
+    by_template: HashMap<TemplateId, HashSet<CacheKey>>,
+    /// Keys of blind-level entries: unconditionally part of every
+    /// candidate scan.
+    blind_keys: HashSet<CacheKey>,
     encryptor: Encryptor,
     /// Maximum number of entries (`None` = unbounded).
     capacity: Option<usize>,
@@ -119,6 +148,11 @@ pub struct ResultCache {
     clock: u64,
     /// Entries dropped by capacity eviction (not by invalidation).
     evictions: u64,
+    /// Stores that displaced a live entry under the same key.
+    replacements: u64,
+    /// Sum of `stored_bytes` over the *live* entries; replaced, evicted,
+    /// expired, and invalidated entries are reconciled out.
+    stored_bytes_total: u64,
     /// Staleness lease applied to stored entries (`None` = entries never
     /// expire, the paper's setting).
     lease_micros: Option<u64>,
@@ -133,10 +167,15 @@ impl ResultCache {
     pub fn new(encryptor: Encryptor) -> ResultCache {
         ResultCache {
             entries: HashMap::new(),
+            lru: BTreeMap::new(),
+            by_template: HashMap::new(),
+            blind_keys: HashSet::new(),
             encryptor,
             capacity: None,
             clock: 0,
             evictions: 0,
+            replacements: 0,
+            stored_bytes_total: 0,
             lease_micros: None,
             now_micros: 0,
             lease_expirations: 0,
@@ -154,6 +193,16 @@ impl ResultCache {
     /// Entries evicted due to the capacity bound.
     pub fn evictions(&self) -> u64 {
         self.evictions
+    }
+
+    /// Stores that displaced a live entry under the same key.
+    pub fn replacements(&self) -> u64 {
+        self.replacements
+    }
+
+    /// Sum of `stored_bytes` over the live entries.
+    pub fn stored_bytes_total(&self) -> u64 {
+        self.stored_bytes_total
     }
 
     /// Bounds staleness: stored entries expire `lease` µs after the
@@ -182,6 +231,41 @@ impl ResultCache {
         self.entries.is_empty()
     }
 
+    /// Inserts a fully-built entry into every structure. The caller must
+    /// have detached any prior entry under the same key.
+    fn attach(&mut self, e: CacheEntry) {
+        self.stored_bytes_total += e.stored_bytes as u64;
+        self.lru.insert(e.last_used, e.key.clone());
+        if e.level >= ExposureLevel::Template {
+            self.by_template
+                .entry(e.key.template_id)
+                .or_default()
+                .insert(e.key.clone());
+        } else {
+            self.blind_keys.insert(e.key.clone());
+        }
+        self.entries.insert(e.key.clone(), e);
+    }
+
+    /// Removes an entry from every structure, keeping the LRU map and
+    /// the invalidation indexes consistent with the entry map.
+    fn detach(&mut self, key: &CacheKey) -> Option<CacheEntry> {
+        let e = self.entries.remove(key)?;
+        self.stored_bytes_total -= e.stored_bytes as u64;
+        self.lru.remove(&e.last_used);
+        if e.level >= ExposureLevel::Template {
+            if let Some(set) = self.by_template.get_mut(&key.template_id) {
+                set.remove(key);
+                if set.is_empty() {
+                    self.by_template.remove(&key.template_id);
+                }
+            }
+        } else {
+            self.blind_keys.remove(key);
+        }
+        Some(e)
+    }
+
     /// Looks up a query, refreshing its LRU position. The key form the
     /// client sends depends on the exposure level, but all forms resolve
     /// to the canonical key. An entry whose lease has run out is dropped
@@ -199,13 +283,16 @@ impl ResultCache {
             Some(e) => e.expires_at_micros < self.now_micros,
         };
         if expired {
-            self.entries.remove(&key);
+            self.detach(&key);
             self.lease_expirations += 1;
             return Lookup::Expired;
         }
         let e = self.entries.get_mut(&key).expect("present and live");
+        let prior = e.last_used;
         e.last_used = clock;
-        Lookup::Hit(&*e)
+        self.lru.remove(&prior);
+        self.lru.insert(clock, key.clone());
+        Lookup::Hit(&self.entries[&key])
     }
 
     /// [`ResultCache::lookup_classified`] collapsed to an `Option` —
@@ -241,9 +328,10 @@ impl ResultCache {
         self.store_with_evictions(q, result, level).stored
     }
 
-    /// [`ResultCache::store`], additionally reporting which entries the
-    /// capacity bound evicted — the proxy's telemetry attributes each
-    /// victim to its query template.
+    /// [`ResultCache::store`], additionally reporting whether a live
+    /// entry was replaced and which entries the capacity bound evicted —
+    /// the proxy's telemetry attributes each victim to its query
+    /// template.
     pub fn store_with_evictions(
         &mut self,
         q: &Query,
@@ -253,6 +341,7 @@ impl ResultCache {
         if result.is_empty() {
             return StoreOutcome {
                 stored: false,
+                replaced: false,
                 evicted: Vec::new(),
             };
         }
@@ -266,54 +355,100 @@ impl ResultCache {
             Some(lease) => self.now_micros.saturating_add(lease),
             None => u64::MAX,
         };
-        self.entries.insert(
-            key.clone(),
-            CacheEntry {
-                key,
-                level,
-                query: q.clone(),
-                result,
-                stored_bytes,
-                last_used: self.clock,
-                expires_at_micros,
-            },
-        );
+        // Re-storing an existing key is a replacement, not an eviction:
+        // the prior entry's bytes and index membership are reconciled
+        // out before the new entry goes in.
+        let replaced = self.detach(&key).is_some();
+        if replaced {
+            self.replacements += 1;
+        }
+        self.attach(CacheEntry {
+            key,
+            level,
+            query: q.clone(),
+            result,
+            stored_bytes,
+            last_used: self.clock,
+            expires_at_micros,
+        });
         let mut evicted = Vec::new();
         if let Some(cap) = self.capacity {
             while self.entries.len() > cap {
                 let victim = self
-                    .entries
-                    .values()
-                    .min_by_key(|e| e.last_used)
-                    .map(|e| e.key.clone())
+                    .lru
+                    .iter()
+                    .next()
+                    .map(|(_, k)| k.clone())
                     .expect("nonempty while over capacity");
-                self.entries.remove(&victim);
+                self.detach(&victim);
                 self.evictions += 1;
                 evicted.push(victim);
             }
         }
         StoreOutcome {
             stored: true,
+            replaced,
             evicted,
         }
     }
 
     /// Removes every entry the predicate marks for invalidation; returns
-    /// `(entries_scanned, entries_invalidated)`.
+    /// `(entries_scanned, entries_invalidated)`. This is the full-scan
+    /// path: recovery flushes and view-level inspection must see every
+    /// entry.
     pub fn invalidate_where(
         &mut self,
         mut must_invalidate: impl FnMut(&CacheEntry) -> bool,
     ) -> (usize, usize) {
-        let scanned = self.entries.len();
-        let before = self.entries.len();
-        self.entries.retain(|_, e| !must_invalidate(e));
-        (scanned, before - self.entries.len())
+        let keys: Vec<CacheKey> = self.entries.keys().cloned().collect();
+        self.invalidate_keys(keys, &mut must_invalidate)
+    }
+
+    /// Like [`ResultCache::invalidate_where`], but only visits
+    /// *candidate* entries: every blind-level entry (Property 1 — either
+    /// side blind ⇒ invalidate, so no index may hide them) plus the
+    /// entries of the given query templates. Callers pass the templates
+    /// the IPM marks as conflicting with the update; entries of
+    /// untouched templates are never scanned, which is the point.
+    pub fn invalidate_candidates(
+        &mut self,
+        templates: &[TemplateId],
+        mut must_invalidate: impl FnMut(&CacheEntry) -> bool,
+    ) -> (usize, usize) {
+        let mut keys: Vec<CacheKey> = self.blind_keys.iter().cloned().collect();
+        for t in templates {
+            if let Some(set) = self.by_template.get(t) {
+                keys.extend(set.iter().cloned());
+            }
+        }
+        self.invalidate_keys(keys, &mut must_invalidate)
+    }
+
+    fn invalidate_keys(
+        &mut self,
+        keys: Vec<CacheKey>,
+        must_invalidate: &mut impl FnMut(&CacheEntry) -> bool,
+    ) -> (usize, usize) {
+        let scanned = keys.len();
+        let mut invalidated = 0;
+        for key in keys {
+            let kill = must_invalidate(&self.entries[&key]);
+            if kill {
+                self.detach(&key);
+                invalidated += 1;
+            }
+        }
+        (scanned, invalidated)
     }
 
     /// Drops everything (a blind strategy's response to any update).
     pub fn clear(&mut self) -> usize {
         let n = self.entries.len();
         self.entries.clear();
+        self.lru.clear();
+        self.by_template.clear();
+        self.blind_keys.clear();
+        self.stored_bytes_total = 0;
         n
     }
 
@@ -421,22 +556,101 @@ mod tests {
     }
 
     #[test]
+    fn candidate_scan_visits_only_candidate_templates() {
+        let mut c = cache();
+        // Template 0: 4 entries, template 1: 3 entries, template 2: 2
+        // entries — all at template exposure, so all indexed.
+        for p in 0..4 {
+            c.store(&query(0, p), result(1), ExposureLevel::Template);
+        }
+        for p in 0..3 {
+            c.store(&query(1, p), result(1), ExposureLevel::Stmt);
+        }
+        for p in 0..2 {
+            c.store(&query(2, p), result(1), ExposureLevel::View);
+        }
+        // Only template 1 is a candidate: the scan must visit exactly its
+        // 3 entries, not all 9.
+        let (scanned, dropped) = c.invalidate_candidates(&[1], |_| true);
+        assert_eq!(scanned, 3);
+        assert_eq!(dropped, 3);
+        assert_eq!(c.len(), 6);
+        assert!(c.peek(&query(0, 0)).is_some());
+        assert!(c.peek(&query(2, 0)).is_some());
+        // A template with no cached entries scans nothing.
+        let (scanned, dropped) = c.invalidate_candidates(&[7], |_| true);
+        assert_eq!((scanned, dropped), (0, 0));
+    }
+
+    #[test]
+    fn blind_entries_are_always_candidates() {
+        let mut c = cache();
+        c.store(&query(0, 1), result(1), ExposureLevel::Blind);
+        c.store(&query(1, 1), result(1), ExposureLevel::Template);
+        // Even with an empty template list, every blind entry is visited
+        // — Property 1 says no index may hide it from an update.
+        let (scanned, dropped) = c.invalidate_candidates(&[], |_| true);
+        assert_eq!(scanned, 1);
+        assert_eq!(dropped, 1);
+        assert!(c.peek(&query(0, 1)).is_none(), "blind entry invalidated");
+        assert!(c.peek(&query(1, 1)).is_some(), "non-candidate survived");
+    }
+
+    #[test]
     fn clear_empties_cache() {
         let mut c = cache();
         c.store(&query(0, 1), result(1), ExposureLevel::Blind);
         c.store(&query(0, 2), result(1), ExposureLevel::Blind);
         assert_eq!(c.clear(), 2);
         assert!(c.is_empty());
+        assert_eq!(c.stored_bytes_total(), 0);
+        // The indexes were cleared too: a candidate scan finds nothing.
+        let (scanned, _) = c.invalidate_candidates(&[0], |_| true);
+        assert_eq!(scanned, 0);
     }
 
     #[test]
-    fn restore_overwrites() {
+    fn restore_overwrites_and_reports_replacement() {
         let mut c = cache();
         let q = query(0, 1);
-        c.store(&q, result(1), ExposureLevel::View);
-        c.store(&q, result(3), ExposureLevel::View);
+        let first = c.store_with_evictions(&q, result(1), ExposureLevel::View);
+        assert!(first.stored && !first.replaced);
+        let second = c.store_with_evictions(&q, result(3), ExposureLevel::View);
+        assert!(second.stored && second.replaced);
+        assert!(second.evicted.is_empty(), "replacement is not an eviction");
         assert_eq!(c.len(), 1);
         assert_eq!(c.lookup(&q).unwrap().serve().len(), 3);
+        assert_eq!(c.replacements(), 1);
+        assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn replacement_reconciles_stored_bytes() {
+        let mut c = cache();
+        let q = query(0, 1);
+        c.store(&q, result(5), ExposureLevel::View);
+        let big = c.stored_bytes_total();
+        c.store(&q, result(1), ExposureLevel::View);
+        let small = c.stored_bytes_total();
+        assert_eq!(small, c.peek(&q).unwrap().stored_bytes as u64);
+        assert!(small < big, "replaced entry's bytes were reconciled out");
+        // Replacing at a different exposure level moves the entry between
+        // indexes; the old membership must not linger.
+        c.store(&q, result(2), ExposureLevel::Blind);
+        let (scanned, _) = c.invalidate_candidates(&[0], |_| false);
+        assert_eq!(scanned, 1, "entry counted once, in the blind set");
+    }
+
+    #[test]
+    fn stored_bytes_total_tracks_removals() {
+        let mut c = ResultCache::with_capacity(Encryptor::for_app("test"), 2);
+        c.store(&query(0, 1), result(1), ExposureLevel::View);
+        c.store(&query(0, 2), result(1), ExposureLevel::View);
+        c.store(&query(0, 3), result(1), ExposureLevel::View); // evicts one
+        let live: u64 = c.iter().map(|e| e.stored_bytes as u64).sum();
+        assert_eq!(c.stored_bytes_total(), live);
+        c.invalidate_where(|_| true);
+        assert_eq!(c.stored_bytes_total(), 0);
     }
 
     #[test]
@@ -458,6 +672,31 @@ mod tests {
     }
 
     #[test]
+    fn eviction_order_is_exactly_least_recently_used() {
+        // Pins the victim sequence under interleaved stores and lookups,
+        // so the order-tracked eviction structure provably matches the
+        // old full-scan `min_by_key` semantics.
+        let mut c = ResultCache::with_capacity(Encryptor::for_app("test"), 4);
+        for p in 0..4 {
+            c.store(&query(0, p), result(1), ExposureLevel::View);
+        }
+        // Recency (old → new) is now 0,1,2,3. Touch 0 and 2: 1,3,0,2.
+        c.lookup(&query(0, 0));
+        c.lookup(&query(0, 2));
+        let mut victims = Vec::new();
+        for p in 4..8 {
+            let outcome = c.store_with_evictions(&query(0, p), result(1), ExposureLevel::View);
+            victims.extend(outcome.evicted.into_iter().map(|k| k.params[0].clone()));
+        }
+        assert_eq!(
+            victims,
+            vec![Value::Int(1), Value::Int(3), Value::Int(0), Value::Int(2)],
+            "victims fall in exact LRU order"
+        );
+        assert_eq!(c.evictions(), 4);
+    }
+
+    #[test]
     fn store_outcome_reports_victims() {
         let mut c = ResultCache::with_capacity(Encryptor::for_app("test"), 2);
         assert!(c
@@ -471,7 +710,7 @@ mod tests {
         assert_eq!(outcome.evicted[0].params, vec![Value::Int(1)]);
         // Empty results: not stored, nothing evicted.
         let noop = c.store_with_evictions(&query(0, 9), result(0), ExposureLevel::View);
-        assert!(!noop.stored && noop.evicted.is_empty());
+        assert!(!noop.stored && !noop.replaced && noop.evicted.is_empty());
     }
 
     #[test]
@@ -508,6 +747,7 @@ mod tests {
         assert!(matches!(c.lookup_classified(&q), Lookup::Miss));
         assert_eq!(c.lease_expirations(), 1);
         assert_eq!(c.len(), 0);
+        assert_eq!(c.stored_bytes_total(), 0);
     }
 
     #[test]

@@ -35,6 +35,84 @@ pub struct InvalidationMsg {
     pub update: Update,
 }
 
+/// A batch of invalidation notifications covering the **contiguous**
+/// epoch range `[first_epoch, last_epoch]`, as shipped by the home
+/// server's fanout to each proxy (see `crate::fleet`).
+///
+/// Coalescing keeps, for each distinct update content (template id +
+/// bound parameters), only the **latest-epoch** representative. Dropping
+/// the earlier duplicates is sound because applying the same statement's
+/// invalidation pass twice removes no additional entries; keeping the
+/// latest epoch (rather than the earliest) is what makes the proxy's
+/// skip-if-covered check safe — a retained message's epoch is ≥ every
+/// epoch it stands for, so a message skipped as a duplicate only ever
+/// represents content that was itself already covered.
+#[derive(Debug, Clone)]
+pub struct InvalidationBatch {
+    /// First epoch the batch covers (inclusive).
+    pub first_epoch: u64,
+    /// Last epoch the batch covers (inclusive).
+    pub last_epoch: u64,
+    /// Retained representatives, ascending by epoch.
+    pub msgs: Vec<InvalidationMsg>,
+    /// Messages coalesced away (earlier duplicates of a retained
+    /// representative's content).
+    pub coalesced: u64,
+}
+
+impl InvalidationBatch {
+    /// Coalesces a contiguous run of messages (ascending epochs) into a
+    /// batch. Returns `None` on an empty run — there is nothing to ship.
+    pub fn coalesce(msgs: Vec<InvalidationMsg>) -> Option<InvalidationBatch> {
+        let first_epoch = msgs.first()?.epoch;
+        let last_epoch = msgs.last()?.epoch;
+        debug_assert!(
+            msgs.windows(2).all(|w| w[1].epoch == w[0].epoch + 1),
+            "a fanout batch must cover a contiguous epoch range"
+        );
+        let total = msgs.len();
+        // Latest-epoch representative per distinct update content.
+        let mut latest: std::collections::HashMap<(usize, Vec<scs_sqlkit::Value>), usize> =
+            std::collections::HashMap::new();
+        for (i, m) in msgs.iter().enumerate() {
+            latest.insert((m.update.template_id, m.update.params.clone()), i);
+        }
+        let mut keep: Vec<usize> = latest.into_values().collect();
+        keep.sort_unstable();
+        let retained: Vec<InvalidationMsg> = {
+            let mut by_index: Vec<Option<InvalidationMsg>> = msgs.into_iter().map(Some).collect();
+            keep.iter()
+                .map(|&i| by_index[i].take().expect("indices unique"))
+                .collect()
+        };
+        Some(InvalidationBatch {
+            first_epoch,
+            last_epoch,
+            coalesced: (total - retained.len()) as u64,
+            msgs: retained,
+        })
+    }
+
+    /// A single-message batch (the unbatched / immediate-flush case).
+    pub fn single(msg: InvalidationMsg) -> InvalidationBatch {
+        InvalidationBatch {
+            first_epoch: msg.epoch,
+            last_epoch: msg.epoch,
+            msgs: vec![msg],
+            coalesced: 0,
+        }
+    }
+
+    /// Messages retained in the batch.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+}
+
 /// What a proxy flushes when the invalidation stream skips an epoch.
 /// The missed updates are unknown, so the flush must cover anything
 /// *any* update template could have invalidated.
@@ -77,6 +155,31 @@ pub enum DeliveryOutcome {
     Duplicate,
     /// A gap was detected; the recovery flush removed `flushed` entries
     /// (which covers this message's own invalidations too).
+    Recovered { flushed: usize },
+}
+
+/// How a delivered [`InvalidationBatch`] was handled by the proxy
+/// ([`crate::Dssp::apply_batch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchOutcome {
+    /// The batch's range attached to the proxy's stream in order (or
+    /// overlapped it); every not-yet-covered message was applied.
+    Applied {
+        /// Messages whose invalidation pass ran.
+        applied: usize,
+        /// Messages skipped as already covered (whole-epoch duplicates
+        /// within an overlapping redelivery).
+        skipped: usize,
+        /// Cache entries scanned across the applied passes.
+        scanned: usize,
+        /// Cache entries invalidated across the applied passes.
+        invalidated: usize,
+    },
+    /// Every epoch in the batch was already covered; dropped whole.
+    Duplicate,
+    /// The batch starts past the next expected epoch — at least one
+    /// earlier batch was lost. The recovery flush removed `flushed`
+    /// entries (covering this batch's own invalidations too).
     Recovered { flushed: usize },
 }
 

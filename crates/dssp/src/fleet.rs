@@ -1,0 +1,857 @@
+//! Multi-proxy scale-out: a fleet of DSSP proxies per tenant.
+//!
+//! The paper's evaluation (§5, Fig. 8–10) measures scalability as *max
+//! users vs. number of DSSP proxy servers*, with the home server
+//! broadcasting invalidations to every proxy. [`ProxyFleet`] reproduces
+//! that deployment: N [`Dssp`] replicas share one [`HomeServer`], a
+//! load balancer routes each client operation to one replica
+//! ([`RoutingMode`]), and every epoch-stamped invalidation fans out to
+//! *all* replicas over per-proxy delivery pipes
+//! ([`scs_netsim::fault::FaultyChannel`]).
+//!
+//! Fanout is **batched and coalesced** ([`FanoutConfig`]): the home
+//! side buffers notifications and ships an [`InvalidationBatch`] when
+//! the buffer fills or a flush interval elapses; duplicate
+//! invalidations for the same update content within a batch coalesce
+//! to the latest-epoch representative. [`FanoutConfig::immediate`]
+//! degenerates to one message per batch, and a single-proxy immediate
+//! fleet over reliable pipes behaves exactly like a standalone proxy
+//! (pinned by test).
+//!
+//! Fault-tolerance semantics are per replica: each proxy tracks its
+//! own epoch stream position, detects gaps independently (a dropped
+//! batch flushes only the replica that missed it), recovers on its own
+//! [`RecoveryMode`], and — when overload protection is configured —
+//! owns its own circuit breaker and brownout state. Staleness anywhere
+//! in the fleet stays bounded by the per-entry lease, which the chaos
+//! property tests in `tests/fleet.rs` verify against a ground-truth
+//! oracle.
+
+use crate::delivery::{splitmix64, InvalidationBatch, InvalidationMsg};
+use crate::home::HomeServer;
+use crate::proxy::{Dssp, DsspConfig, QueryResponse, UpdateResponse};
+use crate::stats::DsspStats;
+use scs_netsim::fault::{ChannelStats, FaultSpec, FaultyChannel};
+use scs_sqlkit::{Query, Update};
+use scs_storage::StorageError;
+
+/// How the fleet's load balancer picks a replica for an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingMode {
+    /// Cycle through replicas in order. Spreads load evenly but scatters
+    /// each template's working set over every cache (N cold misses per
+    /// result).
+    RoundRobin,
+    /// Consistent hashing by template id over a ring of virtual nodes:
+    /// one template's queries always land on the same replica, so its
+    /// working set is cached exactly once, and adding/removing a replica
+    /// remaps only the ring arcs it owned.
+    HashByTemplate,
+}
+
+impl RoutingMode {
+    pub fn name(self) -> &'static str {
+        match self {
+            RoutingMode::RoundRobin => "round_robin",
+            RoutingMode::HashByTemplate => "hash_by_template",
+        }
+    }
+}
+
+/// When the home side ships its buffered invalidations.
+#[derive(Debug, Clone, Copy)]
+pub struct FanoutConfig {
+    /// Flush as soon as this many notifications are buffered.
+    pub max_batch: usize,
+    /// Flush once the oldest buffered notification has waited this long
+    /// (simulated µs). `0` means every notification ships immediately.
+    pub flush_interval_micros: u64,
+}
+
+impl FanoutConfig {
+    /// One message per batch, shipped synchronously — the unbatched
+    /// baseline.
+    pub fn immediate() -> FanoutConfig {
+        FanoutConfig {
+            max_batch: 1,
+            flush_interval_micros: 0,
+        }
+    }
+
+    /// Buffer up to `max_batch` notifications or `flush_interval_micros`
+    /// of simulated time, whichever fills first.
+    pub fn batched(max_batch: usize, flush_interval_micros: u64) -> FanoutConfig {
+        assert!(max_batch >= 1, "a batch holds at least one message");
+        FanoutConfig {
+            max_batch,
+            flush_interval_micros,
+        }
+    }
+}
+
+/// Fleet shape: replica count, routing, fanout cadence, and the fault
+/// behaviour of the per-proxy delivery pipes.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    pub proxies: usize,
+    pub routing: RoutingMode,
+    pub fanout: FanoutConfig,
+    /// Fault spec applied to every per-proxy pipe (each pipe draws from
+    /// its own seeded stream, so replicas fail independently).
+    pub pipe_spec: FaultSpec,
+    /// Base seed for the pipe streams; pipe `p` uses `seed ^ p`.
+    pub pipe_seed: u64,
+}
+
+impl FleetConfig {
+    /// N replicas, reliable pipes, immediate fanout: the paper's
+    /// perfect-delivery broadcast.
+    pub fn reliable(proxies: usize, routing: RoutingMode) -> FleetConfig {
+        FleetConfig {
+            proxies,
+            routing,
+            fanout: FanoutConfig::immediate(),
+            pipe_spec: FaultSpec::none(),
+            pipe_seed: 0,
+        }
+    }
+}
+
+/// A query response plus which replica served it.
+#[derive(Debug)]
+pub struct FleetQueryResponse {
+    pub proxy: usize,
+    pub resp: QueryResponse,
+    /// Invalidation batches delivered at the serving replica *before*
+    /// the query ran (the simulation driver charges their scan work to
+    /// this operation's CPU cost).
+    pub delivered: DeliveryTotals,
+}
+
+/// An update response plus which replica forwarded it. The inner
+/// response's `scanned`/`invalidated` totals count what *delivering
+/// due fanout batches during this call* removed across the whole fleet
+/// — with batching or pipe latency the work lands on later calls, so
+/// the totals here can be 0 even though entries will die.
+#[derive(Debug)]
+pub struct FleetUpdateResponse {
+    pub proxy: usize,
+    pub resp: UpdateResponse,
+    /// The home server's epoch after this update (its notification is
+    /// in the fanout buffer or in flight).
+    pub epoch: u64,
+}
+
+/// What a pump delivered: batches applied plus the entry scan/kill
+/// totals of the invalidation passes they ran.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeliveryTotals {
+    pub batches: usize,
+    pub scanned: usize,
+    pub invalidated: usize,
+}
+
+impl DeliveryTotals {
+    fn absorb(&mut self, other: DeliveryTotals) {
+        self.batches += other.batches;
+        self.scanned += other.scanned;
+        self.invalidated += other.invalidated;
+    }
+}
+
+/// Aggregate fanout accounting for the whole fleet.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FanoutStats {
+    /// Batches flushed (each is sent once per replica).
+    pub batches: u64,
+    /// Messages retained across all flushed batches.
+    pub msgs: u64,
+    /// Messages coalesced away before shipping.
+    pub coalesced: u64,
+    /// Per-pipe channel counters (drop/duplicate/delay/delivered).
+    pub pipes: Vec<ChannelStats>,
+}
+
+/// Virtual nodes per replica on the consistent-hash ring. Enough to
+/// spread a handful of templates roughly evenly without making ring
+/// construction noticeable.
+const RING_VNODES: usize = 16;
+
+/// N proxies, one home server, a router in front and a fanout behind.
+pub struct ProxyFleet {
+    proxies: Vec<Dssp>,
+    pipes: Vec<FaultyChannel<InvalidationBatch>>,
+    home: HomeServer,
+    routing: RoutingMode,
+    /// Sorted `(point, replica)` ring for [`RoutingMode::HashByTemplate`].
+    ring: Vec<(u64, usize)>,
+    fanout: FanoutConfig,
+    rr_cursor: usize,
+    /// Buffered notifications awaiting flush, ascending by epoch.
+    pending: Vec<InvalidationMsg>,
+    /// Sim time the oldest pending notification entered the buffer.
+    pending_since: u64,
+    now_micros: u64,
+    batches: u64,
+    msgs: u64,
+    coalesced: u64,
+}
+
+impl ProxyFleet {
+    /// Builds the fleet: each replica gets its own cache and telemetry
+    /// from a clone of `config` (same app id, hence the same tenant
+    /// encryption key), its replica index stamped on trace events, and
+    /// its own delivery pipe seeded independently.
+    pub fn new(config: DsspConfig, home: HomeServer, fleet: FleetConfig) -> ProxyFleet {
+        assert!(fleet.proxies >= 1, "a fleet has at least one proxy");
+        let mut proxies = Vec::with_capacity(fleet.proxies);
+        let mut pipes = Vec::with_capacity(fleet.proxies);
+        for p in 0..fleet.proxies {
+            let mut dssp = Dssp::new(config.clone());
+            dssp.set_proxy_label(p as u32);
+            proxies.push(dssp);
+            pipes.push(FaultyChannel::new(
+                fleet.pipe_seed ^ p as u64,
+                fleet.pipe_spec.clone(),
+            ));
+        }
+        let ring = Self::build_ring(fleet.proxies);
+        ProxyFleet {
+            proxies,
+            pipes,
+            home,
+            routing: fleet.routing,
+            ring,
+            fanout: fleet.fanout,
+            rr_cursor: 0,
+            pending: Vec::new(),
+            pending_since: 0,
+            now_micros: 0,
+            batches: 0,
+            msgs: 0,
+            coalesced: 0,
+        }
+    }
+
+    fn build_ring(n: usize) -> Vec<(u64, usize)> {
+        let mut ring = Vec::with_capacity(n * RING_VNODES);
+        for p in 0..n {
+            for v in 0..RING_VNODES {
+                // Domain-separated point: replica index in the high
+                // half, vnode in the low, through one splitmix round.
+                let point = splitmix64(((p as u64) << 32) ^ v as u64 ^ 0x72696e67); // "ring"
+                ring.push((point, p));
+            }
+        }
+        ring.sort_unstable();
+        ring
+    }
+
+    /// The replica an operation on `template_id` routes to.
+    pub fn route(&mut self, template_id: usize) -> usize {
+        match self.routing {
+            RoutingMode::RoundRobin => {
+                let p = self.rr_cursor;
+                self.rr_cursor = (self.rr_cursor + 1) % self.proxies.len();
+                p
+            }
+            RoutingMode::HashByTemplate => self.route_by_hash(template_id),
+        }
+    }
+
+    fn route_by_hash(&self, template_id: usize) -> usize {
+        let h = splitmix64(template_id as u64 ^ 0x74706c); // "tpl"
+        let i = match self.ring.binary_search_by(|&(point, _)| point.cmp(&h)) {
+            Ok(i) => i,
+            // First point clockwise of the hash; wrap past the top.
+            Err(i) => i % self.ring.len(),
+        };
+        self.ring[i].1
+    }
+
+    /// Routes a query to its replica, delivering any fanout batches due
+    /// at that replica first (per-pipe FIFO order is preserved).
+    pub fn execute_query(&mut self, q: &Query) -> Result<FleetQueryResponse, StorageError> {
+        let p = self.route(q.template_id);
+        let delivered = self.pump(p);
+        let resp = self.proxies[p].execute_query(q, &mut self.home)?;
+        Ok(FleetQueryResponse {
+            proxy: p,
+            resp,
+            delivered,
+        })
+    }
+
+    /// Routes an update through a replica to the home server. The
+    /// epoch-stamped notification enters the fanout buffer — the
+    /// forwarding replica does **not** invalidate inline; like every
+    /// other replica it waits for its own pipe's batch, so delivery
+    /// semantics are uniform across the fleet. With
+    /// [`FanoutConfig::immediate`] over zero-latency reliable pipes the
+    /// batch applies before this call returns.
+    pub fn execute_update(&mut self, u: &Update) -> Result<FleetUpdateResponse, StorageError> {
+        use crate::delivery::{FtUpdateOutcome, HomeLink, RetryPolicy};
+        let p = self.route(u.template_id);
+        self.pump(p);
+        let ft = self.proxies[p].execute_update_ft(
+            u,
+            &mut self.home,
+            &HomeLink::reliable(),
+            &RetryPolicy::no_retries(),
+        )?;
+        let (effect, msg) = match ft.outcome {
+            FtUpdateOutcome::Applied { effect, msg } => (effect, msg),
+            FtUpdateOutcome::Unavailable => unreachable!("reliable link cannot be unavailable"),
+        };
+        let epoch = msg.epoch;
+        self.offer(msg);
+        // Deliver anything already due (with immediate fanout over
+        // zero-latency pipes that includes the batch just sent).
+        let delivered = self.pump_all();
+        Ok(FleetUpdateResponse {
+            proxy: p,
+            resp: UpdateResponse {
+                effect,
+                scanned: delivered.scanned,
+                invalidated: delivered.invalidated,
+            },
+            epoch,
+        })
+    }
+
+    /// Buffers a notification, flushing on the size trigger.
+    fn offer(&mut self, msg: InvalidationMsg) {
+        if self.pending.is_empty() {
+            self.pending_since = self.now_micros;
+        }
+        self.pending.push(msg);
+        if self.pending.len() >= self.fanout.max_batch {
+            self.flush_fanout();
+        }
+    }
+
+    /// Coalesces and ships the pending buffer to every replica's pipe.
+    pub fn flush_fanout(&mut self) {
+        let msgs = std::mem::take(&mut self.pending);
+        let Some(batch) = InvalidationBatch::coalesce(msgs) else {
+            return;
+        };
+        self.batches += 1;
+        self.msgs += batch.len() as u64;
+        self.coalesced += batch.coalesced;
+        for pipe in &mut self.pipes {
+            pipe.send(self.now_micros, batch.clone());
+        }
+    }
+
+    /// Flushes the buffer if the oldest pending notification has waited
+    /// out the configured interval.
+    fn maybe_flush(&mut self) {
+        if !self.pending.is_empty()
+            && self.now_micros.saturating_sub(self.pending_since)
+                >= self.fanout.flush_interval_micros
+        {
+            self.flush_fanout();
+        }
+    }
+
+    /// Delivers every batch due at replica `p` (duplicates and gap
+    /// recoveries included in `batches`; their scans are not).
+    pub fn pump(&mut self, p: usize) -> DeliveryTotals {
+        use crate::delivery::BatchOutcome;
+        let due = self.pipes[p].poll(self.now_micros);
+        let mut totals = DeliveryTotals {
+            batches: due.len(),
+            ..DeliveryTotals::default()
+        };
+        for batch in due {
+            if let BatchOutcome::Applied {
+                scanned,
+                invalidated,
+                ..
+            } = self.proxies[p].apply_batch(&batch)
+            {
+                totals.scanned += scanned;
+                totals.invalidated += invalidated;
+            }
+        }
+        totals
+    }
+
+    /// Delivers every due batch at every replica.
+    pub fn pump_all(&mut self) -> DeliveryTotals {
+        let mut totals = DeliveryTotals::default();
+        for p in 0..self.proxies.len() {
+            totals.absorb(self.pump(p));
+        }
+        totals
+    }
+
+    /// Advances the fleet clock: every replica's lease/trace clock moves,
+    /// the interval flush fires if due, and deliveries due by `micros`
+    /// drain to their replicas.
+    pub fn set_sim_time_micros(&mut self, micros: u64) {
+        self.now_micros = micros;
+        for proxy in &mut self.proxies {
+            proxy.set_sim_time_micros(micros);
+        }
+        self.maybe_flush();
+        self.pump_all();
+    }
+
+    /// End of run: ship whatever is buffered and deliver everything
+    /// still in flight, regardless of due time.
+    pub fn drain(&mut self) {
+        self.flush_fanout();
+        for p in 0..self.proxies.len() {
+            let rest = self.pipes[p].drain();
+            for batch in rest {
+                self.proxies[p].apply_batch(&batch);
+            }
+        }
+    }
+
+    /// Stamps the tenant label on every replica's trace events (set by
+    /// `DsspNode` registration).
+    pub fn set_tenant_label(&mut self, tenant: u32) {
+        for proxy in &mut self.proxies {
+            proxy.set_tenant_label(tenant);
+        }
+    }
+
+    /// Crash + restart one replica: its cache is lost and its epoch
+    /// re-handshakes from the home server (see [`Dssp::restart`]). The
+    /// other replicas are untouched — recovery is independent.
+    pub fn restart_proxy(&mut self, p: usize) {
+        let epoch = self.home.epoch();
+        self.proxies[p].restart(epoch);
+    }
+
+    pub fn len(&self) -> usize {
+        self.proxies.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.proxies.is_empty()
+    }
+
+    pub fn routing(&self) -> RoutingMode {
+        self.routing
+    }
+
+    pub fn proxy(&self, p: usize) -> &Dssp {
+        &self.proxies[p]
+    }
+
+    pub fn proxy_mut(&mut self, p: usize) -> &mut Dssp {
+        &mut self.proxies[p]
+    }
+
+    pub fn home(&self) -> &HomeServer {
+        &self.home
+    }
+
+    pub fn home_mut(&mut self) -> &mut HomeServer {
+        &mut self.home
+    }
+
+    /// Notifications buffered but not yet shipped.
+    pub fn pending_fanout(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Fanout accounting, including per-pipe fault counters.
+    pub fn fanout_stats(&self) -> FanoutStats {
+        FanoutStats {
+            batches: self.batches,
+            msgs: self.msgs,
+            coalesced: self.coalesced,
+            pipes: self.pipes.iter().map(|p| p.stats()).collect(),
+        }
+    }
+
+    /// Fleet-wide counter roll-up ([`DsspStats::merge`] across replicas).
+    pub fn rollup_stats(&self) -> DsspStats {
+        let mut total = DsspStats::default();
+        for proxy in &self.proxies {
+            total.merge(&proxy.stats());
+        }
+        total
+    }
+
+    /// Fleet-wide metrics roll-up: every replica's registry merged into
+    /// one snapshot.
+    pub fn rollup_metrics(&self) -> scs_telemetry::MetricsSnapshot {
+        let mut total = scs_telemetry::MetricsSnapshot::default();
+        for proxy in &self.proxies {
+            total.merge(&proxy.registry().snapshot());
+        }
+        total
+    }
+
+    /// Total cached entries across replicas.
+    pub fn total_cache_entries(&self) -> usize {
+        self.proxies.iter().map(|p| p.cache_len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::StrategyKind;
+    use scs_core::{characterize_app, AnalysisOptions, Catalog};
+    use scs_sqlkit::{parse_query, parse_update, Value};
+    use scs_storage::{ColumnType, Database, TableSchema};
+    use std::sync::Arc;
+
+    struct Fixture {
+        fleet: ProxyFleet,
+        queries: Vec<Arc<scs_sqlkit::QueryTemplate>>,
+        updates: Vec<Arc<scs_sqlkit::UpdateTemplate>>,
+    }
+
+    fn toy_config(
+        kind: StrategyKind,
+    ) -> (
+        DsspConfig,
+        HomeServer,
+        Vec<Arc<scs_sqlkit::QueryTemplate>>,
+        Vec<Arc<scs_sqlkit::UpdateTemplate>>,
+    ) {
+        let schema = TableSchema::builder("toys")
+            .column("toy_id", ColumnType::Int)
+            .column("toy_name", ColumnType::Str)
+            .column("qty", ColumnType::Int)
+            .primary_key(&["toy_id"])
+            .index("toy_name")
+            .build()
+            .unwrap();
+        let mut db = Database::new();
+        db.create_table(schema.clone()).unwrap();
+        for (id, name, qty) in [(1, "bear", 10), (2, "car", 5), (3, "kite", 7)] {
+            db.insert_row(
+                "toys",
+                vec![Value::Int(id), Value::str(name), Value::Int(qty)],
+            )
+            .unwrap();
+        }
+        let queries = vec![
+            Arc::new(parse_query("SELECT toy_id FROM toys WHERE toy_name = ?").unwrap()),
+            Arc::new(parse_query("SELECT qty FROM toys WHERE toy_id = ?").unwrap()),
+        ];
+        let updates = vec![Arc::new(
+            parse_update("UPDATE toys SET qty = ? WHERE toy_id = ?").unwrap(),
+        )];
+        let catalog = Catalog::new([schema]);
+        let matrix = characterize_app(&updates, &queries, &catalog, AnalysisOptions::default());
+        let config = DsspConfig::new(
+            "toystore",
+            kind.exposures(updates.len(), queries.len()),
+            matrix,
+        );
+        (config, HomeServer::new(db), queries, updates)
+    }
+
+    fn fixture(kind: StrategyKind, fleet: FleetConfig) -> Fixture {
+        let (config, home, queries, updates) = toy_config(kind);
+        Fixture {
+            fleet: ProxyFleet::new(config, home, fleet),
+            queries,
+            updates,
+        }
+    }
+
+    impl Fixture {
+        fn query(&mut self, tid: usize, params: Vec<Value>) -> FleetQueryResponse {
+            let q = Query::bind(tid, self.queries[tid].clone(), params).unwrap();
+            self.fleet.execute_query(&q).unwrap()
+        }
+
+        fn update(&mut self, tid: usize, params: Vec<Value>) -> FleetUpdateResponse {
+            let u = Update::bind(tid, self.updates[tid].clone(), params).unwrap();
+            self.fleet.execute_update(&u).unwrap()
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_replicas() {
+        let mut f = fixture(
+            StrategyKind::ViewInspection,
+            FleetConfig::reliable(3, RoutingMode::RoundRobin),
+        );
+        let served: Vec<usize> = (0..6)
+            .map(|_| f.query(1, vec![Value::Int(1)]).proxy)
+            .collect();
+        assert_eq!(served, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn hash_routing_pins_a_template_to_one_replica() {
+        let mut f = fixture(
+            StrategyKind::ViewInspection,
+            FleetConfig::reliable(4, RoutingMode::HashByTemplate),
+        );
+        let first = f.query(1, vec![Value::Int(1)]).proxy;
+        for _ in 0..8 {
+            assert_eq!(f.query(1, vec![Value::Int(2)]).proxy, first);
+        }
+        // The second query of the same template hits the warm cache.
+        assert!(f.query(1, vec![Value::Int(1)]).resp.hit);
+    }
+
+    #[test]
+    fn hash_ring_spreads_many_templates() {
+        let fleet = fixture(
+            StrategyKind::ViewInspection,
+            FleetConfig::reliable(4, RoutingMode::HashByTemplate),
+        )
+        .fleet;
+        let mut used = std::collections::HashSet::new();
+        for tid in 0..64 {
+            used.insert(fleet.route_by_hash(tid));
+        }
+        assert_eq!(used.len(), 4, "64 templates must touch every replica");
+    }
+
+    #[test]
+    fn fanout_invalidates_every_replica() {
+        let mut f = fixture(
+            StrategyKind::ViewInspection,
+            FleetConfig::reliable(3, RoutingMode::RoundRobin),
+        );
+        // Warm the same entry on all three replicas (round-robin lands
+        // each query on a different one).
+        for _ in 0..3 {
+            f.query(1, vec![Value::Int(2)]);
+        }
+        assert_eq!(f.fleet.total_cache_entries(), 3);
+        f.update(0, vec![Value::Int(99), Value::Int(2)]);
+        assert_eq!(
+            f.fleet.total_cache_entries(),
+            0,
+            "immediate fanout reaches every replica before the update returns"
+        );
+        let rolled = f.fleet.rollup_stats();
+        assert_eq!(rolled.invalidations, 3);
+        // Every replica is at the home epoch.
+        for p in 0..3 {
+            assert_eq!(f.fleet.proxy(p).epoch(), f.fleet.home().epoch());
+        }
+    }
+
+    #[test]
+    fn single_proxy_immediate_fleet_matches_classic_proxy() {
+        let (config, mut home, queries, updates) = toy_config(StrategyKind::ViewInspection);
+        let mut classic = Dssp::new(config.clone());
+        let (fconfig, fhome, _, _) = toy_config(StrategyKind::ViewInspection);
+        let mut f = Fixture {
+            fleet: ProxyFleet::new(
+                fconfig,
+                fhome,
+                FleetConfig::reliable(1, RoutingMode::RoundRobin),
+            ),
+            queries: queries.clone(),
+            updates: updates.clone(),
+        };
+        let script: Vec<(bool, usize, Vec<Value>)> = vec![
+            (true, 1, vec![Value::Int(1)]),
+            (true, 0, vec![Value::str("car")]),
+            (false, 0, vec![Value::Int(3), Value::Int(1)]),
+            (true, 1, vec![Value::Int(1)]),
+            (true, 1, vec![Value::Int(2)]),
+            (false, 0, vec![Value::Int(8), Value::Int(2)]),
+            (true, 1, vec![Value::Int(2)]),
+            (true, 0, vec![Value::str("bear")]),
+        ];
+        for (is_query, tid, params) in script {
+            if is_query {
+                let q = Query::bind(tid, queries[tid].clone(), params).unwrap();
+                let a = classic.execute_query(&q, &mut home).unwrap();
+                let b = f.fleet.execute_query(&q).unwrap();
+                assert_eq!(a.hit, b.resp.hit);
+                assert_eq!(a.result, b.resp.result);
+            } else {
+                let u = Update::bind(tid, updates[tid].clone(), params).unwrap();
+                let a = classic.execute_update(&u, &mut home).unwrap();
+                let b = f.fleet.execute_update(&u).unwrap();
+                assert_eq!(a.effect, b.resp.effect);
+            }
+        }
+        let a = classic.stats();
+        let b = f.fleet.rollup_stats();
+        assert_eq!(a.queries, b.queries);
+        assert_eq!(a.hits, b.hits, "cache behaviour is identical");
+        assert_eq!(a.invalidations, b.invalidations);
+        assert_eq!(classic.epoch(), f.fleet.proxy(0).epoch());
+    }
+
+    #[test]
+    fn size_trigger_batches_and_coalesces() {
+        let mut cfg = FleetConfig::reliable(2, RoutingMode::RoundRobin);
+        cfg.fanout = FanoutConfig::batched(4, u64::MAX);
+        let mut f = fixture(StrategyKind::ViewInspection, cfg);
+        // Warm one entry per replica.
+        f.query(1, vec![Value::Int(2)]);
+        f.query(1, vec![Value::Int(2)]);
+        // Three updates of the same content buffer without shipping…
+        for _ in 0..3 {
+            f.update(0, vec![Value::Int(5), Value::Int(2)]);
+        }
+        assert_eq!(f.fleet.pending_fanout(), 3);
+        assert_eq!(f.fleet.total_cache_entries(), 2, "nothing delivered yet");
+        // …the fourth (identical content again) fills the batch: one
+        // flush, the three earlier duplicates coalesced away.
+        f.update(0, vec![Value::Int(5), Value::Int(2)]);
+        assert_eq!(f.fleet.pending_fanout(), 0);
+        let stats = f.fleet.fanout_stats();
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.msgs, 1, "four identical updates ship as one");
+        assert_eq!(stats.coalesced, 3);
+        assert_eq!(f.fleet.total_cache_entries(), 0);
+        // Each replica covered all four epochs from the one batch.
+        for p in 0..2 {
+            assert_eq!(f.fleet.proxy(p).epoch(), 4);
+        }
+    }
+
+    #[test]
+    fn interval_trigger_flushes_on_time_advance() {
+        let mut cfg = FleetConfig::reliable(2, RoutingMode::RoundRobin);
+        cfg.fanout = FanoutConfig::batched(1000, 10_000);
+        let mut f = fixture(StrategyKind::ViewInspection, cfg);
+        f.query(1, vec![Value::Int(2)]);
+        f.query(1, vec![Value::Int(2)]);
+        f.fleet.set_sim_time_micros(1_000);
+        f.update(0, vec![Value::Int(5), Value::Int(2)]);
+        assert_eq!(f.fleet.pending_fanout(), 1);
+        // Not due yet: 9ms later.
+        f.fleet.set_sim_time_micros(10_000);
+        assert_eq!(f.fleet.pending_fanout(), 1);
+        // Due: the interval has elapsed since the message buffered.
+        f.fleet.set_sim_time_micros(11_000);
+        assert_eq!(f.fleet.pending_fanout(), 0);
+        assert_eq!(f.fleet.total_cache_entries(), 0, "delivered on flush");
+    }
+
+    #[test]
+    fn dropped_batch_recovers_via_gap_on_next_delivery() {
+        // Pipe 1 drops everything; pipe 0 is clean. After two updates,
+        // replica 0 applied both batches while replica 1 saw nothing;
+        // a drain-less pump leaves replica 1 stale but lease-free reads
+        // never happen because the *next delivered* batch (we heal the
+        // pipe by draining) arrives with a gap and flushes.
+        let mut cfg = FleetConfig::reliable(2, RoutingMode::RoundRobin);
+        cfg.pipe_spec = FaultSpec::none();
+        let mut f = fixture(StrategyKind::ViewInspection, cfg);
+        f.query(1, vec![Value::Int(2)]);
+        f.query(1, vec![Value::Int(2)]);
+        // Simulate the drop by applying batch 1 only at replica 0, then
+        // batch 2 at both: replica 1 sees first_epoch=2 > expected=1.
+        let u = Update::bind(0, f.updates[0].clone(), vec![Value::Int(5), Value::Int(2)]).unwrap();
+        let (msg1, msg2) = {
+            let home = f.fleet.home_mut();
+            let (_, m1) = home.apply_update(&u).unwrap();
+            let (_, m2) = home.apply_update(&u).unwrap();
+            (m1, m2)
+        };
+        let b1 = InvalidationBatch::single(msg1);
+        let b2 = InvalidationBatch::single(msg2);
+        use crate::delivery::BatchOutcome;
+        assert!(matches!(
+            f.fleet.proxy_mut(0).apply_batch(&b1),
+            BatchOutcome::Applied { .. }
+        ));
+        assert!(matches!(
+            f.fleet.proxy_mut(0).apply_batch(&b2),
+            BatchOutcome::Applied { .. }
+        ));
+        let out = f.fleet.proxy_mut(1).apply_batch(&b2);
+        assert!(matches!(out, BatchOutcome::Recovered { flushed: 1 }));
+        assert_eq!(f.fleet.proxy(1).epoch(), 2, "gap flush skips ahead");
+        // Redelivery of the missed batch is now a harmless duplicate.
+        assert_eq!(
+            f.fleet.proxy_mut(1).apply_batch(&b1),
+            BatchOutcome::Duplicate
+        );
+    }
+
+    #[test]
+    fn overlapping_batch_skips_covered_epochs() {
+        let mut f = fixture(
+            StrategyKind::ViewInspection,
+            FleetConfig::reliable(1, RoutingMode::RoundRobin),
+        );
+        let u = Update::bind(0, f.updates[0].clone(), vec![Value::Int(5), Value::Int(1)]).unwrap();
+        let msgs: Vec<InvalidationMsg> = (0..3)
+            .map(|i| {
+                let vu = Update::bind(
+                    0,
+                    f.updates[0].clone(),
+                    vec![Value::Int(5 + i), Value::Int(1 + i)],
+                )
+                .unwrap();
+                f.fleet.home_mut().apply_update(&vu).unwrap().1
+            })
+            .collect();
+        let _ = u;
+        use crate::delivery::BatchOutcome;
+        // Deliver [1..=2] first, then the overlapping [1..=3].
+        let first = InvalidationBatch::coalesce(msgs[..2].to_vec()).unwrap();
+        let full = InvalidationBatch::coalesce(msgs.clone()).unwrap();
+        assert!(matches!(
+            f.fleet.proxy_mut(0).apply_batch(&first),
+            BatchOutcome::Applied {
+                applied: 2,
+                skipped: 0,
+                ..
+            }
+        ));
+        assert!(matches!(
+            f.fleet.proxy_mut(0).apply_batch(&full),
+            BatchOutcome::Applied {
+                applied: 1,
+                skipped: 2,
+                ..
+            }
+        ));
+        assert_eq!(f.fleet.proxy(0).epoch(), 3);
+        // And a full redelivery is a batch-level duplicate.
+        assert!(matches!(
+            f.fleet.proxy_mut(0).apply_batch(&full),
+            BatchOutcome::Duplicate
+        ));
+    }
+
+    #[test]
+    fn fanout_metrics_count_batches() {
+        let mut cfg = FleetConfig::reliable(2, RoutingMode::RoundRobin);
+        cfg.fanout = FanoutConfig::batched(2, u64::MAX);
+        let mut f = fixture(StrategyKind::ViewInspection, cfg);
+        f.update(0, vec![Value::Int(5), Value::Int(1)]);
+        f.update(0, vec![Value::Int(5), Value::Int(2)]);
+        let rolled = f.fleet.rollup_metrics();
+        assert_eq!(rolled.counters["dssp.fanout_batches_applied"], 2);
+        assert_eq!(
+            rolled.counters["dssp.fanout_batch_msgs"], 4,
+            "2 msgs × 2 replicas"
+        );
+        // Trace events from replica 1 carry its label.
+        assert_eq!(f.fleet.proxy(1).proxy_label(), 1);
+    }
+
+    #[test]
+    fn restart_rejoins_at_home_epoch() {
+        let mut f = fixture(
+            StrategyKind::ViewInspection,
+            FleetConfig::reliable(2, RoutingMode::RoundRobin),
+        );
+        f.query(1, vec![Value::Int(1)]);
+        f.update(0, vec![Value::Int(4), Value::Int(1)]);
+        f.update(0, vec![Value::Int(5), Value::Int(1)]);
+        f.fleet.restart_proxy(1);
+        assert_eq!(f.fleet.proxy(1).epoch(), f.fleet.home().epoch());
+        assert_eq!(f.fleet.proxy(1).cache_len(), 0);
+        // Replica 0 is untouched by its peer's crash.
+        assert_eq!(f.fleet.proxy(0).epoch(), f.fleet.home().epoch());
+    }
+}

@@ -38,6 +38,7 @@
 pub mod admission;
 pub mod cache;
 pub mod delivery;
+pub mod fleet;
 pub mod home;
 pub mod proxy;
 pub mod statement;
@@ -53,8 +54,12 @@ pub use admission::{
 };
 pub use cache::{CacheEntry, CacheKey, Lookup, ResultCache, StoreOutcome};
 pub use delivery::{
-    DeliveryOutcome, FtOutcome, FtQueryResponse, FtUpdateOutcome, FtUpdateResponse, HomeLink,
-    InvalidationMsg, RecoveryMode, RetryPolicy,
+    BatchOutcome, DeliveryOutcome, FtOutcome, FtQueryResponse, FtUpdateOutcome, FtUpdateResponse,
+    HomeLink, InvalidationBatch, InvalidationMsg, RecoveryMode, RetryPolicy,
+};
+pub use fleet::{
+    DeliveryTotals, FanoutConfig, FanoutStats, FleetConfig, FleetQueryResponse,
+    FleetUpdateResponse, ProxyFleet, RoutingMode,
 };
 pub use home::HomeServer;
 pub use proxy::{

@@ -19,8 +19,8 @@ use crate::admission::{
 };
 use crate::cache::{Lookup, ResultCache};
 use crate::delivery::{
-    splitmix64, DeliveryOutcome, FtOutcome, FtQueryResponse, FtUpdateOutcome, FtUpdateResponse,
-    HomeLink, InvalidationMsg, RecoveryMode, RetryPolicy,
+    splitmix64, BatchOutcome, DeliveryOutcome, FtOutcome, FtQueryResponse, FtUpdateOutcome,
+    FtUpdateResponse, HomeLink, InvalidationBatch, InvalidationMsg, RecoveryMode, RetryPolicy,
 };
 use crate::home::HomeServer;
 use crate::stats::DsspStats;
@@ -201,6 +201,7 @@ struct ProxyMetrics {
     invalidations: Counter,
     entries_scanned: Counter,
     evictions: Counter,
+    cache_replacements: Counter,
     cache_entries: scs_telemetry::Gauge,
     scan_size: std::sync::Arc<scs_telemetry::LogHistogram>,
     query_hits: Vec<Counter>,
@@ -230,6 +231,11 @@ struct ProxyMetrics {
     brownout_entries: Counter,
     brownout_exits: Counter,
     brownout_serves: Counter,
+    // Fleet fanout counters (all zero outside a `ProxyFleet`).
+    fanout_batches_applied: Counter,
+    fanout_batch_msgs: Counter,
+    fanout_batch_duplicates: Counter,
+    fanout_batch_gaps: Counter,
 }
 
 impl ProxyMetrics {
@@ -247,6 +253,7 @@ impl ProxyMetrics {
             invalidations: registry.counter("dssp.invalidations"),
             entries_scanned: registry.counter("dssp.entries_scanned"),
             evictions: registry.counter("dssp.evictions"),
+            cache_replacements: registry.counter("dssp.cache_replacements"),
             cache_entries: registry.gauge("dssp.cache_entries"),
             scan_size: registry.histogram("dssp.invalidation_scan_size"),
             query_hits: per_template("query_template", "hits", query_count),
@@ -274,6 +281,10 @@ impl ProxyMetrics {
             brownout_entries: registry.counter("dssp.brownout_entries"),
             brownout_exits: registry.counter("dssp.brownout_exits"),
             brownout_serves: registry.counter("dssp.brownout_serves"),
+            fanout_batches_applied: registry.counter("dssp.fanout_batches_applied"),
+            fanout_batch_msgs: registry.counter("dssp.fanout_batch_msgs"),
+            fanout_batch_duplicates: registry.counter("dssp.fanout_batch_duplicates"),
+            fanout_batch_gaps: registry.counter("dssp.fanout_batch_gaps"),
         }
     }
 }
@@ -561,6 +572,9 @@ impl Dssp {
                 Some(tid as u32),
                 crypto_timer,
             );
+            if outcome.replaced {
+                self.metrics.cache_replacements.inc();
+            }
             for victim in &outcome.evicted {
                 self.metrics.evictions.inc();
                 self.metrics.query_evicted[victim.template_id].inc();
@@ -1054,8 +1068,88 @@ impl Dssp {
         }
     }
 
-    /// The update's invalidation pass (unchanged from the paper's
-    /// pathway): scan the cache, ask the strategy, account per victim.
+    /// Delivers one fanout batch covering the contiguous epoch range
+    /// `[first_epoch, last_epoch]`.
+    ///
+    /// Batch-level ordering mirrors [`Dssp::apply_invalidation`]:
+    ///
+    /// * `last_epoch <= last applied` — the whole batch is a duplicate
+    ///   (a redelivered batch, or one covered by an earlier gap flush).
+    /// * `first_epoch > last applied + 1` — a gap: an earlier batch was
+    ///   lost, so the [`RecoveryMode`] flush runs and covers this
+    ///   batch's own invalidations.
+    /// * otherwise the batch attaches (possibly overlapping): retained
+    ///   messages with an epoch beyond the stream position are applied
+    ///   in order, the rest skipped as covered.
+    ///
+    /// Within an attaching batch the retained epochs may be
+    /// non-contiguous — coalescing removed earlier duplicates of a
+    /// later representative — so messages are **not** routed through
+    /// `apply_invalidation` (which would misread each coalesced hole as
+    /// a lost notification and flush). The hole is safe precisely
+    /// because coalescing keeps the *latest*-epoch representative: the
+    /// content of every removed epoch is re-stated by a message at or
+    /// after it within this same batch.
+    pub fn apply_batch(&mut self, batch: &InvalidationBatch) -> BatchOutcome {
+        if batch.last_epoch <= self.epoch {
+            self.metrics.fanout_batch_duplicates.inc();
+            self.metrics
+                .duplicate_invalidations
+                .add(batch.msgs.len() as u64);
+            return BatchOutcome::Duplicate;
+        }
+        let expected = self.epoch + 1;
+        if batch.first_epoch > expected {
+            self.metrics.fanout_batch_gaps.inc();
+            self.metrics.epoch_gaps.inc();
+            self.tracer.emit(
+                self.now_micros,
+                self.tenant,
+                TraceEventKind::EpochGap {
+                    expected,
+                    got: batch.first_epoch,
+                },
+            );
+            let flushed = self.recovery_flush();
+            self.epoch = batch.last_epoch;
+            return BatchOutcome::Recovered { flushed };
+        }
+        let mut applied = 0usize;
+        let mut skipped = 0usize;
+        let mut scanned = 0usize;
+        let mut invalidated = 0usize;
+        for msg in &batch.msgs {
+            if msg.epoch <= self.epoch {
+                skipped += 1;
+                self.metrics.duplicate_invalidations.inc();
+                continue;
+            }
+            self.epoch = msg.epoch;
+            let (s, i) = self.run_invalidation_pass(&msg.update);
+            scanned += s;
+            invalidated += i;
+            applied += 1;
+        }
+        // Epochs past the last retained message were coalesced away;
+        // their content is covered by the representatives just applied.
+        self.epoch = batch.last_epoch;
+        self.metrics.fanout_batches_applied.inc();
+        self.metrics.fanout_batch_msgs.add(applied as u64);
+        BatchOutcome::Applied {
+            applied,
+            skipped,
+            scanned,
+            invalidated,
+        }
+    }
+
+    /// The update's invalidation pass: ask the strategy per entry,
+    /// account per victim. When the update's template is visible, the
+    /// scan restricts itself to *candidate* entries — blind-level entries
+    /// (always victims under Property 1) plus entries of the query
+    /// templates the IPM marks as conflicting — via the cache's secondary
+    /// index. A blind update gives the strategy nothing to filter on
+    /// (every entry is a victim), so it keeps the full scan.
     fn run_invalidation_pass(&mut self, u: &Update) -> (usize, usize) {
         let uid = u.template_id;
         let level = self.exposures.updates[uid];
@@ -1066,13 +1160,22 @@ impl Dssp {
         // inside the DSSP's trust boundary and may account for entries the
         // strategy itself cannot inspect).
         let mut victims: Vec<(usize, DecisionPath, u8)> = Vec::new();
-        let (scanned, invalidated) = self.cache.invalidate_where(|entry| {
+        let mut judge = |entry: &crate::cache::CacheEntry| {
             let (kill, path) = decide(matrix, &view, entry);
             if kill {
                 victims.push((entry.key().template_id, path, entry.level().rank() as u8));
             }
             kill
-        });
+        };
+        let (scanned, invalidated) = match view.visible_template_id() {
+            Some(_) => {
+                let candidates: Vec<usize> = (0..matrix.query_count())
+                    .filter(|&qid| !matrix.entry(uid, qid).all_zero())
+                    .collect();
+                self.cache.invalidate_candidates(&candidates, &mut judge)
+            }
+            None => self.cache.invalidate_where(&mut judge),
+        };
         for (qid, path, entry_exposure) in victims {
             self.metrics.invalidations.inc();
             self.metrics.query_invalidated[qid].inc();
@@ -1227,6 +1330,17 @@ impl Dssp {
     /// Labels this proxy's trace events with a tenant id.
     pub fn set_tenant_label(&mut self, tenant: u32) {
         self.tenant = tenant;
+    }
+
+    /// Stamps this proxy's fleet replica index on every trace event it
+    /// emits (set by `ProxyFleet::new`; stays 0 for single-proxy use).
+    pub fn set_proxy_label(&mut self, proxy: u32) {
+        self.tracer.set_proxy(proxy);
+    }
+
+    /// This proxy's fleet replica index (0 outside a fleet).
+    pub fn proxy_label(&self) -> u32 {
+        self.tracer.proxy()
     }
 
     /// Advances the clock trace events are stamped with and leases are

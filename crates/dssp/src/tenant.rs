@@ -12,6 +12,7 @@
 //! tenant's ciphertexts are indecipherable under any other tenant's key
 //! (tested in `scs-crypto`).
 
+use crate::fleet::{FleetConfig, ProxyFleet, RoutingMode};
 use crate::home::HomeServer;
 use crate::proxy::{Dssp, DsspConfig, QueryResponse, UpdateResponse};
 use crate::stats::DsspStats;
@@ -56,10 +57,12 @@ impl From<StorageError> for NodeError {
     }
 }
 
+/// One registered application: its proxy fleet (a single-replica fleet
+/// for classically registered tenants) plus the home connection the
+/// fleet owns.
 struct Tenant {
     app_id: String,
-    dssp: Dssp,
-    home: HomeServer,
+    fleet: ProxyFleet,
 }
 
 /// A DSSP node multiplexing many applications.
@@ -76,10 +79,28 @@ impl DsspNode {
 
     /// Registers an application: its DSSP configuration plus its home
     /// server connection. Returns the tenant handle used for routing.
+    /// The tenant is backed by a degenerate single-replica fleet with
+    /// immediate fanout over a reliable zero-latency pipe, which behaves
+    /// exactly like a standalone proxy (pinned by `fleet` tests).
     pub fn register(
         &mut self,
         config: DsspConfig,
         home: HomeServer,
+    ) -> Result<TenantId, NodeError> {
+        self.register_fleet(
+            config,
+            home,
+            FleetConfig::reliable(1, RoutingMode::RoundRobin),
+        )
+    }
+
+    /// Registers an application backed by a multi-replica proxy fleet
+    /// (§5's deployment: N proxies, broadcast invalidation fanout).
+    pub fn register_fleet(
+        &mut self,
+        config: DsspConfig,
+        home: HomeServer,
+        fleet: FleetConfig,
     ) -> Result<TenantId, NodeError> {
         if self.by_app.contains_key(&config.app_id) {
             return Err(NodeError::DuplicateTenant(config.app_id));
@@ -87,9 +108,9 @@ impl DsspNode {
         let id = TenantId(self.tenants.len() as u32);
         let app_id = config.app_id.clone();
         self.by_app.insert(app_id.clone(), id);
-        let mut dssp = Dssp::new(config);
-        dssp.set_tenant_label(id.0);
-        self.tenants.push(Tenant { app_id, dssp, home });
+        let mut fleet = ProxyFleet::new(config, home, fleet);
+        fleet.set_tenant_label(id.0);
+        self.tenants.push(Tenant { app_id, fleet });
         Ok(id)
     }
 
@@ -109,25 +130,27 @@ impl DsspNode {
             .ok_or(NodeError::UnknownTenant(t))
     }
 
-    /// Routes a query to its tenant's proxy.
+    /// Routes a query to its tenant's fleet (the fleet's balancer picks
+    /// the replica).
     pub fn execute_query(&mut self, t: TenantId, q: &Query) -> Result<QueryResponse, NodeError> {
         let tenant = self.tenant_mut(t)?;
-        Ok(tenant.dssp.execute_query(q, &mut tenant.home)?)
+        Ok(tenant.fleet.execute_query(q)?.resp)
     }
 
-    /// Routes an update to its tenant's proxy. Only the tenant's own
+    /// Routes an update to its tenant's fleet. Only the tenant's own
     /// cached entries are scanned — one tenant's updates never disturb
     /// another's cache.
     pub fn execute_update(&mut self, t: TenantId, u: &Update) -> Result<UpdateResponse, NodeError> {
         let tenant = self.tenant_mut(t)?;
-        Ok(tenant.dssp.execute_update(u, &mut tenant.home)?)
+        Ok(tenant.fleet.execute_update(u)?.resp)
     }
 
-    /// Per-tenant statistics, by application name.
+    /// Per-tenant statistics, by application name (fleet-wide roll-up
+    /// per tenant).
     pub fn stats(&self) -> Vec<(&str, DsspStats)> {
         self.tenants
             .iter()
-            .map(|t| (t.app_id.as_str(), t.dssp.stats()))
+            .map(|t| (t.app_id.as_str(), t.fleet.rollup_stats()))
             .collect()
     }
 
@@ -135,7 +158,7 @@ impl DsspNode {
     pub fn rollup_stats(&self) -> DsspStats {
         let mut total = DsspStats::default();
         for t in &self.tenants {
-            total.merge(&t.dssp.stats());
+            total.merge(&t.fleet.rollup_stats());
         }
         total
     }
@@ -145,19 +168,34 @@ impl DsspNode {
     pub fn rollup_metrics(&self) -> scs_telemetry::MetricsSnapshot {
         let mut total = scs_telemetry::MetricsSnapshot::default();
         for t in &self.tenants {
-            total.merge(&t.dssp.registry().snapshot());
+            total.merge(&t.fleet.rollup_metrics());
         }
         total
     }
 
     /// Total cached entries across tenants (node capacity planning).
     pub fn total_cache_entries(&self) -> usize {
-        self.tenants.iter().map(|t| t.dssp.cache_len()).sum()
+        self.tenants
+            .iter()
+            .map(|t| t.fleet.total_cache_entries())
+            .sum()
     }
 
-    /// Read access to one tenant's proxy (diagnostics/tests).
+    /// Read access to one tenant's first replica (diagnostics/tests;
+    /// the whole proxy for classically registered tenants).
     pub fn dssp(&self, t: TenantId) -> Option<&Dssp> {
-        self.tenants.get(t.0 as usize).map(|x| &x.dssp)
+        self.tenants.get(t.0 as usize).map(|x| x.fleet.proxy(0))
+    }
+
+    /// Read access to one tenant's fleet.
+    pub fn fleet(&self, t: TenantId) -> Option<&ProxyFleet> {
+        self.tenants.get(t.0 as usize).map(|x| &x.fleet)
+    }
+
+    /// Mutable access to one tenant's fleet (simulation drivers advance
+    /// its clock and pump its pipes).
+    pub fn fleet_mut(&mut self, t: TenantId) -> Option<&mut ProxyFleet> {
+        self.tenants.get_mut(t.0 as usize).map(|x| &mut x.fleet)
     }
 }
 
@@ -305,6 +343,29 @@ mod tests {
         assert_eq!(source.to_string(), storage.to_string());
         assert!(NodeError::UnknownTenant(TenantId(3)).source().is_none());
         assert!(NodeError::DuplicateTenant("a".into()).source().is_none());
+    }
+
+    #[test]
+    fn fleet_backed_tenant_routes_and_rolls_up() {
+        use crate::fleet::{FleetConfig, RoutingMode};
+        let mut node = DsspNode::new();
+        let (ca, ha, qa, ua) = make_tenant("app-a", 10);
+        let ta = node
+            .register_fleet(ca, ha, FleetConfig::reliable(3, RoutingMode::RoundRobin))
+            .unwrap();
+        assert_eq!(node.fleet(ta).unwrap().len(), 3);
+        // Three identical queries round-robin across replicas: all miss.
+        let q = Query::bind(0, qa, vec![Value::Int(2)]).unwrap();
+        for _ in 0..3 {
+            assert!(!node.execute_query(ta, &q).unwrap().hit);
+        }
+        assert_eq!(node.total_cache_entries(), 3);
+        // One update fans out and kills every replica's copy.
+        let u = Update::bind(0, ua, vec![Value::Int(1), Value::Int(2)]).unwrap();
+        let resp = node.execute_update(ta, &u).unwrap();
+        assert_eq!(resp.invalidated, 3, "all three replicas invalidate");
+        assert_eq!(node.total_cache_entries(), 0);
+        assert_eq!(node.rollup_stats().queries, 3);
     }
 
     #[test]

@@ -28,6 +28,8 @@ pub mod units;
 pub use fault::{ChannelStats, FaultSpec, FaultyChannel, OutageSchedule};
 pub use metrics::{CenterTelemetry, RunMetrics, Sla};
 pub use resource::{DuplexLink, Pipe, QueueCap, Rejected, Served, ServiceCenter};
-pub use scalability::{find_max_users, ScalabilityResult, SearchOptions};
+pub use scalability::{
+    find_max_users, sweep_proxy_counts, FleetPoint, ScalabilityResult, SearchOptions,
+};
 pub use sim::{run, run_observed, HomeTrip, OpCost, SimConfig, SystemSpec, Workload};
 pub use units::{as_secs, Time, MS, SEC};

@@ -38,8 +38,13 @@ pub struct RunMetrics {
     pub users: usize,
     /// Measurement-window length.
     pub window: Time,
-    /// DSSP CPU utilization over the window.
+    /// DSSP CPU utilization over the window. With a multi-node DSSP
+    /// tier ([`crate::sim::SystemSpec::dssp_nodes`] > 1) this is the
+    /// *busiest* node's utilization.
     pub dssp_utilization: f64,
+    /// Per-node DSSP CPU utilization, indexed by proxy node. Length =
+    /// `dssp_nodes` (a single entry for classic runs).
+    pub dssp_node_utilization: Vec<f64>,
     /// Home-server CPU utilization over the window.
     pub home_utilization: f64,
     /// Home-link (downstream, results) utilization over the window.

@@ -87,6 +87,33 @@ pub fn find_max_users(
     }
 }
 
+/// One point of a paper-style "max users vs. proxies" curve (Fig. 8–10:
+/// x = proxy count, y = the knee found by [`find_max_users`]).
+#[derive(Debug, Clone)]
+pub struct FleetPoint {
+    pub proxies: usize,
+    pub result: ScalabilityResult,
+}
+
+/// Sweeps DSSP proxy counts, running an independent max-users search at
+/// each count. `trial(proxies, users)` must run a fresh simulation of a
+/// `proxies`-node fleet at that load (fresh caches, as in the paper).
+/// Points come back in the order of `proxy_counts`.
+pub fn sweep_proxy_counts(
+    proxy_counts: &[usize],
+    mut trial: impl FnMut(usize, usize) -> RunMetrics,
+    sla: &Sla,
+    opts: SearchOptions,
+) -> Vec<FleetPoint> {
+    proxy_counts
+        .iter()
+        .map(|&proxies| FleetPoint {
+            proxies,
+            result: find_max_users(|users| trial(proxies, users), sla, opts),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +164,33 @@ mod tests {
         };
         let r = find_max_users(fake_trial(usize::MAX), &Sla::paper(), opts);
         assert_eq!(r.max_users, 64);
+    }
+
+    #[test]
+    fn proxy_sweep_tracks_a_scaling_knee() {
+        // Fake fleet whose knee grows linearly with proxy count — the
+        // sweep must recover a strictly increasing curve.
+        let opts = SearchOptions {
+            start: 4,
+            max: 4_096,
+            resolution: 4,
+        };
+        let points = sweep_proxy_counts(
+            &[1, 2, 4],
+            |proxies, users| fake_trial(200 * proxies)(users),
+            &Sla::paper(),
+            opts,
+        );
+        assert_eq!(points.len(), 3);
+        let knees: Vec<usize> = points.iter().map(|p| p.result.max_users).collect();
+        assert!(
+            knees.windows(2).all(|w| w[0] < w[1]),
+            "linear fake fleet must scale: {knees:?}"
+        );
+        assert_eq!(
+            points.iter().map(|p| p.proxies).collect::<Vec<_>>(),
+            vec![1, 2, 4]
+        );
     }
 
     #[test]

@@ -31,6 +31,9 @@ use std::collections::BinaryHeap;
 pub struct OpCost {
     /// CPU time at the DSSP node (cache lookup, app logic, invalidation).
     pub dssp_cpu: Time,
+    /// Which DSSP proxy node serves the CPU demand (fleet scale-out;
+    /// see [`SystemSpec::dssp_nodes`]). 0 for single-proxy workloads.
+    pub proxy: usize,
     /// A home-server round trip (cache miss or update); `None` for hits.
     pub home_trip: Option<HomeTrip>,
     /// Bytes of the reply sent back to the client.
@@ -81,6 +84,12 @@ pub struct SystemSpec {
     /// Number of CPU servers at the DSSP node / home server.
     pub dssp_servers: usize,
     pub home_servers: usize,
+    /// Number of DSSP proxy *nodes* (the paper's Fig. 8–10 x-axis). Each
+    /// node is its own service center with `dssp_servers` CPUs; an op is
+    /// served by the node its [`OpCost::proxy`] selects. The home tier
+    /// and its link stay shared — that is what makes the blind strategy
+    /// flat as proxies are added.
+    pub dssp_nodes: usize,
     /// Bytes of a client→DSSP op request (HTTP-ish overhead).
     pub op_request_bytes: u64,
 }
@@ -94,7 +103,18 @@ impl Default for SystemSpec {
             home_bandwidth: 2_000_000,
             dssp_servers: 1,
             home_servers: 1,
+            dssp_nodes: 1,
             op_request_bytes: 300,
+        }
+    }
+}
+
+impl SystemSpec {
+    /// The default testbed scaled out to `n` DSSP proxy nodes.
+    pub fn with_dssp_nodes(n: usize) -> SystemSpec {
+        SystemSpec {
+            dssp_nodes: n.max(1),
+            ..SystemSpec::default()
         }
     }
 }
@@ -189,7 +209,10 @@ pub fn run_observed(
     assert!(cfg.users >= 1, "need at least one user");
     assert!(cfg.warmup < cfg.duration, "warmup must precede the window");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut dssp_cpu = ServiceCenter::new(cfg.spec.dssp_servers);
+    let nodes = cfg.spec.dssp_nodes.max(1);
+    let mut dssp_cpus: Vec<ServiceCenter> = (0..nodes)
+        .map(|_| ServiceCenter::new(cfg.spec.dssp_servers))
+        .collect();
     let mut home_cpu = ServiceCenter::new(cfg.spec.home_servers);
     let mut home_link = DuplexLink::new(cfg.spec.home_latency, cfg.spec.home_bandwidth);
     let mut clients: Vec<ClientState> = (0..cfg.users)
@@ -251,7 +274,13 @@ pub fn run_observed(
                 if let Some(ts) = series.as_mut() {
                     ts.incr(ev.at, "ops");
                 }
-                let dssp_served = dssp_cpu.serve_traced(ev.at, cost.dssp_cpu);
+                debug_assert!(
+                    cost.proxy < nodes,
+                    "op routed to proxy {} of {nodes}",
+                    cost.proxy
+                );
+                let dssp_served =
+                    dssp_cpus[cost.proxy.min(nodes - 1)].serve_traced(ev.at, cost.dssp_cpu);
                 hist.dssp.record(ev.at, dssp_served);
                 let ready = match &cost.home_trip {
                     Some(trip) => {
@@ -295,7 +324,14 @@ pub fn run_observed(
     }
 
     let horizon = cfg.duration;
-    metrics.dssp_utilization = dssp_cpu.utilization(horizon);
+    metrics.dssp_node_utilization = dssp_cpus.iter().map(|c| c.utilization(horizon)).collect();
+    // The headline DSSP utilization is the *busiest* node: that is the
+    // replica whose queue bends the response-time curve.
+    metrics.dssp_utilization = metrics
+        .dssp_node_utilization
+        .iter()
+        .copied()
+        .fold(0.0, f64::max);
     metrics.home_utilization = home_cpu.utilization(horizon);
     metrics.home_link_utilization = home_link.down.utilization(horizon);
     metrics.hit_rate = workload.hit_rate();
@@ -373,6 +409,7 @@ mod tests {
                 dssp_cpu: MS,
                 home_trip: None,
                 reply_bytes: 1_000,
+                ..OpCost::default()
             }
         }
     }
@@ -392,6 +429,7 @@ mod tests {
                     home_cpu: 5 * MS,
                 }),
                 reply_bytes: 2_000,
+                ..OpCost::default()
             }
         }
     }
@@ -531,6 +569,63 @@ mod tests {
         let m = run(&quick_cfg(5), &mut w);
         assert_eq!(w.stamps.len() as u64, m.ops_executed);
         assert!(w.stamps.windows(2).all(|p| p[0] <= p[1]));
+    }
+
+    /// DSSP-CPU-heavy workload routed round-robin across proxy nodes.
+    struct CpuBound {
+        nodes: usize,
+        next: usize,
+    }
+    impl Workload for CpuBound {
+        fn begin_request(&mut self, _c: usize) -> usize {
+            1
+        }
+        fn execute_op(&mut self, _c: usize, _i: usize) -> OpCost {
+            let proxy = self.next % self.nodes;
+            self.next += 1;
+            OpCost {
+                dssp_cpu: 40 * MS,
+                proxy,
+                home_trip: None,
+                reply_bytes: 1_000,
+            }
+        }
+    }
+
+    #[test]
+    fn extra_dssp_nodes_relieve_a_cpu_bound_tier() {
+        // 40 ms/op at ~70 ops/s offered: one node is at 2.8× capacity,
+        // four nodes are comfortably under it.
+        let mut cfg = quick_cfg(500);
+        cfg.spec.dssp_nodes = 1;
+        let one = run(&cfg, &mut CpuBound { nodes: 1, next: 0 });
+        cfg.spec.dssp_nodes = 4;
+        let four = run(&cfg, &mut CpuBound { nodes: 4, next: 0 });
+        let sla = crate::metrics::Sla::paper();
+        assert!(!sla.met_by(&one), "single node saturates");
+        assert!(sla.met_by(&four), "four nodes meet the SLA");
+        assert_eq!(four.dssp_node_utilization.len(), 4);
+        assert!(one.dssp_utilization > 0.95);
+        assert!(four.dssp_utilization < 0.9);
+        // Round-robin load lands evenly: node utilizations agree within
+        // a few percent.
+        let (lo, hi) = four
+            .dssp_node_utilization
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), &u| (lo.min(u), hi.max(u)));
+        assert!(
+            hi - lo < 0.05,
+            "even spread, got {:?}",
+            four.dssp_node_utilization
+        );
+    }
+
+    #[test]
+    fn single_node_spec_is_unchanged_by_the_fleet_extension() {
+        // dssp_nodes = 1 must reproduce the pre-fleet simulator exactly.
+        let m = run(&quick_cfg(10), &mut MissOnly);
+        assert_eq!(m.dssp_node_utilization.len(), 1);
+        assert_eq!(m.dssp_node_utilization[0], m.dssp_utilization);
     }
 
     #[test]

@@ -82,7 +82,7 @@ proptest! {
                 self.ops
             }
             fn execute_op(&mut self, _c: usize, _i: usize) -> OpCost {
-                OpCost { dssp_cpu: MS, home_trip: None, reply_bytes: 500 }
+                OpCost { dssp_cpu: MS, home_trip: None, reply_bytes: 500, ..OpCost::default() }
             }
         }
         let cfg = SimConfig {
@@ -109,7 +109,7 @@ proptest! {
                 1
             }
             fn execute_op(&mut self, _c: usize, _i: usize) -> OpCost {
-                OpCost { dssp_cpu: 100, home_trip: None, reply_bytes: 200 }
+                OpCost { dssp_cpu: 100, home_trip: None, reply_bytes: 200, ..OpCost::default() }
             }
         }
         let run_users = |users: usize| {

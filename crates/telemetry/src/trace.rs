@@ -91,13 +91,15 @@ impl TraceEventKind {
 }
 
 /// One pipeline event: monotone sequence number, simulation clock (µs;
-/// wall-clock micros when no simulation is driving), owning tenant, and
-/// the event payload.
+/// wall-clock micros when no simulation is driving), owning tenant, the
+/// proxy replica within that tenant's fleet (0 for single-proxy
+/// tenants), and the event payload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
     pub seq: u64,
     pub at_micros: u64,
     pub tenant: u32,
+    pub proxy: u32,
     pub kind: TraceEventKind,
 }
 
@@ -109,6 +111,7 @@ impl TraceEvent {
             ("seq".to_string(), Json::from(self.seq)),
             ("at_us".to_string(), Json::from(self.at_micros)),
             ("tenant".to_string(), Json::from(self.tenant as u64)),
+            ("proxy".to_string(), Json::from(self.proxy as u64)),
             ("event".to_string(), Json::from(self.kind.name())),
         ];
         let mut push = |k: &str, v: u64| fields.push((k.to_string(), Json::from(v)));
@@ -209,6 +212,7 @@ pub trait TraceSink {
 pub struct Tracer {
     sinks: Vec<Box<dyn TraceSink>>,
     next_seq: u64,
+    proxy: u32,
 }
 
 impl Tracer {
@@ -224,11 +228,23 @@ impl Tracer {
         !self.sinks.is_empty()
     }
 
+    /// Stamps every subsequent event with a fleet replica index. A
+    /// tracer is owned by exactly one proxy, so this is set once at
+    /// fleet construction rather than threaded through ~40 emit sites.
+    pub fn set_proxy(&mut self, proxy: u32) {
+        self.proxy = proxy;
+    }
+
+    pub fn proxy(&self) -> u32 {
+        self.proxy
+    }
+
     pub fn emit(&mut self, at_micros: u64, tenant: u32, kind: TraceEventKind) {
         let event = TraceEvent {
             seq: self.next_seq,
             at_micros,
             tenant,
+            proxy: self.proxy,
             kind,
         };
         self.next_seq += 1;
@@ -409,6 +425,7 @@ mod tests {
                 seq: i as u64,
                 at_micros: i as u64 * 100,
                 tenant: 0,
+                proxy: 0,
                 kind: ev(i),
             });
         }
@@ -426,6 +443,7 @@ mod tests {
                 seq: i as u64,
                 at_micros: 0,
                 tenant: 0,
+                proxy: 0,
                 kind: ev(i),
             });
         }
@@ -440,6 +458,7 @@ mod tests {
             seq: 7,
             at_micros: 1234,
             tenant: 2,
+            proxy: 0,
             kind: TraceEventKind::EntryInvalidated {
                 update_template: 3,
                 query_template: 5,
@@ -465,6 +484,7 @@ mod tests {
                 seq: 0,
                 at_micros: 0,
                 tenant: 0,
+                proxy: 0,
                 kind,
             }
             .to_json()
@@ -498,6 +518,7 @@ mod tests {
                 seq: 0,
                 at_micros: 0,
                 tenant: 0,
+                proxy: 0,
                 kind,
             }
             .to_json()
@@ -545,6 +566,28 @@ mod tests {
             tracer.emit(i, 0, ev(0));
         }
         assert_eq!(tracer.events_emitted(), 5);
+    }
+
+    #[test]
+    fn tracer_stamps_proxy_replica_on_events() {
+        struct Shared(std::sync::Arc<std::sync::Mutex<Vec<TraceEvent>>>);
+        impl TraceSink for Shared {
+            fn record(&mut self, event: &TraceEvent) {
+                self.0.lock().unwrap().push(*event);
+            }
+        }
+        let ring = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut tracer = Tracer::new();
+        tracer.add_sink(Box::new(Shared(ring.clone())));
+        tracer.emit(0, 0, ev(0));
+        tracer.set_proxy(3);
+        assert_eq!(tracer.proxy(), 3);
+        tracer.emit(1, 0, ev(1));
+        let events = ring.lock().unwrap();
+        assert_eq!(events[0].proxy, 0, "default replica is 0");
+        assert_eq!(events[1].proxy, 3, "set_proxy stamps later events");
+        let json = events[1].to_json();
+        assert_eq!(json.get("proxy").unwrap().as_u64(), Some(3));
     }
 
     /// An `io::Write` that fails every call, to exercise the error
