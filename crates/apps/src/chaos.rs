@@ -26,7 +26,7 @@ use scs_dssp::{
 use scs_netsim::{ChannelStats, FaultSpec, FaultyChannel, OutageSchedule, Time, MS, SEC};
 use scs_sqlkit::{Query, QueryTemplate, Update, UpdateTemplate, Value};
 use scs_storage::{Database, QueryResult};
-use scs_telemetry::TimeSeries;
+use scs_telemetry::{shared_provenance, FlushTrigger, SharedProvenance, TimeSeries};
 use std::sync::Arc;
 
 /// Mean up/down durations for the proxy ↔ home link.
@@ -256,6 +256,16 @@ pub struct ChaosReport {
     /// The `[start, end)` link outage windows the run actually used —
     /// exported next to the curves so dips line up with their cause.
     pub outage_windows: Vec<(Time, Time)>,
+    /// The freshness plane for the run (single replica 0): commit /
+    /// flush / arrival stamps plus the explain engine. `None` for
+    /// [`run_classic`] baselines.
+    pub provenance: Option<SharedProvenance>,
+    /// The oracle's master history timeline: `master_history_micros[e]`
+    /// is the sim time at which master epoch `e` became current (index 0
+    /// is the initial state at t=0). The provenance plane's commit
+    /// stamps must agree with this — the cross-check the freshness
+    /// property tests enforce. Empty for [`run_classic`].
+    pub master_history_micros: Vec<Time>,
 }
 
 /// The bound application: templates, home server, proxy, and oracle.
@@ -402,6 +412,12 @@ pub(crate) fn next_arrival(cfg: &ChaosConfig, clock: Time) -> Time {
 /// Runs the fault-tolerant pipeline under `cfg`'s fault schedule.
 pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     let mut sc = build_scenario(cfg);
+    // Single-replica freshness plane: the home stamps commits, the
+    // channel sends are stamped inline (one-message batches), and the
+    // proxy stamps arrivals/serves as replica 0.
+    let prov = shared_provenance(1);
+    sc.home.attach_provenance(prov.clone());
+    sc.dssp.attach_provenance(prov.clone(), 0);
     let horizon = (cfg.ops as Time + 2) * cfg.op_spacing_micros;
     let link = match (&cfg.scripted_outages, cfg.outage) {
         (Some(windows), _) => HomeLink::with_outages(windows.clone()),
@@ -437,6 +453,8 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         counters: FaultCounters::default(),
         timeseries: None,
         outage_windows: link.outages().to_vec(),
+        provenance: None,
+        master_history_micros: Vec::new(),
     };
 
     let script = std::mem::take(&mut sc.script);
@@ -445,6 +463,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         clock = next_arrival(cfg, clock);
         let now = clock;
         sc.dssp.set_sim_time_micros(now);
+        sc.home.set_sim_time_micros(now);
         while next_crash < crash_times.len() && crash_times[next_crash] <= now {
             sc.dssp.restart(sc.home.epoch());
             next_crash += 1;
@@ -515,6 +534,24 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
                             report.updates_applied += 1;
                             tick(&mut series, now, "update_applied");
                             sc.oracle.push((now, sc.home.database().clone()));
+                            // The classic chaos channel ships each
+                            // notification unbatched: stamp a
+                            // one-message flush + send so the plane sees
+                            // the same flush/send/arrival shape as the
+                            // fleet fanout.
+                            {
+                                let mut p = prov.lock().unwrap();
+                                let id = p.note_flush(
+                                    msg.epoch,
+                                    msg.epoch,
+                                    1,
+                                    0,
+                                    now,
+                                    FlushTrigger::Inline,
+                                    vec![(u.template_id, msg.payload_bytes())],
+                                );
+                                p.note_send(0, id, now);
+                            }
                             channel.send(now, msg);
                             report.outcomes.push(OpOutcome::UpdateApplied);
                         }
@@ -547,6 +584,8 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     report.channel = channel.stats();
     report.counters = FaultCounters::from_dssp(&sc.dssp);
     report.timeseries = series;
+    report.provenance = Some(prov);
+    report.master_history_micros = sc.oracle.iter().map(|&(t, _)| t).collect();
     report
 }
 
@@ -569,6 +608,8 @@ pub fn run_classic(cfg: &ChaosConfig) -> ChaosReport {
         counters: FaultCounters::default(),
         timeseries: None,
         outage_windows: Vec::new(),
+        provenance: None,
+        master_history_micros: Vec::new(),
     };
     let script = std::mem::take(&mut sc.script);
     let mut clock: Time = 0;

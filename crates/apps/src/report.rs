@@ -22,8 +22,13 @@ use scs_netsim::{CenterTelemetry, RunMetrics};
 use scs_telemetry::{evaluate_all, HistogramSnapshot, Json, SloSpec, TimeSeries, Tracer};
 use std::path::PathBuf;
 
-/// Bumped whenever the report layout changes incompatibly.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Bumped whenever the report layout changes incompatibly. The `regress`
+/// gate refuses to diff reports whose version differs from its own —
+/// regenerate stale baselines instead of comparing mismatched shapes.
+///
+/// History: 1 = initial versioned schema; 2 = freshness-plane entries
+/// (`freshness.points` curves from the provenance log).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Environment variable overriding the output path of
 /// [`write_telemetry`].
@@ -552,7 +557,10 @@ mod tests {
         let entry = telemetry_entry("toystore", "MVIS", Some(128), w.dssp(), &metrics);
         let report = telemetry_report(vec![entry]);
         let parsed = Json::parse(&report.render_pretty()).unwrap();
-        assert_eq!(parsed.get("schema_version").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            parsed.get("schema_version").unwrap().as_u64(),
+            Some(SCHEMA_VERSION)
+        );
         let entry = parsed.get("entries").unwrap().index(0).unwrap();
         assert_eq!(entry.get("app").unwrap().as_str(), Some("toystore"));
         assert_eq!(entry.get("scalability_users").unwrap().as_u64(), Some(128));

@@ -1,0 +1,135 @@
+//! The freshness plane probe: **propagation lag, staleness age at
+//! serve, and fanout amplification vs. fleet size**, under a clean and
+//! a chaotic invalidation-pipe schedule, on the auction benchmark.
+//!
+//! Each sweep point drives a [`scs_dssp::ProxyFleet`] with the
+//! provenance log enabled: the home stamps every commit, the fanout
+//! layer stamps every batch flush and per-pipe send, and each replica
+//! stamps arrivals, invalidations, stores, and serves. The probe reads
+//! back per-replica commit→coverage lag p99, staleness-age-at-serve
+//! p99 (always strictly inside the lease), the epoch conservation
+//! balance, and bytes-shipped-per-update amplification.
+//!
+//! The run ends with an **explain demo**: a single-replica chaos run
+//! whose provenance log answers "why was request X served at age t" /
+//! "why did request Y miss" as causal chains (commit → flush → send →
+//! deliver → invalidate → miss/serve).
+//!
+//! Run: `cargo run -p scs-bench --release --bin freshness [--smoke|--full]`
+//! * default / `--smoke`: smoke fidelity — CI's gate, and the fidelity
+//!   the observatory commits to `BENCH_baseline.json` (so `regress
+//!   --subset` diffs like against like);
+//! * `--full`: longer windows and more users, for local investigation.
+//!
+//! Output: `freshness.json` (`SCS_TELEMETRY_OUT` overrides) — the same
+//! entry schema the committed `BENCH_baseline.json` carries, so
+//! `regress --subset` can diff a smoke run against the full baseline.
+//! Exits nonzero when any acceptance check fails.
+
+use scs_apps::chaos::{run_chaos, ChaosConfig};
+use scs_apps::report;
+use scs_bench::freshness_probe::{self, FreshnessFidelity, PROXY_COUNTS};
+use scs_bench::TextTable;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let fidelity: FreshnessFidelity = if smoke {
+        freshness_probe::smoke_fidelity()
+    } else if args.iter().any(|a| a == "--full") {
+        freshness_probe::full_fidelity()
+    } else {
+        freshness_probe::smoke_fidelity()
+    };
+
+    println!("Freshness — propagation lag / staleness age / amplification (auction)");
+    println!(
+        "(proxy counts {:?}; lease {} ms; {} mode)\n",
+        PROXY_COUNTS,
+        freshness_probe::LEASE_MICROS / 1_000,
+        if smoke { "smoke" } else { "table" }
+    );
+
+    let probe = freshness_probe::run_probe(fidelity, freshness_probe::SEED);
+
+    let mut table = TextTable::new(&[
+        "Schedule",
+        "Proxies",
+        "Lag p99 (us)",
+        "Stale-age p99 (us)",
+        "Serves",
+        "Stale<=lease",
+        "Beyond",
+        "Bytes/update",
+    ]);
+    for curve in &probe.curves {
+        for p in &curve.points {
+            table.row(&[
+                curve.schedule.to_string(),
+                p.proxies.to_string(),
+                p.lag_p99_us.to_string(),
+                p.stale_age_p99_us.to_string(),
+                p.serves.to_string(),
+                p.stale_within_lease.to_string(),
+                p.stale_beyond_lease.to_string(),
+                format!("{:.0}", p.bytes_per_update()),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!("Shape: chaos lag p99 >= clean at every fleet size; staleness");
+    println!("stays strictly inside the lease; conservation balances.\n");
+
+    explain_demo();
+
+    match report::write_telemetry(&report::telemetry_report(probe.entries), "freshness.json") {
+        Ok(path) => println!("\nFreshness report written to {}", path.display()),
+        Err(e) => {
+            eprintln!("\nFailed to write freshness report: {e}");
+            std::process::exit(2);
+        }
+    }
+
+    if !probe.failures.is_empty() {
+        eprintln!("\n{} acceptance check(s) failed:", probe.failures.len());
+        for f in &probe.failures {
+            eprintln!("  FAIL {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("all freshness acceptance checks passed");
+}
+
+/// Runs a single-replica chaos scenario and prints one causal chain of
+/// each kind the explain engine can produce.
+fn explain_demo() {
+    println!("Explain demo — chaotic single-proxy run, seed 17:");
+    let report = run_chaos(&ChaosConfig::chaotic(17, 1_500));
+    let prov = report.provenance.expect("chaos runs carry the plane");
+    let p = prov.lock().unwrap();
+    let rl = p.replica(0);
+
+    // The most interesting serve: the one with the largest stale age.
+    if let Some(ev) = rl
+        .serve_events()
+        .iter()
+        .filter(|e| e.pending_epoch.is_some())
+        .max_by_key(|e| e.age_micros)
+    {
+        if let Some(doc) = p.explain_serve(0, ev.query_template, ev.at_micros) {
+            println!("\nwhy-age-t (stalest serve):\n{}", doc.render_pretty());
+        }
+    }
+    // The first post-invalidation miss.
+    if let Some(ev) = rl.miss_events().iter().find(|e| !e.expired) {
+        if let Some(doc) = p.explain_miss(0, ev.query_template, ev.at_micros) {
+            println!("\nwhy-miss:\n{}", doc.render_pretty());
+        }
+    }
+    // A degraded serve, when the outage schedule produced one.
+    if let Some(ev) = rl.degraded_events().first() {
+        if let Some(doc) = p.explain_degraded(0, ev.query_template, ev.at_micros) {
+            println!("\nwhy-degraded:\n{}", doc.render_pretty());
+        }
+    }
+}

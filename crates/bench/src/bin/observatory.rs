@@ -15,7 +15,11 @@
 //!   MVIS and MBS (the reference for the fleet-curve regression
 //!   detector and CI's `fleet --smoke` run);
 //! * the overload probe — the 4x spike demo and the goodput-vs-offered-
-//!   load sweep (the reference for the goodput detectors).
+//!   load sweep (the reference for the goodput detectors);
+//! * the freshness probe — propagation-lag / staleness-age /
+//!   amplification curves across fleet sizes under clean and chaotic
+//!   pipe schedules (the reference for the freshness detectors and
+//!   CI's `freshness --smoke` run).
 //!
 //! Every simulated quantity in the report is deterministic per seed;
 //! only the span `elapsed` wall-clock nanoseconds vary between machines,
@@ -103,6 +107,28 @@ fn main() {
     );
     failed.extend(probe.failures.iter().cloned());
     entries.extend(probe.entries);
+
+    // The freshness probe: the provenance plane's propagation-lag,
+    // stale-age-at-serve, and amplification curves. Smoke fidelity,
+    // matching CI's `freshness --smoke` run exactly, so the freshness
+    // detectors diff like against like.
+    let fresh = scs_bench::freshness_probe::run_probe(
+        scs_bench::freshness_probe::smoke_fidelity(),
+        scs_bench::freshness_probe::SEED,
+    );
+    for curve in &fresh.curves {
+        let worst_lag = curve.points.iter().map(|p| p.lag_p99_us).max().unwrap_or(0);
+        let beyond: u64 = curve.points.iter().map(|p| p.stale_beyond_lease).sum();
+        println!(
+            "  [freshness/{}] lag p99 up to {}us across {:?} proxies / stale-beyond-lease {}",
+            curve.schedule,
+            worst_lag,
+            scs_bench::freshness_probe::PROXY_COUNTS,
+            beyond
+        );
+    }
+    failed.extend(fresh.failures.iter().cloned());
+    entries.extend(fresh.entries);
 
     match report::write_telemetry(&report::telemetry_report(entries), "observatory.json") {
         Ok(path) => println!("\nObservatory report written to {}", path.display()),

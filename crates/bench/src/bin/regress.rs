@@ -15,7 +15,16 @@
 //!   is caught even when the baseline itself regressed);
 //! * a fleet entry's scale-out knee (max users at some proxy count)
 //!   falling more than the threshold below the baseline's, or a swept
-//!   proxy count disappearing from the curve.
+//!   proxy count disappearing from the curve;
+//! * a freshness entry's propagation-lag p99 or stale-age-at-serve p99
+//!   rising more than the threshold at any fleet size, its
+//!   stale-beyond-lease count increasing, its fanout amplification
+//!   (bytes per update) growing past the threshold, or a swept fleet
+//!   size disappearing from the curve.
+//!
+//! Both reports must carry the current telemetry `schema_version`
+//! ([`scs_apps::report::SCHEMA_VERSION`]); a mismatch is a usage error
+//! (exit 2) with a pointer to regenerate the stale report.
 //!
 //! Only deterministic simulated quantities are compared — span
 //! wall-clock nanoseconds and other machine-dependent fields are
@@ -25,24 +34,55 @@
 //! `regress --baseline BENCH_baseline.json --candidate observatory.json`
 //! `regress --self-check --baseline BENCH_baseline.json` validates the
 //! gate itself: baseline-vs-baseline must be clean, and a synthetically
-//! degraded candidate must be caught (including the knee-collapse
-//! detector whenever the baseline carries a goodput curve).
+//! degraded candidate must be caught (including the knee-collapse,
+//! fleet scale-out, and freshness detectors whenever the baseline
+//! carries those curves).
 //! `--subset` skips the disappearance detector, for diffing a candidate
 //! that deliberately re-runs only some baseline entries (CI's
 //! `overload.json` vs the full committed baseline).
+//! `--json` additionally prints a machine-readable document to stdout —
+//! per-detector verdicts with entry keys — for CI annotations; the
+//! human-readable lines move to stderr.
 //!
 //! Exit codes: 0 = no regression, 1 = regression (or failed
-//! self-check), 2 = usage/IO error.
+//! self-check), 2 = usage/IO error (including a schema mismatch).
 
+use scs_apps::report::SCHEMA_VERSION;
 use scs_bench::overload_probe::KNEE_HOLD_FRACTION;
 use scs_telemetry::Json;
+
+/// One detector verdict: which entry, which detector, and the
+/// human-readable explanation.
+struct Finding {
+    key: String,
+    detector: &'static str,
+    message: String,
+}
+
+impl Finding {
+    fn new(key: &str, detector: &'static str, message: String) -> Finding {
+        Finding {
+            key: key.to_string(),
+            detector,
+            message,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("entry", self.key.as_str().into()),
+            ("detector", self.detector.into()),
+            ("message", self.message.as_str().into()),
+        ])
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let baseline_path = match arg_value(&args, "--baseline") {
         Some(p) => p,
         None => {
-            eprintln!("usage: regress --baseline <file> [--candidate <file>] [--threshold-pct N] [--subset] [--self-check]");
+            eprintln!("usage: regress --baseline <file> [--candidate <file>] [--threshold-pct N] [--subset] [--self-check] [--json]");
             std::process::exit(2);
         }
     };
@@ -50,7 +90,9 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(10.0);
     let subset = args.iter().any(|a| a == "--subset");
+    let json_out = args.iter().any(|a| a == "--json");
     let baseline = load(&baseline_path);
+    check_schema(&baseline, &baseline_path);
 
     if args.iter().any(|a| a == "--self-check") {
         std::process::exit(self_check(&baseline, threshold_pct));
@@ -64,10 +106,26 @@ fn main() {
         }
     };
     let candidate = load(&candidate_path);
+    check_schema(&candidate, &candidate_path);
 
     let regressions = diff_with(&baseline, &candidate, threshold_pct, subset);
+    if json_out {
+        let doc = Json::obj([
+            ("schema_version", SCHEMA_VERSION.into()),
+            ("baseline", baseline_path.as_str().into()),
+            ("candidate", candidate_path.as_str().into()),
+            ("threshold_pct", threshold_pct.into()),
+            ("subset", subset.into()),
+            ("passed", regressions.is_empty().into()),
+            (
+                "regressions",
+                Json::Arr(regressions.iter().map(Finding::to_json).collect()),
+            ),
+        ]);
+        println!("{}", doc.render_pretty());
+    }
     if regressions.is_empty() {
-        println!(
+        eprintln!(
             "no regressions: {candidate_path} holds the line against {baseline_path} \
              (threshold {threshold_pct}%)"
         );
@@ -78,7 +136,7 @@ fn main() {
         regressions.len()
     );
     for r in &regressions {
-        eprintln!("  REGRESSION {r}");
+        eprintln!("  REGRESSION [{}] {}", r.detector, r.message);
     }
     std::process::exit(1);
 }
@@ -92,6 +150,27 @@ fn load(path: &str) -> Json {
         eprintln!("regress: cannot parse {path}: {e:?}");
         std::process::exit(2);
     })
+}
+
+/// The schema gate: a report whose `schema_version` differs from the
+/// binary's cannot be diffed field-by-field — fail loudly with the fix
+/// instead of silently comparing shapes that no longer line up.
+fn check_schema(doc: &Json, path: &str) {
+    let found = doc.get("schema_version").and_then(Json::as_u64);
+    if found != Some(SCHEMA_VERSION) {
+        match found {
+            Some(v) => eprintln!(
+                "regress: {path} carries telemetry schema_version {v}, this binary expects \
+                 {SCHEMA_VERSION}; regenerate the report (e.g. `observatory --baseline`) \
+                 with the current tree"
+            ),
+            None => eprintln!(
+                "regress: {path} has no schema_version field; it predates the versioned \
+                 telemetry schema — regenerate it with the current tree"
+            ),
+        }
+        std::process::exit(2);
+    }
 }
 
 /// A stable identity for one report entry across runs.
@@ -178,20 +257,108 @@ fn fleet_points(entry: &Json) -> Vec<(u64, u64)> {
 /// measured, the candidate's max-users knee must hold within the
 /// threshold — a knee sagging at any single fleet size is a scale-out
 /// regression even if the other sizes hold.
-fn fleet_curve_drops(key: &str, base: &Json, cand: &Json, factor: f64, out: &mut Vec<String>) {
+fn fleet_curve_drops(key: &str, base: &Json, cand: &Json, factor: f64, out: &mut Vec<Finding>) {
     let cand_points: std::collections::BTreeMap<u64, u64> =
         fleet_points(cand).into_iter().collect();
     for (proxies, base_users) in fleet_points(base) {
         let Some(&cand_users) = cand_points.get(&proxies) else {
-            out.push(format!(
-                "{key}: the {proxies}-proxy point disappeared from the fleet curve"
+            out.push(Finding::new(
+                key,
+                "fleet_point_missing",
+                format!("{key}: the {proxies}-proxy point disappeared from the fleet curve"),
             ));
             continue;
         };
         if base_users > 0 && (cand_users as f64) < base_users as f64 * (1.0 - factor) {
-            out.push(format!(
-                "{key}: max users at {proxies} proxies fell from {base_users} to {cand_users}"
+            out.push(Finding::new(
+                key,
+                "fleet_knee_drop",
+                format!(
+                    "{key}: max users at {proxies} proxies fell from {base_users} to {cand_users}"
+                ),
             ));
+        }
+    }
+}
+
+/// A freshness entry's per-fleet-size points, keyed by proxy count.
+fn freshness_points(entry: &Json) -> Vec<(u64, &Json)> {
+    entry
+        .get("freshness")
+        .and_then(|c| c.get("points"))
+        .and_then(Json::as_arr)
+        .map(|ps| {
+            ps.iter()
+                .filter_map(|p| Some((p.get("proxies")?.as_u64()?, p)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// The freshness detectors: at every fleet size the baseline measured,
+/// propagation-lag p99 and stale-age-at-serve p99 must hold within the
+/// threshold, the stale-beyond-lease count must not rise, and the
+/// fanout amplification (bytes shipped per logical update) must not
+/// grow past the threshold.
+fn freshness_drops(key: &str, base: &Json, cand: &Json, factor: f64, out: &mut Vec<Finding>) {
+    let cand_points: std::collections::BTreeMap<u64, &Json> =
+        freshness_points(cand).into_iter().collect();
+    for (proxies, bp) in freshness_points(base) {
+        let Some(cp) = cand_points.get(&proxies) else {
+            out.push(Finding::new(
+                key,
+                "freshness_point_missing",
+                format!("{key}: the {proxies}-proxy point disappeared from the freshness curve"),
+            ));
+            continue;
+        };
+        let num = |p: &Json, field: &str| p.get(field).and_then(Json::as_f64);
+        if let (Some(b), Some(c)) = (num(bp, "lag_p99_us"), num(cp, "lag_p99_us")) {
+            if b > 0.0 && c > b * (1.0 + factor) {
+                out.push(Finding::new(
+                    key,
+                    "propagation_lag_rise",
+                    format!(
+                        "{key}: propagation lag p99 at {proxies} proxies rose from {b:.0}us to {c:.0}us"
+                    ),
+                ));
+            }
+        }
+        if let (Some(b), Some(c)) = (num(bp, "stale_age_p99_us"), num(cp, "stale_age_p99_us")) {
+            if b > 0.0 && c > b * (1.0 + factor) {
+                out.push(Finding::new(
+                    key,
+                    "stale_age_shift",
+                    format!(
+                        "{key}: stale-age-at-serve p99 at {proxies} proxies rose from {b:.0}us to {c:.0}us"
+                    ),
+                ));
+            }
+        }
+        if let (Some(b), Some(c)) = (
+            bp.get("stale_beyond_lease").and_then(Json::as_u64),
+            cp.get("stale_beyond_lease").and_then(Json::as_u64),
+        ) {
+            if c > b {
+                out.push(Finding::new(
+                    key,
+                    "stale_beyond_lease_rise",
+                    format!(
+                        "{key}: stale-beyond-lease serves at {proxies} proxies rose from {b} to {c}"
+                    ),
+                ));
+            }
+        }
+        if let (Some(b), Some(c)) = (num(bp, "bytes_per_update"), num(cp, "bytes_per_update")) {
+            if b > 0.0 && c > b * (1.0 + factor) {
+                out.push(Finding::new(
+                    key,
+                    "amplification_growth",
+                    format!(
+                        "{key}: fanout amplification at {proxies} proxies grew from {b:.0} to {c:.0} bytes/update"
+                    ),
+                ));
+            }
         }
     }
 }
@@ -199,7 +366,7 @@ fn fleet_curve_drops(key: &str, base: &Json, cand: &Json, factor: f64, out: &mut
 /// The absolute knee-collapse check on one candidate entry: every curve
 /// point past the stored `knee_index` must hold at least
 /// `KNEE_HOLD_FRACTION` of the knee's goodput.
-fn goodput_collapse(key: &str, entry: &Json) -> Vec<String> {
+fn goodput_collapse(key: &str, entry: &Json) -> Vec<Finding> {
     let mut out = Vec::new();
     let Some(curve) = entry.get("goodput_curve") else {
         return out;
@@ -219,10 +386,14 @@ fn goodput_collapse(key: &str, entry: &Json) -> Vec<String> {
         let g = p.get("goodput_rps").and_then(Json::as_f64).unwrap_or(0.0);
         let mult = p.get("multiplier").and_then(Json::as_f64).unwrap_or(0.0);
         if g < knee_goodput * KNEE_HOLD_FRACTION {
-            out.push(format!(
-                "{key}: goodput collapsed past the knee (x{mult}: {g:.0} rps is below \
-                 {:.0}% of the knee's {knee_goodput:.0})",
-                KNEE_HOLD_FRACTION * 100.0
+            out.push(Finding::new(
+                key,
+                "goodput_collapse",
+                format!(
+                    "{key}: goodput collapsed past the knee (x{mult}: {g:.0} rps is below \
+                     {:.0}% of the knee's {knee_goodput:.0})",
+                    KNEE_HOLD_FRACTION * 100.0
+                ),
             ));
         }
     }
@@ -230,11 +401,11 @@ fn goodput_collapse(key: &str, entry: &Json) -> Vec<String> {
 }
 
 /// Every way `cand` is worse than `base` beyond the threshold.
-fn diff(base: &Json, cand: &Json, threshold_pct: f64) -> Vec<String> {
+fn diff(base: &Json, cand: &Json, threshold_pct: f64) -> Vec<Finding> {
     diff_with(base, cand, threshold_pct, false)
 }
 
-fn diff_with(base: &Json, cand: &Json, threshold_pct: f64, subset: bool) -> Vec<String> {
+fn diff_with(base: &Json, cand: &Json, threshold_pct: f64, subset: bool) -> Vec<Finding> {
     let factor = threshold_pct / 100.0;
     let cand_entries: std::collections::BTreeMap<String, &Json> =
         entries(cand).into_iter().collect();
@@ -243,21 +414,33 @@ fn diff_with(base: &Json, cand: &Json, threshold_pct: f64, subset: bool) -> Vec<
     for (key, b) in entries(base) {
         let Some(c) = cand_entries.get(&key) else {
             if !subset {
-                out.push(format!("{key}: entry disappeared from the candidate"));
+                out.push(Finding::new(
+                    &key,
+                    "entry_missing",
+                    format!("{key}: entry disappeared from the candidate"),
+                ));
             }
             continue;
         };
         if let (Some(tb), Some(tc)) = (throughput(b), throughput(c)) {
             if tb > 0.0 && tc < tb * (1.0 - factor) {
-                out.push(format!(
-                    "{key}: throughput {tc:.2} rps fell >{threshold_pct}% below baseline {tb:.2}"
+                out.push(Finding::new(
+                    &key,
+                    "throughput_drop",
+                    format!(
+                        "{key}: throughput {tc:.2} rps fell >{threshold_pct}% below baseline {tb:.2}"
+                    ),
                 ));
             }
         }
         if let (Some(pb), Some(pc)) = (p99_hi(b), p99_hi(c)) {
             if pb > 0.0 && pc > pb * (1.0 + factor) {
-                out.push(format!(
-                    "{key}: p99 bound {pc:.0}us rose >{threshold_pct}% above baseline {pb:.0}us"
+                out.push(Finding::new(
+                    &key,
+                    "p99_rise",
+                    format!(
+                        "{key}: p99 bound {pc:.0}us rose >{threshold_pct}% above baseline {pb:.0}us"
+                    ),
                 ));
             }
         }
@@ -265,24 +448,35 @@ fn diff_with(base: &Json, cand: &Json, threshold_pct: f64, subset: bool) -> Vec<
             slo_verdicts(c).into_iter().collect();
         for (name, passed) in slo_verdicts(b) {
             if passed && cand_slos.get(&name) == Some(&false) {
-                out.push(format!("{key}: SLO {name} flipped from passed to failed"));
+                out.push(Finding::new(
+                    &key,
+                    "slo_flip",
+                    format!("{key}: SLO {name} flipped from passed to failed"),
+                ));
             }
         }
         if let (Some(sb), Some(sc)) = (stale_beyond_lease(b), stale_beyond_lease(c)) {
             if sc > sb {
-                out.push(format!(
-                    "{key}: stale-beyond-lease serves rose from {sb} to {sc}"
+                out.push(Finding::new(
+                    &key,
+                    "stale_beyond_lease_rise",
+                    format!("{key}: stale-beyond-lease serves rose from {sb} to {sc}"),
                 ));
             }
         }
         if let (Some(gb), Some(gc)) = (goodput_rps(b), goodput_rps(c)) {
             if gb > 0.0 && gc < gb * (1.0 - factor) {
-                out.push(format!(
-                    "{key}: goodput {gc:.2} rps fell >{threshold_pct}% below baseline {gb:.2}"
+                out.push(Finding::new(
+                    &key,
+                    "goodput_drop",
+                    format!(
+                        "{key}: goodput {gc:.2} rps fell >{threshold_pct}% below baseline {gb:.2}"
+                    ),
                 ));
             }
         }
         fleet_curve_drops(&key, b, c, factor, &mut out);
+        freshness_drops(&key, b, c, factor, &mut out);
         out.extend(goodput_collapse(&key, c));
     }
     out
@@ -296,7 +490,7 @@ fn self_check(baseline: &Json, threshold_pct: f64) -> i32 {
     if !clean.is_empty() {
         eprintln!("self-check FAILED: baseline-vs-baseline reported regressions:");
         for r in &clean {
-            eprintln!("  {r}");
+            eprintln!("  {}", r.message);
         }
         return 1;
     }
@@ -312,16 +506,17 @@ fn self_check(baseline: &Json, threshold_pct: f64) -> i32 {
             n_entries
         );
         for r in &caught {
-            eprintln!("  {r}");
+            eprintln!("  {}", r.message);
         }
         return 1;
     }
+    let tripped = |detector: &str| caught.iter().any(|f| f.detector == detector);
     // A baseline that carries a goodput curve must also prove the
     // knee-collapse detector fires on the degraded shape.
     let has_curve = entries(baseline)
         .iter()
         .any(|(_, e)| e.get("goodput_curve").is_some());
-    if has_curve && !caught.iter().any(|m| m.contains("collapsed past the knee")) {
+    if has_curve && !tripped("goodput_collapse") {
         eprintln!(
             "self-check FAILED: degraded goodput curve did not trip the knee-collapse detector"
         );
@@ -332,9 +527,29 @@ fn self_check(baseline: &Json, threshold_pct: f64) -> i32 {
     let has_fleet = entries(baseline)
         .iter()
         .any(|(_, e)| e.get("fleet_curve").is_some());
-    if has_fleet && !caught.iter().any(|m| m.contains("max users at")) {
+    if has_fleet && !tripped("fleet_knee_drop") {
         eprintln!("self-check FAILED: degraded fleet curve did not trip the scale-out detector");
         return 1;
+    }
+    // And a baseline carrying freshness curves must prove all three
+    // freshness detectors fire on the degraded points.
+    let has_freshness = entries(baseline)
+        .iter()
+        .any(|(_, e)| e.get("freshness").is_some());
+    if has_freshness {
+        for d in [
+            "propagation_lag_rise",
+            "stale_age_shift",
+            "stale_beyond_lease_rise",
+            "amplification_growth",
+        ] {
+            if !tripped(d) {
+                eprintln!(
+                    "self-check FAILED: degraded freshness curve did not trip the {d} detector"
+                );
+                return 1;
+            }
+        }
     }
     println!(
         "self-check passed: identity diff clean, degraded candidate tripped {} detector(s)",
@@ -344,8 +559,9 @@ fn self_check(baseline: &Json, threshold_pct: f64) -> i32 {
 }
 
 /// Halves throughput, overload goodput, and fleet knees, fails every
-/// SLO, bumps staleness counts, and collapses the goodput curve past its
-/// knee — the synthetic regression the self-check must catch.
+/// SLO, bumps staleness counts, inflates freshness lag/stale-age/
+/// amplification, and collapses the goodput curve past its knee — the
+/// synthetic regression the self-check must catch.
 fn degrade(mut doc: Json) -> Json {
     if let Some(Json::Arr(entries)) = get_mut(&mut doc, "entries") {
         for entry in entries {
@@ -376,6 +592,27 @@ fn degrade(mut doc: Json) -> Json {
                     for p in points {
                         if let Some(Json::Num(u)) = get_mut(p, "max_users") {
                             *u = (*u * 0.5).floor();
+                        }
+                    }
+                }
+            }
+            // Degrade the freshness plane the way a broken fanout or a
+            // lease bug would: lag and stale-age triple, staleness leaks
+            // past the lease, and every update ships twice the bytes.
+            if let Some(curve) = get_mut(entry, "freshness") {
+                if let Some(Json::Arr(points)) = get_mut(curve, "points") {
+                    for p in points {
+                        if let Some(Json::Num(v)) = get_mut(p, "lag_p99_us") {
+                            *v *= 3.0;
+                        }
+                        if let Some(Json::Num(v)) = get_mut(p, "stale_age_p99_us") {
+                            *v = (*v * 3.0).max(1_000.0);
+                        }
+                        if let Some(Json::Num(v)) = get_mut(p, "stale_beyond_lease") {
+                            *v += 5.0;
+                        }
+                        if let Some(Json::Num(v)) = get_mut(p, "bytes_per_update") {
+                            *v *= 2.0;
                         }
                     }
                 }

@@ -17,10 +17,12 @@
 //! | `regress`     | extension — diffs two observatory exports (CI perf gate) |
 //! | `overload`    | extension — spike demo + goodput-vs-offered-load curve |
 //! | `fleet`       | extension — max users vs. number of DSSP proxies |
+//! | `freshness`   | extension — propagation-lag / staleness-age / amplification curves |
 //!
 //! Criterion microbenchmarks live under `benches/`.
 
 pub mod fleet_probe;
+pub mod freshness_probe;
 pub mod overload_probe;
 
 use scs_core::ExposureLevel;

@@ -62,6 +62,12 @@ pub struct CacheEntry {
     /// Simulation time (µs) past which the entry may no longer be served
     /// — the staleness lease. `u64::MAX` when the cache has no lease.
     expires_at_micros: u64,
+    /// Simulation time (µs) the entry was stored — the freshness plane
+    /// ages serves against this birth stamp.
+    stored_at_micros: u64,
+    /// Home update epoch the entry's result reflects (the proxy stamps
+    /// it right after the miss fill; 0 when unstamped).
+    stored_epoch: u64,
 }
 
 impl CacheEntry {
@@ -99,6 +105,16 @@ impl CacheEntry {
     /// lease).
     pub fn expires_at_micros(&self) -> u64 {
         self.expires_at_micros
+    }
+
+    /// Simulation time the entry was stored (µs).
+    pub fn stored_at_micros(&self) -> u64 {
+        self.stored_at_micros
+    }
+
+    /// Home update epoch the entry's result reflects.
+    pub fn stored_epoch(&self) -> u64 {
+        self.stored_epoch
     }
 }
 
@@ -370,6 +386,8 @@ impl ResultCache {
             stored_bytes,
             last_used: self.clock,
             expires_at_micros,
+            stored_at_micros: self.now_micros,
+            stored_epoch: 0,
         });
         let mut evicted = Vec::new();
         if let Some(cap) = self.capacity {
@@ -439,6 +457,20 @@ impl ResultCache {
             }
         }
         (scanned, invalidated)
+    }
+
+    /// Stamps the home epoch a just-stored entry's result reflects. The
+    /// proxy calls this right after the miss fill, once it knows the
+    /// epoch the home served at; a no-op when the entry was not stored
+    /// (empty result) or has already been displaced.
+    pub fn set_stored_epoch(&mut self, q: &Query, epoch: u64) {
+        let key = CacheKey {
+            template_id: q.template_id,
+            params: q.params.clone(),
+        };
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.stored_epoch = epoch;
+        }
     }
 
     /// Drops everything (a blind strategy's response to any update).

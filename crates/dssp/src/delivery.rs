@@ -35,6 +35,15 @@ pub struct InvalidationMsg {
     pub update: Update,
 }
 
+impl InvalidationMsg {
+    /// Nominal wire size of the notification (µ-benchmark bytes): the
+    /// epoch stamp plus the canonical statement text. The freshness
+    /// plane's fanout-amplification accounting charges this per pipe.
+    pub fn payload_bytes(&self) -> u64 {
+        8 + self.update.statement_text().len() as u64
+    }
+}
+
 /// A batch of invalidation notifications covering the **contiguous**
 /// epoch range `[first_epoch, last_epoch]`, as shipped by the home
 /// server's fanout to each proxy (see `crate::fleet`).
@@ -110,6 +119,24 @@ impl InvalidationBatch {
 
     pub fn is_empty(&self) -> bool {
         self.msgs.is_empty()
+    }
+
+    /// Nominal wire size: the range header plus every retained message.
+    pub fn payload_bytes(&self) -> u64 {
+        16 + self
+            .msgs
+            .iter()
+            .map(InvalidationMsg::payload_bytes)
+            .sum::<u64>()
+    }
+
+    /// `(update_template, payload_bytes)` per retained message — the
+    /// shape [`scs_telemetry::ProvenanceLog::note_flush`] records.
+    pub fn retained_payloads(&self) -> Vec<(usize, u64)> {
+        self.msgs
+            .iter()
+            .map(|m| (m.update.template_id, m.payload_bytes()))
+            .collect()
     }
 }
 

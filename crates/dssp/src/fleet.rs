@@ -21,7 +21,8 @@
 //! Fault-tolerance semantics are per replica: each proxy tracks its
 //! own epoch stream position, detects gaps independently (a dropped
 //! batch flushes only the replica that missed it), recovers on its own
-//! [`RecoveryMode`], and — when overload protection is configured —
+//! [`RecoveryMode`](crate::delivery::RecoveryMode), and — when
+//! overload protection is configured —
 //! owns its own circuit breaker and brownout state. Staleness anywhere
 //! in the fleet stays bounded by the per-entry lease, which the chaos
 //! property tests in `tests/fleet.rs` verify against a ground-truth
@@ -34,6 +35,9 @@ use crate::stats::DsspStats;
 use scs_netsim::fault::{ChannelStats, FaultSpec, FaultyChannel};
 use scs_sqlkit::{Query, Update};
 use scs_storage::StorageError;
+use scs_telemetry::{
+    shared_provenance, FlushTrigger, SharedProvenance, SpanId, SpanPhase, SpanRecorder,
+};
 
 /// How the fleet's load balancer picks a replica for an operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -195,6 +199,14 @@ pub struct ProxyFleet {
     batches: u64,
     msgs: u64,
     coalesced: u64,
+    /// Fleet-layer span recorder: routing decisions and fanout flushes
+    /// (replica-side spans live in each proxy's own recorder).
+    spans: SpanRecorder,
+    /// Tenant label stamped on fleet-layer spans.
+    tenant: u32,
+    /// The freshness plane, when enabled: commit/flush/send/arrival
+    /// stamps shared by the home server and every replica.
+    prov: Option<SharedProvenance>,
 }
 
 impl ProxyFleet {
@@ -230,6 +242,53 @@ impl ProxyFleet {
             batches: 0,
             msgs: 0,
             coalesced: 0,
+            spans: SpanRecorder::disabled(),
+            tenant: 0,
+            prov: None,
+        }
+    }
+
+    /// Turns on span recording at the fleet layer (routing, fanout
+    /// flush) *and* on every replica (request pipeline, batch apply),
+    /// each with its own `capacity` cap.
+    pub fn enable_span_recording(&mut self, capacity: usize) {
+        self.spans = SpanRecorder::enabled(capacity);
+        for proxy in &mut self.proxies {
+            proxy.enable_span_recording(capacity);
+        }
+    }
+
+    /// The fleet-layer span trees (empty unless
+    /// [`ProxyFleet::enable_span_recording`] was called).
+    pub fn spans(&self) -> &SpanRecorder {
+        &self.spans
+    }
+
+    /// Turns on the freshness plane: one shared provenance log wired
+    /// through the home server (commit stamps), the fanout layer
+    /// (flush/send stamps), and every replica (arrival, invalidate,
+    /// store, serve stamps). Returns the shared handle; also available
+    /// later via [`ProxyFleet::provenance`].
+    pub fn enable_provenance(&mut self) -> SharedProvenance {
+        let prov = shared_provenance(self.proxies.len());
+        self.home.attach_provenance(prov.clone());
+        for (p, proxy) in self.proxies.iter_mut().enumerate() {
+            proxy.attach_provenance(prov.clone(), p);
+        }
+        self.prov = Some(prov.clone());
+        prov
+    }
+
+    /// The freshness plane handle, if [`ProxyFleet::enable_provenance`]
+    /// was called.
+    pub fn provenance(&self) -> Option<&SharedProvenance> {
+        self.prov.as_ref()
+    }
+
+    /// Sets (or clears) the staleness lease on every replica's cache.
+    pub fn set_lease_micros(&mut self, lease: Option<u64>) {
+        for proxy in &mut self.proxies {
+            proxy.set_lease_micros(lease);
         }
     }
 
@@ -249,14 +308,24 @@ impl ProxyFleet {
 
     /// The replica an operation on `template_id` routes to.
     pub fn route(&mut self, template_id: usize) -> usize {
-        match self.routing {
+        let timer = self.spans.timer();
+        let p = match self.routing {
             RoutingMode::RoundRobin => {
                 let p = self.rr_cursor;
                 self.rr_cursor = (self.rr_cursor + 1) % self.proxies.len();
                 p
             }
             RoutingMode::HashByTemplate => self.route_by_hash(template_id),
-        }
+        };
+        self.spans.record_closed(
+            self.now_micros,
+            SpanPhase::Routing,
+            SpanId::NONE,
+            self.tenant,
+            Some(template_id as u32),
+            timer,
+        );
+        p
     }
 
     fn route_by_hash(&self, template_id: usize) -> usize {
@@ -326,12 +395,17 @@ impl ProxyFleet {
         }
         self.pending.push(msg);
         if self.pending.len() >= self.fanout.max_batch {
-            self.flush_fanout();
+            self.flush_fanout_with(FlushTrigger::Size);
         }
     }
 
     /// Coalesces and ships the pending buffer to every replica's pipe.
+    /// Stamped on the freshness plane as an explicit drain.
     pub fn flush_fanout(&mut self) {
+        self.flush_fanout_with(FlushTrigger::Drain);
+    }
+
+    fn flush_fanout_with(&mut self, trigger: FlushTrigger) {
         let msgs = std::mem::take(&mut self.pending);
         let Some(batch) = InvalidationBatch::coalesce(msgs) else {
             return;
@@ -339,9 +413,32 @@ impl ProxyFleet {
         self.batches += 1;
         self.msgs += batch.len() as u64;
         self.coalesced += batch.coalesced;
-        for pipe in &mut self.pipes {
+        let timer = self.spans.timer();
+        let root = self.spans.open(
+            self.now_micros,
+            SpanPhase::FanoutFlush,
+            SpanId::NONE,
+            self.tenant,
+            batch.msgs.first().map(|m| m.update.template_id as u32),
+        );
+        let batch_id = self.prov.as_ref().map(|prov| {
+            prov.lock().unwrap().note_flush(
+                batch.first_epoch,
+                batch.last_epoch,
+                batch.len() as u64,
+                batch.coalesced,
+                self.now_micros,
+                trigger,
+                batch.retained_payloads(),
+            )
+        });
+        for (p, pipe) in self.pipes.iter_mut().enumerate() {
             pipe.send(self.now_micros, batch.clone());
+            if let (Some(prov), Some(id)) = (&self.prov, batch_id) {
+                prov.lock().unwrap().note_send(p, id, self.now_micros);
+            }
         }
+        self.spans.close(root, timer);
     }
 
     /// Flushes the buffer if the oldest pending notification has waited
@@ -351,7 +448,7 @@ impl ProxyFleet {
             && self.now_micros.saturating_sub(self.pending_since)
                 >= self.fanout.flush_interval_micros
         {
-            self.flush_fanout();
+            self.flush_fanout_with(FlushTrigger::Interval);
         }
     }
 
@@ -392,6 +489,7 @@ impl ProxyFleet {
     /// drain to their replicas.
     pub fn set_sim_time_micros(&mut self, micros: u64) {
         self.now_micros = micros;
+        self.home.set_sim_time_micros(micros);
         for proxy in &mut self.proxies {
             proxy.set_sim_time_micros(micros);
         }
@@ -414,6 +512,7 @@ impl ProxyFleet {
     /// Stamps the tenant label on every replica's trace events (set by
     /// `DsspNode` registration).
     pub fn set_tenant_label(&mut self, tenant: u32) {
+        self.tenant = tenant;
         for proxy in &mut self.proxies {
             proxy.set_tenant_label(tenant);
         }

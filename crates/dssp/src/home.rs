@@ -12,6 +12,7 @@
 use crate::delivery::InvalidationMsg;
 use scs_sqlkit::{Query, Update};
 use scs_storage::{Database, QueryResult, StorageError, UpdateEffect};
+use scs_telemetry::SharedProvenance;
 
 /// Wraps the master database with simple accounting — the home server's
 /// load (queries served on cache misses + updates) is what limits
@@ -29,6 +30,12 @@ pub struct HomeServer {
     /// the master copy (ns) — the home side of the span pipeline's
     /// `home_trip` phase.
     service_nanos: u64,
+    /// Simulated clock, advanced by the harness; stamps each commit's
+    /// birth time on the freshness plane.
+    now_micros: u64,
+    /// The freshness plane, when a harness attached one: every applied
+    /// update stamps its epoch's commit here.
+    prov: Option<SharedProvenance>,
 }
 
 impl HomeServer {
@@ -39,7 +46,21 @@ impl HomeServer {
             updates_applied: 0,
             epoch: 0,
             service_nanos: 0,
+            now_micros: 0,
+            prov: None,
         }
+    }
+
+    /// Advances the home's simulated clock (µs). Commit stamps on the
+    /// freshness plane use this time axis.
+    pub fn set_sim_time_micros(&mut self, micros: u64) {
+        self.now_micros = micros;
+    }
+
+    /// Attaches the freshness plane: every subsequent applied update
+    /// stamps its epoch's commit (template, sim time, payload size).
+    pub fn attach_provenance(&mut self, prov: SharedProvenance) {
+        self.prov = Some(prov);
     }
 
     /// Executes a query against the master copy (a DSSP cache miss).
@@ -69,13 +90,19 @@ impl HomeServer {
             .saturating_add(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
         let effect = effect?;
         self.epoch += 1;
-        Ok((
-            effect,
-            InvalidationMsg {
-                epoch: self.epoch,
-                update: u.clone(),
-            },
-        ))
+        let msg = InvalidationMsg {
+            epoch: self.epoch,
+            update: u.clone(),
+        };
+        if let Some(prov) = &self.prov {
+            prov.lock().unwrap().note_commit(
+                self.epoch,
+                u.template_id,
+                self.now_micros,
+                msg.payload_bytes(),
+            );
+        }
+        Ok((effect, msg))
     }
 
     /// The current update epoch: the sequence number of the most recent

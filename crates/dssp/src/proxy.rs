@@ -30,8 +30,8 @@ use scs_crypto::Encryptor;
 use scs_sqlkit::{Query, Update};
 use scs_storage::{QueryResult, StorageError, UpdateEffect};
 use scs_telemetry::{
-    AttributionMatrix, Counter, MetricsRegistry, SpanId, SpanPhase, SpanRecorder, TraceEventKind,
-    TraceSink, Tracer,
+    ApplyKind, AttributionMatrix, Counter, MetricsRegistry, SharedProvenance, SpanId, SpanPhase,
+    SpanRecorder, TraceEventKind, TraceSink, Tracer,
 };
 
 /// Configuration for one application's slice of the DSSP.
@@ -318,6 +318,9 @@ pub struct Dssp {
     /// Per-proxy jitter salt derived from the app id, so identically
     /// scripted proxies retry on decorrelated schedules.
     jitter_salt: u64,
+    /// The freshness plane and this proxy's replica index on it, when a
+    /// harness attached one (see [`Dssp::attach_provenance`]).
+    prov: Option<(SharedProvenance, usize)>,
 }
 
 impl Dssp {
@@ -358,6 +361,35 @@ impl Dssp {
             overload,
             request_seq: 0,
             jitter_salt,
+            prov: None,
+        }
+    }
+
+    /// Attaches the freshness plane: this proxy stamps serves, misses,
+    /// stores, invalidations, and batch arrivals as `replica` on the
+    /// shared log. The home server and the fanout layer must share the
+    /// same log for the stamps to chain.
+    pub fn attach_provenance(&mut self, prov: SharedProvenance, replica: usize) {
+        self.prov = Some((prov, replica));
+    }
+
+    /// Changes the staleness lease applied to subsequently stored
+    /// entries (`None` = never expire). Already-stored entries keep the
+    /// lease they were stored under.
+    pub fn set_lease_micros(&mut self, lease: Option<u64>) {
+        self.cache.set_lease_micros(lease);
+    }
+
+    /// Stamps a batch arrival on the freshness plane, resolving the
+    /// batch's stamp by its `first_epoch` (contiguous disjoint ranges
+    /// make that unique). Silently skips batches the fanout layer never
+    /// stamped — e.g. the perfect-delivery entry points.
+    fn prov_arrival(&self, first_epoch: u64, kind: ApplyKind, before: u64, after: u64) {
+        if let Some((prov, replica)) = &self.prov {
+            let mut p = prov.lock().unwrap();
+            if let Some(batch) = p.batch_for_epoch(first_epoch) {
+                p.note_arrival(*replica, batch, self.now_micros, kind, before, after);
+            }
         }
     }
 
@@ -447,9 +479,15 @@ impl Dssp {
         );
         let root_timer = self.spans.timer();
         let lookup_timer = self.spans.timer();
+        let mut lease_expired = false;
         match self.cache.lookup_classified(q) {
             Lookup::Hit(entry) => {
                 let result = entry.serve().clone();
+                let (stored_at, stored_epoch, expires_at) = (
+                    entry.stored_at_micros(),
+                    entry.stored_epoch(),
+                    entry.expires_at_micros(),
+                );
                 self.spans.record_closed(
                     self.now_micros,
                     SpanPhase::CacheLookup,
@@ -479,6 +517,21 @@ impl Dssp {
                         },
                     );
                 }
+                if let Some((prov, replica)) = &self.prov {
+                    let mut p = prov.lock().unwrap();
+                    p.note_serve(
+                        *replica,
+                        tid,
+                        self.epoch,
+                        stored_epoch,
+                        stored_at,
+                        expires_at,
+                        self.now_micros,
+                    );
+                    if degraded {
+                        p.note_degraded(*replica, tid, self.now_micros);
+                    }
+                }
                 self.spans.close(root, root_timer);
                 return Ok(FtQueryResponse {
                     outcome: FtOutcome::Served {
@@ -491,6 +544,7 @@ impl Dssp {
                 });
             }
             Lookup::Expired => {
+                lease_expired = true;
                 self.metrics.lease_expirations.inc();
                 self.tracer.emit(
                     self.now_micros,
@@ -520,6 +574,11 @@ impl Dssp {
                 exposure,
             },
         );
+        if let Some((prov, replica)) = &self.prov {
+            prov.lock()
+                .unwrap()
+                .note_miss(*replica, tid, self.now_micros, lease_expired);
+        }
         let mut attempts = 0u32;
         let mut backoff = 0u64;
         let jitter_seed = self.next_jitter_seed();
@@ -572,6 +631,18 @@ impl Dssp {
                 Some(tid as u32),
                 crypto_timer,
             );
+            if outcome.stored {
+                // The fill carries the home's epoch as of the miss trip:
+                // the entry is provably fresh up to that point, which is
+                // the floor the staleness-age accounting starts from.
+                let fill_epoch = home.epoch();
+                self.cache.set_stored_epoch(q, fill_epoch);
+                if let Some((prov, replica)) = &self.prov {
+                    prov.lock()
+                        .unwrap()
+                        .note_store(*replica, tid, fill_epoch, self.now_micros);
+                }
+            }
             if outcome.replaced {
                 self.metrics.cache_replacements.inc();
             }
@@ -1025,6 +1096,7 @@ impl Dssp {
         let expected = self.epoch + 1;
         if msg.epoch < expected {
             self.metrics.duplicate_invalidations.inc();
+            self.prov_arrival(msg.epoch, ApplyKind::Duplicate, self.epoch, self.epoch);
             return DeliveryOutcome::Duplicate;
         }
         let root = self.spans.open(
@@ -1055,12 +1127,31 @@ impl Dssp {
                 None,
                 recovery_timer,
             );
+            let before = self.epoch;
             self.epoch = msg.epoch;
+            self.prov_arrival(
+                msg.epoch,
+                ApplyKind::Recovered {
+                    flushed: flushed as u64,
+                },
+                before,
+                msg.epoch,
+            );
             self.spans.close(root, root_timer);
             return DeliveryOutcome::Recovered { flushed };
         }
+        let before = self.epoch;
         self.epoch = msg.epoch;
         let (scanned, invalidated) = self.run_invalidation_pass(&msg.update);
+        self.prov_arrival(
+            msg.epoch,
+            ApplyKind::Applied {
+                applied: 1,
+                skipped: 0,
+            },
+            before,
+            msg.epoch,
+        );
         self.spans.close(root, root_timer);
         DeliveryOutcome::Applied {
             scanned,
@@ -1091,13 +1182,28 @@ impl Dssp {
     /// content of every removed epoch is re-stated by a message at or
     /// after it within this same batch.
     pub fn apply_batch(&mut self, batch: &InvalidationBatch) -> BatchOutcome {
+        let epoch_before = self.epoch;
         if batch.last_epoch <= self.epoch {
             self.metrics.fanout_batch_duplicates.inc();
             self.metrics
                 .duplicate_invalidations
                 .add(batch.msgs.len() as u64);
+            self.prov_arrival(
+                batch.first_epoch,
+                ApplyKind::Duplicate,
+                epoch_before,
+                epoch_before,
+            );
             return BatchOutcome::Duplicate;
         }
+        let root = self.spans.open(
+            self.now_micros,
+            SpanPhase::BatchApply,
+            SpanId::NONE,
+            self.tenant,
+            batch.msgs.first().map(|m| m.update.template_id as u32),
+        );
+        let root_timer = self.spans.timer();
         let expected = self.epoch + 1;
         if batch.first_epoch > expected {
             self.metrics.fanout_batch_gaps.inc();
@@ -1110,8 +1216,26 @@ impl Dssp {
                     got: batch.first_epoch,
                 },
             );
+            let recovery_timer = self.spans.timer();
             let flushed = self.recovery_flush();
+            self.spans.record_closed(
+                self.now_micros,
+                SpanPhase::Recovery,
+                root,
+                self.tenant,
+                None,
+                recovery_timer,
+            );
             self.epoch = batch.last_epoch;
+            self.prov_arrival(
+                batch.first_epoch,
+                ApplyKind::Recovered {
+                    flushed: flushed as u64,
+                },
+                epoch_before,
+                self.epoch,
+            );
+            self.spans.close(root, root_timer);
             return BatchOutcome::Recovered { flushed };
         }
         let mut applied = 0usize;
@@ -1135,6 +1259,16 @@ impl Dssp {
         self.epoch = batch.last_epoch;
         self.metrics.fanout_batches_applied.inc();
         self.metrics.fanout_batch_msgs.add(applied as u64);
+        self.prov_arrival(
+            batch.first_epoch,
+            ApplyKind::Applied {
+                applied: applied as u64,
+                skipped: skipped as u64,
+            },
+            epoch_before,
+            self.epoch,
+        );
+        self.spans.close(root, root_timer);
         BatchOutcome::Applied {
             applied,
             skipped,
@@ -1176,6 +1310,13 @@ impl Dssp {
             }
             None => self.cache.invalidate_where(&mut judge),
         };
+        if let Some((prov, replica)) = &self.prov {
+            let mut p = prov.lock().unwrap();
+            p.note_scan(uid, scanned as u64, invalidated as u64);
+            for (qid, _, _) in &victims {
+                p.note_invalidate(*replica, *qid, uid, self.epoch, self.now_micros);
+            }
+        }
         for (qid, path, entry_exposure) in victims {
             self.metrics.invalidations.inc();
             self.metrics.query_invalidated[qid].inc();

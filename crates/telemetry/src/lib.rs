@@ -41,6 +41,7 @@
 pub mod attribution;
 pub mod hist;
 pub mod json;
+pub mod provenance;
 pub mod registry;
 pub mod slo;
 pub mod span;
@@ -50,6 +51,7 @@ pub mod trace;
 pub use attribution::AttributionMatrix;
 pub use hist::{HistogramSnapshot, LogHistogram};
 pub use json::Json;
+pub use provenance::{shared_provenance, ApplyKind, FlushTrigger, ProvenanceLog, SharedProvenance};
 pub use registry::{Counter, Gauge, MetricsRegistry, MetricsSnapshot};
 pub use slo::{evaluate_all, Objective, SloResult, SloSpec};
 pub use span::{CriticalPathRow, Span, SpanId, SpanPhase, SpanRecorder, SpanTimer};

@@ -58,6 +58,15 @@ pub enum SpanPhase {
     HomeTrip,
     /// Child of a fan-out root (or a root on restart): a recovery flush.
     Recovery,
+    /// Root: a fleet routing decision (which replica serves a template).
+    Routing,
+    /// Root: the fanout layer cutting and shipping one invalidation
+    /// batch to every replica pipe.
+    FanoutFlush,
+    /// Root: one replica applying a delivered invalidation batch (the
+    /// batched analogue of [`SpanPhase::InvalidationFanout`]; a gap
+    /// hangs its [`SpanPhase::Recovery`] child underneath).
+    BatchApply,
 }
 
 impl SpanPhase {
@@ -70,6 +79,9 @@ impl SpanPhase {
             SpanPhase::Crypto => "crypto",
             SpanPhase::HomeTrip => "home_trip",
             SpanPhase::Recovery => "recovery",
+            SpanPhase::Routing => "routing",
+            SpanPhase::FanoutFlush => "fanout_flush",
+            SpanPhase::BatchApply => "batch_apply",
         }
     }
 
@@ -77,7 +89,12 @@ impl SpanPhase {
     pub fn is_root(self) -> bool {
         matches!(
             self,
-            SpanPhase::QueryRequest | SpanPhase::UpdateRequest | SpanPhase::InvalidationFanout
+            SpanPhase::QueryRequest
+                | SpanPhase::UpdateRequest
+                | SpanPhase::InvalidationFanout
+                | SpanPhase::Routing
+                | SpanPhase::FanoutFlush
+                | SpanPhase::BatchApply
         )
     }
 }
