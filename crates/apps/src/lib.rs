@@ -15,6 +15,7 @@ pub mod bookstore;
 pub mod chaos;
 pub mod defs;
 pub mod driver;
+pub mod elastic;
 pub mod gen;
 pub mod overload;
 pub mod report;
@@ -27,6 +28,9 @@ pub use chaos::{
 };
 pub use defs::{AppDef, Op, ParamSpec, RequestType, Sensitivity, TemplateDef};
 pub use driver::{analysis_matrix, CostModel, DsspWorkload, FleetWorkload};
+pub use elastic::{
+    run_elastic, ElasticFleetWorkload, ElasticReport, ElasticRunConfig, MembershipChange,
+};
 pub use gen::{IdSpaces, ParamGen, Zipf, BOOK_POPULARITY_EXPONENT};
 pub use overload::{
     goodput_curve, knee_index, run_overload, CurvePoint, LoadProfile, LoadSegment,

@@ -1,0 +1,124 @@
+//! The elastic-fleet probe: **the flash-crowd scenario, autoscaled vs.
+//! a bracket of static fleet sizes**, with live join/leave membership
+//! changes under load.
+//!
+//! Each variant drives [`scs_apps::run_elastic`]: a closed-loop
+//! population whose think time collapses ~6x on one hash-pinned hot
+//! template for a scripted window. The autoscaled variant grows and
+//! shrinks a [`scs_dssp::ProxyFleet`] through the live join/leave path
+//! (state handoff, epoch cursors, atomic ring cutover) driven by the
+//! busiest live replica's windowed utilization; the static variants
+//! pin the size. The probe prints the SLO verdict, the node-seconds
+//! waste integral, the membership timeline summary, and the
+//! freshness-plane oracle (stale-beyond-lease must be zero and the
+//! epoch conservation ledger must balance across membership epochs).
+//!
+//! Run: `cargo run -p scs-bench --release --bin elastic [--smoke|--full]`
+//! * default / `--smoke`: the 60 s scenario — CI's gate, and the
+//!   fidelity the observatory commits to `BENCH_baseline.json` (so
+//!   `regress --subset` diffs like against like);
+//! * `--full`: the 150 s scenario whose SLO/waste bracket is
+//!   seed-robust — static-2 fails, static-4/8 pass, and the autoscaled
+//!   fleet passes with fewer node-seconds than either passing static.
+//!
+//! Output: `elastic.json` (`SCS_TELEMETRY_OUT` overrides) — the same
+//! entry schema the committed `BENCH_baseline.json` carries, so
+//! `regress --subset` can diff a smoke run against the full baseline.
+//! Exits nonzero when any acceptance check fails.
+
+use scs_apps::report;
+use scs_bench::elastic_probe::{self, ElasticFidelity};
+use scs_bench::TextTable;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let fidelity = if args.iter().any(|a| a == "--full") {
+        ElasticFidelity::Full
+    } else {
+        ElasticFidelity::Smoke
+    };
+
+    println!("Elastic — flash crowd: autoscaled fleet vs. static bracket");
+    println!(
+        "(static sizes {:?}; seed {}; {:?} fidelity)\n",
+        elastic_probe::STATIC_SIZES,
+        elastic_probe::SEED,
+        fidelity
+    );
+
+    let probe = elastic_probe::run_probe(fidelity, elastic_probe::SEED);
+
+    let mut table = TextTable::new(&[
+        "Variant",
+        "Replicas (start>peak>end)",
+        "Joins",
+        "Leaves",
+        "Handed",
+        "p90 (ms)",
+        "SLO",
+        "Node-s",
+        "Stale>lease",
+        "Balanced",
+    ]);
+    for v in &probe.variants {
+        let r = &v.report;
+        table.row(&[
+            v.name.clone(),
+            format!(
+                "{}>{}>{}",
+                r.replicas_start, r.replicas_peak, r.replicas_end
+            ),
+            r.joins.to_string(),
+            r.leaves.to_string(),
+            r.handed_entries.to_string(),
+            r.p90_micros
+                .map_or("-".to_string(), |t| (t / 1_000).to_string()),
+            if r.slo_ok { "pass" } else { "FAIL" }.to_string(),
+            format!("{:.1}", r.node_seconds),
+            r.stale_beyond_lease.to_string(),
+            r.conservation_balanced.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Shape: the too-small static fails the 2 s p90 SLO; the autoscaled");
+    println!("fleet joins under the crowd, leaves after it, and (at --full)");
+    println!("passes the SLO on fewer node-seconds than any passing static.");
+    println!("Freshness holds across every membership change: zero serves");
+    println!("beyond the lease, conservation balanced on all replica ledgers.");
+
+    let auto = probe.variant("auto");
+    if !auto.report.timeline.is_empty() {
+        println!("\nMembership timeline (autoscaled):");
+        for c in &auto.report.timeline {
+            println!(
+                "  t={:>5.1}s {:>5} replica {} (live {} after, busiest util {:.2}, {} entries handed)",
+                c.at_micros as f64 / 1e6,
+                match c.action {
+                    scs_dssp::ScaleAction::Out => "join",
+                    scs_dssp::ScaleAction::In => "leave",
+                },
+                c.replica,
+                c.live_after,
+                c.busiest_util,
+                c.handed
+            );
+        }
+    }
+
+    match report::write_telemetry(&report::telemetry_report(probe.entries), "elastic.json") {
+        Ok(path) => println!("\nElastic report written to {}", path.display()),
+        Err(e) => {
+            eprintln!("\nFailed to write elastic report: {e}");
+            std::process::exit(2);
+        }
+    }
+
+    if !probe.failures.is_empty() {
+        eprintln!("\n{} acceptance check(s) failed:", probe.failures.len());
+        for f in &probe.failures {
+            eprintln!("  FAIL {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("all elastic acceptance checks passed");
+}

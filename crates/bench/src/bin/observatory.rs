@@ -19,7 +19,11 @@
 //! * the freshness probe — propagation-lag / staleness-age /
 //!   amplification curves across fleet sizes under clean and chaotic
 //!   pipe schedules (the reference for the freshness detectors and
-//!   CI's `freshness --smoke` run).
+//!   CI's `freshness --smoke` run);
+//! * the elastic probe — the flash-crowd scenario run autoscaled and
+//!   at each bracketing static fleet size, with live join/leave
+//!   membership changes (the reference for the elastic detectors and
+//!   CI's `elastic --smoke` run).
 //!
 //! Every simulated quantity in the report is deterministic per seed;
 //! only the span `elapsed` wall-clock nanoseconds vary between machines,
@@ -129,6 +133,29 @@ fn main() {
     }
     failed.extend(fresh.failures.iter().cloned());
     entries.extend(fresh.entries);
+
+    // The elastic probe: the flash-crowd scenario, autoscaled vs. the
+    // static bracket, at the same smoke fidelity CI's `elastic --smoke`
+    // runs — so the elastic detectors diff like against like.
+    let elastic = scs_bench::elastic_probe::run_probe(
+        scs_bench::elastic_probe::ElasticFidelity::Smoke,
+        scs_bench::elastic_probe::SEED,
+    );
+    for v in &elastic.variants {
+        let r = &v.report;
+        println!(
+            "  [elastic/{}] p90 {:?}ms slo {} / {} joins {} leaves / {:.1} node-s / stale-beyond-lease {}",
+            v.name,
+            r.p90_micros.map(|t| t / 1_000),
+            if r.slo_ok { "pass" } else { "FAIL" },
+            r.joins,
+            r.leaves,
+            r.node_seconds,
+            r.stale_beyond_lease
+        );
+    }
+    failed.extend(elastic.failures.iter().cloned());
+    entries.extend(elastic.entries);
 
     match report::write_telemetry(&report::telemetry_report(entries), "observatory.json") {
         Ok(path) => println!("\nObservatory report written to {}", path.display()),

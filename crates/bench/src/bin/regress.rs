@@ -20,7 +20,13 @@
 //!   rising more than the threshold at any fleet size, its
 //!   stale-beyond-lease count increasing, its fanout amplification
 //!   (bytes per update) growing past the threshold, or a swept fleet
-//!   size disappearing from the curve.
+//!   size disappearing from the curve;
+//! * an elastic entry's stale-beyond-lease count rising (a handoff or
+//!   membership-epoch bug leaking staleness past the lease), its SLO
+//!   verdict flipping from passed to failed (the autoscaler no longer
+//!   riding out the flash crowd), its epoch-conservation ledger
+//!   unbalancing, or its node-seconds waste growing past the
+//!   threshold.
 //!
 //! Both reports must carry the current telemetry `schema_version`
 //! ([`scs_apps::report::SCHEMA_VERSION`]); a mismatch is a usage error
@@ -363,6 +369,65 @@ fn freshness_drops(key: &str, base: &Json, cand: &Json, factor: f64, out: &mut V
     }
 }
 
+/// The elastic detectors, over the `elastic` object the flash-crowd
+/// probe exports: staleness leaking past the lease across a membership
+/// change (`handoff_stale_rise`), the SLO verdict flipping
+/// (`autoscale_slo_flip`), the epoch-conservation ledger unbalancing,
+/// and the node-seconds waste integral growing past the threshold.
+fn elastic_drops(key: &str, base: &Json, cand: &Json, factor: f64, out: &mut Vec<Finding>) {
+    let (Some(be), Some(ce)) = (base.get("elastic"), cand.get("elastic")) else {
+        return;
+    };
+    if let (Some(b), Some(c)) = (
+        be.get("stale_beyond_lease").and_then(Json::as_u64),
+        ce.get("stale_beyond_lease").and_then(Json::as_u64),
+    ) {
+        if c > b {
+            out.push(Finding::new(
+                key,
+                "handoff_stale_rise",
+                format!("{key}: stale-beyond-lease serves across membership changes rose from {b} to {c}"),
+            ));
+        }
+    }
+    if let (Some(b), Some(c)) = (
+        be.get("slo_ok").and_then(Json::as_bool),
+        ce.get("slo_ok").and_then(Json::as_bool),
+    ) {
+        if b && !c {
+            out.push(Finding::new(
+                key,
+                "autoscale_slo_flip",
+                format!("{key}: flash-crowd SLO flipped from passed to failed"),
+            ));
+        }
+    }
+    if let (Some(b), Some(c)) = (
+        be.get("conservation_balanced").and_then(Json::as_bool),
+        ce.get("conservation_balanced").and_then(Json::as_bool),
+    ) {
+        if b && !c {
+            out.push(Finding::new(
+                key,
+                "conservation_broken",
+                format!("{key}: epoch conservation ledger no longer balances"),
+            ));
+        }
+    }
+    if let (Some(b), Some(c)) = (
+        be.get("node_seconds").and_then(Json::as_f64),
+        ce.get("node_seconds").and_then(Json::as_f64),
+    ) {
+        if b > 0.0 && c > b * (1.0 + factor) {
+            out.push(Finding::new(
+                key,
+                "node_seconds_growth",
+                format!("{key}: node-seconds waste grew from {b:.1} to {c:.1}"),
+            ));
+        }
+    }
+}
+
 /// The absolute knee-collapse check on one candidate entry: every curve
 /// point past the stored `knee_index` must hold at least
 /// `KNEE_HOLD_FRACTION` of the knee's goodput.
@@ -477,6 +542,7 @@ fn diff_with(base: &Json, cand: &Json, threshold_pct: f64, subset: bool) -> Vec<
         }
         fleet_curve_drops(&key, b, c, factor, &mut out);
         freshness_drops(&key, b, c, factor, &mut out);
+        elastic_drops(&key, b, c, factor, &mut out);
         out.extend(goodput_collapse(&key, c));
     }
     out
@@ -551,6 +617,21 @@ fn self_check(baseline: &Json, threshold_pct: f64) -> i32 {
             }
         }
     }
+    // And a baseline carrying elastic entries must prove the handoff
+    // staleness and autoscale SLO detectors fire on the degraded runs.
+    let has_elastic = entries(baseline)
+        .iter()
+        .any(|(_, e)| e.get("elastic").is_some());
+    if has_elastic {
+        for d in ["handoff_stale_rise", "autoscale_slo_flip"] {
+            if !tripped(d) {
+                eprintln!(
+                    "self-check FAILED: degraded elastic entry did not trip the {d} detector"
+                );
+                return 1;
+            }
+        }
+    }
     println!(
         "self-check passed: identity diff clean, degraded candidate tripped {} detector(s)",
         caught.len()
@@ -615,6 +696,25 @@ fn degrade(mut doc: Json) -> Json {
                             *v *= 2.0;
                         }
                     }
+                }
+            }
+            // Degrade the elastic plane the way a botched handoff or a
+            // broken autoscaler would: staleness leaks past the lease
+            // across a membership change, the flash-crowd SLO fails,
+            // the conservation ledger unbalances, and the fleet parks
+            // at peak (doubling the node-seconds waste).
+            if let Some(elastic) = get_mut(entry, "elastic") {
+                if let Some(Json::Num(s)) = get_mut(elastic, "stale_beyond_lease") {
+                    *s += 5.0;
+                }
+                if let Some(Json::Bool(ok)) = get_mut(elastic, "slo_ok") {
+                    *ok = false;
+                }
+                if let Some(Json::Bool(bal)) = get_mut(elastic, "conservation_balanced") {
+                    *bal = false;
+                }
+                if let Some(Json::Num(n)) = get_mut(elastic, "node_seconds") {
+                    *n *= 2.0;
                 }
             }
             // Reshape the curve the way real collapse exports look: the

@@ -18,9 +18,11 @@
 //! | `overload`    | extension — spike demo + goodput-vs-offered-load curve |
 //! | `fleet`       | extension — max users vs. number of DSSP proxies |
 //! | `freshness`   | extension — propagation-lag / staleness-age / amplification curves |
+//! | `elastic`     | extension — flash crowd: autoscaled fleet vs. static bracket |
 //!
 //! Criterion microbenchmarks live under `benches/`.
 
+pub mod elastic_probe;
 pub mod fleet_probe;
 pub mod freshness_probe;
 pub mod overload_probe;

@@ -459,6 +459,55 @@ impl ResultCache {
         (scanned, invalidated)
     }
 
+    /// Detaches and returns every entry the predicate selects, intact —
+    /// the donor half of an elastic-fleet state handoff. The entries keep
+    /// their `stored_at` / `expires_at` / `stored_epoch` stamps, so a
+    /// receiver that imports them inherits exactly the staleness bound
+    /// the donor was operating under; nothing is re-aged or re-leased.
+    pub fn extract_where(
+        &mut self,
+        mut select: impl FnMut(&CacheEntry) -> bool,
+    ) -> Vec<CacheEntry> {
+        let keys: Vec<CacheKey> = self
+            .entries
+            .values()
+            .filter(|e| select(e))
+            .map(|e| e.key.clone())
+            .collect();
+        keys.into_iter().filter_map(|k| self.detach(&k)).collect()
+    }
+
+    /// Inserts a handed-off entry, preserving its store-time stamps (the
+    /// receiver half of [`ResultCache::extract_where`]). An existing live
+    /// entry under the same key is replaced; the capacity bound applies
+    /// as for any store. Returns whether the entry went in (an entry
+    /// whose lease has already run out is dropped, not imported).
+    pub fn import(&mut self, mut e: CacheEntry) -> bool {
+        if e.expires_at_micros < self.now_micros {
+            self.lease_expirations += 1;
+            return false;
+        }
+        self.clock += 1;
+        e.last_used = self.clock;
+        if self.detach(&e.key).is_some() {
+            self.replacements += 1;
+        }
+        self.attach(e);
+        if let Some(cap) = self.capacity {
+            while self.entries.len() > cap {
+                let victim = self
+                    .lru
+                    .iter()
+                    .next()
+                    .map(|(_, k)| k.clone())
+                    .expect("nonempty while over capacity");
+                self.detach(&victim);
+                self.evictions += 1;
+            }
+        }
+        true
+    }
+
     /// Stamps the home epoch a just-stored entry's result reflects. The
     /// proxy calls this right after the miss fill, once it knows the
     /// epoch the home served at; a no-op when the entry was not stored

@@ -1,0 +1,330 @@
+//! Elastic fleet membership: the types behind live join/leave with
+//! state handoff, plus the [`Autoscaler`] policy that drives them.
+//!
+//! The membership *mechanics* live in [`crate::fleet`] (they need the
+//! fleet's private fields); this module holds the vocabulary — what a
+//! join or leave reports, which faults the chaos tests inject into a
+//! handoff — and the pure autoscaling policy, which is deliberately
+//! independent of the fleet so the simulation driver can feed it
+//! whatever utilization signal it measures.
+//!
+//! ## Join protocol (see `DESIGN.md` §14)
+//!
+//! 1. **Register before ring entry.** The joiner registers a fanout
+//!    pipe at the home server and takes the home's current epoch as its
+//!    cursor. From this instant every committed update reaches the
+//!    joiner on its own pipe; everything at or before the cursor is
+//!    already reflected in the state it warms from.
+//! 2. **Warm from predecessors.** For each ring arc the joiner will
+//!    own, the current owner (donor) is pumped to its delivery horizon,
+//!    then hands over the cached entries for that arc along with its
+//!    epoch position. Entries are imported only when the donor's epoch
+//!    matches the joiner's cursor (a *cursor match*) — otherwise they
+//!    are dropped and refetched on miss, trading warmth for an airtight
+//!    staleness argument. Imported entries keep their original lease
+//!    window and stored epoch, so the lease bound survives the transfer
+//!    unconditionally.
+//! 3. **Atomic cutover.** Only after warming does the routing ring
+//!    swap; the swap is a single assignment, so no operation ever
+//!    routes to a replica that isn't fully registered.
+//!
+//! A leave runs the protocol in reverse: drain in-flight batches, swap
+//! the ring first, hand the departing replica's entries to their new
+//! owners (same cursor-match rule), then unregister the pipe after a
+//! final pump so the provenance ledger's conservation law stays
+//! balanced across the membership change.
+
+/// Fault injected into a membership change by the chaos tests. Each
+/// models a crash at a different point in the join/handoff protocol;
+/// all of them must leave `stale_beyond_lease == 0` and the
+/// conservation ledger balanced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandoffFault {
+    /// Clean join: every donor hands off and the joiner imports on
+    /// cursor match.
+    None,
+    /// The handoff stream is lost in transit: donors extract their
+    /// entries but nothing arrives at the joiner. The joiner enters the
+    /// ring cold — pure miss cost, no staleness.
+    DropStream,
+    /// The joiner crashes after registering its pipe but before
+    /// warming completes. The join rolls back: the replica is dropped,
+    /// its pipe unregistered, and the routing ring is left untouched
+    /// (byte-identical — the no-op-resize property).
+    CrashJoiner,
+    /// The first donor crashes mid-handoff: only half of its exported
+    /// entries survive in transit, the donor itself restarts from the
+    /// home epoch with a cold cache, and the join completes with the
+    /// remaining donors.
+    CrashDonor,
+}
+
+impl HandoffFault {
+    pub fn name(self) -> &'static str {
+        match self {
+            HandoffFault::None => "none",
+            HandoffFault::DropStream => "drop_stream",
+            HandoffFault::CrashJoiner => "crash_joiner",
+            HandoffFault::CrashDonor => "crash_donor",
+        }
+    }
+}
+
+/// What [`crate::fleet::ProxyFleet::add_replica`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinOutcome {
+    /// Stable id of the (possibly aborted) joiner. Ids are never
+    /// reused within a fleet's lifetime.
+    pub replica: usize,
+    /// Home epoch at pipe registration — the joiner's initial cursor.
+    pub joined_epoch: u64,
+    /// Entries imported from donors (cursor-matched and unexpired).
+    pub handed: u64,
+    /// Entries extracted from donors but not imported: dropped in
+    /// transit, expired on arrival, or skipped on cursor mismatch.
+    /// These cost cold misses, never staleness.
+    pub skipped: u64,
+    /// True when the join rolled back ([`HandoffFault::CrashJoiner`]):
+    /// the ring is unchanged and the replica does not exist.
+    pub aborted: bool,
+}
+
+/// What [`crate::fleet::ProxyFleet::remove_replica`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaveOutcome {
+    /// Stable id of the departed replica.
+    pub replica: usize,
+    /// The leaver's applied epoch after its final drain.
+    pub final_epoch: u64,
+    /// Entries successfully handed to successor replicas.
+    pub handed: u64,
+    /// Entries extracted but not imported (cursor mismatch or expiry).
+    pub skipped: u64,
+}
+
+/// Scale direction an [`Autoscaler`] decided on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleAction {
+    /// Add one replica.
+    Out,
+    /// Remove one replica.
+    In,
+}
+
+impl ScaleAction {
+    pub fn name(self) -> &'static str {
+        match self {
+            ScaleAction::Out => "out",
+            ScaleAction::In => "in",
+        }
+    }
+}
+
+/// One autoscaling decision, journaled for the experiment export so
+/// the membership timeline is visible next to the load curves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleDecision {
+    pub at_micros: u64,
+    pub action: ScaleAction,
+    /// Busiest live replica's utilization in the window that tripped
+    /// the decision.
+    pub busiest_util: f64,
+    /// Fleet shed ratio in the same window.
+    pub shed_ratio: f64,
+    /// Live replica count *before* the action.
+    pub live: usize,
+}
+
+/// Autoscaler thresholds. Scale-out and scale-in bands are separated
+/// (hysteresis) and every action starts a cooldown, so the policy
+/// cannot flap on a noisy signal.
+#[derive(Debug, Clone, Copy)]
+pub struct AutoscalerConfig {
+    /// Scale out when the busiest replica's windowed utilization stays
+    /// at or above this for `sustain` consecutive samples.
+    pub scale_out_util: f64,
+    /// Shed ratio at or above this also counts as a hot sample —
+    /// admission control shedding is the clearest overload signal.
+    pub scale_out_shed: f64,
+    /// Scale in when the busiest replica stays at or below this (and
+    /// nothing is shed) for `sustain` consecutive samples.
+    pub scale_in_util: f64,
+    /// Consecutive hot (or idle) samples required before acting.
+    pub sustain: u32,
+    /// Minimum simulated time between actions.
+    pub cooldown_micros: u64,
+    pub min_replicas: usize,
+    pub max_replicas: usize,
+}
+
+impl AutoscalerConfig {
+    /// Defaults matched to the flash-crowd experiment: act after 3
+    /// sustained samples, 5 s cooldown, busiest-node bands at 85%/25%.
+    pub fn paper(min_replicas: usize, max_replicas: usize) -> AutoscalerConfig {
+        assert!(min_replicas >= 1, "a fleet keeps at least one replica");
+        assert!(max_replicas >= min_replicas, "max below min");
+        AutoscalerConfig {
+            scale_out_util: 0.85,
+            scale_out_shed: 0.05,
+            scale_in_util: 0.25,
+            sustain: 3,
+            cooldown_micros: 5_000_000,
+            min_replicas,
+            max_replicas,
+        }
+    }
+}
+
+/// Reactive scaling policy over the fleet's utilization and shed-ratio
+/// time series. Pure state machine: the driver samples the signal at a
+/// fixed cadence, calls [`Autoscaler::observe`], and applies whatever
+/// action comes back via `add_replica` / `remove_replica`.
+#[derive(Debug, Clone)]
+pub struct Autoscaler {
+    cfg: AutoscalerConfig,
+    hot_streak: u32,
+    idle_streak: u32,
+    last_action_at: Option<u64>,
+    decisions: Vec<ScaleDecision>,
+}
+
+impl Autoscaler {
+    pub fn new(cfg: AutoscalerConfig) -> Autoscaler {
+        Autoscaler {
+            cfg,
+            hot_streak: 0,
+            idle_streak: 0,
+            last_action_at: None,
+            decisions: Vec::new(),
+        }
+    }
+
+    pub fn config(&self) -> &AutoscalerConfig {
+        &self.cfg
+    }
+
+    /// Feeds one sample of the control signal; returns the action to
+    /// apply, if any. `busiest_util` is the busiest *live* replica's
+    /// utilization over the sample window, `shed_ratio` the fleet's
+    /// shed fraction in the same window, `live` the current replica
+    /// count.
+    pub fn observe(
+        &mut self,
+        at_micros: u64,
+        busiest_util: f64,
+        shed_ratio: f64,
+        live: usize,
+    ) -> Option<ScaleAction> {
+        let hot = busiest_util >= self.cfg.scale_out_util || shed_ratio >= self.cfg.scale_out_shed;
+        let idle = busiest_util <= self.cfg.scale_in_util && shed_ratio == 0.0;
+        if hot {
+            self.hot_streak += 1;
+            self.idle_streak = 0;
+        } else if idle {
+            self.idle_streak += 1;
+            self.hot_streak = 0;
+        } else {
+            // Inside the hysteresis band: stable, reset both streaks.
+            self.hot_streak = 0;
+            self.idle_streak = 0;
+        }
+        if let Some(t) = self.last_action_at {
+            if at_micros.saturating_sub(t) < self.cfg.cooldown_micros {
+                return None;
+            }
+        }
+        let action = if self.hot_streak >= self.cfg.sustain && live < self.cfg.max_replicas {
+            ScaleAction::Out
+        } else if self.idle_streak >= self.cfg.sustain && live > self.cfg.min_replicas {
+            ScaleAction::In
+        } else {
+            return None;
+        };
+        self.hot_streak = 0;
+        self.idle_streak = 0;
+        self.last_action_at = Some(at_micros);
+        self.decisions.push(ScaleDecision {
+            at_micros,
+            action,
+            busiest_util,
+            shed_ratio,
+            live,
+        });
+        Some(action)
+    }
+
+    /// Every decision taken so far, in order.
+    pub fn decisions(&self) -> &[ScaleDecision] {
+        &self.decisions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AutoscalerConfig {
+        AutoscalerConfig::paper(1, 4)
+    }
+
+    #[test]
+    fn sustained_heat_scales_out_once_then_cools_down() {
+        let mut a = Autoscaler::new(cfg());
+        // Two hot samples: below sustain, nothing yet.
+        assert_eq!(a.observe(1_000_000, 0.95, 0.0, 2), None);
+        assert_eq!(a.observe(2_000_000, 0.95, 0.0, 2), None);
+        // Third trips the action.
+        assert_eq!(a.observe(3_000_000, 0.95, 0.0, 2), Some(ScaleAction::Out));
+        // Still hot, but inside the 5 s cooldown.
+        assert_eq!(a.observe(4_000_000, 0.99, 0.2, 3), None);
+        assert_eq!(a.observe(5_000_000, 0.99, 0.2, 3), None);
+        assert_eq!(a.observe(6_000_000, 0.99, 0.2, 3), None);
+        // Cooldown over and the streak re-sustained: scale out again.
+        assert_eq!(a.observe(8_100_000, 0.99, 0.2, 3), Some(ScaleAction::Out));
+        assert_eq!(a.decisions().len(), 2);
+    }
+
+    #[test]
+    fn shedding_counts_as_heat_even_at_low_utilization() {
+        let mut a = Autoscaler::new(cfg());
+        for t in 1..=2u64 {
+            assert_eq!(a.observe(t * 1_000_000, 0.3, 0.5, 1), None);
+        }
+        assert_eq!(a.observe(3_000_000, 0.3, 0.5, 1), Some(ScaleAction::Out));
+    }
+
+    #[test]
+    fn sustained_idle_scales_in_but_respects_the_floor() {
+        let mut a = Autoscaler::new(cfg());
+        for t in 1..=2u64 {
+            assert_eq!(a.observe(t * 1_000_000, 0.1, 0.0, 3), None);
+        }
+        assert_eq!(a.observe(3_000_000, 0.1, 0.0, 3), Some(ScaleAction::In));
+        // At the floor the idle streak never fires.
+        let mut floor = Autoscaler::new(cfg());
+        for t in 1..=10u64 {
+            assert_eq!(floor.observe(t * 10_000_000, 0.0, 0.0, 1), None);
+        }
+    }
+
+    #[test]
+    fn hysteresis_band_resets_both_streaks() {
+        let mut a = Autoscaler::new(cfg());
+        assert_eq!(a.observe(1_000_000, 0.95, 0.0, 2), None);
+        assert_eq!(a.observe(2_000_000, 0.95, 0.0, 2), None);
+        // A mid-band sample breaks the streak…
+        assert_eq!(a.observe(3_000_000, 0.5, 0.0, 2), None);
+        // …so two more hot samples still aren't enough.
+        assert_eq!(a.observe(4_000_000, 0.95, 0.0, 2), None);
+        assert_eq!(a.observe(5_000_000, 0.95, 0.0, 2), None);
+        assert_eq!(a.observe(6_000_000, 0.95, 0.0, 2), Some(ScaleAction::Out));
+    }
+
+    #[test]
+    fn max_replicas_caps_scale_out() {
+        let mut a = Autoscaler::new(cfg());
+        for t in 1..=6u64 {
+            assert_eq!(a.observe(t * 1_000_000, 0.99, 0.3, 4), None, "at cap");
+        }
+    }
+}

@@ -18,17 +18,30 @@
 //! fleet over reliable pipes behaves exactly like a standalone proxy
 //! (pinned by test).
 //!
+//! The fleet is **elastic**: [`ProxyFleet::add_replica`] and
+//! [`ProxyFleet::remove_replica`] change membership under live load.
+//! Every replica carries a *stable id* that is never reused, the
+//! consistent-hash ring is keyed by those ids (so a membership change
+//! remaps only the arcs the joining/leaving replica owns), and state
+//! moves between replicas by cache handoff under the join/leave
+//! protocol documented in [`crate::elastic`]. The home server tracks
+//! registered pipes ([`HomeServer::register_pipe`]) so a joiner's
+//! epoch cursor is pinned *before* it can receive traffic.
+//!
 //! Fault-tolerance semantics are per replica: each proxy tracks its
 //! own epoch stream position, detects gaps independently (a dropped
 //! batch flushes only the replica that missed it), recovers on its own
 //! [`RecoveryMode`](crate::delivery::RecoveryMode), and — when
 //! overload protection is configured —
 //! owns its own circuit breaker and brownout state. Staleness anywhere
-//! in the fleet stays bounded by the per-entry lease, which the chaos
-//! property tests in `tests/fleet.rs` verify against a ground-truth
-//! oracle.
+//! in the fleet stays bounded by the per-entry lease — across
+//! membership changes too, because handed-off entries keep their
+//! original lease windows — which the chaos property tests in
+//! `tests/fleet.rs` and `tests/elastic.rs` verify against a
+//! ground-truth oracle.
 
 use crate::delivery::{splitmix64, InvalidationBatch, InvalidationMsg};
+use crate::elastic::{HandoffFault, JoinOutcome, LeaveOutcome};
 use crate::home::HomeServer;
 use crate::proxy::{Dssp, DsspConfig, QueryResponse, UpdateResponse};
 use crate::stats::DsspStats;
@@ -36,8 +49,10 @@ use scs_netsim::fault::{ChannelStats, FaultSpec, FaultyChannel};
 use scs_sqlkit::{Query, Update};
 use scs_storage::StorageError;
 use scs_telemetry::{
-    shared_provenance, FlushTrigger, SharedProvenance, SpanId, SpanPhase, SpanRecorder,
+    shared_provenance, FlushTrigger, MembershipKind, MembershipStamp, ProvenanceLog,
+    SharedProvenance, SpanId, SpanPhase, SpanRecorder,
 };
+use std::collections::HashMap;
 
 /// How the fleet's load balancer picks a replica for an operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,6 +139,7 @@ impl FleetConfig {
 /// A query response plus which replica served it.
 #[derive(Debug)]
 pub struct FleetQueryResponse {
+    /// Stable id of the serving replica.
     pub proxy: usize,
     pub resp: QueryResponse,
     /// Invalidation batches delivered at the serving replica *before*
@@ -139,6 +155,7 @@ pub struct FleetQueryResponse {
 /// the totals here can be 0 even though entries will die.
 #[derive(Debug)]
 pub struct FleetUpdateResponse {
+    /// Stable id of the forwarding replica.
     pub proxy: usize,
     pub resp: UpdateResponse,
     /// The home server's epoch after this update (its notification is
@@ -172,7 +189,12 @@ pub struct FanoutStats {
     pub msgs: u64,
     /// Messages coalesced away before shipping.
     pub coalesced: u64,
-    /// Per-pipe channel counters (drop/duplicate/delay/delivered).
+    /// Times a poisoned provenance lock was recovered on the fanout
+    /// path (a panicking stamper elsewhere must not wedge the flush —
+    /// the log is append-only stamps, so recovery is safe).
+    pub poison_recovered: u64,
+    /// Per-pipe channel counters (drop/duplicate/delay/delivered) for
+    /// the currently-live replicas, in membership order.
     pub pipes: Vec<ChannelStats>,
 }
 
@@ -181,15 +203,46 @@ pub struct FanoutStats {
 /// construction noticeable.
 const RING_VNODES: usize = 16;
 
+/// First point clockwise of the template's hash; wrap past the top.
+pub(crate) fn ring_route(ring: &[(u64, usize)], template_id: usize) -> usize {
+    let h = splitmix64(template_id as u64 ^ 0x74706c); // "tpl"
+    let i = match ring.binary_search_by(|&(point, _)| point.cmp(&h)) {
+        Ok(i) => i,
+        Err(i) => i % ring.len(),
+    };
+    ring[i].1
+}
+
+/// One fleet member: a stable id (never reused within the fleet's
+/// lifetime), the proxy itself, and its private delivery pipe. Keeping
+/// the pipe *next to* its proxy — instead of in a parallel vector — is
+/// what makes membership changes safe: a removed replica takes its
+/// pipe with it, so `pump_all`/`drain` can never index a departed one.
+struct Replica {
+    id: usize,
+    dssp: Dssp,
+    pipe: FaultyChannel<InvalidationBatch>,
+}
+
 /// N proxies, one home server, a router in front and a fanout behind.
 pub struct ProxyFleet {
-    proxies: Vec<Dssp>,
-    pipes: Vec<FaultyChannel<InvalidationBatch>>,
+    replicas: Vec<Replica>,
+    /// Next stable id to assign; ids are never reused, even for joins
+    /// that abort.
+    next_id: usize,
+    /// Kept for spawning joiners: same app id, hence the same tenant
+    /// encryption key as the founding replicas.
+    config: DsspConfig,
     home: HomeServer,
     routing: RoutingMode,
-    /// Sorted `(point, replica)` ring for [`RoutingMode::HashByTemplate`].
+    /// Sorted `(point, replica id)` ring for
+    /// [`RoutingMode::HashByTemplate`]. Points are keyed by stable id,
+    /// so a given replica's arcs are identical no matter who else is
+    /// in the fleet — that is what makes membership remaps minimal.
     ring: Vec<(u64, usize)>,
     fanout: FanoutConfig,
+    pipe_spec: FaultSpec,
+    pipe_seed: u64,
     rr_cursor: usize,
     /// Buffered notifications awaiting flush, ascending by epoch.
     pending: Vec<InvalidationMsg>,
@@ -199,6 +252,13 @@ pub struct ProxyFleet {
     batches: u64,
     msgs: u64,
     coalesced: u64,
+    /// Bumped on every completed join/leave (not on aborted joins).
+    membership_epoch: u64,
+    /// Poisoned provenance locks recovered on the fanout path.
+    prov_poison_recovered: u64,
+    /// Per-replica settings replayed onto joiners.
+    lease: Option<u64>,
+    span_capacity: Option<usize>,
     /// Fleet-layer span recorder: routing decisions and fanout flushes
     /// (replica-side spans live in each proxy's own recorder).
     spans: SpanRecorder,
@@ -212,29 +272,34 @@ pub struct ProxyFleet {
 impl ProxyFleet {
     /// Builds the fleet: each replica gets its own cache and telemetry
     /// from a clone of `config` (same app id, hence the same tenant
-    /// encryption key), its replica index stamped on trace events, and
-    /// its own delivery pipe seeded independently.
-    pub fn new(config: DsspConfig, home: HomeServer, fleet: FleetConfig) -> ProxyFleet {
+    /// encryption key), its stable id stamped on trace events, its own
+    /// delivery pipe seeded independently, and a pipe registration at
+    /// the home server.
+    pub fn new(config: DsspConfig, mut home: HomeServer, fleet: FleetConfig) -> ProxyFleet {
         assert!(fleet.proxies >= 1, "a fleet has at least one proxy");
-        let mut proxies = Vec::with_capacity(fleet.proxies);
-        let mut pipes = Vec::with_capacity(fleet.proxies);
-        for p in 0..fleet.proxies {
+        let mut replicas = Vec::with_capacity(fleet.proxies);
+        for id in 0..fleet.proxies {
             let mut dssp = Dssp::new(config.clone());
-            dssp.set_proxy_label(p as u32);
-            proxies.push(dssp);
-            pipes.push(FaultyChannel::new(
-                fleet.pipe_seed ^ p as u64,
-                fleet.pipe_spec.clone(),
-            ));
+            dssp.set_proxy_label(id as u32);
+            let joined_epoch = home.register_pipe(id);
+            dssp.handshake(joined_epoch);
+            replicas.push(Replica {
+                id,
+                dssp,
+                pipe: FaultyChannel::new(fleet.pipe_seed ^ id as u64, fleet.pipe_spec.clone()),
+            });
         }
-        let ring = Self::build_ring(fleet.proxies);
+        let ring = Self::build_ring(&(0..fleet.proxies).collect::<Vec<_>>());
         ProxyFleet {
-            proxies,
-            pipes,
+            replicas,
+            next_id: fleet.proxies,
+            config,
             home,
             routing: fleet.routing,
             ring,
             fanout: fleet.fanout,
+            pipe_spec: fleet.pipe_spec,
+            pipe_seed: fleet.pipe_seed,
             rr_cursor: 0,
             pending: Vec::new(),
             pending_since: 0,
@@ -242,6 +307,10 @@ impl ProxyFleet {
             batches: 0,
             msgs: 0,
             coalesced: 0,
+            membership_epoch: 0,
+            prov_poison_recovered: 0,
+            lease: None,
+            span_capacity: None,
             spans: SpanRecorder::disabled(),
             tenant: 0,
             prov: None,
@@ -250,11 +319,12 @@ impl ProxyFleet {
 
     /// Turns on span recording at the fleet layer (routing, fanout
     /// flush) *and* on every replica (request pipeline, batch apply),
-    /// each with its own `capacity` cap.
+    /// each with its own `capacity` cap. Joiners inherit the setting.
     pub fn enable_span_recording(&mut self, capacity: usize) {
+        self.span_capacity = Some(capacity);
         self.spans = SpanRecorder::enabled(capacity);
-        for proxy in &mut self.proxies {
-            proxy.enable_span_recording(capacity);
+        for r in &mut self.replicas {
+            r.dssp.enable_span_recording(capacity);
         }
     }
 
@@ -267,13 +337,14 @@ impl ProxyFleet {
     /// Turns on the freshness plane: one shared provenance log wired
     /// through the home server (commit stamps), the fanout layer
     /// (flush/send stamps), and every replica (arrival, invalidate,
-    /// store, serve stamps). Returns the shared handle; also available
-    /// later via [`ProxyFleet::provenance`].
+    /// store, serve stamps). Joiners are registered into the same log.
+    /// Returns the shared handle; also available later via
+    /// [`ProxyFleet::provenance`].
     pub fn enable_provenance(&mut self) -> SharedProvenance {
-        let prov = shared_provenance(self.proxies.len());
+        let prov = shared_provenance(self.next_id);
         self.home.attach_provenance(prov.clone());
-        for (p, proxy) in self.proxies.iter_mut().enumerate() {
-            proxy.attach_provenance(prov.clone(), p);
+        for r in &mut self.replicas {
+            r.dssp.attach_provenance(prov.clone(), r.id);
         }
         self.prov = Some(prov.clone());
         prov
@@ -286,36 +357,84 @@ impl ProxyFleet {
     }
 
     /// Sets (or clears) the staleness lease on every replica's cache.
+    /// Joiners inherit the setting.
     pub fn set_lease_micros(&mut self, lease: Option<u64>) {
-        for proxy in &mut self.proxies {
-            proxy.set_lease_micros(lease);
+        self.lease = lease;
+        for r in &mut self.replicas {
+            r.dssp.set_lease_micros(lease);
         }
     }
 
-    fn build_ring(n: usize) -> Vec<(u64, usize)> {
-        let mut ring = Vec::with_capacity(n * RING_VNODES);
-        for p in 0..n {
+    /// Locks the provenance log, recovering a poisoned lock instead of
+    /// propagating the panic: the log is append-only stamps, so the
+    /// worst a poisoner can leave behind is a missing stamp — never a
+    /// torn invariant — and wedging the fanout path over telemetry
+    /// would turn an observability bug into an availability one.
+    fn recovered_lock<'a>(
+        prov: &'a SharedProvenance,
+        recovered: &mut u64,
+    ) -> std::sync::MutexGuard<'a, ProvenanceLog> {
+        prov.lock().unwrap_or_else(|poisoned| {
+            *recovered += 1;
+            poisoned.into_inner()
+        })
+    }
+
+    /// Journals a membership transition on the freshness plane (no-op
+    /// without provenance).
+    fn stamp_membership(
+        &mut self,
+        kind: MembershipKind,
+        replica: usize,
+        peer: Option<usize>,
+        entries: u64,
+    ) {
+        let Some(prov) = self.prov.clone() else {
+            return;
+        };
+        let stamp = MembershipStamp {
+            kind,
+            replica,
+            peer,
+            entries,
+            at_micros: self.now_micros,
+            home_epoch: self.home.epoch(),
+        };
+        Self::recovered_lock(&prov, &mut self.prov_poison_recovered).note_membership(stamp);
+    }
+
+    fn build_ring(ids: &[usize]) -> Vec<(u64, usize)> {
+        let mut ring = Vec::with_capacity(ids.len() * RING_VNODES);
+        for &id in ids {
             for v in 0..RING_VNODES {
-                // Domain-separated point: replica index in the high
-                // half, vnode in the low, through one splitmix round.
-                let point = splitmix64(((p as u64) << 32) ^ v as u64 ^ 0x72696e67); // "ring"
-                ring.push((point, p));
+                // Domain-separated point: replica id in the high half,
+                // vnode in the low, through one splitmix round.
+                let point = splitmix64(((id as u64) << 32) ^ v as u64 ^ 0x72696e67); // "ring"
+                ring.push((point, id));
             }
         }
         ring.sort_unstable();
         ring
     }
 
-    /// The replica an operation on `template_id` routes to.
+    /// Position of the replica with stable id `id`.
+    fn idx(&self, id: usize) -> usize {
+        self.replicas
+            .iter()
+            .position(|r| r.id == id)
+            .unwrap_or_else(|| panic!("replica {id} is not in the fleet"))
+    }
+
+    /// The replica an operation on `template_id` routes to (stable id).
     pub fn route(&mut self, template_id: usize) -> usize {
         let timer = self.spans.timer();
-        let p = match self.routing {
+        let id = match self.routing {
             RoutingMode::RoundRobin => {
-                let p = self.rr_cursor;
-                self.rr_cursor = (self.rr_cursor + 1) % self.proxies.len();
-                p
+                let pos = self.rr_cursor % self.replicas.len();
+                self.rr_cursor = (pos + 1) % self.replicas.len();
+                self.replicas[pos].id
             }
-            RoutingMode::HashByTemplate => self.route_by_hash(template_id),
+            RoutingMode::HashByTemplate => ring_route(&self.ring, template_id),
         };
         self.spans.record_closed(
             self.now_micros,
@@ -325,27 +444,245 @@ impl ProxyFleet {
             Some(template_id as u32),
             timer,
         );
-        p
+        id
     }
 
-    fn route_by_hash(&self, template_id: usize) -> usize {
-        let h = splitmix64(template_id as u64 ^ 0x74706c); // "tpl"
-        let i = match self.ring.binary_search_by(|&(point, _)| point.cmp(&h)) {
-            Ok(i) => i,
-            // First point clockwise of the hash; wrap past the top.
-            Err(i) => i % self.ring.len(),
-        };
-        self.ring[i].1
+    /// Where `template_id` would route under the current ring, without
+    /// touching the round-robin cursor or span recorder. Exposed for
+    /// the ring-remap property tests.
+    pub fn route_template(&self, template_id: usize) -> usize {
+        ring_route(&self.ring, template_id)
+    }
+
+    /// The current consistent-hash ring, sorted by point. Exposed for
+    /// the ring-remap property tests.
+    pub fn ring(&self) -> &[(u64, usize)] {
+        &self.ring
+    }
+
+    /// Completed membership changes (joins and leaves; aborted joins
+    /// don't count).
+    pub fn membership_epoch(&self) -> u64 {
+        self.membership_epoch
+    }
+
+    /// Stable ids of the live replicas, in membership order.
+    pub fn replica_ids(&self) -> Vec<usize> {
+        self.replicas.iter().map(|r| r.id).collect()
+    }
+
+    /// Adds one replica with a clean handoff. See
+    /// [`ProxyFleet::add_replica_faulted`].
+    pub fn add_replica(&mut self) -> JoinOutcome {
+        self.add_replica_faulted(HandoffFault::None)
+    }
+
+    /// Adds one replica under live load, optionally injecting a chaos
+    /// fault into the handoff. The join protocol (documented in
+    /// [`crate::elastic`]): register the pipe at the home server *first*
+    /// so the epoch cursor is pinned, spawn the replica live-but-unrouted
+    /// (it receives fanout, takes no traffic), warm it from the donors
+    /// that currently own its ring arcs under the cursor-match rule,
+    /// then swap the ring in one assignment.
+    pub fn add_replica_faulted(&mut self, fault: HandoffFault) -> JoinOutcome {
+        let id = self.next_id;
+        self.next_id += 1;
+        // 1. Register before ring entry: everything committed at or
+        //    before `joined_epoch` is reflected in the state the joiner
+        //    warms from; everything after arrives on its own pipe.
+        let joined_epoch = self.home.register_pipe(id);
+        let mut dssp = Dssp::new(self.config.clone());
+        dssp.set_proxy_label(id as u32);
+        dssp.set_tenant_label(self.tenant);
+        dssp.set_lease_micros(self.lease);
+        dssp.set_sim_time_micros(self.now_micros);
+        if let Some(cap) = self.span_capacity {
+            dssp.enable_span_recording(cap);
+        }
+        dssp.handshake(joined_epoch);
+        if let Some(prov) = self.prov.clone() {
+            Self::recovered_lock(&prov, &mut self.prov_poison_recovered).register_replica(id);
+            dssp.attach_provenance(prov, id);
+        }
+        let pipe = FaultyChannel::new(self.pipe_seed ^ id as u64, self.pipe_spec.clone());
+        // 2. Live but unrouted: from here the replica receives every
+        //    fanout flush, but the ring doesn't know it yet.
+        self.replicas.push(Replica { id, dssp, pipe });
+
+        if fault == HandoffFault::CrashJoiner {
+            // The joiner dies before warming completes: roll back. The
+            // ring was never touched, so routing is byte-identical to
+            // before the join started (the no-op-resize property).
+            self.replicas.pop();
+            self.home.unregister_pipe(id);
+            self.stamp_membership(MembershipKind::AbortJoin, id, None, 0);
+            return JoinOutcome {
+                replica: id,
+                joined_epoch,
+                handed: 0,
+                skipped: 0,
+                aborted: true,
+            };
+        }
+
+        // 3. Warm from predecessors: compute the post-join ring but do
+        //    NOT install it yet. Each donor is pumped to its delivery
+        //    horizon, then hands over the entries for arcs the joiner
+        //    will own. The cursor-match rule — import only when the
+        //    donor's epoch equals the joiner's — makes the staleness
+        //    argument airtight: a matched donor has applied exactly the
+        //    invalidations the joiner's cursor covers, so a surviving
+        //    entry is exactly as fresh at the joiner as it was at the
+        //    donor. A mismatch costs cold misses, never staleness.
+        let new_ring = Self::build_ring(&self.replica_ids());
+        let donor_ids: Vec<usize> = self
+            .replicas
+            .iter()
+            .map(|r| r.id)
+            .filter(|&d| d != id)
+            .collect();
+        let mut handed = 0u64;
+        let mut skipped = 0u64;
+        let mut crash_pending = fault == HandoffFault::CrashDonor;
+        for d in donor_ids {
+            self.pump(d);
+            let di = self.idx(d);
+            let donor_epoch = self.replicas[di].dssp.epoch();
+            let mut entries = self.replicas[di]
+                .dssp
+                .export_entries_where(|e| ring_route(&new_ring, e.key().template_id) == id);
+            let exported = entries.len() as u64;
+            if crash_pending {
+                // The first donor crashes mid-handoff: half its export
+                // is lost in transit and the donor itself restarts cold
+                // from the home epoch. The surviving half still carries
+                // the donor's pre-crash epoch position.
+                crash_pending = false;
+                entries.truncate(entries.len() / 2);
+                let epoch = self.home.epoch();
+                self.replicas[di].dssp.restart(epoch);
+            }
+            if fault == HandoffFault::DropStream {
+                entries.clear();
+            }
+            let ji = self.idx(id);
+            let imported = if donor_epoch == self.replicas[ji].dssp.epoch() {
+                self.replicas[ji].dssp.import_entries(entries) as u64
+            } else {
+                0
+            };
+            handed += imported;
+            skipped += exported - imported;
+            if exported > 0 {
+                self.stamp_membership(MembershipKind::Handoff, d, Some(id), imported);
+            }
+        }
+
+        // 4. Atomic cutover: one assignment, so no operation ever
+        //    routes to a half-joined replica.
+        self.ring = new_ring;
+        self.membership_epoch += 1;
+        let ji = self.idx(id);
+        self.replicas[ji].dssp.note_join(joined_epoch, handed);
+        self.stamp_membership(MembershipKind::Join, id, None, handed);
+        JoinOutcome {
+            replica: id,
+            joined_epoch,
+            handed,
+            skipped,
+            aborted: false,
+        }
+    }
+
+    /// Removes the replica with stable id `id` under live load: drain
+    /// its in-flight work, swap the ring, hand its cached entries to
+    /// their new owners (cursor-match rule, as on join), then
+    /// unregister its pipe after the final pump. Panics when `id` is
+    /// not live or when it is the last replica.
+    pub fn remove_replica(&mut self, id: usize) -> LeaveOutcome {
+        assert!(
+            self.replicas.len() >= 2,
+            "cannot remove the last replica of a fleet"
+        );
+        let li = self.idx(id);
+        // 1. Drain in-flight: ship the fanout buffer, deliver what is
+        //    due everywhere, then pump the leaver's pipe to the very
+        //    end (beyond due time — its pipe is about to vanish, so
+        //    nothing may be left in flight toward it).
+        self.flush_fanout();
+        self.pump_all();
+        let rest = self.replicas[li].pipe.drain();
+        for batch in rest {
+            self.replicas[li].dssp.apply_batch(&batch);
+        }
+        let final_epoch = self.replicas[li].dssp.epoch();
+
+        // 2. Swap the ring first so successor arcs are computable; the
+        //    leaver takes no more routed traffic from this point.
+        let survivors: Vec<usize> = self
+            .replicas
+            .iter()
+            .map(|r| r.id)
+            .filter(|&r| r != id)
+            .collect();
+        self.ring = Self::build_ring(&survivors);
+        self.membership_epoch += 1;
+
+        // 3. Hand the leaver's entries to their new owners, grouped by
+        //    successor, imported only on cursor match.
+        let entries = self.replicas[li].dssp.export_entries_where(|_| true);
+        let exported = entries.len() as u64;
+        let mut by_successor: HashMap<usize, Vec<_>> = HashMap::new();
+        for e in entries {
+            by_successor
+                .entry(ring_route(&self.ring, e.key().template_id))
+                .or_default()
+                .push(e);
+        }
+        let mut handed = 0u64;
+        let mut successors: Vec<usize> = by_successor.keys().copied().collect();
+        successors.sort_unstable(); // deterministic handoff order
+        for s in successors {
+            let batch = by_successor.remove(&s).expect("key from the map itself");
+            let count = batch.len() as u64;
+            let si = self.idx(s);
+            let imported = if self.replicas[si].dssp.epoch() == final_epoch {
+                self.replicas[si].dssp.import_entries(batch) as u64
+            } else {
+                0
+            };
+            handed += imported;
+            if count > 0 {
+                self.stamp_membership(MembershipKind::Handoff, id, Some(s), imported);
+            }
+        }
+        let skipped = exported - handed;
+
+        // 4. Final unregistration: the pipe was drained above, so the
+        //    conservation ledger shows nothing in flight toward the
+        //    departed replica, and no future flush will address it.
+        let li = self.idx(id);
+        self.replicas[li].dssp.note_leave(final_epoch, handed);
+        self.stamp_membership(MembershipKind::Leave, id, None, handed);
+        self.home.unregister_pipe(id);
+        self.replicas.remove(li);
+        LeaveOutcome {
+            replica: id,
+            final_epoch,
+            handed,
+            skipped,
+        }
     }
 
     /// Routes a query to its replica, delivering any fanout batches due
     /// at that replica first (per-pipe FIFO order is preserved).
     pub fn execute_query(&mut self, q: &Query) -> Result<FleetQueryResponse, StorageError> {
-        let p = self.route(q.template_id);
-        let delivered = self.pump(p);
-        let resp = self.proxies[p].execute_query(q, &mut self.home)?;
+        let id = self.route(q.template_id);
+        let delivered = self.pump(id);
+        let i = self.idx(id);
+        let resp = self.replicas[i].dssp.execute_query(q, &mut self.home)?;
         Ok(FleetQueryResponse {
-            proxy: p,
+            proxy: id,
             resp,
             delivered,
         })
@@ -360,9 +697,10 @@ impl ProxyFleet {
     /// batch applies before this call returns.
     pub fn execute_update(&mut self, u: &Update) -> Result<FleetUpdateResponse, StorageError> {
         use crate::delivery::{FtUpdateOutcome, HomeLink, RetryPolicy};
-        let p = self.route(u.template_id);
-        self.pump(p);
-        let ft = self.proxies[p].execute_update_ft(
+        let id = self.route(u.template_id);
+        self.pump(id);
+        let i = self.idx(id);
+        let ft = self.replicas[i].dssp.execute_update_ft(
             u,
             &mut self.home,
             &HomeLink::reliable(),
@@ -378,7 +716,7 @@ impl ProxyFleet {
         // zero-latency pipes that includes the batch just sent).
         let delivered = self.pump_all();
         Ok(FleetUpdateResponse {
-            proxy: p,
+            proxy: id,
             resp: UpdateResponse {
                 effect,
                 scanned: delivered.scanned,
@@ -421,8 +759,9 @@ impl ProxyFleet {
             self.tenant,
             batch.msgs.first().map(|m| m.update.template_id as u32),
         );
-        let batch_id = self.prov.as_ref().map(|prov| {
-            prov.lock().unwrap().note_flush(
+        let prov = self.prov.clone();
+        let batch_id = prov.as_ref().map(|prov| {
+            Self::recovered_lock(prov, &mut self.prov_poison_recovered).note_flush(
                 batch.first_epoch,
                 batch.last_epoch,
                 batch.len() as u64,
@@ -432,10 +771,14 @@ impl ProxyFleet {
                 batch.retained_payloads(),
             )
         });
-        for (p, pipe) in self.pipes.iter_mut().enumerate() {
-            pipe.send(self.now_micros, batch.clone());
-            if let (Some(prov), Some(id)) = (&self.prov, batch_id) {
-                prov.lock().unwrap().note_send(p, id, self.now_micros);
+        for r in &mut self.replicas {
+            r.pipe.send(self.now_micros, batch.clone());
+            if let (Some(prov), Some(bid)) = (&prov, batch_id) {
+                Self::recovered_lock(prov, &mut self.prov_poison_recovered).note_send(
+                    r.id,
+                    bid,
+                    self.now_micros,
+                );
             }
         }
         self.spans.close(root, timer);
@@ -452,11 +795,11 @@ impl ProxyFleet {
         }
     }
 
-    /// Delivers every batch due at replica `p` (duplicates and gap
-    /// recoveries included in `batches`; their scans are not).
-    pub fn pump(&mut self, p: usize) -> DeliveryTotals {
+    /// Delivers every due batch at the replica in position `i`.
+    fn pump_at(&mut self, i: usize) -> DeliveryTotals {
         use crate::delivery::BatchOutcome;
-        let due = self.pipes[p].poll(self.now_micros);
+        let r = &mut self.replicas[i];
+        let due = r.pipe.poll(self.now_micros);
         let mut totals = DeliveryTotals {
             batches: due.len(),
             ..DeliveryTotals::default()
@@ -466,7 +809,7 @@ impl ProxyFleet {
                 scanned,
                 invalidated,
                 ..
-            } = self.proxies[p].apply_batch(&batch)
+            } = r.dssp.apply_batch(&batch)
             {
                 totals.scanned += scanned;
                 totals.invalidated += invalidated;
@@ -475,11 +818,21 @@ impl ProxyFleet {
         totals
     }
 
-    /// Delivers every due batch at every replica.
+    /// Delivers every batch due at the replica with stable id `id`
+    /// (duplicates and gap recoveries included in `batches`; their
+    /// scans are not).
+    pub fn pump(&mut self, id: usize) -> DeliveryTotals {
+        let i = self.idx(id);
+        self.pump_at(i)
+    }
+
+    /// Delivers every due batch at every live replica. Safe across
+    /// membership changes: it walks the live set, so a departed
+    /// replica's pipe is never touched.
     pub fn pump_all(&mut self) -> DeliveryTotals {
         let mut totals = DeliveryTotals::default();
-        for p in 0..self.proxies.len() {
-            totals.absorb(self.pump(p));
+        for i in 0..self.replicas.len() {
+            totals.absorb(self.pump_at(i));
         }
         totals
     }
@@ -490,60 +843,65 @@ impl ProxyFleet {
     pub fn set_sim_time_micros(&mut self, micros: u64) {
         self.now_micros = micros;
         self.home.set_sim_time_micros(micros);
-        for proxy in &mut self.proxies {
-            proxy.set_sim_time_micros(micros);
+        for r in &mut self.replicas {
+            r.dssp.set_sim_time_micros(micros);
         }
         self.maybe_flush();
         self.pump_all();
     }
 
     /// End of run: ship whatever is buffered and deliver everything
-    /// still in flight, regardless of due time.
+    /// still in flight, regardless of due time. Like
+    /// [`ProxyFleet::pump_all`], walks only the live replica set.
     pub fn drain(&mut self) {
         self.flush_fanout();
-        for p in 0..self.proxies.len() {
-            let rest = self.pipes[p].drain();
+        for i in 0..self.replicas.len() {
+            let rest = self.replicas[i].pipe.drain();
             for batch in rest {
-                self.proxies[p].apply_batch(&batch);
+                self.replicas[i].dssp.apply_batch(&batch);
             }
         }
     }
 
     /// Stamps the tenant label on every replica's trace events (set by
-    /// `DsspNode` registration).
+    /// `DsspNode` registration). Joiners inherit the label.
     pub fn set_tenant_label(&mut self, tenant: u32) {
         self.tenant = tenant;
-        for proxy in &mut self.proxies {
-            proxy.set_tenant_label(tenant);
+        for r in &mut self.replicas {
+            r.dssp.set_tenant_label(tenant);
         }
     }
 
     /// Crash + restart one replica: its cache is lost and its epoch
     /// re-handshakes from the home server (see [`Dssp::restart`]). The
     /// other replicas are untouched — recovery is independent.
-    pub fn restart_proxy(&mut self, p: usize) {
+    pub fn restart_proxy(&mut self, id: usize) {
         let epoch = self.home.epoch();
-        self.proxies[p].restart(epoch);
+        let i = self.idx(id);
+        self.replicas[i].dssp.restart(epoch);
     }
 
+    /// Live replica count.
     pub fn len(&self) -> usize {
-        self.proxies.len()
+        self.replicas.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.proxies.is_empty()
+        self.replicas.is_empty()
     }
 
     pub fn routing(&self) -> RoutingMode {
         self.routing
     }
 
-    pub fn proxy(&self, p: usize) -> &Dssp {
-        &self.proxies[p]
+    /// The replica with stable id `id` (panics when not live).
+    pub fn proxy(&self, id: usize) -> &Dssp {
+        &self.replicas[self.idx(id)].dssp
     }
 
-    pub fn proxy_mut(&mut self, p: usize) -> &mut Dssp {
-        &mut self.proxies[p]
+    pub fn proxy_mut(&mut self, id: usize) -> &mut Dssp {
+        let i = self.idx(id);
+        &mut self.replicas[i].dssp
     }
 
     pub fn home(&self) -> &HomeServer {
@@ -565,15 +923,16 @@ impl ProxyFleet {
             batches: self.batches,
             msgs: self.msgs,
             coalesced: self.coalesced,
-            pipes: self.pipes.iter().map(|p| p.stats()).collect(),
+            poison_recovered: self.prov_poison_recovered,
+            pipes: self.replicas.iter().map(|r| r.pipe.stats()).collect(),
         }
     }
 
     /// Fleet-wide counter roll-up ([`DsspStats::merge`] across replicas).
     pub fn rollup_stats(&self) -> DsspStats {
         let mut total = DsspStats::default();
-        for proxy in &self.proxies {
-            total.merge(&proxy.stats());
+        for r in &self.replicas {
+            total.merge(&r.dssp.stats());
         }
         total
     }
@@ -582,15 +941,15 @@ impl ProxyFleet {
     /// one snapshot.
     pub fn rollup_metrics(&self) -> scs_telemetry::MetricsSnapshot {
         let mut total = scs_telemetry::MetricsSnapshot::default();
-        for proxy in &self.proxies {
-            total.merge(&proxy.registry().snapshot());
+        for r in &self.replicas {
+            total.merge(&r.dssp.registry().snapshot());
         }
         total
     }
 
     /// Total cached entries across replicas.
     pub fn total_cache_entries(&self) -> usize {
-        self.proxies.iter().map(|p| p.cache_len()).sum()
+        self.replicas.iter().map(|r| r.dssp.cache_len()).sum()
     }
 }
 
@@ -707,7 +1066,7 @@ mod tests {
         .fleet;
         let mut used = std::collections::HashSet::new();
         for tid in 0..64 {
-            used.insert(fleet.route_by_hash(tid));
+            used.insert(fleet.route_template(tid));
         }
         assert_eq!(used.len(), 4, "64 templates must touch every replica");
     }
@@ -952,5 +1311,117 @@ mod tests {
         assert_eq!(f.fleet.proxy(1).cache_len(), 0);
         // Replica 0 is untouched by its peer's crash.
         assert_eq!(f.fleet.proxy(0).epoch(), f.fleet.home().epoch());
+    }
+
+    #[test]
+    fn join_warms_the_new_replica_and_keeps_entries_moving_not_copying() {
+        let mut f = fixture(
+            StrategyKind::ViewInspection,
+            FleetConfig::reliable(2, RoutingMode::HashByTemplate),
+        );
+        // Warm both templates (they may land on the same replica —
+        // hash routing, not round robin).
+        f.query(0, vec![Value::str("bear")]);
+        f.query(1, vec![Value::Int(2)]);
+        let before = f.fleet.total_cache_entries();
+        assert_eq!(before, 2);
+        let out = f.fleet.add_replica();
+        assert!(!out.aborted);
+        assert_eq!(out.replica, 2);
+        assert_eq!(f.fleet.len(), 3);
+        assert_eq!(f.fleet.membership_epoch(), 1);
+        // Handoff moves entries, never duplicates them.
+        assert_eq!(f.fleet.total_cache_entries(), before);
+        assert_eq!(out.skipped, 0, "reliable fleet always cursor-matches");
+        // Everything the joiner now owns was handed to it.
+        let owned_by_joiner = f.fleet.proxy(2).cache_len() as u64;
+        assert_eq!(out.handed, owned_by_joiner);
+        // Queries for handed templates hit the joiner's warm cache.
+        for tid in 0..2usize {
+            if f.fleet.route_template(tid) == 2 {
+                let resp = f.query(tid, vec![Value::Int(2)]);
+                let _ = resp; // params differ per template; warmth is
+                              // asserted via handed == cache_len above.
+            }
+        }
+        // The joiner is a full fanout citizen: an update reaches it.
+        f.update(0, vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(f.fleet.proxy(2).epoch(), f.fleet.home().epoch());
+    }
+
+    #[test]
+    fn leave_hands_entries_to_successors_and_frees_the_pipe() {
+        let mut f = fixture(
+            StrategyKind::ViewInspection,
+            FleetConfig::reliable(3, RoutingMode::HashByTemplate),
+        );
+        f.query(0, vec![Value::str("car")]);
+        f.query(1, vec![Value::Int(1)]);
+        let before = f.fleet.total_cache_entries();
+        let victim = f.fleet.route_template(1);
+        let out = f.fleet.remove_replica(victim);
+        assert_eq!(out.replica, victim);
+        assert_eq!(out.skipped, 0, "reliable fleet always cursor-matches");
+        assert_eq!(f.fleet.len(), 2);
+        assert!(!f.fleet.replica_ids().contains(&victim));
+        // Entries moved to survivors, none lost.
+        assert_eq!(f.fleet.total_cache_entries(), before);
+        // The departed pipe is gone from the home registry and from
+        // fanout: updates and pumps must not touch it.
+        assert!(!f
+            .fleet
+            .home()
+            .registered_pipes()
+            .iter()
+            .any(|p| p.replica == victim));
+        f.update(0, vec![Value::Int(9), Value::Int(1)]);
+        f.fleet.pump_all();
+        f.fleet.drain();
+        // And the template the victim owned routes to a live replica.
+        let owner = f.fleet.route_template(1);
+        assert!(f.fleet.replica_ids().contains(&owner));
+    }
+
+    #[test]
+    fn aborted_join_leaves_routing_byte_identical() {
+        let mut f = fixture(
+            StrategyKind::ViewInspection,
+            FleetConfig::reliable(2, RoutingMode::HashByTemplate),
+        );
+        f.query(1, vec![Value::Int(2)]);
+        let ring_before = f.fleet.ring().to_vec();
+        let pipes_before = f.fleet.home().registered_pipes().to_vec();
+        let out = f.fleet.add_replica_faulted(HandoffFault::CrashJoiner);
+        assert!(out.aborted);
+        assert_eq!(f.fleet.len(), 2);
+        assert_eq!(f.fleet.ring(), &ring_before[..], "ring untouched");
+        assert_eq!(f.fleet.home().registered_pipes(), &pipes_before[..]);
+        assert_eq!(f.fleet.membership_epoch(), 0);
+        // The aborted id is burned, never reused.
+        let next = f.fleet.add_replica();
+        assert_eq!(next.replica, 3);
+    }
+
+    #[test]
+    fn stable_ids_survive_interleaved_joins_and_leaves() {
+        let mut f = fixture(
+            StrategyKind::ViewInspection,
+            FleetConfig::reliable(2, RoutingMode::HashByTemplate),
+        );
+        let j = f.fleet.add_replica();
+        assert_eq!(j.replica, 2);
+        f.fleet.remove_replica(0);
+        assert_eq!(f.fleet.replica_ids(), vec![1, 2]);
+        // Operations keep working against the sparse id set.
+        f.query(1, vec![Value::Int(2)]);
+        f.update(0, vec![Value::Int(3), Value::Int(2)]);
+        for id in f.fleet.replica_ids() {
+            assert_eq!(f.fleet.proxy(id).epoch(), f.fleet.home().epoch());
+        }
+        // Round-trip another membership change and drain cleanly.
+        let k = f.fleet.add_replica();
+        assert_eq!(k.replica, 3);
+        f.fleet.drain();
+        assert_eq!(f.fleet.membership_epoch(), 3);
     }
 }

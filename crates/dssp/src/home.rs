@@ -9,7 +9,7 @@
 //! the one failure mode a transparent-invalidation system must rule
 //! out — into detected, recoverable events.
 
-use crate::delivery::InvalidationMsg;
+use crate::delivery::{InvalidationMsg, PipeRegistration};
 use scs_sqlkit::{Query, Update};
 use scs_storage::{Database, QueryResult, StorageError, UpdateEffect};
 use scs_telemetry::SharedProvenance;
@@ -36,6 +36,10 @@ pub struct HomeServer {
     /// The freshness plane, when a harness attached one: every applied
     /// update stamps its epoch's commit here.
     prov: Option<SharedProvenance>,
+    /// Fanout pipes currently registered, in registration order — the
+    /// home-side membership view an elastic fleet maintains through
+    /// [`HomeServer::register_pipe`] / [`HomeServer::unregister_pipe`].
+    pipes: Vec<PipeRegistration>,
 }
 
 impl HomeServer {
@@ -48,6 +52,7 @@ impl HomeServer {
             service_nanos: 0,
             now_micros: 0,
             prov: None,
+            pipes: Vec::new(),
         }
     }
 
@@ -110,6 +115,39 @@ impl HomeServer {
     /// handshake after a restart.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Registers a fanout pipe for `replica` and returns the current
+    /// epoch — the pipe's initial cursor. A joining replica calls this
+    /// *before* entering the routing ring: from this epoch on, every
+    /// invalidation is owed to (and will be offered on) its pipe, and
+    /// everything at or below it is already reflected in the master
+    /// state the replica warms from. Registering an already-registered
+    /// replica is a bug in the membership protocol and panics.
+    pub fn register_pipe(&mut self, replica: usize) -> u64 {
+        assert!(
+            !self.pipes.iter().any(|p| p.replica == replica),
+            "replica {replica} already has a registered pipe"
+        );
+        self.pipes.push(PipeRegistration {
+            replica,
+            joined_epoch: self.epoch,
+        });
+        self.epoch
+    }
+
+    /// Unregisters `replica`'s fanout pipe (the final step of a leave or
+    /// of a join rollback); returns its registration if it was present.
+    /// After this, no further batches are owed to the replica.
+    pub fn unregister_pipe(&mut self, replica: usize) -> Option<PipeRegistration> {
+        let i = self.pipes.iter().position(|p| p.replica == replica)?;
+        Some(self.pipes.remove(i))
+    }
+
+    /// The registered fanout pipes, in registration order — the home's
+    /// view of fleet membership, with each pipe's join-epoch cursor.
+    pub fn registered_pipes(&self) -> &[PipeRegistration] {
+        &self.pipes
     }
 
     /// Read access for tests and ground-truth checks (not part of the DSSP

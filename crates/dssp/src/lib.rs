@@ -38,6 +38,7 @@
 pub mod admission;
 pub mod cache;
 pub mod delivery;
+pub mod elastic;
 pub mod fleet;
 pub mod home;
 pub mod proxy;
@@ -55,7 +56,11 @@ pub use admission::{
 pub use cache::{CacheEntry, CacheKey, Lookup, ResultCache, StoreOutcome};
 pub use delivery::{
     BatchOutcome, DeliveryOutcome, FtOutcome, FtQueryResponse, FtUpdateOutcome, FtUpdateResponse,
-    HomeLink, InvalidationBatch, InvalidationMsg, RecoveryMode, RetryPolicy,
+    HomeLink, InvalidationBatch, InvalidationMsg, PipeRegistration, RecoveryMode, RetryPolicy,
+};
+pub use elastic::{
+    Autoscaler, AutoscalerConfig, HandoffFault, JoinOutcome, LeaveOutcome, ScaleAction,
+    ScaleDecision,
 };
 pub use fleet::{
     DeliveryTotals, FanoutConfig, FanoutStats, FleetConfig, FleetQueryResponse,

@@ -220,6 +220,9 @@ struct ProxyMetrics {
     home_unavailable: Counter,
     degraded_serves: Counter,
     restarts: Counter,
+    // Elastic-membership counters (all zero in a static fleet).
+    handoff_exported: Counter,
+    handoff_imported: Counter,
     // Overload-protection counters (all zero when protection is off).
     shed_admission: Counter,
     shed_breaker_open: Counter,
@@ -271,6 +274,8 @@ impl ProxyMetrics {
             home_unavailable: registry.counter("dssp.home_unavailable"),
             degraded_serves: registry.counter("dssp.degraded_serves"),
             restarts: registry.counter("dssp.restarts"),
+            handoff_exported: registry.counter("dssp.handoff_exported"),
+            handoff_imported: registry.counter("dssp.handoff_imported"),
             shed_admission: registry.counter("dssp.shed_admission"),
             shed_breaker_open: registry.counter("dssp.shed_breaker_open"),
             shed_brownout: registry.counter("dssp.shed_brownout"),
@@ -1402,6 +1407,67 @@ impl Dssp {
     /// Last invalidation-stream epoch this proxy has applied or covered.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Sets a fresh joiner's epoch cursor to the home server's epoch at
+    /// pipe registration. Unlike [`Dssp::restart`] this neither clears
+    /// the cache nor counts as a crash: the joiner starts empty anyway,
+    /// and every update ≤ `home_epoch` is already reflected in the
+    /// master state it warms from, while every later one arrives on its
+    /// own newly-registered pipe.
+    pub fn handshake(&mut self, home_epoch: u64) {
+        self.epoch = home_epoch;
+    }
+
+    /// Extracts the cached entries selected by `select` for handoff to
+    /// another replica, removing them locally. Used by the elastic fleet
+    /// when ring arcs change owner on a join or leave.
+    pub fn export_entries_where(
+        &mut self,
+        select: impl FnMut(&crate::cache::CacheEntry) -> bool,
+    ) -> Vec<crate::cache::CacheEntry> {
+        let out = self.cache.extract_where(select);
+        self.metrics.handoff_exported.add(out.len() as u64);
+        self.metrics.cache_entries.set(self.cache.len() as i64);
+        out
+    }
+
+    /// Imports entries handed off by a donor replica, preserving their
+    /// original lease windows and stored epochs so the staleness bound
+    /// survives the transfer. Returns how many were actually admitted
+    /// (already-expired entries are dropped on arrival).
+    pub fn import_entries(&mut self, entries: Vec<crate::cache::CacheEntry>) -> usize {
+        let mut admitted = 0usize;
+        for e in entries {
+            if self.cache.import(e) {
+                admitted += 1;
+            }
+        }
+        self.metrics.handoff_imported.add(admitted as u64);
+        self.metrics.cache_entries.set(self.cache.len() as i64);
+        admitted
+    }
+
+    /// Emits the membership trace event for this replica joining the
+    /// ring, with the epoch cursor it joined at and how many entries it
+    /// was handed during warming.
+    pub fn note_join(&mut self, epoch: u64, handed: u64) {
+        self.tracer.emit(
+            self.now_micros,
+            self.tenant,
+            TraceEventKind::ReplicaJoin { epoch, handed },
+        );
+    }
+
+    /// Emits the membership trace event for this replica leaving the
+    /// ring, with its final applied epoch and how many entries it handed
+    /// to its successors.
+    pub fn note_leave(&mut self, epoch: u64, handed: u64) {
+        self.tracer.emit(
+            self.now_micros,
+            self.tenant,
+            TraceEventKind::ReplicaLeave { epoch, handed },
+        );
     }
 
     /// Snapshot of the headline counters, derived from the registry (the

@@ -40,10 +40,16 @@ pub struct RunMetrics {
     pub window: Time,
     /// DSSP CPU utilization over the window. With a multi-node DSSP
     /// tier ([`crate::sim::SystemSpec::dssp_nodes`] > 1) this is the
-    /// *busiest* node's utilization.
+    /// busiest *live* node's utilization — a replica that left an
+    /// elastic fleet mid-run keeps its series slot below but is
+    /// excluded here.
     pub dssp_utilization: f64,
-    /// Per-node DSSP CPU utilization, indexed by proxy node. Length =
-    /// `dssp_nodes` (a single entry for classic runs).
+    /// Per-node DSSP CPU utilization, indexed by **stable replica id**
+    /// (ids are never reused, so the series is append-only). For a
+    /// static fleet that is `dssp_nodes` dense entries (a single entry
+    /// for classic runs); an elastic fleet grows the vector as joiners
+    /// take ids past the initial count, and a departed replica's slot
+    /// stays — its utilization simply freezes once it stops serving.
     pub dssp_node_utilization: Vec<f64>,
     /// Home-server CPU utilization over the window.
     pub home_utilization: f64,

@@ -70,6 +70,22 @@ pub trait Workload {
     /// before each [`Workload::execute_op`] — workloads that carry
     /// telemetry stamp their trace events with it. Default: ignored.
     fn observe_time(&mut self, _now: Time) {}
+
+    /// Multiplier on the client *arrival rate* at simulated time `now`
+    /// (think time is divided by it). Elastic workloads use this to
+    /// shape flash crowds without touching `SimConfig`; the default is
+    /// a flat 1.0.
+    fn think_multiplier(&self, _now: Time) -> f64 {
+        1.0
+    }
+
+    /// Stable ids of the proxy nodes that are *live* right now, for
+    /// workloads whose fleet changes membership mid-run. `None` (the
+    /// default) means every node that ever served is live — the static
+    /// fleet case.
+    fn live_proxies(&self) -> Option<Vec<usize>> {
+        None
+    }
 }
 
 /// Network and node parameters (defaults = the paper's §5.2 testbed).
@@ -274,13 +290,15 @@ pub fn run_observed(
                 if let Some(ts) = series.as_mut() {
                     ts.incr(ev.at, "ops");
                 }
-                debug_assert!(
-                    cost.proxy < nodes,
-                    "op routed to proxy {} of {nodes}",
-                    cost.proxy
-                );
-                let dssp_served =
-                    dssp_cpus[cost.proxy.min(nodes - 1)].serve_traced(ev.at, cost.dssp_cpu);
+                // Stable replica ids can exceed the configured node
+                // count once an elastic fleet has joined replicas
+                // mid-run: grow the tier on demand, one service center
+                // per id ever routed to.
+                if cost.proxy >= dssp_cpus.len() {
+                    dssp_cpus
+                        .resize_with(cost.proxy + 1, || ServiceCenter::new(cfg.spec.dssp_servers));
+                }
+                let dssp_served = dssp_cpus[cost.proxy].serve_traced(ev.at, cost.dssp_cpu);
                 hist.dssp.record(ev.at, dssp_served);
                 let ready = match &cost.home_trip {
                     Some(trip) => {
@@ -316,7 +334,11 @@ pub fn run_observed(
                         }
                     }
                     clients[c].ops_done = 0;
-                    let think = exponential(&mut rng, cfg.think_mean);
+                    // Flash-crowd shaping: a multiplier > 1 shrinks the
+                    // think pause, multiplying the arrival rate.
+                    let mult = workload.think_multiplier(ev.at).max(f64::MIN_POSITIVE);
+                    let mean = ((cfg.think_mean as f64 / mult).round() as Time).max(1);
+                    let think = exponential(&mut rng, mean);
                     push(&mut heap, &mut seq, ev.at + think, c, EventKind::Issue);
                 }
             }
@@ -325,13 +347,22 @@ pub fn run_observed(
 
     let horizon = cfg.duration;
     metrics.dssp_node_utilization = dssp_cpus.iter().map(|c| c.utilization(horizon)).collect();
-    // The headline DSSP utilization is the *busiest* node: that is the
-    // replica whose queue bends the response-time curve.
-    metrics.dssp_utilization = metrics
-        .dssp_node_utilization
-        .iter()
-        .copied()
-        .fold(0.0, f64::max);
+    // The headline DSSP utilization is the busiest *live* node: that is
+    // the replica whose queue bends the response-time curve. Departed
+    // replicas keep their slot in the per-node series (ids are stable)
+    // but can't be the bottleneck of anything anymore.
+    metrics.dssp_utilization = match workload.live_proxies() {
+        Some(live) => live
+            .iter()
+            .filter_map(|&id| metrics.dssp_node_utilization.get(id))
+            .copied()
+            .fold(0.0, f64::max),
+        None => metrics
+            .dssp_node_utilization
+            .iter()
+            .copied()
+            .fold(0.0, f64::max),
+    };
     metrics.home_utilization = home_cpu.utilization(horizon);
     metrics.home_link_utilization = home_link.down.utilization(horizon);
     metrics.hit_rate = workload.hit_rate();

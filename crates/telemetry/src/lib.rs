@@ -51,7 +51,10 @@ pub mod trace;
 pub use attribution::AttributionMatrix;
 pub use hist::{HistogramSnapshot, LogHistogram};
 pub use json::Json;
-pub use provenance::{shared_provenance, ApplyKind, FlushTrigger, ProvenanceLog, SharedProvenance};
+pub use provenance::{
+    shared_provenance, ApplyKind, FlushTrigger, MembershipKind, MembershipStamp, ProvenanceLog,
+    SharedProvenance,
+};
 pub use registry::{Counter, Gauge, MetricsRegistry, MetricsSnapshot};
 pub use slo::{evaluate_all, Objective, SloResult, SloSpec};
 pub use span::{CriticalPathRow, Span, SpanId, SpanPhase, SpanRecorder, SpanTimer};

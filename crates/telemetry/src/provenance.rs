@@ -277,6 +277,50 @@ impl Conservation {
     }
 }
 
+/// A fleet-membership transition, stamped on the freshness plane so
+/// conservation and staleness accounting can be cut at membership
+/// epochs. `Handoff` stamps carry the peer (`Some(donor)` on a join,
+/// `Some(successor)` on a leave) and the entry count that moved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MembershipKind {
+    /// A replica registered its pipe, warmed, and entered the ring.
+    Join,
+    /// A replica drained, handed off, and unregistered its pipe.
+    Leave,
+    /// A join was rolled back before ring entry (joiner crash); the
+    /// ring never changed and the pipe was unregistered.
+    AbortJoin,
+    /// A batch of cache entries moved between replicas during a
+    /// membership transition.
+    Handoff,
+}
+
+impl MembershipKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            MembershipKind::Join => "join",
+            MembershipKind::Leave => "leave",
+            MembershipKind::AbortJoin => "abort_join",
+            MembershipKind::Handoff => "handoff",
+        }
+    }
+}
+
+/// One membership transition on the plane's timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MembershipStamp {
+    pub kind: MembershipKind,
+    /// The replica joining/leaving (or receiving, for `Handoff`).
+    pub replica: usize,
+    /// The other side of a `Handoff` (donor on join, successor on leave).
+    pub peer: Option<usize>,
+    /// Cache entries that moved (`Handoff`) or 0.
+    pub entries: u64,
+    pub at_micros: u64,
+    /// Home update epoch at the transition.
+    pub home_epoch: u64,
+}
+
 /// The freshness plane's event log. See the module docs for the model.
 #[derive(Debug, Default)]
 pub struct ProvenanceLog {
@@ -286,6 +330,7 @@ pub struct ProvenanceLog {
     batch_by_first: HashMap<u64, usize>,
     replicas: Vec<ReplicaLog>,
     amplification: Vec<Amplification>,
+    membership: Vec<MembershipStamp>,
 }
 
 impl ProvenanceLog {
@@ -298,6 +343,28 @@ impl ProvenanceLog {
 
     pub fn replica_count(&self) -> usize {
         self.replicas.len()
+    }
+
+    /// Grows the per-replica logs to cover stable replica id `id` — an
+    /// elastic fleet registers each joiner here before any stamp can
+    /// name it. Ids already covered are a no-op; a departed replica's
+    /// log is retained so conservation stays checkable across
+    /// membership epochs.
+    pub fn register_replica(&mut self, id: usize) {
+        if self.replicas.len() <= id {
+            self.replicas.resize_with(id + 1, ReplicaLog::default);
+        }
+    }
+
+    /// Stamps a membership transition (join/leave/abort/handoff).
+    pub fn note_membership(&mut self, stamp: MembershipStamp) {
+        self.register_replica(stamp.replica);
+        self.membership.push(stamp);
+    }
+
+    /// The membership timeline, in stamp order.
+    pub fn membership(&self) -> &[MembershipStamp] {
+        &self.membership
     }
 
     pub fn replica(&self, r: usize) -> &ReplicaLog {
@@ -845,6 +912,20 @@ impl ProvenanceLog {
                 ])
             })
             .collect();
+        let membership: Vec<Json> = self
+            .membership
+            .iter()
+            .map(|m| {
+                Json::obj([
+                    ("kind", m.kind.name().into()),
+                    ("replica", (m.replica as u64).into()),
+                    ("peer", m.peer.map(|p| p as u64).into()),
+                    ("entries", m.entries.into()),
+                    ("at_micros", m.at_micros.into()),
+                    ("home_epoch", m.home_epoch.into()),
+                ])
+            })
+            .collect();
         Json::obj([
             ("commits", (self.commits.len() as u64).into()),
             ("batches", (self.batches.len() as u64).into()),
@@ -854,6 +935,7 @@ impl ProvenanceLog {
             ),
             ("replicas", Json::from(replicas)),
             ("amplification", Json::from(amplification)),
+            ("membership", Json::from(membership)),
         ])
     }
 }
@@ -1123,6 +1205,46 @@ mod tests {
         let amp = parsed.get("amplification").unwrap().index(0).unwrap();
         assert_eq!(amp.get("scanned").unwrap().as_u64(), Some(10));
         assert_eq!(amp.get("fanout_bytes").unwrap().as_u64(), Some(16));
+    }
+
+    #[test]
+    fn membership_stamps_grow_the_replica_logs() {
+        let mut log = ProvenanceLog::new(2);
+        log.note_membership(MembershipStamp {
+            kind: MembershipKind::Join,
+            replica: 2,
+            peer: None,
+            entries: 0,
+            at_micros: 500,
+            home_epoch: 7,
+        });
+        // The joiner's log exists and can take stamps immediately.
+        assert_eq!(log.replica_count(), 3);
+        log.note_commit(8, 0, 510, 8);
+        let b = log.note_flush(8, 8, 1, 0, 520, FlushTrigger::Inline, vec![(0, 8)]);
+        log.note_send(2, b, 520);
+        log.note_arrival(
+            2,
+            b,
+            530,
+            ApplyKind::Applied {
+                applied: 1,
+                skipped: 0,
+            },
+            7,
+            8,
+        );
+        let c = log.conservation(2, 8);
+        assert!(c.balanced());
+        assert_eq!(c.applied, 1);
+        // The timeline is in the summary.
+        let doc = log.summary_json();
+        let m = doc.get("membership").unwrap().index(0).unwrap();
+        assert_eq!(m.get("kind").unwrap().as_str(), Some("join"));
+        assert_eq!(m.get("home_epoch").unwrap().as_u64(), Some(7));
+        // Registering an already-covered id is a no-op.
+        log.register_replica(1);
+        assert_eq!(log.replica_count(), 3);
     }
 
     #[test]

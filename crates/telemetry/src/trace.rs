@@ -61,6 +61,14 @@ pub enum TraceEventKind {
     /// Brownout mode engaged (`active = true`) or released. While
     /// active, within-lease hits serve degraded and misses fast-reject.
     BrownoutMode { active: bool },
+    /// A replica joined an elastic fleet: its fanout pipe is registered
+    /// and its epoch cursor handshaken to `epoch`; `handed` entries were
+    /// warmed over from predecessor replicas before it entered the ring.
+    ReplicaJoin { epoch: u64, handed: u64 },
+    /// A replica left an elastic fleet after draining: `handed` of its
+    /// hot entries moved to the successor replicas, and its pipe was
+    /// unregistered at home epoch `epoch`.
+    ReplicaLeave { epoch: u64, handed: u64 },
 }
 
 impl TraceEventKind {
@@ -86,6 +94,8 @@ impl TraceEventKind {
             TraceEventKind::BreakerTransition { .. } => "breaker_close",
             TraceEventKind::BrownoutMode { active: true } => "brownout_enter",
             TraceEventKind::BrownoutMode { active: false } => "brownout_exit",
+            TraceEventKind::ReplicaJoin { .. } => "replica_join",
+            TraceEventKind::ReplicaLeave { .. } => "replica_leave",
         }
     }
 }
@@ -180,6 +190,11 @@ impl TraceEvent {
             }
             TraceEventKind::BrownoutMode { active } => {
                 push("active", active as u64);
+            }
+            TraceEventKind::ReplicaJoin { epoch, handed }
+            | TraceEventKind::ReplicaLeave { epoch, handed } => {
+                push("epoch", epoch);
+                push("handed", handed);
             }
         }
         Json::Obj(fields)
@@ -509,6 +524,19 @@ mod tests {
         let restart = render(TraceEventKind::NodeRestart { epoch: 9 });
         assert_eq!(restart.get("event").unwrap().as_str(), Some("node_restart"));
         assert_eq!(restart.get("epoch").unwrap().as_u64(), Some(9));
+        let join = render(TraceEventKind::ReplicaJoin {
+            epoch: 5,
+            handed: 12,
+        });
+        assert_eq!(join.get("event").unwrap().as_str(), Some("replica_join"));
+        assert_eq!(join.get("epoch").unwrap().as_u64(), Some(5));
+        assert_eq!(join.get("handed").unwrap().as_u64(), Some(12));
+        let leave = render(TraceEventKind::ReplicaLeave {
+            epoch: 7,
+            handed: 3,
+        });
+        assert_eq!(leave.get("event").unwrap().as_str(), Some("replica_leave"));
+        assert_eq!(leave.get("handed").unwrap().as_u64(), Some(3));
     }
 
     #[test]
