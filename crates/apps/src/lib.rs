@@ -37,6 +37,7 @@ pub use overload::{
     OverloadCounters, OverloadReport, OverloadRunConfig,
 };
 pub use runner::{
-    measure_fleet_scalability, measure_scalability, run_fleet_trial, run_trial, BenchApp, Fidelity,
+    measure_fleet_scalability, measure_scalability, run_audited_trial, run_fleet_trial, run_trial,
+    BenchApp, Fidelity,
 };
 pub use trace::{replay, ReplayReport, Trace, TraceOp};

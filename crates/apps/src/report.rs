@@ -27,8 +27,9 @@ use std::path::PathBuf;
 /// regenerate stale baselines instead of comparing mismatched shapes.
 ///
 /// History: 1 = initial versioned schema; 2 = freshness-plane entries
-/// (`freshness.points` curves from the provenance log).
-pub const SCHEMA_VERSION: u64 = 2;
+/// (`freshness.points` curves from the provenance log); 3 = leakage
+/// audit plane (`dssp.leakage` ledgers) and `frontier` entries.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Environment variable overriding the output path of
 /// [`write_telemetry`].
@@ -89,6 +90,33 @@ pub fn trace_health_json(tracer: &Tracer) -> Json {
         ("events_dropped", tracer.events_dropped().into()),
         ("write_errors", tracer.write_errors().into()),
     ])
+}
+
+/// The `leakage` report section: what the proxy actually saw. With the
+/// audit plane attached this is the full ledger summary (per-template and
+/// per-tenant reveal counters, journal sink health, envelope seal/open
+/// meter); without it, `{"enabled": false}` — the plane is inert and
+/// there is nothing to report.
+pub fn leakage_json(dssp: &Dssp) -> Json {
+    let Some(audit) = dssp.audit() else {
+        return Json::obj([("enabled", false.into())]);
+    };
+    let mut doc = audit.lock().unwrap().summary_json();
+    let crypto: Json = dssp
+        .crypto_meter()
+        .map(|m| {
+            Json::obj([
+                ("seals", m.seals().into()),
+                ("seal_bytes", m.seal_bytes().into()),
+                ("opens", m.opens().into()),
+                ("open_bytes", m.open_bytes().into()),
+            ])
+        })
+        .into();
+    if let Json::Obj(kv) = &mut doc {
+        kv.push(("crypto".to_string(), crypto));
+    }
+    doc
 }
 
 /// SLO verdicts for one run as a JSON array (see `scs_telemetry::slo`).
@@ -209,6 +237,7 @@ pub fn dssp_telemetry_json(dssp: &Dssp) -> Json {
         ("faults", fault_counters_json(&faults)),
         ("trace", trace_health_json(dssp.tracer())),
         ("spans", dssp.spans().summary_json()),
+        ("leakage", leakage_json(dssp)),
     ])
 }
 
@@ -506,6 +535,11 @@ pub fn write_telemetry(report: &Json, default_path: &str) -> std::io::Result<Pat
     let path = PathBuf::from(
         std::env::var(TELEMETRY_OUT_ENV).unwrap_or_else(|_| default_path.to_string()),
     );
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
     let mut text = report.render_pretty();
     text.push('\n');
     std::fs::write(&path, text)?;

@@ -193,6 +193,27 @@ pub fn run_trial(
     scs_netsim::run(&cfg, &mut workload)
 }
 
+/// Like [`run_trial`] but with the leakage audit plane attached to the
+/// proxy: returns the run metrics together with the shared audit handle
+/// so callers can read the leakage ledger after the run. The op stream
+/// is identical to the unaudited trial's (same seed, same sampler).
+pub fn run_audited_trial(
+    app: BenchApp,
+    exposures: &Exposures,
+    users: usize,
+    fidelity: Fidelity,
+    seed: u64,
+) -> (RunMetrics, scs_telemetry::SharedAudit) {
+    let mut cfg = SimConfig::paper(users, seed);
+    cfg.duration = fidelity.duration_secs * scs_netsim::SEC;
+    cfg.warmup = fidelity.warmup_secs * scs_netsim::SEC;
+    let mut workload = app.workload(exposures.clone(), seed);
+    let audit = scs_telemetry::shared_audit(1);
+    workload.dssp_mut().attach_audit(audit.clone(), 0);
+    let metrics = scs_netsim::run(&cfg, &mut workload);
+    (metrics, audit)
+}
+
 /// Measures scalability (the paper's metric: max users with the 90th
 /// percentile response time under 2 s) for `app` under `exposures`.
 pub fn measure_scalability(

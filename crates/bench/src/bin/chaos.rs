@@ -7,7 +7,7 @@
 //! every fault surface disabled (must match the classic synchronous
 //! pipeline byte-for-byte) and once under the chaotic schedule — and
 //! prints the oracle verdict next to the proxy's fault/recovery counters.
-//! A `faults` section per run lands in `telemetry.json`
+//! A `faults` section per run lands in `artifacts/telemetry.json`
 //! (`$SCS_TELEMETRY_OUT` overrides the path; schema in `EXPERIMENTS.md`).
 //!
 //! Run: `cargo run -p scs-bench --bin chaos [--smoke] [--seed N]`
@@ -94,7 +94,10 @@ fn main() {
     );
     print!("{}", table.render());
 
-    match report::write_telemetry(&report::telemetry_report(entries), "telemetry.json") {
+    match report::write_telemetry(
+        &report::telemetry_report(entries),
+        "artifacts/telemetry.json",
+    ) {
         Ok(path) => println!("\ntelemetry written to {}", path.display()),
         Err(e) => eprintln!("\ntelemetry write failed: {e}"),
     }

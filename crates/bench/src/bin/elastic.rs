@@ -21,7 +21,7 @@
 //!   seed-robust — static-2 fails, static-4/8 pass, and the autoscaled
 //!   fleet passes with fewer node-seconds than either passing static.
 //!
-//! Output: `elastic.json` (`SCS_TELEMETRY_OUT` overrides) — the same
+//! Output: `artifacts/elastic.json` (`SCS_TELEMETRY_OUT` overrides) — the same
 //! entry schema the committed `BENCH_baseline.json` carries, so
 //! `regress --subset` can diff a smoke run against the full baseline.
 //! Exits nonzero when any acceptance check fails.
@@ -105,7 +105,10 @@ fn main() {
         }
     }
 
-    match report::write_telemetry(&report::telemetry_report(probe.entries), "elastic.json") {
+    match report::write_telemetry(
+        &report::telemetry_report(probe.entries),
+        "artifacts/elastic.json",
+    ) {
         Ok(path) => println!("\nElastic report written to {}", path.display()),
         Err(e) => {
             eprintln!("\nFailed to write elastic report: {e}");

@@ -12,7 +12,7 @@
 //! * **full encryption** — everything encrypted (MBS; x = 28).
 //!
 //! Every configuration's probe-run telemetry (per-template counts,
-//! attribution, latency histograms) is exported to `fig3_telemetry.json`
+//! attribution, latency histograms) is exported to `artifacts/fig3_telemetry.json`
 //! (`SCS_TELEMETRY_OUT` overrides; schema in `EXPERIMENTS.md`).
 //!
 //! Run: `cargo run -p scs-bench --release --bin fig3 [--full]`
@@ -177,7 +177,10 @@ fn main() {
     println!("Expected shape: 'our approach' matches 'no encryption' scalability;");
     println!("naive encryption degrades toward the 'full encryption' floor.");
 
-    match report::write_telemetry(&report::telemetry_report(entries), "fig3_telemetry.json") {
+    match report::write_telemetry(
+        &report::telemetry_report(entries),
+        "artifacts/fig3_telemetry.json",
+    ) {
         Ok(path) => println!("\nTelemetry written to {}", path.display()),
         Err(e) => eprintln!("\nFailed to write telemetry: {e}"),
     }

@@ -6,7 +6,7 @@
 //! Also prints the mechanism behind the figure: cache hit rate and
 //! invalidations per update at the measured knee, and exports the full
 //! telemetry (per-template counts, attribution matrix, latency
-//! histograms) for every probe run to `telemetry.json` — override the
+//! histograms) for every probe run to `artifacts/telemetry.json` — override the
 //! path with `SCS_TELEMETRY_OUT`. Schema: `EXPERIMENTS.md`.
 //!
 //! Run: `cargo run -p scs-bench --release --bin fig8 [--full]`
@@ -83,7 +83,10 @@ fn main() {
     println!("Paper's shape: MVIS >= MSIS >= MTIS >> MBS for every application;");
     println!("bboard (~10 queries/request) collapses under MTIS and MBS.");
 
-    match report::write_telemetry(&report::telemetry_report(entries), "telemetry.json") {
+    match report::write_telemetry(
+        &report::telemetry_report(entries),
+        "artifacts/telemetry.json",
+    ) {
         Ok(path) => println!("\nTelemetry written to {}", path.display()),
         Err(e) => eprintln!("\nFailed to write telemetry: {e}"),
     }

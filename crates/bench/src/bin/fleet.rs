@@ -17,7 +17,7 @@
 //!   scale-out shape (MVIS strictly rising, MBS near-flat) — CI's gate;
 //! * `--full`: all four strategies at the paper's 10-minute fidelity.
 //!
-//! Output: `fleet.json` (`SCS_TELEMETRY_OUT` overrides) — the same
+//! Output: `artifacts/fleet.json` (`SCS_TELEMETRY_OUT` overrides) — the same
 //! entry schema the committed `BENCH_baseline.json` carries, so
 //! `regress --subset` can diff a smoke run against the full baseline.
 //! Exits nonzero when any acceptance check fails.
@@ -68,7 +68,10 @@ fn main() {
     println!("Paper's shape: informed strategies scale out with added proxies;");
     println!("MBS stays pinned by the shared home server.");
 
-    match report::write_telemetry(&report::telemetry_report(probe.entries), "fleet.json") {
+    match report::write_telemetry(
+        &report::telemetry_report(probe.entries),
+        "artifacts/fleet.json",
+    ) {
         Ok(path) => println!("\nFleet report written to {}", path.display()),
         Err(e) => {
             eprintln!("\nFailed to write fleet report: {e}");

@@ -21,7 +21,7 @@
 //!   --subset` diffs like against like);
 //! * `--full`: longer windows and more users, for local investigation.
 //!
-//! Output: `freshness.json` (`SCS_TELEMETRY_OUT` overrides) — the same
+//! Output: `artifacts/freshness.json` (`SCS_TELEMETRY_OUT` overrides) — the same
 //! entry schema the committed `BENCH_baseline.json` carries, so
 //! `regress --subset` can diff a smoke run against the full baseline.
 //! Exits nonzero when any acceptance check fails.
@@ -82,7 +82,10 @@ fn main() {
 
     explain_demo();
 
-    match report::write_telemetry(&report::telemetry_report(probe.entries), "freshness.json") {
+    match report::write_telemetry(
+        &report::telemetry_report(probe.entries),
+        "artifacts/freshness.json",
+    ) {
         Ok(path) => println!("\nFreshness report written to {}", path.display()),
         Err(e) => {
             eprintln!("\nFailed to write freshness report: {e}");

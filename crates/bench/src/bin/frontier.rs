@@ -1,0 +1,139 @@
+//! The **security/scalability frontier**: leakage vs. max users across
+//! the exposure lattice — the paper's Step-3 "manual tradeoff" turned
+//! into a measured Pareto curve.
+//!
+//! For every uniform `UPDATE_LEVELS × QUERY_LEVELS` assignment, the
+//! greedy Step-2b assignment, and the cheapest residual Step-3 options
+//! around it, the probe runs one audited trial (what did the proxy
+//! actually see, in plaintext bytes per thousand ops?) and one
+//! scalability search (how many users under the 2-second p90 SLA?).
+//! Non-dominated points form the frontier; the greedy assignment must
+//! sit on the frontier of the uniform assignments.
+//!
+//! The run ends with an **explain demo**: one `explain_reveal` causal
+//! chain (request → decision path → exposure level → bytes) from the
+//! greedy run's reveal journal.
+//!
+//! Run: `cargo run -p scs-bench --release --bin frontier [--smoke|--full]`
+//! * default / `--smoke`: auction only, short windows — CI's gate, and
+//!   the fidelity the observatory commits to `BENCH_baseline.json`;
+//! * `--full`: all three applications, longer windows.
+//!
+//! Output: `artifacts/frontier.json` (`SCS_TELEMETRY_OUT` overrides) —
+//! the same entry schema the committed `BENCH_baseline.json` carries,
+//! so `regress --subset` can diff a smoke run against the baseline.
+//! Exits nonzero when any acceptance check fails.
+
+use scs_apps::{report, run_audited_trial, BenchApp, Fidelity};
+use scs_bench::frontier_probe::{self, FrontierFidelity};
+use scs_bench::TextTable;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let fidelity: FrontierFidelity = if full {
+        frontier_probe::full_fidelity()
+    } else {
+        frontier_probe::smoke_fidelity()
+    };
+    let apps: &[BenchApp] = if full {
+        &BenchApp::ALL
+    } else {
+        &[BenchApp::Auction]
+    };
+
+    println!("Frontier — leakage vs. max users across the exposure lattice");
+    println!(
+        "(apps {:?}; {} leakage users; seed {}; {} mode)\n",
+        apps.iter().map(|a| a.name()).collect::<Vec<_>>(),
+        frontier_probe::LEAKAGE_USERS,
+        frontier_probe::SEED,
+        if full { "full" } else { "smoke" }
+    );
+
+    let probe = frontier_probe::run_probe(apps, fidelity);
+
+    for curve in &probe.curves {
+        println!("== {} ==", curve.app.name());
+        let mut table = TextTable::new(&[
+            "Assignment",
+            "Kind",
+            "Updates",
+            "Queries",
+            "B/kop",
+            "Max users",
+            "Frontier",
+        ]);
+        let mut sorted: Vec<_> = curve.points.iter().collect();
+        sorted.sort_by(|a, b| {
+            a.leakage_per_kop
+                .total_cmp(&b.leakage_per_kop)
+                .then(a.max_users.cmp(&b.max_users))
+        });
+        for p in sorted {
+            table.row(&[
+                p.label.clone(),
+                p.kind.to_string(),
+                p.updates_strip.clone(),
+                p.queries_strip.clone(),
+                format!("{:.1}", p.leakage_per_kop),
+                p.max_users.to_string(),
+                if p.non_dominated { "*" } else { "" }.to_string(),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+    println!("Shape: '*' rows are Pareto non-dominated; greedy rides the");
+    println!("frontier of the uniform assignments (analysis is free).\n");
+
+    explain_demo();
+
+    match report::write_telemetry(
+        &report::telemetry_report(probe.entries),
+        "artifacts/frontier.json",
+    ) {
+        Ok(path) => println!("\nFrontier report written to {}", path.display()),
+        Err(e) => {
+            eprintln!("\nFailed to write frontier report: {e}");
+            std::process::exit(2);
+        }
+    }
+
+    if !probe.failures.is_empty() {
+        eprintln!("\n{} acceptance check(s) failed:", probe.failures.len());
+        for f in &probe.failures {
+            eprintln!("  FAIL {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("all frontier acceptance checks passed");
+}
+
+/// Runs one short audited greedy trial and prints an `explain_reveal`
+/// chain for the largest view-read event in the journal.
+fn explain_demo() {
+    println!("Explain demo — audited greedy auction run:");
+    let app = BenchApp::Auction;
+    let sweep = frontier_probe::assignments(app);
+    let greedy = sweep
+        .iter()
+        .find(|a| a.kind == "greedy")
+        .expect("sweep carries greedy");
+    let fid = Fidelity {
+        duration_secs: 20,
+        warmup_secs: 2,
+        max_users: 64,
+        resolution: 128,
+    };
+    let (_, audit) = run_audited_trial(app, &greedy.exposures, 32, fid, frontier_probe::SEED);
+    let log = audit.lock().unwrap();
+    let biggest = log
+        .events()
+        .iter()
+        .max_by_key(|e| e.stamp.bytes)
+        .map(|e| e.seq);
+    match biggest.and_then(|seq| log.explain_reveal(seq)) {
+        Some(doc) => println!("\nwhy-revealed (largest event):\n{}", doc.render_pretty()),
+        None => println!("\n(no reveal events in the journal — all-blind run?)"),
+    }
+}

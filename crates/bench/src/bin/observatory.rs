@@ -23,14 +23,23 @@
 //! * the elastic probe — the flash-crowd scenario run autoscaled and
 //!   at each bracketing static fleet size, with live join/leave
 //!   membership changes (the reference for the elastic detectors and
-//!   CI's `elastic --smoke` run).
+//!   CI's `elastic --smoke` run);
+//! * the frontier probe — the leakage-vs-max-users Pareto sweep over
+//!   the exposure lattice on the auction benchmark (the reference for
+//!   the leakage and frontier detectors and CI's `frontier --smoke`
+//!   run).
+//!
+//! The two fixed-population probe runs carry the **leakage audit
+//! plane**: every entry's `dssp.leakage` section holds the reveal
+//! ledger of what the proxy actually observed, so the baseline pins
+//! plaintext exposure alongside throughput.
 //!
 //! Every simulated quantity in the report is deterministic per seed;
 //! only the span `elapsed` wall-clock nanoseconds vary between machines,
 //! and `regress` ignores those.
 //!
 //! Run: `cargo run -p scs-bench --release --bin observatory`
-//! Output: `observatory.json` (`SCS_TELEMETRY_OUT` overrides).
+//! Output: `artifacts/observatory.json` (`SCS_TELEMETRY_OUT` overrides).
 //! Exits nonzero when any SLO fails — the same gate `regress` enforces
 //! on the diff against the baseline.
 
@@ -157,7 +166,30 @@ fn main() {
     failed.extend(elastic.failures.iter().cloned());
     entries.extend(elastic.entries);
 
-    match report::write_telemetry(&report::telemetry_report(entries), "observatory.json") {
+    // The frontier probe: leakage vs. max users across the exposure
+    // lattice, smoke fidelity (auction only) matching CI's `frontier
+    // --smoke` run — the reference for the leakage-rise and
+    // frontier-recession detectors.
+    let frontier = scs_bench::frontier_probe::run_probe(
+        &[BenchApp::Auction],
+        scs_bench::frontier_probe::smoke_fidelity(),
+    );
+    for curve in &frontier.curves {
+        let on_frontier = curve.points.iter().filter(|p| p.non_dominated).count();
+        println!(
+            "  [frontier/{}] {} assignments, {} on the Pareto frontier",
+            curve.app.name(),
+            curve.points.len(),
+            on_frontier
+        );
+    }
+    failed.extend(frontier.failures.iter().cloned());
+    entries.extend(frontier.entries);
+
+    match report::write_telemetry(
+        &report::telemetry_report(entries),
+        "artifacts/observatory.json",
+    ) {
         Ok(path) => println!("\nObservatory report written to {}", path.display()),
         Err(e) => {
             eprintln!("\nFailed to write observatory report: {e}");
@@ -182,6 +214,12 @@ fn probe(app: BenchApp, kind: StrategyKind) -> (Json, Vec<String>) {
     let exposures = kind.exposures(def.updates.len(), def.queries.len());
     let mut workload = app.workload(exposures, SEED);
     workload.dssp_mut().enable_span_recording(SPAN_CAPACITY);
+    // The leakage audit plane: the entry's `dssp.leakage` section pins
+    // what the proxy observed, so `regress` can catch a moved
+    // encryption boundary (`leakage_rise`) against this baseline.
+    workload
+        .dssp_mut()
+        .attach_audit(scs_telemetry::shared_audit(1), 0);
     let series = workload.attach_observatory(BUCKET);
 
     let mut cfg = SimConfig::paper(USERS, SEED);

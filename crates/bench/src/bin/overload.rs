@@ -6,7 +6,7 @@
 //! acceptance check — bounded p99 queueing delay, flat goodput while
 //! shedding, a complete breaker open → half-open → close cycle in the
 //! exported timeseries, and zero stale-beyond-lease serves. Entries land
-//! in `overload.json` (`$SCS_TELEMETRY_OUT` overrides the path; schema
+//! in `artifacts/overload.json` (`$SCS_TELEMETRY_OUT` overrides the path; schema
 //! in `EXPERIMENTS.md`), which CI diffs against `BENCH_baseline.json`
 //! with `regress --subset`.
 //!
@@ -95,7 +95,10 @@ fn main() {
     }
     print!("{}", curve.render());
 
-    match report::write_telemetry(&report::telemetry_report(probe.entries), "overload.json") {
+    match report::write_telemetry(
+        &report::telemetry_report(probe.entries),
+        "artifacts/overload.json",
+    ) {
         Ok(path) => println!("\noverload report written to {}", path.display()),
         Err(e) => eprintln!("\noverload report write failed: {e}"),
     }

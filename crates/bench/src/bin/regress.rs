@@ -26,7 +26,16 @@
 //!   verdict flipping from passed to failed (the autoscaler no longer
 //!   riding out the flash crowd), its epoch-conservation ledger
 //!   unbalancing, or its node-seconds waste growing past the
-//!   threshold.
+//!   threshold;
+//! * measured **leakage** rising past the threshold: a frontier point's
+//!   plaintext bytes per thousand ops growing, or an audited entry's
+//!   `dssp.leakage.revealed_bytes` ledger total growing (the proxy now
+//!   sees more plaintext than the baseline at the same exposure
+//!   assignment — an encryption-boundary regression);
+//! * a baseline frontier point that was Pareto non-dominated becoming
+//!   strictly dominated in the candidate (the security/scalability
+//!   frontier receded), or a swept assignment disappearing from the
+//!   frontier curve.
 //!
 //! Both reports must carry the current telemetry `schema_version`
 //! ([`scs_apps::report::SCHEMA_VERSION`]); a mismatch is a usage error
@@ -45,7 +54,7 @@
 //! carries those curves).
 //! `--subset` skips the disappearance detector, for diffing a candidate
 //! that deliberately re-runs only some baseline entries (CI's
-//! `overload.json` vs the full committed baseline).
+//! `artifacts/overload.json` vs the full committed baseline).
 //! `--json` additionally prints a machine-readable document to stdout —
 //! per-detector verdicts with entry keys — for CI annotations; the
 //! human-readable lines move to stderr.
@@ -428,6 +437,126 @@ fn elastic_drops(key: &str, base: &Json, cand: &Json, factor: f64, out: &mut Vec
     }
 }
 
+/// A frontier entry's per-assignment points, keyed by label.
+fn frontier_points(entry: &Json) -> Vec<(String, &Json)> {
+    entry
+        .get("frontier")
+        .and_then(|c| c.get("points"))
+        .and_then(Json::as_arr)
+        .map(|ps| {
+            ps.iter()
+                .filter_map(|p| Some((p.get("label")?.as_str()?.to_string(), p)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// An audited entry's leakage-ledger total (plaintext bytes the proxy
+/// observed), when the audit plane was enabled for the run.
+fn leakage_bytes(entry: &Json) -> Option<f64> {
+    let leakage = entry.get("dssp")?.get("leakage")?;
+    if leakage.get("enabled").and_then(Json::as_bool) != Some(true) {
+        return None;
+    }
+    leakage.get("revealed_bytes").and_then(Json::as_f64)
+}
+
+/// The leakage detectors: a frontier point's bytes-per-kop must not
+/// rise past the threshold at the same exposure assignment, no swept
+/// assignment may disappear, and an audited entry's ledger total must
+/// hold. Leakage rising with the code (not the assignment) means the
+/// encryption boundary moved — exactly the regression the audit plane
+/// exists to catch.
+fn leakage_rise(key: &str, base: &Json, cand: &Json, factor: f64, out: &mut Vec<Finding>) {
+    let cand_points: std::collections::BTreeMap<String, &Json> =
+        frontier_points(cand).into_iter().collect();
+    for (label, bp) in frontier_points(base) {
+        let Some(cp) = cand_points.get(&label) else {
+            out.push(Finding::new(
+                key,
+                "frontier_point_missing",
+                format!("{key}: assignment {label} disappeared from the frontier curve"),
+            ));
+            continue;
+        };
+        if let (Some(b), Some(c)) = (
+            bp.get("leakage_per_kop").and_then(Json::as_f64),
+            cp.get("leakage_per_kop").and_then(Json::as_f64),
+        ) {
+            if b > 0.0 && c > b * (1.0 + factor) {
+                out.push(Finding::new(
+                    key,
+                    "leakage_rise",
+                    format!(
+                        "{key}: leakage at assignment {label} rose from {b:.1} to {c:.1} \
+                         bytes/kop"
+                    ),
+                ));
+            }
+        }
+    }
+    if let (Some(b), Some(c)) = (leakage_bytes(base), leakage_bytes(cand)) {
+        if b > 0.0 && c > b * (1.0 + factor) {
+            out.push(Finding::new(
+                key,
+                "leakage_rise",
+                format!(
+                    "{key}: audited plaintext exposure rose from {b:.0} to {c:.0} revealed bytes"
+                ),
+            ));
+        }
+    }
+}
+
+/// `true` when candidate point `b` strictly Pareto-dominates `a`:
+/// at least as good on both axes, strictly better on one.
+fn point_dominates(b: &Json, a: &Json) -> bool {
+    let num = |p: &Json, f: &str| p.get(f).and_then(Json::as_f64);
+    let (Some(bl), Some(bu), Some(al), Some(au)) = (
+        num(b, "leakage_per_kop"),
+        num(b, "max_users"),
+        num(a, "leakage_per_kop"),
+        num(a, "max_users"),
+    ) else {
+        return false;
+    };
+    bl <= al && bu >= au && (bl < al || bu > au)
+}
+
+/// The frontier-recession detector: every baseline point that sat on
+/// the Pareto frontier must still be non-dominated among the
+/// candidate's points. A formerly-optimal assignment becoming strictly
+/// dominated means the tradeoff curve receded — some exposure level now
+/// buys less scalability (or leaks more) than it used to.
+fn frontier_dominated(key: &str, base: &Json, cand: &Json, out: &mut Vec<Finding>) {
+    let cand_points = frontier_points(cand);
+    for (label, bp) in frontier_points(base) {
+        if bp.get("non_dominated").and_then(Json::as_bool) != Some(true) {
+            continue;
+        }
+        let Some(cp) = cand_points
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, p)| *p)
+        else {
+            continue; // already reported by `frontier_point_missing`
+        };
+        if let Some((by, _)) = cand_points
+            .iter()
+            .find(|(l, other)| *l != label && point_dominates(other, cp))
+        {
+            out.push(Finding::new(
+                key,
+                "frontier_dominated",
+                format!(
+                    "{key}: assignment {label} was on the Pareto frontier but is now \
+                     strictly dominated by {by}"
+                ),
+            ));
+        }
+    }
+}
+
 /// The absolute knee-collapse check on one candidate entry: every curve
 /// point past the stored `knee_index` must hold at least
 /// `KNEE_HOLD_FRACTION` of the knee's goodput.
@@ -543,6 +672,8 @@ fn diff_with(base: &Json, cand: &Json, threshold_pct: f64, subset: bool) -> Vec<
         fleet_curve_drops(&key, b, c, factor, &mut out);
         freshness_drops(&key, b, c, factor, &mut out);
         elastic_drops(&key, b, c, factor, &mut out);
+        leakage_rise(&key, b, c, factor, &mut out);
+        frontier_dominated(&key, b, c, &mut out);
         out.extend(goodput_collapse(&key, c));
     }
     out
@@ -632,6 +763,33 @@ fn self_check(baseline: &Json, threshold_pct: f64) -> i32 {
             }
         }
     }
+    // And a baseline carrying a frontier curve must prove both the
+    // leakage-rise and frontier-recession detectors fire on the
+    // degraded points.
+    let has_frontier = entries(baseline)
+        .iter()
+        .any(|(_, e)| e.get("frontier").is_some());
+    if has_frontier {
+        for d in ["leakage_rise", "frontier_dominated"] {
+            if !tripped(d) {
+                eprintln!(
+                    "self-check FAILED: degraded frontier curve did not trip the {d} detector"
+                );
+                return 1;
+            }
+        }
+    }
+    // A baseline carrying an enabled leakage ledger must prove the
+    // ledger-total detector fires when the revealed-bytes count grows.
+    let has_leakage = entries(baseline)
+        .iter()
+        .any(|(_, e)| leakage_bytes(e).is_some_and(|b| b > 0.0));
+    if has_leakage && !tripped("leakage_rise") {
+        eprintln!(
+            "self-check FAILED: degraded leakage ledger did not trip the leakage_rise detector"
+        );
+        return 1;
+    }
     println!(
         "self-check passed: identity diff clean, degraded candidate tripped {} detector(s)",
         caught.len()
@@ -641,8 +799,9 @@ fn self_check(baseline: &Json, threshold_pct: f64) -> i32 {
 
 /// Halves throughput, overload goodput, and fleet knees, fails every
 /// SLO, bumps staleness counts, inflates freshness lag/stale-age/
-/// amplification, and collapses the goodput curve past its knee — the
-/// synthetic regression the self-check must catch.
+/// amplification, triples measured leakage and sinks a frontier point
+/// below the curve, and collapses the goodput curve past its knee —
+/// the synthetic regression the self-check must catch.
 fn degrade(mut doc: Json) -> Json {
     if let Some(Json::Arr(entries)) = get_mut(&mut doc, "entries") {
         for entry in entries {
@@ -715,6 +874,46 @@ fn degrade(mut doc: Json) -> Json {
                 }
                 if let Some(Json::Num(n)) = get_mut(elastic, "node_seconds") {
                     *n *= 2.0;
+                }
+            }
+            // Degrade the leakage plane the way a moved encryption
+            // boundary would: every frontier point leaks 3x the bytes,
+            // and the frontier's most-exposed non-dominated assignment
+            // loses its scalability payoff entirely — so a more secure
+            // point now strictly dominates it.
+            if let Some(curve) = get_mut(entry, "frontier") {
+                if let Some(Json::Arr(points)) = get_mut(curve, "points") {
+                    for p in points.iter_mut() {
+                        if let Some(Json::Num(v)) = get_mut(p, "leakage_per_kop") {
+                            *v *= 3.0;
+                        }
+                        if let Some(Json::Num(v)) = get_mut(p, "revealed_bytes") {
+                            *v *= 3.0;
+                        }
+                    }
+                    let sunk = points
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, p)| {
+                            p.get("non_dominated").and_then(Json::as_bool) == Some(true)
+                        })
+                        .max_by(|(_, a), (_, b)| {
+                            let leak = |p: &Json| p.get("leakage_per_kop").and_then(Json::as_f64);
+                            leak(a).partial_cmp(&leak(b)).unwrap()
+                        })
+                        .map(|(i, _)| i);
+                    if let Some(i) = sunk {
+                        if let Some(Json::Num(u)) = get_mut(&mut points[i], "max_users") {
+                            *u = 0.0;
+                        }
+                    }
+                }
+            }
+            if let Some(dssp) = get_mut(entry, "dssp") {
+                if let Some(leakage) = get_mut(dssp, "leakage") {
+                    if let Some(Json::Num(v)) = get_mut(leakage, "revealed_bytes") {
+                        *v *= 3.0;
+                    }
                 }
             }
             // Reshape the curve the way real collapse exports look: the

@@ -5,7 +5,7 @@
 //! `observatory` baseline run execute exactly this probe, so the
 //! regression gate diffs like against like: the committed
 //! `BENCH_baseline.json` elastic entries and the smoke run's
-//! `elastic.json` entries come from the same deterministic
+//! `artifacts/elastic.json` entries come from the same deterministic
 //! configurations.
 //!
 //! Each variant drives [`scs_apps::run_elastic`]: a closed-loop

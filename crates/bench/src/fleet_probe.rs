@@ -4,7 +4,7 @@
 //! Both the `fleet` binary (CI's `--smoke` gate) and the `observatory`
 //! baseline run execute exactly this probe, so the regression gate
 //! diffs like against like: the committed `BENCH_baseline.json` fleet
-//! entries and the smoke run's `fleet.json` entries come from the same
+//! entries and the smoke run's `artifacts/fleet.json` entries come from the same
 //! deterministic configurations.
 //!
 //! The probe runs in the DSSP-bound cost regime

@@ -6,7 +6,7 @@
 //! `observatory` baseline run execute exactly this probe, so the
 //! regression gate diffs like against like: the committed
 //! `BENCH_baseline.json` freshness entries and the smoke run's
-//! `freshness.json` entries come from the same deterministic
+//! `artifacts/freshness.json` entries come from the same deterministic
 //! configurations.
 //!
 //! Each point drives the auction benchmark through a [`ProxyFleet`]

@@ -1,0 +1,396 @@
+//! The security/scalability **frontier** probe: turns the paper's Step-3
+//! "manual tradeoff" into a measured Pareto curve.
+//!
+//! The paper leaves the final exposure assignment to an administrator
+//! weighing security against scalability (§4, Step 3). This probe makes
+//! that judgement quantitative: it sweeps the exposure lattice —
+//! every uniform `UPDATE_LEVELS × QUERY_LEVELS` assignment, the
+//! greedy Step-2b assignment from static analysis, and the residual
+//! Step-3 single-step reductions around it — and measures, for each
+//! assignment:
+//!
+//! * **leakage**: plaintext bytes the proxy actually observed per
+//!   thousand executed operations, from the [`scs_telemetry::AuditLog`]
+//!   ledger of a fixed-population audited trial; and
+//! * **scalability**: max users under the paper's 2-second 90th
+//!   percentile SLA, from the usual doubling-plus-bisection search.
+//!
+//! Points that no other assignment beats on both axes form the Pareto
+//! frontier. The acceptance checks pin the shape the paper's argument
+//! predicts: the frontier is non-trivial (≥ 3 non-dominated points),
+//! and the greedy assignment sits *on* the frontier of naive uniform
+//! assignments — security gained by analysis comes at no measured
+//! scalability cost.
+
+use scs_apps::{measure_scalability, run_audited_trial, BenchApp, Fidelity};
+use scs_core::{
+    compulsory_exposures, reduce_exposures, residual_options, ExposureLevel, Exposures,
+    SensitivityPolicy,
+};
+use scs_telemetry::Json;
+
+use crate::exposure_strip;
+
+/// Deterministic seed for every frontier trial.
+pub const SEED: u64 = 37;
+
+/// Fixed user population for the audited leakage trial. Leakage is
+/// normalized per thousand ops, so the absolute population only needs
+/// to be busy enough to exercise hits, misses, and invalidation scans.
+pub const LEAKAGE_USERS: usize = 48;
+
+/// How many residual Step-3 options to measure around the greedy
+/// assignment (cheapest first, by affected pairs). Each one is a full
+/// scalability search, so the probe bounds them.
+pub const RESIDUAL_LIMIT: usize = 3;
+
+/// Frontier fidelity: the scalability-search knobs plus the length of
+/// the fixed-population audited trial.
+#[derive(Debug, Clone, Copy)]
+pub struct FrontierFidelity {
+    /// Scalability-search fidelity (trial length, user cap, resolution).
+    pub search: Fidelity,
+    /// Simulated seconds of the audited leakage trial.
+    pub leakage_secs: u64,
+    /// Warmup of the audited leakage trial (audit meters the whole run;
+    /// warmup only affects the response-time stats, not the ledger).
+    pub leakage_warmup_secs: u64,
+}
+
+/// Smoke fidelity: short windows, but a search fine enough that the
+/// stmt- and view-level knees separate — the frontier's whole point is
+/// resolving *that* gap against the leakage axis.
+pub fn smoke_fidelity() -> FrontierFidelity {
+    FrontierFidelity {
+        search: Fidelity {
+            duration_secs: 30,
+            warmup_secs: 5,
+            max_users: 2_048,
+            resolution: 16,
+        },
+        leakage_secs: 60,
+        leakage_warmup_secs: 5,
+    }
+}
+
+/// Full fidelity: paper-style windows and a finer search.
+pub fn full_fidelity() -> FrontierFidelity {
+    FrontierFidelity {
+        search: Fidelity {
+            duration_secs: 120,
+            warmup_secs: 15,
+            max_users: 4_096,
+            resolution: 64,
+        },
+        leakage_secs: 180,
+        leakage_warmup_secs: 15,
+    }
+}
+
+/// One candidate exposure assignment in the sweep.
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    /// Stable label, e.g. `uniform_blind_template` or `greedy`.
+    pub label: String,
+    /// `uniform`, `greedy`, or `residual`.
+    pub kind: &'static str,
+    pub exposures: Exposures,
+}
+
+/// One measured point of the frontier.
+#[derive(Debug, Clone)]
+pub struct FrontierPoint {
+    pub label: String,
+    pub kind: &'static str,
+    pub updates_strip: String,
+    pub queries_strip: String,
+    /// Max users under the paper SLA.
+    pub max_users: usize,
+    /// Plaintext bytes the proxy observed, total over the audited trial.
+    pub revealed_bytes: u64,
+    /// Reveal events over the audited trial.
+    pub reveal_events: u64,
+    /// Ops executed in the audited trial (normalization denominator).
+    pub ops: u64,
+    /// `revealed_bytes / ops * 1000` — the leakage axis.
+    pub leakage_per_kop: f64,
+    /// No other measured point is at least as good on both axes and
+    /// strictly better on one.
+    pub non_dominated: bool,
+}
+
+/// One application's measured frontier.
+pub struct FrontierCurve {
+    pub app: BenchApp,
+    pub points: Vec<FrontierPoint>,
+}
+
+/// Everything the probe ran and concluded.
+pub struct FrontierProbe {
+    pub curves: Vec<FrontierCurve>,
+    /// One report entry per application (for the regression gate).
+    pub entries: Vec<Json>,
+    /// Violated acceptance checks; empty means the probe passed.
+    pub failures: Vec<String>,
+}
+
+/// Enumerates the sweep for `app`: all uniform lattice assignments, the
+/// greedy Step-2b assignment, and up to [`RESIDUAL_LIMIT`] residual
+/// Step-3 reductions around it (cheapest by affected pairs first).
+pub fn assignments(app: BenchApp) -> Vec<Assignment> {
+    let def = app.def();
+    let (nu, nq) = (def.updates.len(), def.queries.len());
+    let mut out = Vec::new();
+    for e_u in ExposureLevel::UPDATE_LEVELS {
+        for e_q in ExposureLevel::QUERY_LEVELS {
+            out.push(Assignment {
+                label: format!("uniform_{}_{}", e_u.as_str(), e_q.as_str()),
+                kind: "uniform",
+                exposures: Exposures {
+                    updates: vec![e_u; nu],
+                    queries: vec![e_q; nq],
+                },
+            });
+        }
+    }
+
+    let catalog = def.catalog();
+    let matrix = scs_apps::analysis_matrix(&def);
+    let policy = SensitivityPolicy::new(def.sensitive_attrs.iter().cloned());
+    let initial = compulsory_exposures(
+        &def.update_templates(),
+        &def.query_templates(),
+        &catalog,
+        &policy,
+    );
+    let greedy = reduce_exposures(&matrix, &initial);
+    out.push(Assignment {
+        label: "greedy".to_string(),
+        kind: "greedy",
+        exposures: greedy.clone(),
+    });
+
+    let mut residuals = residual_options(&matrix, &greedy);
+    residuals.sort_by_key(|r| (r.affected_pairs, r.is_update, r.index));
+    for r in residuals.into_iter().take(RESIDUAL_LIMIT) {
+        let mut exposures = greedy.clone();
+        let side = if r.is_update {
+            exposures.updates[r.index] = r.to;
+            "u"
+        } else {
+            exposures.queries[r.index] = r.to;
+            "q"
+        };
+        out.push(Assignment {
+            label: format!("residual_{side}{}_{}", r.index, r.to.as_str()),
+            kind: "residual",
+            exposures,
+        });
+    }
+    out
+}
+
+/// Measures one assignment: an audited fixed-population trial for the
+/// leakage axis, then a scalability search for the users axis.
+pub fn run_point(app: BenchApp, a: &Assignment, fidelity: FrontierFidelity) -> FrontierPoint {
+    let leak_fid = Fidelity {
+        duration_secs: fidelity.leakage_secs,
+        warmup_secs: fidelity.leakage_warmup_secs,
+        ..fidelity.search
+    };
+    let (metrics, audit) = run_audited_trial(app, &a.exposures, LEAKAGE_USERS, leak_fid, SEED);
+    let (revealed_bytes, reveal_events) = {
+        let log = audit.lock().unwrap();
+        (log.revealed_bytes(), log.events_total())
+    };
+    let ops = metrics.ops_executed;
+    let leakage_per_kop = if ops == 0 {
+        0.0
+    } else {
+        revealed_bytes as f64 / ops as f64 * 1000.0
+    };
+    let scal = measure_scalability(app, &a.exposures, fidelity.search, SEED);
+    FrontierPoint {
+        label: a.label.clone(),
+        kind: a.kind,
+        updates_strip: exposure_strip(&a.exposures.updates),
+        queries_strip: exposure_strip(&a.exposures.queries),
+        max_users: scal.max_users,
+        revealed_bytes,
+        reveal_events,
+        ops,
+        leakage_per_kop,
+        non_dominated: false,
+    }
+}
+
+/// `true` when `b` is at least as good as `a` on both axes (less-or-equal
+/// leakage, greater-or-equal users) and strictly better on at least one.
+pub fn dominates(b: &FrontierPoint, a: &FrontierPoint) -> bool {
+    let leq = b.leakage_per_kop <= a.leakage_per_kop && b.max_users >= a.max_users;
+    let strict = b.leakage_per_kop < a.leakage_per_kop || b.max_users > a.max_users;
+    leq && strict
+}
+
+/// Marks each point's `non_dominated` flag against the whole set.
+pub fn mark_frontier(points: &mut [FrontierPoint]) {
+    for i in 0..points.len() {
+        let dominated = points
+            .iter()
+            .enumerate()
+            .any(|(j, other)| j != i && dominates(other, &points[i]));
+        points[i].non_dominated = !dominated;
+    }
+}
+
+/// Sweeps the lattice for each app in `apps`, evaluates the acceptance
+/// checks, and assembles the report entries.
+pub fn run_probe(apps: &[BenchApp], fidelity: FrontierFidelity) -> FrontierProbe {
+    let mut curves = Vec::new();
+    for &app in apps {
+        let mut points: Vec<FrontierPoint> = assignments(app)
+            .iter()
+            .map(|a| run_point(app, a, fidelity))
+            .collect();
+        mark_frontier(&mut points);
+        curves.push(FrontierCurve { app, points });
+    }
+    let mut failures = Vec::new();
+    for curve in &curves {
+        check_curve(curve, &mut failures);
+    }
+    let entries = curves.iter().map(curve_entry).collect();
+    FrontierProbe {
+        curves,
+        entries,
+        failures,
+    }
+}
+
+/// The frontier acceptance checks.
+fn check_curve(curve: &FrontierCurve, failures: &mut Vec<String>) {
+    let name = curve.app.name();
+    let frontier = curve.points.iter().filter(|p| p.non_dominated).count();
+    if frontier < 3 {
+        failures.push(format!(
+            "{name}: Pareto frontier has {frontier} points, expected >= 3 \
+             (security/scalability tradeoff degenerated)"
+        ));
+    }
+
+    // The paper's core claim, measured: the greedy Step-2b assignment
+    // must sit on the frontier of the naive uniform assignments — no
+    // uniform point may beat it on both axes.
+    let Some(greedy) = curve.points.iter().find(|p| p.kind == "greedy") else {
+        failures.push(format!("{name}: greedy assignment missing from sweep"));
+        return;
+    };
+    for p in curve.points.iter().filter(|p| p.kind == "uniform") {
+        if dominates(p, greedy) {
+            failures.push(format!(
+                "{name}: uniform assignment {} dominates greedy \
+                 ({:.1} B/kop @ {} users vs {:.1} B/kop @ {} users)",
+                p.label, p.leakage_per_kop, p.max_users, greedy.leakage_per_kop, greedy.max_users
+            ));
+        }
+    }
+
+    // Blind-everywhere must meter exactly zero revealed bytes: the
+    // audit plane's ground truth for "the proxy saw nothing".
+    if let Some(blind) = curve
+        .points
+        .iter()
+        .find(|p| p.label == "uniform_blind_blind")
+    {
+        if blind.revealed_bytes != 0 {
+            failures.push(format!(
+                "{name}: blind-everywhere revealed {} bytes, expected 0",
+                blind.revealed_bytes
+            ));
+        }
+    }
+}
+
+fn point_json(p: &FrontierPoint) -> Json {
+    Json::obj([
+        ("label", Json::Str(p.label.clone())),
+        ("kind", Json::Str(p.kind.to_string())),
+        ("updates", Json::Str(p.updates_strip.clone())),
+        ("queries", Json::Str(p.queries_strip.clone())),
+        ("max_users", Json::Num(p.max_users as f64)),
+        ("revealed_bytes", Json::Num(p.revealed_bytes as f64)),
+        ("reveal_events", Json::Num(p.reveal_events as f64)),
+        ("ops", Json::Num(p.ops as f64)),
+        ("leakage_per_kop", Json::Num(p.leakage_per_kop)),
+        ("non_dominated", Json::Bool(p.non_dominated)),
+    ])
+}
+
+/// One report entry per application, keyed `app|frontier`.
+fn curve_entry(curve: &FrontierCurve) -> Json {
+    Json::obj([
+        ("app", Json::Str(curve.app.name().to_string())),
+        ("config", Json::Str("frontier".to_string())),
+        ("seed", Json::Num(SEED as f64)),
+        ("leakage_users", Json::Num(LEAKAGE_USERS as f64)),
+        (
+            "frontier",
+            Json::obj([(
+                "points",
+                Json::Arr(curve.points.iter().map(point_json).collect()),
+            )]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_lattice_greedy_and_residuals() {
+        let sweep = assignments(BenchApp::Auction);
+        let uniform = sweep.iter().filter(|a| a.kind == "uniform").count();
+        assert_eq!(
+            uniform,
+            ExposureLevel::UPDATE_LEVELS.len() * ExposureLevel::QUERY_LEVELS.len()
+        );
+        assert_eq!(sweep.iter().filter(|a| a.kind == "greedy").count(), 1);
+        assert!(sweep.iter().filter(|a| a.kind == "residual").count() <= RESIDUAL_LIMIT);
+        // Labels are unique (they key the regression diff).
+        let mut labels: Vec<&str> = sweep.iter().map(|a| a.label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), sweep.len());
+        // Every assignment is valid for updates (no View updates).
+        for a in &sweep {
+            assert!(a.exposures.updates.iter().all(|e| e.valid_for_update()));
+        }
+    }
+
+    #[test]
+    fn pareto_marking_matches_dominance_by_hand() {
+        let mk = |label: &str, leak: f64, users: usize| FrontierPoint {
+            label: label.to_string(),
+            kind: "uniform",
+            updates_strip: String::new(),
+            queries_strip: String::new(),
+            max_users: users,
+            revealed_bytes: leak as u64,
+            reveal_events: 0,
+            ops: 1000,
+            leakage_per_kop: leak,
+            non_dominated: false,
+        };
+        let mut pts = vec![
+            mk("secure", 0.0, 100), // frontier: least leakage
+            mk("fast", 900.0, 900), // frontier: most users
+            mk("mid", 400.0, 600),  // frontier: between
+            mk("bad", 500.0, 500),  // dominated by mid
+            mk("tie", 400.0, 600),  // duplicate of mid: both survive
+        ];
+        mark_frontier(&mut pts);
+        let flags: Vec<bool> = pts.iter().map(|p| p.non_dominated).collect();
+        assert_eq!(flags, [true, true, true, false, true]);
+    }
+}

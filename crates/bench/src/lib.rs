@@ -19,12 +19,14 @@
 //! | `fleet`       | extension — max users vs. number of DSSP proxies |
 //! | `freshness`   | extension — propagation-lag / staleness-age / amplification curves |
 //! | `elastic`     | extension — flash crowd: autoscaled fleet vs. static bracket |
+//! | `frontier`    | extension — leakage-vs-max-users Pareto frontier over the exposure lattice |
 //!
 //! Criterion microbenchmarks live under `benches/`.
 
 pub mod elastic_probe;
 pub mod fleet_probe;
 pub mod freshness_probe;
+pub mod frontier_probe;
 pub mod overload_probe;
 
 use scs_core::ExposureLevel;

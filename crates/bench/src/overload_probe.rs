@@ -4,7 +4,7 @@
 //! Both the `overload` binary (CI's `--smoke` gate) and the
 //! `observatory` baseline run execute exactly this probe, so the
 //! regression gate diffs like against like: the committed
-//! `BENCH_baseline.json` entries and the smoke run's `overload.json`
+//! `BENCH_baseline.json` entries and the smoke run's `artifacts/overload.json`
 //! entries come from the same deterministic configurations.
 
 use scs_apps::overload::LoadSegment;

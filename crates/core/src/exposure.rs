@@ -152,6 +152,76 @@ pub fn cell_class(entry: IpmEntry, e_u: ExposureLevel, e_q: ExposureLevel) -> Pr
     }
 }
 
+/// What crossing one encryption boundary reveals to the DSSP — the
+/// vocabulary of the leakage audit plane (`scs-telemetry::audit`).
+///
+/// Each invalidation decision path and each cache-serve path reads a
+/// specific slice of plaintext, gated by the pair's exposure levels:
+///
+/// | decision path  | `blind` | `template`    | `stmt`                  | `view`                           |
+/// |----------------|---------|---------------|-------------------------|----------------------------------|
+/// | blind side     | —       | —             | —                       | —                                |
+/// | template       | —       | `TemplateId`  | `TemplateId`            | `TemplateId`                     |
+/// | statement      | —       | —             | `TemplateId`+`Params`   | `TemplateId`+`Params`            |
+/// | view           | —       | —             | —                       | `TemplateId`+`Params`+`ViewRows` |
+/// | serve / fill   | —       | —             | —                       | `ViewRows`                       |
+///
+/// (A blind-side decision inspects nothing; the view path consults the
+/// statements *and* the materialized result, so its reveal set strictly
+/// contains the statement path's — the lattice-monotonicity the audit
+/// ledger's property test pins.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RevealKind {
+    /// A template identifier was observed (exposure ≥ `template`).
+    TemplateId,
+    /// Bound statement parameter values were inspected in the clear
+    /// (exposure ≥ `stmt`).
+    Params,
+    /// Materialized view rows/columns were read in the clear
+    /// (exposure = `view`): invalidation checks, miss fills, and cache
+    /// serves of plaintext results.
+    ViewRows,
+}
+
+impl RevealKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            RevealKind::TemplateId => "template_id",
+            RevealKind::Params => "params",
+            RevealKind::ViewRows => "view_rows",
+        }
+    }
+
+    /// The minimum exposure level at which this reveal can occur; below
+    /// it the corresponding plaintext never crosses into the DSSP.
+    pub fn min_level(self) -> ExposureLevel {
+        match self {
+            RevealKind::TemplateId => ExposureLevel::Template,
+            RevealKind::Params => ExposureLevel::Stmt,
+            RevealKind::ViewRows => ExposureLevel::View,
+        }
+    }
+
+    /// Whether a template at `level` can produce this reveal at all.
+    pub fn possible_at(self, level: ExposureLevel) -> bool {
+        level >= self.min_level()
+    }
+}
+
+/// The reveal kinds a single request on a template at `level` incurs the
+/// moment the proxy handles it (template id observed, parameters
+/// inspected) — the request-plane row of the taxonomy table above.
+pub fn request_reveals(level: ExposureLevel) -> &'static [RevealKind] {
+    use ExposureLevel::*;
+    match level {
+        Blind => &[],
+        Template => &[RevealKind::TemplateId],
+        // `view` adds nothing at request time beyond `stmt`; the result
+        // reveal happens at serve/fill time, not at statement arrival.
+        Stmt | View => &[RevealKind::TemplateId, RevealKind::Params],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,5 +291,27 @@ mod tests {
             c_eq_b: true,
         };
         assert_eq!(cell_class(e, Stmt, View), ProbClass::One, "C = B = A = 1");
+    }
+
+    #[test]
+    fn reveal_taxonomy_is_monotone_in_the_lattice() {
+        // Raising a level never removes a reveal kind from the request
+        // row, and every kind's gate respects the level order.
+        let mut prev: &[RevealKind] = &[];
+        for level in ExposureLevel::QUERY_LEVELS {
+            let cur = request_reveals(level);
+            assert!(
+                prev.iter().all(|k| cur.contains(k)),
+                "request reveals shrank at {level}"
+            );
+            prev = cur;
+        }
+        assert!(request_reveals(Blind).is_empty());
+        assert!(RevealKind::ViewRows.possible_at(View));
+        assert!(!RevealKind::ViewRows.possible_at(Stmt));
+        assert!(RevealKind::Params.possible_at(Stmt));
+        assert!(!RevealKind::Params.possible_at(Template));
+        assert!(RevealKind::TemplateId.possible_at(Template));
+        assert!(!RevealKind::TemplateId.possible_at(Blind));
     }
 }

@@ -35,7 +35,7 @@ pub use attrs::{Attr, AttrSet, QueryAttrs, UpdateAttrs};
 pub use catalog::Catalog;
 pub use classes::{is_ignorable, is_result_unhelpful, update_class, UpdateClass};
 pub use explain::{explain_pair, AReason, BReason, CReason, Explanation};
-pub use exposure::{cell_class, ExposureLevel, ProbClass};
+pub use exposure::{cell_class, request_reveals, ExposureLevel, ProbClass, RevealKind};
 pub use ipm::{
     characterize_app, characterize_pair, AValue, AnalysisOptions, IpmEntry, IpmMatrix, IpmTally,
 };

@@ -1,6 +1,57 @@
 //! Encryption envelopes: typed wrappers used by the DSSP cache.
 
 use crate::cipher::{DeterministicCipher, Key};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared seal/open counters for the leakage audit plane: every byte an
+/// [`Encryptor`] seals into or opens out of an envelope is metered here.
+/// The meter is an `Arc` of relaxed atomics so clones of a metered
+/// encryptor (the cache clones its encryptor freely) keep feeding the
+/// same tallies.
+#[derive(Debug, Default)]
+pub struct CryptoMeter {
+    seals: AtomicU64,
+    seal_bytes: AtomicU64,
+    opens: AtomicU64,
+    open_bytes: AtomicU64,
+}
+
+impl CryptoMeter {
+    pub fn new() -> Arc<CryptoMeter> {
+        Arc::new(CryptoMeter::default())
+    }
+
+    /// Envelope seal operations (plaintext → ciphertext).
+    pub fn seals(&self) -> u64 {
+        self.seals.load(Ordering::Relaxed)
+    }
+
+    /// Plaintext bytes sealed.
+    pub fn seal_bytes(&self) -> u64 {
+        self.seal_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Envelope open operations (ciphertext → plaintext).
+    pub fn opens(&self) -> u64 {
+        self.opens.load(Ordering::Relaxed)
+    }
+
+    /// Ciphertext bytes opened.
+    pub fn open_bytes(&self) -> u64 {
+        self.open_bytes.load(Ordering::Relaxed)
+    }
+
+    fn note_seal(&self, bytes: usize) {
+        self.seals.fetch_add(1, Ordering::Relaxed);
+        self.seal_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    fn note_open(&self, bytes: usize) {
+        self.opens.fetch_add(1, Ordering::Relaxed);
+        self.open_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+}
 
 /// An opaque encrypted payload. `Eq + Hash` so ciphertexts can serve as
 /// cache-lookup keys (deterministic encryption, footnote 3 of the paper).
@@ -22,6 +73,8 @@ impl Ciphertext {
 #[derive(Debug, Clone)]
 pub struct Encryptor {
     cipher: DeterministicCipher,
+    /// Optional audit meter; `None` keeps the hot path free of atomics.
+    meter: Option<Arc<CryptoMeter>>,
 }
 
 impl Encryptor {
@@ -31,17 +84,30 @@ impl Encryptor {
     pub fn for_app(app_id: &str) -> Encryptor {
         Encryptor {
             cipher: DeterministicCipher::new(Key::derive(app_id)),
+            meter: None,
         }
+    }
+
+    /// Attaches an audit meter: subsequent seals/opens (and those of any
+    /// later clone) are tallied on it.
+    pub fn set_meter(&mut self, meter: Arc<CryptoMeter>) {
+        self.meter = Some(meter);
     }
 
     /// Encrypts a UTF-8 string deterministically.
     pub fn encrypt_str(&self, s: &str) -> Ciphertext {
+        if let Some(m) = &self.meter {
+            m.note_seal(s.len());
+        }
         Ciphertext(self.cipher.encrypt(s.as_bytes()))
     }
 
     /// Decrypts a [`Ciphertext`] back to a string; `None` if the payload is
     /// malformed or not valid UTF-8 (e.g. produced under another key).
     pub fn decrypt_str(&self, ct: &Ciphertext) -> Option<String> {
+        if let Some(m) = &self.meter {
+            m.note_open(ct.len());
+        }
         String::from_utf8(self.cipher.decrypt(&ct.0)?).ok()
     }
 }
@@ -68,6 +134,24 @@ mod tests {
         m.insert(e.encrypt_str("k1"), 1);
         assert_eq!(m.get(&e.encrypt_str("k1")), Some(&1));
         assert_eq!(m.get(&e.encrypt_str("k2")), None);
+    }
+
+    #[test]
+    fn meter_counts_seals_and_opens_across_clones() {
+        let meter = CryptoMeter::new();
+        let mut e = Encryptor::for_app("auction");
+        e.set_meter(meter.clone());
+        let clone = e.clone();
+        let ct = e.encrypt_str("0123456789");
+        clone.decrypt_str(&ct);
+        assert_eq!(meter.seals(), 1);
+        assert_eq!(meter.seal_bytes(), 10);
+        assert_eq!(meter.opens(), 1);
+        assert_eq!(meter.open_bytes(), ct.len() as u64);
+        // Unmetered encryptors tally nothing.
+        let plain = Encryptor::for_app("auction");
+        plain.encrypt_str("x");
+        assert_eq!(meter.seals(), 1);
     }
 
     #[test]

@@ -17,4 +17,4 @@ pub mod cipher;
 pub mod envelope;
 
 pub use cipher::{DeterministicCipher, Key};
-pub use envelope::{Ciphertext, Encryptor};
+pub use envelope::{Ciphertext, CryptoMeter, Encryptor};

@@ -35,7 +35,7 @@
 //!   index may ever hide one from an invalidation pass.
 
 use scs_core::ExposureLevel;
-use scs_crypto::Encryptor;
+use scs_crypto::{CryptoMeter, Encryptor};
 use scs_sqlkit::{Query, TemplateId, Value};
 use scs_storage::QueryResult;
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -226,6 +226,13 @@ impl ResultCache {
     /// entries stored afterwards.
     pub fn set_lease_micros(&mut self, lease: Option<u64>) {
         self.lease_micros = lease;
+    }
+
+    /// Attaches an envelope seal/open meter to this cache's encryptor
+    /// (the leakage audit plane's crypto accounting). Subsequent key
+    /// derivations and payload seals/opens tally on `meter`.
+    pub fn meter_crypto(&mut self, meter: std::sync::Arc<CryptoMeter>) {
+        self.encryptor.set_meter(meter);
     }
 
     /// Advances the cache's notion of "now" (µs). Leases are judged

@@ -49,8 +49,8 @@ use scs_netsim::fault::{ChannelStats, FaultSpec, FaultyChannel};
 use scs_sqlkit::{Query, Update};
 use scs_storage::StorageError;
 use scs_telemetry::{
-    shared_provenance, FlushTrigger, MembershipKind, MembershipStamp, ProvenanceLog,
-    SharedProvenance, SpanId, SpanPhase, SpanRecorder,
+    shared_audit, shared_provenance, FlushTrigger, MembershipKind, MembershipStamp, ProvenanceLog,
+    SharedAudit, SharedProvenance, SpanId, SpanPhase, SpanRecorder,
 };
 use std::collections::HashMap;
 
@@ -267,6 +267,7 @@ pub struct ProxyFleet {
     /// The freshness plane, when enabled: commit/flush/send/arrival
     /// stamps shared by the home server and every replica.
     prov: Option<SharedProvenance>,
+    audit: Option<SharedAudit>,
 }
 
 impl ProxyFleet {
@@ -314,6 +315,7 @@ impl ProxyFleet {
             spans: SpanRecorder::disabled(),
             tenant: 0,
             prov: None,
+            audit: None,
         }
     }
 
@@ -354,6 +356,26 @@ impl ProxyFleet {
     /// was called.
     pub fn provenance(&self) -> Option<&SharedProvenance> {
         self.prov.as_ref()
+    }
+
+    /// Turns on the leakage audit plane: one shared audit log wired
+    /// through every replica (request-plane reveals, scan-time reveals,
+    /// crypto metering). Joiners are registered into the same log.
+    /// Returns the shared handle; also available later via
+    /// [`ProxyFleet::audit`].
+    pub fn enable_audit(&mut self) -> SharedAudit {
+        let audit = shared_audit(self.next_id);
+        for r in &mut self.replicas {
+            r.dssp.attach_audit(audit.clone(), r.id);
+        }
+        self.audit = Some(audit.clone());
+        audit
+    }
+
+    /// The leakage audit plane handle, if [`ProxyFleet::enable_audit`]
+    /// was called.
+    pub fn audit(&self) -> Option<&SharedAudit> {
+        self.audit.as_ref()
     }
 
     /// Sets (or clears) the staleness lease on every replica's cache.
@@ -503,6 +525,9 @@ impl ProxyFleet {
         if let Some(prov) = self.prov.clone() {
             Self::recovered_lock(&prov, &mut self.prov_poison_recovered).register_replica(id);
             dssp.attach_provenance(prov, id);
+        }
+        if let Some(audit) = self.audit.clone() {
+            dssp.attach_audit(audit, id);
         }
         let pipe = FaultyChannel::new(self.pipe_seed ^ id as u64, self.pipe_spec.clone());
         // 2. Live but unrouted: from here the replica receives every

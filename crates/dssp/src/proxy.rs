@@ -25,14 +25,42 @@ use crate::delivery::{
 use crate::home::HomeServer;
 use crate::stats::DsspStats;
 use crate::strategy::{decide, DecisionPath, UpdateView};
-use scs_core::{Exposures, IpmMatrix};
-use scs_crypto::Encryptor;
-use scs_sqlkit::{Query, Update};
+use scs_core::{request_reveals, ExposureLevel, Exposures, IpmMatrix, RevealKind};
+use scs_crypto::{CryptoMeter, Encryptor};
+use scs_sqlkit::{Query, Update, Value};
 use scs_storage::{QueryResult, StorageError, UpdateEffect};
 use scs_telemetry::{
-    ApplyKind, AttributionMatrix, Counter, MetricsRegistry, SharedProvenance, SpanId, SpanPhase,
-    SpanRecorder, TraceEventKind, TraceSink, Tracer,
+    ApplyKind, AttributionMatrix, Counter, MetricsRegistry, RevealStamp, SharedAudit,
+    SharedProvenance, SpanId, SpanPhase, SpanRecorder, TraceEventKind, TraceSink, Tracer,
 };
+use std::sync::Arc;
+
+/// Wire size of a template identifier as the audit plane meters it: the
+/// id itself plus framing, matching the cost model's fixed-key overhead.
+const TEMPLATE_ID_BYTES: u64 = 8;
+
+/// Scan-time leakage aggregation: (entry template, reveal kind, decision
+/// path, entry level) -> (bytes, inspected pairs).
+type ScanAgg =
+    std::collections::BTreeMap<(usize, &'static str, &'static str, &'static str), (u64, u64)>;
+
+/// Plaintext bytes a bound parameter value exposes when inspected in the
+/// clear (mirrors [`QueryResult::approx_size_bytes`]'s per-value sizing).
+fn value_plain_bytes(v: &Value) -> u64 {
+    match v {
+        Value::Int(_) => 8,
+        Value::Real(_) => 8,
+        Value::Str(s) => s.len() as u64 + 4,
+    }
+}
+
+/// Stable hash of a parameter value for distinct-value leakage counting.
+fn value_hash(v: &Value) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
 
 /// Configuration for one application's slice of the DSSP.
 #[derive(Clone)]
@@ -326,6 +354,15 @@ pub struct Dssp {
     /// The freshness plane and this proxy's replica index on it, when a
     /// harness attached one (see [`Dssp::attach_provenance`]).
     prov: Option<(SharedProvenance, usize)>,
+    /// The leakage audit plane and this proxy's replica index on it, when
+    /// a harness attached one (see [`Dssp::attach_audit`]). `None` keeps
+    /// the hot path stamp-free, like the other observability planes.
+    audit: Option<(SharedAudit, usize)>,
+    /// Envelope seal/open meter feeding the `leakage` export; attached
+    /// together with the audit plane.
+    crypto_meter: Option<Arc<CryptoMeter>>,
+    /// Application id, kept as the tenant label on audit ledgers.
+    app_id: String,
 }
 
 impl Dssp {
@@ -367,6 +404,9 @@ impl Dssp {
             request_seq: 0,
             jitter_salt,
             prov: None,
+            audit: None,
+            crypto_meter: None,
+            app_id: config.app_id,
         }
     }
 
@@ -376,6 +416,118 @@ impl Dssp {
     /// same log for the stamps to chain.
     pub fn attach_provenance(&mut self, prov: SharedProvenance, replica: usize) {
         self.prov = Some((prov, replica));
+    }
+
+    /// Attaches the leakage audit plane: this proxy stamps every
+    /// encryption-boundary crossing (template ids observed, parameters
+    /// inspected, view rows read) as `replica` on the shared log, and a
+    /// [`CryptoMeter`] starts tallying the cache's envelope seals/opens.
+    /// Without this call the proxy takes no audit locks and allocates
+    /// nothing for metering.
+    pub fn attach_audit(&mut self, audit: SharedAudit, replica: usize) {
+        let meter = CryptoMeter::new();
+        self.cache.meter_crypto(meter.clone());
+        audit.lock().unwrap().register_replica(replica);
+        self.crypto_meter = Some(meter);
+        self.audit = Some((audit, replica));
+    }
+
+    /// The attached leakage audit plane, if any.
+    pub fn audit(&self) -> Option<&SharedAudit> {
+        self.audit.as_ref().map(|(a, _)| a)
+    }
+
+    /// The envelope seal/open meter, if the audit plane is attached.
+    pub fn crypto_meter(&self) -> Option<&Arc<CryptoMeter>> {
+        self.crypto_meter.as_ref()
+    }
+
+    /// Stamps the request-plane reveals of one arriving statement
+    /// (template id at `template`+, parameter values at `stmt`+) and
+    /// opens the audit request root follow-on reveals chain back to.
+    /// Returns `None` — without touching a lock — when no audit plane is
+    /// attached.
+    fn audit_arrival(
+        &self,
+        is_update: bool,
+        template: usize,
+        level: ExposureLevel,
+        origin: &'static str,
+        params: &[Value],
+    ) -> Option<u64> {
+        let (audit, replica) = self.audit.as_ref()?;
+        let mut a = audit.lock().unwrap();
+        let req = a.begin_request(
+            *replica,
+            &self.app_id,
+            is_update,
+            template,
+            level.as_str(),
+            origin,
+            self.now_micros,
+        );
+        for kind in request_reveals(level) {
+            let bytes = match kind {
+                RevealKind::TemplateId => TEMPLATE_ID_BYTES,
+                RevealKind::Params => params.iter().map(value_plain_bytes).sum(),
+                RevealKind::ViewRows => continue,
+            };
+            a.note_reveal(
+                *replica,
+                req,
+                &self.app_id,
+                is_update,
+                template,
+                RevealStamp {
+                    kind: kind.name(),
+                    path: "request",
+                    level: level.as_str(),
+                    bytes,
+                    pairs: 1,
+                },
+                self.now_micros,
+            );
+        }
+        if RevealKind::Params.possible_at(level) {
+            a.note_param_values(
+                &self.app_id,
+                is_update,
+                template,
+                params.iter().map(value_hash),
+            );
+        }
+        Some(req)
+    }
+
+    /// Stamps a plaintext result read (`view` exposure only): a cache
+    /// serve or a miss fill whose rows the proxy sees in the clear.
+    fn audit_view_read(
+        &self,
+        request: Option<u64>,
+        template: usize,
+        path: &'static str,
+        result: &QueryResult,
+    ) {
+        let (Some((audit, replica)), Some(req)) = (&self.audit, request) else {
+            return;
+        };
+        let mut a = audit.lock().unwrap();
+        a.note_reveal(
+            *replica,
+            req,
+            &self.app_id,
+            false,
+            template,
+            RevealStamp {
+                kind: RevealKind::ViewRows.name(),
+                path,
+                level: ExposureLevel::View.as_str(),
+                bytes: result.approx_size_bytes() as u64,
+                pairs: 1,
+            },
+            self.now_micros,
+        );
+        a.note_fields(template, result.columns.iter());
     }
 
     /// Changes the staleness lease applied to subsequently stored
@@ -474,6 +626,7 @@ impl Dssp {
         let tid = q.template_id;
         let level = self.exposures.queries[tid];
         let exposure = level.rank() as u8;
+        let audit_req = self.audit_arrival(false, tid, level, "query", &q.params);
         self.metrics.queries.inc();
         let root = self.spans.open(
             self.now_micros,
@@ -488,6 +641,7 @@ impl Dssp {
         match self.cache.lookup_classified(q) {
             Lookup::Hit(entry) => {
                 let result = entry.serve().clone();
+                let plaintext_hit = entry.visible_result().is_some();
                 let (stored_at, stored_epoch, expires_at) = (
                     entry.stored_at_micros(),
                     entry.stored_epoch(),
@@ -536,6 +690,11 @@ impl Dssp {
                     if degraded {
                         p.note_degraded(*replica, tid, self.now_micros);
                     }
+                }
+                if plaintext_hit {
+                    // A `view`-exposed serve reads the cached rows in the
+                    // clear; lower levels return an opaque envelope.
+                    self.audit_view_read(audit_req, tid, "serve", &result);
                 }
                 self.spans.close(root, root_timer);
                 return Ok(FtQueryResponse {
@@ -651,6 +810,11 @@ impl Dssp {
             if outcome.replaced {
                 self.metrics.cache_replacements.inc();
             }
+            if level == ExposureLevel::View {
+                // At `view` exposure the fill is stored — and thus read —
+                // as plaintext rows.
+                self.audit_view_read(audit_req, tid, "fill", &result);
+            }
             for victim in &outcome.evicted {
                 self.metrics.evictions.inc();
                 self.metrics.query_evicted[victim.template_id].inc();
@@ -706,6 +870,7 @@ impl Dssp {
     ) -> Result<FtUpdateResponse, StorageError> {
         let uid = u.template_id;
         let level = self.exposures.updates[uid];
+        let _ = self.audit_arrival(true, uid, level, "update", &u.params);
         let root = self.spans.open(
             self.now_micros,
             SpanPhase::UpdateRequest,
@@ -1299,8 +1464,57 @@ impl Dssp {
         // inside the DSSP's trust boundary and may account for entries the
         // strategy itself cannot inspect).
         let mut victims: Vec<(usize, DecisionPath, u8)> = Vec::new();
+        // Scan-time leakage aggregation, keyed by (entry template, reveal
+        // kind, decision path, entry level): each inspected pair reveals
+        // what the decision path had to read. Aggregated locally inside
+        // the judge and flushed as one event per key after the scan — the
+        // audit lock is never taken per pair. `None` when the plane is
+        // off, keeping the closure allocation-free.
+        let mut scan_agg: Option<ScanAgg> = self
+            .audit
+            .as_ref()
+            .map(|_| std::collections::BTreeMap::new());
         let mut judge = |entry: &crate::cache::CacheEntry| {
             let (kill, path) = decide(matrix, &view, entry);
+            if let Some(agg) = scan_agg.as_mut() {
+                let qid = entry.key().template_id;
+                let lvl = entry.level().as_str();
+                let mut note = |kind: &'static str, bytes: u64| {
+                    let slot = agg.entry((qid, kind, path.name(), lvl)).or_insert((0, 0));
+                    slot.0 += bytes;
+                    slot.1 += 1;
+                };
+                // Reveals are cumulative down the decision paths, like
+                // `request_reveals` down the lattice: reading a
+                // statement necessarily reveals the template id, and
+                // reading a view reveals both — so raising a level
+                // never shrinks any single ledger counter.
+                match path {
+                    // A blind side inspects nothing.
+                    DecisionPath::BlindSide => {}
+                    DecisionPath::Template => {
+                        note(RevealKind::TemplateId.name(), TEMPLATE_ID_BYTES);
+                    }
+                    DecisionPath::Statement => {
+                        note(RevealKind::TemplateId.name(), TEMPLATE_ID_BYTES);
+                        let bytes = entry
+                            .visible_statement()
+                            .map_or(0, |q| q.statement_text().len() as u64);
+                        note(RevealKind::Params.name(), bytes);
+                    }
+                    DecisionPath::View => {
+                        note(RevealKind::TemplateId.name(), TEMPLATE_ID_BYTES);
+                        let stmt = entry
+                            .visible_statement()
+                            .map_or(0, |q| q.statement_text().len() as u64);
+                        note(RevealKind::Params.name(), stmt);
+                        let rows = entry
+                            .visible_result()
+                            .map_or(0, |r| r.approx_size_bytes() as u64);
+                        note(RevealKind::ViewRows.name(), rows);
+                    }
+                }
+            }
             if kill {
                 victims.push((entry.key().template_id, path, entry.level().rank() as u8));
             }
@@ -1320,6 +1534,40 @@ impl Dssp {
             p.note_scan(uid, scanned as u64, invalidated as u64);
             for (qid, _, _) in &victims {
                 p.note_invalidate(*replica, *qid, uid, self.epoch, self.now_micros);
+            }
+        }
+        if let (Some((audit, replica)), Some(agg)) = (&self.audit, scan_agg) {
+            if !agg.is_empty() {
+                // One audit root per invalidation pass: delivery is
+                // asynchronous from the client's update request, so the
+                // scan's reveals chain to an `apply`-origin root here.
+                let mut a = audit.lock().unwrap();
+                let req = a.begin_request(
+                    *replica,
+                    &self.app_id,
+                    true,
+                    uid,
+                    level.as_str(),
+                    "apply",
+                    self.now_micros,
+                );
+                for ((qid, kind, path, lvl), (bytes, pairs)) in agg {
+                    a.note_reveal(
+                        *replica,
+                        req,
+                        &self.app_id,
+                        false,
+                        qid,
+                        RevealStamp {
+                            kind,
+                            path,
+                            level: lvl,
+                            bytes,
+                            pairs,
+                        },
+                        self.now_micros,
+                    );
+                }
             }
         }
         for (qid, path, entry_exposure) in victims {

@@ -39,6 +39,7 @@
 //! export; it exists so the telemetry path stays hermetic.
 
 pub mod attribution;
+pub mod audit;
 pub mod hist;
 pub mod json;
 pub mod provenance;
@@ -49,6 +50,10 @@ pub mod timeseries;
 pub mod trace;
 
 pub use attribution::AttributionMatrix;
+pub use audit::{
+    shared_audit, AuditLog, RequestRoot, RevealEvent, RevealStamp, SharedAudit,
+    EVENT_CAP as AUDIT_EVENT_CAP,
+};
 pub use hist::{HistogramSnapshot, LogHistogram};
 pub use json::Json;
 pub use provenance::{
