@@ -16,6 +16,7 @@ pub mod chaos;
 pub mod defs;
 pub mod driver;
 pub mod elastic;
+pub mod failover;
 pub mod gen;
 pub mod overload;
 pub mod report;
@@ -31,6 +32,7 @@ pub use driver::{analysis_matrix, CostModel, DsspWorkload, FleetWorkload};
 pub use elastic::{
     run_elastic, ElasticFleetWorkload, ElasticReport, ElasticRunConfig, MembershipChange,
 };
+pub use failover::{run_failover, CrashEvent, CrashKind, FailoverConfig, FailoverReport};
 pub use gen::{IdSpaces, ParamGen, Zipf, BOOK_POPULARITY_EXPONENT};
 pub use overload::{
     goodput_curve, knee_index, run_overload, CurvePoint, LoadProfile, LoadSegment,

@@ -28,8 +28,10 @@ use std::path::PathBuf;
 ///
 /// History: 1 = initial versioned schema; 2 = freshness-plane entries
 /// (`freshness.points` curves from the provenance log); 3 = leakage
-/// audit plane (`dssp.leakage` ledgers) and `frontier` entries.
-pub const SCHEMA_VERSION: u64 = 3;
+/// audit plane (`dssp.leakage` ledgers) and `frontier` entries; 4 =
+/// durable home tier (`failover` entries: unavailability windows,
+/// acked-write durability ledger, fencing counters).
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Environment variable overriding the output path of
 /// [`write_telemetry`].
@@ -323,6 +325,108 @@ pub fn chaos_entry_json(label: &str, cfg: &ChaosConfig, report: &ChaosReport) ->
             report.timeseries.as_ref().map(TimeSeries::to_json).into(),
         ),
         ("slo", slo),
+    ])
+}
+
+/// One failover-run entry: the home-tier shape, the promotion record,
+/// the unavailability-window accounting, and the durability/freshness
+/// oracle verdicts. `goodput_retained` compares serves against the
+/// steady single-home run of the same script (`None` for the steady
+/// run itself). Keyed `app`/`config` so the regression gate diffs it
+/// like any other probe entry; the `regress` detectors
+/// `failover_window_rise` and `acked_write_lost` read the `failover`
+/// section.
+pub fn failover_entry_json(
+    label: &str,
+    cfg: &crate::failover::FailoverConfig,
+    report: &crate::failover::FailoverReport,
+    goodput_retained: Option<f64>,
+) -> Json {
+    let worst_window = report
+        .failovers
+        .iter()
+        .map(|f| f.unavailable_micros)
+        .max()
+        .unwrap_or(0);
+    // The promotion-latency budget: each failover may cost at most the
+    // detection lease plus two heartbeat ticks of slack.
+    let window_bound = report.failovers.len() as u64
+        * (cfg.replication.lease_micros + 2 * cfg.replication.heartbeat_micros);
+    let promotions: Vec<Json> = report
+        .failovers
+        .iter()
+        .map(|f| {
+            Json::obj([
+                ("at_micros", f.at_micros.into()),
+                ("new_term", f.new_term.into()),
+                ("barrier_epoch", f.barrier_epoch.into()),
+                ("lost_records", f.lost_records.into()),
+                ("lost_acked", f.lost_acked.into()),
+                ("unavailable_micros", f.unavailable_micros.into()),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("app", "toystore".into()),
+        ("config", label.into()),
+        ("seed", cfg.seed.into()),
+        ("ops", (cfg.ops as u64).into()),
+        ("lease_micros", cfg.lease_micros.into()),
+        ("strategy", cfg.strategy.name().into()),
+        ("stale_beyond_lease", report.stale_beyond_lease.into()),
+        (
+            "max_observed_staleness_micros",
+            report.max_observed_staleness_micros.into(),
+        ),
+        (
+            "failover",
+            Json::obj([
+                ("mode", cfg.replication.mode.name().into()),
+                ("standbys", (cfg.replication.standbys as u64).into()),
+                ("heartbeat_micros", cfg.replication.heartbeat_micros.into()),
+                (
+                    "detection_lease_micros",
+                    cfg.replication.lease_micros.into(),
+                ),
+                ("failovers", (report.failovers.len() as u64).into()),
+                ("promotions", Json::from(promotions)),
+                (
+                    "unavailable_micros_total",
+                    report.unavailable_micros_total.into(),
+                ),
+                ("worst_window_micros", worst_window.into()),
+                ("window_bound_micros", window_bound.into()),
+                ("lost_records", report.lost_records_total.into()),
+                ("lost_acked", report.lost_acked_total.into()),
+                (
+                    "external_lost_acked",
+                    report.external_lost_acked_total.into(),
+                ),
+                ("ledger_consistent", report.ledger_consistent.into()),
+                ("durability_ok", report.durability_ok.into()),
+                ("conservation_balanced", report.conservation_balanced.into()),
+                ("fenced_records", report.fenced_records.into()),
+                ("zombie_writes_applied", report.zombie_writes_applied.into()),
+                ("divergence_discarded", report.divergence_discarded.into()),
+                ("fanout_lost_on_crash", report.fanout_lost_on_crash.into()),
+                ("recovery_flushes", report.recovery_flushes.into()),
+                ("failover_stamps", (report.failover_stamps as u64).into()),
+                ("queries_served", report.queries_served.into()),
+                ("queries_unavailable", report.queries_unavailable.into()),
+                ("updates_acked", report.updates_acked.into()),
+                (
+                    "updates_applied_unacked",
+                    report.updates_applied_unacked.into(),
+                ),
+                ("updates_unavailable", report.updates_unavailable.into()),
+                ("goodput_retained", goodput_retained.into()),
+                ("final_epoch", report.final_epoch.into()),
+            ]),
+        ),
+        (
+            "timeseries",
+            report.timeseries.as_ref().map(TimeSeries::to_json).into(),
+        ),
     ])
 }
 

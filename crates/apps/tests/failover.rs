@@ -1,0 +1,220 @@
+//! Failover property tests (this PR's acceptance gate).
+//!
+//! Scripted home-tier crash schedules — crash mid-update, crash
+//! mid-fanout-flush, double failover, lagging-standby promotion over a
+//! lossy ship stream, and a partitioned zombie primary — run against
+//! the external oracles in `scs_apps::failover`:
+//!
+//! 1. under sync-quorum replication, **no acked write is ever lost**
+//!    (the external ack ledger agrees with the group's account, and
+//!    both are zero);
+//! 2. under async replication the lost tail is exactly accounted: the
+//!    group's `lost_acked` matches the externally-journaled acked
+//!    epochs above every promotion barrier;
+//! 3. no served result is ever stale beyond the lease, failovers and
+//!    fencing included;
+//! 4. the surviving primary's state equals the oracle's replay of the
+//!    surviving commit history byte-for-byte (zombie divergence and
+//!    rolled-back tails cannot hide);
+//! 5. the invalidation conservation ledger balances for every proxy
+//!    replica across every failover.
+//!
+//! Case count is environment-tunable: the CI failover job sets
+//! `SCS_FAILOVER_CASES` to run an elevated sweep.
+
+use proptest::prelude::*;
+use scs_apps::{run_failover, FailoverConfig, FailoverReport};
+use scs_dssp::{HomeGroup, HomeServer, ReplicationConfig, ReplicationMode};
+use scs_sqlkit::Value;
+use scs_storage::{ColumnType, Database, TableSchema};
+
+fn failover_cases() -> u32 {
+    std::env::var("SCS_FAILOVER_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12)
+}
+
+/// The invariants every scenario must satisfy, regardless of mode.
+fn assert_core_invariants(name: &str, seed: u64, r: &FailoverReport) {
+    assert_eq!(
+        r.stale_beyond_lease, 0,
+        "{}: stale-beyond-lease serve (seed {})",
+        name, seed
+    );
+    assert!(
+        r.ledger_consistent,
+        "{}: group durability account disagrees with the external ledger (seed {})",
+        name, seed
+    );
+    assert!(
+        r.durability_ok,
+        "{}: surviving state diverged from the oracle replay (seed {})",
+        name, seed
+    );
+    assert!(
+        r.conservation_balanced,
+        "{}: conservation ledger unbalanced across failover (seed {})",
+        name, seed
+    );
+    assert_eq!(
+        r.lost_acked_total, r.external_lost_acked_total,
+        "{}: lost-acked accounting mismatch (seed {})",
+        name, seed
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(failover_cases()))]
+
+    /// Every crash schedule, async mode: failovers happen, the lost
+    /// tail is exactly accounted, and freshness + durability oracles
+    /// hold.
+    #[test]
+    fn async_crash_schedules_stay_accounted(
+        seed in 0u64..1_000_000,
+        ops in 400usize..800,
+        scenario_ix in 0usize..4,
+    ) {
+        let (name, cfg) = match scenario_ix {
+            0 => ("crash_mid_update", FailoverConfig::crash_mid_update(seed, ops)),
+            1 => ("crash_mid_fanout", FailoverConfig::crash_mid_fanout(seed, ops)),
+            2 => ("double_failover", FailoverConfig::double_failover(seed, ops)),
+            _ => ("lagging_standby", FailoverConfig::lagging_standby(seed, ops)),
+        };
+        let r = run_failover(&cfg);
+        let expected_failovers = if scenario_ix == 2 { 2 } else { 1 };
+        prop_assert_eq!(r.failovers.len(), expected_failovers, "{} (seed {})", name, seed);
+        prop_assert!(
+            r.queries_unavailable + r.updates_unavailable > 0,
+            "{}: crash produced no unavailability at all (seed {})", name, seed
+        );
+        // The outage is bounded: promotion happens within the lease
+        // plus one heartbeat of slack per failover.
+        let bound = r.failovers.len() as u64
+            * (cfg.replication.lease_micros + 2 * cfg.replication.heartbeat_micros);
+        prop_assert!(
+            r.unavailable_micros_total <= bound,
+            "{}: tier down {}µs, bound {}µs (seed {})",
+            name, r.unavailable_micros_total, bound, seed
+        );
+        assert_core_invariants(name, seed, &r);
+    }
+
+    /// The same schedules under sync-quorum: zero acked writes lost,
+    /// ever, no matter how far the promoted standby lagged.
+    #[test]
+    fn sync_quorum_never_loses_an_acked_write(
+        seed in 0u64..1_000_000,
+        ops in 400usize..800,
+        scenario_ix in 0usize..4,
+    ) {
+        let (name, cfg) = match scenario_ix {
+            0 => ("crash_mid_update", FailoverConfig::crash_mid_update(seed, ops)),
+            1 => ("crash_mid_fanout", FailoverConfig::crash_mid_fanout(seed, ops)),
+            2 => ("double_failover", FailoverConfig::double_failover(seed, ops)),
+            _ => ("lagging_standby", FailoverConfig::lagging_standby(seed, ops)),
+        };
+        let r = run_failover(&cfg.sync());
+        prop_assert_eq!(
+            r.lost_acked_total, 0,
+            "{}: sync-quorum lost an acked write (seed {})", name, seed
+        );
+        prop_assert_eq!(r.external_lost_acked_total, 0);
+        prop_assert!(!r.failovers.is_empty(), "{} (seed {})", name, seed);
+        assert_core_invariants(name, seed, &r);
+    }
+
+    /// The zombie scenario: stale-term writes are fenced at every
+    /// standby, the divergent branch is discarded on rejoin, and none
+    /// of it reaches the surviving state or the caches.
+    #[test]
+    fn zombie_writes_are_fenced_and_discarded(
+        seed in 0u64..1_000_000,
+        ops in 400usize..800,
+        sync in any::<bool>(),
+    ) {
+        let cfg = if sync {
+            FailoverConfig::zombie(seed, ops).sync()
+        } else {
+            FailoverConfig::zombie(seed, ops)
+        };
+        let r = run_failover(&cfg);
+        prop_assert_eq!(r.failovers.len(), 1, "seed {}", seed);
+        prop_assert_eq!(r.zombie_writes_applied, 5, "seed {}", seed);
+        prop_assert!(
+            r.fenced_records > 0,
+            "no stale-term record was fenced (seed {})", seed
+        );
+        prop_assert!(
+            r.divergence_discarded >= r.zombie_writes_applied,
+            "zombie branch not discarded wholesale (seed {})", seed
+        );
+        assert_core_invariants("zombie", seed, &r);
+    }
+}
+
+/// Satellite regression: an out-of-band `mutate_database` write lands
+/// in the WAL, replicates, survives a primary crash + failover, and
+/// surfaces to the proxies as exactly one recoverable stream gap.
+#[test]
+fn out_of_band_mutation_survives_crash_and_costs_one_gap() {
+    let schema = TableSchema::builder("kv")
+        .column("k", ColumnType::Int)
+        .column("v", ColumnType::Int)
+        .primary_key(&["k"])
+        .build()
+        .expect("static schema");
+    let mut db = Database::new();
+    db.create_table(schema).expect("fresh database");
+    db.insert_row("kv", vec![Value::Int(1), Value::Int(10)])
+        .expect("static row");
+
+    let mut g = HomeGroup::new(
+        HomeServer::new(db),
+        ReplicationConfig::group(ReplicationMode::Async, 2),
+    );
+    let pipe = g.register_pipe(0);
+    assert_eq!(pipe, 0);
+
+    // The out-of-band write: no Update statement, no invalidation
+    // message — a direct master mutation (schema migration, manual
+    // repair). It must consume a WAL epoch as a checkpoint record.
+    let epoch_before = g.epoch();
+    g.primary_mut().mutate_database(|db| {
+        db.insert_row("kv", vec![Value::Int(2), Value::Int(20)])
+            .expect("fresh key");
+    });
+    let ack = g.commit(0);
+    assert!(ack.acked);
+    assert_eq!(g.epoch(), epoch_before + 1, "mutation consumed an epoch");
+
+    // Replicate, then kill the primary before it ever fans out.
+    g.tick(10_000);
+    g.crash_primary(20_000);
+    let mut now = 20_000;
+    let fo = loop {
+        now += 5_000;
+        if let Some(fo) = g.tick(now) {
+            break fo;
+        }
+        assert!(now < 1_000_000, "no promotion");
+    };
+    assert_eq!(fo.lost_records, 0, "the mutation had replicated");
+
+    // The write survived the crash byte-for-byte.
+    let q = scs_sqlkit::Query::bind(
+        0,
+        std::sync::Arc::new(scs_sqlkit::parse_query("SELECT v FROM kv WHERE k = ?").unwrap()),
+        vec![Value::Int(2)],
+    )
+    .unwrap();
+    let res = g.primary().database().execute(&q).expect("valid query");
+    assert_eq!(res.rows, vec![vec![Value::Int(20)]]);
+
+    // The proxy stream: the mutation's epoch never produced an
+    // invalidation message, and the promotion barrier opened past it —
+    // a proxy synced before the mutation sees exactly one gap
+    // (epoch_before → barrier) and recovers over it with one flush.
+    assert_eq!(fo.barrier_epoch, epoch_before + 2);
+}

@@ -17,7 +17,7 @@ use scs_apps::{report, run_chaos, run_classic, ChaosConfig, ChaosReport};
 use scs_bench::TextTable;
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let smoke = scs_bench::smoke_from_args();
     let seed_override = arg_value("--seed");
     let seeds: Vec<u64> = match seed_override {
         Some(s) => vec![s],
@@ -40,33 +40,34 @@ fn main() {
         "restarts",
     ]);
     let mut entries = Vec::new();
-    let mut failures = 0u32;
+    let mut failures: Vec<String> = Vec::new();
 
     for &seed in &seeds {
         let cfg = ChaosConfig::faultless(seed, faultless_ops);
         let rep = run_chaos(&cfg);
         let classic = run_classic(&cfg);
         if rep.outcomes != classic.outcomes {
-            eprintln!("FAIL seed {seed}: faultless run diverged from the classic pipeline");
-            failures += 1;
+            failures.push(format!(
+                "seed {seed}: faultless run diverged from the classic pipeline"
+            ));
         }
         if rep.counters.total() != 0 {
-            eprintln!(
-                "FAIL seed {seed}: fault counters nonzero ({}) with injection disabled",
+            failures.push(format!(
+                "seed {seed}: fault counters nonzero ({}) with injection disabled",
                 rep.counters.total()
-            );
-            failures += 1;
+            ));
         }
-        failures += check_oracle("faultless", seed, &rep);
+        failures.extend(check_oracle("faultless", seed, &rep));
         push(&mut table, &mut entries, "faultless", &cfg, &rep);
 
         let cfg = ChaosConfig::chaotic(seed, chaotic_ops);
         let rep = run_chaos(&cfg);
         if rep.counters.total() == 0 {
-            eprintln!("FAIL seed {seed}: chaotic schedule left all fault counters at zero");
-            failures += 1;
+            failures.push(format!(
+                "seed {seed}: chaotic schedule left all fault counters at zero"
+            ));
         }
-        failures += check_oracle("chaotic", seed, &rep);
+        failures.extend(check_oracle("chaotic", seed, &rep));
         push(&mut table, &mut entries, "chaotic", &cfg, &rep);
     }
 
@@ -77,13 +78,12 @@ fn main() {
     // the recovery once the link returns (`EXPERIMENTS.md`).
     let demo_cfg = ChaosConfig::outage_demo(42, 4_000);
     let demo = run_chaos(&demo_cfg);
-    failures += check_oracle("outage_demo", demo_cfg.seed, &demo);
+    failures.extend(check_oracle("outage_demo", demo_cfg.seed, &demo));
     if demo.queries_unavailable == 0 || demo.degraded_serves == 0 {
-        eprintln!(
-            "FAIL outage demo: no visible dip (unavailable {}, degraded {})",
+        failures.push(format!(
+            "outage demo: no visible dip (unavailable {}, degraded {})",
             demo.queries_unavailable, demo.degraded_serves
-        );
-        failures += 1;
+        ));
     }
     push(&mut table, &mut entries, "outage_demo", &demo_cfg, &demo);
 
@@ -94,30 +94,17 @@ fn main() {
     );
     print!("{}", table.render());
 
-    match report::write_telemetry(
-        &report::telemetry_report(entries),
-        "artifacts/telemetry.json",
-    ) {
-        Ok(path) => println!("\ntelemetry written to {}", path.display()),
-        Err(e) => eprintln!("\ntelemetry write failed: {e}"),
-    }
-
-    if failures > 0 {
-        eprintln!("\n{failures} chaos check(s) failed");
-        std::process::exit(1);
-    }
-    println!("all chaos checks passed");
+    scs_bench::finish_run("chaos", "artifacts/telemetry.json", entries, &failures);
 }
 
-fn check_oracle(label: &str, seed: u64, rep: &ChaosReport) -> u32 {
+fn check_oracle(label: &str, seed: u64, rep: &ChaosReport) -> Option<String> {
     if rep.stale_beyond_lease > 0 {
-        eprintln!(
-            "FAIL seed {seed} ({label}): {} serve(s) stale beyond the lease",
+        Some(format!(
+            "seed {seed} ({label}): {} serve(s) stale beyond the lease",
             rep.stale_beyond_lease
-        );
-        1
+        ))
     } else {
-        0
+        None
     }
 }
 

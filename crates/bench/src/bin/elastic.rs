@@ -26,7 +26,6 @@
 //! `regress --subset` can diff a smoke run against the full baseline.
 //! Exits nonzero when any acceptance check fails.
 
-use scs_apps::report;
 use scs_bench::elastic_probe::{self, ElasticFidelity};
 use scs_bench::TextTable;
 
@@ -105,23 +104,10 @@ fn main() {
         }
     }
 
-    match report::write_telemetry(
-        &report::telemetry_report(probe.entries),
+    scs_bench::finish_run(
+        "elastic",
         "artifacts/elastic.json",
-    ) {
-        Ok(path) => println!("\nElastic report written to {}", path.display()),
-        Err(e) => {
-            eprintln!("\nFailed to write elastic report: {e}");
-            std::process::exit(2);
-        }
-    }
-
-    if !probe.failures.is_empty() {
-        eprintln!("\n{} acceptance check(s) failed:", probe.failures.len());
-        for f in &probe.failures {
-            eprintln!("  FAIL {f}");
-        }
-        std::process::exit(1);
-    }
-    println!("all elastic acceptance checks passed");
+        probe.entries,
+        &probe.failures,
+    );
 }

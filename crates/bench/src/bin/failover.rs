@@ -1,0 +1,72 @@
+//! Failover experiment: the durable replicated home tier under
+//! scripted primary crashes — unavailability window, goodput dip, and
+//! recovery, measured against the steady single-home run of the same
+//! deterministic op script.
+//!
+//! Scenarios, acceptance checks, and the emitted entry schema live in
+//! [`scs_bench::failover_probe`] (shared with the `observatory` binary,
+//! which folds the same entries into the committed baseline so the
+//! `regress` gate's `failover_window_rise` and `acked_write_lost`
+//! detectors have a reference).
+//!
+//! Run: `cargo run -p scs-bench --bin failover [--smoke]`
+//! Output: `artifacts/failover.json` (`SCS_TELEMETRY_OUT` overrides).
+
+use scs_bench::failover_probe;
+use scs_bench::TextTable;
+
+fn main() {
+    let smoke = scs_bench::smoke_from_args();
+    println!("Failover — replicated home tier under scripted crashes");
+    println!(
+        "(toystore; {} ops per run; steady run is the single-home baseline)\n",
+        failover_probe::ops(smoke)
+    );
+
+    let probe = failover_probe::run_probe(smoke, failover_probe::SEED);
+
+    let mut table = TextTable::new(&[
+        "config",
+        "mode",
+        "failovers",
+        "down (ms)",
+        "budget (ms)",
+        "goodput kept",
+        "lost acked",
+        "fenced",
+        "stale>lease",
+    ]);
+    for v in &probe.variants {
+        let r = &v.report;
+        let budget = r.failovers.len() as u64
+            * (v.cfg.replication.lease_micros + 2 * v.cfg.replication.heartbeat_micros);
+        let retained = probe
+            .entries
+            .iter()
+            .find(|e| e.get("config").and_then(scs_telemetry::Json::as_str) == Some(v.name))
+            .and_then(|e| e.get("failover"))
+            .and_then(|f| f.get("goodput_retained"))
+            .and_then(scs_telemetry::Json::as_f64);
+        table.row(&[
+            v.name.to_string(),
+            v.cfg.replication.mode.name().to_string(),
+            r.failovers.len().to_string(),
+            format!("{:.1}", r.unavailable_micros_total as f64 / 1_000.0),
+            format!("{:.1}", budget as f64 / 1_000.0),
+            retained
+                .map(|g| format!("{:.0}%", g * 100.0))
+                .unwrap_or_else(|| "-".into()),
+            r.lost_acked_total.to_string(),
+            r.fenced_records.to_string(),
+            r.stale_beyond_lease.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+
+    scs_bench::finish_run(
+        "failover",
+        "artifacts/failover.json",
+        probe.entries,
+        &probe.failures,
+    );
+}

@@ -22,7 +22,7 @@
 //! `regress --subset` can diff a smoke run against the full baseline.
 //! Exits nonzero when any acceptance check fails.
 
-use scs_apps::{report, Fidelity};
+use scs_apps::Fidelity;
 use scs_bench::fleet_probe::{self, PROXY_COUNTS, SMOKE_STRATEGIES};
 use scs_bench::TextTable;
 use scs_dssp::StrategyKind;
@@ -68,23 +68,10 @@ fn main() {
     println!("Paper's shape: informed strategies scale out with added proxies;");
     println!("MBS stays pinned by the shared home server.");
 
-    match report::write_telemetry(
-        &report::telemetry_report(probe.entries),
+    scs_bench::finish_run(
+        "fleet",
         "artifacts/fleet.json",
-    ) {
-        Ok(path) => println!("\nFleet report written to {}", path.display()),
-        Err(e) => {
-            eprintln!("\nFailed to write fleet report: {e}");
-            std::process::exit(2);
-        }
-    }
-
-    if !probe.failures.is_empty() {
-        eprintln!("\n{} acceptance check(s) failed:", probe.failures.len());
-        for f in &probe.failures {
-            eprintln!("  FAIL {f}");
-        }
-        std::process::exit(1);
-    }
-    println!("all fleet acceptance checks passed");
+        probe.entries,
+        &probe.failures,
+    );
 }

@@ -27,7 +27,6 @@
 //! Exits nonzero when any acceptance check fails.
 
 use scs_apps::chaos::{run_chaos, ChaosConfig};
-use scs_apps::report;
 use scs_bench::freshness_probe::{self, FreshnessFidelity, PROXY_COUNTS};
 use scs_bench::TextTable;
 
@@ -82,25 +81,12 @@ fn main() {
 
     explain_demo();
 
-    match report::write_telemetry(
-        &report::telemetry_report(probe.entries),
+    scs_bench::finish_run(
+        "freshness",
         "artifacts/freshness.json",
-    ) {
-        Ok(path) => println!("\nFreshness report written to {}", path.display()),
-        Err(e) => {
-            eprintln!("\nFailed to write freshness report: {e}");
-            std::process::exit(2);
-        }
-    }
-
-    if !probe.failures.is_empty() {
-        eprintln!("\n{} acceptance check(s) failed:", probe.failures.len());
-        for f in &probe.failures {
-            eprintln!("  FAIL {f}");
-        }
-        std::process::exit(1);
-    }
-    println!("all freshness acceptance checks passed");
+        probe.entries,
+        &probe.failures,
+    );
 }
 
 /// Runs a single-replica chaos scenario and prints one causal chain of

@@ -24,7 +24,7 @@
 //! so `regress --subset` can diff a smoke run against the baseline.
 //! Exits nonzero when any acceptance check fails.
 
-use scs_apps::{report, run_audited_trial, BenchApp, Fidelity};
+use scs_apps::{run_audited_trial, BenchApp, Fidelity};
 use scs_bench::frontier_probe::{self, FrontierFidelity};
 use scs_bench::TextTable;
 
@@ -88,25 +88,12 @@ fn main() {
 
     explain_demo();
 
-    match report::write_telemetry(
-        &report::telemetry_report(probe.entries),
+    scs_bench::finish_run(
+        "frontier",
         "artifacts/frontier.json",
-    ) {
-        Ok(path) => println!("\nFrontier report written to {}", path.display()),
-        Err(e) => {
-            eprintln!("\nFailed to write frontier report: {e}");
-            std::process::exit(2);
-        }
-    }
-
-    if !probe.failures.is_empty() {
-        eprintln!("\n{} acceptance check(s) failed:", probe.failures.len());
-        for f in &probe.failures {
-            eprintln!("  FAIL {f}");
-        }
-        std::process::exit(1);
-    }
-    println!("all frontier acceptance checks passed");
+        probe.entries,
+        &probe.failures,
+    );
 }
 
 /// Runs one short audited greedy trial and prints an `explain_reveal`

@@ -24,6 +24,10 @@
 //!   at each bracketing static fleet size, with live join/leave
 //!   membership changes (the reference for the elastic detectors and
 //!   CI's `elastic --smoke` run);
+//! * the failover probe — the durable replicated home tier under
+//!   scripted primary crashes: unavailability window, goodput dip, and
+//!   the acked-write durability ledger (the reference for the failover
+//!   detectors and CI's `failover --smoke` run);
 //! * the frontier probe — the leakage-vs-max-users Pareto sweep over
 //!   the exposure lattice on the auction benchmark (the reference for
 //!   the leakage and frontier detectors and CI's `frontier --smoke`
@@ -166,6 +170,25 @@ fn main() {
     failed.extend(elastic.failures.iter().cloned());
     entries.extend(elastic.entries);
 
+    // The failover probe: the durable replicated home tier under
+    // scripted primary crashes, smoke fidelity matching CI's
+    // `failover --smoke` run — the reference for the
+    // `failover_window_rise` and `acked_write_lost` detectors.
+    let failover = scs_bench::failover_probe::run_probe(true, scs_bench::failover_probe::SEED);
+    for v in &failover.variants {
+        let r = &v.report;
+        println!(
+            "  [failover/{}] {} promotion(s) / down {:.1}ms / lost acked {} / stale-beyond-lease {}",
+            v.name,
+            r.failovers.len(),
+            r.unavailable_micros_total as f64 / 1_000.0,
+            r.lost_acked_total,
+            r.stale_beyond_lease
+        );
+    }
+    failed.extend(failover.failures.iter().cloned());
+    entries.extend(failover.entries);
+
     // The frontier probe: leakage vs. max users across the exposure
     // lattice, smoke fidelity (auction only) matching CI's `frontier
     // --smoke` run — the reference for the leakage-rise and
@@ -186,25 +209,12 @@ fn main() {
     failed.extend(frontier.failures.iter().cloned());
     entries.extend(frontier.entries);
 
-    match report::write_telemetry(
-        &report::telemetry_report(entries),
+    scs_bench::finish_run(
+        "observatory",
         "artifacts/observatory.json",
-    ) {
-        Ok(path) => println!("\nObservatory report written to {}", path.display()),
-        Err(e) => {
-            eprintln!("\nFailed to write observatory report: {e}");
-            std::process::exit(2);
-        }
-    }
-
-    if !failed.is_empty() {
-        eprintln!("\n{} SLO/dip check(s) failed:", failed.len());
-        for f in &failed {
-            eprintln!("  FAIL {f}");
-        }
-        std::process::exit(1);
-    }
-    println!("all observatory SLOs passed");
+        entries,
+        &failed,
+    );
 }
 
 /// One observed probe run: spans on, sim + proxy series merged, SLOs

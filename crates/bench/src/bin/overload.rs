@@ -15,12 +15,12 @@
 //! (ignoring `--seed`) so the emitted entries are byte-comparable to
 //! `BENCH_baseline.json`. Any failed check exits nonzero in both modes.
 
-use scs_apps::{report, OverloadReport};
+use scs_apps::OverloadReport;
 use scs_bench::overload_probe::{self, KNEE_HOLD_FRACTION, SWEEP_MULTIPLIERS};
 use scs_bench::TextTable;
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let smoke = scs_bench::smoke_from_args();
     let seed = if smoke {
         overload_probe::SEED
     } else {
@@ -95,22 +95,12 @@ fn main() {
     }
     print!("{}", curve.render());
 
-    match report::write_telemetry(
-        &report::telemetry_report(probe.entries),
+    scs_bench::finish_run(
+        "overload",
         "artifacts/overload.json",
-    ) {
-        Ok(path) => println!("\noverload report written to {}", path.display()),
-        Err(e) => eprintln!("\noverload report write failed: {e}"),
-    }
-
-    if !probe.failures.is_empty() {
-        for f in &probe.failures {
-            eprintln!("FAIL {f}");
-        }
-        eprintln!("\n{} overload check(s) failed", probe.failures.len());
-        std::process::exit(1);
-    }
-    println!("all overload checks passed");
+        probe.entries,
+        &probe.failures,
+    );
 }
 
 fn demo_row(table: &mut TextTable, label: &str, r: &OverloadReport) {

@@ -35,7 +35,12 @@
 //! * a baseline frontier point that was Pareto non-dominated becoming
 //!   strictly dominated in the candidate (the security/scalability
 //!   frontier receded), or a swept assignment disappearing from the
-//!   frontier curve.
+//!   frontier curve;
+//! * a failover entry's unavailability window growing past the
+//!   threshold (`failover_window_rise` — promotion got slower, either
+//!   in total or at the worst single failover), or its acked-write
+//!   durability ledger rising (`acked_write_lost` — writes the client
+//!   was told were durable died with the old primary).
 //!
 //! Both reports must carry the current telemetry `schema_version`
 //! ([`scs_apps::report::SCHEMA_VERSION`]); a mismatch is a usage error
@@ -437,6 +442,45 @@ fn elastic_drops(key: &str, base: &Json, cand: &Json, factor: f64, out: &mut Vec
     }
 }
 
+/// The failover detectors, over the `failover` object the durable
+/// home-tier probe exports: the unavailability window growing past the
+/// threshold — total across the run or at the worst single promotion —
+/// and the acked-write durability ledger rising. A single lost acked
+/// write is a durability regression regardless of threshold: the
+/// client held an ack for state that no longer exists.
+fn failover_drops(key: &str, base: &Json, cand: &Json, factor: f64, out: &mut Vec<Finding>) {
+    let (Some(bf), Some(cf)) = (base.get("failover"), cand.get("failover")) else {
+        return;
+    };
+    let num = |f: &Json, field: &str| f.get(field).and_then(Json::as_f64);
+    for field in ["unavailable_micros_total", "worst_window_micros"] {
+        if let (Some(b), Some(c)) = (num(bf, field), num(cf, field)) {
+            if b > 0.0 && c > b * (1.0 + factor) {
+                out.push(Finding::new(
+                    key,
+                    "failover_window_rise",
+                    format!(
+                        "{key}: {field} rose from {b:.0}us to {c:.0}us (>{:.0}%)",
+                        factor * 100.0
+                    ),
+                ));
+            }
+        }
+    }
+    if let (Some(b), Some(c)) = (
+        bf.get("lost_acked").and_then(Json::as_u64),
+        cf.get("lost_acked").and_then(Json::as_u64),
+    ) {
+        if c > b {
+            out.push(Finding::new(
+                key,
+                "acked_write_lost",
+                format!("{key}: acked writes lost across failover rose from {b} to {c}"),
+            ));
+        }
+    }
+}
+
 /// A frontier entry's per-assignment points, keyed by label.
 fn frontier_points(entry: &Json) -> Vec<(String, &Json)> {
     entry
@@ -672,6 +716,7 @@ fn diff_with(base: &Json, cand: &Json, threshold_pct: f64, subset: bool) -> Vec<
         fleet_curve_drops(&key, b, c, factor, &mut out);
         freshness_drops(&key, b, c, factor, &mut out);
         elastic_drops(&key, b, c, factor, &mut out);
+        failover_drops(&key, b, c, factor, &mut out);
         leakage_rise(&key, b, c, factor, &mut out);
         frontier_dominated(&key, b, c, &mut out);
         out.extend(goodput_collapse(&key, c));
@@ -779,6 +824,22 @@ fn self_check(baseline: &Json, threshold_pct: f64) -> i32 {
             }
         }
     }
+    // And a baseline carrying failover entries must prove the
+    // unavailability-window and acked-durability detectors fire on the
+    // degraded promotion records.
+    let has_failover = entries(baseline)
+        .iter()
+        .any(|(_, e)| e.get("failover").is_some());
+    if has_failover {
+        for d in ["failover_window_rise", "acked_write_lost"] {
+            if !tripped(d) {
+                eprintln!(
+                    "self-check FAILED: degraded failover entry did not trip the {d} detector"
+                );
+                return 1;
+            }
+        }
+    }
     // A baseline carrying an enabled leakage ledger must prove the
     // ledger-total detector fires when the revealed-bytes count grows.
     let has_leakage = entries(baseline)
@@ -800,8 +861,9 @@ fn self_check(baseline: &Json, threshold_pct: f64) -> i32 {
 /// Halves throughput, overload goodput, and fleet knees, fails every
 /// SLO, bumps staleness counts, inflates freshness lag/stale-age/
 /// amplification, triples measured leakage and sinks a frontier point
-/// below the curve, and collapses the goodput curve past its knee —
-/// the synthetic regression the self-check must catch.
+/// below the curve, collapses the goodput curve past its knee, and
+/// triples failover unavailability windows while losing three acked
+/// writes — the synthetic regression the self-check must catch.
 fn degrade(mut doc: Json) -> Json {
     if let Some(Json::Arr(entries)) = get_mut(&mut doc, "entries") {
         for entry in entries {
@@ -874,6 +936,20 @@ fn degrade(mut doc: Json) -> Json {
                 }
                 if let Some(Json::Num(n)) = get_mut(elastic, "node_seconds") {
                     *n *= 2.0;
+                }
+            }
+            // Degrade the durable home tier the way a slow failure
+            // detector and a leaky replication stream would: every
+            // promotion takes 3x as long and three acked writes die
+            // with the old primary.
+            if let Some(failover) = get_mut(entry, "failover") {
+                for field in ["unavailable_micros_total", "worst_window_micros"] {
+                    if let Some(Json::Num(v)) = get_mut(failover, field) {
+                        *v *= 3.0;
+                    }
+                }
+                if let Some(Json::Num(v)) = get_mut(failover, "lost_acked") {
+                    *v += 3.0;
                 }
             }
             // Degrade the leakage plane the way a moved encryption

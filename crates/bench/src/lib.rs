@@ -20,10 +20,12 @@
 //! | `freshness`   | extension — propagation-lag / staleness-age / amplification curves |
 //! | `elastic`     | extension — flash crowd: autoscaled fleet vs. static bracket |
 //! | `frontier`    | extension — leakage-vs-max-users Pareto frontier over the exposure lattice |
+//! | `failover`    | extension — home-tier crash/promotion: unavailability window, goodput dip |
 //!
 //! Criterion microbenchmarks live under `benches/`.
 
 pub mod elastic_probe;
+pub mod failover_probe;
 pub mod fleet_probe;
 pub mod freshness_probe;
 pub mod frontier_probe;
@@ -87,6 +89,41 @@ pub fn fidelity_from_args() -> scs_apps::Fidelity {
     } else {
         scs_apps::Fidelity::quick()
     }
+}
+
+/// True when the binary was invoked in CI smoke mode (`--smoke`).
+pub fn smoke_from_args() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+}
+
+/// The shared bench-binary epilogue: writes the telemetry export to
+/// `path` (`$SCS_TELEMETRY_OUT` overrides it) and turns acceptance
+/// failures into the process exit status — 2 when the export cannot
+/// be written, 1 when any check failed, 0 otherwise. Every experiment
+/// binary funnels through here so the artifact/exit contract stays
+/// identical across the suite.
+pub fn finish_run(
+    name: &str,
+    path: &str,
+    entries: Vec<scs_telemetry::Json>,
+    failures: &[String],
+) -> ! {
+    match scs_apps::report::write_telemetry(&scs_apps::report::telemetry_report(entries), path) {
+        Ok(p) => println!("\n{name} report written to {}", p.display()),
+        Err(e) => {
+            eprintln!("\nFailed to write {name} report: {e}");
+            std::process::exit(2);
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!("\n{} {name} check(s) failed:", failures.len());
+        for f in failures {
+            eprintln!("  FAIL {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("all {name} acceptance checks passed");
+    std::process::exit(0);
 }
 
 /// An ASCII sparkline of exposure levels (Figure-7 style):

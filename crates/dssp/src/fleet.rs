@@ -40,14 +40,18 @@
 //! `tests/fleet.rs` and `tests/elastic.rs` verify against a
 //! ground-truth oracle.
 
-use crate::delivery::{splitmix64, InvalidationBatch, InvalidationMsg};
+use crate::delivery::{
+    splitmix64, FtQueryResponse, FtUpdateOutcome, FtUpdateResponse, HomeLink, InvalidationBatch,
+    InvalidationMsg, RetryPolicy,
+};
 use crate::elastic::{HandoffFault, JoinOutcome, LeaveOutcome};
 use crate::home::HomeServer;
 use crate::proxy::{Dssp, DsspConfig, QueryResponse, UpdateResponse};
+use crate::replication::{CommitAck, FailoverRecord, HomeGroup, ReplicationConfig};
 use crate::stats::DsspStats;
 use scs_netsim::fault::{ChannelStats, FaultSpec, FaultyChannel};
 use scs_sqlkit::{Query, Update};
-use scs_storage::StorageError;
+use scs_storage::{Database, StorageError};
 use scs_telemetry::{
     shared_audit, shared_provenance, FlushTrigger, MembershipKind, MembershipStamp, ProvenanceLog,
     SharedAudit, SharedProvenance, SpanId, SpanPhase, SpanRecorder,
@@ -161,6 +165,31 @@ pub struct FleetUpdateResponse {
     /// The home server's epoch after this update (its notification is
     /// in the fanout buffer or in flight).
     pub epoch: u64,
+    /// The replication ack for this write (always acked for a
+    /// single-node home tier and in async mode; may be unacked when a
+    /// sync-quorum commit timed out).
+    pub ack: CommitAck,
+}
+
+/// A fault-tolerant query response from the fleet: which replica
+/// served (or failed to serve) it, and what deliveries preceded it.
+/// Unlike [`ProxyFleet::execute_query`], this path survives a down
+/// home tier: within-lease hits serve degraded, misses surface
+/// [`crate::delivery::FtOutcome::Unavailable`].
+#[derive(Debug)]
+pub struct FleetFtQueryResponse {
+    pub proxy: usize,
+    pub resp: FtQueryResponse,
+    pub delivered: DeliveryTotals,
+}
+
+/// A fault-tolerant update response from the fleet. While the home
+/// tier is down the outcome is `Unavailable` and `ack` is `None`.
+#[derive(Debug)]
+pub struct FleetFtUpdateResponse {
+    pub proxy: usize,
+    pub resp: FtUpdateResponse,
+    pub ack: Option<CommitAck>,
 }
 
 /// What a pump delivered: batches applied plus the entry scan/kill
@@ -233,7 +262,11 @@ pub struct ProxyFleet {
     /// Kept for spawning joiners: same app id, hence the same tenant
     /// encryption key as the founding replicas.
     config: DsspConfig,
-    home: HomeServer,
+    /// The home tier. A plain fleet wraps its home server in a
+    /// single-node [`HomeGroup`] (an exact passthrough);
+    /// [`ProxyFleet::replicated`] builds a primary + standbys group
+    /// that survives crashes via standby promotion.
+    home: HomeGroup,
     routing: RoutingMode,
     /// Sorted `(point, replica id)` ring for
     /// [`RoutingMode::HashByTemplate`]. Points are keyed by stable id,
@@ -256,6 +289,10 @@ pub struct ProxyFleet {
     membership_epoch: u64,
     /// Poisoned provenance locks recovered on the fanout path.
     prov_poison_recovered: u64,
+    /// Buffered fanout notifications destroyed by a home-tier crash
+    /// (crash mid-fanout-flush): their epochs surface to every replica
+    /// as one stream gap, which the recovery flush absorbs.
+    fanout_lost_on_crash: u64,
     /// Per-replica settings replayed onto joiners.
     lease: Option<u64>,
     span_capacity: Option<usize>,
@@ -276,7 +313,25 @@ impl ProxyFleet {
     /// encryption key), its stable id stamped on trace events, its own
     /// delivery pipe seeded independently, and a pipe registration at
     /// the home server.
-    pub fn new(config: DsspConfig, mut home: HomeServer, fleet: FleetConfig) -> ProxyFleet {
+    pub fn new(config: DsspConfig, home: HomeServer, fleet: FleetConfig) -> ProxyFleet {
+        Self::with_home_group(config, HomeGroup::single(home), fleet)
+    }
+
+    /// Builds the fleet over a **replicated** home tier: the home
+    /// server becomes the primary of a [`HomeGroup`] per `replication`
+    /// (standbys seeded from its current state). Everything else is
+    /// identical to [`ProxyFleet::new`] — the replication layer sits
+    /// entirely behind the home surface.
+    pub fn replicated(
+        config: DsspConfig,
+        home: HomeServer,
+        fleet: FleetConfig,
+        replication: ReplicationConfig,
+    ) -> ProxyFleet {
+        Self::with_home_group(config, HomeGroup::new(home, replication), fleet)
+    }
+
+    fn with_home_group(config: DsspConfig, mut home: HomeGroup, fleet: FleetConfig) -> ProxyFleet {
         assert!(fleet.proxies >= 1, "a fleet has at least one proxy");
         let mut replicas = Vec::with_capacity(fleet.proxies);
         for id in 0..fleet.proxies {
@@ -310,6 +365,7 @@ impl ProxyFleet {
             coalesced: 0,
             membership_epoch: 0,
             prov_poison_recovered: 0,
+            fanout_lost_on_crash: 0,
             lease: None,
             span_capacity: None,
             spans: SpanRecorder::disabled(),
@@ -705,11 +761,91 @@ impl ProxyFleet {
         let id = self.route(q.template_id);
         let delivered = self.pump(id);
         let i = self.idx(id);
-        let resp = self.replicas[i].dssp.execute_query(q, &mut self.home)?;
+        let resp = self.replicas[i]
+            .dssp
+            .execute_query(q, self.home.primary_mut())?;
         Ok(FleetQueryResponse {
             proxy: id,
             resp,
             delivered,
+        })
+    }
+
+    /// Fault-tolerant query path: like [`ProxyFleet::execute_query`]
+    /// but it survives a down home tier — within-lease cache hits
+    /// serve degraded, misses surface `Unavailable` instead of
+    /// panicking on the missing primary.
+    pub fn execute_query_ha(&mut self, q: &Query) -> Result<FleetFtQueryResponse, StorageError> {
+        let id = self.route(q.template_id);
+        let delivered = self.pump(id);
+        let i = self.idx(id);
+        let resp = if self.home.is_up() {
+            self.replicas[i].dssp.execute_query_ft(
+                q,
+                self.home.primary_mut(),
+                &HomeLink::reliable(),
+                &RetryPolicy::no_retries(),
+            )?
+        } else {
+            // No primary to trip to: a scratch server satisfies the
+            // signature and is provably never touched while the link
+            // reports down.
+            let mut scratch = HomeServer::new(Database::default());
+            self.replicas[i].dssp.execute_query_ft(
+                q,
+                &mut scratch,
+                &HomeLink::with_outages(vec![(0, u64::MAX)]),
+                &RetryPolicy::no_retries(),
+            )?
+        };
+        Ok(FleetFtQueryResponse {
+            proxy: id,
+            resp,
+            delivered,
+        })
+    }
+
+    /// Fault-tolerant update path: `Unavailable` (master untouched)
+    /// while the home tier is down, otherwise applied + replicated
+    /// with the group's commit ack.
+    pub fn execute_update_ha(&mut self, u: &Update) -> Result<FleetFtUpdateResponse, StorageError> {
+        let id = self.route(u.template_id);
+        self.pump(id);
+        let i = self.idx(id);
+        if !self.home.is_up() {
+            let mut scratch = HomeServer::new(Database::default());
+            let resp = self.replicas[i].dssp.execute_update_ft(
+                u,
+                &mut scratch,
+                &HomeLink::with_outages(vec![(0, u64::MAX)]),
+                &RetryPolicy::no_retries(),
+            )?;
+            return Ok(FleetFtUpdateResponse {
+                proxy: id,
+                resp,
+                ack: None,
+            });
+        }
+        let resp = self.replicas[i].dssp.execute_update_ft(
+            u,
+            self.home.primary_mut(),
+            &HomeLink::reliable(),
+            &RetryPolicy::no_retries(),
+        )?;
+        let ack = match &resp.outcome {
+            FtUpdateOutcome::Applied { msg, .. } => {
+                let msg = msg.clone();
+                let ack = self.home.commit(self.now_micros);
+                self.offer(msg);
+                self.pump_all();
+                Some(ack)
+            }
+            FtUpdateOutcome::Unavailable => None,
+        };
+        Ok(FleetFtUpdateResponse {
+            proxy: id,
+            resp,
+            ack,
         })
     }
 
@@ -721,13 +857,12 @@ impl ProxyFleet {
     /// [`FanoutConfig::immediate`] over zero-latency reliable pipes the
     /// batch applies before this call returns.
     pub fn execute_update(&mut self, u: &Update) -> Result<FleetUpdateResponse, StorageError> {
-        use crate::delivery::{FtUpdateOutcome, HomeLink, RetryPolicy};
         let id = self.route(u.template_id);
         self.pump(id);
         let i = self.idx(id);
         let ft = self.replicas[i].dssp.execute_update_ft(
             u,
-            &mut self.home,
+            self.home.primary_mut(),
             &HomeLink::reliable(),
             &RetryPolicy::no_retries(),
         )?;
@@ -736,6 +871,9 @@ impl ProxyFleet {
             FtUpdateOutcome::Unavailable => unreachable!("reliable link cannot be unavailable"),
         };
         let epoch = msg.epoch;
+        // Replicate before fanout: the ack (sync-quorum wait included)
+        // reflects the write alone, not downstream delivery work.
+        let ack = self.home.commit(self.now_micros);
         self.offer(msg);
         // Deliver anything already due (with immediate fanout over
         // zero-latency pipes that includes the batch just sent).
@@ -748,6 +886,7 @@ impl ProxyFleet {
                 invalidated: delivered.invalidated,
             },
             epoch,
+            ack,
         })
     }
 
@@ -867,7 +1006,12 @@ impl ProxyFleet {
     /// drain to their replicas.
     pub fn set_sim_time_micros(&mut self, micros: u64) {
         self.now_micros = micros;
-        self.home.set_sim_time_micros(micros);
+        // The group tick heartbeats, ships WAL records, and — when the
+        // primary has been silent past its lease — promotes a standby.
+        // Promotion is invisible here: the group re-installs the pipe
+        // registry and provenance on the new primary, and its barrier
+        // epoch turns the lost tail into an ordinary stream gap.
+        self.home.tick(micros);
         for r in &mut self.replicas {
             r.dssp.set_sim_time_micros(micros);
         }
@@ -929,12 +1073,54 @@ impl ProxyFleet {
         &mut self.replicas[i].dssp
     }
 
+    /// The live home primary (panics while the tier is down — the
+    /// fault-tolerant paths check [`HomeGroup::is_up`] first).
     pub fn home(&self) -> &HomeServer {
-        &self.home
+        self.home.primary()
     }
 
     pub fn home_mut(&mut self) -> &mut HomeServer {
+        self.home.primary_mut()
+    }
+
+    /// The home tier as a replication group (single-node for fleets
+    /// built with [`ProxyFleet::new`]).
+    pub fn home_group(&self) -> &HomeGroup {
+        &self.home
+    }
+
+    pub fn home_group_mut(&mut self) -> &mut HomeGroup {
         &mut self.home
+    }
+
+    /// Crashes the home primary (in-memory state lost, durable WAL
+    /// survives). Buffered fanout notifications die with it — counted,
+    /// and surfaced to every replica as one stream gap the recovery
+    /// flush absorbs. The tier stays down until the group's lease
+    /// expires and a standby promotes (advance the clock).
+    pub fn crash_home(&mut self) {
+        self.fanout_lost_on_crash += self.pending.len() as u64;
+        self.pending.clear();
+        self.home.crash_primary(self.now_micros);
+    }
+
+    /// Partitions the home primary away (the zombie scenario): same
+    /// fleet-side effects as a crash, but the old primary keeps
+    /// running on its stale term.
+    pub fn partition_home(&mut self) {
+        self.fanout_lost_on_crash += self.pending.len() as u64;
+        self.pending.clear();
+        self.home.partition_primary(self.now_micros);
+    }
+
+    /// Failovers the home tier has completed so far.
+    pub fn home_failovers(&self) -> &[FailoverRecord] {
+        self.home.failovers()
+    }
+
+    /// Buffered fanout notifications destroyed by home-tier crashes.
+    pub fn fanout_lost_on_crash(&self) -> u64 {
+        self.fanout_lost_on_crash
     }
 
     /// Notifications buffered but not yet shipped.
@@ -1448,5 +1634,150 @@ mod tests {
         assert_eq!(k.replica, 3);
         f.fleet.drain();
         assert_eq!(f.fleet.membership_epoch(), 3);
+    }
+
+    // ---- replicated home tier --------------------------------------
+
+    use crate::replication::{ReplicationConfig, ReplicationMode};
+
+    fn replicated_fixture(standbys: usize) -> Fixture {
+        let (config, home, queries, updates) = toy_config(StrategyKind::ViewInspection);
+        let mut repl = ReplicationConfig::group(ReplicationMode::Async, standbys);
+        repl.seed = 11;
+        Fixture {
+            fleet: ProxyFleet::replicated(
+                config,
+                home,
+                FleetConfig::reliable(2, RoutingMode::RoundRobin),
+                repl,
+            ),
+            queries,
+            updates,
+        }
+    }
+
+    /// Advances fleet time until the group promotes a standby.
+    fn ride_out_failover(f: &mut Fixture, mut now: u64) -> u64 {
+        let before = f.fleet.home_failovers().len();
+        while f.fleet.home_failovers().len() == before {
+            now += 10_000;
+            f.fleet.set_sim_time_micros(now);
+            assert!(now < 10_000_000, "failover never happened");
+        }
+        now
+    }
+
+    #[test]
+    fn restart_handshakes_against_a_promoted_home() {
+        let mut f = replicated_fixture(1);
+        f.query(1, vec![Value::Int(1)]);
+        for i in 0..4 {
+            f.update(0, vec![Value::Int(10 + i), Value::Int(1)]);
+        }
+        let now = 1_000;
+        f.fleet.set_sim_time_micros(now); // ships + delivers replication
+        f.fleet.crash_home();
+        ride_out_failover(&mut f, now);
+        let fo = *f.fleet.home_failovers().last().unwrap();
+        assert_eq!(fo.lost_records, 0, "everything had replicated");
+        // The promoted home opened past the old tip; a restarting
+        // proxy handshakes against the *new* stream position.
+        f.fleet.restart_proxy(1);
+        assert_eq!(f.fleet.proxy(1).epoch(), f.fleet.home().epoch());
+        assert_eq!(f.fleet.proxy(1).epoch(), fo.barrier_epoch);
+        assert_eq!(f.fleet.proxy(1).cache_len(), 0);
+        // And ordinary traffic keeps working against the new primary.
+        let resp = f.update(0, vec![Value::Int(99), Value::Int(1)]);
+        assert!(resp.ack.acked);
+        assert!(resp.epoch > fo.barrier_epoch);
+    }
+
+    #[test]
+    fn pump_all_and_drain_cross_a_failover_boundary() {
+        let (config, home, queries, updates) = toy_config(StrategyKind::ViewInspection);
+        let mut repl = ReplicationConfig::group(ReplicationMode::Async, 1);
+        repl.seed = 13;
+        let mut cfg = FleetConfig::reliable(2, RoutingMode::RoundRobin);
+        cfg.fanout = FanoutConfig::batched(1000, u64::MAX); // hold everything
+        let mut f = Fixture {
+            fleet: ProxyFleet::replicated(config, home, cfg, repl),
+            queries,
+            updates,
+        };
+        // Warm both replicas, then buffer updates without flushing.
+        f.query(1, vec![Value::Int(1)]);
+        f.query(1, vec![Value::Int(1)]);
+        for i in 0..3 {
+            f.update(0, vec![Value::Int(20 + i), Value::Int(1)]);
+        }
+        assert_eq!(f.fleet.pending_fanout(), 3);
+        let mut now = 1_000;
+        f.fleet.set_sim_time_micros(now);
+        // Crash mid-fanout-flush: the buffered notifications die with
+        // the primary (counted), their epochs become a stream gap.
+        f.fleet.crash_home();
+        assert_eq!(f.fleet.pending_fanout(), 0);
+        assert_eq!(f.fleet.fanout_lost_on_crash(), 3);
+        now = ride_out_failover(&mut f, now);
+        // Post-failover updates fan out from the promoted primary;
+        // pump_all/drain walk the same pipes as before the failover.
+        f.update(0, vec![Value::Int(50), Value::Int(1)]);
+        f.fleet.set_sim_time_micros(now + 1_000);
+        f.fleet.flush_fanout();
+        f.fleet.pump_all();
+        f.fleet.drain();
+        // Every replica crossed the barrier gap (recovery flush) and
+        // converged on the new stream position.
+        for p in 0..2 {
+            assert_eq!(f.fleet.proxy(p).epoch(), f.fleet.home().epoch());
+        }
+        assert_eq!(f.fleet.total_cache_entries(), 0, "gap flushed the caches");
+        // The lost epochs were recovered over, not silently skipped.
+        let counters = f.fleet.rollup_metrics().counters;
+        assert!(
+            counters["dssp.recovery_flushes"] >= 1,
+            "at least one replica gap-flushed"
+        );
+    }
+
+    #[test]
+    fn replicated_fleet_survives_failover_transparently() {
+        let mut f = replicated_fixture(2);
+        f.query(1, vec![Value::Int(1)]);
+        f.query(1, vec![Value::Int(2)]);
+        for i in 0..5 {
+            f.update(0, vec![Value::Int(30 + i), Value::Int(1)]);
+        }
+        let mut now = 2_000;
+        f.fleet.set_sim_time_micros(now);
+        let epoch_before = f.fleet.home().epoch();
+        f.fleet.crash_home();
+        assert!(!f.fleet.home_group().is_up());
+        // Queries during the outage degrade instead of panicking.
+        let q = Query::bind(1, f.queries[1].clone(), vec![Value::Int(1)]).unwrap();
+        let ha = f.fleet.execute_query_ha(&q).unwrap();
+        assert!(matches!(
+            ha.resp.outcome,
+            crate::delivery::FtOutcome::Unavailable | crate::delivery::FtOutcome::Served { .. }
+        ));
+        // Updates during the outage are refused, master untouched.
+        let u = Update::bind(0, f.updates[0].clone(), vec![Value::Int(77), Value::Int(1)]).unwrap();
+        let ha = f.fleet.execute_update_ha(&u).unwrap();
+        assert!(matches!(
+            ha.resp.outcome,
+            crate::delivery::FtUpdateOutcome::Unavailable
+        ));
+        assert!(ha.ack.is_none());
+        now = ride_out_failover(&mut f, now);
+        assert!(f.fleet.home_group().is_up());
+        assert!(f.fleet.home().epoch() > epoch_before, "barrier moved ahead");
+        // The same ha paths now serve against the promoted primary.
+        let ha = f.fleet.execute_update_ha(&u).unwrap();
+        assert!(ha.ack.expect("tier is up").acked);
+        f.fleet.set_sim_time_micros(now + 1_000);
+        f.fleet.drain();
+        for p in 0..2 {
+            assert_eq!(f.fleet.proxy(p).epoch(), f.fleet.home().epoch());
+        }
     }
 }

@@ -11,7 +11,7 @@
 
 use crate::delivery::{InvalidationMsg, PipeRegistration};
 use scs_sqlkit::{Query, Update};
-use scs_storage::{Database, QueryResult, StorageError, UpdateEffect};
+use scs_storage::{Database, QueryResult, StorageError, UpdateEffect, Wal};
 use scs_telemetry::SharedProvenance;
 
 /// Wraps the master database with simple accounting — the home server's
@@ -40,10 +40,17 @@ pub struct HomeServer {
     /// home-side membership view an elastic fleet maintains through
     /// [`HomeServer::register_pipe`] / [`HomeServer::unregister_pipe`].
     pipes: Vec<PipeRegistration>,
+    /// The durable write-ahead log: every master write — statement-form
+    /// updates *and* out-of-band [`HomeServer::mutate_database`] calls —
+    /// appends one epoch-stamped record. The log is what survives a
+    /// crash ([`HomeServer::crash`] / [`HomeServer::recover`]) and what
+    /// a replication group ships to standbys.
+    wal: Wal,
 }
 
 impl HomeServer {
     pub fn new(db: Database) -> HomeServer {
+        let wal = Wal::new(db.clone(), 0);
         HomeServer {
             db,
             queries_served: 0,
@@ -53,7 +60,85 @@ impl HomeServer {
             now_micros: 0,
             prov: None,
             pipes: Vec::new(),
+            wal,
         }
+    }
+
+    /// Rebuilds a home server from a durable log: the database is the
+    /// log's full replay and the epoch resumes at the log's tip. This is
+    /// both crash recovery (replaying your own log) and standby
+    /// promotion (replaying the log you were shipped). Load accounting
+    /// restarts at zero — the process is new even if the state is not.
+    /// Panics if the log is corrupt (a record fails to re-apply).
+    pub fn recover(wal: Wal) -> HomeServer {
+        let db = wal
+            .replay()
+            .expect("WAL records re-apply cleanly: corrupt log");
+        HomeServer {
+            db,
+            queries_served: 0,
+            updates_applied: 0,
+            epoch: wal.last_epoch(),
+            service_nanos: 0,
+            now_micros: 0,
+            prov: None,
+            pipes: Vec::new(),
+            wal,
+        }
+    }
+
+    /// Crashes the server: the in-memory state is gone; only the durable
+    /// log survives, and this returns it.
+    pub fn crash(self) -> Wal {
+        self.wal
+    }
+
+    /// The durable log (read access: replication ships from here).
+    pub fn wal(&self) -> &Wal {
+        &self.wal
+    }
+
+    /// Folds every log record at or below `epoch` into the base
+    /// snapshot, bounding log growth. Records below the new base can no
+    /// longer be shipped individually — callers must keep the compaction
+    /// point at or below every standby's acked epoch.
+    pub fn compact_wal_to(&mut self, epoch: u64) {
+        self.wal
+            .compact_to(epoch)
+            .expect("WAL records re-apply cleanly: corrupt log");
+    }
+
+    /// Advances the epoch to exactly `epoch` (which must be ahead) by
+    /// writing one checkpoint record — the **promotion barrier**. A
+    /// standby promoted after a failover calls this with the group's
+    /// high-water epoch + 1: epochs the dead primary issued but never
+    /// replicated become a permanent, *detectable* gap in the stream
+    /// (never reused for different content), and the checkpoint pins the
+    /// fenced state the new primary resumes from.
+    pub fn advance_epoch_to(&mut self, epoch: u64) {
+        assert!(
+            epoch > self.epoch,
+            "promotion barrier must move the epoch forward: {} -> {}",
+            self.epoch,
+            epoch
+        );
+        while self.epoch < epoch - 1 {
+            // Interior skipped epochs get no records — the gap is the
+            // point — but the WAL stays contiguous by folding them into
+            // the barrier record's epoch. Represent each skipped epoch
+            // as a checkpoint of the unchanged state.
+            self.epoch += 1;
+            self.wal.append_checkpoint(self.epoch, self.db.clone());
+        }
+        self.epoch = epoch;
+        self.wal.append_checkpoint(epoch, self.db.clone());
+    }
+
+    /// Restores a fanout-pipe registry wholesale — cluster metadata a
+    /// replication group re-installs on a freshly promoted primary so
+    /// fanout resumes toward the same fleet.
+    pub fn restore_pipes(&mut self, pipes: Vec<PipeRegistration>) {
+        self.pipes = pipes;
     }
 
     /// Advances the home's simulated clock (µs). Commit stamps on the
@@ -95,6 +180,7 @@ impl HomeServer {
             .saturating_add(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
         let effect = effect?;
         self.epoch += 1;
+        self.wal.append_statement(self.epoch, u.clone());
         let msg = InvalidationMsg {
             epoch: self.epoch,
             update: u.clone(),
@@ -162,9 +248,16 @@ impl HomeServer {
     /// proxy receives exposes a gap and forces a recovery flush — an
     /// out-of-band write can desynchronize a cache only detectably,
     /// never silently.
+    ///
+    /// The write is durable: the closure is not replayable, so the WAL
+    /// records the full post-write state as a checkpoint under the
+    /// consumed epoch. A crash after an out-of-band write therefore
+    /// recovers it, and it still surfaces to proxies as exactly one gap.
     pub fn mutate_database<R>(&mut self, f: impl FnOnce(&mut Database) -> R) -> R {
         self.epoch += 1;
-        f(&mut self.db)
+        let r = f(&mut self.db);
+        self.wal.append_checkpoint(self.epoch, self.db.clone());
+        r
     }
 
     pub fn queries_served(&self) -> u64 {

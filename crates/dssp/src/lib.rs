@@ -42,6 +42,7 @@ pub mod elastic;
 pub mod fleet;
 pub mod home;
 pub mod proxy;
+pub mod replication;
 pub mod statement;
 pub mod stats;
 pub mod strategy;
@@ -63,13 +64,16 @@ pub use elastic::{
     ScaleDecision,
 };
 pub use fleet::{
-    DeliveryTotals, FanoutConfig, FanoutStats, FleetConfig, FleetQueryResponse,
-    FleetUpdateResponse, ProxyFleet, RoutingMode,
+    DeliveryTotals, FanoutConfig, FanoutStats, FleetConfig, FleetFtQueryResponse,
+    FleetFtUpdateResponse, FleetQueryResponse, FleetUpdateResponse, ProxyFleet, RoutingMode,
 };
 pub use home::HomeServer;
 pub use proxy::{
     Dssp, DsspConfig, OverloadOutcome, OverloadQueryResponse, OverloadUpdateOutcome,
     OverloadUpdateResponse, QueryResponse, UpdateResponse,
+};
+pub use replication::{
+    CommitAck, FailoverRecord, HomeGroup, ReplicationConfig, ReplicationMode, ShipMsg, Standby,
 };
 pub use statement::statement_may_affect;
 pub use stats::DsspStats;

@@ -46,7 +46,11 @@ impl UpdateEffect {
 }
 
 /// An in-memory relational database.
-#[derive(Debug, Clone, Default)]
+///
+/// Equality is physical-state equality (see [`Table`]): the property the
+/// write-ahead log's replay test pins — a recovered database must be
+/// indistinguishable from the pre-crash one.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Database {
     tables: BTreeMap<String, Table>,
 }

@@ -18,9 +18,11 @@ pub mod executor;
 pub mod result;
 pub mod schema;
 pub mod table;
+pub mod wal;
 
 pub use database::{Database, UpdateEffect};
 pub use error::StorageError;
 pub use result::QueryResult;
 pub use schema::{Column, ColumnType, ForeignKey, TableSchema};
 pub use table::{Row, RowId, Table};
+pub use wal::{Wal, WalPayload, WalRecord};

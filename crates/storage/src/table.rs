@@ -14,7 +14,13 @@ pub type Row = Vec<Value>;
 pub type RowId = usize;
 
 /// A table: schema + slotted row storage + indexes.
-#[derive(Debug, Clone)]
+///
+/// Equality compares the *full physical state* — schema, slot layout
+/// (including dead slots and the free list), and indexes — so two tables
+/// compare equal exactly when they are byte-for-byte interchangeable.
+/// WAL replay (see `wal`) is pinned against this: recovery must land on
+/// the identical physical state, not merely the same logical rows.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     schema: TableSchema,
     slots: Vec<Option<Row>>,

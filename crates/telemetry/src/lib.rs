@@ -57,8 +57,8 @@ pub use audit::{
 pub use hist::{HistogramSnapshot, LogHistogram};
 pub use json::Json;
 pub use provenance::{
-    shared_provenance, ApplyKind, FlushTrigger, MembershipKind, MembershipStamp, ProvenanceLog,
-    SharedProvenance,
+    shared_provenance, ApplyKind, FailoverStamp, FlushTrigger, MembershipKind, MembershipStamp,
+    ProvenanceLog, SharedProvenance,
 };
 pub use registry::{Counter, Gauge, MetricsRegistry, MetricsSnapshot};
 pub use slo::{evaluate_all, Objective, SloResult, SloSpec};

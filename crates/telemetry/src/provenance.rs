@@ -321,6 +321,33 @@ pub struct MembershipStamp {
     pub home_epoch: u64,
 }
 
+/// One home-tier failover on the plane's timeline: a standby promoted
+/// over a dead (or partitioned-away) primary. The stamp carries the
+/// full durability account — how many stream epochs the promotion
+/// barrier skipped (`lost_records`) and how many of those had been
+/// acked to a client (`lost_acked`, provably 0 under sync-quorum
+/// replication) — so staleness and conservation anomalies around the
+/// outage can be lined up against the failover that caused them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailoverStamp {
+    pub at_micros: u64,
+    /// Node id of the primary that died.
+    pub from_primary: usize,
+    /// Node id of the promoted standby.
+    pub to_primary: usize,
+    /// Fencing term the new primary writes under.
+    pub new_term: u64,
+    /// The epoch the new primary opened with — the permanent stream
+    /// gap proxies recover over.
+    pub barrier_epoch: u64,
+    /// Epochs the dead primary issued that never replicated.
+    pub lost_records: u64,
+    /// Of those, writes that had been acked to a client.
+    pub lost_acked: u64,
+    /// How long the tier was down before this promotion (µs).
+    pub unavailable_micros: u64,
+}
+
 /// The freshness plane's event log. See the module docs for the model.
 #[derive(Debug, Default)]
 pub struct ProvenanceLog {
@@ -331,6 +358,7 @@ pub struct ProvenanceLog {
     replicas: Vec<ReplicaLog>,
     amplification: Vec<Amplification>,
     membership: Vec<MembershipStamp>,
+    failovers: Vec<FailoverStamp>,
 }
 
 impl ProvenanceLog {
@@ -365,6 +393,16 @@ impl ProvenanceLog {
     /// The membership timeline, in stamp order.
     pub fn membership(&self) -> &[MembershipStamp] {
         &self.membership
+    }
+
+    /// Stamps a home-tier failover (standby promotion).
+    pub fn note_failover(&mut self, stamp: FailoverStamp) {
+        self.failovers.push(stamp);
+    }
+
+    /// The failover timeline, in stamp order.
+    pub fn failovers(&self) -> &[FailoverStamp] {
+        &self.failovers
     }
 
     pub fn replica(&self, r: usize) -> &ReplicaLog {
@@ -926,6 +964,22 @@ impl ProvenanceLog {
                 ])
             })
             .collect();
+        let failovers: Vec<Json> = self
+            .failovers
+            .iter()
+            .map(|f| {
+                Json::obj([
+                    ("at_micros", f.at_micros.into()),
+                    ("from_primary", (f.from_primary as u64).into()),
+                    ("to_primary", (f.to_primary as u64).into()),
+                    ("new_term", f.new_term.into()),
+                    ("barrier_epoch", f.barrier_epoch.into()),
+                    ("lost_records", f.lost_records.into()),
+                    ("lost_acked", f.lost_acked.into()),
+                    ("unavailable_micros", f.unavailable_micros.into()),
+                ])
+            })
+            .collect();
         Json::obj([
             ("commits", (self.commits.len() as u64).into()),
             ("batches", (self.batches.len() as u64).into()),
@@ -936,6 +990,7 @@ impl ProvenanceLog {
             ("replicas", Json::from(replicas)),
             ("amplification", Json::from(amplification)),
             ("membership", Json::from(membership)),
+            ("failovers", Json::from(failovers)),
         ])
     }
 }
@@ -1245,6 +1300,29 @@ mod tests {
         // Registering an already-covered id is a no-op.
         log.register_replica(1);
         assert_eq!(log.replica_count(), 3);
+    }
+
+    #[test]
+    fn failover_stamps_land_on_the_timeline_and_in_the_summary() {
+        let mut log = ProvenanceLog::new(2);
+        log.note_failover(FailoverStamp {
+            at_micros: 90_000,
+            from_primary: 0,
+            to_primary: 2,
+            new_term: 1,
+            barrier_epoch: 41,
+            lost_records: 3,
+            lost_acked: 0,
+            unavailable_micros: 50_000,
+        });
+        assert_eq!(log.failovers().len(), 1);
+        assert_eq!(log.failovers()[0].barrier_epoch, 41);
+        let doc = log.summary_json();
+        let f = doc.get("failovers").unwrap().index(0).unwrap();
+        assert_eq!(f.get("to_primary").unwrap().as_u64(), Some(2));
+        assert_eq!(f.get("lost_records").unwrap().as_u64(), Some(3));
+        assert_eq!(f.get("lost_acked").unwrap().as_u64(), Some(0));
+        assert_eq!(f.get("unavailable_micros").unwrap().as_u64(), Some(50_000));
     }
 
     #[test]
