@@ -229,6 +229,21 @@ impl FailoverConfig {
             .count();
         self
     }
+
+    /// The same schedule over a dropping/duplicating/delaying ship
+    /// stream. Composed with `zombie`, this races stale-term records
+    /// against the new primary's first post-promotion ship — the
+    /// ordering a loss-free pipe can never produce.
+    pub fn lossy(mut self) -> FailoverConfig {
+        self.replication.ship_faults = FaultSpec {
+            drop_probability: 0.25,
+            duplicate_probability: 0.05,
+            delay_probability: 0.5,
+            max_delay_micros: 25 * MS,
+            base_latency_micros: MS,
+        };
+        self
+    }
 }
 
 /// A committed update's surviving snapshot: the master state right

@@ -127,25 +127,37 @@ proptest! {
 
     /// The zombie scenario: stale-term writes are fenced at every
     /// standby, the divergent branch is discarded on rejoin, and none
-    /// of it reaches the surviving state or the caches.
+    /// of it reaches the surviving state or the caches. The lossy
+    /// variant ships over a dropping/duplicating/delaying pipe, so a
+    /// zombie record can reach a standby *before* the new primary's
+    /// first post-promotion ship — the reordering race that a lazy
+    /// (record-carried) term fence would lose.
     #[test]
     fn zombie_writes_are_fenced_and_discarded(
         seed in 0u64..1_000_000,
         ops in 400usize..800,
         sync in any::<bool>(),
+        lossy in any::<bool>(),
     ) {
-        let cfg = if sync {
-            FailoverConfig::zombie(seed, ops).sync()
-        } else {
-            FailoverConfig::zombie(seed, ops)
-        };
+        let mut cfg = FailoverConfig::zombie(seed, ops);
+        if sync {
+            cfg = cfg.sync();
+        }
+        if lossy {
+            cfg = cfg.lossy();
+        }
         let r = run_failover(&cfg);
         prop_assert_eq!(r.failovers.len(), 1, "seed {}", seed);
         prop_assert_eq!(r.zombie_writes_applied, 5, "seed {}", seed);
-        prop_assert!(
-            r.fenced_records > 0,
-            "no stale-term record was fenced (seed {})", seed
-        );
+        if !lossy {
+            // Over a lossless pipe every stale-term send reaches a
+            // standby and is fenced; a lossy pipe may legitimately
+            // drop all of them before any standby sees one.
+            prop_assert!(
+                r.fenced_records > 0,
+                "no stale-term record was fenced (seed {})", seed
+            );
+        }
         prop_assert!(
             r.divergence_discarded >= r.zombie_writes_applied,
             "zombie branch not discarded wholesale (seed {})", seed

@@ -122,14 +122,10 @@ impl HomeServer {
             self.epoch,
             epoch
         );
-        while self.epoch < epoch - 1 {
-            // Interior skipped epochs get no records — the gap is the
-            // point — but the WAL stays contiguous by folding them into
-            // the barrier record's epoch. Represent each skipped epoch
-            // as a checkpoint of the unchanged state.
-            self.epoch += 1;
-            self.wal.append_checkpoint(self.epoch, self.db.clone());
-        }
+        // One checkpoint record at the barrier epoch; the interior
+        // skipped epochs become an explicit WAL gap (the gap is the
+        // point), so the barrier costs O(database), not O(gap ×
+        // database).
         self.epoch = epoch;
         self.wal.append_checkpoint(epoch, self.db.clone());
     }
@@ -253,9 +249,12 @@ impl HomeServer {
     /// records the full post-write state as a checkpoint under the
     /// consumed epoch. A crash after an out-of-band write therefore
     /// recovers it, and it still surfaces to proxies as exactly one gap.
+    /// The epoch advances and the checkpoint lands only after the
+    /// closure returns — a panicking closure consumes nothing, leaving
+    /// epoch and WAL consistent.
     pub fn mutate_database<R>(&mut self, f: impl FnOnce(&mut Database) -> R) -> R {
-        self.epoch += 1;
         let r = f(&mut self.db);
+        self.epoch += 1;
         self.wal.append_checkpoint(self.epoch, self.db.clone());
         r
     }
@@ -283,5 +282,78 @@ impl HomeServer {
         } else {
             self.service_nanos as f64 / ops as f64
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scs_sqlkit::{parse_update, Value};
+    use scs_storage::{ColumnType, TableSchema};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Arc;
+
+    fn seed_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::builder("toys")
+                .column("toy_id", ColumnType::Int)
+                .column("qty", ColumnType::Int)
+                .primary_key(&["toy_id"])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        db.insert_row("toys", vec![Value::Int(1), Value::Int(10)])
+            .unwrap();
+        db
+    }
+
+    fn insert(id: i64, qty: i64) -> Update {
+        Update::bind(
+            0,
+            Arc::new(parse_update("INSERT INTO toys (toy_id, qty) VALUES (?, ?)").unwrap()),
+            vec![Value::Int(id), Value::Int(qty)],
+        )
+        .unwrap()
+    }
+
+    /// A panicking out-of-band mutation must not consume an epoch: the
+    /// epoch advances and the checkpoint lands only after the closure
+    /// returns, so the server stays usable (no "WAL append out of
+    /// order" wedge on the next write).
+    #[test]
+    fn panicking_out_of_band_mutation_consumes_nothing() {
+        let mut h = HomeServer::new(seed_db());
+        let before = h.epoch();
+        let wal_len = h.wal().len();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            h.mutate_database(|_db| -> () { panic!("mutation failed") });
+        }));
+        assert!(caught.is_err());
+        assert_eq!(h.epoch(), before, "no epoch consumed");
+        assert_eq!(h.wal().len(), wal_len, "no record appended");
+        // The server is not wedged: the normal pathway still works and
+        // the log still replays to the live state.
+        h.apply_update(&insert(2, 2)).expect("server still usable");
+        assert_eq!(h.epoch(), before + 1);
+        assert_eq!(h.wal().replay().unwrap(), *h.database());
+    }
+
+    /// The promotion barrier is one checkpoint record no matter how
+    /// wide the lost tail: the interior epochs become an explicit WAL
+    /// gap instead of one full-state clone each.
+    #[test]
+    fn promotion_barrier_is_one_record_regardless_of_gap() {
+        let mut h = HomeServer::new(seed_db());
+        h.apply_update(&insert(2, 2)).unwrap();
+        let len = h.wal().len();
+        h.advance_epoch_to(1_000); // a 998-epoch lost tail
+        assert_eq!(h.epoch(), 1_000);
+        assert_eq!(h.wal().len(), len + 1, "one checkpoint, not one per epoch");
+        assert_eq!(h.wal().last_epoch(), 1_000);
+        let recovered = HomeServer::recover(h.wal().clone());
+        assert_eq!(recovered.epoch(), 1_000);
+        assert_eq!(recovered.database(), h.database());
     }
 }

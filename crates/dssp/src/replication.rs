@@ -26,9 +26,14 @@
 //!   most-caught-up alive standby (ties to the lowest id) — fully
 //!   deterministic under a seed.
 //! * **Epoch fencing.** Every shipped record carries the primary's
-//!   **term**; promotion bumps the term, so a deposed primary that
-//!   wakes up and keeps writing ("zombie") finds its records rejected
-//!   at every standby. The promoted primary opens with a **barrier**
+//!   **term**; promotion bumps the term *authoritatively* — every
+//!   reachable standby adopts it as part of the election, and a
+//!   standby revived after sleeping through an election rejoins the
+//!   current term (shedding any suffix the dead stream issued beyond
+//!   the promoted tip) before accepting another record — so a deposed
+//!   primary that wakes up and keeps writing ("zombie") finds its
+//!   records strictly stale at every standby, no matter how the pipes
+//!   reorder delivery. The promoted primary opens with a **barrier**
 //!   ([`HomeServer::advance_epoch_to`]): epochs the dead primary issued
 //!   but never replicated become a permanent gap in the invalidation
 //!   stream — proxies detect it like any lost batch and recovery-flush
@@ -215,11 +220,36 @@ impl Standby {
     /// was fenced or a duplicate.
     fn ingest(&mut self, msg: ShipMsg) -> bool {
         if msg.term < self.term {
-            // A deposed primary's write: the fence holds.
+            // A deposed primary's write: the fence holds. Promotion
+            // bumps every reachable standby's term as part of the
+            // election itself (see `HomeGroup::try_promote`), so a
+            // zombie's records are *strictly* stale here from the
+            // instant a new primary exists — delivery order cannot
+            // race the fence into an equal-term window.
             self.fenced_records += 1;
             return false;
         }
-        self.term = msg.term;
+        if msg.term > self.term {
+            // Defense in depth: first contact from a newer primary
+            // than this replica has witnessed (promotion, revive, and
+            // rejoin normally bump terms before any such record
+            // flows). Stale speculative arrivals die with the old
+            // term, and a local suffix the new stream re-issues is
+            // divergent — a checkpoint re-bases over it; a statement
+            // forces a snapshot resync.
+            self.term = msg.term;
+            self.stash.clear();
+            if msg.record.epoch <= self.applied() {
+                if let WalPayload::Checkpoint(state) = &msg.record.payload {
+                    self.wal = Wal::new(state.clone(), msg.record.epoch);
+                    self.needs_snapshot = false;
+                    self.snapshot_installs += 1;
+                } else {
+                    self.needs_snapshot = true;
+                }
+                return true;
+            }
+        }
         let epoch = msg.record.epoch;
         if self.needs_snapshot {
             // Untrusted local state: only a full-state image may seed
@@ -341,8 +371,10 @@ pub struct HomeGroup {
     unavailable_since: Option<u64>,
     /// A partitioned-away old primary, still live on a stale term.
     zombie: Option<Zombie>,
-    /// The durable log of a crashed primary (rejoins as a standby).
-    crashed: Option<(usize, Wal)>,
+    /// Durable logs of crashed primaries awaiting rejoin, oldest
+    /// first, keyed by node id — a double failover can strand two
+    /// un-rejoined logs at once.
+    crashed: Vec<(usize, Wal)>,
     /// Authoritative fanout-pipe registry, mirrored onto whichever
     /// server is primary — what makes invalidation fanout resume
     /// toward the same fleet after a promotion.
@@ -382,7 +414,7 @@ impl HomeGroup {
             last_heartbeat: 0,
             unavailable_since: None,
             zombie: None,
-            crashed: None,
+            crashed: Vec::new(),
             pipe_registry,
             failovers: Vec::new(),
             rejected_writes: 0,
@@ -631,20 +663,24 @@ impl HomeGroup {
 
     fn sync_commit(&mut self, now: u64, target: u64) -> CommitAck {
         let majority = self.cfg.majority();
+        let term = self.term;
         let step = self.cfg.ship_faults.base_latency_micros.max(1);
         let mut t = now;
         let deadline = now + self.cfg.sync_timeout_micros;
-        loop {
+        let ack = loop {
             self.ship_outstanding(t);
             self.pump(t);
+            // Only replicas confirmed on the current stream count as
+            // holders: one mid-resync (untrusted suffix) may report an
+            // `applied` the promoted stream never issued.
             let holders = 1 + self
                 .standbys
                 .iter()
-                .filter(|s| s.alive && s.applied() >= target)
+                .filter(|s| s.alive && s.term == term && !s.needs_snapshot && s.applied() >= target)
                 .count();
             if holders >= majority {
                 self.acked_epoch = self.acked_epoch.max(target);
-                return CommitAck {
+                break CommitAck {
                     acked: true,
                     epoch: target,
                     wait_micros: t - now,
@@ -652,14 +688,22 @@ impl HomeGroup {
             }
             if t >= deadline {
                 self.unacked_commits += 1;
-                return CommitAck {
+                break CommitAck {
                     acked: false,
                     epoch: target,
                     wait_micros: t - now,
                 };
             }
             t = (t + step).min(deadline);
+        };
+        // The loop ran a private clock up to `t`, but the caller's
+        // clock is still `now`: ship stamps left at future instants
+        // would suppress heartbeat re-ships until the outer clock
+        // catches up, delaying catch-up after a timed-out commit.
+        for s in &mut self.standbys {
+            s.last_ship_at = s.last_ship_at.min(now);
         }
+        ack
     }
 
     /// Folds the primary's log into its snapshot up to `epoch` —
@@ -676,7 +720,12 @@ impl HomeGroup {
     pub fn crash_primary(&mut self, now: u64) {
         let p = self.primary.take().expect("no primary to crash");
         self.high_water = self.high_water.max(p.epoch());
-        self.crashed = Some((self.primary_id, p.crash()));
+        debug_assert!(
+            !self.crashed.iter().any(|(id, _)| *id == self.primary_id),
+            "node {} already has an un-rejoined crashed log",
+            self.primary_id
+        );
+        self.crashed.push((self.primary_id, p.crash()));
         self.unavailable_since = Some(now);
         self.now = now;
     }
@@ -686,6 +735,10 @@ impl HomeGroup {
     /// writes are the zombie scenario.
     pub fn partition_primary(&mut self, now: u64) {
         let p = self.primary.take().expect("no primary to partition");
+        assert!(
+            self.zombie.is_none(),
+            "a partitioned primary is already outstanding; heal it first"
+        );
         self.high_water = self.high_water.max(p.epoch());
         self.zombie = Some(Zombie {
             id: self.primary_id,
@@ -730,12 +783,43 @@ impl HomeGroup {
         s.alive = false;
     }
 
-    /// Revives a dead standby with its log intact — it is now lagging
-    /// and catches up from the ship stream (or a snapshot if the log
-    /// moved past it).
+    /// Revives a dead standby. If no promotion happened while it was
+    /// dead its log is intact — it is now lagging and catches up from
+    /// the ship stream (or a snapshot if the log moved past it). If it
+    /// slept across a promotion, its log suffix beyond the oldest
+    /// missed promotion's preserved tip may hold records the dead
+    /// stream issued but the promoted stream re-issued with different
+    /// content (a zombie's equal-term writes) — that suffix is rewound
+    /// to the prefix every stream shares, or the whole replica is
+    /// marked for snapshot resync when the shared prefix was compacted
+    /// out of its log. Either way it rejoins the current term before
+    /// accepting another record, so a stale-term write can never land
+    /// after revival.
     pub fn revive_standby(&mut self, id: usize) {
+        let group_term = self.term;
+        let standby_term = self.standby_mut(id).term;
+        if standby_term >= group_term {
+            self.standby_mut(id).alive = true;
+            return;
+        }
+        let safe = self
+            .failovers
+            .iter()
+            .filter(|f| f.new_term > standby_term)
+            .map(|f| f.promoted_applied)
+            .min();
         let s = self.standby_mut(id);
         s.alive = true;
+        s.term = group_term;
+        s.stash.clear();
+        match safe {
+            Some(safe) if s.wal.base_epoch() <= safe => {
+                s.wal.truncate_after(safe);
+            }
+            _ => {
+                s.needs_snapshot = true;
+            }
+        }
     }
 
     fn standby_mut(&mut self, id: usize) -> &mut Standby {
@@ -762,14 +846,20 @@ impl HomeGroup {
         divergent
     }
 
-    /// Rejoins a crashed old primary as a standby: its durable log is
-    /// replayable but may diverge past the promoted stream's base, so
-    /// it also rejoins from nothing and snapshot-resyncs.
+    /// Rejoins the oldest un-rejoined crashed primary as a standby:
+    /// its durable log is replayable but may diverge past the promoted
+    /// stream's base, so it rejoins from nothing and snapshot-resyncs.
+    /// Returns how many of its records lay beyond the tip the
+    /// promotion that deposed it preserved.
     pub fn rejoin_crashed(&mut self, now: u64) -> u64 {
-        let (id, wal) = self.crashed.take().expect("no crashed primary");
+        assert!(!self.crashed.is_empty(), "no crashed primary");
+        let (id, wal) = self.crashed.remove(0);
         let promoted_base = self
             .failovers
-            .last()
+            .iter()
+            .rev()
+            .find(|f| f.from_primary == id)
+            .or(self.failovers.last())
             .map(|f| f.promoted_applied)
             .unwrap_or(self.high_water);
         let divergent = wal.last_epoch().saturating_sub(promoted_base);
@@ -778,6 +868,11 @@ impl HomeGroup {
     }
 
     fn admit_rejoiner(&mut self, id: usize, now: u64) {
+        assert!(
+            (self.primary.is_none() || id != self.primary_id)
+                && !self.standbys.iter().any(|s| s.id == id),
+            "rejoiner {id} is already a group member"
+        );
         let pipe = FaultyChannel::new(
             self.cfg.seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5265_4A6F_494E,
             self.cfg.ship_faults.clone(),
@@ -790,13 +885,17 @@ impl HomeGroup {
 
     // ---- promotion ---------------------------------------------------
 
-    /// Promotes the most-caught-up alive standby, if the mode's safety
-    /// condition allows it. Sync-quorum requires a majority of the
-    /// cluster alive among the standbys — quorum overlap then
-    /// guarantees the winner holds every acked epoch. Async promotes
-    /// any alive standby and accounts the lost tail.
+    /// Promotes the most-caught-up eligible standby, if the mode's
+    /// safety condition allows it. Eligible means alive *and* fully on
+    /// the current stream — a replica mid-snapshot-resync reports an
+    /// `applied` the promoted stream never confirmed, so it neither
+    /// counts toward the coalition nor can win. Sync-quorum requires a
+    /// majority of the cluster among the eligible standbys — quorum
+    /// overlap then guarantees the winner holds every acked epoch.
+    /// Async promotes any eligible standby and accounts the lost tail.
     fn try_promote(&mut self, now: u64) -> Option<FailoverRecord> {
-        let alive = self.standbys.iter().filter(|s| s.alive).count();
+        let eligible = |s: &&Standby| s.alive && !s.needs_snapshot;
+        let alive = self.standbys.iter().filter(eligible).count();
         match self.cfg.mode {
             ReplicationMode::SyncQuorum => {
                 if alive < self.cfg.majority() {
@@ -814,17 +913,32 @@ impl HomeGroup {
             .standbys
             .iter()
             .enumerate()
-            .filter(|(_, s)| s.alive)
+            .filter(|(_, s)| s.alive && !s.needs_snapshot)
             .max_by(|(_, a), (_, b)| {
                 a.applied().cmp(&b.applied()).then(b.id.cmp(&a.id)) // reversed: lowest id wins ties
             })
             .map(|(i, _)| i)
-            .expect("alive standby exists");
+            .expect("eligible standby exists");
         let standby = self.standbys.remove(winner);
         let promoted_applied = standby.applied();
         let old_tip = self.high_water.max(promoted_applied);
         let old_term = self.term;
         self.term += 1;
+        // Promotion is authoritative: every reachable standby learns
+        // the new term as part of the election itself, never lazily
+        // from the next shipped record. A deposed zombie's writes
+        // carry a *strictly* smaller term everywhere from this instant
+        // — there is no equal-term window for a late record to slip
+        // through, regardless of pipe drops and reordering. Stale
+        // speculative stashes (out-of-order records from the dead
+        // stream, possibly at epochs the new stream will re-issue) die
+        // with the old term; re-shipping covers anything real they
+        // held. Standbys dead right now learn the term — and shed any
+        // divergent suffix — in `revive_standby`.
+        for s in self.standbys.iter_mut().filter(|s| s.alive) {
+            s.term = self.term;
+            s.stash.clear();
+        }
         let mut server = HomeServer::recover(standby.wal);
         let barrier = old_tip + 1;
         server.advance_epoch_to(barrier);
@@ -1281,6 +1395,339 @@ mod tests {
         assert_eq!(s.applied(), g.epoch());
         assert!(s.snapshot_installs() >= 1, "caught up via checkpoint");
         assert_eq!(s.wal.replay().unwrap(), *g.primary().database());
+    }
+
+    /// The reviewer race, pinned at the ingest layer: a standby that
+    /// witnessed the promotion (term bumped by the election) but has
+    /// not yet received any new-term record gets the deposed primary's
+    /// write for the *same* epoch the new stream is about to issue —
+    /// delivered first. It must bounce off the fence, and the true
+    /// primary's barrier for that epoch must then land normally, never
+    /// be dropped as a duplicate of the zombie record.
+    #[test]
+    fn zombie_record_arriving_before_the_new_streams_first_ship_is_fenced() {
+        let db = seed_db();
+        let pipe = FaultyChannel::new(1, FaultSpec::none());
+        let mut s = Standby::new(1, db.clone(), 5, 0, pipe);
+        s.term = 1; // the election reached it; no term-1 record yet
+        let zrec = WalRecord {
+            epoch: 6,
+            payload: WalPayload::Statement(insert(900, 1)),
+        };
+        assert!(
+            !s.ingest(ShipMsg {
+                term: 0,
+                record: zrec
+            }),
+            "old-term record fenced even though no new-term record has arrived"
+        );
+        assert_eq!(s.fenced_records(), 1);
+        assert_eq!(s.applied(), 5, "nothing appended");
+        // The true primary's barrier for the same epoch then lands.
+        let barrier = WalRecord {
+            epoch: 6,
+            payload: WalPayload::Checkpoint(db.clone()),
+        };
+        assert!(s.ingest(ShipMsg {
+            term: 1,
+            record: barrier
+        }));
+        assert_eq!(s.applied(), 6);
+        assert_eq!(s.wal.replay().unwrap(), db);
+    }
+
+    /// Promotion bumps every reachable standby's term as part of the
+    /// election itself — before any new-term record flows — so a
+    /// zombie's late writes are strictly stale everywhere from the
+    /// instant the new primary exists.
+    #[test]
+    fn promotion_bumps_standby_terms_authoritatively() {
+        let mut g = group(ReplicationMode::Async, 2, FaultSpec::none());
+        let mut now = 0;
+        for i in 0..5 {
+            now += 1_000;
+            write(&mut g, now, 100 + i);
+            g.tick(now);
+        }
+        g.tick(now + 1);
+        g.partition_primary(now + 2);
+        loop {
+            now += 5_000;
+            if g.tick(now).is_some() {
+                break;
+            }
+        }
+        for s in g.standbys() {
+            assert_eq!(s.term(), g.term(), "standby {} knows the term", s.id());
+        }
+        // The zombie writes immediately after promotion; deliver ONLY
+        // the pipes (no tick). The zombie record is fenced on term
+        // alone; any movement comes from the new primary's barrier,
+        // never from the zombie's write.
+        g.zombie_write(now + 10, &insert(900, 1)).unwrap();
+        g.pump(now + 10_000);
+        assert_eq!(g.fenced_total(), 1, "fenced on the bumped term");
+        let probe = scs_sqlkit::Query::bind(
+            0,
+            Arc::new(scs_sqlkit::parse_query("SELECT qty FROM toys WHERE toy_id = ?").unwrap()),
+            vec![Value::Int(900)],
+        )
+        .unwrap();
+        for s in &g.standbys {
+            assert!(
+                s.wal
+                    .replay()
+                    .unwrap()
+                    .execute(&probe)
+                    .unwrap()
+                    .rows
+                    .is_empty(),
+                "zombie write reached standby {}",
+                s.id()
+            );
+        }
+    }
+
+    /// A standby that ingested the partitioned primary's equal-term
+    /// writes, then died, then was revived *after* a promotion must not
+    /// keep the divergent suffix: the epochs the dead stream issued
+    /// beyond the promoted tip are exactly the epochs the new stream
+    /// re-issues with different content. Revival rewinds it to the
+    /// shared prefix and it converges on the promoted stream.
+    #[test]
+    fn contaminated_standby_revived_across_promotion_is_rewound() {
+        let mut g = group(ReplicationMode::Async, 2, FaultSpec::none());
+        let mut now = 0;
+        for i in 0..5 {
+            now += 1_000;
+            write(&mut g, now, 100 + i);
+            g.tick(now);
+        }
+        g.tick(now + 1);
+        let tip = g.epoch();
+        // Standby 1 misses the zombie's writes; standby 2 ingests them
+        // (equal term — the partitioned primary is still the only
+        // writer), then dies holding the contaminated suffix.
+        g.crash_standby(1);
+        g.partition_primary(now + 2);
+        for i in 0..3 {
+            now += 100;
+            g.zombie_write(now, &insert(900 + i, 1)).unwrap();
+        }
+        g.pump(now + 1);
+        assert_eq!(g.standbys()[1].applied(), tip + 3, "standby 2 contaminated");
+        g.crash_standby(2);
+        g.revive_standby(1);
+        let fo = loop {
+            now += 5_000;
+            if let Some(fo) = g.tick(now) {
+                break fo;
+            }
+        };
+        assert_eq!(fo.to_primary, 1, "clean standby wins");
+        assert_eq!(fo.promoted_applied, tip);
+        // Standby 2 revives across the promotion: its zombie suffix at
+        // epochs (tip, tip+3] — which the new stream re-issued as the
+        // barrier and fresh writes — must be shed, not kept as
+        // "already applied".
+        g.revive_standby(2);
+        assert_eq!(g.standbys()[0].term(), g.term());
+        assert!(g.standbys()[0].applied() <= tip, "divergent suffix shed");
+        for i in 0..10 {
+            now += 1_000;
+            write(&mut g, now, 200 + i);
+            g.tick(now);
+        }
+        for _ in 0..20 {
+            now += 5_000;
+            g.tick(now);
+        }
+        let want = g.primary().database().clone();
+        for s in &g.standbys {
+            assert_eq!(s.applied(), g.epoch(), "standby {} converged", s.id());
+            assert_eq!(s.wal.replay().unwrap(), want, "byte-identical replay");
+        }
+        // The zombie rows the revived standby once held are gone.
+        let probe = scs_sqlkit::Query::bind(
+            0,
+            Arc::new(scs_sqlkit::parse_query("SELECT qty FROM toys WHERE toy_id = ?").unwrap()),
+            vec![Value::Int(900)],
+        )
+        .unwrap();
+        assert!(want.execute(&probe).unwrap().rows.is_empty());
+    }
+
+    /// The zombie scenario under a dropping, duplicating, delaying
+    /// ship pipe, across seeds: promotion races zombie deliveries in
+    /// every order the fault model can produce, and no standby may
+    /// ever silently diverge — every replica must converge to the
+    /// promoted primary's stream byte-for-byte, with the zombie's
+    /// post-promotion writes fenced or dropped, never applied.
+    #[test]
+    fn zombie_race_over_lossy_pipes_never_diverges() {
+        for seed in 0..24u64 {
+            let faults = FaultSpec {
+                drop_probability: 0.3,
+                duplicate_probability: 0.15,
+                delay_probability: 0.4,
+                max_delay_micros: 20_000,
+                base_latency_micros: 200,
+            };
+            let mut cfg = ReplicationConfig::group(ReplicationMode::Async, 2);
+            cfg.ship_faults = faults;
+            cfg.seed = seed;
+            let mut g = HomeGroup::new(HomeServer::new(seed_db()), cfg);
+            let mut now = 0;
+            for i in 0..20 {
+                now += 1_000;
+                write(&mut g, now, 100 + i);
+                g.tick(now);
+            }
+            g.partition_primary(now + 1);
+            // Zombie writes race the election and the new primary's
+            // first ships through the same faulty pipes.
+            for i in 0..2 {
+                now += 500;
+                g.zombie_write(now, &insert(900 + i, 1)).unwrap();
+            }
+            let fo = loop {
+                now += 2_500;
+                if let Some(fo) = g.tick(now) {
+                    break fo;
+                }
+            };
+            for i in 2..5 {
+                now += 500;
+                g.zombie_write(now, &insert(900 + i, 1)).unwrap();
+                now += 500;
+                write(&mut g, now, 300 + i);
+                g.tick(now);
+            }
+            let divergent = g.rejoin_zombie(now + 1);
+            assert!(divergent >= 3, "post-promotion zombie writes discarded");
+            for i in 0..10 {
+                now += 1_000;
+                write(&mut g, now, 400 + i);
+                g.tick(now);
+            }
+            // Settle: heartbeat re-shipping drains drops and delays.
+            for _ in 0..100 {
+                now += 5_000;
+                g.tick(now);
+            }
+            let want = g.primary().database().clone();
+            for s in &g.standbys {
+                assert_eq!(
+                    s.applied(),
+                    g.epoch(),
+                    "standby {} caught up (seed {seed})",
+                    s.id()
+                );
+                assert_eq!(
+                    s.wal.replay().unwrap(),
+                    want,
+                    "standby {} replay byte-identical (seed {seed}, fo {fo:?})",
+                    s.id()
+                );
+            }
+            // None of the zombie's post-promotion writes survived
+            // anywhere on the promoted stream.
+            for toy in 902..905 {
+                let probe = scs_sqlkit::Query::bind(
+                    0,
+                    Arc::new(
+                        scs_sqlkit::parse_query("SELECT qty FROM toys WHERE toy_id = ?").unwrap(),
+                    ),
+                    vec![Value::Int(toy)],
+                )
+                .unwrap();
+                assert!(
+                    want.execute(&probe).unwrap().rows.is_empty(),
+                    "zombie write {toy} leaked into the promoted stream (seed {seed})"
+                );
+            }
+        }
+    }
+
+    /// A double failover with no rejoin in between leaves *two*
+    /// un-rejoined durable logs; both must survive and both nodes must
+    /// be re-admittable without clashing ids.
+    #[test]
+    fn double_failover_retains_both_crashed_logs_for_rejoin() {
+        let mut g = group(ReplicationMode::Async, 3, FaultSpec::none());
+        let mut now = 0;
+        for i in 0..5 {
+            now += 1_000;
+            write(&mut g, now, 100 + i);
+            g.tick(now);
+        }
+        g.tick(now + 1);
+        g.crash_primary(now + 2);
+        let fo1 = loop {
+            now += 5_000;
+            if let Some(fo) = g.tick(now) {
+                break fo;
+            }
+        };
+        for i in 5..8 {
+            now += 1_000;
+            write(&mut g, now, 100 + i);
+            g.tick(now);
+        }
+        g.tick(now + 1);
+        g.crash_primary(now + 2);
+        let fo2 = loop {
+            now += 5_000;
+            if let Some(fo) = g.tick(now) {
+                break fo;
+            }
+        };
+        // Both dead primaries' logs are retained, oldest first, and
+        // both rejoin with their original ids intact.
+        assert_eq!(g.rejoin_crashed(now), 0, "node 0 had fully replicated");
+        assert_eq!(g.rejoin_crashed(now), 0, "node 1 had fully replicated");
+        let mut ids: Vec<usize> = g.standbys().iter().map(|s| s.id()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 3], "all ids distinct");
+        assert_eq!(g.primary_id(), fo2.to_primary);
+        assert_ne!(fo1.to_primary, fo2.to_primary);
+        for _ in 0..40 {
+            now += 5_000;
+            g.tick(now);
+        }
+        let want = g.primary().database().clone();
+        for s in &g.standbys {
+            assert_eq!(s.applied(), g.epoch(), "rejoiner {} converged", s.id());
+            assert_eq!(s.wal.replay().unwrap(), want);
+        }
+    }
+
+    /// A timed-out sync-quorum commit runs a private clock up to the
+    /// deadline; the ship stamps it leaves must not sit in the future,
+    /// or heartbeat re-shipping stalls until the outer clock catches
+    /// up.
+    #[test]
+    fn timed_out_sync_commit_leaves_no_future_ship_stamps() {
+        let faults = FaultSpec {
+            drop_probability: 1.0, // nothing delivers: the commit must time out
+            duplicate_probability: 0.0,
+            delay_probability: 0.0,
+            max_delay_micros: 0,
+            base_latency_micros: 200,
+        };
+        let mut g = group(ReplicationMode::SyncQuorum, 2, faults);
+        let now = 1_000;
+        let ack = write(&mut g, now, 100);
+        assert!(!ack.acked, "total drop: no quorum");
+        assert!(ack.wait_micros >= g.config().sync_timeout_micros);
+        for s in g.standbys() {
+            assert!(
+                s.last_ship_at <= now,
+                "standby {} stamped at future time {}",
+                s.id(),
+                s.last_ship_at
+            );
+        }
     }
 
     #[test]

@@ -45,11 +45,17 @@ pub struct WalRecord {
     pub payload: WalPayload,
 }
 
-/// The write-ahead log: a base snapshot plus a contiguous run of records.
+/// The write-ahead log: a base snapshot plus an epoch-ordered run of
+/// records.
 ///
-/// Invariant: `records[i].epoch == base_epoch + i + 1` — the log covers
-/// exactly the epochs `(base_epoch, last_epoch()]` with no gaps. Appends
-/// enforce contiguity; [`Wal::compact_to`] folds a prefix into the base
+/// Invariant: record epochs are strictly increasing above `base_epoch`.
+/// Statement appends must be exactly contiguous (`last_epoch() + 1`);
+/// a **checkpoint** may land at any higher epoch, representing the
+/// interior skipped epochs as an explicit, permanent gap — this is how
+/// a promotion barrier rolls a lost tail into one record instead of
+/// one full-state clone per skipped epoch. Replay treats gap epochs as
+/// no-ops: the state at a gap epoch is the state at the last record at
+/// or below it. [`Wal::compact_to`] folds a prefix into the base
 /// snapshot without changing what replay produces.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Wal {
@@ -77,7 +83,7 @@ impl Wal {
     /// The highest epoch the log covers; replaying the whole log lands
     /// exactly here.
     pub fn last_epoch(&self) -> u64 {
-        self.base_epoch + self.records.len() as u64
+        self.records.last().map_or(self.base_epoch, |r| r.epoch)
     }
 
     /// Number of un-compacted records.
@@ -89,16 +95,27 @@ impl Wal {
         self.records.is_empty()
     }
 
-    /// Appends one record. The epoch must be exactly `last_epoch() + 1`;
-    /// anything else is a sequencing bug in the caller and panics.
+    /// Appends one record. A statement's epoch must be exactly
+    /// `last_epoch() + 1`; a checkpoint may land at any higher epoch
+    /// (it carries the full state, so the skipped interior becomes an
+    /// explicit gap). Anything else is a sequencing bug in the caller
+    /// and panics.
     pub fn append(&mut self, record: WalRecord) {
-        assert_eq!(
-            record.epoch,
-            self.last_epoch() + 1,
-            "WAL append out of order: got epoch {}, expected {}",
-            record.epoch,
-            self.last_epoch() + 1
-        );
+        match record.payload {
+            WalPayload::Statement(_) => assert_eq!(
+                record.epoch,
+                self.last_epoch() + 1,
+                "WAL append out of order: got epoch {}, expected {}",
+                record.epoch,
+                self.last_epoch() + 1
+            ),
+            WalPayload::Checkpoint(_) => assert!(
+                record.epoch > self.last_epoch(),
+                "WAL append out of order: checkpoint epoch {} not above tip {}",
+                record.epoch,
+                self.last_epoch()
+            ),
+        }
         self.records.push(record);
     }
 
@@ -123,10 +140,8 @@ impl Wal {
     /// record (the caller must resync from a snapshot if the gap matters,
     /// which [`Wal::covers`] detects).
     pub fn records_since(&self, epoch: u64) -> &[WalRecord] {
-        let from = epoch
-            .saturating_sub(self.base_epoch)
-            .min(self.records.len() as u64);
-        &self.records[from as usize..]
+        let from = self.records.partition_point(|r| r.epoch <= epoch);
+        &self.records[from..]
     }
 
     /// Whether the log can still serve records strictly above `epoch`
@@ -137,6 +152,8 @@ impl Wal {
 
     /// Replays the log through `epoch` (which must lie in
     /// `[base_epoch, last_epoch()]`), returning the reconstructed state.
+    /// An `epoch` inside a checkpoint gap replays to the last record at
+    /// or below it (gap epochs carry no writes on this stream).
     ///
     /// Statement replay re-executes writes that already succeeded once
     /// against the same state sequence, so a replay error means the log
@@ -150,8 +167,9 @@ impl Wal {
             self.base_epoch,
             self.last_epoch()
         );
+        let upto = self.records.partition_point(|r| r.epoch <= epoch);
         let mut db = self.base.clone();
-        for record in &self.records[..(epoch - self.base_epoch) as usize] {
+        for record in &self.records[..upto] {
             match &record.payload {
                 WalPayload::Statement(u) => {
                     db.apply(u)?;
@@ -175,7 +193,8 @@ impl Wal {
             return Ok(());
         }
         let state = self.replay_to(epoch)?;
-        self.records.drain(..(epoch - self.base_epoch) as usize);
+        let upto = self.records.partition_point(|r| r.epoch <= epoch);
+        self.records.drain(..upto);
         self.base = state;
         self.base_epoch = epoch;
         Ok(())
@@ -188,7 +207,7 @@ impl Wal {
         if epoch >= self.last_epoch() {
             return Vec::new();
         }
-        let keep = epoch.saturating_sub(self.base_epoch) as usize;
+        let keep = self.records.partition_point(|r| r.epoch <= epoch);
         self.records.split_off(keep)
     }
 }
@@ -317,5 +336,58 @@ mod tests {
     fn out_of_order_append_panics() {
         let mut wal = Wal::new(seed_db(), 0);
         wal.append_statement(2, insert(5, 5));
+    }
+
+    /// A checkpoint may jump the epoch, leaving an explicit gap — the
+    /// promotion-barrier form. One record covers the whole lost tail,
+    /// gap epochs replay as no-ops, and statement contiguity resumes
+    /// from the checkpoint's epoch.
+    #[test]
+    fn checkpoint_jump_leaves_an_explicit_gap() {
+        let mut live = seed_db();
+        let mut wal = Wal::new(live.clone(), 0);
+        for e in 1..=3u64 {
+            let u = insert(e as i64 + 100, e as i64);
+            live.apply(&u).unwrap();
+            wal.append_statement(e, u);
+        }
+        // Barrier over a 6-epoch lost tail: exactly one record.
+        wal.append_checkpoint(10, live.clone());
+        assert_eq!(wal.last_epoch(), 10);
+        assert_eq!(wal.len(), 4);
+        // Gap epochs replay to the last record at or below them.
+        let at_gap = wal.replay_to(7).unwrap();
+        assert_eq!(at_gap, wal.replay_to(3).unwrap());
+        assert_eq!(wal.replay().unwrap(), live);
+        // The ship window skips the gap: nothing owed between 3 and 10.
+        assert_eq!(wal.records_since(3).len(), 1);
+        assert_eq!(wal.records_since(3)[0].epoch, 10);
+        assert_eq!(wal.records_since(7).len(), 1, "gap epochs owe nothing");
+        // Contiguity resumes above the checkpoint.
+        let u = insert(200, 1);
+        live.apply(&u).unwrap();
+        wal.append_statement(11, u);
+        assert_eq!(wal.replay().unwrap(), live);
+        // Compaction and truncation stay epoch-keyed across the gap.
+        let full = wal.replay().unwrap();
+        let mut compacted = wal.clone();
+        compacted.compact_to(7).unwrap();
+        assert_eq!(compacted.base_epoch(), 7);
+        assert_eq!(compacted.len(), 2);
+        assert_eq!(compacted.replay().unwrap(), full);
+        let dropped = wal.truncate_after(6);
+        assert_eq!(dropped.len(), 2, "checkpoint and trailing statement");
+        assert_eq!(wal.last_epoch(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "WAL append out of order")]
+    fn checkpoint_at_or_below_tip_panics() {
+        let mut live = seed_db();
+        let mut wal = Wal::new(live.clone(), 0);
+        let u = insert(101, 1);
+        live.apply(&u).unwrap();
+        wal.append_statement(1, u);
+        wal.append_checkpoint(1, live);
     }
 }
