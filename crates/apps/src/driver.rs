@@ -7,10 +7,10 @@ use crate::gen::{IdSpaces, ParamGen};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use scs_core::{characterize_app, AnalysisOptions, Exposures, IpmMatrix};
-use scs_dssp::{Dssp, DsspConfig, FleetConfig, HomeServer, ProxyFleet};
+use scs_dssp::{Dssp, DsspConfig, FleetConfig, HomeServer, ProxyFleet, ShardedHome};
 use scs_netsim::{HomeTrip, OpCost, Time, Workload};
 use scs_sqlkit::{Query, QueryTemplate, Update, UpdateTemplate};
-use scs_storage::Database;
+use scs_storage::{Database, PartitionMap, TablePlacement};
 use std::sync::Arc;
 
 /// CPU/size cost model calibrated to the paper's testbed shape (§5.2):
@@ -29,6 +29,12 @@ pub struct CostModel {
     pub home_cpu_per_row: Time,
     /// Home CPU to apply one update.
     pub home_cpu_update: Time,
+    /// Extra home CPU per *participant* of a scatter-gather query
+    /// (sub-query planning plus merging its partial result). The scan
+    /// itself divides across the participants — each shard reads only
+    /// its slice — so a scattered query costs roughly one routed query
+    /// plus this overhead times the fan-out.
+    pub home_scatter_overhead: Time,
     /// Bytes of an update acknowledgement.
     pub ack_bytes: u64,
 }
@@ -41,6 +47,7 @@ impl Default for CostModel {
             home_cpu_query: 8_000,
             home_cpu_per_row: 40,
             home_cpu_update: 10_000,
+            home_scatter_overhead: 1_500,
             ack_bytes: 100,
         }
     }
@@ -280,6 +287,7 @@ impl Workload for DsspWorkload {
                     request_bytes: statement_bytes + 64,
                     reply_bytes: result_bytes + 64,
                     home_cpu: c.home_cpu_query + c.home_cpu_per_row * resp.result.len() as Time,
+                    shard: 0,
                 });
                 OpCost {
                     dssp_cpu: c.dssp_cpu_per_op,
@@ -303,6 +311,7 @@ impl Workload for DsspWorkload {
                         request_bytes: statement_bytes + 64,
                         reply_bytes: c.ack_bytes,
                         home_cpu: c.home_cpu_update,
+                        shard: 0,
                     }),
                     reply_bytes: c.ack_bytes + 128,
                     ..OpCost::default()
@@ -421,6 +430,7 @@ impl Workload for FleetWorkload {
                     request_bytes: statement_bytes + 64,
                     reply_bytes: result_bytes + 64,
                     home_cpu: c.home_cpu_query + c.home_cpu_per_row * fr.resp.result.len() as Time,
+                    shard: 0,
                 });
                 OpCost {
                     dssp_cpu: c.dssp_cpu_per_op
@@ -446,6 +456,7 @@ impl Workload for FleetWorkload {
                         request_bytes: statement_bytes + 64,
                         reply_bytes: c.ack_bytes,
                         home_cpu: c.home_cpu_update,
+                        shard: 0,
                     }),
                     reply_bytes: c.ack_bytes + 128,
                     proxy,
@@ -462,6 +473,249 @@ impl Workload for FleetWorkload {
         // Advances every replica's lease/trace clock, fires the interval
         // flush, and delivers fanout batches that became due.
         self.fleet.set_sim_time_micros(now);
+    }
+}
+
+/// Builds the partition map a sharded home tier uses for `app`: every
+/// table with an **eligible** integer column — one every update on the
+/// table provably pins (inserts always do; deletes/modifies need an
+/// equality restriction on it) — is **hash-split** across all `shards`
+/// by the eligible column its *queries* restrict on most often, so the
+/// common lookups route to one shard while per-key load (Zipf head
+/// included) spreads uniformly. Tables with no eligible column keep
+/// whole-table placement. The 1-shard map is [`PartitionMap::single`] —
+/// the classic home, pinned op-for-op equivalent by the sharded-home
+/// tests.
+///
+/// Picking the most-queried column rather than blindly the primary key
+/// matters: a RUBiS-style `bids` table is keyed by `b_id` but looked up
+/// by `b_item_id`, and a PK split would scatter-gather every bid-history
+/// read across the whole tier.
+pub fn home_shard_map(app: &AppDef, shards: usize) -> PartitionMap {
+    let mut map = PartitionMap::by_table(shards);
+    if shards <= 1 {
+        return map;
+    }
+    for schema in &app.schemas {
+        let best = schema
+            .columns
+            .iter()
+            .filter(|c| c.ty == scs_storage::ColumnType::Int)
+            .filter(|c| updates_pin_column(app, &schema.name, &c.name))
+            .map(|c| (query_pin_weight(app, &schema.name, &c.name), &c.name))
+            // `max_by_key` keeps the *last* maximum; reverse so ties go
+            // to the earliest schema column (stable across runs).
+            .rev()
+            .max_by_key(|(w, _)| *w);
+        if let Some((_, column)) = best {
+            map = map.with_placement(
+                &schema.name,
+                TablePlacement::Hash {
+                    column: column.clone(),
+                },
+            );
+        }
+    }
+    map
+}
+
+/// How much query traffic an equality restriction on `column` would pin
+/// to one shard: the sum of request-mix weights over query templates
+/// reading `table` that restrict `column` by equality.
+fn query_pin_weight(app: &AppDef, table: &str, column: &str) -> u32 {
+    let mut weight_of = vec![0u32; app.queries.len()];
+    for r in &app.requests {
+        for op in &r.ops {
+            if let Op::Query(tid) = op {
+                weight_of[*tid] += r.weight;
+            }
+        }
+    }
+    app.queries
+        .iter()
+        .enumerate()
+        .filter(|(_, q)| q.template.from.iter().any(|t| t.table == table))
+        .filter(|(_, q)| {
+            q.template.predicates.iter().any(|p| {
+                p.as_restriction()
+                    .is_some_and(|(c, op, _)| op == scs_sqlkit::CmpOp::Eq && c.column == column)
+            })
+        })
+        .map(|(tid, _)| weight_of[tid])
+        .sum()
+}
+
+/// True when every update template touching `table` routes under a
+/// key split on `column`: inserts always do (the candidate row carries
+/// the value); deletes/modifies must carry an equality restriction on it.
+fn updates_pin_column(app: &AppDef, table: &str, column: &str) -> bool {
+    app.update_templates()
+        .iter()
+        .filter(|t| t.table() == table)
+        .all(|t| match &**t {
+            UpdateTemplate::Insert(_) => true,
+            _ => t.predicates().iter().any(|p| {
+                p.as_restriction()
+                    .is_some_and(|(c, op, _)| op == scs_sqlkit::CmpOp::Eq && c.column == column)
+            }),
+        })
+}
+
+/// Drives one application instance through a single DSSP proxy against a
+/// **sharded** home tier — the partitioned-master deployment. Updates
+/// route to their owning shard and queries scatter-gather; each home
+/// trip's [`HomeTrip::shard`] tag steers its queueing cost onto that
+/// shard's service center ([`scs_netsim::SystemSpec::home_shards`] must
+/// match the map). Under the default (home-bound) cost model this is the
+/// experiment where the blind strategy — pinned to the home tier —
+/// finally scales: its binding resource is now partitioned.
+pub struct ShardedWorkload {
+    dssp: Dssp,
+    home: ShardedHome,
+    ops: OpSampler,
+    costs: CostModel,
+    /// Round-robin cursor spreading scatter-gather trips across their
+    /// participant shards (the simulator bills one center per trip).
+    scatter_rr: usize,
+}
+
+impl ShardedWorkload {
+    /// Builds a sharded workload over a freshly populated database
+    /// partitioned under `map` (same arguments as [`DsspWorkload::new`]
+    /// plus the partition map; see [`home_shard_map`]).
+    pub fn new(
+        app: &AppDef,
+        db: Database,
+        ids: IdSpaces,
+        exposures: Exposures,
+        map: PartitionMap,
+        zipf_exponent: f64,
+        seed: u64,
+    ) -> ShardedWorkload {
+        let matrix = analysis_matrix(app);
+        let config = DsspConfig::new(app.name, exposures, matrix);
+        assert_eq!(
+            config.exposures.queries.len(),
+            app.queries.len(),
+            "exposure shape"
+        );
+        ShardedWorkload {
+            dssp: Dssp::new(config),
+            home: ShardedHome::new(db, map),
+            ops: OpSampler::new(app, ids, zipf_exponent, seed),
+            costs: CostModel::default(),
+            scatter_rr: 0,
+        }
+    }
+
+    /// Replaces the cost model (builder style).
+    pub fn with_costs(mut self, costs: CostModel) -> ShardedWorkload {
+        self.costs = costs;
+        self
+    }
+
+    /// The DSSP proxy (inspection hook).
+    pub fn dssp(&self) -> &Dssp {
+        &self.dssp
+    }
+
+    /// Mutable proxy access.
+    pub fn dssp_mut(&mut self) -> &mut Dssp {
+        &mut self.dssp
+    }
+
+    /// The sharded home tier (inspection hook).
+    pub fn home(&self) -> &ShardedHome {
+        &self.home
+    }
+}
+
+impl Workload for ShardedWorkload {
+    fn begin_request(&mut self, client: usize) -> usize {
+        self.ops.begin_request(client)
+    }
+
+    fn execute_op(&mut self, client: usize, op_index: usize) -> OpCost {
+        let c = &self.costs;
+        match &self.ops.pending[client][op_index] {
+            PreparedOp::Query(q) => {
+                let statement_bytes = q.statement_text().len() as u64;
+                let participants = self.home.map().shards_for_query(q);
+                let resp = self
+                    .dssp
+                    .execute_query_sharded(q, &mut self.home)
+                    .expect("validated query templates");
+                let result_bytes = resp.result.approx_size_bytes() as u64;
+                let home_trip = (!resp.hit).then(|| {
+                    let k = participants.len().max(1);
+                    // A routed miss queues on its one owner; a
+                    // scatter-gather trip is billed to one participant
+                    // (round-robin) — the simulator models one center
+                    // per trip, and round-robin spreads the aggregate
+                    // scatter load evenly, matching the tier-wide cost
+                    // the gather actually induces (each shard scans
+                    // only its slice, so the base scan does not
+                    // multiply; the per-participant overhead does).
+                    let shard = if k == 1 {
+                        participants[0]
+                    } else {
+                        self.scatter_rr += 1;
+                        participants[self.scatter_rr % k]
+                    };
+                    HomeTrip {
+                        request_bytes: statement_bytes + 64,
+                        reply_bytes: result_bytes + 64,
+                        home_cpu: c.home_cpu_query
+                            + c.home_cpu_per_row * resp.result.len() as Time
+                            + c.home_scatter_overhead * (k - 1) as Time,
+                        shard,
+                    }
+                });
+                OpCost {
+                    dssp_cpu: c.dssp_cpu_per_op,
+                    home_trip,
+                    reply_bytes: result_bytes + 128,
+                    ..OpCost::default()
+                }
+            }
+            PreparedOp::Update(u) => {
+                let statement_bytes = u.statement_text().len() as u64;
+                // Rejected updates (cross-shard FK violation on a
+                // deleted parent, ...) still cost a trip to the shard
+                // that would have owned them; they change nothing and
+                // consume no epoch on any stream.
+                let (shard, scanned) = match self.dssp.execute_update_sharded(u, &mut self.home) {
+                    Ok((resp, shard)) => (shard, resp.scanned),
+                    Err(_) => (
+                        self.home
+                            .map()
+                            .shard_for_update(self.home.shard(0).database(), u)
+                            .unwrap_or(0),
+                        0,
+                    ),
+                };
+                OpCost {
+                    dssp_cpu: c.dssp_cpu_per_op + c.dssp_cpu_per_scan * scanned as Time,
+                    home_trip: Some(HomeTrip {
+                        request_bytes: statement_bytes + 64,
+                        reply_bytes: c.ack_bytes,
+                        home_cpu: c.home_cpu_update,
+                        shard,
+                    }),
+                    reply_bytes: c.ack_bytes + 128,
+                    ..OpCost::default()
+                }
+            }
+        }
+    }
+
+    fn hit_rate(&self) -> f64 {
+        self.dssp.stats().hit_rate()
+    }
+
+    fn observe_time(&mut self, now: Time) {
+        self.dssp.set_sim_time_micros(now);
+        self.home.set_sim_time_micros(now);
     }
 }
 

@@ -469,6 +469,7 @@ impl Workload for ElasticFleetWorkload {
                     request_bytes: statement_bytes + 64,
                     reply_bytes: result_bytes + 64,
                     home_cpu: cfg_home,
+                    shard: 0,
                 });
                 OpCost {
                     dssp_cpu,
@@ -487,6 +488,7 @@ impl Workload for ElasticFleetWorkload {
                         request_bytes: statement_bytes + 64,
                         reply_bytes: 64,
                         home_cpu: cfg_home,
+                        shard: 0,
                     }),
                     reply_bytes: 128,
                 }

@@ -28,7 +28,9 @@ pub use chaos::{
     run_chaos, run_classic, ChaosConfig, ChaosReport, FaultCounters, OpOutcome, OutageSpec,
 };
 pub use defs::{AppDef, Op, ParamSpec, RequestType, Sensitivity, TemplateDef};
-pub use driver::{analysis_matrix, CostModel, DsspWorkload, FleetWorkload};
+pub use driver::{
+    analysis_matrix, home_shard_map, CostModel, DsspWorkload, FleetWorkload, ShardedWorkload,
+};
 pub use elastic::{
     run_elastic, ElasticFleetWorkload, ElasticReport, ElasticRunConfig, MembershipChange,
 };
@@ -39,7 +41,7 @@ pub use overload::{
     OverloadCounters, OverloadReport, OverloadRunConfig,
 };
 pub use runner::{
-    measure_fleet_scalability, measure_scalability, run_audited_trial, run_fleet_trial, run_trial,
-    BenchApp, Fidelity,
+    measure_fleet_scalability, measure_scalability, run_audited_trial, run_fleet_trial,
+    run_home_shard_trial, run_trial, sharded_workload, sweep_home_shards, BenchApp, Fidelity,
 };
 pub use trace::{replay, ReplayReport, Trace, TraceOp};

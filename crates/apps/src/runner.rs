@@ -3,7 +3,7 @@
 //! used by the Figure-3/Figure-8 experiments.
 
 use crate::defs::AppDef;
-use crate::driver::{CostModel, DsspWorkload, FleetWorkload};
+use crate::driver::{home_shard_map, CostModel, DsspWorkload, FleetWorkload, ShardedWorkload};
 use crate::gen::{IdSpaces, BOOK_POPULARITY_EXPONENT};
 use crate::{auction, bboard, bookstore};
 use rand::rngs::StdRng;
@@ -278,6 +278,69 @@ pub fn measure_fleet_scalability(
     sweep_proxy_counts(
         proxy_counts,
         |proxies, users| run_fleet_trial(app, exposures, proxies, routing, users, fidelity, seed),
+        &sla,
+        opts,
+    )
+}
+
+/// A fresh sharded-home workload under `exposures`: the master database
+/// is partitioned over `shards` by [`home_shard_map`] (hash splits on
+/// pinnable primary keys, whole-table placement for the rest), on the same hot
+/// working set as the fleet trials. The cost model stays the default
+/// **home-bound** shape — the sharded-home experiment asks how far
+/// partitioning the master stretches the strategy that lives there (the
+/// blind strategy most of all).
+pub fn sharded_workload(
+    app: BenchApp,
+    exposures: Exposures,
+    shards: usize,
+    seed: u64,
+) -> ShardedWorkload {
+    let def = app.def();
+    let (db, ids) = app.build_database_scaled(seed, FLEET_SCALE_DIV);
+    let map = home_shard_map(&def, shards);
+    ShardedWorkload::new(&def, db, ids, exposures, map, app.zipf_exponent(), seed)
+}
+
+/// Runs one trial of `app` against a `shards`-way sharded home tier with
+/// `users` concurrent users. The simulator's home tier is sized to match
+/// — each shard queues on its own service center while the DSSP node and
+/// the DSSP↔home link stay shared.
+pub fn run_home_shard_trial(
+    app: BenchApp,
+    exposures: &Exposures,
+    shards: usize,
+    users: usize,
+    fidelity: Fidelity,
+    seed: u64,
+) -> RunMetrics {
+    let mut cfg = SimConfig::paper(users, seed);
+    cfg.duration = fidelity.duration_secs * scs_netsim::SEC;
+    cfg.warmup = fidelity.warmup_secs * scs_netsim::SEC;
+    cfg.spec = SystemSpec::with_home_shards(shards);
+    let mut workload = sharded_workload(app, exposures.clone(), shards, seed);
+    scs_netsim::run(&cfg, &mut workload)
+}
+
+/// Measures the "max users vs. home shards" curve: an independent
+/// scalability search per shard count, fresh partitions and cold caches
+/// at every trial ([`FleetPoint::proxies`] carries the shard count).
+pub fn sweep_home_shards(
+    app: BenchApp,
+    exposures: &Exposures,
+    shard_counts: &[usize],
+    fidelity: Fidelity,
+    seed: u64,
+) -> Vec<FleetPoint> {
+    let sla = Sla::paper();
+    let opts = SearchOptions {
+        start: 8,
+        max: fidelity.max_users,
+        resolution: fidelity.resolution,
+    };
+    sweep_proxy_counts(
+        shard_counts,
+        |shards, users| run_home_shard_trial(app, exposures, shards, users, fidelity, seed),
         &sla,
         opts,
     )

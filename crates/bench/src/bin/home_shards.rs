@@ -1,0 +1,79 @@
+//! The sharded-home scale-out experiment: **max concurrent users vs.
+//! number of home shards**, per invalidation strategy, on the auction
+//! benchmark.
+//!
+//! Each sweep point is an independent scalability search over a fresh
+//! [`scs_dssp::ShardedHome`]: the master database range/hash-partitioned
+//! across N shards, one [`scs_dssp::HomeServer`] per shard with its own
+//! WAL and its own epoched invalidation stream (stream id = shard id),
+//! the proxy merging the streams with one gap/duplicate cursor each,
+//! and the simulator's home tier split into one service center per
+//! shard. The cost model is home-bound (the default
+//! [`scs_apps::CostModel`]), so the blind strategy — pinned by the home
+//! tier in the fleet experiment no matter how many proxies front it —
+//! scales out here as the shards split its bottleneck.
+//!
+//! Run: `cargo run -p scs-bench --release --bin home_shards [--smoke|--full]`
+//! * default: blind + view-inspection at quick fidelity;
+//! * `--smoke`: the same pair at smoke fidelity, asserting the
+//!   scale-out shape (MBS strictly rising) — CI's gate;
+//! * `--full`: all four strategies at the paper's 10-minute fidelity.
+//!
+//! Output: `artifacts/home_shards.json` (`SCS_TELEMETRY_OUT` overrides) — the
+//! same entry schema the committed `BENCH_baseline.json` carries, so
+//! `regress --subset` can diff a smoke run against the full baseline.
+//! Exits nonzero when any acceptance check fails.
+
+use scs_apps::Fidelity;
+use scs_bench::home_shards_probe::{self, SHARD_COUNTS, SMOKE_STRATEGIES};
+use scs_bench::TextTable;
+use scs_dssp::StrategyKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let (strategies, fidelity): (&[StrategyKind], Fidelity) = if smoke {
+        (&SMOKE_STRATEGIES, home_shards_probe::smoke_fidelity())
+    } else if args.iter().any(|a| a == "--full") {
+        (&StrategyKind::ALL, Fidelity::full())
+    } else {
+        (&SMOKE_STRATEGIES, Fidelity::quick())
+    };
+
+    println!("Home shards — scalability vs. home tier partitioning (auction)");
+    println!(
+        "(shard counts {:?}; {} mode)\n",
+        SHARD_COUNTS,
+        if smoke { "smoke" } else { "table" }
+    );
+
+    let probe = home_shards_probe::run_probe(strategies, fidelity, home_shards_probe::SEED);
+
+    let mut table = TextTable::new(&["Strategy", "Shards", "Scalability (users)", "Trials"]);
+    for curve in &probe.curves {
+        for p in &curve.points {
+            table.row(&[
+                curve.strategy.name().to_string(),
+                p.proxies.to_string(),
+                p.result.max_users.to_string(),
+                p.result.trials.len().to_string(),
+            ]);
+        }
+        eprintln!(
+            "  [{}] knees across {:?} shards: {:?}",
+            curve.strategy.name(),
+            SHARD_COUNTS,
+            curve.knees()
+        );
+    }
+    println!("{}", table.render());
+    println!("Shape: the blind strategy is home-bound, so sharding the home tier");
+    println!("raises its knee with every added shard.");
+
+    scs_bench::finish_run(
+        "home_shards",
+        "artifacts/home_shards.json",
+        probe.entries,
+        &probe.failures,
+    );
+}

@@ -14,6 +14,10 @@
 //! * the fleet probe — the "max users vs. proxies" scale-out curves for
 //!   MVIS and MBS (the reference for the fleet-curve regression
 //!   detector and CI's `fleet --smoke` run);
+//! * the home-shard probe — the "max users vs. home shards" scale-out
+//!   curves for the partitioned home tier (the reference for the
+//!   shard-curve regression detectors and CI's `home_shards --smoke`
+//!   run);
 //! * the overload probe — the 4x spike demo and the goodput-vs-offered-
 //!   load sweep (the reference for the goodput detectors);
 //! * the freshness probe — propagation-lag / staleness-age /
@@ -110,6 +114,26 @@ fn main() {
     }
     failed.extend(fleet.failures.iter().cloned());
     entries.extend(fleet.entries);
+
+    // The home-shard probe: the "max users vs. home shards" scale-out
+    // curves for the sharded home tier. Its entries live in the same
+    // baseline so the regression gate's shard-curve detectors have a
+    // reference for CI's `home_shards --smoke` run.
+    let shards = scs_bench::home_shards_probe::run_probe(
+        &scs_bench::home_shards_probe::SMOKE_STRATEGIES,
+        scs_bench::home_shards_probe::smoke_fidelity(),
+        scs_bench::home_shards_probe::SEED,
+    );
+    for curve in &shards.curves {
+        println!(
+            "  [home_shards/{}] max users across {:?} shards: {:?}",
+            curve.strategy.name(),
+            scs_bench::home_shards_probe::SHARD_COUNTS,
+            curve.knees()
+        );
+    }
+    failed.extend(shards.failures.iter().cloned());
+    entries.extend(shards.entries);
 
     // The overload probe: 4x spike demo plus the goodput-vs-offered-load
     // sweep. Its entries live in the same baseline so the regression

@@ -36,6 +36,12 @@
 //!   strictly dominated in the candidate (the security/scalability
 //!   frontier receded), or a swept assignment disappearing from the
 //!   frontier curve;
+//! * a home-shard entry's scale-out knee (max users at some shard
+//!   count) falling more than the threshold below the baseline's, a
+//!   swept shard count disappearing from the curve, or a baseline
+//!   curve that rose strictly with shard count **flattening** in the
+//!   candidate (adding shards no longer buys capacity — the partition
+//!   map stopped spreading load, or scatter-gather went serial);
 //! * a failover entry's unavailability window growing past the
 //!   threshold (`failover_window_rise` — promotion got slower, either
 //!   in total or at the worst single failover), or its acked-write
@@ -297,6 +303,74 @@ fn fleet_curve_drops(key: &str, base: &Json, cand: &Json, factor: f64, out: &mut
                     "{key}: max users at {proxies} proxies fell from {base_users} to {cand_users}"
                 ),
             ));
+        }
+    }
+}
+
+/// A home-shard entry's scale-out curve as (shards, max_users) points.
+fn shard_points(entry: &Json) -> Vec<(u64, u64)> {
+    entry
+        .get("shard_curve")
+        .and_then(|c| c.get("points"))
+        .and_then(Json::as_arr)
+        .map(|ps| {
+            ps.iter()
+                .filter_map(|p| Some((p.get("shards")?.as_u64()?, p.get("max_users")?.as_u64()?)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// The home-shard scale-out detectors: at every shard count the
+/// baseline measured, the candidate's max-users knee must hold within
+/// the threshold and no swept shard count may disappear. On top of the
+/// pointwise checks, a baseline curve that rose **strictly** with
+/// shard count must keep rising in the candidate — a curve that merely
+/// sags uniformly trips the knee-drop detector, but a curve that
+/// *flattens* (adding shards no longer buys capacity) can slip under a
+/// percentage threshold at small shard counts while still meaning the
+/// partition map stopped spreading load or scatter-gather went serial.
+fn shard_curve_drops(key: &str, base: &Json, cand: &Json, factor: f64, out: &mut Vec<Finding>) {
+    let base_points: std::collections::BTreeMap<u64, u64> =
+        shard_points(base).into_iter().collect();
+    let cand_points: std::collections::BTreeMap<u64, u64> =
+        shard_points(cand).into_iter().collect();
+    for (&shards, &base_users) in &base_points {
+        let Some(&cand_users) = cand_points.get(&shards) else {
+            out.push(Finding::new(
+                key,
+                "shard_point_missing",
+                format!("{key}: the {shards}-shard point disappeared from the shard curve"),
+            ));
+            continue;
+        };
+        if base_users > 0 && (cand_users as f64) < base_users as f64 * (1.0 - factor) {
+            out.push(Finding::new(
+                key,
+                "shard_knee_drop",
+                format!(
+                    "{key}: max users at {shards} home shards fell from {base_users} to {cand_users}"
+                ),
+            ));
+        }
+    }
+    let base_knees: Vec<u64> = base_points.values().copied().collect();
+    let base_rises = base_knees.len() >= 2 && base_knees.windows(2).all(|w| w[0] < w[1]);
+    if base_rises {
+        let cand_knees: Vec<(u64, u64)> = cand_points.into_iter().collect();
+        for w in cand_knees.windows(2) {
+            let ((lo_shards, lo_users), (hi_shards, hi_users)) = (w[0], w[1]);
+            if hi_users <= lo_users {
+                out.push(Finding::new(
+                    key,
+                    "shard_curve_flattened",
+                    format!(
+                        "{key}: the shard curve rose strictly in the baseline but flattened: \
+                         {hi_shards} shards holds {hi_users} max users, no better than \
+                         {lo_users} at {lo_shards}"
+                    ),
+                ));
+            }
         }
     }
 }
@@ -714,6 +788,7 @@ fn diff_with(base: &Json, cand: &Json, threshold_pct: f64, subset: bool) -> Vec<
             }
         }
         fleet_curve_drops(&key, b, c, factor, &mut out);
+        shard_curve_drops(&key, b, c, factor, &mut out);
         freshness_drops(&key, b, c, factor, &mut out);
         elastic_drops(&key, b, c, factor, &mut out);
         failover_drops(&key, b, c, factor, &mut out);
@@ -772,6 +847,19 @@ fn self_check(baseline: &Json, threshold_pct: f64) -> i32 {
     if has_fleet && !tripped("fleet_knee_drop") {
         eprintln!("self-check FAILED: degraded fleet curve did not trip the scale-out detector");
         return 1;
+    }
+    // And a baseline carrying home-shard curves must prove both the
+    // knee-drop and flattening detectors fire on the degraded curve.
+    let has_shards = entries(baseline)
+        .iter()
+        .any(|(_, e)| e.get("shard_curve").is_some());
+    if has_shards {
+        for d in ["shard_knee_drop", "shard_curve_flattened"] {
+            if !tripped(d) {
+                eprintln!("self-check FAILED: degraded shard curve did not trip the {d} detector");
+                return 1;
+            }
+        }
     }
     // And a baseline carrying freshness curves must prove all three
     // freshness detectors fire on the degraded points.
@@ -858,7 +946,8 @@ fn self_check(baseline: &Json, threshold_pct: f64) -> i32 {
     0
 }
 
-/// Halves throughput, overload goodput, and fleet knees, fails every
+/// Halves throughput, overload goodput, and fleet knees, flattens the
+/// home-shard curve at half its 1-shard capacity, fails every
 /// SLO, bumps staleness counts, inflates freshness lag/stale-age/
 /// amplification, triples measured leakage and sinks a frontier point
 /// below the curve, collapses the goodput curve past its knee, and
@@ -894,6 +983,27 @@ fn degrade(mut doc: Json) -> Json {
                     for p in points {
                         if let Some(Json::Num(u)) = get_mut(p, "max_users") {
                             *u = (*u * 0.5).floor();
+                        }
+                    }
+                }
+            }
+            // Flatten the home-shard curve the way a partition map that
+            // stopped spreading load would: every shard count parks at
+            // half the 1-shard capacity, so adding shards buys nothing
+            // (trips the flattening detector) and every knee sags
+            // (trips the knee-drop detector).
+            if let Some(curve) = get_mut(entry, "shard_curve") {
+                if let Some(Json::Arr(points)) = get_mut(curve, "points") {
+                    let floor_users = points
+                        .first()
+                        .and_then(|p| p.get("max_users"))
+                        .and_then(Json::as_f64)
+                        .map(|u| (u * 0.5).floor());
+                    if let Some(flat) = floor_users {
+                        for p in points {
+                            if let Some(Json::Num(u)) = get_mut(p, "max_users") {
+                                *u = flat;
+                            }
                         }
                     }
                 }

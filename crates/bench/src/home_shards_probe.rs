@@ -1,0 +1,147 @@
+//! The shared sharded-home probe: the "max users vs. home shards" sweep
+//! on the auction benchmark.
+//!
+//! Both the `home_shards` binary (CI's `--smoke` gate) and the
+//! `observatory` baseline run execute exactly this probe, so the
+//! regression gate diffs like against like: the committed
+//! `BENCH_baseline.json` home-shard entries and the smoke run's
+//! `artifacts/home_shards.json` entries come from the same
+//! deterministic configurations.
+//!
+//! The probe runs in the home-bound cost regime (the default
+//! [`scs_apps::CostModel`]): the blind strategy misses through to the
+//! home tier on every exposed template, so splitting the home across
+//! shards — each with its own service center and its own invalidation
+//! stream — raises its knee with every added shard. That is the dual of
+//! the fleet probe's shape: there, adding *proxies* couldn't move MBS
+//! because the single home was the bottleneck; here, adding *home
+//! shards* attacks exactly that bottleneck. The informed strategy
+//! serves mostly from cache, so the home tier is a minor term for it
+//! and its curve must merely not collapse.
+
+use scs_apps::{sweep_home_shards, BenchApp, Fidelity};
+use scs_dssp::StrategyKind;
+use scs_netsim::FleetPoint;
+use scs_telemetry::Json;
+
+/// Home shard counts swept per strategy.
+pub const SHARD_COUNTS: &[usize] = &[1, 2, 4];
+
+/// The canonical probe seed (shared with the committed baseline).
+pub const SEED: u64 = 23;
+
+/// The two ends of the exposure spectrum — what the smoke gate and the
+/// baseline sweep. Blind (MBS) is the headline curve: its home-bound
+/// knee must rise strictly with shard count.
+pub const SMOKE_STRATEGIES: [StrategyKind; 2] = [StrategyKind::Blind, StrategyKind::ViewInspection];
+
+/// Trial fidelity for the smoke gate: short windows, coarse resolution,
+/// but a user cap high enough that the 4-shard knee is not clipped into
+/// a tie with the 2-shard one.
+pub fn smoke_fidelity() -> Fidelity {
+    Fidelity {
+        duration_secs: 60,
+        warmup_secs: 10,
+        max_users: 8_192,
+        resolution: 128,
+    }
+}
+
+/// One strategy's measured curve ([`FleetPoint::proxies`] carries the
+/// shard count).
+pub struct ShardCurve {
+    pub strategy: StrategyKind,
+    pub points: Vec<FleetPoint>,
+}
+
+impl ShardCurve {
+    pub fn knees(&self) -> Vec<usize> {
+        self.points.iter().map(|p| p.result.max_users).collect()
+    }
+}
+
+/// Everything the probe ran and concluded.
+pub struct ShardProbe {
+    pub curves: Vec<ShardCurve>,
+    /// One report entry per strategy curve (for the regression gate).
+    pub entries: Vec<Json>,
+    /// Violated acceptance checks; empty means the probe passed.
+    pub failures: Vec<String>,
+}
+
+/// Sweeps `SHARD_COUNTS` for each strategy in `strategies`, evaluates
+/// the scale-out acceptance checks, and assembles the report entries.
+pub fn run_probe(strategies: &[StrategyKind], fidelity: Fidelity, seed: u64) -> ShardProbe {
+    let app = BenchApp::Auction;
+    let def = app.def();
+    let mut curves = Vec::new();
+    for &kind in strategies {
+        let exposures = kind.exposures(def.updates.len(), def.queries.len());
+        let points = sweep_home_shards(app, &exposures, SHARD_COUNTS, fidelity, seed);
+        curves.push(ShardCurve {
+            strategy: kind,
+            points,
+        });
+    }
+
+    let mut failures = Vec::new();
+    for curve in &curves {
+        check_curve(curve, &mut failures);
+    }
+    let entries = curves.iter().map(|c| curve_entry(app, c, seed)).collect();
+    ShardProbe {
+        curves,
+        entries,
+        failures,
+    }
+}
+
+/// The scale-out acceptance checks: the blind (MBS) curve must rise
+/// strictly with every added home shard — the home tier is its binding
+/// resource and the shards split it. Every other strategy mostly hits
+/// cache, so its curve only needs to stay off the floor.
+fn check_curve(curve: &ShardCurve, failures: &mut Vec<String>) {
+    let knees = curve.knees();
+    let name = curve.strategy.name();
+    match curve.strategy {
+        StrategyKind::Blind => {
+            if !knees.windows(2).all(|w| w[0] < w[1]) {
+                failures.push(format!(
+                    "{name}: max users must rise strictly with home shard count, got {knees:?}"
+                ));
+            }
+        }
+        _ => {
+            if knees.contains(&0) {
+                failures.push(format!(
+                    "{name}: a sweep point collapsed to zero: {knees:?}"
+                ));
+            }
+        }
+    }
+}
+
+/// The report entry the regression gate diffs: the strategy's
+/// shards→max-users curve plus enough context to reproduce it.
+fn curve_entry(app: BenchApp, curve: &ShardCurve, seed: u64) -> Json {
+    let points: Vec<Json> = curve
+        .points
+        .iter()
+        .map(|p| {
+            Json::obj([
+                ("shards", (p.proxies as u64).into()),
+                ("max_users", (p.result.max_users as u64).into()),
+                ("trials", (p.result.trials.len() as u64).into()),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("app", app.name().into()),
+        (
+            "config",
+            format!("home_shards_{}", curve.strategy.name()).into(),
+        ),
+        ("seed", seed.into()),
+        ("shard_curve", Json::obj([("points", Json::Arr(points))])),
+    ])
+}

@@ -17,6 +17,7 @@
 //! | `regress`     | extension — diffs two observatory exports (CI perf gate) |
 //! | `overload`    | extension — spike demo + goodput-vs-offered-load curve |
 //! | `fleet`       | extension — max users vs. number of DSSP proxies |
+//! | `home_shards` | extension — max users vs. number of home shards |
 //! | `freshness`   | extension — propagation-lag / staleness-age / amplification curves |
 //! | `elastic`     | extension — flash crowd: autoscaled fleet vs. static bracket |
 //! | `frontier`    | extension — leakage-vs-max-users Pareto frontier over the exposure lattice |
@@ -29,6 +30,7 @@ pub mod failover_probe;
 pub mod fleet_probe;
 pub mod freshness_probe;
 pub mod frontier_probe;
+pub mod home_shards_probe;
 pub mod overload_probe;
 
 use scs_core::ExposureLevel;

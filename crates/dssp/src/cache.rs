@@ -68,6 +68,11 @@ pub struct CacheEntry {
     /// Home update epoch the entry's result reflects (the proxy stamps
     /// it right after the miss fill; 0 when unstamped).
     stored_epoch: u64,
+    /// Invalidation stream `stored_epoch` counts on: 0 for the classic
+    /// single home; a shard id when the fill came from a sharded home
+    /// (a scatter-gather fill is stamped with its first participant's
+    /// stream — the lease, not this stamp, is the staleness bound).
+    stored_stream: u64,
 }
 
 impl CacheEntry {
@@ -115,6 +120,11 @@ impl CacheEntry {
     /// Home update epoch the entry's result reflects.
     pub fn stored_epoch(&self) -> u64 {
         self.stored_epoch
+    }
+
+    /// Invalidation stream [`CacheEntry::stored_epoch`] counts on.
+    pub fn stored_stream(&self) -> u64 {
+        self.stored_stream
     }
 }
 
@@ -395,6 +405,7 @@ impl ResultCache {
             expires_at_micros,
             stored_at_micros: self.now_micros,
             stored_epoch: 0,
+            stored_stream: 0,
         });
         let mut evicted = Vec::new();
         if let Some(cap) = self.capacity {
@@ -525,6 +536,20 @@ impl ResultCache {
             params: q.params.clone(),
         };
         if let Some(e) = self.entries.get_mut(&key) {
+            e.stored_epoch = epoch;
+        }
+    }
+
+    /// Stamps the invalidation stream *and* epoch a just-stored entry's
+    /// result reflects — the sharded-home fill path, where the epoch
+    /// counts on the owning shard's stream rather than stream 0.
+    pub fn set_stored_provenance(&mut self, q: &Query, stream: u64, epoch: u64) {
+        let key = CacheKey {
+            template_id: q.template_id,
+            params: q.params.clone(),
+        };
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.stored_stream = stream;
             e.stored_epoch = epoch;
         }
     }

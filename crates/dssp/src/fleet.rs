@@ -336,7 +336,7 @@ impl ProxyFleet {
         let mut replicas = Vec::with_capacity(fleet.proxies);
         for id in 0..fleet.proxies {
             let mut dssp = Dssp::new(config.clone());
-            dssp.set_proxy_label(id as u32);
+            dssp.set_proxy_label(id as u64);
             let joined_epoch = home.register_pipe(id);
             dssp.handshake(joined_epoch);
             replicas.push(Replica {
@@ -570,7 +570,7 @@ impl ProxyFleet {
         //    warms from; everything after arrives on its own pipe.
         let joined_epoch = self.home.register_pipe(id);
         let mut dssp = Dssp::new(self.config.clone());
-        dssp.set_proxy_label(id as u32);
+        dssp.set_proxy_label(id as u64);
         dssp.set_tenant_label(self.tenant);
         dssp.set_lease_micros(self.lease);
         dssp.set_sim_time_micros(self.now_micros);
@@ -916,12 +916,21 @@ impl ProxyFleet {
         self.msgs += batch.len() as u64;
         self.coalesced += batch.coalesced;
         let timer = self.spans.timer();
+        // Label the flush span with its template only when the batch is
+        // template-uniform; a mixed batch gets `None` so per-template
+        // trace rollups never misattribute the whole flush to whichever
+        // update happened to be first.
+        let label = batch
+            .msgs
+            .first()
+            .map(|m| m.update.template_id)
+            .filter(|&t| batch.msgs.iter().all(|m| m.update.template_id == t));
         let root = self.spans.open(
             self.now_micros,
             SpanPhase::FanoutFlush,
             SpanId::NONE,
             self.tenant,
-            batch.msgs.first().map(|m| m.update.template_id as u32),
+            label.map(|t| t as u32),
         );
         let prov = self.prov.clone();
         let batch_id = prov.as_ref().map(|prov| {
@@ -1506,6 +1515,72 @@ mod tests {
         );
         // Trace events from replica 1 carry its label.
         assert_eq!(f.fleet.proxy(1).proxy_label(), 1);
+    }
+
+    /// Replica ids are stable and never reused, so the trace label must
+    /// carry them without truncation — a label past u32::MAX survives
+    /// the trip through the tracer intact.
+    #[test]
+    fn proxy_label_does_not_truncate_wide_ids() {
+        let (config, _home, _q, _u) = toy_config(StrategyKind::ViewInspection);
+        let mut dssp = Dssp::new(config);
+        let wide = u32::MAX as u64 + 7;
+        dssp.set_proxy_label(wide);
+        assert_eq!(dssp.proxy_label(), wide);
+    }
+
+    /// A template-uniform fanout batch labels its flush span with that
+    /// template; a mixed batch is labeled `None` so per-template trace
+    /// rollups never charge the whole flush to whichever message was
+    /// first.
+    #[test]
+    fn fanout_flush_span_label_is_none_for_mixed_template_batches() {
+        use scs_telemetry::SpanPhase;
+        let (_config, home, queries, _updates) = toy_config(StrategyKind::ViewInspection);
+        let updates = vec![
+            Arc::new(parse_update("UPDATE toys SET qty = ? WHERE toy_id = ?").unwrap()),
+            Arc::new(parse_update("UPDATE toys SET toy_name = ? WHERE toy_id = ?").unwrap()),
+        ];
+        // Re-derive the matrix over both update templates so either can
+        // be executed against the fleet.
+        let schema = home.database().table("toys").unwrap().schema().clone();
+        let catalog = Catalog::new([schema]);
+        let matrix = characterize_app(&updates, &queries, &catalog, AnalysisOptions::default());
+        let config = DsspConfig::new(
+            "toystore",
+            StrategyKind::ViewInspection.exposures(updates.len(), queries.len()),
+            matrix,
+        );
+        let mut cfg = FleetConfig::reliable(2, RoutingMode::RoundRobin);
+        cfg.fanout = FanoutConfig::batched(2, u64::MAX);
+        let mut fleet = ProxyFleet::new(config, home, cfg);
+        fleet.enable_span_recording(256);
+        let upd = |tid: usize, params: Vec<Value>| {
+            Update::bind(tid, updates[tid].clone(), params).unwrap()
+        };
+        // Two different templates fill the batch: the size-triggered
+        // flush is mixed.
+        fleet
+            .execute_update(&upd(0, vec![Value::Int(9), Value::Int(1)]))
+            .unwrap();
+        fleet
+            .execute_update(&upd(1, vec![Value::str("ball"), Value::Int(2)]))
+            .unwrap();
+        // Two updates of one template: the next flush is uniform.
+        fleet
+            .execute_update(&upd(0, vec![Value::Int(8), Value::Int(1)]))
+            .unwrap();
+        fleet
+            .execute_update(&upd(0, vec![Value::Int(7), Value::Int(2)]))
+            .unwrap();
+        let labels: Vec<Option<u32>> = fleet
+            .spans()
+            .spans()
+            .iter()
+            .filter(|s| s.phase == SpanPhase::FanoutFlush)
+            .map(|s| s.template)
+            .collect();
+        assert_eq!(labels, vec![None, Some(0)]);
     }
 
     #[test]

@@ -36,6 +36,14 @@ pub struct HomeServer {
     /// The freshness plane, when a harness attached one: every applied
     /// update stamps its epoch's commit here.
     prov: Option<SharedProvenance>,
+    /// Commit stamps written through a poisoned provenance lock (the
+    /// lock is recovered rather than letting telemetry panic the write
+    /// path; see [`HomeServer::prov_poison_recovered`]).
+    prov_poison_recovered: u64,
+    /// Invalidation-stream id stamped on freshness-plane commits. A
+    /// classic single home is stream 0; a sharded home labels each
+    /// shard's server with its shard id (stream id = shard id).
+    stream: u64,
     /// Fanout pipes currently registered, in registration order — the
     /// home-side membership view an elastic fleet maintains through
     /// [`HomeServer::register_pipe`] / [`HomeServer::unregister_pipe`].
@@ -59,6 +67,8 @@ impl HomeServer {
             service_nanos: 0,
             now_micros: 0,
             prov: None,
+            prov_poison_recovered: 0,
+            stream: 0,
             pipes: Vec::new(),
             wal,
         }
@@ -82,6 +92,8 @@ impl HomeServer {
             service_nanos: 0,
             now_micros: 0,
             prov: None,
+            prov_poison_recovered: 0,
+            stream: 0,
             pipes: Vec::new(),
             wal,
         }
@@ -149,6 +161,18 @@ impl HomeServer {
         self.prov = Some(prov);
     }
 
+    /// Labels this server's invalidation stream on the freshness plane.
+    /// A sharded home sets each shard's server to its shard id; the
+    /// default (stream 0) is the classic single-home stream.
+    pub fn set_stream_label(&mut self, stream: u64) {
+        self.stream = stream;
+    }
+
+    /// The invalidation-stream id this server stamps on commits.
+    pub fn stream(&self) -> u64 {
+        self.stream
+    }
+
     /// Executes a query against the master copy (a DSSP cache miss).
     pub fn execute_query(&mut self, q: &Query) -> Result<QueryResult, StorageError> {
         self.queries_served += 1;
@@ -160,6 +184,15 @@ impl HomeServer {
         result
     }
 
+    /// Accounts one scatter-gather sub-query served by this shard
+    /// (`nanos` of master service time) without executing anything: the
+    /// sharded home executes the gathered plan once centrally and
+    /// charges each participating shard its share of the work.
+    pub fn note_scatter_query(&mut self, nanos: u64) {
+        self.queries_served += 1;
+        self.service_nanos = self.service_nanos.saturating_add(nanos);
+    }
+
     /// Applies an update to the master copy; on success the update epoch
     /// advances and the epoch-stamped invalidation notification for the
     /// proxy-bound stream is returned alongside the effect. Failed
@@ -168,9 +201,34 @@ impl HomeServer {
         &mut self,
         u: &Update,
     ) -> Result<(UpdateEffect, InvalidationMsg), StorageError> {
+        self.apply_update_inner(u, true)
+    }
+
+    /// [`HomeServer::apply_update`] without the storage-level FK check.
+    /// A sharded home owns only its shard's rows, so a child row's parent
+    /// may legitimately live on another shard; the sharded home verifies
+    /// every FK probe against the parent's owner shard *before* routing
+    /// here (see `crate::sharded::ShardedHome`), making the local check
+    /// both wrong (spurious violations) and redundant.
+    pub fn apply_update_unchecked(
+        &mut self,
+        u: &Update,
+    ) -> Result<(UpdateEffect, InvalidationMsg), StorageError> {
+        self.apply_update_inner(u, false)
+    }
+
+    fn apply_update_inner(
+        &mut self,
+        u: &Update,
+        check_fks: bool,
+    ) -> Result<(UpdateEffect, InvalidationMsg), StorageError> {
         self.updates_applied += 1;
         let start = std::time::Instant::now();
-        let effect = self.db.apply(u);
+        let effect = if check_fks {
+            self.db.apply(u)
+        } else {
+            self.db.apply_unchecked(u)
+        };
         self.service_nanos = self
             .service_nanos
             .saturating_add(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
@@ -182,7 +240,18 @@ impl HomeServer {
             update: u.clone(),
         };
         if let Some(prov) = &self.prov {
-            prov.lock().unwrap().note_commit(
+            // Recover a poisoned lock instead of propagating the panic:
+            // the provenance log is append-only stamps, so the worst a
+            // poisoner leaves behind is a missing stamp — never a torn
+            // invariant — and the master write has already committed by
+            // this point, so panicking here would wedge the whole write
+            // path over telemetry.
+            let mut p = prov.lock().unwrap_or_else(|poisoned| {
+                self.prov_poison_recovered += 1;
+                poisoned.into_inner()
+            });
+            p.note_commit_on(
+                self.stream,
                 self.epoch,
                 u.template_id,
                 self.now_micros,
@@ -190,6 +259,12 @@ impl HomeServer {
             );
         }
         Ok((effect, msg))
+    }
+
+    /// Commit stamps that had to recover a poisoned provenance lock
+    /// (0 in healthy runs).
+    pub fn prov_poison_recovered(&self) -> u64 {
+        self.prov_poison_recovered
     }
 
     /// The current update epoch: the sequence number of the most recent
@@ -338,6 +413,32 @@ mod tests {
         h.apply_update(&insert(2, 2)).expect("server still usable");
         assert_eq!(h.epoch(), before + 1);
         assert_eq!(h.wal().replay().unwrap(), *h.database());
+    }
+
+    /// A poisoned provenance mutex must not panic the commit path: the
+    /// master write has already happened, so the lock is recovered (and
+    /// counted) and the commit stamp still lands.
+    #[test]
+    fn poisoned_provenance_lock_does_not_panic_the_write_path() {
+        let mut h = HomeServer::new(seed_db());
+        let prov = scs_telemetry::shared_provenance(1);
+        h.attach_provenance(prov.clone());
+        // Poison the mutex: a thread panics while holding the lock.
+        let poisoner = prov.clone();
+        std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("poison the provenance lock");
+        })
+        .join()
+        .unwrap_err();
+        assert!(prov.lock().is_err(), "lock is poisoned");
+        let (_, msg) = h.apply_update(&insert(2, 2)).expect("write path survives");
+        assert_eq!(msg.epoch, 1);
+        assert_eq!(h.prov_poison_recovered(), 1);
+        // The stamp landed despite the poison.
+        let log = prov.lock().unwrap_or_else(|p| p.into_inner());
+        assert_eq!(log.commits().len(), 1);
+        assert_eq!(log.commit_at(1), Some(0));
     }
 
     /// The promotion barrier is one checkpoint record no matter how

@@ -43,6 +43,7 @@ pub mod fleet;
 pub mod home;
 pub mod proxy;
 pub mod replication;
+pub mod sharded;
 pub mod statement;
 pub mod stats;
 pub mod strategy;
@@ -75,6 +76,7 @@ pub use proxy::{
 pub use replication::{
     CommitAck, FailoverRecord, HomeGroup, ReplicationConfig, ReplicationMode, ShipMsg, Standby,
 };
+pub use sharded::{ShardedHome, ShardedQueryResponse, ShardedUpdateResponse};
 pub use statement::statement_may_affect;
 pub use stats::DsspStats;
 pub use strategy::{decide, must_invalidate, DecisionPath, StrategyKind, UpdateView};

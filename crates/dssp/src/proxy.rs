@@ -23,6 +23,7 @@ use crate::delivery::{
     FtUpdateResponse, HomeLink, InvalidationBatch, InvalidationMsg, RecoveryMode, RetryPolicy,
 };
 use crate::home::HomeServer;
+use crate::sharded::ShardedHome;
 use crate::stats::DsspStats;
 use crate::strategy::{decide, DecisionPath, UpdateView};
 use scs_core::{request_reveals, ExposureLevel, Exposures, IpmMatrix, RevealKind};
@@ -340,8 +341,12 @@ pub struct Dssp {
     /// outside a simulation.
     now_micros: u64,
     /// Last invalidation-stream epoch applied (or covered by a recovery
-    /// flush).
+    /// flush) on stream 0 — the classic single-home stream.
     epoch: u64,
+    /// Merge cursors for invalidation streams ≥ 1 (one per home shard;
+    /// see [`Dssp::apply_invalidation_from`]). Stream 0 lives in
+    /// `epoch` so every classic single-stream path is untouched.
+    stream_epochs: std::collections::HashMap<u64, u64>,
     recovery: RecoveryMode,
     /// Overload protection; `None` = accept everything.
     overload: Option<OverloadState>,
@@ -399,6 +404,7 @@ impl Dssp {
             tenant: 0,
             now_micros: 0,
             epoch: 0,
+            stream_epochs: std::collections::HashMap::new(),
             recovery: config.recovery,
             overload,
             request_seq: 0,
@@ -642,9 +648,10 @@ impl Dssp {
             Lookup::Hit(entry) => {
                 let result = entry.serve().clone();
                 let plaintext_hit = entry.visible_result().is_some();
-                let (stored_at, stored_epoch, expires_at) = (
+                let (stored_at, stored_epoch, stored_stream, expires_at) = (
                     entry.stored_at_micros(),
                     entry.stored_epoch(),
+                    entry.stored_stream(),
                     entry.expires_at_micros(),
                 );
                 self.spans.record_closed(
@@ -678,10 +685,13 @@ impl Dssp {
                 }
                 if let Some((prov, replica)) = &self.prov {
                     let mut p = prov.lock().unwrap();
-                    p.note_serve(
+                    // Staleness is scoped to the stream the entry was
+                    // filled on (stream 0 for a classic home).
+                    p.note_serve_on(
                         *replica,
                         tid,
-                        self.epoch,
+                        stored_stream,
+                        self.epoch_of(stored_stream),
                         stored_epoch,
                         stored_at,
                         expires_at,
@@ -1312,7 +1322,7 @@ impl Dssp {
         }
         let before = self.epoch;
         self.epoch = msg.epoch;
-        let (scanned, invalidated) = self.run_invalidation_pass(&msg.update);
+        let (scanned, invalidated) = self.run_invalidation_pass(&msg.update, msg.epoch);
         self.prov_arrival(
             msg.epoch,
             ApplyKind::Applied {
@@ -1419,7 +1429,7 @@ impl Dssp {
                 continue;
             }
             self.epoch = msg.epoch;
-            let (s, i) = self.run_invalidation_pass(&msg.update);
+            let (s, i) = self.run_invalidation_pass(&msg.update, msg.epoch);
             scanned += s;
             invalidated += i;
             applied += 1;
@@ -1454,7 +1464,7 @@ impl Dssp {
     /// templates the IPM marks as conflicting — via the cache's secondary
     /// index. A blind update gives the strategy nothing to filter on
     /// (every entry is a victim), so it keeps the full scan.
-    fn run_invalidation_pass(&mut self, u: &Update) -> (usize, usize) {
+    fn run_invalidation_pass(&mut self, u: &Update, at_epoch: u64) -> (usize, usize) {
         let uid = u.template_id;
         let level = self.exposures.updates[uid];
         let view = UpdateView::new(u, level);
@@ -1533,7 +1543,7 @@ impl Dssp {
             let mut p = prov.lock().unwrap();
             p.note_scan(uid, scanned as u64, invalidated as u64);
             for (qid, _, _) in &victims {
-                p.note_invalidate(*replica, *qid, uid, self.epoch, self.now_micros);
+                p.note_invalidate(*replica, *qid, uid, at_epoch, self.now_micros);
             }
         }
         if let (Some((audit, replica)), Some(agg)) = (&self.audit, scan_agg) {
@@ -1667,6 +1677,495 @@ impl Dssp {
         self.epoch = home_epoch;
     }
 
+    /// This replica's merge cursor on invalidation stream `stream` —
+    /// the last epoch applied or covered on that shard's stream.
+    /// Stream 0 is [`Dssp::epoch`]; unseen streams start at 0.
+    pub fn epoch_of(&self, stream: u64) -> u64 {
+        if stream == 0 {
+            self.epoch
+        } else {
+            self.stream_epochs.get(&stream).copied().unwrap_or(0)
+        }
+    }
+
+    fn set_stream_cursor(&mut self, stream: u64, epoch: u64) {
+        if stream == 0 {
+            self.epoch = epoch;
+        } else {
+            self.stream_epochs.insert(stream, epoch);
+        }
+    }
+
+    /// [`Dssp::handshake`] for one shard stream: sets the merge cursor
+    /// without clearing the cache (a fresh joiner warming from a
+    /// sharded master calls this once per shard).
+    pub fn handshake_stream(&mut self, stream: u64, epoch: u64) {
+        self.set_stream_cursor(stream, epoch);
+    }
+
+    /// [`Dssp::prov_arrival`] for a labeled stream: the batch stamp is
+    /// resolved per `(stream, first_epoch)` — epochs are only unique
+    /// within one shard's stream.
+    fn prov_arrival_on(
+        &self,
+        stream: u64,
+        first_epoch: u64,
+        kind: ApplyKind,
+        before: u64,
+        after: u64,
+    ) {
+        if let Some((prov, replica)) = &self.prov {
+            let mut p = prov.lock().unwrap();
+            if let Some(batch) = p.batch_for_epoch_on(stream, first_epoch) {
+                p.note_arrival(*replica, batch, self.now_micros, kind, before, after);
+            }
+        }
+    }
+
+    /// Delivers one invalidation from shard stream `stream`, merging it
+    /// at this replica under that stream's own cursor. Stream 0 is the
+    /// classic path ([`Dssp::apply_invalidation`]) unchanged; for other
+    /// streams the same ordering protocol runs per stream — duplicate
+    /// below the cursor, gap above `cursor + 1` (a lost notification
+    /// *on that shard's stream*) triggering the recovery flush, in-order
+    /// delivery running the invalidation pass. The flush is deliberately
+    /// not stream-scoped: a missed update on any shard may have touched
+    /// any cached entry, so the conservative [`RecoveryMode`] sweep of
+    /// the whole cache is what keeps cross-stream merges safe.
+    pub fn apply_invalidation_from(
+        &mut self,
+        stream: u64,
+        msg: &InvalidationMsg,
+    ) -> DeliveryOutcome {
+        if stream == 0 {
+            return self.apply_invalidation(msg);
+        }
+        let cursor = self.epoch_of(stream);
+        let expected = cursor + 1;
+        if msg.epoch < expected {
+            self.metrics.duplicate_invalidations.inc();
+            self.prov_arrival_on(stream, msg.epoch, ApplyKind::Duplicate, cursor, cursor);
+            return DeliveryOutcome::Duplicate;
+        }
+        let root = self.spans.open(
+            self.now_micros,
+            SpanPhase::InvalidationFanout,
+            SpanId::NONE,
+            self.tenant,
+            Some(msg.update.template_id as u32),
+        );
+        let root_timer = self.spans.timer();
+        if msg.epoch > expected {
+            self.metrics.epoch_gaps.inc();
+            self.tracer.emit(
+                self.now_micros,
+                self.tenant,
+                TraceEventKind::EpochGap {
+                    expected,
+                    got: msg.epoch,
+                },
+            );
+            let recovery_timer = self.spans.timer();
+            let flushed = self.recovery_flush();
+            self.spans.record_closed(
+                self.now_micros,
+                SpanPhase::Recovery,
+                root,
+                self.tenant,
+                None,
+                recovery_timer,
+            );
+            self.set_stream_cursor(stream, msg.epoch);
+            self.prov_arrival_on(
+                stream,
+                msg.epoch,
+                ApplyKind::Recovered {
+                    flushed: flushed as u64,
+                },
+                cursor,
+                msg.epoch,
+            );
+            self.spans.close(root, root_timer);
+            return DeliveryOutcome::Recovered { flushed };
+        }
+        self.set_stream_cursor(stream, msg.epoch);
+        let (scanned, invalidated) = self.run_invalidation_pass(&msg.update, msg.epoch);
+        self.prov_arrival_on(
+            stream,
+            msg.epoch,
+            ApplyKind::Applied {
+                applied: 1,
+                skipped: 0,
+            },
+            cursor,
+            msg.epoch,
+        );
+        self.spans.close(root, root_timer);
+        DeliveryOutcome::Applied {
+            scanned,
+            invalidated,
+        }
+    }
+
+    /// Delivers one fanout batch from shard stream `stream` — the
+    /// batch-level mirror of [`Dssp::apply_invalidation_from`], with
+    /// [`Dssp::apply_batch`]'s duplicate/gap/attach ordering evaluated
+    /// against that stream's own cursor.
+    pub fn apply_batch_from(&mut self, stream: u64, batch: &InvalidationBatch) -> BatchOutcome {
+        if stream == 0 {
+            return self.apply_batch(batch);
+        }
+        let epoch_before = self.epoch_of(stream);
+        if batch.last_epoch <= epoch_before {
+            self.metrics.fanout_batch_duplicates.inc();
+            self.metrics
+                .duplicate_invalidations
+                .add(batch.msgs.len() as u64);
+            self.prov_arrival_on(
+                stream,
+                batch.first_epoch,
+                ApplyKind::Duplicate,
+                epoch_before,
+                epoch_before,
+            );
+            return BatchOutcome::Duplicate;
+        }
+        let root = self.spans.open(
+            self.now_micros,
+            SpanPhase::BatchApply,
+            SpanId::NONE,
+            self.tenant,
+            batch.msgs.first().map(|m| m.update.template_id as u32),
+        );
+        let root_timer = self.spans.timer();
+        let expected = epoch_before + 1;
+        if batch.first_epoch > expected {
+            self.metrics.fanout_batch_gaps.inc();
+            self.metrics.epoch_gaps.inc();
+            self.tracer.emit(
+                self.now_micros,
+                self.tenant,
+                TraceEventKind::EpochGap {
+                    expected,
+                    got: batch.first_epoch,
+                },
+            );
+            let recovery_timer = self.spans.timer();
+            let flushed = self.recovery_flush();
+            self.spans.record_closed(
+                self.now_micros,
+                SpanPhase::Recovery,
+                root,
+                self.tenant,
+                None,
+                recovery_timer,
+            );
+            self.set_stream_cursor(stream, batch.last_epoch);
+            self.prov_arrival_on(
+                stream,
+                batch.first_epoch,
+                ApplyKind::Recovered {
+                    flushed: flushed as u64,
+                },
+                epoch_before,
+                batch.last_epoch,
+            );
+            self.spans.close(root, root_timer);
+            return BatchOutcome::Recovered { flushed };
+        }
+        let mut applied = 0usize;
+        let mut skipped = 0usize;
+        let mut scanned = 0usize;
+        let mut invalidated = 0usize;
+        let mut cursor = epoch_before;
+        for msg in &batch.msgs {
+            if msg.epoch <= cursor {
+                skipped += 1;
+                self.metrics.duplicate_invalidations.inc();
+                continue;
+            }
+            cursor = msg.epoch;
+            let (s, i) = self.run_invalidation_pass(&msg.update, msg.epoch);
+            scanned += s;
+            invalidated += i;
+            applied += 1;
+        }
+        self.set_stream_cursor(stream, batch.last_epoch);
+        self.metrics.fanout_batches_applied.inc();
+        self.metrics.fanout_batch_msgs.add(applied as u64);
+        self.prov_arrival_on(
+            stream,
+            batch.first_epoch,
+            ApplyKind::Applied {
+                applied: applied as u64,
+                skipped: skipped as u64,
+            },
+            epoch_before,
+            batch.last_epoch,
+        );
+        self.spans.close(root, root_timer);
+        BatchOutcome::Applied {
+            applied,
+            skipped,
+            scanned,
+            invalidated,
+        }
+    }
+
+    /// Handles a client query against a **sharded** home tier: serve
+    /// from cache, or scatter/route the miss through
+    /// [`ShardedHome::execute_query`] and cache the result stamped with
+    /// its owning shard's stream and epoch. The perfect-delivery mirror
+    /// of [`Dssp::execute_query`] for N home shards.
+    pub fn execute_query_sharded(
+        &mut self,
+        q: &Query,
+        home: &mut ShardedHome,
+    ) -> Result<QueryResponse, StorageError> {
+        let tid = q.template_id;
+        let level = self.exposures.queries[tid];
+        let exposure = level.rank() as u8;
+        let audit_req = self.audit_arrival(false, tid, level, "query", &q.params);
+        self.metrics.queries.inc();
+        let root = self.spans.open(
+            self.now_micros,
+            SpanPhase::QueryRequest,
+            SpanId::NONE,
+            self.tenant,
+            Some(tid as u32),
+        );
+        let root_timer = self.spans.timer();
+        let lookup_timer = self.spans.timer();
+        let mut lease_expired = false;
+        match self.cache.lookup_classified(q) {
+            Lookup::Hit(entry) => {
+                let result = entry.serve().clone();
+                let plaintext_hit = entry.visible_result().is_some();
+                let (stored_at, stored_epoch, stored_stream, expires_at) = (
+                    entry.stored_at_micros(),
+                    entry.stored_epoch(),
+                    entry.stored_stream(),
+                    entry.expires_at_micros(),
+                );
+                self.spans.record_closed(
+                    self.now_micros,
+                    SpanPhase::CacheLookup,
+                    root,
+                    self.tenant,
+                    Some(tid as u32),
+                    lookup_timer,
+                );
+                self.metrics.hits.inc();
+                self.metrics.query_hits[tid].inc();
+                self.tracer.emit(
+                    self.now_micros,
+                    self.tenant,
+                    TraceEventKind::QueryHit {
+                        query_template: tid as u32,
+                        exposure,
+                    },
+                );
+                if let Some((prov, replica)) = &self.prov {
+                    let mut p = prov.lock().unwrap();
+                    p.note_serve_on(
+                        *replica,
+                        tid,
+                        stored_stream,
+                        self.epoch_of(stored_stream),
+                        stored_epoch,
+                        stored_at,
+                        expires_at,
+                        self.now_micros,
+                    );
+                }
+                if plaintext_hit {
+                    self.audit_view_read(audit_req, tid, "serve", &result);
+                }
+                self.spans.close(root, root_timer);
+                return Ok(QueryResponse { result, hit: true });
+            }
+            Lookup::Expired => {
+                lease_expired = true;
+                self.metrics.lease_expirations.inc();
+                self.tracer.emit(
+                    self.now_micros,
+                    self.tenant,
+                    TraceEventKind::LeaseExpired {
+                        query_template: tid as u32,
+                    },
+                );
+            }
+            Lookup::Miss => {}
+        }
+        self.spans.record_closed(
+            self.now_micros,
+            SpanPhase::CacheLookup,
+            root,
+            self.tenant,
+            Some(tid as u32),
+            lookup_timer,
+        );
+        self.metrics.misses.inc();
+        self.metrics.query_misses[tid].inc();
+        self.tracer.emit(
+            self.now_micros,
+            self.tenant,
+            TraceEventKind::QueryMiss {
+                query_template: tid as u32,
+                exposure,
+            },
+        );
+        if let Some((prov, replica)) = &self.prov {
+            prov.lock()
+                .unwrap()
+                .note_miss(*replica, tid, self.now_micros, lease_expired);
+        }
+        let trip_timer = self.spans.timer();
+        let resp = home.execute_query(q)?;
+        self.spans.record_closed(
+            self.now_micros,
+            SpanPhase::HomeTrip,
+            root,
+            self.tenant,
+            Some(tid as u32),
+            trip_timer,
+        );
+        // Per-stream epoch handshake on the piggybacked shard epochs —
+        // same rule as the classic path: only while the cache is empty
+        // can a cursor skip ahead without leaving a stale entry behind.
+        if self.cache.is_empty() {
+            for &s in &resp.shards {
+                let stream = s as u64;
+                if home.epoch_of(s) > self.epoch_of(stream) {
+                    self.set_stream_cursor(stream, home.epoch_of(s));
+                }
+            }
+        }
+        let crypto_timer = self.spans.timer();
+        let outcome = self
+            .cache
+            .store_with_evictions(q, resp.result.clone(), level);
+        self.spans.record_closed(
+            self.now_micros,
+            SpanPhase::Crypto,
+            root,
+            self.tenant,
+            Some(tid as u32),
+            crypto_timer,
+        );
+        if outcome.stored {
+            // The fill is stamped with its first participating shard's
+            // stream and that shard's epoch as of the miss trip. For a
+            // scatter-gather fill this tracks only one of the streams
+            // the result depends on — a documented approximation in the
+            // staleness *accounting*; the lease (and the conservative
+            // cross-stream recovery flush) still bound true staleness.
+            let owner = resp.shards[0];
+            let fill_epoch = home.epoch_of(owner);
+            self.cache
+                .set_stored_provenance(q, owner as u64, fill_epoch);
+            if let Some((prov, replica)) = &self.prov {
+                prov.lock()
+                    .unwrap()
+                    .note_store(*replica, tid, fill_epoch, self.now_micros);
+            }
+        }
+        if outcome.replaced {
+            self.metrics.cache_replacements.inc();
+        }
+        if level == ExposureLevel::View {
+            self.audit_view_read(audit_req, tid, "fill", &resp.result);
+        }
+        for victim in &outcome.evicted {
+            self.metrics.evictions.inc();
+            self.metrics.query_evicted[victim.template_id].inc();
+            self.tracer.emit(
+                self.now_micros,
+                self.tenant,
+                TraceEventKind::EntryEvicted {
+                    query_template: victim.template_id as u32,
+                },
+            );
+        }
+        self.metrics.cache_entries.set(self.cache.len() as i64);
+        self.spans.close(root, root_timer);
+        Ok(QueryResponse {
+            result: resp.result,
+            hit: false,
+        })
+    }
+
+    /// Handles an update against a **sharded** home tier: route to the
+    /// owning shard (after its cross-shard FK handshake), then deliver
+    /// the invalidation back on that shard's stream — the
+    /// perfect-delivery mirror of [`Dssp::execute_update`] for N home
+    /// shards. Returns the owning shard alongside the usual response.
+    pub fn execute_update_sharded(
+        &mut self,
+        u: &Update,
+        home: &mut ShardedHome,
+    ) -> Result<(UpdateResponse, usize), StorageError> {
+        let uid = u.template_id;
+        let level = self.exposures.updates[uid];
+        let _ = self.audit_arrival(true, uid, level, "update", &u.params);
+        let root = self.spans.open(
+            self.now_micros,
+            SpanPhase::UpdateRequest,
+            SpanId::NONE,
+            self.tenant,
+            Some(uid as u32),
+        );
+        let root_timer = self.spans.timer();
+        self.metrics.updates.inc();
+        let trip_timer = self.spans.timer();
+        let sharded = match home.execute_update(u) {
+            Ok(s) => s,
+            Err(e) => {
+                // Refused before routing (e.g. the cross-shard FK
+                // handshake): no epoch moved on any stream, nothing to
+                // invalidate.
+                self.spans.close(root, root_timer);
+                return Err(e);
+            }
+        };
+        self.metrics.update_applied[uid].inc();
+        self.attribution.record_update(uid);
+        self.tracer.emit(
+            self.now_micros,
+            self.tenant,
+            TraceEventKind::UpdateApplied {
+                update_template: uid as u32,
+                exposure: level.rank() as u8,
+            },
+        );
+        self.spans.record_closed(
+            self.now_micros,
+            SpanPhase::HomeTrip,
+            root,
+            self.tenant,
+            Some(uid as u32),
+            trip_timer,
+        );
+        self.spans.close(root, root_timer);
+        let (scanned, invalidated) =
+            match self.apply_invalidation_from(sharded.shard as u64, &sharded.msg) {
+                DeliveryOutcome::Applied {
+                    scanned,
+                    invalidated,
+                } => (scanned, invalidated),
+                DeliveryOutcome::Recovered { flushed } => (flushed, flushed),
+                DeliveryOutcome::Duplicate => (0, 0),
+            };
+        Ok((
+            UpdateResponse {
+                effect: sharded.effect,
+                scanned,
+                invalidated,
+            },
+            sharded.shard,
+        ))
+    }
+
     /// Extracts the cached entries selected by `select` for handoff to
     /// another replica, removing them locally. Used by the elastic fleet
     /// when ring arcs change owner on a join or leave.
@@ -1789,12 +2288,12 @@ impl Dssp {
 
     /// Stamps this proxy's fleet replica index on every trace event it
     /// emits (set by `ProxyFleet::new`; stays 0 for single-proxy use).
-    pub fn set_proxy_label(&mut self, proxy: u32) {
+    pub fn set_proxy_label(&mut self, proxy: u64) {
         self.tracer.set_proxy(proxy);
     }
 
     /// This proxy's fleet replica index (0 outside a fleet).
-    pub fn proxy_label(&self) -> u32 {
+    pub fn proxy_label(&self) -> u64 {
         self.tracer.proxy()
     }
 

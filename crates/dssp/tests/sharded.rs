@@ -1,0 +1,492 @@
+//! Property tests for the sharded home tier: the 1-shard equivalence
+//! pin (a [`ShardedHome`] over [`PartitionMap::single`] is op-for-op
+//! the classic [`HomeServer`]), per-shard conservation of the
+//! multi-stream invalidation ledger at arbitrary cuts under
+//! drop/duplicate/delay faults, the lease bound on staleness while a
+//! replica merges interleaved shard streams, scatter-gather
+//! equivalence against the unpartitioned master, and the no-epoch
+//! contract of the cross-shard FK handshake.
+
+use proptest::prelude::*;
+use scs_core::{characterize_app, AnalysisOptions, Catalog};
+use scs_dssp::{Dssp, DsspConfig, HomeServer, ShardedHome, StrategyKind};
+use scs_sqlkit::{parse_query, parse_update, Query, QueryTemplate, Update, UpdateTemplate, Value};
+use scs_storage::{ColumnType, Database, PartitionMap, TablePlacement, TableSchema};
+use scs_telemetry::{shared_provenance, FlushTrigger, SharedProvenance};
+use std::sync::Arc;
+
+const ROWS: i64 = 8;
+const LEASE: u64 = 500_000;
+
+struct Templates {
+    queries: Vec<Arc<QueryTemplate>>,
+    updates: Vec<Arc<UpdateTemplate>>,
+}
+
+fn toy_db() -> Database {
+    let schema = TableSchema::builder("toys")
+        .column("id", ColumnType::Int)
+        .column("qty", ColumnType::Int)
+        .primary_key(&["id"])
+        .build()
+        .unwrap();
+    let mut db = Database::new();
+    db.create_table(schema).unwrap();
+    for id in 0..ROWS {
+        db.insert_row("toys", vec![Value::Int(id), Value::Int(10 + id)])
+            .unwrap();
+    }
+    db
+}
+
+fn build(lease: Option<u64>) -> (DsspConfig, Templates) {
+    let schema = TableSchema::builder("toys")
+        .column("id", ColumnType::Int)
+        .column("qty", ColumnType::Int)
+        .primary_key(&["id"])
+        .build()
+        .unwrap();
+    let queries: Vec<Arc<QueryTemplate>> = vec![
+        Arc::new(parse_query("SELECT qty FROM toys WHERE id = ?").unwrap()),
+        // No restriction on the partition column: scatter-gathers.
+        Arc::new(parse_query("SELECT id FROM toys WHERE qty = ?").unwrap()),
+    ];
+    let updates: Vec<Arc<UpdateTemplate>> = vec![Arc::new(
+        parse_update("UPDATE toys SET qty = ? WHERE id = ?").unwrap(),
+    )];
+    let catalog = Catalog::new(vec![schema]);
+    let matrix = characterize_app(&updates, &queries, &catalog, AnalysisOptions::default());
+    let exposures = StrategyKind::ViewInspection.exposures(updates.len(), queries.len());
+    let config = DsspConfig {
+        lease_micros: lease,
+        ..DsspConfig::new("sharded-prop", exposures, matrix)
+    };
+    (config, Templates { queries, updates })
+}
+
+fn toy_map(shards: usize) -> PartitionMap {
+    if shards <= 1 {
+        return PartitionMap::single();
+    }
+    PartitionMap::by_table(shards).with_placement(
+        "toys",
+        TablePlacement::Hash {
+            column: "id".into(),
+        },
+    )
+}
+
+fn keyed_query(t: &Templates, id: i64) -> Query {
+    Query::bind(0, t.queries[0].clone(), vec![Value::Int(id)]).unwrap()
+}
+
+fn scatter_query(t: &Templates, qty: i64) -> Query {
+    Query::bind(1, t.queries[1].clone(), vec![Value::Int(qty)]).unwrap()
+}
+
+fn bind_update(t: &Templates, id: i64, qty: i64) -> Update {
+    Update::bind(
+        0,
+        t.updates[0].clone(),
+        vec![Value::Int(qty), Value::Int(id)],
+    )
+    .unwrap()
+}
+
+#[derive(Debug, Clone)]
+enum ScriptOp {
+    Keyed { id: i64 },
+    Scatter { qty: i64 },
+    Update { id: i64, qty: i64 },
+    Advance { dt: u64 },
+}
+
+fn script_op() -> impl Strategy<Value = ScriptOp> {
+    prop_oneof![
+        3 => (0..ROWS).prop_map(|id| ScriptOp::Keyed { id }),
+        2 => (10..10 + ROWS).prop_map(|qty| ScriptOp::Scatter { qty }),
+        3 => ((0..ROWS), 0..1_000i64).prop_map(|(id, qty)| ScriptOp::Update { id, qty }),
+        2 => (1u64..LEASE / 2).prop_map(|dt| ScriptOp::Advance { dt }),
+    ]
+}
+
+/// One invalidation copy waiting on the faulty "wire".
+struct Delayed {
+    due: u64,
+    stream: u64,
+    msg: scs_dssp::InvalidationMsg,
+}
+
+/// Stamps one offered copy of `msg` (flush + send) on its shard stream
+/// so the conservation ledger can account for it.
+fn stamp_copy(
+    prov: &SharedProvenance,
+    stream: u64,
+    msg: &scs_dssp::InvalidationMsg,
+    template: usize,
+    now: u64,
+) {
+    let mut p = prov.lock().unwrap();
+    let batch = match p.batch_for_epoch_on(stream, msg.epoch) {
+        Some(b) => b,
+        None => p.note_flush_on(
+            stream,
+            msg.epoch,
+            msg.epoch,
+            1,
+            0,
+            now,
+            FlushTrigger::Inline,
+            vec![(template, msg.payload_bytes())],
+        ),
+    };
+    p.note_send(0, batch, now);
+}
+
+/// Asserts the conservation ledger balances on **every** shard stream
+/// at the replica's current per-stream cursors.
+fn assert_conserved_per_stream(prov: &SharedProvenance, dssp: &Dssp, shards: usize) {
+    let p = prov.lock().unwrap();
+    for stream in 0..shards as u64 {
+        let c = p.conservation_on(0, stream, dssp.epoch_of(stream));
+        assert!(
+            c.balanced(),
+            "stream {stream}: sent {} != applied {} + duplicate {} + recovered {} + in-flight {}",
+            c.sent,
+            c.applied,
+            c.duplicate,
+            c.recovered_over,
+            c.in_flight
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The two satellite freshness properties, lifted to shard streams:
+    /// under random drop/duplicate/delay schedules over interleaved
+    /// per-shard invalidation streams, (a) every stream's conservation
+    /// ledger balances at every cut — each offered epoch copy is
+    /// classified exactly once as applied, duplicate, recovered-over,
+    /// or in flight — and (b) the replica never serves a cache entry
+    /// staler than its lease, no matter which stream's updates it
+    /// missed.
+    #[test]
+    fn shard_streams_conserve_and_lease_bounds_staleness(
+        seed in any::<u64>(),
+        shards in 2usize..5,
+        drop_pm in 0u32..350,
+        dup_pm in 0u32..350,
+        delay_pm in 0u32..350,
+        script in proptest::collection::vec(script_op(), 1..80),
+    ) {
+        let (config, t) = build(Some(LEASE));
+        let mut home = ShardedHome::new(toy_db(), toy_map(shards));
+        let mut dssp = Dssp::new(config);
+        let prov = shared_provenance(1);
+        home.attach_provenance(prov.clone());
+        dssp.attach_provenance(prov.clone(), 0);
+        dssp.set_lease_micros(Some(LEASE));
+
+        // A tiny deterministic LCG drives the fault schedule so the
+        // proptest shrinker stays effective on the script itself.
+        let mut rng = seed | 1;
+        let mut draw = move |pm: u32| {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((rng >> 33) % 1_000) < pm as u64
+        };
+
+        let mut now = 0u64;
+        let mut wire: Vec<Delayed> = Vec::new();
+        home.set_sim_time_micros(now);
+        dssp.set_sim_time_micros(now);
+
+        for (i, op) in script.iter().enumerate() {
+            match *op {
+                ScriptOp::Advance { dt } => {
+                    now += dt;
+                    home.set_sim_time_micros(now);
+                    dssp.set_sim_time_micros(now);
+                    let due: Vec<usize> = (0..wire.len())
+                        .rev()
+                        .filter(|&j| wire[j].due <= now)
+                        .collect();
+                    for j in due {
+                        let d = wire.swap_remove(j);
+                        dssp.apply_invalidation_from(d.stream, &d.msg);
+                    }
+                }
+                ScriptOp::Keyed { id } => {
+                    dssp.execute_query_sharded(&keyed_query(&t, id), &mut home).unwrap();
+                }
+                ScriptOp::Scatter { qty } => {
+                    dssp.execute_query_sharded(&scatter_query(&t, qty), &mut home).unwrap();
+                }
+                ScriptOp::Update { id, qty } => {
+                    let resp = home.execute_update(&bind_update(&t, id, qty)).unwrap();
+                    let stream = resp.shard as u64;
+                    let copies = if draw(dup_pm) { 2 } else { 1 };
+                    for _ in 0..copies {
+                        stamp_copy(&prov, stream, &resp.msg, 0, now);
+                        if draw(drop_pm) {
+                            continue;
+                        }
+                        if draw(delay_pm) {
+                            wire.push(Delayed {
+                                due: now + 1 + (resp.msg.epoch % (LEASE / 4)),
+                                stream,
+                                msg: resp.msg.clone(),
+                            });
+                        } else {
+                            dssp.apply_invalidation_from(stream, &resp.msg);
+                        }
+                    }
+                }
+            }
+            // The ledger balances at every intermediate cut, not just
+            // after the drain; spot-check a few to keep the test fast.
+            if i % 8 == 7 {
+                assert_conserved_per_stream(&prov, &dssp, shards);
+            }
+        }
+        assert_conserved_per_stream(&prov, &dssp, shards);
+        // Drain the wire (deliveries may still arrive out of order).
+        wire.sort_by_key(|d| d.due);
+        for d in std::mem::take(&mut wire) {
+            dssp.apply_invalidation_from(d.stream, &d.msg);
+        }
+        assert_conserved_per_stream(&prov, &dssp, shards);
+
+        let p = prov.lock().unwrap();
+        let rl = p.replica(0);
+        prop_assert_eq!(
+            rl.serves,
+            rl.fresh_serves + rl.stale_within_lease + rl.stale_beyond_lease,
+            "serve split does not add up"
+        );
+        prop_assert_eq!(
+            rl.stale_beyond_lease, 0,
+            "the lease gate admitted an over-age serve while merging shard streams"
+        );
+        prop_assert!(
+            rl.stale_age.max.unwrap_or(0) <= LEASE,
+            "recorded stale age {:?} exceeds the lease {}",
+            rl.stale_age.max,
+            LEASE
+        );
+    }
+
+    /// Scatter-gather equivalence: any interleaving of keyed updates
+    /// and queries gives, on a sharded home, exactly the results the
+    /// unpartitioned master would give — for routed single-shard
+    /// lookups and cross-shard scatter-gather reads alike.
+    #[test]
+    fn sharded_results_match_unpartitioned_master(
+        shards in 2usize..5,
+        script in proptest::collection::vec(script_op(), 1..40),
+    ) {
+        let (_, t) = build(None);
+        let mut reference = toy_db();
+        let mut home = ShardedHome::new(toy_db(), toy_map(shards));
+        for op in &script {
+            match *op {
+                ScriptOp::Advance { .. } => {}
+                ScriptOp::Keyed { id } => {
+                    let q = keyed_query(&t, id);
+                    let got = home.execute_query(&q).unwrap();
+                    prop_assert_eq!(got.shards.len(), 1, "keyed lookup must route");
+                    prop_assert!(got.result.multiset_eq(&reference.execute(&q).unwrap()));
+                }
+                ScriptOp::Scatter { qty } => {
+                    let q = scatter_query(&t, qty);
+                    let got = home.execute_query(&q).unwrap();
+                    prop_assert!(got.result.multiset_eq(&reference.execute(&q).unwrap()));
+                }
+                ScriptOp::Update { id, qty } => {
+                    let u = bind_update(&t, id, qty);
+                    let expect_shard = home.map().shard_for_update(&reference, &u).unwrap();
+                    let got = home.execute_update(&u).unwrap();
+                    prop_assert_eq!(got.shard, expect_shard);
+                    prop_assert_eq!(got.msg.epoch, home.epoch_of(got.shard));
+                    reference.apply(&u).unwrap();
+                }
+            }
+        }
+        // Per-shard epochs sum to the number of applied updates, and
+        // the union of shard rows is the master's row set.
+        let updates = script.iter().filter(|op| matches!(op, ScriptOp::Update { .. })).count() as u64;
+        prop_assert_eq!(home.epochs().iter().sum::<u64>(), updates);
+        for id in 0..ROWS {
+            let q = keyed_query(&t, id);
+            prop_assert!(home.execute_query(&q).unwrap().result.multiset_eq(
+                &reference.execute(&q).unwrap()
+            ));
+        }
+    }
+}
+
+/// The 1-shard equivalence pin: a [`ShardedHome`] over
+/// [`PartitionMap::single`] served through the sharded proxy entry
+/// points behaves op-for-op like the classic [`HomeServer`] behind the
+/// classic entry points — same results, same hit pattern, same update
+/// effects, same epoch sequence, and a byte-identical WAL and master
+/// database at the end.
+#[test]
+fn one_shard_sharded_home_matches_classic_home_op_for_op() {
+    let (config, t) = build(Some(LEASE));
+    let mut classic_home = HomeServer::new(toy_db());
+    let mut classic = Dssp::new(config.clone());
+    let mut sharded_home = ShardedHome::new(toy_db(), PartitionMap::single());
+    let mut sharded = Dssp::new(config);
+
+    // A fixed script interleaving keyed hits/misses, scatter-shaped
+    // templates (which a 1-shard map still routes), updates, and time.
+    let script: Vec<ScriptOp> = (0..120)
+        .map(|i| match i % 7 {
+            0 | 3 => ScriptOp::Keyed {
+                id: (i as i64) % ROWS,
+            },
+            1 => ScriptOp::Scatter {
+                qty: 10 + (i as i64) % ROWS,
+            },
+            2 | 5 => ScriptOp::Update {
+                id: (i as i64 * 3) % ROWS,
+                qty: i as i64,
+            },
+            4 => ScriptOp::Advance { dt: 40_000 },
+            _ => ScriptOp::Keyed {
+                id: (i as i64 * 5) % ROWS,
+            },
+        })
+        .collect();
+
+    let mut now = 0u64;
+    for op in &script {
+        match *op {
+            ScriptOp::Advance { dt } => {
+                now += dt;
+                classic_home.set_sim_time_micros(now);
+                classic.set_sim_time_micros(now);
+                sharded_home.set_sim_time_micros(now);
+                sharded.set_sim_time_micros(now);
+            }
+            ScriptOp::Keyed { id } => {
+                let q = keyed_query(&t, id);
+                let a = classic.execute_query(&q, &mut classic_home).unwrap();
+                let b = sharded
+                    .execute_query_sharded(&q, &mut sharded_home)
+                    .unwrap();
+                assert!(a.result.multiset_eq(&b.result));
+                assert_eq!(a.hit, b.hit, "hit pattern diverged");
+            }
+            ScriptOp::Scatter { qty } => {
+                let q = scatter_query(&t, qty);
+                let a = classic.execute_query(&q, &mut classic_home).unwrap();
+                let b = sharded
+                    .execute_query_sharded(&q, &mut sharded_home)
+                    .unwrap();
+                assert!(a.result.multiset_eq(&b.result));
+                assert_eq!(a.hit, b.hit, "hit pattern diverged");
+            }
+            ScriptOp::Update { id, qty } => {
+                let u = bind_update(&t, id, qty);
+                let a = classic.execute_update(&u, &mut classic_home).unwrap();
+                let (b, shard) = sharded
+                    .execute_update_sharded(&u, &mut sharded_home)
+                    .unwrap();
+                assert_eq!(shard, 0, "1-shard map must route everything to shard 0");
+                assert_eq!(a.effect, b.effect);
+                assert_eq!(a.scanned, b.scanned);
+                assert_eq!(a.invalidated, b.invalidated);
+                assert_eq!(classic_home.epoch(), sharded_home.epoch_of(0));
+            }
+        }
+    }
+
+    assert_eq!(sharded_home.shard_count(), 1);
+    assert_eq!(sharded_home.scatter_queries(), 0, "1-shard never scatters");
+    assert_eq!(classic_home.epoch(), sharded_home.epoch_of(0));
+    assert_eq!(
+        classic_home.wal(),
+        sharded_home.shard(0).wal(),
+        "WAL diverged from the classic home"
+    );
+    assert_eq!(
+        classic_home.database(),
+        sharded_home.shard(0).database(),
+        "master state diverged from the classic home"
+    );
+    let a = classic.stats();
+    let b = sharded.stats();
+    assert_eq!(a.hits, b.hits);
+    assert_eq!(a.misses, b.misses);
+}
+
+/// A cross-shard FK violation is refused before routing and consumes no
+/// epoch on any stream; the same statement with a satisfiable parent
+/// routes and consumes exactly one epoch on the owner's stream.
+#[test]
+fn fk_rejection_consumes_no_epoch_on_any_stream() {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::builder("users")
+            .column("user_id", ColumnType::Int)
+            .primary_key(&["user_id"])
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::builder("items")
+            .column("item_id", ColumnType::Int)
+            .column("seller", ColumnType::Int)
+            .primary_key(&["item_id"])
+            .foreign_key(&["seller"], "users", &["user_id"])
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    for id in 0..4 {
+        db.insert_row("users", vec![Value::Int(id)]).unwrap();
+    }
+    let map = PartitionMap::by_table(3)
+        .with_placement(
+            "users",
+            TablePlacement::Hash {
+                column: "user_id".into(),
+            },
+        )
+        .with_placement(
+            "items",
+            TablePlacement::Hash {
+                column: "item_id".into(),
+            },
+        );
+    let mut home = ShardedHome::new(db, map);
+    let tmpl = Arc::new(parse_update("INSERT INTO items (item_id, seller) VALUES (?, ?)").unwrap());
+
+    // Seller 99 exists on no shard: the handshake refuses the insert.
+    let bad = Update::bind(0, tmpl.clone(), vec![Value::Int(1), Value::Int(99)]).unwrap();
+    let err = home.execute_update(&bad).unwrap_err();
+    assert!(matches!(
+        err,
+        scs_storage::StorageError::ForeignKeyViolation { .. }
+    ));
+    assert_eq!(home.fk_rejects(), 1);
+    assert_eq!(home.epochs(), vec![0; 3], "a refused update moved an epoch");
+
+    // The parent lives on whatever shard hashes user 2; the child row
+    // routes by its own key, possibly to a different shard — the
+    // handshake must still find the parent.
+    let good = Update::bind(0, tmpl, vec![Value::Int(1), Value::Int(2)]).unwrap();
+    let resp = home.execute_update(&good).unwrap();
+    let mut expect = vec![0u64; 3];
+    expect[resp.shard] = 1;
+    assert_eq!(
+        home.epochs(),
+        expect,
+        "exactly one epoch on the owner's stream"
+    );
+    assert_eq!(home.fk_rejects(), 1);
+}

@@ -53,6 +53,9 @@ pub struct RunMetrics {
     pub dssp_node_utilization: Vec<f64>,
     /// Home-server CPU utilization over the window.
     pub home_utilization: f64,
+    /// Per-shard home-tier utilization, indexed by shard id (one entry
+    /// for a classic single home; `home_utilization` is the max).
+    pub home_shard_utilization: Vec<f64>,
     /// Home-link (downstream, results) utilization over the window.
     pub home_link_utilization: f64,
     /// Cache hit rate observed by the workload (filled in by the driver;

@@ -49,6 +49,9 @@ pub struct HomeTrip {
     pub reply_bytes: u64,
     /// CPU time at the home server.
     pub home_cpu: Time,
+    /// Which home shard serves the trip (sharded home tier; see
+    /// [`SystemSpec::home_shards`]). 0 for single-home workloads.
+    pub shard: usize,
 }
 
 /// The logical system under test, driven by the simulator.
@@ -100,6 +103,12 @@ pub struct SystemSpec {
     /// Number of CPU servers at the DSSP node / home server.
     pub dssp_servers: usize,
     pub home_servers: usize,
+    /// Number of home-tier *shards* (the sharded home's scale-out axis).
+    /// Each shard is its own service center with `home_servers` CPUs; a
+    /// home trip is served by the shard its [`HomeTrip::shard`] selects.
+    /// The DSSP↔home link stays shared — partitioning splits the master
+    /// CPU, not the network.
+    pub home_shards: usize,
     /// Number of DSSP proxy *nodes* (the paper's Fig. 8–10 x-axis). Each
     /// node is its own service center with `dssp_servers` CPUs; an op is
     /// served by the node its [`OpCost::proxy`] selects. The home tier
@@ -119,6 +128,7 @@ impl Default for SystemSpec {
             home_bandwidth: 2_000_000,
             dssp_servers: 1,
             home_servers: 1,
+            home_shards: 1,
             dssp_nodes: 1,
             op_request_bytes: 300,
         }
@@ -130,6 +140,23 @@ impl SystemSpec {
     pub fn with_dssp_nodes(n: usize) -> SystemSpec {
         SystemSpec {
             dssp_nodes: n.max(1),
+            ..SystemSpec::default()
+        }
+    }
+
+    /// The default testbed with the home tier split into `n` shards.
+    pub fn with_home_shards(n: usize) -> SystemSpec {
+        SystemSpec {
+            home_shards: n.max(1),
+            ..SystemSpec::default()
+        }
+    }
+
+    /// `p` DSSP proxy nodes over an `n`-shard home tier.
+    pub fn with_dssp_nodes_and_home_shards(p: usize, n: usize) -> SystemSpec {
+        SystemSpec {
+            dssp_nodes: p.max(1),
+            home_shards: n.max(1),
             ..SystemSpec::default()
         }
     }
@@ -229,7 +256,10 @@ pub fn run_observed(
     let mut dssp_cpus: Vec<ServiceCenter> = (0..nodes)
         .map(|_| ServiceCenter::new(cfg.spec.dssp_servers))
         .collect();
-    let mut home_cpu = ServiceCenter::new(cfg.spec.home_servers);
+    let shards = cfg.spec.home_shards.max(1);
+    let mut home_cpus: Vec<ServiceCenter> = (0..shards)
+        .map(|_| ServiceCenter::new(cfg.spec.home_servers))
+        .collect();
     let mut home_link = DuplexLink::new(cfg.spec.home_latency, cfg.spec.home_bandwidth);
     let mut clients: Vec<ClientState> = (0..cfg.users)
         .map(|_| ClientState {
@@ -303,7 +333,16 @@ pub fn run_observed(
                 let ready = match &cost.home_trip {
                     Some(trip) => {
                         let at_home = home_link.up.send(dssp_served.done, trip.request_bytes);
-                        let home_served = home_cpu.serve_traced(at_home, trip.home_cpu);
+                        // Same grow-on-demand rule as the proxy tier:
+                        // ids are stable, so a shard id past the
+                        // configured count grows the tier.
+                        if trip.shard >= home_cpus.len() {
+                            home_cpus.resize_with(trip.shard + 1, || {
+                                ServiceCenter::new(cfg.spec.home_servers)
+                            });
+                        }
+                        let home_served =
+                            home_cpus[trip.shard].serve_traced(at_home, trip.home_cpu);
                         hist.home.record(at_home, home_served);
                         let (delivered, link_wait) = home_link
                             .down
@@ -363,7 +402,14 @@ pub fn run_observed(
             .copied()
             .fold(0.0, f64::max),
     };
-    metrics.home_utilization = home_cpu.utilization(horizon);
+    metrics.home_shard_utilization = home_cpus.iter().map(|c| c.utilization(horizon)).collect();
+    // The headline home utilization is the busiest shard: partitioning
+    // only helps until one shard's queue bends the curve.
+    metrics.home_utilization = metrics
+        .home_shard_utilization
+        .iter()
+        .copied()
+        .fold(0.0, f64::max);
     metrics.home_link_utilization = home_link.down.utilization(horizon);
     metrics.hit_rate = workload.hit_rate();
     hist.export(&mut metrics);
@@ -458,6 +504,7 @@ mod tests {
                     request_bytes: 300,
                     reply_bytes: 2_000,
                     home_cpu: 5 * MS,
+                    shard: 0,
                 }),
                 reply_bytes: 2_000,
                 ..OpCost::default()
@@ -513,6 +560,70 @@ mod tests {
             "home cpu {:.2} / link {:.2}",
             heavy.home_utilization,
             heavy.home_link_utilization
+        );
+    }
+
+    /// Every op needs the home tier, spread round-robin over `shards`.
+    struct ShardedMiss {
+        shards: usize,
+        next: usize,
+    }
+    impl Workload for ShardedMiss {
+        fn begin_request(&mut self, _c: usize) -> usize {
+            1
+        }
+        fn execute_op(&mut self, _c: usize, _i: usize) -> OpCost {
+            let shard = self.next % self.shards;
+            self.next += 1;
+            OpCost {
+                dssp_cpu: MS,
+                home_trip: Some(HomeTrip {
+                    request_bytes: 300,
+                    reply_bytes: 2_000,
+                    home_cpu: 5 * MS,
+                    shard,
+                }),
+                reply_bytes: 2_000,
+                ..OpCost::default()
+            }
+        }
+    }
+
+    #[test]
+    fn home_shards_split_the_tier_and_relieve_saturation() {
+        // 3000 users ≈ 430 ops/s against a 200 ops/s single home: pinned.
+        let mut cfg = quick_cfg(3000);
+        let one = run(&cfg, &mut ShardedMiss { shards: 1, next: 0 });
+        assert_eq!(one.home_shard_utilization.len(), 1);
+        assert!(one.home_utilization > 0.95 || one.home_link_utilization > 0.95);
+
+        // Four shards: each center sees ~1/4 of the miss stream, so the
+        // per-shard utilization drops and the headline is the busiest.
+        cfg.spec = SystemSpec::with_home_shards(4);
+        let four = run(&cfg, &mut ShardedMiss { shards: 4, next: 0 });
+        assert_eq!(four.home_shard_utilization.len(), 4);
+        let max = four
+            .home_shard_utilization
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max);
+        assert_eq!(four.home_utilization, max);
+        // Round-robin spreads the load evenly across the centers.
+        let min = four
+            .home_shard_utilization
+            .iter()
+            .cloned()
+            .fold(1.0f64, f64::min);
+        assert!(
+            max - min < 0.1,
+            "shard utilizations unbalanced: {:?}",
+            four.home_shard_utilization
+        );
+        assert!(
+            four.home_utilization < one.home_utilization,
+            "4-shard busiest {:.2} vs single {:.2}",
+            four.home_utilization,
+            one.home_utilization
         );
     }
 

@@ -7,7 +7,7 @@
 use crate::error::StorageError;
 use crate::executor;
 use crate::result::QueryResult;
-use crate::schema::TableSchema;
+use crate::schema::{ForeignKey, TableSchema};
 use crate::table::{Row, RowId, Table};
 use scs_sqlkit::{CmpOp, Predicate, Query, Scalar, Update, UpdateTemplate, Value};
 use std::collections::BTreeMap;
@@ -121,6 +121,20 @@ impl Database {
     /// Applies an update statement, enforcing the integrity constraints of
     /// §4.5 (primary keys always; foreign keys on insertion).
     pub fn apply(&mut self, u: &Update) -> Result<UpdateEffect, StorageError> {
+        self.apply_inner(u, true)
+    }
+
+    /// Applies an update statement enforcing primary keys but **not**
+    /// foreign keys. Two callers are entitled to skip the check: WAL
+    /// replay (the record was FK-validated when it first committed, and
+    /// must not re-fail) and a partitioned home shard (a child row's
+    /// parent may live on another shard, so referential integrity is
+    /// verified cross-shard *before* the statement is routed here).
+    pub fn apply_unchecked(&mut self, u: &Update) -> Result<UpdateEffect, StorageError> {
+        self.apply_inner(u, false)
+    }
+
+    fn apply_inner(&mut self, u: &Update, check_fks: bool) -> Result<UpdateEffect, StorageError> {
         match &*u.template {
             UpdateTemplate::Insert(ins) => {
                 let row = {
@@ -128,7 +142,9 @@ impl Database {
                     let schema = table.schema();
                     build_insert_row(schema, &ins.columns, &ins.values, u)?
                 };
-                self.check_foreign_keys(&ins.table, &row)?;
+                if check_fks {
+                    self.check_foreign_keys(&ins.table, &row)?;
+                }
                 self.table_mut(&ins.table)?.insert(row.clone())?;
                 Ok(UpdateEffect::Inserted {
                     table: ins.table.clone(),
@@ -200,6 +216,76 @@ impl Database {
         }
     }
 
+    /// The foreign-key probes an insert statement implies: for each FK
+    /// of the target table, the constraint plus the key values the
+    /// candidate row carries for it. Non-inserts probe nothing (the
+    /// model only enforces FKs on insertion). A sharded home uses this
+    /// to verify each probe against the shard that owns the parent
+    /// table before routing the statement to the child's owner.
+    pub fn fk_probes(&self, u: &Update) -> Result<Vec<(ForeignKey, Vec<Value>)>, StorageError> {
+        let UpdateTemplate::Insert(ins) = &*u.template else {
+            return Ok(Vec::new());
+        };
+        let table = self.table(&ins.table)?;
+        let schema = table.schema();
+        let row = build_insert_row(schema, &ins.columns, &ins.values, u)?;
+        Ok(schema
+            .foreign_keys
+            .iter()
+            .map(|fk| {
+                let key: Vec<Value> = fk
+                    .columns
+                    .iter()
+                    .map(|c| row[schema.column_index(c).expect("validated")].clone())
+                    .collect();
+                (fk.clone(), key)
+            })
+            .collect())
+    }
+
+    /// The fully-bound row an insert statement would add, without
+    /// applying it (`None` for non-inserts). Partition routing inspects
+    /// the partition column's value here before the statement is
+    /// shipped to its owner shard.
+    pub fn insert_candidate(&self, u: &Update) -> Result<Option<Row>, StorageError> {
+        let UpdateTemplate::Insert(ins) = &*u.template else {
+            return Ok(None);
+        };
+        let table = self.table(&ins.table)?;
+        Ok(Some(build_insert_row(
+            table.schema(),
+            &ins.columns,
+            &ins.values,
+            u,
+        )?))
+    }
+
+    /// Whether `fk.parent_table` **in this database** holds a row whose
+    /// `fk.parent_columns` equal `key`.
+    pub fn fk_parent_exists(&self, fk: &ForeignKey, key: &[Value]) -> Result<bool, StorageError> {
+        let parent = self.table(&fk.parent_table)?;
+        if fk.parent_columns == parent.schema().primary_key {
+            return Ok(parent.pk_lookup(key).is_some());
+        }
+        // FK referencing a non-PK column set: fall back to a scan.
+        let positions: Vec<usize> = fk
+            .parent_columns
+            .iter()
+            .map(|c| {
+                parent
+                    .schema()
+                    .column_index(c)
+                    .ok_or_else(|| StorageError::UnknownColumn {
+                        table: fk.parent_table.clone(),
+                        column: c.clone(),
+                    })
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(parent
+            .iter()
+            .any(|(_, prow)| positions.iter().zip(key).all(|(p, k)| &prow[*p] == k)))
+    }
+
     /// Verifies every foreign key of `table` for a candidate `row`.
     fn check_foreign_keys(&self, table: &str, row: &Row) -> Result<(), StorageError> {
         let schema = self.table(table)?.schema().clone();
@@ -209,28 +295,7 @@ impl Database {
                 .iter()
                 .map(|c| row[schema.column_index(c).expect("validated")].clone())
                 .collect();
-            let parent = self.table(&fk.parent_table)?;
-            let found = if fk.parent_columns == parent.schema().primary_key {
-                parent.pk_lookup(&key).is_some()
-            } else {
-                // FK referencing a non-PK column set: fall back to a scan.
-                let positions: Vec<usize> =
-                    fk.parent_columns
-                        .iter()
-                        .map(|c| {
-                            parent.schema().column_index(c).ok_or_else(|| {
-                                StorageError::UnknownColumn {
-                                    table: fk.parent_table.clone(),
-                                    column: c.clone(),
-                                }
-                            })
-                        })
-                        .collect::<Result<_, _>>()?;
-                parent
-                    .iter()
-                    .any(|(_, prow)| positions.iter().zip(&key).all(|(p, k)| &prow[*p] == k))
-            };
-            if !found {
+            if !self.fk_parent_exists(fk, &key)? {
                 return Err(StorageError::ForeignKeyViolation {
                     table: table.to_string(),
                     constraint: format!(

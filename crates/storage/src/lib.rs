@@ -15,6 +15,7 @@
 pub mod database;
 pub mod error;
 pub mod executor;
+pub mod partition;
 pub mod result;
 pub mod schema;
 pub mod table;
@@ -22,6 +23,7 @@ pub mod wal;
 
 pub use database::{Database, UpdateEffect};
 pub use error::StorageError;
+pub use partition::{PartitionMap, TablePlacement};
 pub use result::QueryResult;
 pub use schema::{Column, ColumnType, ForeignKey, TableSchema};
 pub use table::{Row, RowId, Table};

@@ -172,7 +172,10 @@ impl Wal {
         for record in &self.records[..upto] {
             match &record.payload {
                 WalPayload::Statement(u) => {
-                    db.apply(u)?;
+                    // The record was FK-validated when it first
+                    // committed; replay must not re-fail against a
+                    // partially rebuilt parent set.
+                    db.apply_unchecked(u)?;
                 }
                 WalPayload::Checkpoint(state) => db = state.clone(),
             }

@@ -81,19 +81,28 @@ impl FlushTrigger {
 }
 
 /// An invalidation epoch's birth certificate: the home commit that
-/// produced it.
+/// produced it. Epochs are scoped to an invalidation **stream**: a
+/// classic single home commits everything on stream 0, while a sharded
+/// home runs one independent dense epoch sequence per shard (stream id =
+/// shard id), so the plane keys every stamp by `(stream, epoch)`.
 #[derive(Debug, Clone)]
 pub struct CommitStamp {
+    /// Invalidation stream (shard) the epoch belongs to; 0 for the
+    /// classic single-home stream.
+    pub stream: u64,
     pub epoch: u64,
     pub update_template: usize,
     pub at_micros: u64,
     pub payload_bytes: u64,
 }
 
-/// One fanout batch: a contiguous epoch range cut at `at_micros`.
+/// One fanout batch: a contiguous epoch range on one stream, cut at
+/// `at_micros`.
 #[derive(Debug, Clone)]
 pub struct BatchStamp {
     pub id: usize,
+    /// Invalidation stream the batch's epoch range lives on.
+    pub stream: u64,
     pub first_epoch: u64,
     pub last_epoch: u64,
     /// Messages retained after coalescing.
@@ -352,9 +361,15 @@ pub struct FailoverStamp {
 #[derive(Debug, Default)]
 pub struct ProvenanceLog {
     commits: Vec<CommitStamp>,
-    commit_index: HashMap<u64, usize>,
+    /// `(stream, epoch)` → index into `commits`.
+    commit_index: HashMap<(u64, u64), usize>,
+    /// Per-stream commit indices in append (= epoch) order, so staleness
+    /// scans can binary-search one stream's dense sequence even when the
+    /// global journal interleaves streams.
+    stream_commits: HashMap<u64, Vec<usize>>,
     batches: Vec<BatchStamp>,
-    batch_by_first: HashMap<u64, usize>,
+    /// `(stream, first_epoch)` → index into `batches`.
+    batch_by_first: HashMap<(u64, u64), usize>,
     replicas: Vec<ReplicaLog>,
     amplification: Vec<Amplification>,
     membership: Vec<MembershipStamp>,
@@ -422,10 +437,27 @@ impl ProvenanceLog {
         &self.amplification
     }
 
-    /// Stamps an epoch at birth: the home commit that produced it.
+    /// Stamps an epoch at birth on the classic stream 0: the home commit
+    /// that produced it.
     pub fn note_commit(&mut self, epoch: u64, update_template: usize, at: u64, bytes: u64) {
-        self.commit_index.insert(epoch, self.commits.len());
+        self.note_commit_on(0, epoch, update_template, at, bytes);
+    }
+
+    /// Stamps an epoch at birth on invalidation stream `stream` (a
+    /// sharded home commits each shard's updates on its own stream).
+    pub fn note_commit_on(
+        &mut self,
+        stream: u64,
+        epoch: u64,
+        update_template: usize,
+        at: u64,
+        bytes: u64,
+    ) {
+        let i = self.commits.len();
+        self.commit_index.insert((stream, epoch), i);
+        self.stream_commits.entry(stream).or_default().push(i);
         self.commits.push(CommitStamp {
+            stream,
             epoch,
             update_template,
             at_micros: at,
@@ -436,20 +468,37 @@ impl ProvenanceLog {
         amp.commit_bytes += bytes;
     }
 
-    /// The sim time epoch `e` was committed at the home, if stamped.
+    /// The invalidation streams that have committed at least one epoch,
+    /// in ascending id order.
+    pub fn streams(&self) -> Vec<u64> {
+        let mut s: Vec<u64> = self.stream_commits.keys().copied().collect();
+        s.sort_unstable();
+        s
+    }
+
+    /// The sim time stream-0 epoch `e` was committed at the home, if
+    /// stamped.
     pub fn commit_at(&self, epoch: u64) -> Option<u64> {
+        self.commit_at_on(0, epoch)
+    }
+
+    /// The sim time `(stream, epoch)` was committed at the home, if
+    /// stamped.
+    pub fn commit_at_on(&self, stream: u64, epoch: u64) -> Option<u64> {
         self.commit_index
-            .get(&epoch)
+            .get(&(stream, epoch))
             .map(|&i| self.commits[i].at_micros)
     }
 
     fn commit(&self, epoch: u64) -> Option<&CommitStamp> {
-        self.commit_index.get(&epoch).map(|&i| &self.commits[i])
+        self.commit_index
+            .get(&(0, epoch))
+            .map(|&i| &self.commits[i])
     }
 
-    /// Stamps a fanout batch cut at `at`; returns its id. `retained`
-    /// lists `(update_template, payload_bytes)` for each message that
-    /// survived coalescing.
+    /// Stamps a stream-0 fanout batch cut at `at`; returns its id.
+    /// `retained` lists `(update_template, payload_bytes)` for each
+    /// message that survived coalescing.
     #[allow(clippy::too_many_arguments)]
     pub fn note_flush(
         &mut self,
@@ -461,10 +510,36 @@ impl ProvenanceLog {
         trigger: FlushTrigger,
         retained: Vec<(usize, u64)>,
     ) -> usize {
+        self.note_flush_on(
+            0,
+            first_epoch,
+            last_epoch,
+            msgs,
+            coalesced,
+            at,
+            trigger,
+            retained,
+        )
+    }
+
+    /// Stamps a fanout batch on invalidation stream `stream`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn note_flush_on(
+        &mut self,
+        stream: u64,
+        first_epoch: u64,
+        last_epoch: u64,
+        msgs: u64,
+        coalesced: u64,
+        at: u64,
+        trigger: FlushTrigger,
+        retained: Vec<(usize, u64)>,
+    ) -> usize {
         let id = self.batches.len();
-        self.batch_by_first.insert(first_epoch, id);
+        self.batch_by_first.insert((stream, first_epoch), id);
         self.batches.push(BatchStamp {
             id,
+            stream,
             first_epoch,
             last_epoch,
             msgs,
@@ -476,11 +551,17 @@ impl ProvenanceLog {
         id
     }
 
-    /// Batches cover contiguous, disjoint epoch ranges, so a batch's
-    /// `first_epoch` identifies it — this is how the apply side, which
-    /// only sees the wire format, finds the stamp.
+    /// Batches cover contiguous, disjoint epoch ranges per stream, so a
+    /// batch's `first_epoch` identifies it within stream 0 — this is how
+    /// the classic apply side, which only sees the wire format, finds
+    /// the stamp.
     pub fn batch_for_epoch(&self, first_epoch: u64) -> Option<usize> {
-        self.batch_by_first.get(&first_epoch).copied()
+        self.batch_for_epoch_on(0, first_epoch)
+    }
+
+    /// The batch covering `(stream, first_epoch)`, if stamped.
+    pub fn batch_for_epoch_on(&self, stream: u64, first_epoch: u64) -> Option<usize> {
+        self.batch_by_first.get(&(stream, first_epoch)).copied()
     }
 
     /// Stamps one copy of `batch` offered to `replica`'s pipe, and
@@ -501,7 +582,9 @@ impl ProvenanceLog {
     /// Stamps a batch delivery at `replica` and records propagation lag
     /// for every epoch the delivery newly covered: lag is `at` minus the
     /// epoch's commit time, whether coverage came from applying the
-    /// message or from a gap-triggered recovery flush.
+    /// message or from a gap-triggered recovery flush. The batch's
+    /// stream is recorded on its flush stamp, so the epoch movement here
+    /// is interpreted on that stream.
     #[allow(clippy::too_many_arguments)]
     pub fn note_arrival(
         &mut self,
@@ -512,8 +595,9 @@ impl ProvenanceLog {
         epoch_before: u64,
         epoch_after: u64,
     ) {
+        let stream = self.batches[batch].stream;
         for e in (epoch_before + 1)..=epoch_after {
-            if let Some(commit_at) = self.commit_at(e) {
+            if let Some(commit_at) = self.commit_at_on(stream, e) {
                 self.replicas[replica]
                     .lag
                     .record(at.saturating_sub(commit_at));
@@ -606,13 +690,49 @@ impl ProvenanceLog {
         expires_at: u64,
         at: u64,
     ) -> u64 {
+        self.note_serve_on(
+            replica,
+            query_template,
+            0,
+            replica_epoch,
+            stored_epoch,
+            stored_at,
+            expires_at,
+            at,
+        )
+    }
+
+    /// [`ProvenanceLog::note_serve`] against one invalidation stream's
+    /// epoch axis: `replica_epoch` is the replica's cursor on `stream`
+    /// and `stored_epoch` the stream epoch the entry's fill reflected.
+    /// A sharded replica stamps each serve against the stream that owns
+    /// the entry's data.
+    #[allow(clippy::too_many_arguments)]
+    pub fn note_serve_on(
+        &mut self,
+        replica: usize,
+        query_template: usize,
+        stream: u64,
+        replica_epoch: u64,
+        stored_epoch: u64,
+        stored_at: u64,
+        expires_at: u64,
+        at: u64,
+    ) -> u64 {
         let floor = replica_epoch.max(stored_epoch);
         let mut pending: Option<(u64, u64)> = None; // (epoch, commit_at)
-                                                    // Commits are appended in epoch order; scan from the first epoch
-                                                    // past the floor. Epoch numbering is dense in every harness that
-                                                    // attaches the plane, so the partition point is a binary search.
-        let start = self.commits.partition_point(|c| c.epoch <= floor);
-        for c in &self.commits[start..] {
+                                                    // A stream's commits are appended in epoch order; scan from the
+                                                    // first epoch past the floor. Epoch numbering is dense per stream
+                                                    // in every harness that attaches the plane, so the partition
+                                                    // point is a binary search over the stream's index.
+        let idxs = self
+            .stream_commits
+            .get(&stream)
+            .map(|v| &v[..])
+            .unwrap_or(&[]);
+        let start = idxs.partition_point(|&i| self.commits[i].epoch <= floor);
+        for &i in &idxs[start..] {
+            let c = &self.commits[i];
             if c.at_micros > at {
                 break;
             }
@@ -653,16 +773,26 @@ impl ProvenanceLog {
         &mut self.amplification[template]
     }
 
-    /// Classifies every epoch of every batch copy offered to `replica`
-    /// into the conservation buckets (see [`Conservation`]).
-    /// `final_epoch` is the replica's epoch at accounting time: undrained
-    /// copies whose range it already covers were recovered over; the rest
-    /// are genuinely in flight.
+    /// Classifies every epoch of every **stream-0** batch copy offered
+    /// to `replica` into the conservation buckets (see
+    /// [`Conservation`]). `final_epoch` is the replica's stream-0 epoch
+    /// at accounting time: undrained copies whose range it already
+    /// covers were recovered over; the rest are genuinely in flight.
     pub fn conservation(&self, replica: usize, final_epoch: u64) -> Conservation {
+        self.conservation_on(replica, 0, final_epoch)
+    }
+
+    /// Conservation accounting for one replica restricted to one
+    /// invalidation stream — a sharded fleet balances each shard's
+    /// ledger independently, `final_epoch` being the replica's cursor
+    /// on that stream at accounting time.
+    pub fn conservation_on(&self, replica: usize, stream: u64, final_epoch: u64) -> Conservation {
         let r = &self.replicas[replica];
         let mut sends: HashMap<usize, u64> = HashMap::new();
         for s in &r.sent {
-            *sends.entry(s.batch).or_insert(0) += 1;
+            if self.batches[s.batch].stream == stream {
+                *sends.entry(s.batch).or_insert(0) += 1;
+            }
         }
         let mut arrivals: HashMap<usize, Vec<&ArrivalStamp>> = HashMap::new();
         for a in &r.arrivals {
@@ -697,6 +827,40 @@ impl ProvenanceLog {
             }
         }
         c
+    }
+
+    /// Sums conservation across every stream that offered `replica` a
+    /// batch copy, each stream cut at the replica's final covered epoch
+    /// on that stream. Returns the totals plus whether **every**
+    /// stream's ledger balanced individually (a stricter check than the
+    /// summed totals balancing).
+    pub fn conservation_all_streams(&self, replica: usize) -> (Conservation, bool) {
+        let r = &self.replicas[replica];
+        let mut finals: HashMap<u64, u64> = HashMap::new();
+        for a in &r.arrivals {
+            let s = self.batches[a.batch].stream;
+            let e = finals.entry(s).or_insert(0);
+            *e = (*e).max(a.epoch_after);
+        }
+        let mut streams: Vec<u64> = r
+            .sent
+            .iter()
+            .map(|s| self.batches[s.batch].stream)
+            .collect();
+        streams.sort_unstable();
+        streams.dedup();
+        let mut total = Conservation::default();
+        let mut balanced = true;
+        for s in streams {
+            let c = self.conservation_on(replica, s, finals.get(&s).copied().unwrap_or(0));
+            total.sent += c.sent;
+            total.applied += c.applied;
+            total.duplicate += c.duplicate;
+            total.recovered_over += c.recovered_over;
+            total.in_flight += c.in_flight;
+            balanced &= c.balanced();
+        }
+        (total, balanced)
     }
 
     /// Conservative single-number p99 of a replica's propagation lag.
@@ -867,7 +1031,7 @@ impl ProvenanceLog {
         let Some(b) = self
             .batches
             .iter()
-            .find(|b| b.first_epoch <= e && e <= b.last_epoch)
+            .find(|b| b.stream == 0 && b.first_epoch <= e && e <= b.last_epoch)
         else {
             return;
         };
@@ -904,8 +1068,7 @@ impl ProvenanceLog {
         let replicas: Vec<Json> = (0..self.replicas.len())
             .map(|i| {
                 let r = &self.replicas[i];
-                let final_epoch = r.arrivals.last().map(|a| a.epoch_after).unwrap_or(0);
-                let c = self.conservation(i, final_epoch);
+                let (c, balanced) = self.conservation_all_streams(i);
                 Json::obj([
                     ("replica", (i as u64).into()),
                     ("sent_batches", (r.sent.len() as u64).into()),
@@ -926,7 +1089,7 @@ impl ProvenanceLog {
                             ("duplicate", c.duplicate.into()),
                             ("recovered_over", c.recovered_over.into()),
                             ("in_flight", c.in_flight.into()),
-                            ("balanced", c.balanced().into()),
+                            ("balanced", balanced.into()),
                         ]),
                     ),
                     ("events_dropped", r.events_dropped.into()),
@@ -982,6 +1145,7 @@ impl ProvenanceLog {
             .collect();
         Json::obj([
             ("commits", (self.commits.len() as u64).into()),
+            ("streams", (self.stream_commits.len() as u64).into()),
             ("batches", (self.batches.len() as u64).into()),
             (
                 "coalesced_total",
@@ -1323,6 +1487,59 @@ mod tests {
         assert_eq!(f.get("lost_records").unwrap().as_u64(), Some(3));
         assert_eq!(f.get("lost_acked").unwrap().as_u64(), Some(0));
         assert_eq!(f.get("unavailable_micros").unwrap().as_u64(), Some(50_000));
+    }
+
+    #[test]
+    fn streams_are_independent_epoch_axes() {
+        let mut log = ProvenanceLog::new(1);
+        // The same epoch number on two streams names two distinct
+        // commits.
+        log.note_commit_on(0, 1, 0, 100, 8);
+        log.note_commit_on(1, 1, 1, 120, 8);
+        assert_eq!(log.commit_at_on(0, 1), Some(100));
+        assert_eq!(log.commit_at_on(1, 1), Some(120));
+        assert_eq!(log.streams(), vec![0, 1]);
+        let b0 = log.note_flush_on(0, 1, 1, 1, 0, 130, FlushTrigger::Inline, vec![(0, 8)]);
+        let b1 = log.note_flush_on(1, 1, 1, 1, 0, 135, FlushTrigger::Inline, vec![(1, 8)]);
+        assert_eq!(log.batch_for_epoch_on(0, 1), Some(b0));
+        assert_eq!(log.batch_for_epoch_on(1, 1), Some(b1));
+        log.note_send(0, b0, 130);
+        log.note_send(0, b1, 135);
+        // Only stream 0's copy arrives; stream 1's stays in flight, and
+        // each stream's ledger balances on its own axis.
+        log.note_arrival(
+            0,
+            b0,
+            150,
+            ApplyKind::Applied {
+                applied: 1,
+                skipped: 0,
+            },
+            0,
+            1,
+        );
+        let c0 = log.conservation_on(0, 0, 1);
+        assert_eq!((c0.applied, c0.in_flight), (1, 0));
+        assert!(c0.balanced());
+        let c1 = log.conservation_on(0, 1, 0);
+        assert_eq!((c1.applied, c1.in_flight), (0, 1));
+        assert!(c1.balanced());
+        let (total, balanced) = log.conservation_all_streams(0);
+        assert_eq!(total.sent, 2);
+        assert!(balanced);
+        // Lag for stream 0's epoch 1 measured against *its* commit time.
+        assert_eq!(log.replica(0).lag.min, Some(50));
+    }
+
+    #[test]
+    fn serve_staleness_is_scoped_to_the_entry_stream() {
+        let mut log = ProvenanceLog::new(1);
+        // Stream 1 commits; stream 0 stays quiet. An entry on stream 0
+        // is provably fresh, while the same serve judged on stream 1's
+        // axis is stale to that commit.
+        log.note_commit_on(1, 1, 0, 100, 8);
+        assert_eq!(log.note_serve_on(0, 0, 0, 0, 0, 50, u64::MAX, 900), 0);
+        assert_eq!(log.note_serve_on(0, 0, 1, 0, 0, 50, u64::MAX, 900), 800);
     }
 
     #[test]

@@ -109,7 +109,10 @@ pub struct TraceEvent {
     pub seq: u64,
     pub at_micros: u64,
     pub tenant: u32,
-    pub proxy: u32,
+    /// Stable replica id within the tenant's fleet. u64 end-to-end:
+    /// elastic membership never reuses ids, so the label must not
+    /// truncate however long the fleet lives.
+    pub proxy: u64,
     pub kind: TraceEventKind,
 }
 
@@ -121,7 +124,7 @@ impl TraceEvent {
             ("seq".to_string(), Json::from(self.seq)),
             ("at_us".to_string(), Json::from(self.at_micros)),
             ("tenant".to_string(), Json::from(self.tenant as u64)),
-            ("proxy".to_string(), Json::from(self.proxy as u64)),
+            ("proxy".to_string(), Json::from(self.proxy)),
             ("event".to_string(), Json::from(self.kind.name())),
         ];
         let mut push = |k: &str, v: u64| fields.push((k.to_string(), Json::from(v)));
@@ -227,7 +230,7 @@ pub trait TraceSink {
 pub struct Tracer {
     sinks: Vec<Box<dyn TraceSink>>,
     next_seq: u64,
-    proxy: u32,
+    proxy: u64,
 }
 
 impl Tracer {
@@ -246,11 +249,11 @@ impl Tracer {
     /// Stamps every subsequent event with a fleet replica index. A
     /// tracer is owned by exactly one proxy, so this is set once at
     /// fleet construction rather than threaded through ~40 emit sites.
-    pub fn set_proxy(&mut self, proxy: u32) {
+    pub fn set_proxy(&mut self, proxy: u64) {
         self.proxy = proxy;
     }
 
-    pub fn proxy(&self) -> u32 {
+    pub fn proxy(&self) -> u64 {
         self.proxy
     }
 
